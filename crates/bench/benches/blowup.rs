@@ -1,0 +1,17 @@
+//! E3 (Prop 4.2/4.3): doubly exponential value sizes from linear queries.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xq_reductions::measure_blowup;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blowup");
+    g.sample_size(10);
+    for m in 0..=3usize {
+        g.bench_with_input(BenchmarkId::new("eval", m), &m, |b, &m| {
+            b.iter(|| measure_blowup(m, cv_monad::Budget::large()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E9 (Thm 6.5/6.6): fixed query, growing data — near-linear scaling of
+//! the tree evaluator (the positional evaluator is benchmarked at small
+//! sizes; its predicates are deliberately naive scans).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xq_bench::{bib_document, books_query};
+
+fn bench(c: &mut Criterion) {
+    let q = books_query();
+    let mut g = c.benchmark_group("data_complexity");
+    g.sample_size(10);
+    for n in [10usize, 100, 1000] {
+        let doc = bib_document(n);
+        g.bench_with_input(BenchmarkId::new("tree_eval", n), &doc, |b, doc| {
+            b.iter(|| xq_core::eval_query(&q, doc).unwrap().len())
+        });
+    }
+    for n in [2usize, 4, 8] {
+        let doc = bib_document(n);
+        g.bench_with_input(BenchmarkId::new("positional_eval", n), &doc, |b, doc| {
+            b.iter(|| xq_fom::eval_positional(&q, doc, u64::MAX).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E11 (Thm 2.2): derived operations vs built-ins.
+use criterion::{criterion_group, criterion_main, Criterion};
+use cv_monad::derived::derived_diff;
+use cv_monad::{eval, CollectionKind, Expr};
+use cv_value::Value;
+
+fn bench(c: &mut Criterion) {
+    let r: Vec<Value> = (0..60).map(|i| Value::atom(format!("r{i}"))).collect();
+    let s: Vec<Value> = (0..60).filter(|i| i % 2 == 0).map(|i| Value::atom(format!("r{i}"))).collect();
+    let input = Value::tuple([("R", Value::set(r)), ("S", Value::set(s))]);
+    let builtin = Expr::Diff(Expr::proj("R").into(), Expr::proj("S").into());
+    let derived = derived_diff();
+    let mut g = c.benchmark_group("derived_ops");
+    g.sample_size(20);
+    g.bench_function("difference_builtin", |b| {
+        b.iter(|| eval(&builtin, CollectionKind::Set, &input).unwrap())
+    });
+    g.bench_function("difference_derived_ex_2_4", |b| {
+        b.iter(|| eval(&derived, CollectionKind::Set, &input).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E12 (Appendix A.1): monad algebra through the logic-programming
+//! reduction vs the path semantics.
+use criterion::{criterion_group, criterion_main, Criterion};
+use xq_logicprog::{lp_succeeds, ma_to_lp};
+use xq_paths::{eval_paths, figure_5_query, unit_input};
+
+fn bench(c: &mut Criterion) {
+    let q = figure_5_query();
+    let mut g = c.benchmark_group("logicprog");
+    g.sample_size(20);
+    g.bench_function("translate", |b| b.iter(|| ma_to_lp(&q).unwrap().program.size()));
+    g.bench_function("lp_success", |b| {
+        let lp = ma_to_lp(&q).unwrap();
+        b.iter(|| lp_succeeds(&lp, 1_000_000).unwrap())
+    });
+    g.bench_function("path_semantics_reference", |b| {
+        b.iter(|| eval_paths(&q, &unit_input()).unwrap().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

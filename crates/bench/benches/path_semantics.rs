@@ -1,0 +1,21 @@
+//! E8 (Thm 5.2, Figs 5/6): path-set evaluation and proof construction.
+use criterion::{criterion_group, criterion_main, Criterion};
+use xq_paths::{eval_paths, figure_5_query, prove, unit_input};
+
+fn bench(c: &mut Criterion) {
+    let q = figure_5_query();
+    let mut g = c.benchmark_group("path_semantics");
+    g.sample_size(20);
+    g.bench_function("figure5_forward", |b| {
+        b.iter(|| eval_paths(&q, &unit_input()).unwrap().len())
+    });
+    let out = eval_paths(&q, &unit_input()).unwrap();
+    let target = out.iter().next().unwrap().clone();
+    g.bench_function("figure6_proof", |b| {
+        b.iter(|| prove(&q, &unit_input(), &target).unwrap().unwrap().stats())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

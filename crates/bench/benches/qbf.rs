@@ -1,0 +1,24 @@
+//! E5 (Prop 7.3/7.4): QBF through the XQ⁻ reduction and the PSPACE
+//! nested-loop engine.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cv_xtree::{Document, TreeGen};
+use xq_compfree::NestedLoopEngine;
+use xq_reductions::{qbf_query, qbf_tree, random_qbf};
+
+fn bench(c: &mut Criterion) {
+    let tree = qbf_tree();
+    let doc = Document::new(&tree);
+    let mut g = c.benchmark_group("qbf");
+    g.sample_size(10);
+    for vars in [4usize, 8, 12] {
+        let f = random_qbf(&mut TreeGen::new(7), vars, vars);
+        let q = qbf_query(&f);
+        g.bench_with_input(BenchmarkId::new("nested_loop", vars), &q, |b, q| {
+            b.iter(|| NestedLoopEngine::new(&doc).boolean(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E1/E2 (Lemma 5.7): reduction query sizes — Θ(K) with built-in =mon,
+//! Θ(K²) with the defined =mon; ATM reduction linear in the rounds.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xq_reductions::{ntm, EqFlavor, NtmReduction};
+
+fn bench(c: &mut Criterion) {
+    let machine = ntm::zoo::first_is_one();
+    let mut g = c.benchmark_group("reduction_sizes");
+    g.sample_size(10);
+    for k in [2u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("builtin_mon", k), &k, |b, &k| {
+            b.iter(|| {
+                NtmReduction::new(&machine, k, vec![1], EqFlavor::Builtin)
+                    .accept_query()
+                    .size()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("defined_mon", k), &k, |b, &k| {
+            b.iter(|| {
+                NtmReduction::new(&machine, k, vec![1], EqFlavor::Defined)
+                    .accept_query()
+                    .size()
+            })
+        });
+    }
+    // Full evaluation at K=1 (the validated regime).
+    g.bench_function("evaluate_k1", |b| {
+        b.iter(|| {
+            NtmReduction::new(&machine, 1, vec![1, 0], EqFlavor::Builtin)
+                .run(cv_monad::Budget::large())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

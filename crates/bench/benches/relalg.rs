@@ -1,0 +1,28 @@
+//! E13 (Thm 2.5 / Fig 11): the V_τ decoder and relational baselines.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cv_monad::{eval, CollectionKind};
+use cv_value::Value;
+use xq_relalg::{flat_value, v_prime};
+
+fn bench(c: &mut Criterion) {
+    let ty = cv_value::parse_type("{<A: Dom, B: Dom>}").unwrap();
+    let mut g = c.benchmark_group("relalg");
+    g.sample_size(10);
+    for rows in [4usize, 16] {
+        let v = Value::set((0..rows).map(|i| {
+            Value::tuple([
+                ("A", Value::atom(format!("a{i}"))),
+                ("B", Value::atom(format!("b{}", i % 3))),
+            ])
+        }));
+        let (flat, root) = flat_value(&v);
+        let q = v_prime(&ty, root);
+        g.bench_with_input(BenchmarkId::new("v_prime_decode", rows), &flat, |b, flat| {
+            b.iter(|| eval(&q, CollectionKind::Set, flat).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! E10 (Thm 7.9): composition elimination and its exponential size cost.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xq_bench::let_chain_query;
+use xq_rewrite::eliminate_composition;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rewrite_blowup");
+    g.sample_size(10);
+    for depth in [2usize, 4, 6] {
+        let q = let_chain_query(depth);
+        g.bench_with_input(BenchmarkId::new("eliminate", depth), &q, |b, q| {
+            b.iter(|| eliminate_composition(q, 50_000_000).unwrap().0.size())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

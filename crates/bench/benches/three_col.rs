@@ -1,0 +1,26 @@
+//! E6 (Prop 7.6/7.7): 3-colorability via witness search vs nested loops.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cv_xtree::{Document, TreeGen};
+use xq_compfree::{witness_boolean, NestedLoopEngine};
+use xq_reductions::{color_tree, random_graph, three_col_query};
+
+fn bench(c: &mut Criterion) {
+    let tree = color_tree();
+    let doc = Document::new(&tree);
+    let mut g = c.benchmark_group("three_col");
+    g.sample_size(10);
+    for v in [4usize, 6, 8] {
+        let graph = random_graph(&mut TreeGen::new(11), v, v + 2);
+        let q = three_col_query(&graph);
+        g.bench_with_input(BenchmarkId::new("witness_search", v), &q, |b, q| {
+            b.iter(|| witness_boolean(q, &tree).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("nested_loop", v), &q, |b, q| {
+            b.iter(|| NestedLoopEngine::new(&doc).boolean(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

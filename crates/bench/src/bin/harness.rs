@@ -1,0 +1,368 @@
+//! The experiment harness: regenerates every EXPERIMENTS.md table
+//! (paper claim vs measured) in one run. Intended use:
+//!
+//! ```text
+//! cargo run --release -p xq-bench --bin harness
+//! ```
+
+use cv_monad::Budget;
+use cv_xtree::{Document, TreeGen};
+use std::time::Instant;
+use xq_bench::{bib_document, books_query, doubling_query, let_chain_query};
+use xq_compfree::{witness_boolean, NestedLoopEngine};
+use xq_core::{eval_query, ma_invariant_holds, ma_query, Var};
+use xq_logicprog::{lp_succeeds, ma_to_lp};
+use xq_paths::{eval_paths, figure_5_query, prove, unit_input};
+use xq_reductions as red;
+use xq_reductions::{EqFlavor, NtmReduction};
+use xq_rewrite::eliminate_composition;
+
+fn header(title: &str) {
+    println!("\n## {title}\n");
+}
+
+fn main() {
+    println!("# Koch (PODS 2005) reproduction — experiment harness");
+
+    t1_ntm_reduction();
+    t2_atm_reduction();
+    t3_blowup();
+    t4_streaming();
+    t5_qbf();
+    t6_three_col();
+    t7_translations();
+    t8_path_semantics();
+    t9_data_complexity();
+    t10_rewrite();
+    t11_derived();
+    t12_logicprog();
+    t13_relalg();
+
+    println!("\nAll experiment tables regenerated.");
+}
+
+/// T1 — Theorem 5.6 / Lemma 5.7(a,b): NTM reduction.
+fn t1_ntm_reduction() {
+    header("T1  NTM → M∪[=atomic]  (Thm 5.6; NEXPTIME-hardness)");
+    println!("| machine | input | simulator | φ_accept | agree |");
+    println!("|---|---|---|---|---|");
+    let cases: Vec<(red::Ntm, Vec<usize>, &str)> = vec![
+        (red::ntm::zoo::first_is_one(), vec![1, 0], "first_is_one"),
+        (red::ntm::zoo::first_is_one(), vec![0, 1], "first_is_one"),
+        (red::ntm::zoo::some_one(), vec![0, 1], "some_one"),
+        (red::ntm::zoo::some_one(), vec![0, 0], "some_one"),
+        (red::ntm::zoo::writes_then_accepts(), vec![0, 0], "writes"),
+        (red::ntm::zoo::reject_all(), vec![1, 1], "reject_all"),
+    ];
+    for (m, input, name) in cases {
+        let start = m.start_config(&input, 2);
+        let want = m.accepts_in(&start, 2);
+        let got = NtmReduction::new(&m, 1, input.clone(), EqFlavor::Builtin)
+            .run(Budget::large())
+            .expect("K=1 fits the budget");
+        println!(
+            "| {name} | {input:?} | {want} | {got} | {} |",
+            if want == got { "yes" } else { "NO" }
+        );
+    }
+    // K=2: tape length 4 — the Figure 7 zoom-in rules execute.
+    println!();
+    println!("| machine (K=2, zoom-in active) | input | simulator | φ_accept | agree |");
+    println!("|---|---|---|---|---|");
+    let big = Budget {
+        max_steps: 2_000_000_000,
+        max_nodes: 2_000_000_000,
+    };
+    for (m, input, name) in [
+        (red::ntm::zoo::first_is_one(), vec![1, 0, 0, 0], "first_is_one"),
+        (red::ntm::zoo::some_one(), vec![0, 0, 1, 0], "some_one"),
+        (red::ntm::zoo::some_one(), vec![0, 0, 0, 0], "some_one"),
+    ] {
+        let start = m.start_config(&input, 4);
+        let want = m.accepts_in(&start, 4);
+        let got = NtmReduction::new(&m, 2, input.clone(), EqFlavor::Builtin)
+            .run(big)
+            .expect("K=2 fits the large budget");
+        println!(
+            "| {name} | {input:?} | {want} | {got} | {} |",
+            if want == got { "yes" } else { "NO" }
+        );
+    }
+
+    println!("\n| K | size (builtin =mon) | size (defined =mon) |");
+    println!("|---|---|---|");
+    let m = red::ntm::zoo::first_is_one();
+    for k in 1..=8u32 {
+        let b = NtmReduction::new(&m, k, vec![1], EqFlavor::Builtin)
+            .accept_query()
+            .size();
+        let d = NtmReduction::new(&m, k, vec![1], EqFlavor::Defined)
+            .accept_query()
+            .size();
+        println!("| {k} | {b} | {d} |");
+    }
+    println!("\nShape: builtin grows linearly in K (Lemma 5.7b), defined quadratically (5.7a).");
+}
+
+/// T2 — Theorem 5.9: ATM reduction.
+fn t2_atm_reduction() {
+    header("T2  ATM → M∪[=mon, not]  (Thm 5.9/5.11; TA[2^O(n),O(n)]-hardness)");
+    println!("| machine | A_i oracle | φ_accept | agree |");
+    println!("|---|---|---|---|");
+    for require_one in [true, false] {
+        let m = red::atm::zoo::forall_then_check(require_one);
+        let input = vec![1, 0];
+        let start = m.machine.start_config(&input, 2);
+        let want = m.accepts_alternating(&start, 2, 3);
+        let got = red::AtmReduction::new(&m, 1, input, 3)
+            .run(Budget::large())
+            .expect("K=1 fits the budget");
+        println!(
+            "| forall_then_check({require_one}) | {want} | {got} | {} |",
+            if want == got { "yes" } else { "NO" }
+        );
+    }
+}
+
+/// T3 — Prop 4.2/4.3: blowup family.
+fn t3_blowup() {
+    header("T3  Doubly exponential values  (Prop 4.2/4.3)");
+    println!("| m | |Q| | predicted 2^(2^m) | measured cardinality | C_f bound holds |");
+    println!("|---|---|---|---|---|");
+    for m in 0..=4usize {
+        match red::measure_blowup(m, Budget::large()) {
+            Ok(p) => {
+                let bound = red::size_bound(&red::blowup_query(m), 1);
+                println!(
+                    "| {m} | {} | {} | {} | {} |",
+                    p.query_size,
+                    red::blowup_cardinality(m),
+                    p.cardinality,
+                    bound >= p.node_count
+                );
+            }
+            Err(e) => println!("| {m} | {} | {} | budget: {e} | – |",
+                red::blowup_query(m).size(), red::blowup_cardinality(m)),
+        }
+    }
+}
+
+/// T4 — Theorem 4.5: streaming vs materializing.
+fn t4_streaming() {
+    header("T4  Streaming (EXPSPACE) vs materializing  (Thm 4.5)");
+    println!("| n | output tokens | materializer items | stream peak cursors | stream pulls |");
+    println!("|---|---|---|---|---|");
+    let t = cv_xtree::parse_tree("<r/>").unwrap();
+    for n in [2usize, 4, 6] {
+        let q = doubling_query(n);
+        let out = eval_query(&q, &t).unwrap();
+        let (tokens, stats) = xq_stream::stream_query(&q, &t, u64::MAX).unwrap();
+        println!(
+            "| {n} | {} | {} | {} | {} |",
+            tokens.len(),
+            out.len(),
+            stats.peak_live_cursors,
+            stats.pulls
+        );
+    }
+    println!("\nShape: output doubles per step; live cursors stay ~flat (space ≪ output).");
+}
+
+/// T5 — Prop 7.3/7.4: QBF / PSPACE engine.
+fn t5_qbf() {
+    header("T5  QBF → XQ⁻[not]  (Prop 7.4; PSPACE-hardness) + space (Prop 7.3)");
+    println!("| vars | oracle | reduction | agree | live bindings |");
+    println!("|---|---|---|---|---|");
+    let tree = red::qbf_tree();
+    let doc = Document::new(&tree);
+    let mut gen = TreeGen::new(2005);
+    for vars in [2usize, 4, 6, 8] {
+        let f = red::random_qbf(&mut gen, vars, vars);
+        let q = red::qbf_query(&f);
+        let want = f.is_true();
+        let mut engine = NestedLoopEngine::new(&doc);
+        let got = engine.boolean(&q).unwrap();
+        println!(
+            "| {vars} | {want} | {got} | {} | {} |",
+            if want == got { "yes" } else { "NO" },
+            engine.stats().max_live_bindings
+        );
+    }
+    println!("\nShape: live bindings = vars + 1 — O(|Q| log |t|) space, per Prop 7.3.");
+}
+
+/// T6 — Prop 7.6/7.7: 3COL / NP engine.
+fn t6_three_col() {
+    header("T6  3COL → positive XQ⁻  (Prop 7.7; NP-hardness)");
+    println!("| graph | oracle | witness search | nested loop | agree |");
+    println!("|---|---|---|---|---|");
+    let tree = red::color_tree();
+    let doc = Document::new(&tree);
+    let mut cases = vec![
+        ("K4".to_string(), red::three_col::k4()),
+        ("C5".to_string(), red::three_col::c5()),
+    ];
+    let mut gen = TreeGen::new(42);
+    for v in [5usize, 7] {
+        cases.push((format!("rand(v={v})"), red::random_graph(&mut gen, v, v + 2)));
+    }
+    for (name, graph) in cases {
+        let want = graph.is_3_colorable();
+        let q = red::three_col_query(&graph);
+        let w = witness_boolean(&q, &tree).unwrap();
+        let nl = NestedLoopEngine::new(&doc).boolean(&q).unwrap();
+        println!(
+            "| {name} | {want} | {w} | {nl} | {} |",
+            if want == w && want == nl { "yes" } else { "NO" }
+        );
+    }
+}
+
+/// T7 — Lemmas 3.2/3.3: translations.
+fn t7_translations() {
+    header("T7  XQ ↔ monad algebra translations  (Lemmas 3.2/3.3)");
+    let q = books_query();
+    let e = ma_query(&q).unwrap();
+    println!("| |Q| (XQ) | |MA(Q)| | ratio |");
+    println!("|---|---|---|");
+    println!("| {} | {} | {:.1} |", q.size(), e.size(), e.size() as f64 / q.size() as f64);
+    let doc = bib_document(8);
+    println!(
+        "\nLemma 3.2 invariant C′([[Q]](t)) = MA(Q)(env) on the books workload: {}",
+        ma_invariant_holds(&q, &doc).unwrap()
+    );
+    let ratios: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&k| {
+            let mut src = String::from("$root");
+            for _ in 0..k * 3 {
+                src = format!("for $x in {src} return ($x, $x)");
+            }
+            let q = xq_core::parse_query(&src).unwrap();
+            let e = ma_query(&q).unwrap();
+            format!("{:.1}", e.size() as f64 / q.size() as f64)
+        })
+        .collect();
+    println!("Size ratios on a growing family (should stay ~constant): {ratios:?}");
+}
+
+/// T8 — Thm 5.2 + Figures 5/6: path semantics.
+fn t8_path_semantics() {
+    header("T8  Path semantics & proof trees  (Thm 5.2, Figs 5/6)");
+    let q = figure_5_query();
+    let out = eval_paths(&q, &unit_input()).unwrap();
+    println!("Figure 5 final deterministic tree: {} path(s):", out.len());
+    for p in &out {
+        println!("  {p}");
+    }
+    let target = out.iter().next().unwrap();
+    let proof = prove(&q, &unit_input(), target).unwrap().unwrap();
+    let stats = proof.stats();
+    println!(
+        "\nFigure 6 proof tree: {} nodes, depth {}, max branching {}, max path size {}",
+        stats.nodes, stats.depth, stats.max_branching, stats.max_path_size
+    );
+    println!("(Thm 5.2 predicts branching ≤ 2 and polynomial path sizes.)");
+    println!("\n{}", proof.render());
+}
+
+/// T9 — Thm 6.5/6.6: data complexity.
+fn t9_data_complexity() {
+    header("T9  Data complexity  (Thm 6.5/6.6: LOGSPACE / TC⁰)");
+    println!("| books | tree eval (µs) | ratio to previous |");
+    println!("|---|---|---|");
+    let q = books_query();
+    let mut prev: Option<f64> = None;
+    for n in [10usize, 100, 1000, 10000] {
+        let doc = bib_document(n);
+        let start = Instant::now();
+        let _ = eval_query(&q, &doc).unwrap();
+        let us = start.elapsed().as_secs_f64() * 1e6;
+        let ratio = prev.map(|p| format!("{:.1}", us / p)).unwrap_or("-".into());
+        println!("| {n} | {us:.0} | {ratio} |");
+        prev = Some(us);
+    }
+    println!("\nShape: ~10x time per 10x data (fixed query ⇒ polynomial, near-linear).");
+    let small = bib_document(3);
+    let a = xq_fom::eval_positional(&q, &small, u64::MAX).unwrap();
+    let b: Vec<cv_xtree::Token> = eval_query(&q, &small)
+        .unwrap()
+        .iter()
+        .flat_map(cv_xtree::Tree::tokens)
+        .collect();
+    println!("Positional (Remark 6.7) agreement on a small instance: {}", a == b);
+}
+
+/// T10 — Thm 7.9: composition elimination.
+fn t10_rewrite() {
+    header("T10  Composition elimination  (Thm 7.9; exponential succinctness)");
+    println!("| let-depth | |Q| | |rewritten| | blowup |");
+    println!("|---|---|---|---|");
+    for depth in 1..=7usize {
+        let q = let_chain_query(depth);
+        let (out, _) = eliminate_composition(&q, 100_000_000).unwrap();
+        println!(
+            "| {depth} | {} | {} | {:.1}x |",
+            q.size(),
+            out.size(),
+            out.size() as f64 / q.size() as f64
+        );
+    }
+    println!("\nShape: rewritten size ~doubles per extra let — the succinctness gap.");
+}
+
+/// T11 — Thm 2.2: derived vs built-in operations.
+fn t11_derived() {
+    header("T11  Derived operations  (Thm 2.2 equivalences)");
+    use cv_monad::derived::*;
+    use cv_monad::{eval, CollectionKind, Expr};
+    use cv_value::parse_value;
+    let pair = parse_value("<R: {1, 2, 3, 4}, S: {2, 4}>").unwrap();
+    let builtin = eval(
+        &Expr::Diff(Expr::proj("R").into(), Expr::proj("S").into()),
+        CollectionKind::Set,
+        &pair,
+    )
+    .unwrap();
+    let derived = eval(&derived_diff(), CollectionKind::Set, &pair).unwrap();
+    println!("difference: builtin = {builtin}, Example 2.4 = {derived}, agree = {}", builtin == derived);
+    let sub = eval(&subset_pred("S", "R"), CollectionKind::Set, &pair).unwrap();
+    println!("S ⊆ R via Example 2.3: {}", sub.is_true());
+}
+
+/// T12 — Appendix A.1: the logic-programming reduction.
+fn t12_logicprog() {
+    header("T12  MA → nonrecursive logic programming  (Appendix A.1)");
+    let q = figure_5_query();
+    let lp = ma_to_lp(&q).unwrap();
+    println!(
+        "Figure 5 query: |Q| = {}, |program| = {}, predicates = {}",
+        q.size(),
+        lp.program.size(),
+        lp.program.pred_names.len()
+    );
+    println!("success = {}", lp_succeeds(&lp, 1_000_000).unwrap());
+    println!(
+        "path semantics agrees = {}",
+        eval_paths(&q, &unit_input()).unwrap().len()
+            == lp.program.evaluate(1_000_000).unwrap()[lp.goal].len()
+    );
+}
+
+/// T13 — Thm 2.5 / Prop 6.1 / Fig 11.
+fn t13_relalg() {
+    header("T13  Flat encoding V_τ  (Prop 6.1 / Fig 11) & conservativity (Thm 2.5)");
+    let ty = cv_value::parse_type("{<A: Dom, B: Dom>}").unwrap();
+    let v = cv_value::parse_value("{<A: a, B: b>, <A: c, B: d>}").unwrap();
+    let (flat, root) = xq_relalg::flat_value(&v);
+    let got = cv_monad::eval(
+        &xq_relalg::v_prime(&ty, root),
+        cv_monad::CollectionKind::Set,
+        &flat,
+    )
+    .unwrap();
+    println!("v            = {v}");
+    println!("V′(flat(v))  = {got}");
+    println!("Fig 11 check = {}", got == cv_value::Value::set([v]));
+    let _ = Var::root(); // silence unused import on some feature sets
+}

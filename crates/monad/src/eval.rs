@@ -1,0 +1,833 @@
+//! The materializing reference evaluator for monad algebra.
+//!
+//! This is the "naive straightforward functional implementation" the paper
+//! measures everything against: each operation materializes its full result.
+//! Because `M∪` queries can build values of size `2^2^Ω(|Q|)` (Prop 4.2),
+//! every entry point takes a [`Budget`] and fails with
+//! [`EvalError::Budget`] instead of exhausting memory.
+
+use crate::{Cond, EqMode, Expr, Operand};
+use cv_value::{CollectionKind, Value, ValueError, ValueKind};
+use std::collections::HashMap;
+
+/// Resource limits for one evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum number of operator applications (including per-element map
+    /// steps).
+    pub max_steps: u64,
+    /// Maximum number of value nodes allocated in total.
+    pub max_nodes: u64,
+}
+
+impl Budget {
+    /// A budget suitable for unit tests: small enough to fail fast.
+    pub fn small() -> Budget {
+        Budget {
+            max_steps: 1_000_000,
+            max_nodes: 4_000_000,
+        }
+    }
+
+    /// A budget suitable for the blowup experiments (hundreds of MB).
+    pub fn large() -> Budget {
+        Budget {
+            max_steps: 200_000_000,
+            max_nodes: 400_000_000,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            max_steps: 20_000_000,
+            max_nodes: 50_000_000,
+        }
+    }
+}
+
+/// Counters reported after evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Operator applications performed.
+    pub steps: u64,
+    /// Value nodes allocated (a proxy for working memory: the materializing
+    /// evaluator's space is Θ(allocated nodes) in the worst case).
+    pub nodes_allocated: u64,
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A structural error from the value layer (bad projection etc.).
+    Value(ValueError),
+    /// An operation met a value of the wrong shape.
+    Shape {
+        /// The operation being evaluated.
+        op: String,
+        /// What it expected.
+        expected: String,
+        /// A rendering of what it got.
+        got: String,
+    },
+    /// An operation is not defined for this collection kind
+    /// (e.g. `monus` outside bags).
+    Unsupported {
+        /// The operation.
+        op: String,
+        /// The active collection kind.
+        kind: CollectionKind,
+    },
+    /// The step or node budget was exhausted.
+    Budget {
+        /// `"steps"` or `"nodes"`.
+        which: &'static str,
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl From<ValueError> for EvalError {
+    fn from(e: ValueError) -> EvalError {
+        EvalError::Value(e)
+    }
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Value(e) => write!(f, "{e}"),
+            EvalError::Shape { op, expected, got } => {
+                write!(f, "{op}: expected {expected}, got {got}")
+            }
+            EvalError::Unsupported { op, kind } => {
+                write!(f, "{op} is not defined on {kind}s")
+            }
+            EvalError::Budget { which, limit } => {
+                write!(f, "budget exhausted: more than {limit} {which}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A reusable evaluator carrying a collection kind, a budget, and counters.
+pub struct Evaluator {
+    kind: CollectionKind,
+    budget: Budget,
+    stats: EvalStats,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for the given collection monad with the default
+    /// budget.
+    pub fn new(kind: CollectionKind) -> Evaluator {
+        Evaluator::with_budget(kind, Budget::default())
+    }
+
+    /// Creates an evaluator with an explicit budget.
+    pub fn with_budget(kind: CollectionKind, budget: Budget) -> Evaluator {
+        Evaluator {
+            kind,
+            budget,
+            stats: EvalStats::default(),
+        }
+    }
+
+    /// The collection monad this evaluator interprets `∪`/`flatten` in.
+    pub fn kind(&self) -> CollectionKind {
+        self.kind
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    fn step(&mut self) -> Result<(), EvalError> {
+        self.stats.steps += 1;
+        if self.stats.steps > self.budget.max_steps {
+            return Err(EvalError::Budget {
+                which: "steps",
+                limit: self.budget.max_steps,
+            });
+        }
+        Ok(())
+    }
+
+    fn alloc(&mut self, nodes: u64) -> Result<(), EvalError> {
+        self.stats.nodes_allocated += nodes;
+        if self.stats.nodes_allocated > self.budget.max_nodes {
+            return Err(EvalError::Budget {
+                which: "nodes",
+                limit: self.budget.max_nodes,
+            });
+        }
+        Ok(())
+    }
+
+    fn coll(&mut self, items: Vec<Value>) -> Result<Value, EvalError> {
+        self.alloc(items.len() as u64 + 1)?;
+        Ok(Value::collection(self.kind, items))
+    }
+
+    fn items<'v>(&self, op: &str, v: &'v Value) -> Result<&'v [Value], EvalError> {
+        match (self.kind, v.kind()) {
+            (CollectionKind::Set, ValueKind::Set(xs))
+            | (CollectionKind::List, ValueKind::List(xs))
+            | (CollectionKind::Bag, ValueKind::Bag(xs)) => Ok(xs),
+            _ => Err(EvalError::Shape {
+                op: op.to_string(),
+                expected: format!("a {}", self.kind),
+                got: v.to_string(),
+            }),
+        }
+    }
+
+    /// Evaluates `expr` on `input`.
+    pub fn eval(&mut self, expr: &Expr, input: &Value) -> Result<Value, EvalError> {
+        self.step()?;
+        match expr {
+            Expr::Id => Ok(input.clone()),
+            Expr::Compose(f, g) => {
+                let mid = self.eval(f, input)?;
+                self.eval(g, &mid)
+            }
+            Expr::Const(v) => {
+                self.alloc(v.node_count())?;
+                Ok(v.clone())
+            }
+            Expr::EmptyColl => self.coll(Vec::new()),
+            Expr::Sng => self.coll(vec![input.clone()]),
+            Expr::Map(f) => {
+                let xs = self.items("map", input)?.to_vec();
+                let mut out = Vec::with_capacity(xs.len());
+                for x in &xs {
+                    out.push(self.eval(f, x)?);
+                }
+                self.coll(out)
+            }
+            Expr::Flatten => {
+                let outer = self.items("flatten", input)?.to_vec();
+                let mut out = Vec::new();
+                for inner in &outer {
+                    out.extend_from_slice(self.items("flatten", inner)?);
+                }
+                self.coll(out)
+            }
+            Expr::PairWith(attr) => {
+                let fields = input
+                    .as_tuple()
+                    .ok_or_else(|| EvalError::Shape {
+                        op: format!("pairwith[{attr}]"),
+                        expected: "a tuple".into(),
+                        got: input.to_string(),
+                    })?
+                    .to_vec();
+                let coll_val = input.project(attr.as_str())?.clone();
+                let elems = self.items("pairwith", &coll_val)?.to_vec();
+                let mut out = Vec::with_capacity(elems.len());
+                for e in &elems {
+                    let tuple = Value::tuple(fields.iter().map(|(n, v)| {
+                        if n == attr {
+                            (n.clone(), e.clone())
+                        } else {
+                            (n.clone(), v.clone())
+                        }
+                    }));
+                    self.alloc(fields.len() as u64 + 1)?;
+                    out.push(tuple);
+                }
+                self.coll(out)
+            }
+            Expr::MkTuple(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (n, f) in fields {
+                    out.push((n.clone(), self.eval(f, input)?));
+                }
+                self.alloc(fields.len() as u64 + 1)?;
+                Ok(Value::tuple(out))
+            }
+            Expr::Proj(a) => Ok(input.project(a.as_str())?.clone()),
+            Expr::Union(f, g) => {
+                let left = self.eval(f, input)?;
+                let right = self.eval(g, input)?;
+                let mut items = self.items("union", &left)?.to_vec();
+                items.extend_from_slice(self.items("union", &right)?);
+                self.coll(items)
+            }
+            Expr::Pred(c) => {
+                let b = self.eval_cond(c, input)?;
+                self.coll(if b { vec![Value::unit()] } else { Vec::new() })
+            }
+            Expr::Select(c) => {
+                let xs = self.items("select", input)?.to_vec();
+                let mut out = Vec::new();
+                for x in &xs {
+                    self.step()?;
+                    if self.eval_cond(c, x)? {
+                        out.push(x.clone());
+                    }
+                }
+                self.coll(out)
+            }
+            Expr::Not => {
+                let xs = self.items("not", input)?;
+                let empty = xs.is_empty();
+                self.coll(if empty { vec![Value::unit()] } else { Vec::new() })
+            }
+            Expr::True => {
+                let xs = self.items("true", input)?;
+                let nonempty = !xs.is_empty();
+                self.coll(if nonempty { vec![Value::unit()] } else { Vec::new() })
+            }
+            Expr::Diff(f, g) => {
+                let left = self.eval(f, input)?;
+                let right = self.eval(g, input)?;
+                let rs = self.items("difference", &right)?;
+                let ls = self.items("difference", &left)?;
+                let mut out = Vec::new();
+                for x in ls {
+                    self.step()?;
+                    if !rs.contains(x) {
+                        out.push(x.clone());
+                    }
+                }
+                self.coll(out)
+            }
+            Expr::Intersect(f, g) => {
+                let left = self.eval(f, input)?;
+                let right = self.eval(g, input)?;
+                let rs = self.items("intersection", &right)?;
+                let ls = self.items("intersection", &left)?;
+                let mut out = Vec::new();
+                for x in ls {
+                    self.step()?;
+                    if rs.contains(x) {
+                        out.push(x.clone());
+                    }
+                }
+                self.coll(out)
+            }
+            Expr::Nest { collect, into } => self.eval_nest(collect, into, input),
+            Expr::Monus(f, g) => {
+                if self.kind != CollectionKind::Bag {
+                    return Err(EvalError::Unsupported {
+                        op: "monus".into(),
+                        kind: self.kind,
+                    });
+                }
+                let left = self.eval(f, input)?;
+                let right = self.eval(g, input)?;
+                // Both canonically sorted; a merge walk computes
+                // multiplicity max(0, #left − #right).
+                let ls = self.items("monus", &left)?;
+                let rs = self.items("monus", &right)?;
+                let mut out = Vec::new();
+                let (mut i, mut j) = (0, 0);
+                while i < ls.len() {
+                    self.step()?;
+                    match (j < rs.len()).then(|| ls[i].cmp(&rs[j])) {
+                        Some(std::cmp::Ordering::Greater) => j += 1,
+                        Some(std::cmp::Ordering::Equal) => {
+                            i += 1;
+                            j += 1;
+                        }
+                        _ => {
+                            out.push(ls[i].clone());
+                            i += 1;
+                        }
+                    }
+                }
+                self.coll(out)
+            }
+            Expr::Unique => {
+                let xs = self.items("unique", input)?;
+                let mut out: Vec<Value> = Vec::new();
+                match self.kind {
+                    // Canonically sorted: adjacent dedup suffices.
+                    CollectionKind::Set | CollectionKind::Bag => {
+                        for x in xs {
+                            if out.last() != Some(x) {
+                                out.push(x.clone());
+                            }
+                        }
+                    }
+                    // Keep first occurrences in order.
+                    CollectionKind::List => {
+                        for x in xs {
+                            if !out.contains(x) {
+                                out.push(x.clone());
+                            }
+                        }
+                    }
+                }
+                self.coll(out)
+            }
+            Expr::DescMap => {
+                let mut out = Vec::new();
+                self.descmap(input, &mut out)?;
+                self.coll(out)
+            }
+        }
+    }
+
+    fn descmap(&mut self, tree_val: &Value, out: &mut Vec<Value>) -> Result<(), EvalError> {
+        self.step()?;
+        out.push(tree_val.clone());
+        let children = tree_val.project("children")?.clone();
+        for c in self.items("descmap", &children)?.to_vec() {
+            self.descmap(&c, out)?;
+        }
+        Ok(())
+    }
+
+    fn eval_nest(
+        &mut self,
+        collect: &[cv_value::Atom],
+        into: &cv_value::Atom,
+        input: &Value,
+    ) -> Result<Value, EvalError> {
+        let xs = self.items("nest", input)?.to_vec();
+        // Group rows by the key attributes (those not collected), in first
+        // occurrence order; gather the collected attributes per group.
+        let mut order: Vec<Value> = Vec::new();
+        let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
+        for x in &xs {
+            self.step()?;
+            let fields = x.as_tuple().ok_or_else(|| EvalError::Shape {
+                op: "nest".into(),
+                expected: "a collection of tuples".into(),
+                got: x.to_string(),
+            })?;
+            let key = Value::tuple(
+                fields
+                    .iter()
+                    .filter(|(n, _)| !collect.contains(n))
+                    .map(|(n, v)| (n.clone(), v.clone())),
+            );
+            let collected = Value::tuple(
+                fields
+                    .iter()
+                    .filter(|(n, _)| collect.contains(n))
+                    .map(|(n, v)| (n.clone(), v.clone())),
+            );
+            self.alloc(fields.len() as u64 + 2)?;
+            groups
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    order.push(key.clone());
+                    Vec::new()
+                })
+                .push(collected);
+        }
+        let mut out = Vec::with_capacity(order.len());
+        for key in order {
+            let members = groups.remove(&key).expect("key recorded in order");
+            let nested = Value::collection(self.kind, members);
+            let mut fields: Vec<(cv_value::Atom, Value)> = key
+                .as_tuple()
+                .expect("key built as tuple")
+                .to_vec();
+            fields.push((into.clone(), nested));
+            self.alloc(fields.len() as u64 + 1)?;
+            out.push(Value::tuple(fields));
+        }
+        self.coll(out)
+    }
+
+    fn resolve<'v>(&self, operand: &'v Operand, ctx: &'v Value) -> Result<Value, EvalError> {
+        match operand {
+            Operand::Path(p) => Ok(ctx
+                .project_path(p.iter().map(|a| a.as_str()))?
+                .clone()),
+            Operand::Const(v) => Ok(v.clone()),
+        }
+    }
+
+    /// Evaluates a condition against a context value.
+    pub fn eval_cond(&mut self, cond: &Cond, ctx: &Value) -> Result<bool, EvalError> {
+        self.step()?;
+        match cond {
+            Cond::True => Ok(true),
+            Cond::Eq(a, b, mode) => {
+                let va = self.resolve(a, ctx)?;
+                let vb = self.resolve(b, ctx)?;
+                match mode {
+                    EqMode::Atomic => Ok(va.atomic_eq(&vb)?),
+                    EqMode::Mon => Ok(va.mon_eq(&vb)?),
+                    EqMode::Deep => Ok(va.deep_eq(&vb)),
+                }
+            }
+            Cond::In(a, b) => {
+                let va = self.resolve(a, ctx)?;
+                let vb = self.resolve(b, ctx)?;
+                Ok(vb.items()?.contains(&va))
+            }
+            Cond::Subset(a, b) => {
+                let va = self.resolve(a, ctx)?;
+                let vb = self.resolve(b, ctx)?;
+                let bs = vb.items()?;
+                Ok(va.items()?.iter().all(|x| bs.contains(x)))
+            }
+            Cond::And(a, b) => Ok(self.eval_cond(a, ctx)? && self.eval_cond(b, ctx)?),
+            Cond::Or(a, b) => Ok(self.eval_cond(a, ctx)? || self.eval_cond(b, ctx)?),
+            Cond::Not(a) => Ok(!self.eval_cond(a, ctx)?),
+        }
+    }
+}
+
+/// Evaluates `expr` on `input` under the default budget.
+pub fn eval(expr: &Expr, kind: CollectionKind, input: &Value) -> Result<Value, EvalError> {
+    Evaluator::new(kind).eval(expr, input)
+}
+
+/// Evaluates with an explicit budget, returning the statistics as well.
+pub fn eval_with(
+    expr: &Expr,
+    kind: CollectionKind,
+    input: &Value,
+    budget: Budget,
+) -> Result<(Value, EvalStats), EvalError> {
+    let mut ev = Evaluator::with_budget(kind, budget);
+    let v = ev.eval(expr, input)?;
+    Ok((v, ev.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operand;
+    use cv_value::parse_value;
+
+    fn a(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    fn ev(e: &Expr, input: &str) -> Value {
+        eval(e, CollectionKind::Set, &parse_value(input).unwrap()).unwrap()
+    }
+
+    fn ev_list(e: &Expr, input: &str) -> Value {
+        eval(e, CollectionKind::List, &parse_value(input).unwrap()).unwrap()
+    }
+
+    fn ev_bag(e: &Expr, input: &str) -> Value {
+        eval(e, CollectionKind::Bag, &parse_value(input).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn id_and_const() {
+        assert_eq!(ev(&Expr::Id, "{1, 2}"), parse_value("{1, 2}").unwrap());
+        assert_eq!(ev(&Expr::atom("c"), "{1}"), a("c"));
+        assert_eq!(ev(&Expr::EmptyColl, "x"), Value::set([]));
+        assert_eq!(ev_list(&Expr::EmptyColl, "x"), Value::list([]));
+    }
+
+    #[test]
+    fn sng_wraps() {
+        assert_eq!(ev(&Expr::Sng, "7"), parse_value("{7}").unwrap());
+        assert_eq!(ev_list(&Expr::Sng, "7"), parse_value("[7]").unwrap());
+        assert_eq!(ev_bag(&Expr::Sng, "7"), parse_value("{|7|}").unwrap());
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let e = Expr::Sng.mapped();
+        assert_eq!(ev(&e, "{1, 2}"), parse_value("{{1}, {2}}").unwrap());
+        // Lists preserve order.
+        assert_eq!(ev_list(&e, "[2, 1]"), parse_value("[[2], [1]]").unwrap());
+    }
+
+    #[test]
+    fn flatten_per_kind() {
+        assert_eq!(
+            ev(&Expr::Flatten, "{{1, 2}, {2, 3}}"),
+            parse_value("{1, 2, 3}").unwrap()
+        );
+        assert_eq!(
+            ev_list(&Expr::Flatten, "[[1, 2], [2]]"),
+            parse_value("[1, 2, 2]").unwrap()
+        );
+        assert_eq!(
+            ev_bag(&Expr::Flatten, "{|{|1|}, {|1|}|}"),
+            parse_value("{|1, 1|}").unwrap()
+        );
+    }
+
+    #[test]
+    fn union_per_kind() {
+        let e = Expr::konst(parse_value("{1, 2}").unwrap())
+            .union(Expr::konst(parse_value("{2, 3}").unwrap()));
+        assert_eq!(ev(&e, "<>"), parse_value("{1, 2, 3}").unwrap());
+        let e = Expr::konst(parse_value("[1]").unwrap())
+            .union(Expr::konst(parse_value("[1]").unwrap()));
+        assert_eq!(ev_list(&e, "<>"), parse_value("[1, 1]").unwrap());
+    }
+
+    #[test]
+    fn pairwith_distributes() {
+        // Paper §2.2 operation (7).
+        let e = Expr::pairwith("A");
+        assert_eq!(
+            ev(&e, "<A: {1, 2}, B: x>"),
+            parse_value("{<A: 1, B: x>, <A: 2, B: x>}").unwrap()
+        );
+        // Empty collection gives the empty result.
+        assert_eq!(ev(&e, "<A: {}, B: x>"), Value::set([]));
+        // Attribute order of the tuple is preserved.
+        let e = Expr::pairwith("B");
+        assert_eq!(
+            ev(&e, "<A: x, B: {1}>"),
+            parse_value("{<A: x, B: 1>}").unwrap()
+        );
+    }
+
+    #[test]
+    fn tuple_formation_and_projection() {
+        let e = Expr::mk_tuple([("A", Expr::Id), ("B", Expr::Sng)]);
+        assert_eq!(ev(&e, "7"), parse_value("<A: 7, B: {7}>").unwrap());
+        assert_eq!(ev(&Expr::proj("A"), "<A: 1, B: 2>"), a("1"));
+        assert_eq!(
+            ev(&Expr::proj_path("A.B"), "<A: <B: hit>>"),
+            a("hit")
+        );
+    }
+
+    #[test]
+    fn cartesian_product_example_2_1() {
+        // f × g = ⟨1: f, 2: g⟩ ∘ pairwith1 ∘ flatmap(pairwith2)
+        let product = Expr::mk_tuple([("1", Expr::Id), ("2", Expr::Id)])
+            .then(Expr::pairwith("1"))
+            .then(Expr::flatmap(Expr::pairwith("2")));
+        let got = ev(&product, "{a, b}");
+        assert_eq!(
+            got,
+            parse_value("{<1: a, 2: a>, <1: a, 2: b>, <1: b, 2: a>, <1: b, 2: b>}").unwrap()
+        );
+    }
+
+    #[test]
+    fn predicates_and_truth() {
+        let e = Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B")));
+        assert_eq!(ev(&e, "<A: 1, B: 1>"), Value::truth(CollectionKind::Set));
+        assert_eq!(ev(&e, "<A: 1, B: 2>"), Value::empty(CollectionKind::Set));
+        // =atomic on non-atoms errors out.
+        let r = eval(
+            &e,
+            CollectionKind::Set,
+            &parse_value("<A: {1}, B: {1}>").unwrap(),
+        );
+        assert!(matches!(r, Err(EvalError::Value(_))));
+    }
+
+    #[test]
+    fn deep_equality_cond() {
+        let e = Expr::Pred(Cond::eq_deep(Operand::path("A"), Operand::path("B")));
+        assert!(ev(&e, "<A: {1, 2}, B: {2, 1}>").is_true());
+        assert!(!ev(&e, "<A: {1}, B: {1, 2}>").is_true());
+    }
+
+    #[test]
+    fn select_filters() {
+        let e = Expr::Select(Cond::eq_atomic(Operand::path("A"), Operand::path("B")));
+        assert_eq!(
+            ev(&e, "{<A: 1, B: 1>, <A: 1, B: 2>}"),
+            parse_value("{<A: 1, B: 1>}").unwrap()
+        );
+        // Selection against a constant.
+        let e = Expr::Select(Cond::eq_atomic(Operand::path("A"), Operand::atom("1")));
+        assert_eq!(
+            ev(&e, "{<A: 1>, <A: 2>}"),
+            parse_value("{<A: 1>}").unwrap()
+        );
+    }
+
+    #[test]
+    fn not_and_true_ops() {
+        assert!(ev(&Expr::Not, "{}").is_true());
+        assert!(!ev(&Expr::Not, "{1}").is_true());
+        assert!(ev_list(&Expr::True, "[<>, <>]").is_true());
+        assert_eq!(
+            ev_list(&Expr::True, "[<>, <>]"),
+            parse_value("[<>]").unwrap(),
+            "true normalizes duplicate truth entries (§2.3)"
+        );
+        assert!(!ev_list(&Expr::True, "[]").is_true());
+    }
+
+    #[test]
+    fn diff_and_intersect() {
+        let l = Expr::proj("R");
+        let r = Expr::proj("S");
+        let diff = Expr::Diff(l.clone().into(), r.clone().into());
+        let inter = Expr::Intersect(l.into(), r.into());
+        assert_eq!(
+            ev(&diff, "<R: {1, 2, 3}, S: {2}>"),
+            parse_value("{1, 3}").unwrap()
+        );
+        assert_eq!(
+            ev(&inter, "<R: {1, 2, 3}, S: {2, 4}>"),
+            parse_value("{2}").unwrap()
+        );
+        // On lists, difference preserves order (Prop 5.13).
+        assert_eq!(
+            ev_list(
+                &Expr::Diff(Expr::proj("R").into(), Expr::proj("S").into()),
+                "<R: [3, 1, 2, 1], S: [1]>"
+            ),
+            parse_value("[3, 2]").unwrap()
+        );
+    }
+
+    #[test]
+    fn monus_matches_paper_example() {
+        // {|a,a,a,b,b,b,c,d|} monus {|a,a,b,c,e|} = {|a,b,b,d|} (§2.3)
+        let e = Expr::Monus(
+            Expr::proj("1").into(),
+            Expr::proj("2").into(),
+        );
+        assert_eq!(
+            ev_bag(&e, "<1: {|a, a, a, b, b, b, c, d|}, 2: {|a, a, b, c, e|}>"),
+            parse_value("{|a, b, b, d|}").unwrap()
+        );
+        // monus is bag-only.
+        let r = eval(
+            &e,
+            CollectionKind::Set,
+            &parse_value("<1: {a}, 2: {a}>").unwrap(),
+        );
+        assert!(matches!(r, Err(EvalError::Unsupported { .. })));
+    }
+
+    #[test]
+    fn unique_eliminates_duplicates() {
+        assert_eq!(
+            ev_bag(&Expr::Unique, "{|a, a, b|}"),
+            parse_value("{|a, b|}").unwrap()
+        );
+        assert_eq!(
+            ev_list(&Expr::Unique, "[b, a, b, a]"),
+            parse_value("[b, a]").unwrap()
+        );
+    }
+
+    #[test]
+    fn nest_groups_by_remaining_attributes() {
+        // nest_{C=(B)}(R) on R(AB), footnote 5.
+        let e = Expr::Nest {
+            collect: vec!["B".into()],
+            into: "C".into(),
+        };
+        let got = ev(&e, "{<A: 1, B: x>, <A: 1, B: y>, <A: 2, B: x>}");
+        assert_eq!(
+            got,
+            parse_value("{<A: 1, C: {<B: x>, <B: y>}>, <A: 2, C: {<B: x>}>}").unwrap()
+        );
+    }
+
+    #[test]
+    fn membership_and_subset_conditions() {
+        let e = Expr::Pred(Cond::In(Operand::path("A"), Operand::path("B")));
+        assert!(ev(&e, "<A: 1, B: {1, 2}>").is_true());
+        assert!(!ev(&e, "<A: 3, B: {1, 2}>").is_true());
+        let e = Expr::Pred(Cond::Subset(Operand::path("A"), Operand::path("B")));
+        assert!(ev(&e, "<A: {1}, B: {1, 2}>").is_true());
+        assert!(!ev(&e, "<A: {1, 3}, B: {1, 2}>").is_true());
+    }
+
+    #[test]
+    fn boolean_conditions() {
+        let t = Cond::True;
+        let f = Cond::True.negate();
+        let cases = [
+            (t.clone().and(t.clone()), true),
+            (t.clone().and(f.clone()), false),
+            (f.clone().or(t.clone()), true),
+            (f.clone().or(f.clone()), false),
+            (Cond::iff(t.clone(), t.clone()), true),
+            (Cond::iff(t, f), false),
+        ];
+        let unit = Value::unit();
+        for (c, want) in cases {
+            let mut evl = Evaluator::new(CollectionKind::Set);
+            assert_eq!(evl.eval_cond(&c, &unit).unwrap(), want, "{c}");
+        }
+    }
+
+    #[test]
+    fn descmap_lists_subtrees_in_document_order() {
+        // C(<a><b/><c/></a>) = ⟨label: a, children: [⟨label: b, ...⟩, ...]⟩
+        let v = parse_value(
+            "<label: a, children: [<label: b, children: []>, <label: c, children: []>]>",
+        )
+        .unwrap();
+        let got = eval(&Expr::DescMap, CollectionKind::List, &v).unwrap();
+        let items = got.items().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], v);
+        assert_eq!(items[1].project("label").unwrap(), &a("b"));
+        assert_eq!(items[2].project("label").unwrap(), &a("c"));
+    }
+
+    #[test]
+    fn budget_stops_runaway_queries() {
+        // id × id iterated: doubly exponential (Prop 4.2).
+        let two = Expr::konst(parse_value("{0, 1}").unwrap());
+        let product = Expr::mk_tuple([("1", Expr::Id), ("2", Expr::Id)])
+            .then(Expr::pairwith("1"))
+            .then(Expr::flatmap(Expr::pairwith("2")));
+        let mut q = two;
+        for _ in 0..8 {
+            q = q.then(product.clone());
+        }
+        let r = eval_with(
+            &q,
+            CollectionKind::Set,
+            &Value::unit(),
+            Budget {
+                max_steps: 100_000,
+                max_nodes: 100_000,
+            },
+        );
+        assert!(matches!(r, Err(EvalError::Budget { .. })));
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let (v, stats) = eval_with(
+            &Expr::Sng,
+            CollectionKind::Set,
+            &a("x"),
+            Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(v, Value::set([a("x")]));
+        assert!(stats.steps >= 1);
+        assert!(stats.nodes_allocated >= 2);
+    }
+
+    #[test]
+    fn shape_errors_are_descriptive() {
+        let r = eval(&Expr::Flatten, CollectionKind::Set, &a("x"));
+        match r {
+            Err(EvalError::Shape { op, .. }) => assert_eq!(op, "flatten"),
+            other => panic!("expected shape error, got {other:?}"),
+        }
+        let r = eval(&Expr::proj("A"), CollectionKind::Set, &a("x"));
+        assert!(matches!(r, Err(EvalError::Value(ValueError::NotATuple(_)))));
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        // A list evaluator refuses set inputs to collection ops.
+        let r = eval(
+            &Expr::Flatten,
+            CollectionKind::List,
+            &parse_value("{{1}}").unwrap(),
+        );
+        assert!(matches!(r, Err(EvalError::Shape { .. })));
+    }
+}

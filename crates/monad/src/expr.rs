@@ -1,0 +1,530 @@
+//! Abstract syntax of monad algebra expressions.
+
+use cv_value::{Atom, Value};
+use std::fmt;
+use std::rc::Rc;
+
+/// Which equality predicate an [`Expr::Pred`]/[`Cond::Eq`] uses (§2.2, §5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum EqMode {
+    /// `=atomic` — defined on atoms only.
+    Atomic,
+    /// `=mon` — the monotone extension of `=atomic` to collection-free
+    /// values (Proposition 5.1). Treated as a built-in for the Lemma 5.7(b)
+    /// linear-size reductions.
+    Mon,
+    /// `=deep` — full deep equality of complex values.
+    Deep,
+}
+
+impl fmt::Display for EqMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EqMode::Atomic => "=atomic",
+            EqMode::Mon => "=mon",
+            EqMode::Deep => "=deep",
+        })
+    }
+}
+
+/// One side of a condition: an attribute path evaluated against the
+/// context value, or a constant.
+///
+/// The paper's `(Ai = Aj)` predicate uses attribute operands; its proofs
+/// freely use dotted paths (`σ_{1.V = 2.V}`, `π_{A1.···.Am}`, §5.2) and
+/// comparisons against constants (`σ_{q =atomic f1}`), which by the remark
+/// after Theorem 2.2 do not add expressive power.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// A (possibly empty, possibly dotted) attribute path from the context
+    /// value; the empty path denotes the context value itself.
+    Path(Vec<Atom>),
+    /// A constant complex value.
+    Const(Value),
+}
+
+impl Operand {
+    /// The context value itself (empty path).
+    pub fn this() -> Operand {
+        Operand::Path(Vec::new())
+    }
+
+    /// A dotted attribute path, given as `"A.B.C"` or single attribute.
+    pub fn path(dotted: &str) -> Operand {
+        if dotted.is_empty() {
+            Operand::this()
+        } else {
+            Operand::Path(dotted.split('.').map(Atom::new).collect())
+        }
+    }
+
+    /// A constant operand.
+    pub fn konst(v: Value) -> Operand {
+        Operand::Const(v)
+    }
+
+    /// A constant atom operand.
+    pub fn atom(a: impl Into<Atom>) -> Operand {
+        Operand::Const(Value::atom(a))
+    }
+
+    /// Number of syntax nodes, for query-size accounting.
+    pub fn size(&self) -> u64 {
+        match self {
+            Operand::Path(p) => 1 + p.len() as u64,
+            Operand::Const(v) => v.node_count(),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Path(p) if p.is_empty() => f.write_str("id"),
+            Operand::Path(p) => {
+                for (i, a) in p.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(".")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                Ok(())
+            }
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Conditions for predicates ([`Expr::Pred`]) and selections
+/// ([`Expr::Select`]): equalities, membership, containment, and Boolean
+/// combinations (all covered by the remark following Theorem 2.2).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// `a = b` under the given equality mode.
+    Eq(Operand, Operand, EqMode),
+    /// `a ∈ b` — membership of `a`'s value in the collection `b`.
+    In(Operand, Operand),
+    /// `a ⊆ b` — containment between two collections.
+    Subset(Operand, Operand),
+    /// Conjunction.
+    And(Rc<Cond>, Rc<Cond>),
+    /// Disjunction.
+    Or(Rc<Cond>, Rc<Cond>),
+    /// Negation (only available in the nonmonotone language).
+    Not(Rc<Cond>),
+    /// The constant true condition.
+    True,
+}
+
+impl Cond {
+    /// `a = b` with [`EqMode::Atomic`].
+    pub fn eq_atomic(a: Operand, b: Operand) -> Cond {
+        Cond::Eq(a, b, EqMode::Atomic)
+    }
+
+    /// `a = b` with [`EqMode::Mon`].
+    pub fn eq_mon(a: Operand, b: Operand) -> Cond {
+        Cond::Eq(a, b, EqMode::Mon)
+    }
+
+    /// `a = b` with [`EqMode::Deep`].
+    pub fn eq_deep(a: Operand, b: Operand) -> Cond {
+        Cond::Eq(a, b, EqMode::Deep)
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Cond) -> Cond {
+        Cond::And(Rc::new(self), Rc::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Cond) -> Cond {
+        Cond::Or(Rc::new(self), Rc::new(other))
+    }
+
+    /// Negation helper.
+    pub fn negate(self) -> Cond {
+        Cond::Not(Rc::new(self))
+    }
+
+    /// Logical biconditional `a ⇔ b`, desugared to `(a∧b) ∨ (¬a∧¬b)` — used
+    /// by the Theorem 5.9 selector `σ_{1.C.q∈Q∃ ⇔ 2.C.q∈Q∃}`.
+    pub fn iff(a: Cond, b: Cond) -> Cond {
+        a.clone().and(b.clone()).or(a.negate().and(b.negate()))
+    }
+
+    /// Disjunction of a nonempty list of conditions.
+    pub fn any(conds: impl IntoIterator<Item = Cond>) -> Cond {
+        let mut it = conds.into_iter();
+        let first = it.next().expect("Cond::any of an empty list");
+        it.fold(first, |acc, c| acc.or(c))
+    }
+
+    /// Conjunction of a nonempty list of conditions.
+    pub fn all(conds: impl IntoIterator<Item = Cond>) -> Cond {
+        let mut it = conds.into_iter();
+        let first = it.next().expect("Cond::all of an empty list");
+        it.fold(first, |acc, c| acc.and(c))
+    }
+
+    /// Whether the condition uses negation (`Not`), which takes an
+    /// expression outside the monotone fragment.
+    pub fn uses_negation(&self) -> bool {
+        match self {
+            Cond::Not(_) => true,
+            Cond::And(a, b) | Cond::Or(a, b) => a.uses_negation() || b.uses_negation(),
+            _ => false,
+        }
+    }
+
+    /// Number of syntax nodes.
+    pub fn size(&self) -> u64 {
+        match self {
+            Cond::Eq(a, b, _) | Cond::In(a, b) | Cond::Subset(a, b) => 1 + a.size() + b.size(),
+            Cond::And(a, b) | Cond::Or(a, b) => 1 + a.size() + b.size(),
+            Cond::Not(a) => 1 + a.size(),
+            Cond::True => 1,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Eq(a, b, m) => write!(f, "{a} {m} {b}"),
+            Cond::In(a, b) => write!(f, "{a} in {b}"),
+            Cond::Subset(a, b) => write!(f, "{a} subseteq {b}"),
+            Cond::And(a, b) => write!(f, "({a} and {b})"),
+            Cond::Or(a, b) => write!(f, "({a} or {b})"),
+            Cond::Not(a) => write!(f, "not({a})"),
+            Cond::True => f.write_str("true"),
+        }
+    }
+}
+
+/// A monad algebra expression, denoting a function from values to values.
+///
+/// Composition is written in the paper's diagrammatic order:
+/// `(f ∘ g)(x) = g(f(x))` — `f` runs first.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// `id : τ → τ`.
+    Id,
+    /// Composition `f ∘ g` (apply `f`, then `g`).
+    Compose(Rc<Expr>, Rc<Expr>),
+    /// A constant from `Dom ∪ {∅, ⟨⟩}` or any other value literal
+    /// (Proposition 4.1: values can be built from scratch anyway).
+    Const(Value),
+    /// The polymorphic empty collection `∅` / `[]` / `{||}` — its kind is
+    /// the evaluator's collection kind.
+    EmptyColl,
+    /// Singleton construction `sng : τ → {τ}`.
+    Sng,
+    /// `map(f) : {τ} → {τ′}` applies `f` to every member.
+    Map(Rc<Expr>),
+    /// `flatten : {{τ}} → {τ}` (union / concatenation / additive union).
+    Flatten,
+    /// `pairwith_A : ⟨A: {τ}, ...⟩ → {⟨A: τ, ...⟩}` (tensorial strength).
+    PairWith(Atom),
+    /// Tuple formation `⟨A1: f1, ..., An: fn⟩`.
+    MkTuple(Vec<(Atom, Expr)>),
+    /// Projection `π_A` on tuples.
+    Proj(Atom),
+    /// Union `f ∪ g : x ↦ f(x) ∪ g(x)`.
+    Union(Rc<Expr>, Rc<Expr>),
+    /// A predicate `γ : τ → {⟨⟩}` from a condition on the input value
+    /// (covers the paper's `(Ai = Aj)`, `(A ∈ B)`, `(A ⊆ B)`).
+    Pred(Cond),
+    /// Selection `σ_γ : {τ} → {τ}` keeping members satisfying `γ`.
+    Select(Cond),
+    /// Boolean negation `not : {τ} → {⟨⟩}` — empty ↦ true, nonempty ↦ false.
+    Not,
+    /// The `true` operation of §2.3: nonempty ↦ `[⟨⟩]`, empty ↦ `[]`.
+    /// (Duplicate-eliminating truth-value normalizer.)
+    True,
+    /// Difference `f − g`: members of `f(x)` with no `=deep`-equal member
+    /// in `g(x)` (order/multiplicity from `f(x)`, cf. Prop 5.13).
+    Diff(Rc<Expr>, Rc<Expr>),
+    /// Intersection `f ∩ g`: members of `f(x)` with an `=deep`-equal member
+    /// in `g(x)`.
+    Intersect(Rc<Expr>, Rc<Expr>),
+    /// `nest_{A=(B1,...,Bm)}`: group a collection of tuples by all
+    /// attributes *not* in `collect`, gathering the `collect` attributes
+    /// into a collection named `into` (footnote 5).
+    Nest {
+        /// Attributes gathered into the nested collection.
+        collect: Vec<Atom>,
+        /// Name of the new collection-valued attribute.
+        into: Atom,
+    },
+    /// Bag monus `f monus g` (§2.3): multiplicity `max(0, #f − #g)`.
+    Monus(Rc<Expr>, Rc<Expr>),
+    /// Bag duplicate elimination `unique` (§2.3). On lists, keeps first
+    /// occurrences; on sets it is the identity.
+    Unique,
+    /// `descmap` (Theorem 5.5): on a value `C(t)` encoding a tree (a tuple
+    /// `⟨label: a, children: [...]⟩`), the collection of encodings of all
+    /// subtrees of `t` — `t` itself first, then descendants in document
+    /// order.
+    DescMap,
+}
+
+impl Expr {
+    /// Composition in application order: `self ∘ next` (self runs first).
+    pub fn then(self, next: Expr) -> Expr {
+        Expr::Compose(Rc::new(self), Rc::new(next))
+    }
+
+    /// `map(self)`.
+    pub fn mapped(self) -> Expr {
+        Expr::Map(Rc::new(self))
+    }
+
+    /// `f ∪ g`.
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union(Rc::new(self), Rc::new(other))
+    }
+
+    /// Constant atom.
+    pub fn atom(a: impl Into<Atom>) -> Expr {
+        Expr::Const(Value::atom(a))
+    }
+
+    /// Constant value.
+    pub fn konst(v: Value) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Projection.
+    pub fn proj(a: impl Into<Atom>) -> Expr {
+        Expr::Proj(a.into())
+    }
+
+    /// Projection along a dotted path `π_{A1.···.Am}` (§5.2 footnote 13):
+    /// `π_{A1} ∘ ··· ∘ π_{Am}`.
+    pub fn proj_path(dotted: &str) -> Expr {
+        let mut segs = dotted.split('.');
+        let first = Expr::proj(segs.next().expect("empty projection path"));
+        segs.fold(first, |acc, s| acc.then(Expr::proj(s)))
+    }
+
+    /// `pairwith_A`.
+    pub fn pairwith(a: impl Into<Atom>) -> Expr {
+        Expr::PairWith(a.into())
+    }
+
+    /// Tuple formation helper.
+    pub fn mk_tuple<I, S>(fields: I) -> Expr
+    where
+        I: IntoIterator<Item = (S, Expr)>,
+        S: Into<Atom>,
+    {
+        Expr::MkTuple(fields.into_iter().map(|(n, e)| (n.into(), e)).collect())
+    }
+
+    /// `flatmap(f) = map(f) ∘ flatten` (§2.2).
+    pub fn flatmap(f: Expr) -> Expr {
+        f.mapped().then(Expr::Flatten)
+    }
+
+    /// Composition of a chain of expressions, in application order.
+    pub fn chain(parts: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut it = parts.into_iter();
+        let first = it.next().expect("Expr::chain of an empty sequence");
+        it.fold(first, Expr::then)
+    }
+
+    /// Flattens nested compositions into the linear pipeline
+    /// `[f1, f2, ..., fn]` with `f1` applied first.
+    pub fn pipeline(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Compose(f, g) => {
+                    walk(f, out);
+                    walk(g, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Number of operator nodes — the `|Q|` of the paper's size arguments.
+    pub fn size(&self) -> u64 {
+        match self {
+            Expr::Id
+            | Expr::EmptyColl
+            | Expr::Sng
+            | Expr::Flatten
+            | Expr::Not
+            | Expr::True
+            | Expr::Unique
+            | Expr::DescMap => 1,
+            Expr::Const(v) => v.node_count(),
+            Expr::Proj(_) | Expr::PairWith(_) => 1,
+            Expr::Compose(f, g) => f.size() + g.size(),
+            Expr::Map(f) => 1 + f.size(),
+            Expr::MkTuple(fs) => 1 + fs.iter().map(|(_, e)| e.size()).sum::<u64>(),
+            Expr::Union(f, g)
+            | Expr::Diff(f, g)
+            | Expr::Intersect(f, g)
+            | Expr::Monus(f, g) => 1 + f.size() + g.size(),
+            Expr::Pred(c) | Expr::Select(c) => 1 + c.size(),
+            Expr::Nest { collect, .. } => 1 + collect.len() as u64,
+        }
+    }
+
+    /// Whether the expression stays in the monotone fragment
+    /// `M∪[=atomic]` — no `not`, no deep equality, no difference/monus.
+    pub fn is_monotone(&self) -> bool {
+        match self {
+            Expr::Not | Expr::Diff(_, _) | Expr::Monus(_, _) => false,
+            Expr::Pred(c) | Expr::Select(c) => {
+                !c.uses_negation() && !cond_uses_deep(c)
+            }
+            Expr::Compose(f, g) | Expr::Union(f, g) | Expr::Intersect(f, g) => {
+                f.is_monotone() && g.is_monotone()
+            }
+            Expr::Map(f) => f.is_monotone(),
+            Expr::MkTuple(fs) => fs.iter().all(|(_, e)| e.is_monotone()),
+            _ => true,
+        }
+    }
+}
+
+fn cond_uses_deep(c: &Cond) -> bool {
+    match c {
+        Cond::Eq(_, _, EqMode::Deep) => true,
+        // ∈ and ⊆ compare complex values deeply.
+        Cond::In(_, _) | Cond::Subset(_, _) => true,
+        Cond::And(a, b) | Cond::Or(a, b) => cond_uses_deep(a) || cond_uses_deep(b),
+        Cond::Not(a) => cond_uses_deep(a),
+        _ => false,
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Id => f.write_str("id"),
+            Expr::Compose(a, b) => write!(f, "{a} o {b}"),
+            Expr::Const(v) => write!(f, "const({v})"),
+            Expr::EmptyColl => f.write_str("empty"),
+            Expr::Sng => f.write_str("sng"),
+            Expr::Map(e) => write!(f, "map({e})"),
+            Expr::Flatten => f.write_str("flatten"),
+            Expr::PairWith(a) => write!(f, "pairwith[{a}]"),
+            Expr::MkTuple(fs) => {
+                f.write_str("<")?;
+                for (i, (n, e)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{n}: {e}")?;
+                }
+                f.write_str(">")
+            }
+            Expr::Proj(a) => write!(f, "pi[{a}]"),
+            Expr::Union(a, b) => write!(f, "({a} U {b})"),
+            Expr::Pred(c) => write!(f, "pred[{c}]"),
+            Expr::Select(c) => write!(f, "sigma[{c}]"),
+            Expr::Not => f.write_str("not"),
+            Expr::True => f.write_str("true"),
+            Expr::Diff(a, b) => write!(f, "({a} - {b})"),
+            Expr::Intersect(a, b) => write!(f, "({a} & {b})"),
+            Expr::Nest { collect, into } => {
+                write!(f, "nest[{into}=(")?;
+                for (i, a) in collect.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")]")
+            }
+            Expr::Monus(a, b) => write!(f, "({a} monus {b})"),
+            Expr::Unique => f.write_str("unique"),
+            Expr::DescMap => f.write_str("descmap"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_linearizes_compositions() {
+        let e = Expr::chain([Expr::Id, Expr::Sng, Expr::Flatten]);
+        let pipe = e.pipeline();
+        assert_eq!(pipe.len(), 3);
+        assert_eq!(pipe[0], &Expr::Id);
+        assert_eq!(pipe[2], &Expr::Flatten);
+    }
+
+    #[test]
+    fn size_counts_operators() {
+        assert_eq!(Expr::Id.size(), 1);
+        assert_eq!(Expr::Id.then(Expr::Sng).size(), 2);
+        assert_eq!(Expr::Sng.mapped().size(), 2);
+        let t = Expr::mk_tuple([("A", Expr::Id), ("B", Expr::Sng)]);
+        assert_eq!(t.size(), 3);
+    }
+
+    #[test]
+    fn proj_path_builds_composition() {
+        let e = Expr::proj_path("A.B.C");
+        assert_eq!(e.pipeline().len(), 3);
+        assert_eq!(e.to_string(), "pi[A] o pi[B] o pi[C]");
+    }
+
+    #[test]
+    fn monotone_fragment_detection() {
+        assert!(Expr::Sng.is_monotone());
+        assert!(!Expr::Not.is_monotone());
+        let sel_atomic = Expr::Select(Cond::eq_atomic(Operand::path("A"), Operand::path("B")));
+        assert!(sel_atomic.is_monotone());
+        let sel_deep = Expr::Select(Cond::eq_deep(Operand::path("A"), Operand::path("B")));
+        assert!(!sel_deep.is_monotone());
+        let not_in_cond = Expr::Select(
+            Cond::eq_atomic(Operand::path("A"), Operand::path("B")).negate(),
+        );
+        assert!(!not_in_cond.is_monotone());
+        assert!(!Expr::Diff(Rc::new(Expr::Id), Rc::new(Expr::Id)).is_monotone());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::flatmap(Expr::pairwith("2"));
+        assert_eq!(e.to_string(), "map(pairwith[2]) o flatten");
+        let c = Cond::eq_atomic(Operand::path("1.V"), Operand::path("2.V"));
+        assert_eq!(Expr::Select(c).to_string(), "sigma[1.V =atomic 2.V]");
+    }
+
+    #[test]
+    fn iff_desugars_to_boolean_combination() {
+        let a = Cond::True;
+        let b = Cond::True;
+        let c = Cond::iff(a, b);
+        assert!(matches!(c, Cond::Or(_, _)));
+    }
+
+    #[test]
+    fn cond_helpers() {
+        let c = Cond::any([Cond::True, Cond::True, Cond::True]);
+        assert_eq!(c.size(), 5);
+        let c = Cond::all([Cond::True, Cond::True]);
+        assert_eq!(c.size(), 3);
+        assert!(Cond::True.negate().uses_negation());
+        assert!(!Cond::True.uses_negation());
+    }
+
+    #[test]
+    fn operand_display() {
+        assert_eq!(Operand::this().to_string(), "id");
+        assert_eq!(Operand::path("A.B").to_string(), "A.B");
+        assert_eq!(Operand::atom("q0").to_string(), "q0");
+    }
+}

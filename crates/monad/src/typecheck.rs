@@ -1,0 +1,537 @@
+//! A structural type checker for monad algebra expressions.
+//!
+//! Each well-typed expression denotes a function `τ → τ′` (§2.2 gives the
+//! typing rules alongside the operations). The checker is kind-polymorphic:
+//! the same expression is checked with the set, list, or bag constructor
+//! as its collection former.
+//!
+//! The empty-collection constant is polymorphic; its element type is
+//! [`Type::Any`], which joins with every type ([`Type::join`]). Checking is
+//! *approximate above `Any`*: once a value's type is unknown, downstream
+//! structure is not re-checked (the evaluator still enforces shapes
+//! dynamically). `descmap` consumes the inherently recursive tree-encoding
+//! type, which the paper's (and our) type grammar cannot express, so it is
+//! typed `τ → C(Any)`.
+
+use crate::{Cond, EqMode, Expr, Operand};
+use cv_value::{CollectionKind, Type, Value, ValueKind};
+
+/// A type-checking failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// An operation was applied at an incompatible input type.
+    Mismatch {
+        /// The operation.
+        op: String,
+        /// What it expected.
+        expected: String,
+        /// The actual input type.
+        got: Type,
+    },
+    /// A projection or pairwith referenced a missing attribute.
+    NoSuchAttribute {
+        /// The operation.
+        op: String,
+        /// The attribute.
+        attr: String,
+        /// The tuple type searched.
+        ty: Type,
+    },
+    /// Two types that must agree (e.g. union branches) do not join.
+    NoJoin {
+        /// The operation.
+        op: String,
+        /// Left type.
+        left: Type,
+        /// Right type.
+        right: Type,
+    },
+    /// A constant collection has members of incompatible types.
+    HeterogeneousConstant(String),
+    /// The operation is undefined for the active collection kind.
+    Unsupported {
+        /// The operation.
+        op: String,
+        /// The active kind.
+        kind: CollectionKind,
+    },
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeError::Mismatch { op, expected, got } => {
+                write!(f, "{op}: expected {expected}, got {got}")
+            }
+            TypeError::NoSuchAttribute { op, attr, ty } => {
+                write!(f, "{op}: no attribute {attr} in {ty}")
+            }
+            TypeError::NoJoin { op, left, right } => {
+                write!(f, "{op}: incompatible types {left} and {right}")
+            }
+            TypeError::HeterogeneousConstant(v) => {
+                write!(f, "constant collection with mixed member types: {v}")
+            }
+            TypeError::Unsupported { op, kind } => {
+                write!(f, "{op} is not defined on {kind}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn coll(kind: CollectionKind, inner: Type) -> Type {
+    match kind {
+        CollectionKind::Set => Type::set(inner),
+        CollectionKind::List => Type::list(inner),
+        CollectionKind::Bag => Type::bag(inner),
+    }
+}
+
+fn element_of(kind: CollectionKind, op: &str, t: &Type) -> Result<Type, TypeError> {
+    match (kind, t) {
+        (_, Type::Any) => Ok(Type::Any),
+        (CollectionKind::Set, Type::Set(e))
+        | (CollectionKind::List, Type::List(e))
+        | (CollectionKind::Bag, Type::Bag(e)) => Ok((**e).clone()),
+        _ => Err(TypeError::Mismatch {
+            op: op.to_string(),
+            expected: format!("a {kind} type"),
+            got: t.clone(),
+        }),
+    }
+}
+
+/// Infers the type of a constant value. The collection constructors come
+/// from the value itself, so no ambient kind is needed.
+pub fn type_of_value(v: &Value) -> Result<Type, TypeError> {
+    match v.kind() {
+        ValueKind::Atom(_) => Ok(Type::Dom),
+        ValueKind::Tuple(fs) => Ok(Type::tuple(
+            fs.iter()
+                .map(|(n, fv)| Ok((n.as_str().to_string(), type_of_value(fv)?)))
+                .collect::<Result<Vec<_>, TypeError>>()?,
+        )),
+        ValueKind::Set(xs) | ValueKind::List(xs) | ValueKind::Bag(xs) => {
+            let own_kind = match v.kind() {
+                ValueKind::Set(_) => CollectionKind::Set,
+                ValueKind::List(_) => CollectionKind::List,
+                _ => CollectionKind::Bag,
+            };
+            let mut elem = Type::Any;
+            for x in xs {
+                let tx = type_of_value(x)?;
+                elem = elem
+                    .join(&tx)
+                    .ok_or_else(|| TypeError::HeterogeneousConstant(v.to_string()))?;
+            }
+            Ok(coll(own_kind, elem))
+        }
+    }
+}
+
+fn resolve_operand(op: &str, operand: &Operand, ctx: &Type, _kind: CollectionKind)
+    -> Result<Type, TypeError>
+{
+    match operand {
+        Operand::Const(v) => type_of_value(v),
+        Operand::Path(p) => {
+            let mut cur = ctx.clone();
+            for seg in p {
+                if cur == Type::Any {
+                    return Ok(Type::Any);
+                }
+                cur = cur
+                    .attribute(seg.as_str())
+                    .cloned()
+                    .ok_or_else(|| TypeError::NoSuchAttribute {
+                        op: op.to_string(),
+                        attr: seg.as_str().to_string(),
+                        ty: cur.clone(),
+                    })?;
+            }
+            Ok(cur)
+        }
+    }
+}
+
+fn check_cond(cond: &Cond, ctx: &Type, kind: CollectionKind) -> Result<(), TypeError> {
+    match cond {
+        Cond::True => Ok(()),
+        Cond::Eq(a, b, mode) => {
+            let ta = resolve_operand("condition", a, ctx, kind)?;
+            let tb = resolve_operand("condition", b, ctx, kind)?;
+            match mode {
+                EqMode::Atomic => {
+                    for t in [&ta, &tb] {
+                        if !matches!(t, Type::Dom | Type::Any) {
+                            return Err(TypeError::Mismatch {
+                                op: "=atomic".into(),
+                                expected: "Dom".into(),
+                                got: t.clone(),
+                            });
+                        }
+                    }
+                    Ok(())
+                }
+                EqMode::Mon => {
+                    for t in [&ta, &tb] {
+                        if !t.is_collection_free() && *t != Type::Any {
+                            return Err(TypeError::Mismatch {
+                                op: "=mon".into(),
+                                expected: "a collection-free type".into(),
+                                got: t.clone(),
+                            });
+                        }
+                    }
+                    Ok(())
+                }
+                EqMode::Deep => {
+                    ta.join(&tb).ok_or(TypeError::NoJoin {
+                        op: "=deep".into(),
+                        left: ta.clone(),
+                        right: tb.clone(),
+                    })?;
+                    Ok(())
+                }
+            }
+        }
+        Cond::In(a, b) => {
+            let ta = resolve_operand("in", a, ctx, kind)?;
+            let tb = resolve_operand("in", b, ctx, kind)?;
+            let elem = element_of(kind, "in", &tb)?;
+            ta.join(&elem).ok_or(TypeError::NoJoin {
+                op: "in".into(),
+                left: ta,
+                right: elem,
+            })?;
+            Ok(())
+        }
+        Cond::Subset(a, b) => {
+            let ta = resolve_operand("subseteq", a, ctx, kind)?;
+            let tb = resolve_operand("subseteq", b, ctx, kind)?;
+            let ea = element_of(kind, "subseteq", &ta)?;
+            let eb = element_of(kind, "subseteq", &tb)?;
+            ea.join(&eb).ok_or(TypeError::NoJoin {
+                op: "subseteq".into(),
+                left: ea,
+                right: eb,
+            })?;
+            Ok(())
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            check_cond(a, ctx, kind)?;
+            check_cond(b, ctx, kind)
+        }
+        Cond::Not(a) => check_cond(a, ctx, kind),
+    }
+}
+
+/// Infers the output type of `expr` at input type `input`, under collection
+/// kind `kind`. Returns the output type or the first type error found.
+pub fn typecheck(expr: &Expr, kind: CollectionKind, input: &Type) -> Result<Type, TypeError> {
+    match expr {
+        Expr::Id => Ok(input.clone()),
+        Expr::Compose(f, g) => {
+            let mid = typecheck(f, kind, input)?;
+            typecheck(g, kind, &mid)
+        }
+        Expr::Const(v) => type_of_value(v),
+        Expr::EmptyColl => Ok(coll(kind, Type::Any)),
+        Expr::Sng => Ok(coll(kind, input.clone())),
+        Expr::Map(f) => {
+            let elem = element_of(kind, "map", input)?;
+            let out = typecheck(f, kind, &elem)?;
+            Ok(coll(kind, out))
+        }
+        Expr::Flatten => {
+            let outer = element_of(kind, "flatten", input)?;
+            let inner = element_of(kind, "flatten", &outer)?;
+            Ok(coll(kind, inner))
+        }
+        Expr::PairWith(attr) => {
+            if *input == Type::Any {
+                return Ok(coll(kind, Type::Any));
+            }
+            let fields = input.attributes().ok_or_else(|| TypeError::Mismatch {
+                op: format!("pairwith[{attr}]"),
+                expected: "a tuple type".into(),
+                got: input.clone(),
+            })?;
+            let at = input
+                .attribute(attr.as_str())
+                .ok_or_else(|| TypeError::NoSuchAttribute {
+                    op: "pairwith".into(),
+                    attr: attr.as_str().to_string(),
+                    ty: input.clone(),
+                })?;
+            let elem = element_of(kind, "pairwith", at)?;
+            let new_fields: Vec<(String, Type)> = fields
+                .iter()
+                .map(|(n, t)| {
+                    if n == attr.as_str() {
+                        (n.clone(), elem.clone())
+                    } else {
+                        (n.clone(), t.clone())
+                    }
+                })
+                .collect();
+            Ok(coll(kind, Type::tuple(new_fields)))
+        }
+        Expr::MkTuple(fs) => {
+            let fields = fs
+                .iter()
+                .map(|(n, f)| Ok((n.as_str().to_string(), typecheck(f, kind, input)?)))
+                .collect::<Result<Vec<_>, TypeError>>()?;
+            Ok(Type::tuple(fields))
+        }
+        Expr::Proj(a) => {
+            if *input == Type::Any {
+                return Ok(Type::Any);
+            }
+            input
+                .attribute(a.as_str())
+                .cloned()
+                .ok_or_else(|| TypeError::NoSuchAttribute {
+                    op: "pi".into(),
+                    attr: a.as_str().to_string(),
+                    ty: input.clone(),
+                })
+        }
+        Expr::Union(f, g) => {
+            let tf = typecheck(f, kind, input)?;
+            let tg = typecheck(g, kind, input)?;
+            element_of(kind, "union", &tf)?;
+            element_of(kind, "union", &tg)?;
+            tf.join(&tg).ok_or(TypeError::NoJoin {
+                op: "union".into(),
+                left: tf,
+                right: tg,
+            })
+        }
+        Expr::Pred(c) => {
+            check_cond(c, input, kind)?;
+            Ok(coll(kind, Type::unit()))
+        }
+        Expr::Select(c) => {
+            let elem = element_of(kind, "sigma", input)?;
+            check_cond(c, &elem, kind)?;
+            Ok(input.clone())
+        }
+        Expr::Not | Expr::True => {
+            element_of(kind, "not/true", input)?;
+            Ok(coll(kind, Type::unit()))
+        }
+        Expr::Diff(f, g) | Expr::Intersect(f, g) => {
+            let tf = typecheck(f, kind, input)?;
+            let tg = typecheck(g, kind, input)?;
+            element_of(kind, "difference/intersection", &tf)?;
+            element_of(kind, "difference/intersection", &tg)?;
+            tf.join(&tg).ok_or(TypeError::NoJoin {
+                op: "difference/intersection".into(),
+                left: tf,
+                right: tg,
+            })
+        }
+        Expr::Nest { collect, into } => {
+            let elem = element_of(kind, "nest", input)?;
+            if elem == Type::Any {
+                return Ok(coll(kind, Type::Any));
+            }
+            let fields = elem.attributes().ok_or_else(|| TypeError::Mismatch {
+                op: "nest".into(),
+                expected: "a collection of tuples".into(),
+                got: input.clone(),
+            })?;
+            let kept: Vec<(String, Type)> = fields
+                .iter()
+                .filter(|(n, _)| !collect.iter().any(|c| c.as_str() == n.as_str()))
+                .cloned()
+                .collect();
+            let collected: Vec<(String, Type)> = fields
+                .iter()
+                .filter(|(n, _)| collect.iter().any(|c| c.as_str() == n.as_str()))
+                .cloned()
+                .collect();
+            let mut out = kept;
+            out.push((
+                into.as_str().to_string(),
+                coll(kind, Type::tuple(collected)),
+            ));
+            Ok(coll(kind, Type::tuple(out)))
+        }
+        Expr::Monus(f, g) => {
+            if kind != CollectionKind::Bag {
+                return Err(TypeError::Unsupported {
+                    op: "monus".into(),
+                    kind,
+                });
+            }
+            let tf = typecheck(f, kind, input)?;
+            let tg = typecheck(g, kind, input)?;
+            tf.join(&tg).ok_or(TypeError::NoJoin {
+                op: "monus".into(),
+                left: tf,
+                right: tg,
+            })
+        }
+        Expr::Unique => {
+            element_of(kind, "unique", input)?;
+            Ok(input.clone())
+        }
+        Expr::DescMap => Ok(coll(kind, Type::Any)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_value::parse_type;
+
+    const K: CollectionKind = CollectionKind::Set;
+
+    fn tc(e: &Expr, input: &str) -> Result<Type, TypeError> {
+        typecheck(e, K, &parse_type(input).unwrap())
+    }
+
+    #[test]
+    fn basic_operations() {
+        assert_eq!(tc(&Expr::Id, "{Dom}").unwrap().to_string(), "{Dom}");
+        assert_eq!(tc(&Expr::Sng, "Dom").unwrap().to_string(), "{Dom}");
+        assert_eq!(tc(&Expr::Flatten, "{{Dom}}").unwrap().to_string(), "{Dom}");
+        assert_eq!(
+            tc(&Expr::Sng.mapped(), "{Dom}").unwrap().to_string(),
+            "{{Dom}}"
+        );
+    }
+
+    #[test]
+    fn pairwith_typing_matches_paper_rule() {
+        // pairwith_A1 : ⟨A1: {τ1}, A2: τ2⟩ → {⟨A1: τ1, A2: τ2⟩}
+        let got = tc(&Expr::pairwith("A"), "<A: {Dom}, B: Dom>").unwrap();
+        assert_eq!(got.to_string(), "{<A: Dom, B: Dom>}");
+    }
+
+    #[test]
+    fn projection_and_tuple_formation() {
+        assert_eq!(tc(&Expr::proj("B"), "<A: Dom, B: {Dom}>").unwrap().to_string(), "{Dom}");
+        let e = Expr::mk_tuple([("X", Expr::Id), ("Y", Expr::Sng)]);
+        assert_eq!(tc(&e, "Dom").unwrap().to_string(), "<X: Dom, Y: {Dom}>");
+        assert!(matches!(
+            tc(&Expr::proj("Z"), "<A: Dom>"),
+            Err(TypeError::NoSuchAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn union_joins_branch_types() {
+        let e = Expr::EmptyColl.union(Expr::Id);
+        assert_eq!(tc(&e, "{Dom}").unwrap().to_string(), "{Dom}");
+        // Unjoinable branches fail.
+        let bad = Expr::konst(Value::set([Value::atom("x")]))
+            .union(Expr::konst(Value::set([Value::unit()])));
+        assert!(matches!(tc(&bad, "<>"), Err(TypeError::NoJoin { .. })));
+    }
+
+    #[test]
+    fn predicates_are_boolean_typed() {
+        let e = Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B")));
+        assert_eq!(tc(&e, "<A: Dom, B: Dom>").unwrap(), Type::boolean());
+        // =atomic at a set type is a type error.
+        assert!(matches!(
+            tc(&e, "<A: {Dom}, B: {Dom}>"),
+            Err(TypeError::Mismatch { .. })
+        ));
+        // =deep at a set type is fine.
+        let e = Expr::Pred(Cond::eq_deep(Operand::path("A"), Operand::path("B")));
+        assert!(tc(&e, "<A: {Dom}, B: {Dom}>").is_ok());
+    }
+
+    #[test]
+    fn mon_eq_requires_collection_free_types() {
+        let e = Expr::Pred(Cond::eq_mon(Operand::path("A"), Operand::path("B")));
+        assert!(tc(&e, "<A: <X: Dom>, B: <X: Dom>>").is_ok());
+        assert!(matches!(
+            tc(&e, "<A: {Dom}, B: {Dom}>"),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn composition_threads_types() {
+        let e = Expr::Sng.then(Expr::Sng).then(Expr::Flatten);
+        assert_eq!(tc(&e, "Dom").unwrap().to_string(), "{Dom}");
+    }
+
+    #[test]
+    fn empty_collection_is_polymorphic() {
+        assert_eq!(tc(&Expr::EmptyColl, "Dom").unwrap().to_string(), "{?}");
+        // ∅ ∪ {Dom-set} : the Any element joins away.
+        let e = Expr::EmptyColl.union(Expr::Id);
+        assert_eq!(tc(&e, "{Dom}").unwrap().to_string(), "{Dom}");
+    }
+
+    #[test]
+    fn nest_typing_matches_footnote_5() {
+        let e = Expr::Nest {
+            collect: vec!["B".into()],
+            into: "C".into(),
+        };
+        let got = tc(&e, "{<A: Dom, B: Dom>}").unwrap();
+        assert_eq!(got.to_string(), "{<A: Dom, C: {<B: Dom>}>}");
+    }
+
+    #[test]
+    fn monus_is_bag_only() {
+        let e = Expr::Monus(Expr::Id.into(), Expr::Id.into());
+        assert!(matches!(
+            typecheck(&e, CollectionKind::Set, &parse_type("{Dom}").unwrap()),
+            Err(TypeError::Unsupported { .. })
+        ));
+        assert!(typecheck(&e, CollectionKind::Bag, &parse_type("{|Dom|}").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn kind_polymorphism() {
+        // The same expression types at all three kinds with their own
+        // constructors.
+        assert_eq!(
+            typecheck(&Expr::Sng, CollectionKind::List, &Type::Dom)
+                .unwrap()
+                .to_string(),
+            "[Dom]"
+        );
+        assert_eq!(
+            typecheck(&Expr::Sng, CollectionKind::Bag, &Type::Dom)
+                .unwrap()
+                .to_string(),
+            "{|Dom|}"
+        );
+    }
+
+    #[test]
+    fn constant_typing() {
+        let v = cv_value::parse_value("{<A: 1>, <A: 2>}").unwrap();
+        assert_eq!(
+            type_of_value(&v).unwrap().to_string(),
+            "{<A: Dom>}"
+        );
+        let het = cv_value::parse_value("{1, <A: 2>}").unwrap();
+        assert!(matches!(
+            type_of_value(&het),
+            Err(TypeError::HeterogeneousConstant(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = tc(&Expr::proj("Z"), "<A: Dom>").unwrap_err();
+        assert!(e.to_string().contains('Z'));
+        let e = tc(&Expr::Flatten, "Dom").unwrap_err();
+        assert!(e.to_string().contains("set"));
+    }
+
+    use cv_value::Value;
+    use crate::{Cond, Operand};
+}

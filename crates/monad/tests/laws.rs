@@ -1,0 +1,212 @@
+//! Property-based tests of the algebraic laws behind monad algebra —
+//! the "Cartesian category with a strong monad" structure the paper cites
+//! (§2.2, after Tannen et al.): functor laws for `map`, the monad laws
+//! for `sng`/`flatten`, tensorial strength for `pairwith`, and the
+//! collection-specific laws of `∪`.
+
+use cv_monad::{eval, CollectionKind, Expr};
+use cv_value::Value;
+use proptest::prelude::*;
+
+fn atom() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::atom("a")),
+        Just(Value::atom("b")),
+        Just(Value::atom("c")),
+        Just(Value::atom("d")),
+    ]
+}
+
+/// A collection of atoms under the given kind.
+fn coll_of_atoms(kind: CollectionKind) -> impl Strategy<Value = Value> {
+    prop::collection::vec(atom(), 0..6).prop_map(move |v| Value::collection(kind, v))
+}
+
+/// A collection of collections of atoms.
+fn coll2(kind: CollectionKind) -> impl Strategy<Value = Value> {
+    prop::collection::vec(prop::collection::vec(atom(), 0..4), 0..4)
+        .prop_map(move |vv| {
+            Value::collection(kind, vv.into_iter().map(|v| Value::collection(kind, v)))
+        })
+}
+
+/// A collection of collections of collections of atoms.
+fn coll3(kind: CollectionKind) -> impl Strategy<Value = Value> {
+    prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(atom(), 0..3), 0..3),
+        0..3,
+    )
+    .prop_map(move |vvv| {
+        Value::collection(
+            kind,
+            vvv.into_iter().map(|vv| {
+                Value::collection(kind, vv.into_iter().map(|v| Value::collection(kind, v)))
+            }),
+        )
+    })
+}
+
+fn kinds() -> impl Strategy<Value = CollectionKind> {
+    prop_oneof![
+        Just(CollectionKind::Set),
+        Just(CollectionKind::List),
+        Just(CollectionKind::Bag),
+    ]
+}
+
+fn run(e: &Expr, k: CollectionKind, v: &Value) -> Value {
+    eval(e, k, v).unwrap_or_else(|err| panic!("{e} on {v}: {err}"))
+}
+
+proptest! {
+    /// Functor identity: map(id) = id.
+    #[test]
+    fn map_identity((k, v) in kinds().prop_flat_map(|k| (Just(k), coll_of_atoms(k)))) {
+        prop_assert_eq!(run(&Expr::Id.mapped(), k, &v), v);
+    }
+
+    /// Functor composition: map(f ∘ g) = map(f) ∘ map(g), with f = sng,
+    /// g = sng.
+    #[test]
+    fn map_composition((k, v) in kinds().prop_flat_map(|k| (Just(k), coll_of_atoms(k)))) {
+        let fused = Expr::Sng.then(Expr::Sng).mapped();
+        let staged = Expr::Sng.mapped().then(Expr::Sng.mapped());
+        prop_assert_eq!(run(&fused, k, &v), run(&staged, k, &v));
+    }
+
+    /// Monad left unit: sng ∘ flatten = id (on a collection, wrapping then
+    /// flattening is the identity).
+    #[test]
+    fn monad_left_unit((k, v) in kinds().prop_flat_map(|k| (Just(k), coll_of_atoms(k)))) {
+        let e = Expr::Sng.then(Expr::Flatten);
+        prop_assert_eq!(run(&e, k, &v), v);
+    }
+
+    /// Monad right unit: map(sng) ∘ flatten = id.
+    #[test]
+    fn monad_right_unit((k, v) in kinds().prop_flat_map(|k| (Just(k), coll_of_atoms(k)))) {
+        let e = Expr::Sng.mapped().then(Expr::Flatten);
+        prop_assert_eq!(run(&e, k, &v), v);
+    }
+
+    /// Monad associativity: flatten ∘ flatten = map(flatten) ∘ flatten on
+    /// triply nested collections.
+    #[test]
+    fn monad_associativity((k, v) in kinds().prop_flat_map(|k| (Just(k), coll3(k)))) {
+        let outer_first = Expr::Flatten.then(Expr::Flatten);
+        let inner_first = Expr::Flatten.mapped().then(Expr::Flatten);
+        prop_assert_eq!(run(&outer_first, k, &v), run(&inner_first, k, &v));
+    }
+
+    /// Naturality of flatten: map(map(f)) ∘ flatten = flatten ∘ map(f),
+    /// f = sng.
+    #[test]
+    fn flatten_naturality((k, v) in kinds().prop_flat_map(|k| (Just(k), coll2(k)))) {
+        let lhs = Expr::Sng.mapped().mapped().then(Expr::Flatten);
+        let rhs = Expr::Flatten.then(Expr::Sng.mapped());
+        prop_assert_eq!(run(&lhs, k, &v), run(&rhs, k, &v));
+    }
+
+    /// Union laws: associativity for all kinds; commutativity and
+    /// idempotence for sets.
+    #[test]
+    fn union_laws(
+        (k, a, b, c) in kinds().prop_flat_map(|k| {
+            (Just(k), coll_of_atoms(k), coll_of_atoms(k), coll_of_atoms(k))
+        })
+    ) {
+        let input = Value::tuple([("A", a.clone()), ("B", b.clone()), ("C", c)]);
+        let pa = || Expr::proj("A");
+        let pb = || Expr::proj("B");
+        let pc = || Expr::proj("C");
+        let left = pa().union(pb()).union(pc());
+        let right = pa().union(pb().union(pc()));
+        prop_assert_eq!(run(&left, k, &input), run(&right, k, &input));
+        if k == CollectionKind::Set {
+            prop_assert_eq!(
+                run(&pa().union(pb()), k, &input),
+                run(&pb().union(pa()), k, &input)
+            );
+            prop_assert_eq!(run(&pa().union(pa()), k, &input), a);
+        }
+        if k == CollectionKind::Bag {
+            // Bags: additive union is commutative but not idempotent.
+            prop_assert_eq!(
+                run(&pa().union(pb()), k, &input),
+                run(&pb().union(pa()), k, &input)
+            );
+        }
+    }
+
+    /// Tensorial strength: pairwith distributes the collection —
+    /// cardinality |pairwith_A(t)| = |t.A| and every member keeps the
+    /// other attributes intact.
+    #[test]
+    fn pairwith_strength(
+        (k, xs, y) in kinds().prop_flat_map(|k| (Just(k), coll_of_atoms(k), atom()))
+    ) {
+        let t = Value::tuple([("A", xs.clone()), ("B", y.clone())]);
+        let out = run(&Expr::pairwith("A"), k, &t);
+        let items = out.items().unwrap();
+        if k != CollectionKind::Set {
+            prop_assert_eq!(items.len(), xs.items().unwrap().len());
+        }
+        for m in items {
+            prop_assert_eq!(m.project("B").unwrap(), &y);
+            prop_assert!(xs.items().unwrap().contains(m.project("A").unwrap()));
+        }
+    }
+
+    /// The Boolean structure: `not` and `true` are complementary, and
+    /// `true` is idempotent normalization.
+    #[test]
+    fn boolean_ops((k, v) in kinds().prop_flat_map(|k| (Just(k), coll_of_atoms(k)))) {
+        let t = run(&Expr::True, k, &v);
+        let n = run(&Expr::Not, k, &v);
+        prop_assert_ne!(t.is_true(), n.is_true());
+        prop_assert_eq!(run(&Expr::True.then(Expr::True), k, &v), t);
+    }
+
+    /// unique ∘ unique = unique, and on sets unique = id.
+    #[test]
+    fn unique_idempotent((k, v) in kinds().prop_flat_map(|k| (Just(k), coll_of_atoms(k)))) {
+        let once = run(&Expr::Unique, k, &v);
+        let twice = run(&Expr::Unique.then(Expr::Unique), k, &v);
+        prop_assert_eq!(&once, &twice);
+        if k == CollectionKind::Set {
+            prop_assert_eq!(once, v);
+        }
+    }
+
+    /// Bag monus laws: b monus ∅ = b, b monus b = ∅,
+    /// (additive union) a∪b monus b = a.
+    #[test]
+    fn monus_laws(a in coll_of_atoms(CollectionKind::Bag),
+                  b in coll_of_atoms(CollectionKind::Bag)) {
+        let k = CollectionKind::Bag;
+        let input = Value::tuple([("A", a.clone()), ("B", b.clone())]);
+        let pa = || Expr::proj("A");
+        let pb = || Expr::proj("B");
+        let e = Expr::Monus(pa().into(), Expr::EmptyColl.into());
+        prop_assert_eq!(run(&e, k, &input), a.clone());
+        let e = Expr::Monus(pa().into(), pa().into());
+        prop_assert_eq!(run(&e, k, &input), Value::empty(k));
+        let e = Expr::Monus(Rc::new(pa().union(pb())), pb().into());
+        prop_assert_eq!(run(&e, k, &input), a);
+    }
+
+    /// Difference/intersection partition sets: (A − B) ∪ (A ∩ B) = A.
+    #[test]
+    fn diff_intersect_partition(a in coll_of_atoms(CollectionKind::Set),
+                                b in coll_of_atoms(CollectionKind::Set)) {
+        let k = CollectionKind::Set;
+        let input = Value::tuple([("A", a.clone()), ("B", b)]);
+        let pa = || Expr::proj("A");
+        let pb = || Expr::proj("B");
+        let e = Expr::Diff(pa().into(), pb().into())
+            .union(Expr::Intersect(pa().into(), pb().into()));
+        prop_assert_eq!(run(&e, k, &input), a);
+    }
+}
+
+use std::rc::Rc;

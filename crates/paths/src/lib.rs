@@ -1,0 +1,60 @@
+//! The path-based semantics of monad algebra (Koch, PODS 2005, §5.1,
+//! Figures 4–6) — the machinery behind the NEXPTIME upper bound.
+//!
+//! * [`Term`] — nested paths (terms over a binary symbol `f`), with the
+//!   paper's dot/parenthesis notation;
+//! * [`semantics`] — deterministic trees as path sets and the Figure 4
+//!   operator rules, with `U^τ` decoding back to complex values;
+//! * [`proof`] — proof trees certifying path membership (Figure 6), with
+//!   the statistics the Theorem 5.2 argument bounds (branching ≤ 2,
+//!   polynomial path sizes).
+
+pub mod proof;
+pub mod semantics;
+mod term;
+
+pub use proof::{prove, ProofNode, ProofStats};
+pub use semantics::{
+    decode, eval_paths, eval_paths_with, map_b, map_e, value_paths, PathBudget, PathError,
+    PathSet,
+};
+pub use term::{parse_term, Term};
+
+/// The running example of Figures 5 and 6:
+/// `⟨A: {1,2}, B: {2,3}⟩ ∘ pairwithA ∘ map(pairwithB ∘ map(A =atomic B))
+///  ∘ flatten ∘ flatten`.
+pub fn figure_5_query() -> cv_monad::Expr {
+    use cv_monad::{Cond, Expr, Operand};
+    let const_ab =
+        Expr::konst(cv_value::parse_value("<A: {1, 2}, B: {2, 3}>").expect("literal"));
+    const_ab
+        .then(Expr::pairwith("A"))
+        .then(
+            Expr::pairwith("B")
+                .then(
+                    Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B")))
+                        .mapped(),
+                )
+                .mapped(),
+        )
+        .then(Expr::Flatten)
+        .then(Expr::Flatten)
+}
+
+/// The canonical Boolean input `{⟨⟩}` as a path set: `{1.⟨⟩}` (Thm 5.2).
+pub fn unit_input() -> PathSet {
+    [Term::cons(Term::sym("1"), Term::unit())].into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_5_query_is_well_formed() {
+        let q = figure_5_query();
+        assert!(q.is_monotone());
+        let out = eval_paths(&q, &unit_input()).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

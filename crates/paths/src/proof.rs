@@ -1,0 +1,535 @@
+//! Proof trees for path membership — the certificate structure behind the
+//! Theorem 5.2 NEXPTIME upper bound (Figure 6).
+//!
+//! To decide a Boolean query the nondeterministic algorithm guesses a path
+//! `p` and checks `p ∈ [[v ∘ Q]]({1.⟨⟩})` by recursion: each Figure 4 rule
+//! needs at most *two* premise paths ("only for `pairwith` and `=atomic`
+//! the computation branches out"), so the check is a binary tree of depth
+//! `O(|v| + |Q|)` whose paths grow only by concatenation — hence
+//! polynomial-size certificates and an exponential-time nondeterministic
+//! procedure.
+//!
+//! This module constructs the proof tree *deterministically*: the forward
+//! path sets resolve the existential guesses. [`ProofStats`] measure the
+//! quantities the theorem bounds.
+
+use crate::semantics::{map_b, step, PathBudget, PathError, PathSet};
+use crate::Term;
+use cv_monad::{Cond, EqMode, Expr, Operand};
+
+/// A node of a proof tree: an operation applied at a path, justified by
+/// its children's paths (Figure 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofNode {
+    /// Display name of the justifying operation (`"flatten"`, `"map_b"`,
+    /// `"A =atomic B"`, or `"input"` for the axioms).
+    pub op: String,
+    /// The path whose membership this node certifies.
+    pub path: Term,
+    /// Premises.
+    pub children: Vec<ProofNode>,
+}
+
+impl ProofNode {
+    fn leaf(op: impl Into<String>, path: Term) -> ProofNode {
+        ProofNode {
+            op: op.into(),
+            path,
+            children: Vec::new(),
+        }
+    }
+
+    fn node(op: impl Into<String>, path: Term, children: Vec<ProofNode>) -> ProofNode {
+        ProofNode {
+            op: op.into(),
+            path,
+            children,
+        }
+    }
+
+    /// Statistics of the proof tree.
+    pub fn stats(&self) -> ProofStats {
+        let mut s = ProofStats::default();
+        fn walk(n: &ProofNode, depth: u64, s: &mut ProofStats) {
+            s.nodes += 1;
+            s.depth = s.depth.max(depth);
+            s.max_path_size = s.max_path_size.max(n.path.size());
+            s.max_branching = s.max_branching.max(n.children.len() as u64);
+            for c in &n.children {
+                walk(c, depth + 1, s);
+            }
+        }
+        walk(self, 1, &mut s);
+        s
+    }
+
+    /// Renders the proof tree with indentation, one node per line
+    /// (`op: path`), children indented below — the layout of Figure 6
+    /// rotated a quarter turn.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        fn walk(n: &ProofNode, indent: usize, out: &mut String) {
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{}: {}\n", n.op, n.path));
+            for c in &n.children {
+                walk(c, indent + 1, out);
+            }
+        }
+        walk(self, 0, &mut out);
+        out
+    }
+}
+
+/// Measured quantities of a proof tree (Theorem 5.2's bounds: branching
+/// ≤ 2, depth `O(|v| + |Q|)`, path sizes polynomial).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProofStats {
+    /// Total nodes.
+    pub nodes: u64,
+    /// Depth (root = 1).
+    pub depth: u64,
+    /// Largest path (term) size appearing in the proof.
+    pub max_path_size: u64,
+    /// Maximum branching factor (the theorem guarantees ≤ 2 for core
+    /// operations).
+    pub max_branching: u64,
+}
+
+/// Builds a proof that `target ∈ [[expr]](input)`, or returns `None` if it
+/// is not a member. Errors propagate from the underlying path semantics.
+pub fn prove(
+    expr: &Expr,
+    input: &PathSet,
+    target: &Term,
+) -> Result<Option<ProofNode>, PathError> {
+    let budget = PathBudget::default();
+    let out = step(expr, input, &budget)?;
+    if !out.contains(target) {
+        return Ok(None);
+    }
+    build(expr, input, target, &budget).map(Some)
+}
+
+/// Replaces every `"premise"` leaf of `tree` by a proof through `expr`.
+fn graft(
+    tree: ProofNode,
+    expr: &Expr,
+    input: &PathSet,
+    budget: &PathBudget,
+) -> Result<ProofNode, PathError> {
+    if tree.op == "premise" {
+        return build(expr, input, &tree.path, budget);
+    }
+    let children = tree
+        .children
+        .into_iter()
+        .map(|c| graft(c, expr, input, budget))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ProofNode {
+        op: tree.op,
+        path: tree.path,
+        children,
+    })
+}
+
+fn premise(path: Term) -> ProofNode {
+    ProofNode::leaf("premise", path)
+}
+
+fn find_with_head<'a>(input: &'a PathSet, m: &Term) -> Option<&'a Term> {
+    input.iter().find(|t| t.split_first().0 == m)
+}
+
+fn build(
+    expr: &Expr,
+    input: &PathSet,
+    target: &Term,
+    budget: &PathBudget,
+) -> Result<ProofNode, PathError> {
+    let missing = || PathError::Malformed {
+        op: expr.to_string(),
+        path: target.to_string(),
+    };
+    match expr {
+        Expr::Id => Ok(ProofNode::node(
+            "id",
+            target.clone(),
+            vec![build_input(input, target)?],
+        )),
+        Expr::Compose(f, g) => {
+            let mid = step(f, input, budget)?;
+            // Prove through g with premises in mid, then push each premise
+            // down through f.
+            let upper = build(g, &mid, target, budget)?;
+            graft_compose(upper, f, input, budget)
+        }
+        Expr::Const(_) => {
+            let (m, _) = target.split_first();
+            let witness = find_with_head(input, m).ok_or_else(missing)?;
+            Ok(ProofNode::node(
+                "const",
+                target.clone(),
+                vec![build_input(input, witness)?],
+            ))
+        }
+        Expr::Sng => {
+            let (m, one, p) = target.split_two().ok_or_else(missing)?;
+            if !one.is_sym("1") {
+                return Err(missing());
+            }
+            let prem = Term::cons_opt(m.clone(), p.cloned());
+            Ok(ProofNode::node(
+                "sng",
+                target.clone(),
+                vec![build_input(input, &prem)?],
+            ))
+        }
+        Expr::Flatten => {
+            let (m, grp, p) = target.split_two().ok_or_else(missing)?;
+            let Term::Pair(i, j) = grp else { return Err(missing()) };
+            let prem = Term::cons(
+                m.clone(),
+                Term::cons(
+                    (**i).clone(),
+                    Term::cons_opt((**j).clone(), p.cloned()),
+                ),
+            );
+            Ok(ProofNode::node(
+                "flatten",
+                target.clone(),
+                vec![build_input(input, &prem)?],
+            ))
+        }
+        Expr::Proj(a) => {
+            let (m, p) = target.split_first();
+            let prem = Term::cons(
+                m.clone(),
+                Term::cons_opt(Term::sym(a.as_str()), p.cloned()),
+            );
+            Ok(ProofNode::node(
+                format!("pi[{a}]"),
+                target.clone(),
+                vec![build_input(input, &prem)?],
+            ))
+        }
+        Expr::Map(f) => {
+            // target m.i.p ⇐ map_e ⇐ (m.i).p ∈ [[f]](map_b(input)).
+            let (m, i, p) = target.split_two().ok_or_else(missing)?;
+            let mid_target = Term::cons_opt(
+                Term::cons(m.clone(), i.clone()),
+                p.cloned(),
+            );
+            let grouped = map_b(input)?;
+            let inner = build(f, &grouped, &mid_target, budget)?;
+            // Premises of `inner` are in map_b(input); justify them with a
+            // map_b node over the true input.
+            let inner = graft_map_b(inner, input)?;
+            Ok(ProofNode::node("map_e", target.clone(), vec![inner]))
+        }
+        Expr::Union(f, g) => {
+            let (m, grp, p) = target.split_two().ok_or_else(missing)?;
+            let Term::Pair(tag, i) = grp else { return Err(missing()) };
+            let prem = Term::cons(
+                m.clone(),
+                Term::cons_opt((**i).clone(), p.cloned()),
+            );
+            let (branch, name) = if tag.is_sym("1") {
+                (f, "union-left")
+            } else {
+                (g, "union-right")
+            };
+            let sub = build(branch, input, &prem, budget)?;
+            Ok(ProofNode::node(name, target.clone(), vec![sub]))
+        }
+        Expr::MkTuple(fields) => {
+            if fields.is_empty() {
+                let (m, _) = target.split_first();
+                let witness = find_with_head(input, m).ok_or_else(missing)?;
+                return Ok(ProofNode::node(
+                    "<>",
+                    target.clone(),
+                    vec![build_input(input, witness)?],
+                ));
+            }
+            let (m, attr, p) = target.split_two().ok_or_else(missing)?;
+            let field = fields
+                .iter()
+                .find(|(n, _)| attr.is_sym(n.as_str()))
+                .ok_or_else(missing)?;
+            let prem = Term::cons_opt(m.clone(), p.cloned());
+            let sub = build(&field.1, input, &prem, budget)?;
+            Ok(ProofNode::node("<...>", target.clone(), vec![sub]))
+        }
+        Expr::PairWith(attr) => {
+            let aj = attr.as_str();
+            let segs = target.segments();
+            if segs.len() < 3 {
+                return Err(missing());
+            }
+            let (m, i, a) = (segs[0], segs[1], segs[2]);
+            let rest: Option<Term> = (segs.len() > 3)
+                .then(|| Term::from_segments(segs[3..].iter().map(|s| (*s).clone()).collect()));
+            if a.is_sym(aj) {
+                // m.i.Aj.p ⇐ m.Aj.i.p
+                let prem = Term::cons(
+                    m.clone(),
+                    Term::cons(
+                        Term::sym(aj),
+                        Term::cons_opt(i.clone(), rest),
+                    ),
+                );
+                Ok(ProofNode::node(
+                    format!("pairwith[{aj}]"),
+                    target.clone(),
+                    vec![build_input(input, &prem)?],
+                ))
+            } else {
+                // m.i.Ak.p′ ⇐ m.Ak.p′ and ∃p m.Aj.i.p
+                let prem1 = Term::cons(
+                    m.clone(),
+                    Term::cons_opt(a.clone(), rest),
+                );
+                let witness = input
+                    .iter()
+                    .find(|t| {
+                        t.split_two().is_some_and(|(m2, a2, r)| {
+                            m2 == m
+                                && a2.is_sym(aj)
+                                && r.is_some_and(|r| r.split_first().0 == i)
+                        })
+                    })
+                    .ok_or_else(missing)?;
+                Ok(ProofNode::node(
+                    format!("pairwith[{aj}]"),
+                    target.clone(),
+                    vec![build_input(input, &prem1)?, build_input(input, witness)?],
+                ))
+            }
+        }
+        Expr::Pred(Cond::Eq(Operand::Path(pa), Operand::Path(pb), EqMode::Atomic))
+            if pa.len() == 1 && pb.len() == 1 =>
+        {
+            let (m, _) = target.split_first();
+            // Find the common tail p with m.A.p and m.B.p.
+            let a = pa[0].as_str();
+            let b = pb[0].as_str();
+            let mut found = None;
+            for t in input {
+                if let Some((m2, attr, p)) = t.split_two() {
+                    if m2 == m && attr.is_sym(a) {
+                        let other = Term::cons(
+                            m.clone(),
+                            Term::cons_opt(Term::sym(b), p.cloned()),
+                        );
+                        if input.contains(&other) {
+                            found = Some((t.clone(), other));
+                            break;
+                        }
+                    }
+                }
+            }
+            let (p1, p2) = found.ok_or_else(missing)?;
+            Ok(ProofNode::node(
+                format!("{a} =atomic {b}"),
+                target.clone(),
+                vec![build_input(input, &p1)?, build_input(input, &p2)?],
+            ))
+        }
+        Expr::Select(c) => {
+            // Keep the path and record the (already verified) condition.
+            Ok(ProofNode::node(
+                format!("sigma[{c}]"),
+                target.clone(),
+                vec![build_input(input, target)?],
+            ))
+        }
+        Expr::EmptyColl => Err(missing()),
+        other => Err(PathError::Unsupported(other.to_string())),
+    }
+}
+
+fn build_input(input: &PathSet, path: &Term) -> Result<ProofNode, PathError> {
+    if input.contains(path) {
+        Ok(premise(path.clone()))
+    } else {
+        Err(PathError::Malformed {
+            op: "premise".to_string(),
+            path: path.to_string(),
+        })
+    }
+}
+
+fn graft_compose(
+    tree: ProofNode,
+    f: &Expr,
+    input: &PathSet,
+    budget: &PathBudget,
+) -> Result<ProofNode, PathError> {
+    graft(tree, f, input, budget)
+}
+
+fn graft_map_b(tree: ProofNode, input: &PathSet) -> Result<ProofNode, PathError> {
+    if tree.op == "premise" {
+        // (m.i).p at grouped level ⇐ m.i.p at input level.
+        let (head, p) = tree.path.split_first();
+        let Term::Pair(m, i) = head else {
+            return Err(PathError::Malformed {
+                op: "map_b".to_string(),
+                path: tree.path.to_string(),
+            });
+        };
+        let prem = Term::cons(
+            (**m).clone(),
+            Term::cons_opt((**i).clone(), p.cloned()),
+        );
+        return Ok(ProofNode::node(
+            "map_b",
+            tree.path.clone(),
+            vec![build_input(input, &prem)?],
+        ));
+    }
+    let children = tree
+        .children
+        .into_iter()
+        .map(|c| graft_map_b(c, input))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ProofNode {
+        op: tree.op,
+        path: tree.path,
+        children,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::eval_paths;
+    use crate::term::parse_term;
+    use cv_monad::derived::product;
+    use cv_value::parse_value;
+
+    fn unit_input() -> PathSet {
+        [parse_term("1.<>").unwrap()].into_iter().collect()
+    }
+
+    /// The running example of Figures 5 and 6:
+    /// `⟨A: {1,2}, B: {2,3}⟩ ∘ pairwithA ∘ map(pairwithB ∘ map(A=B))
+    ///  ∘ flatten ∘ flatten`.
+    pub(crate) fn running_example() -> Expr {
+        let const_ab = Expr::konst(parse_value("<A: {1, 2}, B: {2, 3}>").unwrap());
+        const_ab
+            .then(Expr::pairwith("A"))
+            .then(
+                Expr::pairwith("B")
+                    .then(
+                        Expr::Pred(Cond::eq_atomic(
+                            Operand::path("A"),
+                            Operand::path("B"),
+                        ))
+                        .mapped(),
+                    )
+                    .mapped(),
+            )
+            .then(Expr::Flatten)
+            .then(Expr::Flatten)
+    }
+
+    #[test]
+    fn running_example_produces_one_truth_path() {
+        // Exactly one pair (A=2, B=2) matches, so the final deterministic
+        // tree has a single path ending in ⟨⟩ (Figure 5 (l)).
+        let out = eval_paths(&running_example(), &unit_input()).unwrap();
+        assert_eq!(out.len(), 1, "got {out:?}");
+        let p = out.iter().next().unwrap();
+        assert!(p.to_string().ends_with(".<>"), "got {p}");
+        // The path records the provenance: member 2 of A paired with
+        // member 1 of B — the groups (2.1) appear in the path.
+        assert!(p.to_string().contains("(2.1)"), "got {p}");
+    }
+
+    #[test]
+    fn proof_tree_certifies_membership() {
+        let q = running_example();
+        let out = eval_paths(&q, &unit_input()).unwrap();
+        let target = out.iter().next().unwrap();
+        let proof = prove(&q, &unit_input(), target).unwrap().unwrap();
+        let stats = proof.stats();
+        // Theorem 5.2: branching ≤ 2, all premises at the input.
+        assert!(stats.max_branching <= 2, "{stats:?}");
+        fn premises_ok(n: &ProofNode, input: &PathSet) -> bool {
+            if n.children.is_empty() {
+                n.op == "premise" && input.contains(&n.path)
+            } else {
+                n.children.iter().all(|c| premises_ok(c, input))
+            }
+        }
+        assert!(premises_ok(&proof, &unit_input()), "\n{}", proof.render());
+        // The proof mentions the equality branch (two premises), like
+        // Figure 6's `A =atomic B` node.
+        let rendered = proof.render();
+        assert!(rendered.contains("=atomic"), "\n{rendered}");
+        assert!(rendered.contains("flatten"), "\n{rendered}");
+        assert!(rendered.contains("map_b"), "\n{rendered}");
+    }
+
+    #[test]
+    fn non_members_have_no_proof() {
+        let q = running_example();
+        let bogus = parse_term("1.zzz").unwrap();
+        assert_eq!(prove(&q, &unit_input(), &bogus).unwrap(), None);
+    }
+
+    #[test]
+    fn proof_paths_grow_polynomially() {
+        // Path sizes in the proof grow by concatenation only (Thm 5.2):
+        // iterating the pairing construction k times keeps the max path
+        // size linear in k, while the value grows doubly exponentially.
+        let two = Expr::konst(parse_value("{0, 1}").unwrap());
+        let mut sizes = Vec::new();
+        for k in 0..4 {
+            let mut q = two.clone();
+            for _ in 0..k {
+                q = q.then(product(Expr::Id, Expr::Id));
+            }
+            let out = eval_paths(&q, &unit_input()).unwrap();
+            let target = out.iter().next().unwrap().clone();
+            let proof = prove(&q, &unit_input(), &target).unwrap().unwrap();
+            sizes.push(proof.stats().max_path_size);
+        }
+        // Linear-ish growth: each product step adds O(1) segments.
+        for w in sizes.windows(2) {
+            assert!(w[1] >= w[0]);
+            assert!(w[1] - w[0] <= 16, "sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn union_proofs_pick_the_right_branch() {
+        let one = Expr::atom("1").then(Expr::Sng);
+        let two = Expr::atom("2").then(Expr::Sng);
+        let q = one.union(two);
+        let out = eval_paths(&q, &unit_input()).unwrap();
+        for t in &out {
+            let proof = prove(&q, &unit_input(), t).unwrap().unwrap();
+            let want = if t.to_string().contains("(1.1)") {
+                "union-left"
+            } else {
+                "union-right"
+            };
+            assert_eq!(proof.op, want);
+        }
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let q = Expr::Sng;
+        let out = eval_paths(&q, &unit_input()).unwrap();
+        let t = out.iter().next().unwrap();
+        let proof = prove(&q, &unit_input(), t).unwrap().unwrap();
+        let r = proof.render();
+        assert!(r.starts_with("sng: 1.1.<>"));
+        assert!(r.contains("\n  premise: 1.<>"));
+    }
+}

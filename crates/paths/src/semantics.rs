@@ -1,0 +1,675 @@
+//! The Figure 4 path-based semantics of monad algebra.
+//!
+//! Every complex value is viewed as a *deterministic tree*: each node is
+//! uniquely identified by its root-to-node label path, so the whole value
+//! is a finite set of root-to-leaf paths ([`Term`]s). Each monad algebra
+//! operation becomes a transformation of path sets; crucially, every rule
+//! inspects only a bounded prefix of each path, which is what bounds proof
+//! trees (Theorem 5.2) and makes guess-and-check evaluation possible in
+//! NEXPTIME.
+//!
+//! The evaluator here *materializes* the path sets (it is the deterministic
+//! companion of the paper's nondeterministic algorithm): the sets can be
+//! singly exponential, so a budget guards against runaway queries.
+//!
+//! Not all of `Expr` fits this semantics: negation and `=deep` need the
+//! alternation of Theorem 5.3, and empty collections have no paths, so the
+//! supported fragment is the Theorem 5.2 language `M∪[=atomic]` (with
+//! selections over atomic conditions, which the paper derives in
+//! Example 2.3).
+
+use crate::Term;
+use cv_monad::{Cond, EqMode, Expr, Operand};
+use cv_value::{Value, ValueKind};
+use std::collections::BTreeSet;
+
+/// A deterministic tree: the set of its root-to-leaf paths.
+pub type PathSet = BTreeSet<Term>;
+
+/// Failures of the path semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The expression uses an operation outside the Figure 4 fragment.
+    Unsupported(String),
+    /// A path had too few segments for the operation.
+    Malformed {
+        /// The operation.
+        op: String,
+        /// The offending path.
+        path: String,
+    },
+    /// The path-set budget was exhausted.
+    Budget(usize),
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::Unsupported(op) => {
+                write!(f, "{op} is outside the Figure 4 path semantics")
+            }
+            PathError::Malformed { op, path } => write!(f, "{op}: malformed path {path}"),
+            PathError::Budget(n) => write!(f, "path-set budget exhausted ({n} paths)"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// Encodes a complex value as the path set of its deterministic tree.
+/// Set/list members receive 1-based index labels (we are considering
+/// query complexity and construct every value from scratch, so indexes
+/// can be assigned canonically — Thm 5.2 proof).
+pub fn value_paths(v: &Value) -> PathSet {
+    let mut out = BTreeSet::new();
+    collect(v, &mut Vec::new(), &mut out);
+    out
+}
+
+fn collect(v: &Value, prefix: &mut Vec<Term>, out: &mut PathSet) {
+    match v.kind() {
+        ValueKind::Atom(a) => {
+            let mut segs = prefix.clone();
+            segs.push(Term::sym(a.as_str()));
+            out.insert(Term::from_segments(segs));
+        }
+        ValueKind::Tuple(fields) => {
+            if fields.is_empty() {
+                let mut segs = prefix.clone();
+                segs.push(Term::unit());
+                out.insert(Term::from_segments(segs));
+            } else {
+                for (name, fv) in fields {
+                    prefix.push(Term::sym(name.as_str()));
+                    collect(fv, prefix, out);
+                    prefix.pop();
+                }
+            }
+        }
+        ValueKind::Set(items) | ValueKind::List(items) | ValueKind::Bag(items) => {
+            for (i, item) in items.iter().enumerate() {
+                prefix.push(Term::sym((i + 1).to_string()));
+                collect(item, prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+/// Decodes a path set back into a complex value of type `ty` — the mapping
+/// `U^τ` of the Theorem 5.2 proof. Collections decode as the evaluator's
+/// set semantics (duplicates merge).
+pub fn decode(paths: &PathSet, ty: &cv_value::Type) -> Option<Value> {
+    use cv_value::Type;
+    if paths.is_empty() {
+        // Only collections can be empty.
+        return match ty {
+            Type::Set(_) => Some(Value::set([])),
+            Type::List(_) => Some(Value::list([])),
+            Type::Bag(_) => Some(Value::bag([])),
+            _ => None,
+        };
+    }
+    match ty {
+        Type::Dom => {
+            if paths.len() != 1 {
+                return None;
+            }
+            let t = paths.iter().next().expect("nonempty");
+            match t {
+                Term::Sym(s) => Some(Value::atom(&**s)),
+                _ => None,
+            }
+        }
+        Type::Tuple(fields) if fields.is_empty() => {
+            let t = paths.iter().next().expect("nonempty");
+            (paths.len() == 1 && t.is_sym("<>")).then(Value::unit)
+        }
+        Type::Tuple(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (name, fty) in fields.iter() {
+                let sub: PathSet = paths
+                    .iter()
+                    .filter_map(|p| {
+                        let (h, rest) = p.split_first();
+                        (h.is_sym(name)).then(|| rest.cloned()).flatten()
+                    })
+                    .collect();
+                out.push((name.clone(), decode(&sub, fty)?));
+            }
+            Some(Value::tuple(out))
+        }
+        Type::Set(elem) | Type::List(elem) | Type::Bag(elem) => {
+            // Group by first segment (member index), in index order.
+            let mut groups: Vec<(Term, PathSet)> = Vec::new();
+            for p in paths {
+                let (h, rest) = p.split_first();
+                let rest = rest?.clone();
+                match groups.iter_mut().find(|(g, _)| g == h) {
+                    Some((_, set)) => {
+                        set.insert(rest);
+                    }
+                    None => {
+                        let mut s = BTreeSet::new();
+                        s.insert(rest);
+                        groups.push((h.clone(), s));
+                    }
+                }
+            }
+            let members = groups
+                .into_iter()
+                .map(|(_, sub)| decode(&sub, elem))
+                .collect::<Option<Vec<_>>>()?;
+            match ty {
+                Type::Set(_) => Some(Value::set(members)),
+                Type::List(_) => Some(Value::list(members)),
+                _ => Some(Value::bag(members)),
+            }
+        }
+        Type::Any => None,
+    }
+}
+
+/// Evaluation limits.
+#[derive(Clone, Copy, Debug)]
+pub struct PathBudget {
+    /// Maximum number of paths in any intermediate set.
+    pub max_paths: usize,
+}
+
+impl Default for PathBudget {
+    fn default() -> PathBudget {
+        PathBudget { max_paths: 500_000 }
+    }
+}
+
+/// Evaluates `expr` on a path set under the Figure 4 rules.
+pub fn eval_paths(expr: &Expr, input: &PathSet) -> Result<PathSet, PathError> {
+    eval_paths_with(expr, input, PathBudget::default())
+}
+
+/// Evaluates with an explicit budget.
+pub fn eval_paths_with(
+    expr: &Expr,
+    input: &PathSet,
+    budget: PathBudget,
+) -> Result<PathSet, PathError> {
+    let out = step(expr, input, &budget)?;
+    Ok(out)
+}
+
+fn check(set: PathSet, budget: &PathBudget) -> Result<PathSet, PathError> {
+    if set.len() > budget.max_paths {
+        Err(PathError::Budget(budget.max_paths))
+    } else {
+        Ok(set)
+    }
+}
+
+fn malformed(op: &str, p: &Term) -> PathError {
+    PathError::Malformed {
+        op: op.to_string(),
+        path: p.to_string(),
+    }
+}
+
+pub(crate) fn step(expr: &Expr, input: &PathSet, budget: &PathBudget) -> Result<PathSet, PathError> {
+    match expr {
+        Expr::Id => Ok(input.clone()),
+        Expr::Compose(f, g) => {
+            let mid = step(f, input, budget)?;
+            step(g, &mid, budget)
+        }
+        // [[c]](P) := {m.c | m.p ∈ P} — generalized to arbitrary constant
+        // values by splicing the value's own path set below m.
+        Expr::Const(v) => {
+            let vp = value_paths(v);
+            let mut out = BTreeSet::new();
+            for t in input {
+                let (m, _) = t.split_first();
+                for p in &vp {
+                    out.insert(Term::cons(m.clone(), p.clone()));
+                }
+            }
+            check(out, budget)
+        }
+        // ∅ has no paths at all.
+        Expr::EmptyColl => Ok(BTreeSet::new()),
+        // [[sng]](P) := {m.1.p | m.p ∈ P}
+        Expr::Sng => {
+            let mut out = BTreeSet::new();
+            for t in input {
+                let (m, rest) = t.split_first();
+                out.insert(Term::cons(
+                    m.clone(),
+                    Term::cons_opt(Term::sym("1"), rest.cloned()),
+                ));
+            }
+            check(out, budget)
+        }
+        // [[map(f)]] := map_e ∘ [[f]] ∘ map_b
+        Expr::Map(f) => {
+            let grouped = map_b(input)?;
+            let mapped = step(f, &grouped, budget)?;
+            let out = map_e(&mapped)?;
+            check(out, budget)
+        }
+        // [[flatten]](P) := {m.(i.j).p | m.i.j.p ∈ P}
+        Expr::Flatten => {
+            let mut out = BTreeSet::new();
+            for t in input {
+                let (m, i, j, p) = t
+                    .split_three()
+                    .ok_or_else(|| malformed("flatten", t))?;
+                out.insert(Term::cons(
+                    m.clone(),
+                    Term::cons_opt(Term::cons(i.clone(), j.clone()), p.cloned()),
+                ));
+            }
+            check(out, budget)
+        }
+        // [[pairwith_Aj]](P) := {m.i.Aj.p | m.Aj.i.p ∈ P}
+        //                     ∪ {m.i.Ak.p′ | m.Aj.i.p, m.Ak.p′ ∈ P, k ≠ j}
+        Expr::PairWith(attr) => {
+            let aj = attr.as_str();
+            let mut out = BTreeSet::new();
+            // Collect, per member m, the indexes i under attribute Aj and
+            // the other-attribute paths.
+            for t in input {
+                let (m, a, i_or_p) = match t.split_two() {
+                    Some((m, a, _)) => (m, a, t),
+                    None => return Err(malformed("pairwith", t)),
+                };
+                let _ = i_or_p;
+                if a.is_sym(aj) {
+                    let (_, _, rest) = t.split_two().expect("checked");
+                    let (i, p) = rest
+                        .ok_or_else(|| malformed("pairwith", t))?
+                        .split_first();
+                    out.insert(Term::cons(
+                        m.clone(),
+                        Term::cons(
+                            i.clone(),
+                            Term::cons_opt(Term::sym(aj), p.cloned()),
+                        ),
+                    ));
+                    // Copies of the other attributes for this i.
+                    for t2 in input {
+                        if let Some((m2, a2, p2)) = t2.split_two() {
+                            if m2 == m && !a2.is_sym(aj) {
+                                out.insert(Term::cons(
+                                    m.clone(),
+                                    Term::cons(
+                                        i.clone(),
+                                        Term::cons_opt(a2.clone(), p2.cloned()),
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            check(out, budget)
+        }
+        // [[⟨A1: f1, …, Ak: fk⟩]](P) := ∪_l {m.Al.p | m.p ∈ [[fl]](P)}
+        Expr::MkTuple(fields) => {
+            let mut out = BTreeSet::new();
+            if fields.is_empty() {
+                // ⟨⟩ is a constant: {m.⟨⟩ | m.p ∈ P}.
+                for t in input {
+                    let (m, _) = t.split_first();
+                    out.insert(Term::cons(m.clone(), Term::unit()));
+                }
+                return check(out, budget);
+            }
+            for (name, f) in fields {
+                let sub = step(f, input, budget)?;
+                for t in &sub {
+                    let (m, rest) = t.split_first();
+                    out.insert(Term::cons(
+                        m.clone(),
+                        Term::cons_opt(Term::sym(name.as_str()), rest.cloned()),
+                    ));
+                }
+            }
+            check(out, budget)
+        }
+        // [[πA]](P) := {m.p | m.A.p ∈ P}
+        Expr::Proj(a) => {
+            let mut out = BTreeSet::new();
+            for t in input {
+                if let Some((m, attr, p)) = t.split_two() {
+                    if attr.is_sym(a.as_str()) {
+                        match p {
+                            Some(p) => out.insert(Term::cons(m.clone(), p.clone())),
+                            None => out.insert(m.clone()),
+                        };
+                    }
+                }
+            }
+            check(out, budget)
+        }
+        // [[f ∪ g]](P) := {m.(1.i).p | m.i.p ∈ [[f]](P)}
+        //              ∪ {m.(2.i).p | m.i.p ∈ [[g]](P)}
+        Expr::Union(f, g) => {
+            let mut out = BTreeSet::new();
+            for (tag, branch) in [("1", f), ("2", g)] {
+                let sub = step(branch, input, budget)?;
+                for t in &sub {
+                    let (m, i, p) = t.split_two().ok_or_else(|| malformed("union", t))?;
+                    out.insert(Term::cons(
+                        m.clone(),
+                        Term::cons_opt(
+                            Term::cons(Term::sym(tag), i.clone()),
+                            p.cloned(),
+                        ),
+                    ));
+                }
+            }
+            check(out, budget)
+        }
+        // [[A =atomic B]](P) := {m.1.⟨⟩ | m.A.p, m.B.p ∈ P}
+        Expr::Pred(Cond::Eq(Operand::Path(pa), Operand::Path(pb), EqMode::Atomic))
+            if pa.len() == 1 && pb.len() == 1 =>
+        {
+            let mut out = BTreeSet::new();
+            for t in input {
+                if let Some((m, attr, p)) = t.split_two() {
+                    if attr.is_sym(pa[0].as_str()) {
+                        // Seek m.B.p in P.
+                        let wanted = Term::cons(
+                            m.clone(),
+                            Term::cons_opt(
+                                Term::sym(pb[0].as_str()),
+                                p.cloned(),
+                            ),
+                        );
+                        if input.contains(&wanted) {
+                            out.insert(Term::cons(
+                                m.clone(),
+                                Term::cons(Term::sym("1"), Term::unit()),
+                            ));
+                        }
+                    }
+                }
+            }
+            check(out, budget)
+        }
+        // σ over atomic conditions (derived in Example 2.3; supported
+        // directly so the Fig 2 translation images stay in the fragment).
+        // Under the map-convention of [[·]], the first segment is the
+        // *outer* member and the filtered set's members are the second
+        // segment, so conditions are evaluated per (m, i) prefix.
+        Expr::Select(cond) => {
+            let mut out = BTreeSet::new();
+            let mut members: Vec<(&Term, &Term)> = Vec::new();
+            for t in input {
+                if let Some((m, i, _)) = t.split_two() {
+                    if !members.contains(&(m, i)) {
+                        members.push((m, i));
+                    }
+                }
+            }
+            for (m, i) in members {
+                if eval_select_cond(cond, m, i, input)? {
+                    for t in input {
+                        if let Some((tm, ti, _)) = t.split_two() {
+                            if tm == m && ti == i {
+                                out.insert(t.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            check(out, budget)
+        }
+        other => Err(PathError::Unsupported(other.to_string())),
+    }
+}
+
+/// `map_b`: `{(m.i).p | m.i.p ∈ P}`.
+pub fn map_b(input: &PathSet) -> Result<PathSet, PathError> {
+    let mut out = BTreeSet::new();
+    for t in input {
+        let (m, i, p) = t.split_two().ok_or_else(|| malformed("map_b", t))?;
+        out.insert(Term::cons_opt(
+            Term::cons(m.clone(), i.clone()),
+            p.cloned(),
+        ));
+    }
+    Ok(out)
+}
+
+/// `map_e`: `{m.i.p | (m.i).p ∈ P}`.
+pub fn map_e(input: &PathSet) -> Result<PathSet, PathError> {
+    let mut out = BTreeSet::new();
+    for t in input {
+        let (head, p) = t.split_first();
+        let Term::Pair(m, i) = head else {
+            return Err(malformed("map_e", t));
+        };
+        out.insert(Term::cons(
+            (**m).clone(),
+            Term::cons_opt((**i).clone(), p.cloned()),
+        ));
+    }
+    Ok(out)
+}
+
+/// Resolves an atomic condition for the set member at prefix `m.i`: an
+/// operand path `π` resolves to the atom `c` with `m.i.π.c ∈ P`.
+fn eval_select_cond(
+    cond: &Cond,
+    m: &Term,
+    i: &Term,
+    input: &PathSet,
+) -> Result<bool, PathError> {
+    match cond {
+        Cond::True => Ok(true),
+        Cond::And(a, b) => Ok(eval_select_cond(a, m, i, input)?
+            && eval_select_cond(b, m, i, input)?),
+        Cond::Or(a, b) => Ok(eval_select_cond(a, m, i, input)?
+            || eval_select_cond(b, m, i, input)?),
+        Cond::Eq(a, b, EqMode::Atomic) => {
+            let va = resolve_atom(a, m, i, input)?;
+            let vb = resolve_atom(b, m, i, input)?;
+            Ok(match (va, vb) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            })
+        }
+        other => Err(PathError::Unsupported(format!("selection condition {other}"))),
+    }
+}
+
+fn resolve_atom(
+    op: &Operand,
+    m: &Term,
+    i: &Term,
+    input: &PathSet,
+) -> Result<Option<String>, PathError> {
+    match op {
+        Operand::Const(v) => match v.kind() {
+            ValueKind::Atom(a) => Ok(Some(a.as_str().to_string())),
+            _ => Err(PathError::Unsupported(format!(
+                "non-atomic constant {v} in a path-selection"
+            ))),
+        },
+        Operand::Path(attrs) => {
+            'outer: for t in input {
+                let segs = t.segments();
+                if segs.len() != attrs.len() + 3 || segs[0] != m || segs[1] != i {
+                    continue;
+                }
+                for (k, a) in attrs.iter().enumerate() {
+                    if !segs[k + 2].is_sym(a.as_str()) {
+                        continue 'outer;
+                    }
+                }
+                if let Term::Sym(c) = segs[segs.len() - 1] {
+                    return Ok(Some(c.to_string()));
+                }
+            }
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_term;
+    use cv_value::{parse_type, parse_value};
+
+    fn ps(paths: &[&str]) -> PathSet {
+        paths
+            .iter()
+            .map(|s| parse_term(s).unwrap_or_else(|| panic!("bad path {s}")))
+            .collect()
+    }
+
+    #[test]
+    fn value_paths_of_scalars_and_tuples() {
+        let v = parse_value("<A: x, B: <C: y, D: z>>").unwrap();
+        assert_eq!(value_paths(&v), ps(&["A.x", "B.C.y", "B.D.z"]));
+        assert_eq!(value_paths(&Value::unit()), ps(&["<>"]));
+        let v = parse_value("{a, b}").unwrap();
+        assert_eq!(value_paths(&v), ps(&["1.a", "2.b"]));
+        let v = parse_value("{{a}, {b, c}}").unwrap();
+        assert_eq!(value_paths(&v), ps(&["1.1.a", "2.1.b", "2.2.c"]));
+    }
+
+    #[test]
+    fn decode_inverts_value_paths() {
+        for (src, ty) in [
+            ("{a, b}", "{Dom}"),
+            ("{<A: x, B: y>, <A: z, B: w>}", "{<A: Dom, B: Dom>}"),
+            ("{{a}, {b, c}}", "{{Dom}}"),
+            ("<>", "<>"),
+            ("{<>}", "{<>}"),
+        ] {
+            let v = parse_value(src).unwrap();
+            let t = parse_type(ty).unwrap();
+            assert_eq!(decode(&value_paths(&v), &t), Some(v), "src {src}");
+        }
+        // Empty set decodes from the empty path set.
+        assert_eq!(
+            decode(&BTreeSet::new(), &parse_type("{Dom}").unwrap()),
+            Some(Value::set([]))
+        );
+    }
+
+    #[test]
+    fn singleton_and_projection_rules() {
+        // [[sng]] on {1.<>} (the encoding of {⟨⟩}).
+        let p0 = ps(&["1.<>"]);
+        let got = eval_paths(&Expr::Sng, &p0).unwrap();
+        assert_eq!(got, ps(&["1.1.<>"]));
+        // π_A : {m.A.p} → {m.p}
+        let p = ps(&["1.A.x", "1.B.y"]);
+        let got = eval_paths(&Expr::proj("A"), &p).unwrap();
+        assert_eq!(got, ps(&["1.x"]));
+    }
+
+    #[test]
+    fn flatten_groups_indices() {
+        let p = ps(&["1.1.1.a", "1.1.2.b", "1.2.1.c"]);
+        let got = eval_paths(&Expr::Flatten, &p).unwrap();
+        assert_eq!(got, ps(&["1.(1.1).a", "1.(1.2).b", "1.(2.1).c"]));
+    }
+
+    #[test]
+    fn union_tags_branches() {
+        let one = Expr::atom("1").then(Expr::Sng);
+        let two = Expr::atom("2").then(Expr::Sng);
+        let got = eval_paths(&one.union(two), &ps(&["1.<>"])).unwrap();
+        assert_eq!(got, ps(&["1.(1.1).1", "1.(2.1).2"]));
+    }
+
+    #[test]
+    fn agreement_with_direct_evaluator() {
+        // U^{τ′}([[f]](P)) = map(f)(U^{τ}(P)) — the Theorem 5.2 claim,
+        // spot-checked on concrete values and queries.
+        use cv_monad::{eval, CollectionKind};
+        let cases: Vec<(&str, &str, &str, Expr)> = vec![
+            ("{a, b}", "{Dom}", "{{Dom}}", Expr::Sng),
+            (
+                "{<A: x, B: y>}",
+                "{<A: Dom, B: Dom>}",
+                "{Dom}",
+                Expr::proj("A"),
+            ),
+            (
+                "{<A: {1, 2}, B: z>}",
+                "{<A: {Dom}, B: Dom>}",
+                "{{<A: Dom, B: Dom>}}",
+                Expr::pairwith("A"),
+            ),
+            (
+                "{{a, b}}",
+                "{{Dom}}",
+                "{{{Dom}}}",
+                Expr::Sng.mapped(),
+            ),
+            // σ filters the members of each set member (the input is a
+            // set of sets of tuples under the map convention).
+            (
+                "{{<A: x, B: x>, <A: x, B: y>}}",
+                "{{<A: Dom, B: Dom>}}",
+                "{{<A: Dom, B: Dom>}}",
+                Expr::Select(Cond::eq_atomic(Operand::path("A"), Operand::path("B"))),
+            ),
+            // NB: members where the predicate fails would decode as
+            // *missing* rather than as ∅ — empty collections have no paths
+            // (see the module docs) — so the spot-check uses all-true rows.
+            (
+                "{<A: x, B: x>, <A: y, B: y>}",
+                "{<A: Dom, B: Dom>}",
+                "{{<>}}",
+                Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B"))),
+            ),
+        ];
+        for (input, in_ty, out_ty, f) in cases {
+            let v = parse_value(input).unwrap();
+            let in_ty = parse_type(in_ty).unwrap();
+            let out_ty = parse_type(out_ty).unwrap();
+            let p = value_paths(&v);
+            let got_paths = eval_paths(&f, &p)
+                .unwrap_or_else(|e| panic!("path eval failed for {f}: {e}"));
+            let got = decode(&got_paths, &out_ty)
+                .unwrap_or_else(|| panic!("decode failed for {f}"));
+            let want = eval(&f.clone().mapped(), CollectionKind::Set, &v).unwrap();
+            assert_eq!(got, want, "query {f} on {input}; in_ty {in_ty}");
+        }
+    }
+
+    #[test]
+    fn unsupported_operations_error() {
+        let p = ps(&["1.<>"]);
+        assert!(matches!(
+            eval_paths(&Expr::Not, &p),
+            Err(PathError::Unsupported(_))
+        ));
+        assert!(matches!(
+            eval_paths(&Expr::Unique, &p),
+            Err(PathError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn budget_guards_blowup() {
+        // id × id iterated at tiny budget.
+        let two = Expr::konst(parse_value("{0, 1}").unwrap());
+        let product = cv_monad::derived::product(Expr::Id, Expr::Id);
+        let mut q = two;
+        for _ in 0..6 {
+            q = q.then(product.clone());
+        }
+        let r = eval_paths_with(
+            &q,
+            &ps(&["1.<>"]),
+            PathBudget { max_paths: 1000 },
+        );
+        assert!(matches!(r, Err(PathError::Budget(_))));
+    }
+}

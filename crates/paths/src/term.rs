@@ -1,0 +1,267 @@
+//! Nested paths — terms over a single binary function symbol `f` and
+//! constants, written in the paper's dot notation (proof of Theorem 5.2):
+//!
+//! > A constant `c` is written as `c` as a path. Inductively, if `t, t′`
+//! > are terms and `p, p′` are their respective representations as paths,
+//! > then the term `f(t, t′)` is represented as a path as `p.p′` if `t` is
+//! > atomic and as `(p).p′` otherwise.
+//!
+//! So `f(f(x,y), f(z, f(u,v)))` prints as `(x.y).z.u.v`: a *path* is a
+//! right-nested sequence of *segments*, each segment a constant or a
+//! parenthesized sub-path ("left `f`-term children are Skolem functions
+//! generating new path labels").
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A term over the binary symbol `f` and string constants. [`Term::Pair`]
+/// is `f(head, tail)`; viewed as a path, `head` is the first segment and
+/// `tail` the rest.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A constant (a set-member index, attribute name, atom, or `⟨⟩`).
+    Sym(Rc<str>),
+    /// `f(head, tail)`.
+    Pair(Rc<Term>, Rc<Term>),
+}
+
+impl Term {
+    /// A constant segment.
+    pub fn sym(s: impl AsRef<str>) -> Term {
+        Term::Sym(Rc::from(s.as_ref()))
+    }
+
+    /// The unit-tuple constant `⟨⟩`, a path of length one (Thm 5.2 proof).
+    pub fn unit() -> Term {
+        Term::sym("<>")
+    }
+
+    /// `f(head, tail)` — prepends a segment to a path.
+    pub fn cons(head: Term, tail: Term) -> Term {
+        Term::Pair(Rc::new(head), Rc::new(tail))
+    }
+
+    /// Prepends `head` to an optional rest (absent rest gives `head`).
+    pub fn cons_opt(head: Term, tail: Option<Term>) -> Term {
+        match tail {
+            Some(t) => Term::cons(head, t),
+            None => head,
+        }
+    }
+
+    /// Splits off the first segment: `m.p ↦ (m, Some(p))`, `m ↦ (m, None)`.
+    pub fn split_first(&self) -> (&Term, Option<&Term>) {
+        match self {
+            Term::Pair(h, t) => (h, Some(t)),
+            s => (s, None),
+        }
+    }
+
+    /// Splits off the first two segments `m.i.p ↦ (m, i, p?)`, if present.
+    pub fn split_two(&self) -> Option<(&Term, &Term, Option<&Term>)> {
+        let (m, rest) = self.split_first();
+        let (i, p) = rest?.split_first();
+        Some((m, i, p))
+    }
+
+    /// Splits off the first three segments `m.i.j.p ↦ (m, i, j, p?)`.
+    pub fn split_three(&self) -> Option<(&Term, &Term, &Term, Option<&Term>)> {
+        let (m, i, rest) = self.split_two()?;
+        let (j, p) = rest?.split_first();
+        Some((m, i, j, p))
+    }
+
+    /// The segments of the path, in order.
+    pub fn segments(&self) -> Vec<&Term> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Term::Pair(h, t) => {
+                    out.push(&**h);
+                    cur = t;
+                }
+                s => {
+                    out.push(s);
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Builds a path from a nonempty segment sequence.
+    pub fn from_segments(segs: Vec<Term>) -> Term {
+        let mut it = segs.into_iter().rev();
+        let last = it.next().expect("a path has at least one segment");
+        it.fold(last, |acc, s| Term::cons(s, acc))
+    }
+
+    /// Whether `self` is a constant segment with this symbol.
+    pub fn is_sym(&self, s: &str) -> bool {
+        matches!(self, Term::Sym(x) if &**x == s)
+    }
+
+    /// Number of symbols in the term — the "path size" of the Theorem 5.2
+    /// polynomial-size argument.
+    pub fn size(&self) -> u64 {
+        match self {
+            Term::Sym(_) => 1,
+            Term::Pair(a, b) => a.size() + b.size(),
+        }
+    }
+
+    /// Number of segments in the path view.
+    pub fn len(&self) -> usize {
+        self.segments().len()
+    }
+
+    /// Always false — terms are nonempty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Sym(s) => f.write_str(s),
+            Term::Pair(h, t) => {
+                match &**h {
+                    Term::Sym(s) => f.write_str(s)?,
+                    composite => write!(f, "({composite})")?,
+                }
+                write!(f, ".{t}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Parses a path in dot notation (inverse of `Display`), for golden tests:
+/// `(x.y).z.u.v`.
+pub fn parse_term(src: &str) -> Option<Term> {
+    let mut pos = 0;
+    let t = parse_path(src.as_bytes(), &mut pos)?;
+    (pos == src.len()).then_some(t)
+}
+
+fn parse_segment(b: &[u8], pos: &mut usize) -> Option<Term> {
+    if *pos < b.len() && b[*pos] == b'(' {
+        *pos += 1;
+        let inner = parse_path(b, pos)?;
+        if *pos < b.len() && b[*pos] == b')' {
+            *pos += 1;
+            Some(inner)
+        } else {
+            None
+        }
+    } else {
+        let start = *pos;
+        while *pos < b.len() {
+            let c = b[*pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '<' || c == '>' || c == '$' {
+                *pos += 1;
+            } else {
+                break;
+            }
+        }
+        (*pos > start).then(|| Term::sym(std::str::from_utf8(&b[start..*pos]).ok().unwrap()))
+    }
+}
+
+fn parse_path(b: &[u8], pos: &mut usize) -> Option<Term> {
+    let mut segs = vec![parse_segment(b, pos)?];
+    while *pos < b.len() && b[*pos] == b'.' {
+        *pos += 1;
+        segs.push(parse_segment(b, pos)?);
+    }
+    Some(Term::from_segments(segs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_example() {
+        // f(f(x,y), f(z, f(u,v))) = (x.y).z.u.v
+        let t = Term::cons(
+            Term::cons(Term::sym("x"), Term::sym("y")),
+            Term::from_segments(vec![Term::sym("z"), Term::sym("u"), Term::sym("v")]),
+        );
+        assert_eq!(t.to_string(), "(x.y).z.u.v");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        // Display is canonical: parentheses appear only on composite
+        // *left* children (the paper's rule); the figures' extra
+        // parentheses on right-nested groups like `1.(1.1)` are redundant
+        // (`f(1, f(1,1))` *is* `1.1.1`).
+        for src in ["c", "1.<>", "(x.y).z.u.v", "(a.b.c).d", "((a.b).c).d"] {
+            let t = parse_term(src).unwrap_or_else(|| panic!("parse {src}"));
+            assert_eq!(t.to_string(), src);
+        }
+        // Parentheses on a *final* segment are redundant — the group is
+        // just the tail term — while mid-path parentheses are significant.
+        assert_eq!(parse_term("1.(1.1)").unwrap(), parse_term("1.1.1").unwrap());
+        assert_eq!(
+            parse_term("((1.(2.1)).1.1).1.<>").unwrap(),
+            parse_term("((1.2.1).1.1).1.<>").unwrap()
+        );
+        assert_ne!(
+            parse_term("1.(1.1).1").unwrap(),
+            parse_term("1.1.1.1").unwrap(),
+            "mid-path groups are left children, not tails"
+        );
+        // Canonical display round-trips through parse.
+        for src in ["((1.(2.1)).1.1).1.<>", "1.A.(2.1).2"] {
+            let t = parse_term(src).unwrap();
+            assert_eq!(parse_term(&t.to_string()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_term("").is_none());
+        assert!(parse_term("(a.b").is_none());
+        assert!(parse_term("a..b").is_none());
+        assert!(parse_term("a.b)").is_none());
+    }
+
+    #[test]
+    fn segment_views() {
+        let t = parse_term("(x.y).z.u").unwrap();
+        let segs = t.segments();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].to_string(), "x.y");
+        assert_eq!(segs[1].to_string(), "z");
+        let (m, rest) = t.split_first();
+        assert_eq!(m.to_string(), "x.y");
+        assert_eq!(rest.unwrap().to_string(), "z.u");
+        let (m, i, p) = t.split_two().unwrap();
+        assert_eq!(m.to_string(), "x.y");
+        assert_eq!(i.to_string(), "z");
+        assert_eq!(p.unwrap().to_string(), "u");
+        assert!(Term::sym("q").split_two().is_none());
+    }
+
+    #[test]
+    fn from_segments_round_trip() {
+        let t = parse_term("(x.y).z.u.v").unwrap();
+        let rebuilt = Term::from_segments(t.segments().into_iter().cloned().collect());
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn size_counts_symbols() {
+        assert_eq!(parse_term("c").unwrap().size(), 1);
+        assert_eq!(parse_term("(x.y).z").unwrap().size(), 3);
+        assert_eq!(parse_term("((1.(2.1)).1.1).1.<>").unwrap().size(), 7);
+    }
+}

@@ -1,0 +1,258 @@
+//! Alternating Turing machines with bounded alternations, and a direct
+//! evaluator for the `A_i` recurrence of Theorem 5.9 — the oracle for the
+//! ATM-to-monad-algebra reduction.
+
+use crate::ntm::{Config, Ntm};
+use std::collections::BTreeSet;
+
+/// An alternating TM: an [`Ntm`] plus a quantifier block per state.
+/// Following the proof's w.l.o.g. assumptions: accepting states are
+/// existential (`F ⊆ Q∃`).
+#[derive(Clone, Debug)]
+pub struct Atm {
+    /// The underlying machine (states, alphabet, transitions, accepting).
+    pub machine: Ntm,
+    /// `existential[q]` iff state `q` is in `Q∃` (else `Q∀`).
+    pub existential: Vec<bool>,
+}
+
+impl Atm {
+    fn is_existential(&self, c: &Config) -> bool {
+        self.existential[c.state]
+    }
+
+    /// All valid configurations on a `tape_len`-cell tape (the oracle only
+    /// enumerates single-head configurations; the reduction's junk configs
+    /// are unreachable from a valid start, per the proof).
+    fn all_configs(&self, tape_len: usize) -> Vec<Config> {
+        let syms = self.machine.alphabet.len();
+        let states = self.machine.states.len();
+        let mut out = Vec::new();
+        let mut tape = vec![0usize; tape_len];
+        loop {
+            for head in 0..tape_len {
+                for state in 0..states {
+                    out.push(Config {
+                        tape: tape.clone(),
+                        head,
+                        state,
+                    });
+                }
+            }
+            // Odometer over tapes.
+            let mut i = 0;
+            loop {
+                if i == tape_len {
+                    return out;
+                }
+                tape[i] += 1;
+                if tape[i] < syms {
+                    break;
+                }
+                tape[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// `ψ`: pairs `(C, C′)` with `C′` reachable from `C` in at most
+    /// `steps` steps through configurations in `C`'s quantifier block
+    /// (the last configuration may leave the block) — Theorem 5.9's
+    /// modified reachability, computed directly.
+    pub fn same_block_reach(&self, tape_len: usize, steps: usize) -> BTreeSet<(Config, Config)> {
+        let mut pairs = BTreeSet::new();
+        for c in self.all_configs(tape_len) {
+            // BFS limited to same-block intermediate configs.
+            let block = self.is_existential(&c);
+            let mut frontier: BTreeSet<Config> = [c.clone()].into();
+            pairs.insert((c.clone(), c.clone()));
+            for _ in 0..steps {
+                let mut next = BTreeSet::new();
+                for m in &frontier {
+                    for s in self.machine.successors(m) {
+                        pairs.insert((c.clone(), s.clone()));
+                        // Continue only through the same block.
+                        if self.is_existential(&s) == block {
+                            next.insert(s);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+        }
+        pairs
+    }
+
+    /// The `A_i` recurrence of Theorem 5.9 evaluated directly:
+    ///
+    /// ```text
+    /// A_1     = {C | ∃C′: (C,C′) ∈ ψ, C′ accepting, C ∈ Q∃}
+    /// A_{i+1} = {C | ∃C′: (C,C′) ∈ ψ, C′ ∈ Configs − A_i,
+    ///                C ∈ Q∃ ⇔ C′ ∉ Q∃}
+    /// ```
+    pub fn alternation_sets(
+        &self,
+        tape_len: usize,
+        steps: usize,
+        rounds: usize,
+    ) -> Vec<BTreeSet<Config>> {
+        let psi = self.same_block_reach(tape_len, steps);
+        let configs: BTreeSet<Config> = self.all_configs(tape_len).into_iter().collect();
+        let mut sets = Vec::new();
+        let a1: BTreeSet<Config> = psi
+            .iter()
+            .filter(|(c, cp)| {
+                self.machine.accepting.contains(&cp.state) && self.is_existential(c)
+            })
+            .map(|(c, _)| c.clone())
+            .collect();
+        sets.push(a1);
+        for _ in 1..rounds {
+            let prev = sets.last().expect("a1 pushed");
+            let complement: BTreeSet<&Config> =
+                configs.iter().filter(|c| !prev.contains(*c)).collect();
+            let next: BTreeSet<Config> = psi
+                .iter()
+                .filter(|(c, cp)| {
+                    complement.contains(cp)
+                        && (self.is_existential(c) != self.is_existential(cp))
+                })
+                .map(|(c, _)| c.clone())
+                .collect();
+            sets.push(next);
+        }
+        sets
+    }
+
+    /// Acceptance with `rounds` alternations (odd, per the proof's
+    /// assumption): `C_start ∈ A_rounds`.
+    pub fn accepts_alternating(
+        &self,
+        start: &Config,
+        steps: usize,
+        rounds: usize,
+    ) -> bool {
+        assert!(rounds % 2 == 1, "the proof assumes an odd alternation count");
+        let sets = self.alternation_sets(start.tape.len(), steps, rounds);
+        sets[rounds - 1].contains(start)
+    }
+}
+
+/// Small alternating machines for tests.
+pub mod zoo {
+    use super::*;
+    use crate::ntm::{Move, Transition};
+
+    /// An existential start state steps into a universal state that
+    /// branches to write `#` or `1` into cell 0, entering the existential
+    /// checker, which accepts iff cell 0 is `1`. With one universal branch
+    /// writing `#`, the machine must reject — unless `require_one` is
+    /// false, in which case the checker accepts any symbol.
+    ///
+    /// (The machine *starts existential* because the proof evaluates
+    /// `C_start ∈ A_K` with odd `K`, and odd-indexed `A_i` contain
+    /// existential configurations.)
+    pub fn forall_then_check(require_one: bool) -> Atm {
+        let mut transitions = vec![
+            // Existential kick-off: hand over to the universal state.
+            Transition { from: 0, read: 0, to: 1, write: 0, mv: Move::Stay },
+            Transition { from: 0, read: 1, to: 1, write: 1, mv: Move::Stay },
+            // Universal: overwrite cell 0 with # or 1.
+            Transition { from: 1, read: 0, to: 2, write: 0, mv: Move::Stay },
+            Transition { from: 1, read: 0, to: 2, write: 1, mv: Move::Stay },
+            Transition { from: 1, read: 1, to: 2, write: 0, mv: Move::Stay },
+            Transition { from: 1, read: 1, to: 2, write: 1, mv: Move::Stay },
+            // Existential checker: accept on 1.
+            Transition { from: 2, read: 1, to: 3, write: 1, mv: Move::Stay },
+        ];
+        if !require_one {
+            transitions.push(Transition {
+                from: 2,
+                read: 0,
+                to: 3,
+                write: 0,
+                mv: Move::Stay,
+            });
+        }
+        let machine = Ntm {
+            states: vec!["es".into(), "u0".into(), "e0".into(), "acc".into()],
+            alphabet: vec!["#".into(), "1".into()],
+            accepting: vec![3],
+            transitions,
+        }
+        .with_stay_loops();
+        Atm {
+            machine,
+            // u0 is universal; the rest existential (F ⊆ Q∃).
+            existential: vec![true, false, true, true],
+        }
+    }
+
+    /// A purely existential machine (degenerate alternation) that accepts
+    /// iff the first cell holds 1.
+    pub fn purely_existential() -> Atm {
+        let machine = crate::ntm::zoo::first_is_one();
+        let n = machine.states.len();
+        Atm {
+            machine,
+            existential: vec![true; n],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forall_branch_rejects_when_one_branch_fails() {
+        let m = zoo::forall_then_check(true);
+        let start = m.machine.start_config(&[1, 0], 2);
+        // The universal state can write # into cell 0; that branch cannot
+        // reach acceptance, so with alternations ∀ fails.
+        assert!(!m.accepts_alternating(&start, 2, 3));
+    }
+
+    #[test]
+    fn forall_accepts_when_all_branches_succeed() {
+        let m = zoo::forall_then_check(false);
+        let start = m.machine.start_config(&[1, 0], 2);
+        assert!(m.accepts_alternating(&start, 2, 3));
+    }
+
+    #[test]
+    fn purely_existential_matches_ntm_semantics() {
+        let m = zoo::purely_existential();
+        let yes = m.machine.start_config(&[1, 0], 2);
+        let no = m.machine.start_config(&[0, 1], 2);
+        assert!(m.accepts_alternating(&yes, 2, 1));
+        assert!(!m.accepts_alternating(&no, 2, 1));
+    }
+
+    #[test]
+    fn same_block_reach_respects_blocks() {
+        let m = zoo::forall_then_check(true);
+        let psi = m.same_block_reach(2, 2);
+        // From u0 (universal), one step reaches e0 (existential) — the
+        // endpoint may cross; but paths *through* e0 out of u0's block
+        // are cut, so u0 cannot reach acc (two block-crossing steps).
+        // From u0 (state 1, universal) one step reaches e0 (state 2,
+        // existential) — endpoints may cross the block boundary — but acc
+        // (state 3) would need a second crossing step, which ψ cuts.
+        let u0 = Config { state: 1, ..m.machine.start_config(&[1, 0], 2) };
+        let crossed_once = psi
+            .iter()
+            .any(|(c, cp)| c == &u0 && cp.state == 2);
+        assert!(crossed_once);
+        let crossed_twice = psi.iter().any(|(c, cp)| c == &u0 && cp.state == 3);
+        assert!(!crossed_twice, "ψ must stop at the block boundary");
+    }
+
+    #[test]
+    fn reflexivity_of_psi() {
+        let m = zoo::purely_existential();
+        let psi = m.same_block_reach(2, 1);
+        let c = m.machine.start_config(&[1, 1], 2);
+        assert!(psi.contains(&(c.clone(), c)));
+    }
+}

@@ -1,0 +1,197 @@
+//! The Theorem 5.9/5.11 reduction: alternating Turing machine acceptance
+//! (time `2^O(n)`, `O(n)` alternations) to `M∪[=mon, not]` — the
+//! TA[2^O(n), O(n)] lower bound.
+//!
+//! Reuses the Theorem 5.6 machinery (`Configs`, `φ_succ`, Savitch
+//! squaring) with two changes from the proof:
+//!
+//! * the squared reachability `ψ` joins only pairs whose *sources* sit in
+//!   the same quantifier block (`σ_{1.C.q∈Q∃ ⇔ 2.C.q∈Q∃}`);
+//! * the alternation sets `A_i` are built with set difference
+//!   (`Configs − A_i`), which needs negation — this is exactly where the
+//!   language with `not` (or `=deep`) becomes necessary.
+
+use crate::atm::Atm;
+use crate::ntm_to_ma::{EqFlavor, NtmReduction};
+use cv_monad::derived::product;
+use cv_monad::{Cond, EqMode, Expr, Operand};
+use cv_value::Value;
+
+/// The reduction from bounded-alternation ATM acceptance.
+pub struct AtmReduction<'m> {
+    atm: &'m Atm,
+    base: NtmReduction<'m>,
+    k: u32,
+    /// Number of alternation rounds (odd).
+    pub rounds: usize,
+}
+
+impl<'m> AtmReduction<'m> {
+    /// Creates the reduction for `atm` on `input` with tape length `2^k`
+    /// and `rounds` alternations.
+    pub fn new(atm: &'m Atm, k: u32, input: Vec<usize>, rounds: usize) -> Self {
+        assert!(rounds % 2 == 1, "the proof assumes an odd alternation count");
+        AtmReduction {
+            atm,
+            base: NtmReduction::new(&atm.machine, k, input, EqFlavor::Builtin),
+            k,
+            rounds,
+        }
+    }
+
+    /// Condition: the state at `path.q` is existential.
+    fn in_exists(&self, path: &str) -> Cond {
+        Cond::any(
+            self.atm
+                .machine
+                .states
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.atm.existential[*i])
+                .map(|(_, name)| {
+                    Cond::eq_atomic(
+                        Operand::path(&format!("{path}.q")),
+                        Operand::atom(name.as_str()),
+                    )
+                }),
+        )
+    }
+
+    /// `ψ` with the same-block join condition on pair sources.
+    pub fn psi_same_block(&self) -> Expr {
+        let identity = self
+            .base
+            .configs()
+            .then(Expr::mk_tuple([("C", Expr::Id), ("Cp", Expr::Id)]).mapped());
+        let mut psi = self.base.succ().union(identity);
+        for _ in 0..self.k() {
+            psi = psi
+                .then(product(Expr::Id, Expr::Id))
+                .then(Expr::Select(
+                    Cond::Eq(
+                        Operand::path("1.Cp"),
+                        Operand::path("2.C"),
+                        EqMode::Mon,
+                    )
+                    .and(Cond::iff(self.in_exists("1.C"), self.in_exists("2.C"))),
+                ))
+                .then(
+                    Expr::mk_tuple([
+                        ("C", Expr::proj_path("1.C")),
+                        ("Cp", Expr::proj_path("2.Cp")),
+                    ])
+                    .mapped(),
+                );
+        }
+        psi
+    }
+
+    fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// `A_1 := {C | ∃C′ (C,C′) ∈ ψ ∧ C′ accepting ∧ C.q ∈ Q∃}` and
+    /// `A_{i+1} := {C | ∃C′ (C,C′) ∈ ψ ∧ C′ ∈ Configs − A_i ∧
+    ///                  (C.q∈Q∃ ⇔ C′.q∉Q∃)}`,
+    /// each as a monad algebra expression over the pair set.
+    pub fn alternation_set(&self, i: usize) -> Expr {
+        assert!(i >= 1);
+        if i == 1 {
+            return product(self.psi_same_block(), self.base.accepting_configs())
+                .then(Expr::Select(
+                    Cond::Eq(
+                        Operand::path("1.Cp"),
+                        Operand::path("2"),
+                        EqMode::Mon,
+                    )
+                    .and(self.in_exists("1.C")),
+                ))
+                .then(Expr::proj_path("1.C").mapped());
+        }
+        let complement = Expr::Diff(
+            self.base.configs().into(),
+            self.alternation_set(i - 1).into(),
+        );
+        product(self.psi_same_block(), complement)
+            .then(Expr::Select(
+                Cond::Eq(Operand::path("1.Cp"), Operand::path("2"), EqMode::Mon).and(
+                    Cond::iff(
+                        self.in_exists("1.C"),
+                        self.in_exists("1.Cp").negate(),
+                    ),
+                ),
+            ))
+            .then(Expr::proj_path("1.C").mapped())
+    }
+
+    /// `φ_accept`: `C_start ∈ A_rounds`.
+    pub fn accept_query(&self) -> Expr {
+        Expr::mk_tuple([
+            ("1", self.base.start_config()),
+            ("2", self.alternation_set(self.rounds)),
+        ])
+        .then(Expr::pairwith("2"))
+        .then(Expr::Select(Cond::Eq(
+            Operand::path("1"),
+            Operand::path("2"),
+            EqMode::Mon,
+        )))
+        .then(Expr::mk_tuple::<_, &str>([]).mapped())
+    }
+
+    /// Evaluates the Boolean query.
+    pub fn run(&self, budget: cv_monad::Budget) -> Result<bool, cv_monad::EvalError> {
+        let q = self.accept_query();
+        let (v, _) =
+            cv_monad::eval_with(&q, cv_monad::CollectionKind::Set, &Value::unit(), budget)?;
+        Ok(v.is_true())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atm::zoo;
+    use cv_monad::Budget;
+
+    fn budget() -> Budget {
+        Budget {
+            max_steps: 150_000_000,
+            max_nodes: 250_000_000,
+        }
+    }
+
+    #[test]
+    fn purely_existential_reduction_matches_oracle() {
+        let m = zoo::purely_existential();
+        for input in [vec![1, 0], vec![0, 1]] {
+            let start = m.machine.start_config(&input, 2);
+            let want = m.accepts_alternating(&start, 2, 1);
+            let r = AtmReduction::new(&m, 1, input.clone(), 1);
+            let got = r.run(budget()).unwrap();
+            assert_eq!(got, want, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn universal_branching_matches_oracle() {
+        for require_one in [true, false] {
+            let m = zoo::forall_then_check(require_one);
+            let input = vec![1, 0];
+            let start = m.machine.start_config(&input, 2);
+            let want = m.accepts_alternating(&start, 2, 3);
+            let r = AtmReduction::new(&m, 1, input, 3);
+            let got = r.run(budget()).unwrap();
+            assert_eq!(got, want, "require_one = {require_one}");
+        }
+    }
+
+    #[test]
+    fn query_size_linear_in_alternations() {
+        let m = zoo::forall_then_check(true);
+        let s3 = AtmReduction::new(&m, 1, vec![1], 3).accept_query().size();
+        let s5 = AtmReduction::new(&m, 1, vec![1], 5).accept_query().size();
+        let s7 = AtmReduction::new(&m, 1, vec![1], 7).accept_query().size();
+        assert_eq!(s7 - s5, s5 - s3, "arithmetic growth in rounds");
+    }
+}

@@ -1,0 +1,127 @@
+//! The Proposition 4.2 blowup family: monad algebra queries of linear
+//! size whose results have doubly exponential size.
+
+use cv_monad::derived::product;
+use cv_monad::Expr;
+use cv_value::Value;
+
+/// `φ{0,1} ∘ (id × id) ∘ ··· ∘ (id × id)` (`m` times): computes the set of
+/// all nested pairs (binary trees) of depth `m` with leaves in `{0, 1}` —
+/// `2^(2^m)` of them (Prop 4.2).
+pub fn blowup_query(m: usize) -> Expr {
+    let phi01 = Expr::atom("0")
+        .then(Expr::Sng)
+        .union(Expr::atom("1").then(Expr::Sng));
+    let mut q = phi01;
+    for _ in 0..m {
+        q = q.then(product(Expr::Id, Expr::Id));
+    }
+    q
+}
+
+/// The predicted cardinality `2^(2^m)` of the blowup result (as `u64`;
+/// valid for `m ≤ 5`).
+pub fn blowup_cardinality(m: usize) -> u64 {
+    assert!(m <= 5, "2^(2^m) overflows u64 beyond m = 5");
+    1u64 << (1u64 << m)
+}
+
+/// The Proposition 4.3 upper bound `C_f` on the size of values computed by
+/// an expression on inputs of size `n` — evaluated as the paper's
+/// recurrence (`pairwith` squares, constants are O(1), composition
+/// composes), saturating at `u64::MAX`.
+pub fn size_bound(expr: &Expr, input_size: u64) -> u64 {
+    fn c(expr: &Expr, n: u64) -> u64 {
+        match expr {
+            Expr::Const(v) => v.node_count(),
+            Expr::EmptyColl => 1,
+            Expr::Id | Expr::Flatten | Expr::Proj(_) | Expr::Select(_) | Expr::Unique => n,
+            Expr::Sng | Expr::True | Expr::Not | Expr::Pred(_) => n.saturating_add(2),
+            Expr::PairWith(_) => n.saturating_mul(n).saturating_add(2),
+            Expr::Map(f) => c(f, n).saturating_mul(n.max(1)),
+            Expr::MkTuple(fs) => fs
+                .iter()
+                .fold(1u64, |acc, (_, f)| acc.saturating_add(c(f, n))),
+            Expr::Union(f, g) | Expr::Diff(f, g) | Expr::Intersect(f, g)
+            | Expr::Monus(f, g) => c(f, n).saturating_add(c(g, n)),
+            Expr::Compose(f, g) => c(g, c(f, n)),
+            Expr::Nest { .. } => n.saturating_mul(2),
+            Expr::DescMap => n.saturating_mul(n),
+        }
+    }
+    c(expr, input_size)
+}
+
+/// Measured result of running one blowup instance.
+#[derive(Debug, Clone, Copy)]
+pub struct BlowupPoint {
+    /// Nesting depth `m`.
+    pub m: usize,
+    /// Query size `|Q|` (linear in `m`).
+    pub query_size: u64,
+    /// Measured result cardinality.
+    pub cardinality: u64,
+    /// Measured result node count.
+    pub node_count: u64,
+}
+
+/// Runs the blowup query at depth `m` and reports the measured sizes.
+pub fn measure_blowup(m: usize, budget: cv_monad::Budget) -> Result<BlowupPoint, cv_monad::EvalError> {
+    let q = blowup_query(m);
+    let (v, _) = cv_monad::eval_with(&q, cv_monad::CollectionKind::Set, &Value::unit(), budget)?;
+    Ok(BlowupPoint {
+        m,
+        query_size: q.size(),
+        cardinality: v.items().map(|i| i.len() as u64).unwrap_or(0),
+        node_count: v.node_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_monad::Budget;
+
+    #[test]
+    fn cardinalities_match_the_proposition() {
+        for m in 0..=3 {
+            let p = measure_blowup(m, Budget::default()).unwrap();
+            assert_eq!(
+                p.cardinality,
+                blowup_cardinality(m),
+                "2^(2^{m}) nested pairs"
+            );
+        }
+    }
+
+    #[test]
+    fn query_size_is_linear_in_m() {
+        let s1 = blowup_query(1).size();
+        let s5 = blowup_query(5).size();
+        let s9 = blowup_query(9).size();
+        assert_eq!(s5 - s1, s9 - s5, "arithmetic growth");
+    }
+
+    #[test]
+    fn m4_exhausts_a_small_budget() {
+        // 2^16 = 65536 pairs of depth 4 — fine; m=5 would be 2^32.
+        let r = measure_blowup(5, Budget {
+            max_steps: 100_000,
+            max_nodes: 100_000,
+        });
+        assert!(r.is_err(), "m=5 must hit the budget");
+    }
+
+    #[test]
+    fn size_bound_dominates_measurement() {
+        for m in 0..=3 {
+            let p = measure_blowup(m, Budget::default()).unwrap();
+            let bound = size_bound(&blowup_query(m), 1);
+            assert!(
+                bound >= p.node_count,
+                "C_f bound {bound} < measured {} at m={m}",
+                p.node_count
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Complexity reductions of Koch (PODS 2005) §4.1, §5.2, and §7.1, each
+//! validated against an independent oracle:
+//!
+//! * [`blowup`] — the Prop 4.2 doubly-exponential value family and the
+//!   Prop 4.3 size bound `C_f`;
+//! * [`ntm`] / [`ntm_to_ma`] — NTMs and the Theorem 5.6 reduction to
+//!   `M∪[=atomic]` (NEXPTIME-hardness), with both Lemma 5.7 equality
+//!   flavors;
+//! * [`atm`] / [`atm_to_ma`] — alternating TMs and the Theorem 5.9/5.11
+//!   reduction to `M∪[=mon, not]` (TA[2^O(n), O(n)]-hardness);
+//! * [`qbf`] — QBF and the Prop 7.4 reduction to `XQ⁻[not]`
+//!   (PSPACE-hardness);
+//! * [`three_col`] — 3-colorability and the Prop 7.7 reduction to
+//!   negation-free `XQ⁻` (NP-hardness).
+
+pub mod atm;
+pub mod atm_to_ma;
+pub mod blowup;
+pub mod ntm;
+pub mod ntm_to_ma;
+pub mod qbf;
+pub mod three_col;
+
+pub use atm::Atm;
+pub use atm_to_ma::AtmReduction;
+pub use blowup::{blowup_cardinality, blowup_query, measure_blowup, size_bound, BlowupPoint};
+pub use ntm::{Config, Move, Ntm, Transition};
+pub use ntm_to_ma::{defined_mon_eq, EqFlavor, NtmReduction};
+pub use qbf::{qbf_query, qbf_tree, random_qbf, Formula, Qbf, Quantifier};
+pub use three_col::{color_tree, random_graph, three_col_query, Graph};

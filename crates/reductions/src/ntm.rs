@@ -1,0 +1,342 @@
+//! A nondeterministic Turing machine model with a direct simulator — the
+//! oracle against which the Theorem 5.6 reduction is validated.
+//!
+//! The machine model matches the proof's conventions: a bounded tape
+//! (length `2^K`), a run of exactly `2^K` steps (terminating paths are
+//! assumed to stay in a final state — we model that with explicit stay
+//! self-loops), and a single read/write head whose position is encoded by
+//! marking the scanned cell.
+
+use std::collections::BTreeSet;
+
+/// Head movement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// Move left.
+    Left,
+    /// Move right.
+    Right,
+    /// Stay put.
+    Stay,
+}
+
+/// One transition `(q, a) → (q′, b, move)`: in state `q` reading `a`,
+/// write `b`, move, and enter `q′`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transition {
+    /// Current state index.
+    pub from: usize,
+    /// Scanned symbol index.
+    pub read: usize,
+    /// Next state index.
+    pub to: usize,
+    /// Written symbol index.
+    pub write: usize,
+    /// Head movement.
+    pub mv: Move,
+}
+
+/// A nondeterministic Turing machine over a small alphabet.
+#[derive(Clone, Debug)]
+pub struct Ntm {
+    /// State names (index = state id). State 0 is the start state.
+    pub states: Vec<String>,
+    /// Tape symbols (index = symbol id). By convention symbol 0 is the
+    /// blank `#`.
+    pub alphabet: Vec<String>,
+    /// Accepting state ids.
+    pub accepting: Vec<usize>,
+    /// The transition relation.
+    pub transitions: Vec<Transition>,
+}
+
+/// An instantaneous description: tape contents, head position, state.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub struct Config {
+    /// Symbol ids, one per cell.
+    pub tape: Vec<usize>,
+    /// Head position.
+    pub head: usize,
+    /// Current state id.
+    pub state: usize,
+}
+
+impl Ntm {
+    /// The successor configurations of `c` (tape ends are walls: moves off
+    /// the tape are simply not offered, matching the proof's "left end
+    /// marker" convention).
+    pub fn successors(&self, c: &Config) -> Vec<Config> {
+        let mut out = Vec::new();
+        for t in &self.transitions {
+            if t.from != c.state || t.read != c.tape[c.head] {
+                continue;
+            }
+            let new_head = match t.mv {
+                Move::Left => {
+                    if c.head == 0 {
+                        continue;
+                    }
+                    c.head - 1
+                }
+                Move::Right => {
+                    if c.head + 1 >= c.tape.len() {
+                        continue;
+                    }
+                    c.head + 1
+                }
+                Move::Stay => c.head,
+            };
+            let mut tape = c.tape.clone();
+            tape[c.head] = t.write;
+            out.push(Config {
+                tape,
+                head: new_head,
+                state: t.to,
+            });
+        }
+        out
+    }
+
+    /// The start configuration for `input` (symbol ids) on a tape of
+    /// `tape_len` cells, padded with blanks, head at cell 0.
+    pub fn start_config(&self, input: &[usize], tape_len: usize) -> Config {
+        assert!(input.len() <= tape_len, "input longer than the tape");
+        let mut tape = vec![0usize; tape_len];
+        tape[..input.len()].copy_from_slice(input);
+        Config {
+            tape,
+            head: 0,
+            state: 0,
+        }
+    }
+
+    /// Whether some run of exactly `steps` steps starting from `start`
+    /// ends in an accepting state — the acceptance notion of the Theorem
+    /// 5.6 reduction (runs of exactly `2^K` steps; machines pad with stay
+    /// loops).
+    pub fn accepts_in(&self, start: &Config, steps: usize) -> bool {
+        let mut frontier: BTreeSet<Config> = BTreeSet::new();
+        frontier.insert(start.clone());
+        for _ in 0..steps {
+            let mut next = BTreeSet::new();
+            for c in &frontier {
+                for s in self.successors(c) {
+                    next.insert(s);
+                }
+            }
+            frontier = next;
+        }
+        frontier
+            .iter()
+            .any(|c| self.accepting.contains(&c.state))
+    }
+
+    /// Adds stay self-loops `(q, a) → (q, a, Stay)` for every state and
+    /// symbol, so that runs can idle — the w.l.o.g. padding of the proof.
+    pub fn with_stay_loops(mut self) -> Ntm {
+        for q in 0..self.states.len() {
+            for a in 0..self.alphabet.len() {
+                let t = Transition {
+                    from: q,
+                    read: a,
+                    to: q,
+                    write: a,
+                    mv: Move::Stay,
+                };
+                if !self.transitions.contains(&t) {
+                    self.transitions.push(t);
+                }
+            }
+        }
+        self
+    }
+}
+
+/// A tiny machine zoo for tests and benches. All machines use the
+/// alphabet `["#", "1"]` and carry stay loops.
+pub mod zoo {
+    use super::*;
+
+    fn base(states: &[&str], accepting: &[usize], transitions: Vec<Transition>) -> Ntm {
+        Ntm {
+            states: states.iter().map(|s| s.to_string()).collect(),
+            alphabet: vec!["#".into(), "1".into()],
+            accepting: accepting.to_vec(),
+            transitions,
+        }
+        .with_stay_loops()
+    }
+
+    /// Accepts iff the first tape cell holds `1` (checks and accepts).
+    pub fn first_is_one() -> Ntm {
+        base(
+            &["q0", "acc"],
+            &[1],
+            vec![Transition {
+                from: 0,
+                read: 1,
+                to: 1,
+                write: 1,
+                mv: Move::Stay,
+            }],
+        )
+    }
+
+    /// Never accepts (no transitions into the accepting state).
+    pub fn reject_all() -> Ntm {
+        base(&["q0", "acc"], &[1], vec![])
+    }
+
+    /// Accepts iff *some* cell within head reach holds `1` (walks right
+    /// nondeterministically, may stop and check).
+    pub fn some_one() -> Ntm {
+        base(
+            &["q0", "acc"],
+            &[1],
+            vec![
+                Transition {
+                    from: 0,
+                    read: 1,
+                    to: 1,
+                    write: 1,
+                    mv: Move::Stay,
+                },
+                Transition {
+                    from: 0,
+                    read: 0,
+                    to: 0,
+                    write: 0,
+                    mv: Move::Right,
+                },
+            ],
+        )
+    }
+
+    /// Accepts iff the first cell is blank, by writing a `1` into it
+    /// first (exercises tape rewriting in the reduction).
+    pub fn writes_then_accepts() -> Ntm {
+        base(
+            &["q0", "q1", "acc"],
+            &[2],
+            vec![
+                Transition {
+                    from: 0,
+                    read: 0,
+                    to: 1,
+                    write: 1,
+                    mv: Move::Stay,
+                },
+                Transition {
+                    from: 1,
+                    read: 1,
+                    to: 2,
+                    write: 1,
+                    mv: Move::Stay,
+                },
+            ],
+        )
+    }
+
+    /// Accepts iff cell 0 holds 1 after moving right then left again —
+    /// exercises both head directions.
+    pub fn right_then_left() -> Ntm {
+        base(
+            &["q0", "q1", "q2", "acc"],
+            &[3],
+            vec![
+                Transition {
+                    from: 0,
+                    read: 1,
+                    to: 1,
+                    write: 1,
+                    mv: Move::Right,
+                },
+                Transition {
+                    from: 0,
+                    read: 0,
+                    to: 1,
+                    write: 0,
+                    mv: Move::Right,
+                },
+                Transition {
+                    from: 1,
+                    read: 0,
+                    to: 2,
+                    write: 0,
+                    mv: Move::Left,
+                },
+                Transition {
+                    from: 1,
+                    read: 1,
+                    to: 2,
+                    write: 1,
+                    mv: Move::Left,
+                },
+                Transition {
+                    from: 2,
+                    read: 1,
+                    to: 3,
+                    write: 1,
+                    mv: Move::Stay,
+                },
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulator_first_is_one() {
+        let m = zoo::first_is_one();
+        let yes = m.start_config(&[1, 0], 2);
+        let no = m.start_config(&[0, 1], 2);
+        assert!(m.accepts_in(&yes, 2));
+        assert!(!m.accepts_in(&no, 2));
+    }
+
+    #[test]
+    fn simulator_reject_all() {
+        let m = zoo::reject_all();
+        let c = m.start_config(&[1, 1], 2);
+        assert!(!m.accepts_in(&c, 4));
+    }
+
+    #[test]
+    fn simulator_some_one_walks_right() {
+        let m = zoo::some_one();
+        let far = m.start_config(&[0, 0, 0, 1], 4);
+        assert!(m.accepts_in(&far, 4), "reaches the 1 in 3 moves + accept");
+        let none = m.start_config(&[0, 0, 0, 0], 4);
+        assert!(!m.accepts_in(&none, 4));
+        // Too few steps to reach the far 1.
+        assert!(!m.accepts_in(&far, 2));
+    }
+
+    #[test]
+    fn simulator_respects_walls() {
+        let m = zoo::right_then_left();
+        let c = m.start_config(&[1], 1);
+        // Cannot move right on a 1-cell tape; only stay loops fire.
+        assert!(!m.accepts_in(&c, 4));
+    }
+
+    #[test]
+    fn writes_change_the_tape() {
+        let m = zoo::writes_then_accepts();
+        assert!(m.accepts_in(&m.start_config(&[0, 0], 2), 2));
+        assert!(!m.accepts_in(&m.start_config(&[1, 0], 2), 2));
+    }
+
+    #[test]
+    fn stay_loops_pad_runs() {
+        let m = zoo::first_is_one();
+        let yes = m.start_config(&[1, 0], 2);
+        // Acceptance must survive longer exact-length runs.
+        for steps in [1, 2, 3, 8] {
+            assert!(m.accepts_in(&yes, steps), "steps = {steps}");
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! The Theorem 5.6 reduction: NEXPTIME Turing machine acceptance to
+//! `M∪[=atomic]` query evaluation (query complexity).
+//!
+//! The construction, faithfully to the proof:
+//!
+//! * tapes of length `2^K` are complete nested pairs of depth `K` over the
+//!   extended alphabet `Σ′ = Σ ∪ {⊲s⊳}` (head-marked symbols, spelled
+//!   `H_s` here); `Tapes = φ_Σ′ ∘ (id×id)^K` computes *all* of them;
+//! * `Configs = (Tapes × Q) ∘ map(⟨t: π1, q: π2⟩)`;
+//! * the start tape is built from constants `φ_x`/`φ_empty` of size
+//!   `O(2^⌈log n⌉)` and the doubling combinator
+//!   `φ_pad = ⟨1: id, 2: ⟨1: π2, 2: π2⟩⟩` applied `K − ⌈log n⌉ − 1` times;
+//! * monotone equality `=mon` on tapes is either the built-in (Lemma
+//!   5.7(b), linear-size) or *defined* from `=atomic` with the paper's
+//!   tagging trick `φ = ⟨T:1, V:π1⟩∘sng ∪ ⟨T:2, V:π2⟩∘sng`, which uses one
+//!   recursive occurrence per depth (Lemma 5.7(a), quadratic-size);
+//! * `φ_succ` finds the ≤2-cell window where the tapes differ by zooming
+//!   in `K−1` times with the three σ/π rules of the proof (Figure 7), then
+//!   selects windows matching a transition of `δ`;
+//! * runs of length `2^K` are Savitch-squared: `ψ_{i+1} = ψ_i ∘ (id×id) ∘
+//!   σ_{1.C′=2.C} ∘ map(…)`, `K` times (with the stay-completion making
+//!   ψ reflexive, as the w.l.o.g. padding assumption requires);
+//! * `φ_accept` intersects the configs reachable from `C_start` with
+//!   `AcceptingConfigs`.
+//!
+//! The resulting query is validated against the direct NTM simulator on a
+//! machine zoo, and its *size* realizes the Lemma 5.7 bounds.
+
+use crate::ntm::{Move, Ntm};
+use cv_monad::derived::{pred_and, product, sigma_gamma};
+use cv_monad::{Cond, EqMode, Expr, Operand};
+use cv_value::Value;
+
+/// Which monotone equality the reduction emits (Lemma 5.7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EqFlavor {
+    /// Built-in `=mon` — `|φ_accept| = O(K)` (Lemma 5.7(b)).
+    Builtin,
+    /// `=mon` defined from `=atomic` — `|φ_accept| = O(K²)` (Lemma 5.7(a)).
+    Defined,
+}
+
+fn plain(sym: &str) -> String {
+    sym.to_string()
+}
+
+fn marked(sym: &str) -> String {
+    format!("H_{sym}")
+}
+
+/// Union of singleton constants: `c1∘sng ∪ c2∘sng ∪ …`.
+fn const_set(atoms: impl IntoIterator<Item = String>) -> Expr {
+    let mut parts = atoms
+        .into_iter()
+        .map(|a| Expr::atom(a).then(Expr::Sng))
+        .collect::<Vec<_>>();
+    let first = parts.remove(0);
+    parts.into_iter().fold(first, Expr::union)
+}
+
+/// A complete binary tape value of the given cells (length a power of 2).
+fn tape_value(cells: &[Value]) -> Value {
+    match cells.len() {
+        0 => unreachable!("tapes are nonempty"),
+        1 => cells[0].clone(),
+        n => {
+            let (l, r) = cells.split_at(n / 2);
+            Value::tuple([("1", tape_value(l)), ("2", tape_value(r))])
+        }
+    }
+}
+
+/// The reduction, parameterized by the machine, the tape/time exponent
+/// `K` (tape length and run length `2^K`), the input word, and the
+/// equality flavor.
+pub struct NtmReduction<'m> {
+    machine: &'m Ntm,
+    k: u32,
+    input: Vec<usize>,
+    flavor: EqFlavor,
+}
+
+impl<'m> NtmReduction<'m> {
+    /// Creates the reduction for `machine` on `input` with tape length
+    /// `2^k`.
+    pub fn new(machine: &'m Ntm, k: u32, input: Vec<usize>, flavor: EqFlavor) -> Self {
+        assert!(
+            input.len() <= (1usize << k),
+            "input longer than the 2^{k}-cell tape"
+        );
+        NtmReduction {
+            machine,
+            k,
+            input,
+            flavor,
+        }
+    }
+
+    fn sigma_prime(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.machine.alphabet {
+            out.push(plain(s));
+        }
+        for s in &self.machine.alphabet {
+            out.push(marked(s));
+        }
+        out
+    }
+
+    /// `Tapes := φ_Σ′ ∘ (id × id) ∘ ··· ∘ (id × id)` (K times).
+    pub fn tapes(&self) -> Expr {
+        let mut q = const_set(self.sigma_prime());
+        for _ in 0..self.k {
+            q = q.then(product(Expr::Id, Expr::Id));
+        }
+        q
+    }
+
+    /// `Configs := (Tapes × Q) ∘ map(⟨t: π1, q: π2⟩)`.
+    pub fn configs(&self) -> Expr {
+        let states = const_set(self.machine.states.iter().map(|s| plain(s)));
+        product(self.tapes(), states).then(
+            Expr::mk_tuple([("t", Expr::proj("1")), ("q", Expr::proj("2"))]).mapped(),
+        )
+    }
+
+    /// `AcceptingConfigs := Configs ∘ (σ_{q=f1} ∪ ··· ∪ σ_{q=f|F|})`.
+    pub fn accepting_configs(&self) -> Expr {
+        let cond = Cond::any(self.machine.accepting.iter().map(|&f| {
+            Cond::eq_atomic(
+                Operand::path("q"),
+                Operand::atom(plain(&self.machine.states[f])),
+            )
+        }));
+        self.configs().then(Expr::Select(cond))
+    }
+
+    /// The start configuration `C_start = ⟨t: φ_start, q: q0⟩`, built with
+    /// the `φ_x`/`φ_empty`/`φ_pad` machinery of the proof.
+    pub fn start_config(&self) -> Expr {
+        let n = self.input.len().max(1);
+        let l = usize::BITS - (n - 1).leading_zeros(); // ⌈log2 n⌉
+        let l = if n == 1 { 0 } else { l };
+        let l = l.min(self.k);
+        let small_len = 1usize << l;
+        let blank = Value::atom(plain(&self.machine.alphabet[0]));
+        // φ_x: the input padded to 2^l cells, cell 0 head-marked.
+        let mut cells: Vec<Value> = Vec::with_capacity(small_len);
+        for i in 0..small_len {
+            let sym = self.input.get(i).copied().unwrap_or(0);
+            let name = &self.machine.alphabet[sym];
+            cells.push(if i == 0 {
+                Value::atom(marked(name))
+            } else {
+                Value::atom(plain(name))
+            });
+        }
+        let phi_x = Expr::konst(tape_value(&cells));
+        let mut tape = if l == self.k {
+            phi_x
+        } else {
+            // φ_empty: all-blank tape of the same depth.
+            let blanks: Vec<Value> = (0..small_len).map(|_| blank.clone()).collect();
+            let phi_empty = Expr::konst(tape_value(&blanks));
+            // ⟨1: φ_x, 2: φ_empty⟩ then double with φ_pad.
+            let mut t = Expr::mk_tuple([("1", phi_x), ("2", phi_empty)]);
+            let phi_pad = Expr::mk_tuple([
+                ("1", Expr::Id),
+                (
+                    "2",
+                    Expr::mk_tuple([("1", Expr::proj("2")), ("2", Expr::proj("2"))]),
+                ),
+            ]);
+            for _ in 0..(self.k - l - 1) {
+                t = t.then(phi_pad.clone());
+            }
+            t
+        };
+        // On an empty input with k = 0 the above underflows conceptually;
+        // the assert in new() keeps k ≥ ⌈log n⌉ so this is unreachable.
+        tape = tape.then(Expr::Id);
+        Expr::mk_tuple([
+            ("t", tape),
+            ("q", Expr::atom(plain(&self.machine.states[0]))),
+        ])
+    }
+
+    /// The equality predicate on tapes of depth `d`, reading its operands
+    /// from attributes `a` and `b` of the input tuple.
+    #[allow(dead_code)] // kept as the documented Lemma 5.7 building block
+    fn tape_eq(&self, d: u32, a: &str, b: &str) -> Expr {
+        match self.flavor {
+            EqFlavor::Builtin => Expr::Pred(Cond::Eq(
+                Operand::path(a),
+                Operand::path(b),
+                EqMode::Mon,
+            )),
+            EqFlavor::Defined => defined_mon_eq(d, a, b),
+        }
+    }
+
+    /// Config equality (tape `=mon` tape ∧ state `=atomic` state), reading
+    /// the configs from dotted paths `a` and `b`.
+    fn config_eq(&self, a: &str, b: &str) -> Expr {
+        match self.flavor {
+            EqFlavor::Builtin => Expr::Pred(Cond::Eq(
+                Operand::path(a),
+                Operand::path(b),
+                EqMode::Mon,
+            )),
+            EqFlavor::Defined => {
+                let tapes = Expr::mk_tuple([
+                    ("A", Expr::proj_path(&format!("{a}.t"))),
+                    ("B", Expr::proj_path(&format!("{b}.t"))),
+                ])
+                .then(defined_mon_eq(self.k, "A", "B"));
+                let states = Expr::Pred(Cond::eq_atomic(
+                    Operand::path(&format!("{a}.q")),
+                    Operand::path(&format!("{b}.q")),
+                ));
+                pred_and(tapes, states)
+            }
+        }
+    }
+
+    /// Selection by an equality of two tape-valued paths at depth `d`.
+    fn select_tape_eq(&self, d: u32, a: &str, b: &str) -> Expr {
+        match self.flavor {
+            EqFlavor::Builtin => Expr::Select(Cond::Eq(
+                Operand::path(a),
+                Operand::path(b),
+                EqMode::Mon,
+            )),
+            EqFlavor::Defined => {
+                let gamma = Expr::mk_tuple([
+                    ("A", Expr::proj_path(a)),
+                    ("B", Expr::proj_path(b)),
+                ])
+                .then(defined_mon_eq(d, "A", "B"));
+                sigma_gamma(gamma)
+            }
+        }
+    }
+
+    /// One zoom-in step at window depth `d` (windows shrink `d → d−1`):
+    /// the three rules of the proof (Figure 7).
+    fn zoom_step(&self, d: u32) -> Expr {
+        let keep = |first: &str, second: &str| {
+            Expr::mk_tuple([
+                ("s", Expr::proj("s")),
+                ("w", Expr::proj_path(&format!("w.{first}"))),
+                ("wp", Expr::proj_path(&format!("wp.{first}"))),
+            ])
+            .mapped()
+            // second projection only used for symmetry documentation
+            .then(Expr::Id)
+            .then(void(second))
+        };
+        fn void(_unused: &str) -> Expr {
+            Expr::Id
+        }
+        // Rule 1: second halves kept when first halves agree — σ12⊲34⊳ in
+        // the paper keeps the *second* halves when w.1 = w′.1.
+        let rule1 = self
+            .select_tape_eq(d - 1, "w.1", "wp.1")
+            .then(
+                Expr::mk_tuple([
+                    ("s", Expr::proj("s")),
+                    ("w", Expr::proj_path("w.2")),
+                    ("wp", Expr::proj_path("wp.2")),
+                ])
+                .mapped(),
+            );
+        // Rule 2: first halves kept when second halves agree.
+        let rule2 = self
+            .select_tape_eq(d - 1, "w.2", "wp.2")
+            .then(
+                Expr::mk_tuple([
+                    ("s", Expr::proj("s")),
+                    ("w", Expr::proj_path("w.1")),
+                    ("wp", Expr::proj_path("wp.1")),
+                ])
+                .mapped(),
+            );
+        // Rule 3: middle window when outer quarters agree (needs d ≥ 2).
+        let mid = |w: &str| {
+            Expr::mk_tuple([
+                ("1", Expr::proj_path(&format!("{w}.1.2"))),
+                ("2", Expr::proj_path(&format!("{w}.2.1"))),
+            ])
+        };
+        let rule3 = self
+            .select_tape_eq(d - 2, "w.1.1", "wp.1.1")
+            .then(self.select_tape_eq(d - 2, "w.2.2", "wp.2.2"))
+            .then(
+                Expr::mk_tuple([
+                    ("s", Expr::proj("s")),
+                    ("w", mid("w")),
+                    ("wp", mid("wp")),
+                ])
+                .mapped(),
+            );
+        let _ = keep; // rules are written out explicitly above
+        if d >= 2 {
+            rule1.union(rule2).union(rule3)
+        } else {
+            rule1.union(rule2)
+        }
+    }
+
+    /// `φ_witness−succ`: all `⟨s, w, w′⟩` with `s` a pair of configs and
+    /// `w`,`w′` the length-2 windows where the tapes may differ, the
+    /// window containing the head marker of the first tape.
+    pub fn witness_succ(&self) -> Expr {
+        // φ_prepare−succ := Configs ∘ (id×id) ∘ map(⟨s, w, w′⟩)
+        let mut q = self.configs().then(product(Expr::Id, Expr::Id)).then(
+            Expr::mk_tuple([
+                ("s", Expr::Id),
+                ("w", Expr::proj_path("1.t")),
+                ("wp", Expr::proj_path("2.t")),
+            ])
+            .mapped(),
+        );
+        // Zoom in K−1 times: window depth K → 1.
+        for d in (2..=self.k).rev() {
+            q = q.then(self.zoom_step(d));
+        }
+        // φ_marker: the window of the first tape contains the head.
+        let marker = Cond::any(self.machine.alphabet.iter().flat_map(|s| {
+            ["w.1", "w.2"].into_iter().map(move |side| {
+                Cond::eq_atomic(Operand::path(side), Operand::atom(marked(s)))
+            })
+        }));
+        q.then(Expr::Select(marker))
+    }
+
+    /// The transition selector `σ_γ` for one rule of `δ`.
+    fn transition_cond(&self, t: &crate::ntm::Transition) -> Cond {
+        let q = plain(&self.machine.states[t.from]);
+        let qp = plain(&self.machine.states[t.to]);
+        let a = &self.machine.alphabet[t.read];
+        let b = &self.machine.alphabet[t.write];
+        let state_cond = Cond::eq_atomic(Operand::path("s.1.q"), Operand::atom(q)).and(
+            Cond::eq_atomic(Operand::path("s.2.q"), Operand::atom(qp)),
+        );
+        let eq = |path: &str, atom: String| {
+            Cond::eq_atomic(Operand::path(path), Operand::atom(atom))
+        };
+        let window = match t.mv {
+            // ⊲a⊳ s ⇝ b ⊲s⊳
+            Move::Right => {
+                let carry = Cond::any(self.machine.alphabet.iter().map(|s| {
+                    eq("w.2", plain(s)).and(eq("wp.2", marked(s)))
+                }));
+                eq("w.1", marked(a)).and(eq("wp.1", plain(b))).and(carry)
+            }
+            // s ⊲a⊳ ⇝ ⊲s⊳ b
+            Move::Left => {
+                let carry = Cond::any(self.machine.alphabet.iter().map(|s| {
+                    eq("w.1", plain(s)).and(eq("wp.1", marked(s)))
+                }));
+                eq("w.2", marked(a)).and(eq("wp.2", plain(b))).and(carry)
+            }
+            // ⊲a⊳ x ⇝ ⊲b⊳ x  or  x ⊲a⊳ ⇝ x ⊲b⊳
+            Move::Stay => {
+                let left = eq("w.1", marked(a))
+                    .and(eq("wp.1", marked(b)))
+                    .and(Cond::eq_atomic(
+                        Operand::path("w.2"),
+                        Operand::path("wp.2"),
+                    ));
+                let right = eq("w.2", marked(a))
+                    .and(eq("wp.2", marked(b)))
+                    .and(Cond::eq_atomic(
+                        Operand::path("w.1"),
+                        Operand::path("wp.1"),
+                    ));
+                left.or(right)
+            }
+        };
+        state_cond.and(window)
+    }
+
+    /// `φ_succ`: the successor relation as a set of `⟨C: c, Cp: c′⟩`.
+    pub fn succ(&self) -> Expr {
+        let gammas = Cond::any(
+            self.machine
+                .transitions
+                .iter()
+                .map(|t| self.transition_cond(t)),
+        );
+        self.witness_succ()
+            .then(Expr::Select(gammas))
+            .then(
+                Expr::mk_tuple([
+                    ("C", Expr::proj_path("s.1")),
+                    ("Cp", Expr::proj_path("s.2")),
+                ])
+                .mapped(),
+            )
+    }
+
+    /// `ψ_K`: reachability in ≤ `2^K` steps by Savitch squaring. `ψ_0` is
+    /// `φ_succ` plus the identity pairs (stay-completion — the proof's
+    /// w.l.o.g. assumption that runs pad with stay transitions, made
+    /// explicit).
+    pub fn psi(&self) -> Expr {
+        let identity = self
+            .configs()
+            .then(Expr::mk_tuple([("C", Expr::Id), ("Cp", Expr::Id)]).mapped());
+        let mut psi = self.succ().union(identity);
+        for _ in 0..self.k {
+            psi = psi.then(product(Expr::Id, Expr::Id)).then(
+                match self.flavor {
+                    EqFlavor::Builtin => Expr::Select(Cond::Eq(
+                        Operand::path("1.Cp"),
+                        Operand::path("2.C"),
+                        EqMode::Mon,
+                    )),
+                    EqFlavor::Defined => {
+                        sigma_gamma(self.config_eq("1.Cp", "2.C"))
+                    }
+                },
+            )
+            .then(
+                Expr::mk_tuple([
+                    ("C", Expr::proj_path("1.C")),
+                    ("Cp", Expr::proj_path("2.Cp")),
+                ])
+                .mapped(),
+            );
+        }
+        psi
+    }
+
+    /// `φ_accept`: nonempty iff the machine accepts within `2^K` steps.
+    pub fn accept_query(&self) -> Expr {
+        // Reachable := ⟨1: C_start, 2: ψ⟩ ∘ pairwith_2 ∘ σ_{1 =mon 2.C}
+        //              ∘ map(π_{2.Cp})
+        let reachable = Expr::mk_tuple([("1", self.start_config()), ("2", self.psi())])
+            .then(Expr::pairwith("2"))
+            .then(match self.flavor {
+                EqFlavor::Builtin => Expr::Select(Cond::Eq(
+                    Operand::path("1"),
+                    Operand::path("2.C"),
+                    EqMode::Mon,
+                )),
+                EqFlavor::Defined => sigma_gamma(self.config_eq("1", "2.C")),
+            })
+            .then(Expr::proj_path("2.Cp").mapped());
+        // × AcceptingConfigs, then bulk-compare.
+        product(reachable, self.accepting_configs())
+            .then(self.config_eq("1", "2").mapped())
+            .then(Expr::Flatten)
+    }
+
+    /// Evaluates `φ_accept` (a Boolean query) under `budget`.
+    pub fn run(&self, budget: cv_monad::Budget) -> Result<bool, cv_monad::EvalError> {
+        let q = self.accept_query();
+        let (v, _) = cv_monad::eval_with(
+            &q,
+            cv_monad::CollectionKind::Set,
+            &Value::unit(),
+            budget,
+        )?;
+        Ok(v.is_true())
+    }
+}
+
+/// The paper's *defined* monotone equality on depth-`d` nested pairs,
+/// reading operands from attributes `a`/`b` of the input tuple. Uses the
+/// tagging function `φ := ⟨T: 1, V: π1⟩∘sng ∪ ⟨T: 2, V: π2⟩∘sng` so that
+/// only **one** recursive occurrence per depth is needed — that is what
+/// keeps `|=mon| = O(d)` (proof of Theorem 5.6 / Lemma 5.7).
+pub fn defined_mon_eq(d: u32, a: &str, b: &str) -> Expr {
+    if d == 0 {
+        return Expr::Pred(Cond::eq_atomic(Operand::path(a), Operand::path(b)));
+    }
+    let phi = Expr::mk_tuple([("T", Expr::atom("1")), ("V", Expr::proj("1"))])
+        .then(Expr::Sng)
+        .union(
+            Expr::mk_tuple([("T", Expr::atom("2")), ("V", Expr::proj("2"))])
+                .then(Expr::Sng),
+        );
+    let inner = Expr::mk_tuple([
+        ("A", Expr::proj_path("1.V")),
+        ("B", Expr::proj_path("2.V")),
+    ])
+    .then(defined_mon_eq(d - 1, "A", "B"));
+    product(Expr::proj(a).then(phi.clone()), Expr::proj(b).then(phi))
+        .then(Expr::Select(Cond::eq_atomic(
+            Operand::path("1.T"),
+            Operand::path("2.T"),
+        )))
+        .then(sigma_gamma(inner))
+        .then(product(Expr::Id, Expr::Id))
+        .then(Expr::Select(Cond::eq_atomic(
+            Operand::path("1.1.T"),
+            Operand::atom("1"),
+        )))
+        .then(Expr::Select(Cond::eq_atomic(
+            Operand::path("2.1.T"),
+            Operand::atom("2"),
+        )))
+        .then(Expr::mk_tuple::<_, &str>([]).mapped())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntm::zoo;
+    use cv_monad::{eval, Budget, CollectionKind};
+
+    fn unit() -> Value {
+        Value::unit()
+    }
+
+    #[test]
+    fn tapes_enumerates_all_nested_pairs() {
+        let m = zoo::reject_all();
+        let r = NtmReduction::new(&m, 1, vec![], EqFlavor::Builtin);
+        let v = eval(&r.tapes(), CollectionKind::Set, &unit()).unwrap();
+        // |Σ′| = 4, length-2 tapes: 16.
+        assert_eq!(v.items().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn configs_and_accepting() {
+        let m = zoo::first_is_one();
+        let r = NtmReduction::new(&m, 1, vec![1], EqFlavor::Builtin);
+        let configs = eval(&r.configs(), CollectionKind::Set, &unit()).unwrap();
+        assert_eq!(configs.items().unwrap().len(), 16 * 2);
+        let acc = eval(&r.accepting_configs(), CollectionKind::Set, &unit()).unwrap();
+        assert_eq!(acc.items().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn start_config_places_marker_and_pads() {
+        let m = zoo::first_is_one();
+        let r = NtmReduction::new(&m, 2, vec![1], EqFlavor::Builtin);
+        let v = eval(&r.start_config(), CollectionKind::Set, &unit()).unwrap();
+        let tape = v.project("t").unwrap();
+        // Depth-2 tape: ⟨1: ⟨1: H_1, 2: #⟩, 2: ⟨1: #, 2: #⟩⟩
+        assert_eq!(
+            tape.to_string(),
+            "<1: <1: H_1, 2: #>, 2: <1: #, 2: #>>"
+        );
+        assert_eq!(v.project("q").unwrap(), &Value::atom("q0"));
+    }
+
+    #[test]
+    fn defined_mon_eq_agrees_with_builtin() {
+        for (a, b, d) in [
+            ("<A: x, B: x>", "", 0u32),
+            ("<A: <1: x, 2: y>, B: <1: x, 2: y>>", "", 1),
+            ("<A: <1: x, 2: y>, B: <1: x, 2: z>>", "", 1),
+            (
+                "<A: <1: <1: a, 2: b>, 2: <1: c, 2: d>>, \
+                  B: <1: <1: a, 2: b>, 2: <1: c, 2: d>>>",
+                "",
+                2,
+            ),
+            (
+                "<A: <1: <1: a, 2: b>, 2: <1: c, 2: d>>, \
+                  B: <1: <1: a, 2: z>, 2: <1: c, 2: d>>>",
+                "",
+                2,
+            ),
+        ] {
+            let _ = b;
+            let v = cv_value::parse_value(a).unwrap();
+            let defined = eval(&defined_mon_eq(d, "A", "B"), CollectionKind::Set, &v)
+                .unwrap()
+                .is_true();
+            let builtin = eval(
+                &Expr::Pred(Cond::Eq(
+                    Operand::path("A"),
+                    Operand::path("B"),
+                    EqMode::Mon,
+                )),
+                CollectionKind::Set,
+                &v,
+            )
+            .unwrap()
+            .is_true();
+            assert_eq!(defined, builtin, "operand {a} at depth {d}");
+        }
+    }
+
+    #[test]
+    fn defined_mon_eq_size_is_linear_in_depth() {
+        let s: Vec<u64> = (0..8).map(|d| defined_mon_eq(d, "A", "B").size()).collect();
+        for w in s.windows(3) {
+            assert_eq!(w[2] - w[1], w[1] - w[0], "arithmetic growth: {s:?}");
+        }
+    }
+
+    #[test]
+    fn succ_finds_real_transitions() {
+        let m = zoo::first_is_one();
+        let r = NtmReduction::new(&m, 1, vec![1], EqFlavor::Builtin);
+        let succ = eval(&r.succ(), CollectionKind::Set, &unit()).unwrap();
+        // The pair (start, accepted) must be among the successors:
+        // ⟨t: ⟨H_1, #⟩, q: q0⟩ → ⟨t: ⟨H_1, #⟩, q: acc⟩.
+        let start = cv_value::parse_value("<t: <1: H_1, 2: \"#\">, q: q0>").unwrap();
+        let acc = cv_value::parse_value("<t: <1: H_1, 2: \"#\">, q: acc>").unwrap();
+        let wanted = Value::tuple([("C", start), ("Cp", acc)]);
+        assert!(
+            succ.items().unwrap().contains(&wanted),
+            "succ misses the accepting transition"
+        );
+    }
+
+    /// The headline validation: φ_accept ⟺ the simulator, over the zoo.
+    #[test]
+    fn reduction_matches_simulator_at_k1() {
+        let budget = Budget {
+            max_steps: 60_000_000,
+            max_nodes: 120_000_000,
+        };
+        let cases: Vec<(Ntm, Vec<usize>, &str)> = vec![
+            (zoo::first_is_one(), vec![1, 0], "first_is_one(1#)"),
+            (zoo::first_is_one(), vec![0, 1], "first_is_one(#1)"),
+            (zoo::reject_all(), vec![1, 1], "reject_all"),
+            (zoo::some_one(), vec![0, 1], "some_one(#1)"),
+            (zoo::some_one(), vec![0, 0], "some_one(##)"),
+            (zoo::writes_then_accepts(), vec![0, 0], "writes(##)"),
+            (zoo::writes_then_accepts(), vec![1, 0], "writes(1#)"),
+        ];
+        for (m, input, name) in cases {
+            let start = m.start_config(&input, 2);
+            let want = m.accepts_in(&start, 2);
+            let r = NtmReduction::new(&m, 1, input, EqFlavor::Builtin);
+            let got = r.run(budget).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(got, want, "machine {name}");
+        }
+    }
+
+    /// K=2 (tape length 4): the zoom-in rules of Figure 7 execute once,
+    /// including the straddling rule 3 when the head crosses the tape
+    /// middle. Sub-second in release but tens of seconds in debug, so
+    /// ignored by default: `cargo test --release -p xq-reductions -- --ignored`.
+    /// The harness (T1) also runs it on every invocation.
+    #[test]
+    #[ignore = "expensive in debug builds; run with --release -- --ignored"]
+    fn reduction_matches_simulator_at_k2_with_zoom() {
+        let budget = Budget {
+            max_steps: 2_000_000_000,
+            max_nodes: 2_000_000_000,
+        };
+        let cases: Vec<(Ntm, Vec<usize>, &str)> = vec![
+            (zoo::first_is_one(), vec![1, 0, 0, 0], "first_is_one(1###)"),
+            (zoo::first_is_one(), vec![0, 1, 0, 0], "first_is_one(#1##)"),
+            // The head walks right across the middle boundary: rule 3.
+            (zoo::some_one(), vec![0, 0, 1, 0], "some_one(##1#)"),
+            (zoo::some_one(), vec![0, 0, 0, 0], "some_one(####)"),
+        ];
+        for (m, input, name) in cases {
+            let start = m.start_config(&input, 4);
+            let want = m.accepts_in(&start, 4);
+            let got = NtmReduction::new(&m, 2, input, EqFlavor::Builtin)
+                .run(budget)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(got, want, "machine {name}");
+        }
+    }
+
+    #[test]
+    fn defined_flavor_matches_builtin_at_k1() {
+        let budget = Budget {
+            max_steps: 120_000_000,
+            max_nodes: 200_000_000,
+        };
+        let m = zoo::first_is_one();
+        for input in [vec![1, 0], vec![0, 1]] {
+            let b = NtmReduction::new(&m, 1, input.clone(), EqFlavor::Builtin)
+                .run(budget)
+                .unwrap();
+            let d = NtmReduction::new(&m, 1, input.clone(), EqFlavor::Defined)
+                .run(budget)
+                .unwrap();
+            assert_eq!(b, d, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn lemma_5_7_size_bounds() {
+        // Builtin =mon: |φ_accept| grows linearly in K; defined =mon:
+        // quadratically (ratios of successive differences ~constant).
+        let m = zoo::first_is_one();
+        let sizes = |flavor: EqFlavor| -> Vec<u64> {
+            (1..=8u32)
+                .map(|k| {
+                    NtmReduction::new(&m, k, vec![1], flavor)
+                        .accept_query()
+                        .size()
+                })
+                .collect()
+        };
+        let builtin = sizes(EqFlavor::Builtin);
+        let defined = sizes(EqFlavor::Defined);
+        // Linear: second differences of the builtin sizes are ~bounded.
+        let d2: Vec<i64> = builtin
+            .windows(3)
+            .map(|w| w[2] as i64 - 2 * w[1] as i64 + w[0] as i64)
+            .collect();
+        assert!(
+            d2.iter().all(|&x| x.abs() <= 64),
+            "builtin not ~linear: {builtin:?} (d2 = {d2:?})"
+        );
+        // Quadratic: third differences of the defined sizes vanish-ish,
+        // and the ratio defined/builtin grows.
+        let ratio_small = defined[1] as f64 / builtin[1] as f64;
+        let ratio_large = defined[7] as f64 / builtin[7] as f64;
+        assert!(
+            ratio_large > 1.5 * ratio_small,
+            "defined/builtin ratio should grow: {ratio_small} → {ratio_large}"
+        );
+    }
+}

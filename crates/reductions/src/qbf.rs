@@ -1,0 +1,249 @@
+//! Quantified Boolean formulas and the Proposition 7.4 reduction to
+//! composition-free Core XQuery with negation (PSPACE-hardness).
+
+use cv_xtree::Tree;
+use xq_core::ast::{Cond, EqMode, Query, Var};
+
+/// A quantifier-free Boolean formula over variables `x0, x1, …`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// A propositional variable by index.
+    Var(usize),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+}
+
+/// A quantifier prefix entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `∀`
+    Forall,
+    /// `∃`
+    Exists,
+}
+
+/// A prenex quantified Boolean formula `Q1 x1 … Qk xk Φ(x1…xk)`.
+/// Variable `i` of the matrix is bound by `prefix[i]`.
+#[derive(Clone, Debug)]
+pub struct Qbf {
+    /// The quantifier prefix, one entry per variable.
+    pub prefix: Vec<Quantifier>,
+    /// The quantifier-free matrix.
+    pub matrix: Formula,
+}
+
+impl Formula {
+    fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Formula::Var(i) => assignment[*i],
+            Formula::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            Formula::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+            Formula::Not(a) => !a.eval(assignment),
+        }
+    }
+}
+
+impl Qbf {
+    /// Decides the formula by exhaustive search (the oracle).
+    pub fn is_true(&self) -> bool {
+        fn go(q: &Qbf, i: usize, assignment: &mut Vec<bool>) -> bool {
+            if i == q.prefix.len() {
+                return q.matrix.eval(assignment);
+            }
+            let mut result = match q.prefix[i] {
+                Quantifier::Forall => true,
+                Quantifier::Exists => false,
+            };
+            for b in [false, true] {
+                assignment.push(b);
+                let r = go(q, i + 1, assignment);
+                assignment.pop();
+                match q.prefix[i] {
+                    Quantifier::Forall => result &= r,
+                    Quantifier::Exists => result |= r,
+                }
+            }
+            result
+        }
+        go(self, 0, &mut Vec::new())
+    }
+}
+
+/// The fixed data tree of Proposition 7.4: a root with children labeled
+/// `true` and `false`.
+pub fn qbf_tree() -> Tree {
+    Tree::node("r", [Tree::leaf("true"), Tree::leaf("false")])
+}
+
+fn var_name(i: usize) -> Var {
+    Var::new(format!("x{i}"))
+}
+
+fn formula_cond(f: &Formula) -> Cond {
+    match f {
+        // xi ⇝ ($xi =atomic ⟨true/⟩)
+        Formula::Var(i) => Cond::ConstEq(var_name(*i), "true".into(), EqMode::Atomic),
+        Formula::And(a, b) => formula_cond(a).and(formula_cond(b)),
+        Formula::Or(a, b) => formula_cond(a).or(formula_cond(b)),
+        Formula::Not(a) => formula_cond(a).negate(),
+    }
+}
+
+/// The Proposition 7.4 reduction: a composition-free query
+///
+/// ```text
+/// ⟨a⟩{ if Q′1 $x1 in $root/* satisfies (… (Q′k $xk in $root/*
+///      satisfies Φ′) …) then ⟨yes/⟩ }⟨/a⟩
+/// ```
+///
+/// that is true on [`qbf_tree`] iff the QBF is true.
+pub fn qbf_query(q: &Qbf) -> Query {
+    let mut cond = formula_cond(&q.matrix);
+    for (i, quant) in q.prefix.iter().enumerate().rev() {
+        let src = Query::child_any(Query::var("root"));
+        cond = match quant {
+            Quantifier::Exists => Cond::some(var_name(i), src, cond),
+            Quantifier::Forall => Cond::every(var_name(i), src, cond),
+        };
+    }
+    Query::elem("a", Query::if_then(cond, Query::leaf("yes")))
+}
+
+/// A deterministic pseudo-random QBF generator for test fleets.
+pub fn random_qbf(gen: &mut cv_xtree::TreeGen, vars: usize, clauses: usize) -> Qbf {
+    let prefix = (0..vars)
+        .map(|_| {
+            if gen.chance(1, 2) {
+                Quantifier::Forall
+            } else {
+                Quantifier::Exists
+            }
+        })
+        .collect();
+    // Random 3-CNF-ish matrix.
+    let mut matrix: Option<Formula> = None;
+    for _ in 0..clauses {
+        let mut clause: Option<Formula> = None;
+        for _ in 0..3 {
+            let v = Formula::Var(gen.below(vars));
+            let lit = if gen.chance(1, 2) {
+                Formula::Not(Box::new(v))
+            } else {
+                v
+            };
+            clause = Some(match clause {
+                None => lit,
+                Some(c) => Formula::Or(Box::new(c), Box::new(lit)),
+            });
+        }
+        let clause = clause.expect("three literals");
+        matrix = Some(match matrix {
+            None => clause,
+            Some(m) => Formula::And(Box::new(m), Box::new(clause)),
+        });
+    }
+    Qbf {
+        prefix,
+        matrix: matrix.expect("at least one clause"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xq_core::{boolean_result, is_composition_free};
+
+    /// Example 7.5: ∀x∃y((¬x ∨ y) ∧ (x ∨ ¬y)) — true.
+    fn example_7_5() -> Qbf {
+        Qbf {
+            prefix: vec![Quantifier::Forall, Quantifier::Exists],
+            matrix: Formula::And(
+                Box::new(Formula::Or(
+                    Box::new(Formula::Not(Box::new(Formula::Var(0)))),
+                    Box::new(Formula::Var(1)),
+                )),
+                Box::new(Formula::Or(
+                    Box::new(Formula::Var(0)),
+                    Box::new(Formula::Not(Box::new(Formula::Var(1)))),
+                )),
+            ),
+        }
+    }
+
+    #[test]
+    fn oracle_handles_example_7_5() {
+        assert!(example_7_5().is_true());
+        // ∀x∀y (x ∧ y) is false.
+        let f = Qbf {
+            prefix: vec![Quantifier::Forall, Quantifier::Forall],
+            matrix: Formula::And(Box::new(Formula::Var(0)), Box::new(Formula::Var(1))),
+        };
+        assert!(!f.is_true());
+        // ∃x x is true.
+        let f = Qbf {
+            prefix: vec![Quantifier::Exists],
+            matrix: Formula::Var(0),
+        };
+        assert!(f.is_true());
+    }
+
+    #[test]
+    fn reduction_is_composition_free() {
+        let q = qbf_query(&example_7_5());
+        assert!(is_composition_free(&q), "{q}");
+    }
+
+    #[test]
+    fn reduction_matches_oracle_on_example_7_5() {
+        let q = qbf_query(&example_7_5());
+        assert!(boolean_result(&q, &qbf_tree()).unwrap());
+    }
+
+    #[test]
+    fn reduction_matches_oracle_on_a_fleet() {
+        let mut gen = cv_xtree::TreeGen::new(2005);
+        let tree = qbf_tree();
+        let (mut trues, mut falses) = (0, 0);
+        for vars in 1..=4 {
+            for _ in 0..8 {
+                let f = random_qbf(&mut gen, vars, vars + 1);
+                let want = f.is_true();
+                let q = qbf_query(&f);
+                assert!(is_composition_free(&q));
+                let got = boolean_result(&q, &tree).unwrap();
+                assert_eq!(got, want, "formula {f:?}");
+                if want {
+                    trues += 1;
+                } else {
+                    falses += 1;
+                }
+            }
+        }
+        assert!(trues > 0 && falses > 0, "fleet covers both outcomes");
+    }
+
+    #[test]
+    fn reduction_agrees_with_nested_loop_engine() {
+        let mut gen = cv_xtree::TreeGen::new(77);
+        let tree = qbf_tree();
+        let doc = cv_xtree::Document::new(&tree);
+        for _ in 0..10 {
+            let f = random_qbf(&mut gen, 3, 3);
+            let q = qbf_query(&f);
+            let mut engine = xq_compfree::NestedLoopEngine::new(&doc);
+            assert_eq!(engine.boolean(&q).unwrap(), f.is_true(), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn query_size_is_linear_in_formula_size() {
+        let mut gen = cv_xtree::TreeGen::new(3);
+        let small = qbf_query(&random_qbf(&mut gen, 2, 2)).size();
+        let big = qbf_query(&random_qbf(&mut gen, 8, 8)).size();
+        assert!(big < 40 * small, "small {small}, big {big}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Graph 3-colorability and the Proposition 7.7 reduction to negation-free
+//! composition-free Core XQuery (NP-hardness).
+//!
+//! Note the paper's query uses `not $x =atomic $y` *inside conditions* —
+//! inequality of atomic values. That is the standard reading of the
+//! conjunctive-query lower bound: the *query language* operators stay
+//! positive (no `not` around subqueries), while atomic ≠ is available.
+//! We follow the paper's query verbatim.
+
+use cv_xtree::Tree;
+use xq_core::ast::{Cond, EqMode, Query, Var};
+
+/// An undirected graph on vertices `0..n`.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Edges as vertex pairs.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Brute-force 3-colorability (the oracle).
+    pub fn is_3_colorable(&self) -> bool {
+        fn go(g: &Graph, colors: &mut Vec<u8>) -> bool {
+            let v = colors.len();
+            if v == g.vertices {
+                return true;
+            }
+            'c: for c in 0..3u8 {
+                for &(a, b) in &g.edges {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    if hi == v && colors[lo] == c {
+                        continue 'c;
+                    }
+                }
+                colors.push(c);
+                if go(g, colors) {
+                    return true;
+                }
+                colors.pop();
+            }
+            false
+        }
+        go(self, &mut Vec::new())
+    }
+}
+
+/// The fixed data tree: a root with three children `red`, `green`, `blue`.
+pub fn color_tree() -> Tree {
+    Tree::node(
+        "r",
+        [Tree::leaf("red"), Tree::leaf("green"), Tree::leaf("blue")],
+    )
+}
+
+fn var_name(i: usize) -> Var {
+    Var::new(format!("x{i}"))
+}
+
+/// The Proposition 7.7 reduction:
+///
+/// ```text
+/// ⟨result⟩{ for $x1 in $root/* return … for $xm in $root/* return
+///   if ((not $xi =atomic $xj) and …) then ⟨yes/⟩ }⟨/result⟩
+/// ```
+pub fn three_col_query(g: &Graph) -> Query {
+    let mut cond: Option<Cond> = None;
+    for &(a, b) in &g.edges {
+        let ne = Cond::VarEq(var_name(a), var_name(b), EqMode::Atomic).negate();
+        cond = Some(match cond {
+            None => ne,
+            Some(c) => c.and(ne),
+        });
+    }
+    let cond = cond.unwrap_or(Cond::True);
+    let mut body = Query::if_then(cond, Query::leaf("yes"));
+    for i in (0..g.vertices).rev() {
+        body = Query::for_in(var_name(i), Query::child_any(Query::var("root")), body);
+    }
+    Query::elem("result", body)
+}
+
+/// Deterministic pseudo-random graphs for test fleets.
+pub fn random_graph(gen: &mut cv_xtree::TreeGen, vertices: usize, edges: usize) -> Graph {
+    let mut es = Vec::new();
+    let mut guard = 0;
+    while es.len() < edges && guard < 100 * edges {
+        guard += 1;
+        let a = gen.below(vertices);
+        let b = gen.below(vertices);
+        if a != b && !es.contains(&(a.min(b), a.max(b))) {
+            es.push((a.min(b), a.max(b)));
+        }
+    }
+    Graph {
+        vertices,
+        edges: es,
+    }
+}
+
+/// `K4` — the smallest non-3-colorable graph.
+pub fn k4() -> Graph {
+    Graph {
+        vertices: 4,
+        edges: vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+    }
+}
+
+/// An odd cycle `C5` — 3-colorable but not 2-colorable.
+pub fn c5() -> Graph {
+    Graph {
+        vertices: 5,
+        edges: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xq_core::{boolean_result, is_composition_free};
+
+    #[test]
+    fn oracle_classics() {
+        assert!(!k4().is_3_colorable());
+        assert!(c5().is_3_colorable());
+        assert!(Graph {
+            vertices: 3,
+            edges: vec![(0, 1), (1, 2), (0, 2)]
+        }
+        .is_3_colorable());
+        assert!(Graph {
+            vertices: 1,
+            edges: vec![]
+        }
+        .is_3_colorable());
+    }
+
+    #[test]
+    fn reduction_is_composition_free_without_query_negation() {
+        let q = three_col_query(&k4());
+        assert!(is_composition_free(&q), "{q}");
+    }
+
+    #[test]
+    fn reduction_matches_oracle_on_classics() {
+        let t = color_tree();
+        assert!(!boolean_result(&three_col_query(&k4()), &t).unwrap());
+        assert!(boolean_result(&three_col_query(&c5()), &t).unwrap());
+    }
+
+    #[test]
+    fn reduction_matches_oracle_on_a_fleet() {
+        let mut gen = cv_xtree::TreeGen::new(42);
+        let t = color_tree();
+        let (mut yes, mut no) = (0, 0);
+        for v in 3..=5 {
+            for e in [v, v + 2, v * (v - 1) / 2] {
+                let g = random_graph(&mut gen, v, e);
+                let want = g.is_3_colorable();
+                let got = boolean_result(&three_col_query(&g), &t).unwrap();
+                assert_eq!(got, want, "graph {g:?}");
+                if want {
+                    yes += 1
+                } else {
+                    no += 1
+                }
+            }
+        }
+        assert!(yes > 0 && no > 0, "fleet covers both outcomes");
+    }
+
+    #[test]
+    fn query_size_is_linear_in_graph_size() {
+        let small = three_col_query(&random_graph(
+            &mut cv_xtree::TreeGen::new(1),
+            4,
+            4,
+        ))
+        .size();
+        let big = three_col_query(&random_graph(
+            &mut cv_xtree::TreeGen::new(1),
+            12,
+            12,
+        ))
+        .size();
+        assert!(big < 10 * small);
+    }
+}

@@ -1,0 +1,644 @@
+//! Flat relational algebra and the conservativity connection to monad
+//! algebra (Koch PODS 2005: Theorem 2.5, Proposition 6.1, Figure 11).
+//!
+//! * [`Relation`]/[`Ra`] — a classical set-semantics relational algebra
+//!   (select, project, product, union, difference, rename) over relations
+//!   of atoms, the PSPACE-complete baseline the paper compares against;
+//! * [`flat_value`] — the `flat(v)` encoding of Prop 6.1: a complex value
+//!   becomes relations `Atomic(id, sym)`, `Pair(id, l, r)`, `Set(id, m)`
+//!   with node identifiers;
+//! * [`v_tau`] — the Figure 11 decoder `V_τ`, a monad-algebra query over
+//!   the flat encoding that reassembles `{⟨1: id, 2: {v}⟩}` associations;
+//!   [`v_prime`] recovers `{v}` itself;
+//! * conservativity spot-checks (Thm 2.5): flat-to-flat monad algebra
+//!   queries vs equivalent relational algebra queries, in tests.
+
+use cv_monad::{Cond, Expr, Operand};
+use cv_value::{Atom, Value, ValueKind};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// A relation: a schema (attribute names) and a set of rows of atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    /// Attribute names, in column order.
+    pub schema: Vec<String>,
+    /// The rows.
+    pub rows: BTreeSet<Vec<Atom>>,
+}
+
+impl Relation {
+    /// Creates a relation from a schema and rows.
+    pub fn new<S: Into<String>>(
+        schema: impl IntoIterator<Item = S>,
+        rows: impl IntoIterator<Item = Vec<Atom>>,
+    ) -> Relation {
+        let schema: Vec<String> = schema.into_iter().map(Into::into).collect();
+        let rows: BTreeSet<Vec<Atom>> = rows.into_iter().collect();
+        for r in &rows {
+            assert_eq!(r.len(), schema.len(), "row arity mismatch");
+        }
+        Relation { schema, rows }
+    }
+
+    fn col(&self, name: &str) -> Option<usize> {
+        self.schema.iter().position(|n| n == name)
+    }
+
+    /// The relation as a complex value `{⟨A1: …, …⟩}` (the paper's data
+    /// model for flat relations, §2.2).
+    pub fn to_value(&self) -> Value {
+        Value::set(self.rows.iter().map(|r| {
+            Value::tuple(
+                self.schema
+                    .iter()
+                    .zip(r)
+                    .map(|(n, a)| (n.as_str(), Value::atom(a.clone()))),
+            )
+        }))
+    }
+
+    /// Parses a complex value `{⟨A: a, …⟩}` back into a relation.
+    pub fn from_value(v: &Value) -> Option<Relation> {
+        let items = v.items().ok()?;
+        let mut schema: Option<Vec<String>> = None;
+        let mut rows = BTreeSet::new();
+        for t in items {
+            let fields = t.as_tuple()?;
+            let s: Vec<String> = fields.iter().map(|(n, _)| n.as_str().into()).collect();
+            match &schema {
+                None => schema = Some(s),
+                Some(prev) if *prev == s => {}
+                _ => return None,
+            }
+            rows.insert(
+                fields
+                    .iter()
+                    .map(|(_, fv)| fv.as_atom().cloned())
+                    .collect::<Option<Vec<_>>>()?,
+            );
+        }
+        Some(Relation {
+            schema: schema.unwrap_or_default(),
+            rows,
+        })
+    }
+}
+
+/// A relational algebra expression over named base relations.
+#[derive(Clone, Debug)]
+pub enum Ra {
+    /// A base relation by name.
+    Base(String),
+    /// `σ_{A = B}`.
+    SelectEq(Rc<Ra>, String, String),
+    /// `σ_{A = const}`.
+    SelectConst(Rc<Ra>, String, Atom),
+    /// `π_{A1, …, Ak}`.
+    Project(Rc<Ra>, Vec<String>),
+    /// Cartesian product (schemas must be disjoint).
+    Product(Rc<Ra>, Rc<Ra>),
+    /// Union (same schema).
+    Union(Rc<Ra>, Rc<Ra>),
+    /// Difference (same schema).
+    Diff(Rc<Ra>, Rc<Ra>),
+    /// Attribute renaming.
+    Rename(Rc<Ra>, Vec<(String, String)>),
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaError {
+    /// Unknown base relation.
+    UnknownRelation(String),
+    /// Missing attribute.
+    NoSuchAttribute(String),
+    /// Schema clash in a product/union/difference.
+    SchemaMismatch(String),
+}
+
+impl std::fmt::Display for RaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            RaError::NoSuchAttribute(a) => write!(f, "no such attribute {a}"),
+            RaError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RaError {}
+
+/// A database: named relations.
+pub type Database = std::collections::BTreeMap<String, Relation>;
+
+/// Evaluates a relational algebra expression.
+pub fn eval_ra(ra: &Ra, db: &Database) -> Result<Relation, RaError> {
+    match ra {
+        Ra::Base(name) => db
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RaError::UnknownRelation(name.clone())),
+        Ra::SelectEq(e, a, b) => {
+            let r = eval_ra(e, db)?;
+            let (ia, ib) = (
+                r.col(a).ok_or_else(|| RaError::NoSuchAttribute(a.clone()))?,
+                r.col(b).ok_or_else(|| RaError::NoSuchAttribute(b.clone()))?,
+            );
+            Ok(Relation {
+                schema: r.schema.clone(),
+                rows: r.rows.iter().filter(|t| t[ia] == t[ib]).cloned().collect(),
+            })
+        }
+        Ra::SelectConst(e, a, c) => {
+            let r = eval_ra(e, db)?;
+            let ia = r.col(a).ok_or_else(|| RaError::NoSuchAttribute(a.clone()))?;
+            Ok(Relation {
+                schema: r.schema.clone(),
+                rows: r.rows.iter().filter(|t| &t[ia] == c).cloned().collect(),
+            })
+        }
+        Ra::Project(e, attrs) => {
+            let r = eval_ra(e, db)?;
+            let idx: Vec<usize> = attrs
+                .iter()
+                .map(|a| r.col(a).ok_or_else(|| RaError::NoSuchAttribute(a.clone())))
+                .collect::<Result<_, _>>()?;
+            Ok(Relation {
+                schema: attrs.clone(),
+                rows: r
+                    .rows
+                    .iter()
+                    .map(|t| idx.iter().map(|&i| t[i].clone()).collect())
+                    .collect(),
+            })
+        }
+        Ra::Product(l, r) => {
+            let (lr, rr) = (eval_ra(l, db)?, eval_ra(r, db)?);
+            if lr.schema.iter().any(|a| rr.schema.contains(a)) {
+                return Err(RaError::SchemaMismatch(
+                    "product schemas must be disjoint".into(),
+                ));
+            }
+            let mut schema = lr.schema.clone();
+            schema.extend(rr.schema.clone());
+            let mut rows = BTreeSet::new();
+            for a in &lr.rows {
+                for b in &rr.rows {
+                    let mut t = a.clone();
+                    t.extend(b.iter().cloned());
+                    rows.insert(t);
+                }
+            }
+            Ok(Relation { schema, rows })
+        }
+        Ra::Union(l, r) => {
+            let (lr, rr) = (eval_ra(l, db)?, eval_ra(r, db)?);
+            if lr.schema != rr.schema {
+                return Err(RaError::SchemaMismatch("union schemas differ".into()));
+            }
+            Ok(Relation {
+                schema: lr.schema,
+                rows: lr.rows.union(&rr.rows).cloned().collect(),
+            })
+        }
+        Ra::Diff(l, r) => {
+            let (lr, rr) = (eval_ra(l, db)?, eval_ra(r, db)?);
+            if lr.schema != rr.schema {
+                return Err(RaError::SchemaMismatch("difference schemas differ".into()));
+            }
+            Ok(Relation {
+                schema: lr.schema,
+                rows: lr.rows.difference(&rr.rows).cloned().collect(),
+            })
+        }
+        Ra::Rename(e, pairs) => {
+            let r = eval_ra(e, db)?;
+            let schema = r
+                .schema
+                .iter()
+                .map(|a| {
+                    pairs
+                        .iter()
+                        .find(|(from, _)| from == a)
+                        .map(|(_, to)| to.clone())
+                        .unwrap_or_else(|| a.clone())
+                })
+                .collect();
+            Ok(Relation {
+                schema,
+                rows: r.rows,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prop 6.1: the flat(v) encoding and the V_τ decoder (Figure 11)
+// ---------------------------------------------------------------------------
+
+/// The `flat(v)` encoding: node identifiers are assigned in preorder
+/// (standing in for the string positions of the proof), and the value is
+/// described by three relations packed into a tuple
+/// `⟨Atomic: {⟨1,2⟩}, Pair: {⟨1,2,3⟩}, Set: {⟨1,2⟩}⟩`, plus the root id.
+pub fn flat_value(v: &Value) -> (Value, u64) {
+    let mut atomic = Vec::new();
+    let mut pair = Vec::new();
+    let mut set = Vec::new();
+    let mut next = 0u64;
+    fn walk(
+        v: &Value,
+        next: &mut u64,
+        atomic: &mut Vec<Value>,
+        pair: &mut Vec<Value>,
+        set: &mut Vec<Value>,
+    ) -> u64 {
+        let id = *next;
+        *next += 1;
+        match v.kind() {
+            ValueKind::Atom(a) => {
+                atomic.push(Value::tuple([
+                    ("1", Value::atom(id.to_string())),
+                    ("2", Value::atom(a.clone())),
+                ]));
+            }
+            ValueKind::Tuple(fields) => {
+                assert_eq!(
+                    fields.len(),
+                    2,
+                    "flat(v) is defined for pairs (the proof's simplification)"
+                );
+                let l = walk(&fields[0].1, next, atomic, pair, set);
+                let r = walk(&fields[1].1, next, atomic, pair, set);
+                pair.push(Value::tuple([
+                    ("1", Value::atom(id.to_string())),
+                    ("2", Value::atom(l.to_string())),
+                    ("3", Value::atom(r.to_string())),
+                ]));
+            }
+            ValueKind::Set(items) | ValueKind::List(items) | ValueKind::Bag(items) => {
+                let mut members = Vec::new();
+                for m in items {
+                    members.push(walk(m, next, atomic, pair, set));
+                }
+                for m in members {
+                    set.push(Value::tuple([
+                        ("1", Value::atom(id.to_string())),
+                        ("2", Value::atom(m.to_string())),
+                    ]));
+                }
+            }
+        }
+        id
+    }
+    let root = walk(v, &mut next, &mut atomic, &mut pair, &mut set);
+    (
+        Value::tuple([
+            ("Atomic", Value::set(atomic)),
+            ("Pair", Value::set(pair)),
+            ("Set", Value::set(set)),
+        ]),
+        root,
+    )
+}
+
+/// The association lookup `S|v` of the Prop 6.1 proof: given an
+/// association set `S = {⟨1: id, 2: {val}⟩}` and an id, the value set
+/// `{val}`:
+/// `S|v = ⟨1: v, 2: S⟩ ∘ pairwith_2 ∘ σ_{1 = 2.1} ∘ map(π_{2.2}) ∘ flatten`.
+fn lookup(s: Expr, v: Expr) -> Expr {
+    Expr::mk_tuple([("1", v), ("2", s)])
+        .then(Expr::pairwith("2"))
+        .then(Expr::Select(Cond::eq_atomic(
+            Operand::path("1"),
+            Operand::path("2.1"),
+        )))
+        .then(Expr::proj_path("2.2").mapped())
+        .then(Expr::Flatten)
+}
+
+/// The Figure 11 decoder `V_τ`: a monad algebra query that maps the
+/// [`flat_value`] encoding to the association set
+/// `{⟨1: id, 2: {decoded value}⟩}` for the nodes of type `τ`.
+///
+/// Supported types: `Dom`, binary tuples, and sets thereof, with distinct
+/// types at distinct nesting levels (the scope of the Prop 6.1 proof's
+/// examples; flat relations always qualify).
+pub fn v_tau(ty: &cv_value::Type) -> Expr {
+    use cv_value::Type;
+    match ty {
+        // VDom := Atomic ∘ map(⟨1: π1, 2: π2 ∘ sng⟩)
+        Type::Dom => Expr::proj("Atomic").then(
+            Expr::mk_tuple([
+                ("1", Expr::proj("1")),
+                ("2", Expr::proj("2").then(Expr::Sng)),
+            ])
+            .mapped(),
+        ),
+        // V⟨A: τ1, B: τ2⟩ := Pair ∘ map(⟨1: π1, 2: Vτ1|π2 × Vτ2|π3⟩)
+        Type::Tuple(fields) if fields.len() == 2 => {
+            let (n1, t1) = &fields[0];
+            let (n2, t2) = &fields[1];
+            let (n1, n2) = (n1.clone(), n2.clone());
+            let v1 = v_tau(t1);
+            let v2 = v_tau(t2);
+            // The lookups need both the Pair row and the whole database;
+            // carry the database alongside with pairwith.
+            Expr::mk_tuple([("P", Expr::proj("Pair")), ("D", Expr::Id)])
+                .then(Expr::pairwith("P"))
+                .then(
+                    Expr::mk_tuple([
+                        ("1", Expr::proj_path("P.1")),
+                        (
+                            "2",
+                            product_of(
+                                lookup(Expr::proj("D").then(v1), Expr::proj_path("P.2")),
+                                lookup(Expr::proj("D").then(v2), Expr::proj_path("P.3")),
+                                &n1,
+                                &n2,
+                            ),
+                        ),
+                    ])
+                    .mapped(),
+                )
+        }
+        // V{τ} groups the Set relation by parent id and decodes members.
+        Type::Set(elem) => {
+            let velem = v_tau(elem);
+            Expr::mk_tuple([
+                ("Ids", Expr::proj("Set").then(Expr::proj("1").mapped())),
+                ("D", Expr::Id),
+            ])
+            .then(Expr::pairwith("Ids"))
+            .then(
+                Expr::mk_tuple([
+                    ("1", Expr::proj("Ids")),
+                    (
+                        "2",
+                        Expr::mk_tuple([
+                            ("sid", Expr::proj("Ids")),
+                            ("Rows", Expr::proj_path("D.Set")),
+                            ("D", Expr::proj("D")),
+                        ])
+                        .then(Expr::pairwith("Rows"))
+                        .then(Expr::Select(Cond::eq_atomic(
+                            Operand::path("sid"),
+                            Operand::path("Rows.1"),
+                        )))
+                        .then(
+                            lookup_in(
+                                Expr::proj("D").then(velem),
+                                Expr::proj_path("Rows.2"),
+                            )
+                            .mapped(),
+                        )
+                        .then(Expr::Flatten)
+                        .then(Expr::Sng),
+                    ),
+                ])
+                .mapped(),
+            )
+        }
+        other => panic!("V_τ is not defined at type {other}"),
+    }
+}
+
+fn lookup_in(s: Expr, v: Expr) -> Expr {
+    lookup(s, v)
+}
+
+/// Cartesian product of two singleton value sets into `{⟨n1: v1, n2: v2⟩}`.
+fn product_of(a: Expr, b: Expr, n1: &str, n2: &str) -> Expr {
+    Expr::mk_tuple([("L", a), ("R", b)])
+        .then(Expr::pairwith("L"))
+        .then(Expr::flatmap(Expr::pairwith("R")))
+        .then(
+            Expr::mk_tuple([(n1, Expr::proj("L")), (n2, Expr::proj("R"))]).mapped(),
+        )
+}
+
+/// `V′ := V_τ ∘ σ_{1 = root} ∘ map(π2) ∘ flatten` — recovers `{v}` from
+/// `flat(v)` (the Prop 6.1 claim, with the root id made explicit).
+pub fn v_prime(ty: &cv_value::Type, root_id: u64) -> Expr {
+    v_tau(ty)
+        .then(Expr::Select(Cond::eq_atomic(
+            Operand::path("1"),
+            Operand::atom(root_id.to_string()),
+        )))
+        .then(Expr::proj("2").mapped())
+        .then(Expr::Flatten)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_monad::{eval, CollectionKind};
+    use cv_value::{parse_type, parse_value};
+
+    fn a(s: &str) -> Atom {
+        Atom::new(s)
+    }
+
+    #[test]
+    fn ra_basic_operations() {
+        let mut db = Database::new();
+        db.insert(
+            "R".into(),
+            Relation::new(
+                ["A", "B"],
+                [
+                    vec![a("1"), a("x")],
+                    vec![a("2"), a("y")],
+                    vec![a("2"), a("z")],
+                ],
+            ),
+        );
+        db.insert(
+            "S".into(),
+            Relation::new(["C"], [vec![a("x")], vec![a("y")]]),
+        );
+        let q = Ra::Project(
+            Ra::SelectEq(
+                Ra::Product(
+                    Ra::Base("R".into()).into(),
+                    Ra::Rename(Ra::Base("S".into()).into(), vec![("C".into(), "B2".into())])
+                        .into(),
+                )
+                .into(),
+                "B".into(),
+                "B2".into(),
+            )
+            .into(),
+            vec!["A".into()],
+        );
+        let r = eval_ra(&q, &db).unwrap();
+        assert_eq!(
+            r,
+            Relation::new(["A"], [vec![a("1")], vec![a("2")]])
+        );
+    }
+
+    #[test]
+    fn ra_union_difference_and_errors() {
+        let mut db = Database::new();
+        db.insert("R".into(), Relation::new(["A"], [vec![a("1")], vec![a("2")]]));
+        db.insert("S".into(), Relation::new(["A"], [vec![a("2")]]));
+        let u = eval_ra(
+            &Ra::Union(Ra::Base("R".into()).into(), Ra::Base("S".into()).into()),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(u.rows.len(), 2);
+        let d = eval_ra(
+            &Ra::Diff(Ra::Base("R".into()).into(), Ra::Base("S".into()).into()),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(d, Relation::new(["A"], [vec![a("1")]]));
+        assert!(matches!(
+            eval_ra(&Ra::Base("Z".into()), &db),
+            Err(RaError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            eval_ra(
+                &Ra::Product(Ra::Base("R".into()).into(), Ra::Base("S".into()).into()),
+                &db
+            ),
+            Err(RaError::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn relation_value_round_trip() {
+        let r = Relation::new(["A", "B"], [vec![a("1"), a("x")], vec![a("2"), a("y")]]);
+        let v = r.to_value();
+        assert_eq!(Relation::from_value(&v), Some(r));
+    }
+
+    #[test]
+    fn flat_encoding_of_the_prop_6_1_example() {
+        // {⟨a, b⟩, ⟨c, d⟩} of type {⟨A: Dom, B: Dom⟩}.
+        let v = parse_value("{<A: \"a\", B: b>, <A: c, B: d>}").unwrap();
+        let (flat, root) = flat_value(&v);
+        assert_eq!(root, 0);
+        let atomic = flat.project("Atomic").unwrap();
+        let pair = flat.project("Pair").unwrap();
+        let set = flat.project("Set").unwrap();
+        assert_eq!(atomic.items().unwrap().len(), 4);
+        assert_eq!(pair.items().unwrap().len(), 2);
+        assert_eq!(set.items().unwrap().len(), 2);
+    }
+
+    /// The Figure 11 computation: V_τ on flat({⟨a,b⟩, ⟨c,d⟩}) recovers
+    /// `{⟨1: rootid, 2: {{⟨a,b⟩, ⟨c,d⟩}}⟩}` — and V′ recovers `{v}`.
+    #[test]
+    fn figure_11_v_tau_recovers_the_value() {
+        let ty = parse_type("{<A: Dom, B: Dom>}").unwrap();
+        for src in [
+            "{<A: x, B: y>, <A: u, B: w>}",
+            "{<A: x, B: x>}",
+        ] {
+            let v = parse_value(src).unwrap();
+            let (flat, root) = flat_value(&v);
+            let q = v_prime(&ty, root);
+            let got = eval(&q, CollectionKind::Set, &flat)
+                .unwrap_or_else(|e| panic!("V′ failed on {src}: {e}"));
+            assert_eq!(got, Value::set([v]), "src {src}");
+        }
+    }
+
+    #[test]
+    fn v_tau_on_plain_atoms_and_pairs() {
+        let v = parse_value("<A: p, B: q>").unwrap();
+        let (flat, root) = flat_value(&v);
+        let ty = parse_type("<A: Dom, B: Dom>").unwrap();
+        let got = eval(&v_prime(&ty, root), CollectionKind::Set, &flat).unwrap();
+        assert_eq!(got, Value::set([v]));
+    }
+
+    /// Theorem 2.5 spot-check: a flat-to-flat monad algebra query and the
+    /// equivalent relational algebra query produce the same relation.
+    #[test]
+    fn conservativity_select_project() {
+        // R(A,B): σ_{A=B} then project A — in both languages.
+        let r = Relation::new(
+            ["A", "B"],
+            [
+                vec![a("1"), a("1")],
+                vec![a("1"), a("2")],
+                vec![a("3"), a("3")],
+            ],
+        );
+        let mut db = Database::new();
+        db.insert("R".into(), r.clone());
+        let ra = Ra::Project(
+            Ra::SelectEq(Ra::Base("R".into()).into(), "A".into(), "B".into()).into(),
+            vec!["A".into()],
+        );
+        let want = eval_ra(&ra, &db).unwrap();
+
+        let ma = Expr::Select(Cond::eq_atomic(Operand::path("A"), Operand::path("B")))
+            .then(Expr::mk_tuple([("A", Expr::proj("A"))]).mapped());
+        let got = eval(&ma, CollectionKind::Set, &r.to_value()).unwrap();
+        assert_eq!(Relation::from_value(&got), Some(want));
+    }
+
+    #[test]
+    fn conservativity_join() {
+        // π_A(R ⋈_{B=C} S) vs the monad-algebra pairing construction.
+        let r = Relation::new(["A", "B"], [vec![a("1"), a("x")], vec![a("2"), a("y")]]);
+        let s = Relation::new(["C"], [vec![a("x")]]);
+        let mut db = Database::new();
+        db.insert("R".into(), r.clone());
+        db.insert("S".into(), s.clone());
+        let ra = Ra::Project(
+            Ra::SelectEq(
+                Ra::Product(Ra::Base("R".into()).into(), Ra::Base("S".into()).into())
+                    .into(),
+                "B".into(),
+                "C".into(),
+            )
+            .into(),
+            vec!["A".into()],
+        );
+        let want = eval_ra(&ra, &db).unwrap();
+
+        let ma = Expr::mk_tuple([
+            ("R", Expr::proj("R")),
+            ("S", Expr::proj("S")),
+        ])
+        .then(Expr::pairwith("R"))
+        .then(Expr::flatmap(Expr::pairwith("S")))
+        .then(Expr::Select(Cond::eq_atomic(
+            Operand::path("R.B"),
+            Operand::path("S.C"),
+        )))
+        .then(Expr::mk_tuple([("A", Expr::proj_path("R.A"))]).mapped());
+        let input = Value::tuple([("R", r.to_value()), ("S", s.to_value())]);
+        let got = eval(&ma, CollectionKind::Set, &input).unwrap();
+        assert_eq!(Relation::from_value(&got), Some(want));
+    }
+
+    #[test]
+    fn conservativity_difference() {
+        let r = Relation::new(["A"], [vec![a("1")], vec![a("2")]]);
+        let s = Relation::new(["A"], [vec![a("2")]]);
+        let mut db = Database::new();
+        db.insert("R".into(), r.clone());
+        db.insert("S".into(), s.clone());
+        let want = eval_ra(
+            &Ra::Diff(Ra::Base("R".into()).into(), Ra::Base("S".into()).into()),
+            &db,
+        )
+        .unwrap();
+        // Example 2.4's derived difference in M∪[σ].
+        let input = Value::tuple([("R", r.to_value()), ("S", s.to_value())]);
+        let got = eval(
+            &cv_monad::derived::derived_diff(),
+            CollectionKind::Set,
+            &input,
+        )
+        .unwrap();
+        assert_eq!(Relation::from_value(&got), Some(want));
+    }
+}

@@ -1,0 +1,669 @@
+//! Composition elimination for Core XQuery (Koch PODS 2005, §7.2).
+//!
+//! Theorem 7.9: `XQ∼[=atomic, child, descendant, self, dos, not]` captures
+//! `XQ[=atomic, child, descendant, self, not]` — every query with
+//! composition (steps over constructed values, `let`-bound constructions,
+//! `for` over arbitrary queries) can be rewritten into an equivalent
+//! composition-free one. The price is size: the rewriting substitutes
+//! constructions for variables, so it can blow up exponentially — which is
+//! exactly the paper's succinctness statement (composition buys
+//! exponential succinctness unless PSPACE = TA[2^O(n), O(n)]).
+//!
+//! The rewriter implements:
+//!
+//! * `let`-inlining (`(let $x := ⟨a⟩α⟨/a⟩) β ⊢ β[$x ⇒ ⟨a⟩α⟨/a⟩]`),
+//! * the Lemma 7.8 rules for `(⟨a⟩α⟨/a⟩)/χ::ν`,
+//! * the Figure 9 rules for `for`-expressions over constructed sources,
+//! * the §7.2 case analysis for variables substituted into equalities.
+//!
+//! [`eliminate_composition`] returns the rewritten query together with a
+//! [`Trace`] of rule applications (Figure 10 is reproduced as a test).
+
+use cv_xtree::{Axis, NodeTest};
+use std::rc::Rc;
+use xq_core::ast::{Cond, EqMode, Query, Var};
+
+/// A rule application record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The rule applied (paper names: `"elim.let"`, `"Lem.7.8"`,
+    /// `"Fig.9(1)"` … `"Fig.9(6)"`, `"subst-eq"`, `"simplify-self"`).
+    pub rule: &'static str,
+    /// Rendering of the redex that was rewritten.
+    pub redex: String,
+}
+
+/// The sequence of rule applications performed by the rewriter.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Steps in application order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    fn log(&mut self, rule: &'static str, redex: &impl std::fmt::Display) {
+        // Cap redex rendering; rewriting can blow up exponentially.
+        let mut s = redex.to_string();
+        s.truncate(160);
+        self.steps.push(TraceStep { rule, redex: s });
+    }
+
+    /// Rules applied, in order.
+    pub fn rules(&self) -> Vec<&'static str> {
+        self.steps.iter().map(|s| s.rule).collect()
+    }
+}
+
+/// Rewriting failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The query uses deep equality on a constructed non-leaf value —
+    /// outside the Theorem 7.9 fragment (`=atomic` only).
+    DeepEqualityOnConstruction(String),
+    /// Rewriting exceeded the size budget (the blowup can be exponential).
+    SizeBudget(u64),
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::DeepEqualityOnConstruction(c) => write!(
+                f,
+                "deep equality on a constructed value is outside Theorem 7.9: {c}"
+            ),
+            RewriteError::SizeBudget(n) => {
+                write!(f, "rewriting exceeded the size budget ({n} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+struct Rewriter {
+    fresh: usize,
+    trace: Trace,
+    max_size: u64,
+}
+
+impl Rewriter {
+    fn fresh_var(&mut self) -> Var {
+        self.fresh += 1;
+        Var::fresh(self.fresh + 50_000)
+    }
+
+    fn check_size(&self, q: &Query) -> Result<(), RewriteError> {
+        if q.size() > self.max_size {
+            Err(RewriteError::SizeBudget(self.max_size))
+        } else {
+            Ok(())
+        }
+    }
+
+    // ---- capture-avoiding substitution q[x ⇒ r], r a Var or Elem -------
+
+    /// Renames binder `v` (which would capture a free variable of the
+    /// replacement) to a fresh variable throughout `body`.
+    fn rename_binder(
+        &mut self,
+        v: &Var,
+        body: &Query,
+    ) -> Result<(Var, Query), RewriteError> {
+        let fresh = self.fresh_var();
+        let renamed = self.subst_q(body, v, &Query::Var(fresh.clone()))?;
+        Ok((fresh, renamed))
+    }
+
+    fn rename_binder_cond(
+        &mut self,
+        v: &Var,
+        body: &Cond,
+    ) -> Result<(Var, Cond), RewriteError> {
+        let fresh = self.fresh_var();
+        let renamed = self.subst_c(body, v, &Query::Var(fresh.clone()))?;
+        Ok((fresh, renamed))
+    }
+
+    fn captures(r: &Query, v: &Var) -> bool {
+        xq_core::free_vars(r).contains(v)
+    }
+
+    fn subst_q(&mut self, q: &Query, x: &Var, r: &Query) -> Result<Query, RewriteError> {
+        Ok(match q {
+            Query::Empty => Query::Empty,
+            Query::Var(v) if v == x => r.clone(),
+            Query::Var(_) => q.clone(),
+            Query::Elem(a, b) => Query::elem(a.clone(), self.subst_q(b, x, r)?),
+            Query::Seq(a, b) => Query::Seq(
+                Rc::new(self.subst_q(a, x, r)?),
+                Rc::new(self.subst_q(b, x, r)?),
+            ),
+            Query::Step(base, ax, nt) => {
+                Query::step(self.subst_q(base, x, r)?, *ax, nt.clone())
+            }
+            Query::For(v, s, b) | Query::Let(v, s, b) => {
+                let is_let = matches!(q, Query::Let(_, _, _));
+                let s = self.subst_q(s, x, r)?;
+                let (v, b) = if v == x {
+                    // x is shadowed in the body: nothing to substitute.
+                    (v.clone(), (**b).clone())
+                } else {
+                    let (v, b) = if Self::captures(r, v) {
+                        self.rename_binder(v, b)?
+                    } else {
+                        (v.clone(), (**b).clone())
+                    };
+                    (v.clone(), self.subst_q(&b, x, r)?)
+                };
+                if is_let {
+                    Query::let_in(v, s, b)
+                } else {
+                    Query::for_in(v, s, b)
+                }
+            }
+            Query::If(c, b) => Query::if_then(
+                self.subst_c(c, x, r)?,
+                self.subst_q(b, x, r)?,
+            ),
+        })
+    }
+
+    /// Substitutes into a condition, applying the §7.2 case analysis when a
+    /// variable inside an equality is replaced by an element constructor.
+    fn subst_c(&mut self, c: &Cond, x: &Var, r: &Query) -> Result<Cond, RewriteError> {
+        Ok(match c {
+            Cond::True => Cond::True,
+            Cond::VarEq(a, b, mode) => {
+                let a_hit = a == x;
+                let b_hit = b == x;
+                if !a_hit && !b_hit {
+                    return Ok(c.clone());
+                }
+                match r {
+                    Query::Var(y) => {
+                        let na = if a_hit { y.clone() } else { a.clone() };
+                        let nb = if b_hit { y.clone() } else { b.clone() };
+                        Cond::VarEq(na, nb, *mode)
+                    }
+                    Query::Elem(tag, body) => {
+                        self.trace.log("subst-eq", c);
+                        let is_leaf = matches!(**body, Query::Empty);
+                        if *mode == EqMode::Deep && !is_leaf {
+                            return Err(RewriteError::DeepEqualityOnConstruction(
+                                c.to_string(),
+                            ));
+                        }
+                        if a_hit && b_hit {
+                            // ⟨a⟩α⟨/a⟩ = ⟨a⟩α⟨/a⟩ is vacuously true.
+                            Cond::True
+                        } else {
+                            let other = if a_hit { b.clone() } else { a.clone() };
+                            Cond::ConstEq(other, tag.clone(), *mode)
+                        }
+                    }
+                    other => {
+                        unreachable!("substitution target is a var or element: {other}")
+                    }
+                }
+            }
+            Cond::ConstEq(a, tag, mode) => {
+                if a != x {
+                    return Ok(c.clone());
+                }
+                match r {
+                    Query::Var(y) => Cond::ConstEq(y.clone(), tag.clone(), *mode),
+                    Query::Elem(t2, body) => {
+                        self.trace.log("subst-eq", c);
+                        let is_leaf = matches!(**body, Query::Empty);
+                        let equal = match mode {
+                            // Atomic equality compares root labels.
+                            EqMode::Atomic | EqMode::Mon => t2 == tag,
+                            EqMode::Deep => t2 == tag && is_leaf,
+                        };
+                        if equal {
+                            Cond::True
+                        } else {
+                            Cond::True.negate()
+                        }
+                    }
+                    other => {
+                        unreachable!("substitution target is a var or element: {other}")
+                    }
+                }
+            }
+            Cond::Query(q) => Cond::query(self.subst_q(q, x, r)?),
+            Cond::Some(v, s, inner) | Cond::Every(v, s, inner) => {
+                let is_some = matches!(c, Cond::Some(_, _, _));
+                let s = self.subst_q(s, x, r)?;
+                let (v, inner) = if v == x {
+                    (v.clone(), (**inner).clone())
+                } else {
+                    let (v, inner) = if Self::captures(r, v) {
+                        self.rename_binder_cond(v, inner)?
+                    } else {
+                        (v.clone(), (**inner).clone())
+                    };
+                    (v.clone(), self.subst_c(&inner, x, r)?)
+                };
+                if is_some {
+                    Cond::some(v, s, inner)
+                } else {
+                    Cond::every(v, s, inner)
+                }
+            }
+            Cond::And(a, b) => self.subst_c(a, x, r)?.and(self.subst_c(b, x, r)?),
+            Cond::Or(a, b) => self.subst_c(a, x, r)?.or(self.subst_c(b, x, r)?),
+            Cond::Not(a) => self.subst_c(a, x, r)?.negate(),
+        })
+    }
+
+    // ---- the main normalizer ---------------------------------------------
+
+    fn elim(&mut self, q: &Query) -> Result<Query, RewriteError> {
+        self.check_size(q)?;
+        Ok(match q {
+            Query::Empty | Query::Var(_) => q.clone(),
+            Query::Elem(a, b) => Query::elem(a.clone(), self.elim(b)?),
+            Query::Seq(a, b) => Query::Seq(
+                Rc::new(self.elim(a)?),
+                Rc::new(self.elim(b)?),
+            ),
+            Query::Step(base, ax, nt) => {
+                let base = self.elim(base)?;
+                self.push_step(base, *ax, nt)?
+            }
+            Query::For(x, s, b) => {
+                let s = self.elim(s)?;
+                let b = self.elim(b)?;
+                self.push_for(x, s, b)?
+            }
+            Query::If(c, b) => {
+                let c = self.elim_cond(c)?;
+                Query::if_then(c, self.elim(b)?)
+            }
+            Query::Let(x, s, b) => {
+                // (let $x := ⟨a⟩α⟨/a⟩) β ⊢ β[$x ⇒ ⟨a⟩α⟨/a⟩]; general
+                // sources go through the Figure 9 for-rules.
+                self.trace.log("elim.let", q);
+                let s = self.elim(s)?;
+                let b = self.elim(b)?;
+                self.push_for(x, s, b)?
+            }
+        })
+    }
+
+    fn elim_cond(&mut self, c: &Cond) -> Result<Cond, RewriteError> {
+        Ok(match c {
+            Cond::True | Cond::VarEq(_, _, _) | Cond::ConstEq(_, _, _) => c.clone(),
+            Cond::Query(q) => Cond::query(self.elim(q)?),
+            Cond::Some(v, s, inner) => {
+                // Normalize the source; if it is not a plain step, convert
+                // to a query condition via `for` (Prop 3.1) and renormalize.
+                let s = self.elim(s)?;
+                let inner = self.elim_cond(inner)?;
+                if matches!(&s, Query::Step(b, _, _) if matches!(&**b, Query::Var(_))) {
+                    Cond::some(v.clone(), s, inner)
+                } else {
+                    let body = xq_core::cond_as_query(&inner);
+                    let q = self.push_for(v, s, body)?;
+                    Cond::query(q)
+                }
+            }
+            Cond::Every(v, s, inner) => self
+                .elim_cond(&Cond::Some(
+                    v.clone(),
+                    s.clone(),
+                    Rc::new((**inner).clone().negate()),
+                ))?
+                .negate(),
+            Cond::And(a, b) => self.elim_cond(a)?.and(self.elim_cond(b)?),
+            Cond::Or(a, b) => self.elim_cond(a)?.or(self.elim_cond(b)?),
+            Cond::Not(a) => self.elim_cond(a)?.negate(),
+        })
+    }
+
+    /// Applies the Lemma 7.8 / step-pushing rules to `base/axis::ν`,
+    /// assuming `base` is already normalized.
+    fn push_step(&mut self, base: Query, axis: Axis, nt: &NodeTest) -> Result<Query, RewriteError> {
+        self.check_size(&base)?;
+        Ok(match &base {
+            // Simplification: $x/self::* ⊢ $x (keeps Figure 10 exact).
+            Query::Var(_) if axis == Axis::SelfAxis && *nt == NodeTest::Wildcard => {
+                self.trace.log("simplify-self", &base);
+                base
+            }
+            Query::Var(_) => Query::step(base, axis, nt.clone()),
+            Query::Empty => {
+                // ()/χ::ν ⊢ ()
+                self.trace.log("Lem.7.8", &base);
+                Query::Empty
+            }
+            Query::Seq(a, b) => {
+                // (α β)/χ::ν ⊢ (α/χ::ν) (β/χ::ν)
+                self.trace.log("Lem.7.8", &base);
+                let (a, b) = ((**a).clone(), (**b).clone());
+                Query::Seq(
+                    Rc::new(self.push_step(a, axis, nt)?),
+                    Rc::new(self.push_step(b, axis, nt)?),
+                )
+            }
+            Query::For(v, s, b) => {
+                // (for $x in α return β)/χ::ν ⊢ for $x in α return β/χ::ν
+                self.trace.log("Lem.7.8", &base);
+                let inner = self.push_step((**b).clone(), axis, nt)?;
+                Query::For(v.clone(), s.clone(), Rc::new(inner))
+            }
+            Query::If(c, b) => {
+                // (if φ then α)/χ::ν ⊢ if φ then α/χ::ν
+                self.trace.log("Lem.7.8", &base);
+                let inner = self.push_step((**b).clone(), axis, nt)?;
+                Query::If(c.clone(), Rc::new(inner))
+            }
+            Query::Step(_, _, _) => {
+                // ($x/χ::ν)/χ′::ν′ ⊢ for $y in $x/χ::ν return $y/χ′::ν′
+                self.trace.log("Lem.7.8", &base);
+                let y = self.fresh_var();
+                let body = self.push_step(Query::Var(y.clone()), axis, nt)?;
+                Query::for_in(y, base, body)
+            }
+            Query::Elem(a, body) => {
+                self.trace.log("Lem.7.8", &base);
+                let alpha = (**body).clone();
+                match (axis, nt) {
+                    // (⟨a⟩α⟨/a⟩)/ν ⊢ α/self::ν
+                    (Axis::Child, nt) => self.push_step(alpha, Axis::SelfAxis, nt)?,
+                    // self: compare tags
+                    (Axis::SelfAxis, NodeTest::Tag(b)) if b != a => Query::Empty,
+                    (Axis::SelfAxis, _) => base.clone(),
+                    // (⟨a⟩α⟨/a⟩)//ν ⊢ α/dos::ν
+                    (Axis::Descendant, nt) => {
+                        self.push_step(alpha, Axis::DescendantOrSelf, nt)?
+                    }
+                    // dos: keep self if the tag matches, then recurse
+                    (Axis::DescendantOrSelf, nt) => {
+                        let below = self.push_step(
+                            alpha,
+                            Axis::DescendantOrSelf,
+                            nt,
+                        )?;
+                        let keep_self = match nt {
+                            NodeTest::Wildcard => true,
+                            NodeTest::Tag(b) => b == a,
+                        };
+                        if keep_self {
+                            Query::Seq(Rc::new(base.clone()), Rc::new(below))
+                        } else {
+                            below
+                        }
+                    }
+                }
+            }
+            Query::Let(_, _, _) => unreachable!("lets are eliminated before stepping"),
+        })
+    }
+
+    /// Applies the Figure 9 rules to `for x in source return body`, both
+    /// sides already normalized.
+    fn push_for(&mut self, x: &Var, source: Query, body: Query) -> Result<Query, RewriteError> {
+        self.check_size(&source)?;
+        self.check_size(&body)?;
+        Ok(match source {
+            // (1) for $x in () return α ⊢ ()
+            Query::Empty => {
+                self.trace.log("Fig.9(1)", &source);
+                Query::Empty
+            }
+            // (2) for $x in ⟨a⟩α⟨/a⟩ return β ⊢ β[$x ⇒ ⟨a⟩α⟨/a⟩]
+            Query::Elem(_, _) => {
+                self.trace.log("Fig.9(2)", &source);
+                let substituted = self.subst_q(&body, x, &source)?;
+                // The substitution may create new redexes (steps on the
+                // element, equalities with it) — renormalize.
+                self.elim(&substituted)?
+            }
+            // (3) for $x in (α β) return γ ⊢ (for…α…γ) (for…β…γ)
+            Query::Seq(a, b) => {
+                self.trace.log("Fig.9(3)", &Query::Seq(a.clone(), b.clone()));
+                let left = self.push_for(x, (*a).clone(), body.clone())?;
+                let right = self.push_for(x, (*b).clone(), body)?;
+                Query::Seq(Rc::new(left), Rc::new(right))
+            }
+            // (4) for $y in (for $x in α return β) return γ
+            //     ⊢ for $x in α return (for $y in β return γ)
+            Query::For(v, s, b) => {
+                self.trace
+                    .log("Fig.9(4)", &Query::For(v.clone(), s.clone(), b.clone()));
+                // Avoid capture: if v occurs free in the outer body, rename.
+                let (v, b) = if xq_core::free_vars(&body).contains(&v) {
+                    let v2 = self.fresh_var();
+                    let renamed = self.subst_q(&b, &v, &Query::Var(v2.clone()))?;
+                    (v2, renamed)
+                } else {
+                    (v, (*b).clone())
+                };
+                let inner = self.push_for(x, b, body)?;
+                Query::for_in(v, (*s).clone(), inner)
+            }
+            // (5) for $x in (if φ then α) return β
+            //     ⊢ for $x in α return if φ then β
+            Query::If(c, a) => {
+                self.trace.log("Fig.9(5)", &Query::If(c.clone(), a.clone()));
+                let wrapped = Query::If(c, Rc::new(body));
+                self.push_for(x, (*a).clone(), wrapped)?
+            }
+            // (6) for $y in $x return α ⊢ α[$y ⇒ $x]
+            Query::Var(v) => {
+                self.trace.log("Fig.9(6)", &v);
+                let substituted = self.subst_q(&body, x, &Query::Var(v))?;
+                self.elim(&substituted)?
+            }
+            // Already a step on a variable: done.
+            s @ Query::Step(_, _, _) => Query::for_in(x.clone(), s, body),
+            Query::Let(_, _, _) => unreachable!("lets are eliminated first"),
+        })
+    }
+}
+
+/// Rewrites a `XQ[=atomic, child, descendant, self, dos, not]` query into
+/// an equivalent composition-free (`XQ∼`) query per Theorem 7.9, returning
+/// the result and the rule trace. `max_size` bounds the intermediate query
+/// size (the blowup is exponential in the worst case — Theorem 7.9's
+/// succinctness statement).
+pub fn eliminate_composition(
+    q: &Query,
+    max_size: u64,
+) -> Result<(Query, Trace), RewriteError> {
+    let mut rw = Rewriter {
+        fresh: 0,
+        trace: Trace::default(),
+        max_size,
+    };
+    let out = rw.elim(q)?;
+    // Final lowering: XQ∼ conditions are queries, `var = var`, or
+    // `$z = ⟨a/⟩` (Prop 7.1) — eliminate `true`/`and`/`or`/`some` forms
+    // the rewriting may have left behind.
+    let out = xq_core::to_xq_tilde(&out);
+    Ok((out, rw.trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_xtree::parse_tree;
+    use xq_core::{boolean_result, eval_query, is_xq_tilde, parse_query};
+
+    fn check_equivalent(src: &str, docs: &[&str]) -> (Query, Query, Trace) {
+        let q = parse_query(src).unwrap();
+        let (out, trace) = eliminate_composition(&q, 1_000_000).unwrap();
+        assert!(
+            is_xq_tilde(&out),
+            "rewritten query is not XQ∼: {out}\n(from {src})"
+        );
+        for doc in docs {
+            let t = parse_tree(doc).unwrap();
+            let want = eval_query(&q, &t).unwrap();
+            let got = eval_query(&out, &t).unwrap();
+            assert_eq!(got, want, "query {src} on {doc}\nrewritten: {out}");
+        }
+        (q, out, trace)
+    }
+
+    #[test]
+    fn figure_10_example_rewrites_to_the_paper_result() {
+        // let $x := ⟨a⟩{for $w in $root/* return ⟨b⟩{$w}⟨/b⟩}⟨/a⟩
+        // for $y in $x/b return $y/*       ⊢*    for $w in $root/* return $w
+        let src = "let $x := <a>{ for $w in $root/* return <b>{$w}</b> }</a> \
+                   return for $y in $x/b return $y/*";
+        let (_, out, trace) =
+            check_equivalent(src, &["<r><p><q/></p><s/></r>", "<r/>"]);
+        assert_eq!(
+            out,
+            parse_query("for $w in $root/* return $w").unwrap(),
+            "expected the Figure 10 result, got {out}"
+        );
+        // The trace exercises the let-elimination, Lemma 7.8, and the
+        // Figure 9 rules, as in the paper's derivation.
+        let rules = trace.rules();
+        assert!(rules.contains(&"elim.let"), "{rules:?}");
+        assert!(rules.contains(&"Lem.7.8"), "{rules:?}");
+        assert!(rules.iter().any(|r| r.starts_with("Fig.9")), "{rules:?}");
+    }
+
+    #[test]
+    fn intro_books_example_rewrites() {
+        // The paper's non-composition-free intro query:
+        // ⟨books⟩{let $x := ⟨a⟩{for $w in /bib/book return ⟨b⟩{$w}⟨/b⟩}⟨/a⟩
+        //   for $y in $x/b return $y/*}⟨/books⟩
+        let src = "<books>{ let $x := <a>{ for $w in $root/book return \
+                   <b>{$w}</b> }</a> return for $y in $x/b return $y/* }</books>";
+        let (_, out, _) = check_equivalent(
+            src,
+            &[
+                "<bib><book><t1/></book><book><t2/></book></bib>",
+                "<bib/>",
+            ],
+        );
+        // Equivalent to ⟨books⟩{for $w in $root/book return $w}⟨/books⟩.
+        assert_eq!(
+            out,
+            parse_query("<books>{ for $w in $root/book return $w }</books>").unwrap()
+        );
+    }
+
+    #[test]
+    fn for_over_for_uses_rule_4() {
+        let src = "for $y in (for $w in $root/b return <b>{$w}</b>) return $y/*";
+        let (_, out, trace) = check_equivalent(
+            src,
+            &["<r><b><x/></b><b><y/></b></r>", "<r/>"],
+        );
+        assert!(trace.rules().contains(&"Fig.9(4)"));
+        assert_eq!(out, parse_query("for $w in $root/b return $w").unwrap());
+    }
+
+    #[test]
+    fn steps_on_elements_follow_lemma_7_8() {
+        for (src, doc) in [
+            ("(<a><b/><c/></a>)/b", "<r/>"),
+            ("(<a><b/><c/></a>)/*", "<r/>"),
+            ("(<a><b><c/></b></a>)//c", "<r/>"),
+            ("(<a><b/></a>)/self::a", "<r/>"),
+            ("(<a><b/></a>)/self::z", "<r/>"),
+            ("(<a><b><a/></b></a>)//a", "<r/>"),
+            ("((<a><b/></a>, <c><b/></c>))/b", "<r/>"),
+            ("(if (true) then <a><b/></a>)/b", "<r/>"),
+        ] {
+            check_equivalent(src, &[doc]);
+        }
+    }
+
+    #[test]
+    fn equality_substitution_cases() {
+        // $x bound to a leaf element, compared atomically.
+        let src = "let $x := <true/> return \
+                   for $y in $root/* return if ($x =atomic $y) then <hit/>";
+        check_equivalent(src, &["<r><true/><false/></r>", "<r/>"]);
+        // Both sides the same construction: vacuous truth.
+        let src = "let $x := <k/> return if ($x =atomic $x) then <y/>";
+        check_equivalent(src, &["<r/>"]);
+        // Nonempty construction compared atomically (label comparison).
+        let src = "let $x := <true><why/></true> return \
+                   for $y in $root/* return if ($x =atomic $y) then <hit/>";
+        check_equivalent(src, &["<r><true/><x/></r>"]);
+    }
+
+    #[test]
+    fn deep_equality_on_construction_is_rejected() {
+        let src = "let $x := <a><b/></a> return \
+                   for $y in $root/* return if ($x = $y) then <hit/>";
+        let q = parse_query(src).unwrap();
+        assert!(matches!(
+            eliminate_composition(&q, 1_000_000),
+            Err(RewriteError::DeepEqualityOnConstruction(_))
+        ));
+    }
+
+    #[test]
+    fn size_budget_stops_exponential_blowup() {
+        let q = parse_query(&let_chain(12)).unwrap();
+        assert!(matches!(
+            eliminate_composition(&q, 10_000),
+            Err(RewriteError::SizeBudget(_))
+        ));
+    }
+
+    /// A `let`-chain where each binding doubles the previous one — the
+    /// succinctness family for experiment E10.
+    pub(crate) fn let_chain(depth: usize) -> String {
+        let mut bindings = String::from("let $x0 := <a>{ $root/* }</a> return ");
+        for i in 1..=depth {
+            bindings.push_str(&format!(
+                "let $x{i} := <a>{{ $x{prev}/* , $x{prev}/* }}</a> return ",
+                prev = i - 1
+            ));
+        }
+        format!("<out>{{ {bindings} $x{depth}/* }}</out>")
+    }
+
+    #[test]
+    fn let_chain_blowup_is_exponential() {
+        // |rewritten| roughly doubles with each extra let (Theorem 7.9's
+        // succinctness gap).
+        let mut sizes = Vec::new();
+        for depth in 1..=6 {
+            let q = parse_query(&let_chain(depth)).unwrap();
+            let (out, _) = eliminate_composition(&q, 10_000_000).unwrap();
+            sizes.push(out.size());
+        }
+        for w in sizes.windows(2) {
+            assert!(
+                w[1] as f64 >= 1.7 * w[0] as f64,
+                "expected exponential growth, got {sizes:?}"
+            );
+        }
+        // And the rewritten queries stay equivalent.
+        let q = parse_query(&let_chain(3)).unwrap();
+        let (out, _) = eliminate_composition(&q, 10_000_000).unwrap();
+        let t = parse_tree("<r><p/><q/></r>").unwrap();
+        assert_eq!(
+            boolean_result(&q, &t).unwrap(),
+            boolean_result(&out, &t).unwrap()
+        );
+    }
+
+    #[test]
+    fn conditions_with_query_composition_are_rewritten() {
+        let src = "<out>{ for $x in $root/a return \
+                   if ((<w>{ $x/b }</w>)/b) then $x }</out>";
+        check_equivalent(src, &["<r><a><b/></a><a><c/></a></r>", "<r/>"]);
+    }
+
+    #[test]
+    fn capture_is_avoided_in_rule_4() {
+        // The inner for variable collides with a variable free in the
+        // outer body; rewriting must rename.
+        let src = "for $y in (for $x in $root/a return <b>{$x}</b>) return \
+                   for $x in $root/c return ($y/*, $x)";
+        check_equivalent(src, &["<r><a><k/></a><c/></r>"]);
+    }
+}

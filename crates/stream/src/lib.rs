@@ -1,0 +1,884 @@
+//! The iterator-based streaming evaluator of Theorem 4.5 — the EXPSPACE
+//! upper bound for `XQ[=deep, child, descendant]`.
+//!
+//! The materializing evaluator can build intermediate trees of doubly
+//! exponential size (Prop 4.2 + Lemma 3.3). This engine follows the
+//! paper's alternative: a *list iterator design pattern* with
+//! `getNext`/`atEnd` (plus the derived `count`/`get`), where
+//!
+//! * results are streams of opening/closing-tag [`Token`]s, never trees;
+//! * a `for`-variable binds to a **lazy handle** — "item `m` of
+//!   `[[α]](~e)`" — not to a materialized tree;
+//! * referencing a variable *re-streams* its defining expression and
+//!   skips to item `m` (recomputation trades time for space);
+//! * axis steps and deep equality work directly on token streams with
+//!   depth counters.
+//!
+//! Live state is therefore a bounded number of cursors and counters per
+//! query variable: [`StreamStats::peak_live_cursors`] measures it, and the
+//! E4 experiment contrasts it with the materializing evaluator's allocated
+//! nodes on the Prop 4.2 blowup family.
+
+use cv_xtree::{Axis, Label, NodeTest, Token, Tree};
+use std::cell::Cell;
+use std::rc::Rc;
+use xq_core::ast::{Cond, EqMode, Query, Var};
+
+/// Streaming failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// Unbound variable.
+    UnboundVariable(String),
+    /// `=mon` is not an XQuery equality.
+    BadEqualityMode,
+    /// The step budget was exhausted (streaming recomputes aggressively;
+    /// time can be exponential in the query).
+    Budget,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            StreamError::BadEqualityMode => f.write_str("=mon is not an XQuery equality"),
+            StreamError::Budget => f.write_str("streaming step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Counters exposed by the streaming engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Tokens produced at the top level.
+    pub tokens_out: u64,
+    /// Total cursor pulls (the time cost of recomputation).
+    pub pulls: u64,
+    /// Times a defining expression was re-streamed for a variable
+    /// reference or a loop restart.
+    pub recomputations: u64,
+    /// Peak number of simultaneously live cursors — the measured "working
+    /// memory" of Theorem 4.5 (each cursor is O(1) counters plus a
+    /// constant number of references).
+    pub peak_live_cursors: u64,
+}
+
+#[derive(Clone)]
+struct Shared {
+    pulls: Rc<Cell<u64>>,
+    live: Rc<Cell<u64>>,
+    peak: Rc<Cell<u64>>,
+    recomp: Rc<Cell<u64>>,
+    max_pulls: u64,
+}
+
+impl Shared {
+    fn new(max_pulls: u64) -> Shared {
+        Shared {
+            pulls: Rc::new(Cell::new(0)),
+            live: Rc::new(Cell::new(0)),
+            peak: Rc::new(Cell::new(0)),
+            recomp: Rc::new(Cell::new(0)),
+            max_pulls,
+        }
+    }
+
+    fn pull(&self) -> Result<(), StreamError> {
+        self.pulls.set(self.pulls.get() + 1);
+        if self.pulls.get() > self.max_pulls {
+            return Err(StreamError::Budget);
+        }
+        Ok(())
+    }
+
+    fn alloc(&self) {
+        self.live.set(self.live.get() + 1);
+        if self.live.get() > self.peak.get() {
+            self.peak.set(self.live.get());
+        }
+    }
+
+    fn free(&self) {
+        self.live.set(self.live.get() - 1);
+    }
+
+    fn recompute(&self) {
+        self.recomp.set(self.recomp.get() + 1);
+    }
+}
+
+/// What a variable is bound to.
+#[derive(Clone)]
+enum Binding<'q> {
+    /// The input tree, pre-tokenized (given data, not working memory).
+    Input(Rc<[Token]>),
+    /// Item `index` of `[[expr]](env)` — a lazy handle.
+    Lazy {
+        expr: &'q Query,
+        env: Env<'q>,
+        index: u64,
+    },
+}
+
+struct EnvNode<'q> {
+    var: Var,
+    binding: Binding<'q>,
+    parent: Env<'q>,
+}
+
+type Env<'q> = Option<Rc<EnvNode<'q>>>;
+
+fn bind<'q>(env: &Env<'q>, var: Var, binding: Binding<'q>) -> Env<'q> {
+    Some(Rc::new(EnvNode {
+        var,
+        binding,
+        parent: env.clone(),
+    }))
+}
+
+fn lookup<'q>(env: &Env<'q>, v: &Var) -> Result<Binding<'q>, StreamError> {
+    let mut cur = env;
+    while let Some(node) = cur {
+        if &node.var == v {
+            return Ok(node.binding.clone());
+        }
+        cur = &node.parent;
+    }
+    Err(StreamError::UnboundVariable(v.name().to_string()))
+}
+
+/// A pull cursor over a token stream.
+struct XCursor<'q> {
+    kind: Kind<'q>,
+    shared: Shared,
+}
+
+enum Kind<'q> {
+    Done,
+    /// Raw token slice (the input or a subtree of it).
+    Slice { tokens: Rc<[Token]>, pos: usize },
+    /// `⟨a⟩ body ⟨/a⟩`.
+    Elem {
+        tag: Label,
+        opened: bool,
+        body: Option<Box<XCursor<'q>>>,
+    },
+    /// `α` then `β`.
+    Seq {
+        cur: Box<XCursor<'q>>,
+        rest: Option<(&'q Query, Env<'q>)>,
+    },
+    /// Pass through item #index of the inner stream.
+    Item {
+        inner: Box<XCursor<'q>>,
+        index: u64,
+        seen: u64,
+        depth: i64,
+        done: bool,
+    },
+    /// Axis step over all items of a re-streamable base.
+    AxisStep {
+        base: &'q Query,
+        env: Env<'q>,
+        axis: Axis,
+        test: NodeTest,
+        match_idx: u64,
+        sub: Option<MatchEmitter<'q>>,
+        exhausted: bool,
+    },
+    /// `for var in source return body`, item-by-item with lazy bindings.
+    For {
+        var: Var,
+        source: &'q Query,
+        body: &'q Query,
+        env: Env<'q>,
+        m: u64,
+        cur: Option<Box<XCursor<'q>>>,
+        exhausted: bool,
+    },
+    /// `if c then body` — condition evaluated on first pull.
+    If {
+        cond: &'q Cond,
+        body: &'q Query,
+        env: Env<'q>,
+        decided: Option<Box<XCursor<'q>>>,
+        dead: bool,
+    },
+}
+
+/// Streams the subtree of match #target within an inner cursor.
+struct MatchEmitter<'q> {
+    inner: Box<XCursor<'q>>,
+    axis: Axis,
+    test: NodeTest,
+    target: u64,
+    matches_seen: u64,
+    depth: i64,
+    emitting_from: Option<i64>,
+    found: bool,
+}
+
+impl Drop for XCursor<'_> {
+    fn drop(&mut self) {
+        self.shared.free();
+    }
+}
+
+impl<'q> XCursor<'q> {
+    fn new(kind: Kind<'q>, shared: &Shared) -> XCursor<'q> {
+        shared.alloc();
+        XCursor {
+            kind,
+            shared: shared.clone(),
+        }
+    }
+
+    fn of_query(q: &'q Query, env: &Env<'q>, shared: &Shared) -> Result<XCursor<'q>, StreamError> {
+        let kind = match q {
+            Query::Empty => Kind::Done,
+            Query::Elem(a, body) => Kind::Elem {
+                tag: a.clone(),
+                opened: false,
+                body: Some(Box::new(XCursor::of_query(body, env, shared)?)),
+            },
+            Query::Seq(a, b) => Kind::Seq {
+                cur: Box::new(XCursor::of_query(a, env, shared)?),
+                rest: Some((b, env.clone())),
+            },
+            Query::Var(v) => return XCursor::of_binding(lookup(env, v)?, shared),
+            Query::Step(base, axis, test) => Kind::AxisStep {
+                base,
+                env: env.clone(),
+                axis: *axis,
+                test: test.clone(),
+                match_idx: 0,
+                sub: None,
+                exhausted: false,
+            },
+            Query::For(v, s, b) | Query::Let(v, s, b) => Kind::For {
+                var: v.clone(),
+                source: s,
+                body: b,
+                env: env.clone(),
+                m: 0,
+                cur: None,
+                exhausted: false,
+            },
+            Query::If(c, body) => Kind::If {
+                cond: c,
+                body,
+                env: env.clone(),
+                decided: None,
+                dead: false,
+            },
+        };
+        Ok(XCursor::new(kind, shared))
+    }
+
+    fn of_binding(b: Binding<'q>, shared: &Shared) -> Result<XCursor<'q>, StreamError> {
+        match b {
+            Binding::Input(tokens) => {
+                Ok(XCursor::new(Kind::Slice { tokens, pos: 0 }, shared))
+            }
+            Binding::Lazy { expr, env, index } => {
+                shared.recompute();
+                let inner = XCursor::of_query(expr, &env, shared)?;
+                Ok(XCursor::new(
+                    Kind::Item {
+                        inner: Box::new(inner),
+                        index,
+                        seen: 0,
+                        depth: 0,
+                        done: false,
+                    },
+                    shared,
+                ))
+            }
+        }
+    }
+
+    /// Pulls the next token.
+    fn next(&mut self) -> Result<Option<Token>, StreamError> {
+        self.shared.pull()?;
+        let shared = self.shared.clone();
+        match &mut self.kind {
+            Kind::Done => Ok(None),
+            Kind::Slice { tokens, pos } => {
+                if *pos < tokens.len() {
+                    let t = tokens[*pos].clone();
+                    *pos += 1;
+                    Ok(Some(t))
+                } else {
+                    Ok(None)
+                }
+            }
+            Kind::Elem { tag, opened, body } => {
+                if !*opened {
+                    *opened = true;
+                    return Ok(Some(Token::Open(tag.clone())));
+                }
+                if let Some(b) = body {
+                    if let Some(t) = b.next()? {
+                        return Ok(Some(t));
+                    }
+                    let t = Token::Close(tag.clone());
+                    self.kind = Kind::Done;
+                    return Ok(Some(t));
+                }
+                Ok(None)
+            }
+            Kind::Seq { cur, rest } => loop {
+                if let Some(t) = cur.next()? {
+                    return Ok(Some(t));
+                }
+                match rest.take() {
+                    Some((q, env)) => {
+                        **cur = XCursor::of_query(q, &env, &shared)?;
+                    }
+                    None => return Ok(None),
+                }
+            },
+            Kind::Item {
+                inner,
+                index,
+                seen,
+                depth,
+                done,
+            } => {
+                if *done {
+                    return Ok(None);
+                }
+                loop {
+                    let Some(t) = inner.next()? else {
+                        *done = true;
+                        return Ok(None);
+                    };
+                    match &t {
+                        Token::Open(_) => {
+                            if *depth == 0 {
+                                *seen += 1;
+                            }
+                            *depth += 1;
+                        }
+                        Token::Close(_) => {
+                            *depth -= 1;
+                        }
+                    }
+                    // 1-based item number of the token just processed.
+                    if *seen == *index + 1 {
+                        if *depth == 0 {
+                            *done = true; // closing token of our item
+                        }
+                        return Ok(Some(t));
+                    }
+                    if *seen > *index + 1 {
+                        *done = true;
+                        return Ok(None);
+                    }
+                }
+            }
+            Kind::AxisStep {
+                base,
+                env,
+                axis,
+                test,
+                match_idx,
+                sub,
+                exhausted,
+            } => loop {
+                if *exhausted {
+                    return Ok(None);
+                }
+                if sub.is_none() {
+                    shared.recompute();
+                    let inner = XCursor::of_query(base, env, &shared)?;
+                    *sub = Some(MatchEmitter {
+                        inner: Box::new(inner),
+                        axis: *axis,
+                        test: test.clone(),
+                        target: *match_idx,
+                        matches_seen: 0,
+                        depth: 0,
+                        emitting_from: None,
+                        found: false,
+                    });
+                }
+                let emitter = sub.as_mut().expect("just set");
+                match emitter.next()? {
+                    Some(t) => return Ok(Some(t)),
+                    None => {
+                        let found = emitter.found;
+                        *sub = None;
+                        if found {
+                            *match_idx += 1;
+                        } else {
+                            *exhausted = true;
+                        }
+                    }
+                }
+            },
+            Kind::For {
+                var,
+                source,
+                body,
+                env,
+                m,
+                cur,
+                exhausted,
+            } => loop {
+                if *exhausted {
+                    return Ok(None);
+                }
+                if cur.is_none() {
+                    if !item_exists(source, env, *m, &shared)? {
+                        *exhausted = true;
+                        return Ok(None);
+                    }
+                    let new_env = bind(
+                        env,
+                        var.clone(),
+                        Binding::Lazy {
+                            expr: source,
+                            env: env.clone(),
+                            index: *m,
+                        },
+                    );
+                    *cur = Some(Box::new(XCursor::of_query(body, &new_env, &shared)?));
+                }
+                if let Some(t) = cur.as_mut().expect("just set").next()? {
+                    return Ok(Some(t));
+                }
+                *cur = None;
+                *m += 1;
+            },
+            Kind::If {
+                cond,
+                body,
+                env,
+                decided,
+                dead,
+            } => {
+                if *dead {
+                    return Ok(None);
+                }
+                if decided.is_none() {
+                    if eval_cond(cond, env, &shared)? {
+                        *decided = Some(Box::new(XCursor::of_query(body, env, &shared)?));
+                    } else {
+                        *dead = true;
+                        return Ok(None);
+                    }
+                }
+                decided.as_mut().expect("just set").next()
+            }
+        }
+    }
+}
+
+impl MatchEmitter<'_> {
+    /// Whether an `Open` that raised the depth to `d` starts a node
+    /// selected by the axis (items are at depth 1).
+    fn selects(&self, d: i64) -> bool {
+        match self.axis {
+            Axis::SelfAxis => d == 1,
+            Axis::Child => d == 2,
+            Axis::Descendant => d >= 2,
+            Axis::DescendantOrSelf => d >= 1,
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<Token>, StreamError> {
+        loop {
+            let Some(t) = self.inner.next()? else {
+                return Ok(None);
+            };
+            match &t {
+                Token::Open(label) => {
+                    self.depth += 1;
+                    if self.emitting_from.is_none()
+                        && self.selects(self.depth)
+                        && self.test.matches(label)
+                    {
+                        if self.matches_seen == self.target {
+                            self.emitting_from = Some(self.depth);
+                            self.found = true;
+                        }
+                        self.matches_seen += 1;
+                    }
+                    if self.emitting_from.is_some() {
+                        return Ok(Some(t));
+                    }
+                }
+                Token::Close(_) => {
+                    let emit = self.emitting_from.is_some();
+                    let finished = self.emitting_from == Some(self.depth);
+                    self.depth -= 1;
+                    if emit {
+                        if finished {
+                            // Final close of this match: emit it and stop;
+                            // the enclosing AxisStep restarts for the next
+                            // match.
+                            self.emitting_from = None;
+                            self.inner.kind = Kind::Done;
+                            return Ok(Some(t));
+                        }
+                        return Ok(Some(t));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Does `[[expr]](env)` have an item #m (0-based)? Re-streams and counts.
+fn item_exists<'q>(
+    expr: &'q Query,
+    env: &Env<'q>,
+    m: u64,
+    shared: &Shared,
+) -> Result<bool, StreamError> {
+    shared.recompute();
+    let mut c = XCursor::of_query(expr, env, shared)?;
+    let mut depth: i64 = 0;
+    let mut seen: u64 = 0;
+    while let Some(t) = c.next()? {
+        match t {
+            Token::Open(_) => {
+                if depth == 0 {
+                    seen += 1;
+                    if seen > m {
+                        return Ok(true);
+                    }
+                }
+                depth += 1;
+            }
+            Token::Close(_) => depth -= 1,
+        }
+    }
+    Ok(false)
+}
+
+fn first_label(b: Binding<'_>, shared: &Shared) -> Result<Option<Label>, StreamError> {
+    let mut c = XCursor::of_binding(b, shared)?;
+    match c.next()? {
+        Some(Token::Open(l)) => Ok(Some(l)),
+        _ => Ok(None),
+    }
+}
+
+fn streams_equal<'q>(
+    a: Binding<'q>,
+    b: Binding<'q>,
+    shared: &Shared,
+) -> Result<bool, StreamError> {
+    let mut ca = XCursor::of_binding(a, shared)?;
+    let mut cb = XCursor::of_binding(b, shared)?;
+    loop {
+        match (ca.next()?, cb.next()?) {
+            (None, None) => return Ok(true),
+            (Some(x), Some(y)) if x == y => continue,
+            _ => return Ok(false),
+        }
+    }
+}
+
+fn eval_cond<'q>(c: &'q Cond, env: &Env<'q>, shared: &Shared) -> Result<bool, StreamError> {
+    match c {
+        Cond::True => Ok(true),
+        Cond::VarEq(x, y, mode) => {
+            let bx = lookup(env, x)?;
+            let by = lookup(env, y)?;
+            match mode {
+                EqMode::Deep => streams_equal(bx, by, shared),
+                EqMode::Atomic => Ok(first_label(bx, shared)? == first_label(by, shared)?),
+                EqMode::Mon => Err(StreamError::BadEqualityMode),
+            }
+        }
+        Cond::ConstEq(x, a, mode) => {
+            let bx = lookup(env, x)?;
+            match mode {
+                EqMode::Deep => {
+                    let mut cx = XCursor::of_binding(bx, shared)?;
+                    let t1 = cx.next()?;
+                    let t2 = cx.next()?;
+                    let t3 = cx.next()?;
+                    Ok(t1 == Some(Token::Open(a.clone()))
+                        && t2 == Some(Token::Close(a.clone()))
+                        && t3.is_none())
+                }
+                _ => Ok(first_label(bx, shared)?.as_ref() == Some(a)),
+            }
+        }
+        Cond::Query(q) => {
+            let mut c = XCursor::of_query(q, env, shared)?;
+            Ok(c.next()?.is_some())
+        }
+        Cond::Some(v, source, sat) => {
+            let mut m = 0u64;
+            while item_exists(source, env, m, shared)? {
+                let new_env = bind(
+                    env,
+                    v.clone(),
+                    Binding::Lazy {
+                        expr: source,
+                        env: env.clone(),
+                        index: m,
+                    },
+                );
+                if eval_cond(sat, &new_env, shared)? {
+                    return Ok(true);
+                }
+                m += 1;
+            }
+            Ok(false)
+        }
+        Cond::Every(v, source, sat) => {
+            let mut m = 0u64;
+            while item_exists(source, env, m, shared)? {
+                let new_env = bind(
+                    env,
+                    v.clone(),
+                    Binding::Lazy {
+                        expr: source,
+                        env: env.clone(),
+                        index: m,
+                    },
+                );
+                if !eval_cond(sat, &new_env, shared)? {
+                    return Ok(false);
+                }
+                m += 1;
+            }
+            Ok(true)
+        }
+        Cond::And(a, b) => Ok(eval_cond(a, env, shared)? && eval_cond(b, env, shared)?),
+        Cond::Or(a, b) => Ok(eval_cond(a, env, shared)? || eval_cond(b, env, shared)?),
+        Cond::Not(a) => Ok(!eval_cond(a, env, shared)?),
+    }
+}
+
+/// Streams `[[q]]($root ↦ input)` into a token vector, reporting stats.
+/// `max_pulls` bounds the (possibly exponential) recomputation time.
+pub fn stream_query(
+    q: &Query,
+    input: &Tree,
+    max_pulls: u64,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    let shared = Shared::new(max_pulls);
+    let tokens: Rc<[Token]> = input.tokens().into();
+    let env = bind(&None, Var::root(), Binding::Input(tokens));
+    let mut cursor = XCursor::of_query(q, &env, &shared)?;
+    let mut out = Vec::new();
+    while let Some(t) = cursor.next()? {
+        out.push(t);
+    }
+    drop(cursor);
+    let stats = StreamStats {
+        tokens_out: out.len() as u64,
+        pulls: shared.pulls.get(),
+        recomputations: shared.recomp.get(),
+        peak_live_cursors: shared.peak.get(),
+    };
+    Ok((out, stats))
+}
+
+/// Pulls only until the Boolean verdict is known: for `⟨a⟩α⟨/a⟩`, whether
+/// the root element has a child (§7.1 convention); otherwise whether the
+/// stream is nonempty. Never materializes the result.
+pub fn stream_boolean(q: &Query, input: &Tree, max_pulls: u64) -> Result<bool, StreamError> {
+    let shared = Shared::new(max_pulls);
+    let tokens: Rc<[Token]> = input.tokens().into();
+    let env = bind(&None, Var::root(), Binding::Input(tokens));
+    let mut cursor = XCursor::of_query(q, &env, &shared)?;
+    match q {
+        Query::Elem(_, _) => {
+            let _open = cursor.next()?;
+            match cursor.next()? {
+                Some(Token::Open(_)) => Ok(true),
+                _ => Ok(false),
+            }
+        }
+        _ => Ok(cursor.next()?.is_some()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_xtree::parse_tree;
+    use xq_core::parse_query;
+
+    const FUEL: u64 = 10_000_000;
+
+    fn agree(src: &str, doc: &str) -> StreamStats {
+        let q = parse_query(src).unwrap();
+        let t = parse_tree(doc).unwrap();
+        let (got, stats) = stream_query(&q, &t, FUEL)
+            .unwrap_or_else(|e| panic!("stream failed for {src}: {e}"));
+        let want: Vec<Token> = xq_core::eval_query(&q, &t)
+            .unwrap()
+            .iter()
+            .flat_map(Tree::tokens)
+            .collect();
+        assert_eq!(got, want, "query {src} on {doc}");
+        stats
+    }
+
+    #[test]
+    fn streams_basic_forms() {
+        agree("()", "<r/>");
+        agree("<a/>", "<r/>");
+        agree("<a><b/></a>", "<r/>");
+        agree("($root, $root)", "<r><x/></r>");
+        agree("$root", "<r><a><b/></a></r>");
+    }
+
+    #[test]
+    fn streams_steps_on_input() {
+        let doc = "<r><a><b/></a><c/><a/></r>";
+        agree("$root/a", doc);
+        agree("$root/*", doc);
+        agree("$root//b", doc);
+        agree("$root//*", doc);
+        agree("$root/self::r", doc);
+        agree("$root/zzz", doc);
+    }
+
+    #[test]
+    fn streams_for_loops_with_lazy_bindings() {
+        let doc = "<r><a><x/></a><a><y/></a></r>";
+        agree("for $v in $root/a return <w>{$v}</w>", doc);
+        agree("for $v in $root/a return $v/*", doc);
+        agree(
+            "for $v in $root/a return for $u in $v/* return ($u, $u)",
+            doc,
+        );
+    }
+
+    #[test]
+    fn streams_steps_over_constructed_values() {
+        // Composition: steps on intermediate results, the hard case.
+        let doc = "<r><a><x/></a></r>";
+        agree("(<w><a/><b/></w>)/a", doc);
+        agree(
+            "for $y in (for $w in $root/a return <b>{$w}</b>) return $y/*",
+            doc,
+        );
+        agree("(<w><a><b/></a></w>)//b", doc);
+    }
+
+    #[test]
+    fn conditions_and_equality() {
+        let doc = "<r><a><b/></a><a><b/></a><c/></r>";
+        agree(
+            "for $x in $root/a return for $y in $root/a return \
+             if ($x = $y) then <deepeq/>",
+            doc,
+        );
+        agree(
+            "for $x in $root/* return if ($x =atomic <c/>) then <hit/>",
+            doc,
+        );
+        agree("for $x in $root/* return if (not($x/b)) then <nob/>", doc);
+        agree(
+            "if (some $x in $root/* satisfies $x =atomic <c/>) then <y/>",
+            doc,
+        );
+        agree("if (every $x in $root/a satisfies $x/b) then <all/>", doc);
+    }
+
+    #[test]
+    fn boolean_short_circuits() {
+        let q = parse_query("<out>{ for $x in $root/* return <w/> }</out>").unwrap();
+        let t = parse_tree("<r><a/><b/><c/></r>").unwrap();
+        assert!(stream_boolean(&q, &t, FUEL).unwrap());
+        let q = parse_query("<out>{ $root/zzz }</out>").unwrap();
+        assert!(!stream_boolean(&q, &t, FUEL).unwrap());
+    }
+
+    #[test]
+    fn live_cursors_stay_small_while_output_grows() {
+        // Doubling family: result size 2^n, live cursor count O(n).
+        fn doubling(n: usize) -> String {
+            let mut q = String::from("<z/>");
+            for i in 0..n {
+                q = format!("for $v{i} in ({q}, {q}) return <z/>");
+            }
+            q
+        }
+        let t = parse_tree("<r/>").unwrap();
+        let mut peaks = Vec::new();
+        // Streaming trades time for space: the recomputation cost on this
+        // family is super-exponential in n (the EXPSPACE/2EXPTIME story),
+        // so the unit test stays at small n; the bench sweeps further.
+        for n in [1usize, 2, 3, 4] {
+            let q = parse_query(&doubling(n)).unwrap();
+            let (out, stats) = stream_query(&q, &t, FUEL).unwrap();
+            assert_eq!(out.len() as u64, 2 * (1 << n), "n = {n}");
+            peaks.push(stats.peak_live_cursors);
+        }
+        // Peak cursors grow far slower than output.
+        assert!(peaks[3] < 100, "expected small live state, got {peaks:?}");
+    }
+
+    #[test]
+    fn recomputation_is_counted() {
+        let stats = agree(
+            "for $v in $root/a return ($v, $v, $v)",
+            "<r><a><deep><tree/></deep></a></r>",
+        );
+        assert!(stats.recomputations >= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn budget_stops_runaway_recomputation() {
+        let q = parse_query(
+            "for $a in $root//* return for $b in $root//* return \
+             for $c in $root//* return <t/>",
+        )
+        .unwrap();
+        let mut g = cv_xtree::TreeGen::new(5);
+        let t = cv_xtree::random_tree(&mut g, 60, &["a"]);
+        assert_eq!(
+            stream_query(&q, &t, 10_000).unwrap_err(),
+            StreamError::Budget
+        );
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let q = parse_query("$nope").unwrap();
+        let t = parse_tree("<r/>").unwrap();
+        assert!(matches!(
+            stream_query(&q, &t, FUEL),
+            Err(StreamError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn agreement_on_random_queries_and_documents() {
+        // Broad differential test against the reference semantics.
+        let queries = [
+            "<out>{ for $x in $root/* return <w>{ $x//b }</w> }</out>",
+            "for $x in $root//a return if ($x/b) then $x else <none/>",
+            "for $x in $root/* return for $y in $x/* return \
+             if ($x = $y) then <odd/> else <ok/>",
+            "(<c>{ $root/a }</c>)//b",
+        ];
+        for seed in 0..5u64 {
+            let mut g = cv_xtree::TreeGen::new(seed);
+            let t = cv_xtree::random_tree(&mut g, 20, &["a", "b", "c"]);
+            for src in &queries {
+                let q = parse_query(src).unwrap();
+                let (got, _) = stream_query(&q, &t, FUEL).unwrap();
+                let want: Vec<Token> = xq_core::eval_query(&q, &t)
+                    .unwrap()
+                    .iter()
+                    .flat_map(Tree::tokens)
+                    .collect();
+                assert_eq!(got, want, "query {src} seed {seed}");
+            }
+        }
+    }
+}

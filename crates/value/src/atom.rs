@@ -1,0 +1,95 @@
+//! Atomic values from the single-sorted domain `Dom`.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// An atomic value: an uninterpreted symbol from the domain `Dom`.
+///
+/// The paper works with a single-sorted domain; atoms are compared only by
+/// identity (`=atomic`), never by any internal structure. We represent them
+/// as shared strings so that cloning is a reference-count bump and the same
+/// symbol can appear in millions of places (as in the Theorem 5.6 reduction,
+/// where tape trees share alphabet symbols).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom(Rc<str>);
+
+impl Atom {
+    /// Creates an atom for the given symbol.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Atom(Rc::from(s.as_ref()))
+    }
+
+    /// The symbol of this atom.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Self {
+        Atom::new(s)
+    }
+}
+
+impl From<String> for Atom {
+    fn from(s: String) -> Self {
+        Atom(Rc::from(s))
+    }
+}
+
+impl From<u64> for Atom {
+    fn from(n: u64) -> Self {
+        Atom::new(n.to_string())
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Atom({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::borrow::Borrow<str> for Atom {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_compare_by_symbol() {
+        assert_eq!(Atom::new("a"), Atom::new("a"));
+        assert_ne!(Atom::new("a"), Atom::new("b"));
+        assert!(Atom::new("a") < Atom::new("b"));
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Atom::new("shared");
+        let b = a.clone();
+        assert!(Rc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Atom::from(42u64).as_str(), "42");
+        assert_eq!(Atom::from("x".to_string()).as_str(), "x");
+        assert_eq!(Atom::from("y").as_str(), "y");
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let a = Atom::new("hello");
+        assert_eq!(a.to_string(), "hello");
+        assert_eq!(format!("{a:?}"), "Atom(\"hello\")");
+    }
+}

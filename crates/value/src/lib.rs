@@ -1,0 +1,83 @@
+//! Complex values in the sense of Koch (PODS 2005), Section 2.2/2.3.
+//!
+//! A *complex value* is built from atomic values (a single-sorted domain of
+//! symbols), tuples with named attributes, and homogeneous collections:
+//! sets, lists, and bags. The paper studies monad algebra over all three
+//! collection monads; this crate provides the shared value representation.
+//!
+//! # Representation invariants
+//!
+//! * Values are immutable and cheap to clone: [`Value`] wraps an `Rc`, so a
+//!   clone is a reference-count bump. Monad algebra is pure, so structural
+//!   sharing is always sound.
+//! * Sets are stored in canonical form (sorted by the structural total
+//!   order, duplicates removed). Bags are stored sorted. Consequently the
+//!   derived `PartialEq` *is* the paper's deep equality `=deep` for sets and
+//!   bags, and list equality is positional equality, exactly as in §2.3.
+//!
+//! # Equality forms
+//!
+//! The paper distinguishes three equality predicates, all provided here:
+//!
+//! * [`Value::deep_eq`] — `=deep`, equality of arbitrary complex values;
+//! * [`Value::atomic_eq`] — `=atomic`, defined only on two atoms;
+//! * [`Value::mon_eq`] — `=mon`, the monotone generalization to
+//!   collection-free values (atoms and nested tuples, Proposition 5.1).
+
+mod atom;
+mod parse;
+mod ty;
+mod value;
+
+pub use atom::Atom;
+pub use parse::{parse_type, parse_value, ParseError};
+pub use ty::Type;
+pub use value::{CollectionKind, Value, ValueKind};
+
+/// Errors raised by partial operations on values (projections on non-tuples,
+/// equality forms applied outside their domain, and so on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// A tuple operation was applied to a non-tuple value.
+    NotATuple(String),
+    /// A collection operation was applied to a non-collection value.
+    NotACollection(String),
+    /// A tuple projection referenced an attribute that is not present.
+    NoSuchAttribute(String),
+    /// `=atomic` was applied to a non-atomic operand.
+    NotAtomic(String),
+    /// `=mon` was applied to a value containing a collection.
+    NotMonotoneComparable(String),
+    /// Collections of mixed kinds (e.g. a set and a list) were combined.
+    MixedCollectionKinds(String),
+}
+
+impl std::fmt::Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueError::NotATuple(v) => write!(f, "expected a tuple, got {v}"),
+            ValueError::NotACollection(v) => write!(f, "expected a collection, got {v}"),
+            ValueError::NoSuchAttribute(a) => write!(f, "no such attribute: {a}"),
+            ValueError::NotAtomic(v) => write!(f, "expected an atomic value, got {v}"),
+            ValueError::NotMonotoneComparable(v) => {
+                write!(f, "=mon is undefined on values containing collections: {v}")
+            }
+            ValueError::MixedCollectionKinds(m) => write!(f, "mixed collection kinds: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ValueError::NoSuchAttribute("A".into());
+        assert!(e.to_string().contains("A"));
+        let e = ValueError::NotAtomic("{1}".into());
+        assert!(e.to_string().contains("atomic"));
+    }
+}

@@ -1,0 +1,337 @@
+//! A small recursive-descent parser for the textual form of complex values
+//! and their types, matching the `Display` output of [`Value`] and [`Type`]:
+//!
+//! ```text
+//! value ::= atom | "<" (name ":" value),* ">" | "{" value,* "}"
+//!         | "[" value,* "]" | "{|" value,* "|}"
+//! type  ::= "Dom" | "{" type "}" | "[" type "]" | "{|" type "|}"
+//!         | "<" (name ":" type),* ">"
+//! ```
+//!
+//! Atoms are bare identifiers (including `#`, `_`, `$`, digits) or quoted
+//! strings with the usual escapes.
+
+use crate::{Type, Value};
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset at which the failure occurred.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_whitespace()) {
+            self.pos += self.rest().chars().next().unwrap().len_utf8();
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {token:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '#' || c == '$' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos > start {
+            Some(self.src[start..self.pos].to_string())
+        } else {
+            None
+        }
+    }
+
+    fn quoted(&mut self) -> Result<Option<String>, ParseError> {
+        self.skip_ws();
+        if !self.rest().starts_with('"') {
+            return Ok(None);
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        let mut chars = self.rest().char_indices();
+        loop {
+            match chars.next() {
+                None => return Err(self.err("unterminated string literal")),
+                Some((i, '"')) => {
+                    self.pos += i + 1;
+                    return Ok(Some(out));
+                }
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, c @ ('"' | '\\'))) => out.push(c),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    _ => return Err(self.err("bad escape in string literal")),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn atom_text(&mut self) -> Result<String, ParseError> {
+        if let Some(q) = self.quoted()? {
+            return Ok(q);
+        }
+        self.ident().ok_or_else(|| self.err("expected an atom"))
+    }
+
+    fn comma_sep<T>(
+        &mut self,
+        close: &str,
+        mut item: impl FnMut(&mut Self) -> Result<T, ParseError>,
+    ) -> Result<Vec<T>, ParseError> {
+        let mut out = Vec::new();
+        if self.eat(close) {
+            return Ok(out);
+        }
+        loop {
+            out.push(item(self)?);
+            if self.eat(",") {
+                continue;
+            }
+            self.expect(close)?;
+            return Ok(out);
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        if self.eat("{|") {
+            let items = self.comma_sep("|}", Self::value)?;
+            return Ok(Value::bag(items));
+        }
+        if self.eat("{") {
+            let items = self.comma_sep("}", Self::value)?;
+            return Ok(Value::set(items));
+        }
+        if self.eat("[") {
+            let items = self.comma_sep("]", Self::value)?;
+            return Ok(Value::list(items));
+        }
+        if self.eat("<") {
+            let fields = self.comma_sep(">", |c| {
+                let name = c.atom_text()?;
+                c.expect(":")?;
+                let v = c.value()?;
+                Ok((name, v))
+            })?;
+            return Ok(Value::tuple(fields));
+        }
+        Ok(Value::atom(self.atom_text()?))
+    }
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        self.skip_ws();
+        if self.eat("{|") {
+            let inner = self.ty()?;
+            self.expect("|}")?;
+            return Ok(Type::bag(inner));
+        }
+        if self.eat("{") {
+            let inner = self.ty()?;
+            self.expect("}")?;
+            return Ok(Type::set(inner));
+        }
+        if self.eat("[") {
+            let inner = self.ty()?;
+            self.expect("]")?;
+            return Ok(Type::list(inner));
+        }
+        if self.eat("<") {
+            let fields = self.comma_sep(">", |c| {
+                let name = c.atom_text()?;
+                c.expect(":")?;
+                let t = c.ty()?;
+                Ok((name, t))
+            })?;
+            return Ok(Type::tuple(fields));
+        }
+        match self.ident().as_deref() {
+            Some("Dom") => Ok(Type::Dom),
+            Some(other) => Err(self.err(format!("unknown type name {other:?}"))),
+            None => Err(self.err("expected a type")),
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.pos == self.src.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing input"))
+        }
+    }
+}
+
+/// Parses a complex value from its textual form.
+pub fn parse_value(src: &str) -> Result<Value, ParseError> {
+    let mut c = Cursor::new(src);
+    let v = c.value()?;
+    c.finish()?;
+    Ok(v)
+}
+
+/// Parses a type from its textual form.
+pub fn parse_type(src: &str) -> Result<Type, ParseError> {
+    let mut c = Cursor::new(src);
+    let t = c.ty()?;
+    c.finish()?;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_atoms() {
+        assert_eq!(parse_value("x").unwrap(), Value::atom("x"));
+        assert_eq!(parse_value(" 42 ").unwrap(), Value::atom("42"));
+        assert_eq!(
+            parse_value("\"hello world\"").unwrap(),
+            Value::atom("hello world")
+        );
+        assert_eq!(parse_value(r#""a\"b""#).unwrap(), Value::atom("a\"b"));
+    }
+
+    #[test]
+    fn parses_collections() {
+        assert_eq!(
+            parse_value("{1, 2, 1}").unwrap(),
+            Value::set([Value::atom("1"), Value::atom("2")])
+        );
+        assert_eq!(
+            parse_value("[b, a]").unwrap(),
+            Value::list([Value::atom("b"), Value::atom("a")])
+        );
+        assert_eq!(
+            parse_value("{|a, a|}").unwrap(),
+            Value::bag([Value::atom("a"), Value::atom("a")])
+        );
+        assert_eq!(parse_value("{}").unwrap().items().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parses_tuples() {
+        assert_eq!(parse_value("<>").unwrap(), Value::unit());
+        assert_eq!(
+            parse_value("<A: 1, B: {2}>").unwrap(),
+            Value::tuple([
+                ("A", Value::atom("1")),
+                ("B", Value::set([Value::atom("2")])),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_paper_example_value() {
+        // The §2.3 monus example operands.
+        let b = parse_value("{|a, a, a, b, b, b, c, d|}").unwrap();
+        assert_eq!(b.items().unwrap().len(), 8);
+    }
+
+    #[test]
+    fn parse_display_round_trip() {
+        for src in [
+            "x",
+            "<>",
+            "<A: 1, B: [x, y, x]>",
+            "{<A: 1>, <A: 2>}",
+            "{|<>, <>|}",
+            "[{a}, {b, c}, []]",
+        ] {
+            let v = parse_value(src).unwrap();
+            assert_eq!(parse_value(&v.to_string()).unwrap(), v, "src = {src}");
+        }
+    }
+
+    #[test]
+    fn parses_types() {
+        assert_eq!(parse_type("Dom").unwrap(), Type::Dom);
+        assert_eq!(parse_type("{Dom}").unwrap(), Type::set(Type::Dom));
+        assert_eq!(parse_type("[Dom]").unwrap(), Type::list(Type::Dom));
+        assert_eq!(parse_type("{|Dom|}").unwrap(), Type::bag(Type::Dom));
+        assert_eq!(
+            parse_type("<A: Dom, B: {Dom}>").unwrap(),
+            Type::tuple([("A", Type::Dom), ("B", Type::set(Type::Dom))])
+        );
+        assert_eq!(parse_type("<>").unwrap(), Type::unit());
+    }
+
+    #[test]
+    fn type_parse_display_round_trip() {
+        for src in ["Dom", "{<A: Dom, B: [Dom]>}", "{|{Dom}|}", "<>"] {
+            let t = parse_type(src).unwrap();
+            assert_eq!(parse_type(&t.to_string()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("{1").is_err());
+        assert!(parse_value("<A 1>").is_err());
+        assert!(parse_value("x y").is_err());
+        assert!(parse_type("Domm").is_err());
+        assert!(parse_type("{Dom").is_err());
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse_value("{1, ?}").unwrap_err();
+        assert!(err.offset >= 3, "offset was {}", err.offset);
+        assert!(err.to_string().contains("parse error"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Types of complex values, per the grammar of Section 2.2:
+//!
+//! ```text
+//! τ ::= Dom | {τ} | [τ] | {|τ|} | ⟨A1: τ1, ..., Ak: τk⟩
+//! ```
+//!
+//! The paper's set-based grammar only has `{τ}`; §2.3 extends the language
+//! to lists and bags with the same operation names, so the type language
+//! here carries all three collection constructors.
+
+use crate::{Value, ValueKind};
+use std::fmt;
+use std::rc::Rc;
+
+/// A complex-value type.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Type {
+    /// An unknown type. Not part of the paper's type grammar; used by the
+    /// monad-algebra type checker as the element type of the polymorphic
+    /// empty-collection constant `∅`. `Any` admits every value and joins
+    /// with every type.
+    Any,
+    /// The atomic domain `Dom`.
+    Dom,
+    /// A set type `{τ}`.
+    Set(Rc<Type>),
+    /// A list type `[τ]`.
+    List(Rc<Type>),
+    /// A bag type `{|τ|}`.
+    Bag(Rc<Type>),
+    /// A tuple type `⟨A1: τ1, ..., Ak: τk⟩` (k ≥ 0; `⟨⟩` is the unit type).
+    Tuple(Rc<[(String, Type)]>),
+}
+
+impl Type {
+    /// Builds a set type.
+    pub fn set(inner: Type) -> Type {
+        Type::Set(Rc::new(inner))
+    }
+
+    /// Builds a list type.
+    pub fn list(inner: Type) -> Type {
+        Type::List(Rc::new(inner))
+    }
+
+    /// Builds a bag type.
+    pub fn bag(inner: Type) -> Type {
+        Type::Bag(Rc::new(inner))
+    }
+
+    /// Builds a tuple type from attribute/type pairs.
+    pub fn tuple<I, S>(fields: I) -> Type
+    where
+        I: IntoIterator<Item = (S, Type)>,
+        S: Into<String>,
+    {
+        Type::Tuple(
+            fields
+                .into_iter()
+                .map(|(n, t)| (n.into(), t))
+                .collect::<Vec<_>>()
+                .into(),
+        )
+    }
+
+    /// The unit tuple type `⟨⟩`.
+    pub fn unit() -> Type {
+        Type::tuple(std::iter::empty::<(String, Type)>())
+    }
+
+    /// The Boolean type of the paper: predicates have type `{⟨⟩}`
+    /// (or `[⟨⟩]` / `{|⟨⟩|}` on lists and bags).
+    pub fn boolean() -> Type {
+        Type::set(Type::unit())
+    }
+
+    /// True if this is a collection type (set, list, or bag).
+    pub fn is_collection(&self) -> bool {
+        matches!(self, Type::Set(_) | Type::List(_) | Type::Bag(_))
+    }
+
+    /// The element type, if this is a collection type.
+    pub fn element(&self) -> Option<&Type> {
+        match self {
+            Type::Set(t) | Type::List(t) | Type::Bag(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The attribute list, if this is a tuple type.
+    pub fn attributes(&self) -> Option<&[(String, Type)]> {
+        match self {
+            Type::Tuple(fs) => Some(fs),
+            _ => None,
+        }
+    }
+
+    /// Looks up the type of attribute `name`, if this is a tuple type.
+    pub fn attribute(&self, name: &str) -> Option<&Type> {
+        self.attributes()?
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// True if the type contains no collection constructor. Only such types
+    /// support the monotone equality `=mon` (Proposition 5.1).
+    pub fn is_collection_free(&self) -> bool {
+        match self {
+            Type::Dom => true,
+            Type::Any | Type::Set(_) | Type::List(_) | Type::Bag(_) => false,
+            Type::Tuple(fs) => fs.iter().all(|(_, t)| t.is_collection_free()),
+        }
+    }
+
+    /// The least upper bound of two types under the "`Any` is unknown"
+    /// ordering, if one exists. Used by the type checker to join the two
+    /// branches of a union.
+    pub fn join(&self, other: &Type) -> Option<Type> {
+        match (self, other) {
+            (Type::Any, t) | (t, Type::Any) => Some(t.clone()),
+            (Type::Dom, Type::Dom) => Some(Type::Dom),
+            (Type::Set(a), Type::Set(b)) => Some(Type::set(a.join(b)?)),
+            (Type::List(a), Type::List(b)) => Some(Type::list(a.join(b)?)),
+            (Type::Bag(a), Type::Bag(b)) => Some(Type::bag(a.join(b)?)),
+            (Type::Tuple(xs), Type::Tuple(ys)) => {
+                if xs.len() != ys.len() {
+                    return None;
+                }
+                let fields = xs
+                    .iter()
+                    .zip(ys.iter())
+                    .map(|((an, at), (bn, bt))| {
+                        if an == bn {
+                            Some((an.clone(), at.join(bt)?))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(Type::tuple(fields))
+            }
+            _ => None,
+        }
+    }
+
+    /// The number of constructors in the type term (used by the Lemma 5.7
+    /// size accounting for the defined `=mon`).
+    pub fn size(&self) -> usize {
+        match self {
+            Type::Any | Type::Dom => 1,
+            Type::Set(t) | Type::List(t) | Type::Bag(t) => 1 + t.size(),
+            Type::Tuple(fs) => 1 + fs.iter().map(|(_, t)| t.size()).sum::<usize>(),
+        }
+    }
+
+    /// All root-to-leaf attribute paths of a collection-free type, in order.
+    /// These are the paths π for which Proposition 5.1 emits an `=atomic`
+    /// conjunct when expanding `=mon`.
+    pub fn leaf_paths(&self) -> Vec<Vec<String>> {
+        fn walk(t: &Type, prefix: &mut Vec<String>, out: &mut Vec<Vec<String>>) {
+            match t {
+                Type::Dom => out.push(prefix.clone()),
+                Type::Tuple(fs) => {
+                    for (n, ft) in fs.iter() {
+                        prefix.push(n.clone());
+                        walk(ft, prefix, out);
+                        prefix.pop();
+                    }
+                }
+                // Collection types (and Any) have no =mon leaf paths.
+                Type::Any | Type::Set(_) | Type::List(_) | Type::Bag(_) => {}
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Checks whether `v` conforms to this type.
+    ///
+    /// Empty collections conform to any collection type of the right kind;
+    /// that is the usual treatment for a language whose constants include
+    /// the polymorphic `∅`.
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v.kind()) {
+            (Type::Any, _) => true,
+            (Type::Dom, ValueKind::Atom(_)) => true,
+            (Type::Set(t), ValueKind::Set(items)) => items.iter().all(|x| t.admits(x)),
+            (Type::List(t), ValueKind::List(items)) => items.iter().all(|x| t.admits(x)),
+            (Type::Bag(t), ValueKind::Bag(items)) => items.iter().all(|x| t.admits(x)),
+            (Type::Tuple(fs), ValueKind::Tuple(vs)) => {
+                fs.len() == vs.len()
+                    && fs
+                        .iter()
+                        .zip(vs.iter())
+                        .all(|((fn_, ft), (vn, vv))| fn_ == vn.as_str() && ft.admits(vv))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Any => f.write_str("?"),
+            Type::Dom => f.write_str("Dom"),
+            Type::Set(t) => write!(f, "{{{t}}}"),
+            Type::List(t) => write!(f, "[{t}]"),
+            Type::Bag(t) => write!(f, "{{|{t}|}}"),
+            Type::Tuple(fs) => {
+                f.write_str("<")?;
+                for (i, (n, t)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                f.write_str(">")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn example_type() -> Type {
+        // ⟨C: ⟨D: Dom, E: ⟨F: Dom, G: Dom⟩⟩, H: Dom⟩ from Proposition 5.1.
+        Type::tuple([
+            (
+                "C",
+                Type::tuple([
+                    ("D", Type::Dom),
+                    ("E", Type::tuple([("F", Type::Dom), ("G", Type::Dom)])),
+                ]),
+            ),
+            ("H", Type::Dom),
+        ])
+    }
+
+    #[test]
+    fn display_round_trips_through_text() {
+        let t = Type::set(Type::tuple([("A", Type::Dom), ("B", Type::list(Type::Dom))]));
+        assert_eq!(t.to_string(), "{<A: Dom, B: [Dom]>}");
+    }
+
+    #[test]
+    fn leaf_paths_match_proposition_5_1_example() {
+        // Paper: (A.C.D), (A.C.E.F), (A.C.E.G), (A.H) — relative to the
+        // tuple, the paths are C.D, C.E.F, C.E.G, H.
+        let paths = example_type().leaf_paths();
+        assert_eq!(
+            paths,
+            vec![
+                vec!["C".to_string(), "D".to_string()],
+                vec!["C".to_string(), "E".to_string(), "F".to_string()],
+                vec!["C".to_string(), "E".to_string(), "G".to_string()],
+                vec!["H".to_string()],
+            ]
+        );
+    }
+
+    #[test]
+    fn collection_freedom() {
+        assert!(example_type().is_collection_free());
+        assert!(!Type::set(Type::Dom).is_collection_free());
+        assert!(!Type::tuple([("A", Type::bag(Type::Dom))]).is_collection_free());
+    }
+
+    #[test]
+    fn admits_checks_structure() {
+        let t = Type::set(Type::tuple([("A", Type::Dom)]));
+        let good = Value::set([Value::tuple([("A", Value::atom("x"))])]);
+        let bad = Value::set([Value::atom("x")]);
+        assert!(t.admits(&good));
+        assert!(!t.admits(&bad));
+        // Empty set conforms to any set type.
+        assert!(t.admits(&Value::set::<[Value; 0]>([])));
+        assert!(!Type::list(Type::Dom).admits(&Value::set::<[Value; 0]>([])));
+    }
+
+    #[test]
+    fn boolean_is_set_of_unit() {
+        assert_eq!(Type::boolean().to_string(), "{<>}");
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let t = example_type();
+        assert_eq!(t.attribute("H"), Some(&Type::Dom));
+        assert!(t.attribute("Z").is_none());
+        assert!(Type::Dom.attribute("A").is_none());
+    }
+
+    #[test]
+    fn element_lookup() {
+        assert_eq!(Type::set(Type::Dom).element(), Some(&Type::Dom));
+        assert_eq!(Type::bag(Type::Dom).element(), Some(&Type::Dom));
+        assert!(Type::Dom.element().is_none());
+    }
+
+    #[test]
+    fn size_counts_constructors() {
+        assert_eq!(Type::Dom.size(), 1);
+        assert_eq!(Type::set(Type::Dom).size(), 2);
+        // outer tuple + C-tuple + D + E-tuple + F + G + H = 7 constructors
+        assert_eq!(example_type().size(), 7);
+    }
+}

@@ -1,0 +1,590 @@
+//! The complex-value representation itself.
+
+use crate::{Atom, ValueError};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// Which collection monad a collection value belongs to (§2.2, §2.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CollectionKind {
+    /// Sets: unordered, duplicate-free.
+    Set,
+    /// Lists: ordered, duplicates preserved.
+    List,
+    /// Bags: unordered, duplicates preserved.
+    Bag,
+}
+
+impl fmt::Display for CollectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CollectionKind::Set => "set",
+            CollectionKind::List => "list",
+            CollectionKind::Bag => "bag",
+        })
+    }
+}
+
+/// The structural variants of a complex value.
+///
+/// Obtain one from a [`Value`] via [`Value::kind`]; construct values through
+/// the [`Value`] constructors, which enforce the canonical-form invariants
+/// (sets sorted and deduplicated, bags sorted).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ValueKind {
+    /// An atomic value from `Dom`.
+    Atom(Atom),
+    /// A tuple `⟨A1: v1, ..., Ak: vk⟩`; `k = 0` gives the unit tuple `⟨⟩`.
+    Tuple(Vec<(Atom, Value)>),
+    /// A set, canonically sorted with duplicates removed.
+    Set(Vec<Value>),
+    /// A list in element order.
+    List(Vec<Value>),
+    /// A bag, canonically sorted (multiplicities preserved).
+    Bag(Vec<Value>),
+}
+
+/// An immutable complex value with cheap (`Rc`) clones.
+#[derive(Clone)]
+pub struct Value(Rc<ValueKind>);
+
+impl Value {
+    // ----- constructors ---------------------------------------------------
+
+    /// An atomic value.
+    pub fn atom(a: impl Into<Atom>) -> Value {
+        Value(Rc::new(ValueKind::Atom(a.into())))
+    }
+
+    /// A tuple from attribute/value pairs, in the given attribute order.
+    pub fn tuple<I, S>(fields: I) -> Value
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<Atom>,
+    {
+        Value(Rc::new(ValueKind::Tuple(
+            fields.into_iter().map(|(n, v)| (n.into(), v)).collect(),
+        )))
+    }
+
+    /// The unit tuple `⟨⟩`.
+    pub fn unit() -> Value {
+        Value::tuple(std::iter::empty::<(Atom, Value)>())
+    }
+
+    /// A set; the items are canonicalized (sorted, deduplicated).
+    pub fn set<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        let mut v: Vec<Value> = items.into_iter().collect();
+        v.sort();
+        v.dedup();
+        Value(Rc::new(ValueKind::Set(v)))
+    }
+
+    /// A list, preserving order and duplicates.
+    pub fn list<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value(Rc::new(ValueKind::List(items.into_iter().collect())))
+    }
+
+    /// A bag; the items are canonicalized (sorted), multiplicities kept.
+    pub fn bag<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        let mut v: Vec<Value> = items.into_iter().collect();
+        v.sort();
+        Value(Rc::new(ValueKind::Bag(v)))
+    }
+
+    /// A collection of the given kind.
+    pub fn collection<I: IntoIterator<Item = Value>>(kind: CollectionKind, items: I) -> Value {
+        match kind {
+            CollectionKind::Set => Value::set(items),
+            CollectionKind::List => Value::list(items),
+            CollectionKind::Bag => Value::bag(items),
+        }
+    }
+
+    /// The empty collection of the given kind (`∅`, `[]`, `{||}`).
+    pub fn empty(kind: CollectionKind) -> Value {
+        Value::collection(kind, std::iter::empty())
+    }
+
+    /// The canonical "true" of the paper: a singleton collection holding
+    /// the unit tuple (`{⟨⟩}` / `[⟨⟩]` / `{|⟨⟩|}`).
+    pub fn truth(kind: CollectionKind) -> Value {
+        Value::collection(kind, [Value::unit()])
+    }
+
+    /// The canonical Boolean for `b` under collection kind `kind`.
+    pub fn boolean(kind: CollectionKind, b: bool) -> Value {
+        if b {
+            Value::truth(kind)
+        } else {
+            Value::empty(kind)
+        }
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// The structural variant of this value.
+    pub fn kind(&self) -> &ValueKind {
+        &self.0
+    }
+
+    /// The atom, if this value is atomic.
+    pub fn as_atom(&self) -> Option<&Atom> {
+        match self.kind() {
+            ValueKind::Atom(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The attribute/value pairs, if this value is a tuple.
+    pub fn as_tuple(&self) -> Option<&[(Atom, Value)]> {
+        match self.kind() {
+            ValueKind::Tuple(fs) => Some(fs),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this value is a collection of any kind.
+    pub fn as_collection(&self) -> Option<(CollectionKind, &[Value])> {
+        match self.kind() {
+            ValueKind::Set(v) => Some((CollectionKind::Set, v)),
+            ValueKind::List(v) => Some((CollectionKind::List, v)),
+            ValueKind::Bag(v) => Some((CollectionKind::Bag, v)),
+            _ => None,
+        }
+    }
+
+    /// Elements of a collection, or an error mentioning the context.
+    pub fn items(&self) -> Result<&[Value], ValueError> {
+        self.as_collection()
+            .map(|(_, v)| v)
+            .ok_or_else(|| ValueError::NotACollection(self.to_string()))
+    }
+
+    /// Projection `π_A`: the value of attribute `name` of a tuple.
+    pub fn project(&self, name: &str) -> Result<&Value, ValueError> {
+        let fields = self
+            .as_tuple()
+            .ok_or_else(|| ValueError::NotATuple(self.to_string()))?;
+        fields
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| ValueError::NoSuchAttribute(name.to_string()))
+    }
+
+    /// Projection along a dotted attribute path (`π_{A1.···.Am}`, §5.2).
+    pub fn project_path<'a, I>(&self, path: I) -> Result<&Value, ValueError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut cur = self;
+        for seg in path {
+            cur = cur.project(seg)?;
+        }
+        Ok(cur)
+    }
+
+    /// True iff this is a nonempty collection — the paper's convention for
+    /// reading a collection value as a Boolean (§2.1).
+    pub fn is_true(&self) -> bool {
+        self.as_collection().is_some_and(|(_, v)| !v.is_empty())
+    }
+
+    // ----- equality forms ---------------------------------------------------
+
+    /// Deep value equality `=deep` (§2.2/§2.3). Because sets and bags are in
+    /// canonical form this coincides with structural equality.
+    pub fn deep_eq(&self, other: &Value) -> bool {
+        self == other
+    }
+
+    /// Atomic equality `=atomic`: defined only when both operands are atoms.
+    pub fn atomic_eq(&self, other: &Value) -> Result<bool, ValueError> {
+        match (self.kind(), other.kind()) {
+            (ValueKind::Atom(a), ValueKind::Atom(b)) => Ok(a == b),
+            (ValueKind::Atom(_), _) => Err(ValueError::NotAtomic(other.to_string())),
+            _ => Err(ValueError::NotAtomic(self.to_string())),
+        }
+    }
+
+    /// Monotone equality `=mon` (Proposition 5.1): `=atomic` on atoms,
+    /// attribute-wise on tuples; undefined on collections.
+    pub fn mon_eq(&self, other: &Value) -> Result<bool, ValueError> {
+        match (self.kind(), other.kind()) {
+            (ValueKind::Atom(a), ValueKind::Atom(b)) => Ok(a == b),
+            (ValueKind::Tuple(xs), ValueKind::Tuple(ys)) => {
+                if xs.len() != ys.len() {
+                    return Ok(false);
+                }
+                for ((an, av), (bn, bv)) in xs.iter().zip(ys.iter()) {
+                    if an != bn || !av.mon_eq(bv)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            (ValueKind::Atom(_), ValueKind::Tuple(_)) | (ValueKind::Tuple(_), ValueKind::Atom(_)) => {
+                Ok(false)
+            }
+            _ => Err(ValueError::NotMonotoneComparable(self.to_string())),
+        }
+    }
+
+    // ----- metrics ----------------------------------------------------------
+
+    /// Number of structural nodes (atoms, tuples, collections) in the value.
+    /// This is the `|v|` used by the size-bound experiments (Prop 4.2/4.3).
+    pub fn node_count(&self) -> u64 {
+        match self.kind() {
+            ValueKind::Atom(_) => 1,
+            ValueKind::Tuple(fs) => 1 + fs.iter().map(|(_, v)| v.node_count()).sum::<u64>(),
+            ValueKind::Set(v) | ValueKind::List(v) | ValueKind::Bag(v) => {
+                1 + v.iter().map(Value::node_count).sum::<u64>()
+            }
+        }
+    }
+
+    /// Number of atomic leaves in the value.
+    pub fn leaf_count(&self) -> u64 {
+        match self.kind() {
+            ValueKind::Atom(_) => 1,
+            ValueKind::Tuple(fs) => fs.iter().map(|(_, v)| v.leaf_count()).sum(),
+            ValueKind::Set(v) | ValueKind::List(v) | ValueKind::Bag(v) => {
+                v.iter().map(Value::leaf_count).sum()
+            }
+        }
+    }
+
+    /// Maximum nesting depth (an atom has depth 1).
+    pub fn depth(&self) -> u64 {
+        match self.kind() {
+            ValueKind::Atom(_) => 1,
+            ValueKind::Tuple(fs) => {
+                1 + fs.iter().map(|(_, v)| v.depth()).max().unwrap_or(0)
+            }
+            ValueKind::Set(v) | ValueKind::List(v) | ValueKind::Bag(v) => {
+                1 + v.iter().map(Value::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self.kind() {
+            ValueKind::Atom(_) => 0,
+            ValueKind::Tuple(_) => 1,
+            ValueKind::Set(_) => 2,
+            ValueKind::List(_) => 3,
+            ValueKind::Bag(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        Rc::ptr_eq(&self.0, &other.0) || self.kind() == other.kind()
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// A structural total order used only for canonicalization; it is not
+    /// part of the paper's data model (sets are unordered) but fixing *some*
+    /// order makes deep set equality a linear scan.
+    fn cmp(&self, other: &Value) -> Ordering {
+        if Rc::ptr_eq(&self.0, &other.0) {
+            return Ordering::Equal;
+        }
+        match self.rank().cmp(&other.rank()) {
+            Ordering::Equal => {}
+            o => return o,
+        }
+        match (self.kind(), other.kind()) {
+            (ValueKind::Atom(a), ValueKind::Atom(b)) => a.cmp(b),
+            (ValueKind::Tuple(xs), ValueKind::Tuple(ys)) => xs
+                .iter()
+                .map(|(n, v)| (n, v))
+                .cmp(ys.iter().map(|(n, v)| (n, v))),
+            (ValueKind::Set(xs), ValueKind::Set(ys))
+            | (ValueKind::List(xs), ValueKind::List(ys))
+            | (ValueKind::Bag(xs), ValueKind::Bag(ys)) => xs.iter().cmp(ys.iter()),
+            _ => unreachable!("rank() already separated the variants"),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self.kind() {
+            ValueKind::Atom(a) => {
+                0u8.hash(state);
+                a.hash(state);
+            }
+            ValueKind::Tuple(fs) => {
+                1u8.hash(state);
+                for (n, v) in fs {
+                    n.hash(state);
+                    v.hash(state);
+                }
+            }
+            ValueKind::Set(v) => {
+                2u8.hash(state);
+                for x in v {
+                    x.hash(state);
+                }
+            }
+            ValueKind::List(v) => {
+                3u8.hash(state);
+                for x in v {
+                    x.hash(state);
+                }
+            }
+            ValueKind::Bag(v) => {
+                4u8.hash(state);
+                for x in v {
+                    x.hash(state);
+                }
+            }
+        }
+    }
+}
+
+fn atom_needs_quoting(s: &str) -> bool {
+    s.is_empty()
+        || !s
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '#' || c == '$')
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn write_items(f: &mut fmt::Formatter<'_>, items: &[Value]) -> fmt::Result {
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            Ok(())
+        }
+        match self.kind() {
+            ValueKind::Atom(a) => {
+                if atom_needs_quoting(a.as_str()) {
+                    write!(f, "{:?}", a.as_str())
+                } else {
+                    f.write_str(a.as_str())
+                }
+            }
+            ValueKind::Tuple(fs) => {
+                f.write_str("<")?;
+                for (i, (n, v)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{n}: {v}")?;
+                }
+                f.write_str(">")
+            }
+            ValueKind::Set(v) => {
+                f.write_str("{")?;
+                write_items(f, v)?;
+                f.write_str("}")
+            }
+            ValueKind::List(v) => {
+                f.write_str("[")?;
+                write_items(f, v)?;
+                f.write_str("]")
+            }
+            ValueKind::Bag(v) => {
+                f.write_str("{|")?;
+                write_items(f, v)?;
+                f.write_str("|}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Value {
+        Value::atom(s)
+    }
+
+    #[test]
+    fn sets_are_canonicalized() {
+        let s1 = Value::set([a("b"), a("a"), a("b")]);
+        let s2 = Value::set([a("a"), a("b")]);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.items().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bags_keep_multiplicity_but_not_order() {
+        let b1 = Value::bag([a("y"), a("x"), a("x")]);
+        let b2 = Value::bag([a("x"), a("x"), a("y")]);
+        let b3 = Value::bag([a("x"), a("y")]);
+        assert_eq!(b1, b2);
+        assert_ne!(b1, b3);
+    }
+
+    #[test]
+    fn lists_are_ordered() {
+        let l1 = Value::list([a("x"), a("y")]);
+        let l2 = Value::list([a("y"), a("x")]);
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn deep_eq_across_nesting() {
+        let v1 = Value::set([Value::set([a("1"), a("2")]), Value::set([a("3")])]);
+        let v2 = Value::set([Value::set([a("3")]), Value::set([a("2"), a("1")])]);
+        assert!(v1.deep_eq(&v2));
+    }
+
+    #[test]
+    fn atomic_eq_requires_atoms() {
+        assert_eq!(a("x").atomic_eq(&a("x")), Ok(true));
+        assert_eq!(a("x").atomic_eq(&a("y")), Ok(false));
+        assert!(a("x").atomic_eq(&Value::set([a("x")])).is_err());
+        assert!(Value::unit().atomic_eq(&a("x")).is_err());
+    }
+
+    #[test]
+    fn mon_eq_on_nested_tuples() {
+        let t1 = Value::tuple([("A", a("1")), ("B", Value::tuple([("C", a("2"))]))]);
+        let t2 = Value::tuple([("A", a("1")), ("B", Value::tuple([("C", a("2"))]))]);
+        let t3 = Value::tuple([("A", a("1")), ("B", Value::tuple([("C", a("9"))]))]);
+        assert_eq!(t1.mon_eq(&t2), Ok(true));
+        assert_eq!(t1.mon_eq(&t3), Ok(false));
+    }
+
+    #[test]
+    fn mon_eq_rejects_collections() {
+        let t = Value::tuple([("A", Value::set([a("1")]))]);
+        assert!(t.mon_eq(&t).is_err());
+    }
+
+    #[test]
+    fn mon_eq_mismatched_shapes_are_unequal() {
+        assert_eq!(a("x").mon_eq(&Value::unit()), Ok(false));
+        let t1 = Value::tuple([("A", a("1"))]);
+        let t2 = Value::tuple([("B", a("1"))]);
+        assert_eq!(t1.mon_eq(&t2), Ok(false));
+    }
+
+    #[test]
+    fn truth_conventions() {
+        assert!(Value::truth(CollectionKind::Set).is_true());
+        assert!(!Value::empty(CollectionKind::Set).is_true());
+        assert!(!a("x").is_true());
+        assert!(Value::set([a("anything")]).is_true());
+        assert_eq!(
+            Value::boolean(CollectionKind::List, true),
+            Value::list([Value::unit()])
+        );
+    }
+
+    #[test]
+    fn projection() {
+        let t = Value::tuple([("A", a("1")), ("B", a("2"))]);
+        assert_eq!(t.project("B").unwrap(), &a("2"));
+        assert!(matches!(
+            t.project("Z"),
+            Err(ValueError::NoSuchAttribute(_))
+        ));
+        assert!(matches!(a("x").project("A"), Err(ValueError::NotATuple(_))));
+    }
+
+    #[test]
+    fn path_projection() {
+        let t = Value::tuple([("A", Value::tuple([("B", a("hit"))]))]);
+        assert_eq!(t.project_path(["A", "B"]).unwrap(), &a("hit"));
+        assert_eq!(t.project_path::<[&str; 0]>([]).unwrap(), &t);
+    }
+
+    #[test]
+    fn metrics() {
+        let v = Value::set([Value::tuple([("A", a("1")), ("B", a("2"))])]);
+        assert_eq!(v.node_count(), 4); // set + tuple + 2 atoms
+        assert_eq!(v.leaf_count(), 2);
+        assert_eq!(v.depth(), 3);
+        assert_eq!(a("x").depth(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(a("x").to_string(), "x");
+        assert_eq!(a("hello world").to_string(), "\"hello world\"");
+        assert_eq!(Value::unit().to_string(), "<>");
+        assert_eq!(
+            Value::tuple([("A", a("1")), ("B", a("2"))]).to_string(),
+            "<A: 1, B: 2>"
+        );
+        assert_eq!(Value::set([a("b"), a("a")]).to_string(), "{a, b}");
+        assert_eq!(Value::list([a("b"), a("a")]).to_string(), "[b, a]");
+        assert_eq!(Value::bag([a("b"), a("a")]).to_string(), "{|a, b|}");
+    }
+
+    #[test]
+    fn total_order_separates_kinds() {
+        let vals = [
+            a("x"),
+            Value::unit(),
+            Value::set([a("x")]),
+            Value::list([a("x")]),
+            Value::bag([a("x")]),
+        ];
+        for (i, v) in vals.iter().enumerate() {
+            for (j, w) in vals.iter().enumerate() {
+                assert_eq!(v.cmp(w) == Ordering::Equal, i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn collection_constructor_dispatch() {
+        let items = [a("b"), a("a"), a("a")];
+        assert_eq!(
+            Value::collection(CollectionKind::Set, items.clone()),
+            Value::set(items.clone())
+        );
+        assert_eq!(
+            Value::collection(CollectionKind::List, items.clone()),
+            Value::list(items.clone())
+        );
+        assert_eq!(
+            Value::collection(CollectionKind::Bag, items.clone()),
+            Value::bag(items)
+        );
+    }
+
+    #[test]
+    fn hash_agrees_with_eq_for_sets() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        let s1 = Value::set([a("b"), a("a")]);
+        let s2 = Value::set([a("a"), a("b"), a("a")]);
+        assert_eq!(h(&s1), h(&s2));
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic pseudo-random tree generation for tests and benchmarks.
+//!
+//! Uses a small embedded linear-congruential generator rather than an
+//! external RNG so that generated workloads are reproducible across crates
+//! without dependency coupling; the bench crate seeds it per experiment.
+
+use crate::{Document, Label, Tree};
+
+/// A tiny splitmix64-based generator for reproducible workloads.
+#[derive(Clone, Debug)]
+pub struct TreeGen {
+    state: u64,
+}
+
+impl TreeGen {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TreeGen {
+        TreeGen {
+            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0) is meaningless");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform choice from a slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Bernoulli trial with probability `num/denom`.
+    pub fn chance(&mut self, num: usize, denom: usize) -> bool {
+        self.below(denom) < num
+    }
+}
+
+/// Generates a random tree with exactly `size` nodes, labels drawn from
+/// `labels`, and bounded fanout. The shape is a random recursive tree:
+/// each new node attaches to a random existing node (biased toward recent
+/// nodes so depth grows), yielding realistic document-ish shapes.
+pub fn random_tree(gen: &mut TreeGen, size: usize, labels: &[&str]) -> Tree {
+    assert!(size >= 1, "a tree has at least one node");
+    assert!(!labels.is_empty(), "need at least one label");
+    // Build parent pointers first, then assemble bottom-up.
+    let mut parents: Vec<usize> = vec![0; size];
+    for (i, p) in parents.iter_mut().enumerate().skip(1) {
+        // Attach to one of the last ~8 nodes to keep depth interesting.
+        let window = 8.min(i);
+        *p = i - 1 - gen.below(window);
+    }
+    let node_labels: Vec<Label> =
+        (0..size).map(|_| Label::from(*gen.choose(labels))).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); size];
+    for (i, &p) in parents.iter().enumerate().skip(1) {
+        children[p].push(i);
+    }
+    fn build(i: usize, labels: &[Label], children: &[Vec<usize>]) -> Tree {
+        Tree::node(
+            labels[i].clone(),
+            children[i].iter().map(|&c| build(c, labels, children)),
+        )
+    }
+    build(0, &node_labels, &children)
+}
+
+/// Generates a forest of `count` random trees of `size` nodes each.
+pub fn random_forest(gen: &mut TreeGen, count: usize, size: usize, labels: &[&str]) -> Vec<Tree> {
+    (0..count).map(|_| random_tree(gen, size, labels)).collect()
+}
+
+/// Generates a random document (arena form).
+pub fn random_document(gen: &mut TreeGen, size: usize, labels: &[&str]) -> Document {
+    Document::new(&random_tree(gen, size, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_tree_has_requested_size() {
+        let mut g = TreeGen::new(7);
+        for size in [1, 2, 10, 257] {
+            let t = random_tree(&mut g, size, &["a", "b", "c"]);
+            assert_eq!(t.size(), size as u64);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let t1 = random_tree(&mut TreeGen::new(42), 50, &["a", "b"]);
+        let t2 = random_tree(&mut TreeGen::new(42), 50, &["a", "b"]);
+        let t3 = random_tree(&mut TreeGen::new(43), 50, &["a", "b"]);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3, "different seeds should differ (with high prob.)");
+    }
+
+    #[test]
+    fn labels_come_from_alphabet() {
+        let t = random_tree(&mut TreeGen::new(1), 100, &["x", "y"]);
+        fn check(t: &Tree) {
+            assert!(matches!(t.label().as_str(), "x" | "y"));
+            t.children().iter().for_each(check);
+        }
+        check(&t);
+    }
+
+    #[test]
+    fn forest_and_document_helpers() {
+        let mut g = TreeGen::new(3);
+        let f = random_forest(&mut g, 4, 10, &["a"]);
+        assert_eq!(f.len(), 4);
+        let d = random_document(&mut g, 25, &["a", "b"]);
+        assert_eq!(d.len(), 25);
+    }
+
+    #[test]
+    fn rng_helpers_behave() {
+        let mut g = TreeGen::new(9);
+        for _ in 0..100 {
+            assert!(g.below(10) < 10);
+        }
+        let items = [1, 2, 3];
+        for _ in 0..20 {
+            assert!(items.contains(g.choose(&items)));
+        }
+        // chance(1,1) is always true; chance(0,5) never.
+        assert!(g.chance(1, 1));
+        assert!(!g.chance(0, 5));
+    }
+}

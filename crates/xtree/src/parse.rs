@@ -1,0 +1,161 @@
+//! Parsing XML tag strings into trees.
+//!
+//! The dialect is exactly the paper's: opening tags `<a>`, closing tags
+//! `</a>`, and the self-closing abbreviation `<a/>`. No attributes, no text
+//! content (whitespace between tags is ignored), no processing instructions.
+
+use crate::{Token, Tree};
+
+/// An XML parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Offset of the failure. For text parsing this is a byte offset; for
+    /// token-stream rebuilding it is a token index.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+fn tokenize(src: &str) -> Result<Vec<Token>, XmlError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    let err = |pos: usize, m: &str| XmlError {
+        offset: pos,
+        message: m.to_string(),
+    };
+    while pos < bytes.len() {
+        let c = bytes[pos] as char;
+        if c.is_whitespace() {
+            pos += 1;
+            continue;
+        }
+        if c != '<' {
+            return Err(err(pos, "expected '<' (text content is not supported)"));
+        }
+        pos += 1;
+        let closing = pos < bytes.len() && bytes[pos] == b'/';
+        if closing {
+            pos += 1;
+        }
+        let start = pos;
+        while pos < bytes.len() {
+            let c = bytes[pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '#' {
+                pos += 1;
+            } else {
+                break;
+            }
+        }
+        if pos == start {
+            return Err(err(pos, "expected a tag name"));
+        }
+        let name = &src[start..pos];
+        let self_closing = !closing && pos < bytes.len() && bytes[pos] == b'/';
+        if self_closing {
+            pos += 1;
+        }
+        if pos >= bytes.len() || bytes[pos] != b'>' {
+            return Err(err(pos, "expected '>'"));
+        }
+        pos += 1;
+        if closing {
+            out.push(Token::Close(name.into()));
+        } else {
+            out.push(Token::Open(name.into()));
+            if self_closing {
+                out.push(Token::Close(name.into()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses an XML document string into a forest of trees.
+pub fn parse_forest(src: &str) -> Result<Vec<Tree>, XmlError> {
+    let tokens = tokenize(src)?;
+    Tree::forest_from_tokens(&tokens)
+}
+
+/// Parses an XML document string containing exactly one tree.
+pub fn parse_tree(src: &str) -> Result<Tree, XmlError> {
+    let mut forest = parse_forest(src)?;
+    match forest.len() {
+        1 => Ok(forest.pop().expect("length checked")),
+        n => Err(XmlError {
+            offset: 0,
+            message: format!("expected exactly one root element, found {n}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let t = parse_tree("<bib><book><year/></book><book/></bib>").unwrap();
+        assert_eq!(t.label().as_str(), "bib");
+        assert_eq!(t.children().len(), 2);
+        assert_eq!(t.children()[0].children()[0].label().as_str(), "year");
+    }
+
+    #[test]
+    fn self_closing_equals_empty_pair() {
+        assert_eq!(parse_tree("<a/>").unwrap(), parse_tree("<a></a>").unwrap());
+    }
+
+    #[test]
+    fn whitespace_between_tags_is_ignored() {
+        let t = parse_tree("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(t.children().len(), 2);
+    }
+
+    #[test]
+    fn round_trips_through_to_xml() {
+        let src = "<c><d/><a/><a><c/></a></c>";
+        let t = parse_tree(src).unwrap();
+        assert_eq!(t.to_xml(), src);
+        assert_eq!(parse_tree(&t.to_xml()).unwrap(), t);
+    }
+
+    #[test]
+    fn forest_parsing() {
+        let f = parse_forest("<a/><b/><c><d/></c>").unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(parse_forest("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_ill_formed_documents() {
+        assert!(parse_tree("<a>").is_err());
+        assert!(parse_tree("</a>").is_err());
+        assert!(parse_tree("<a></b>").is_err());
+        assert!(parse_tree("<a>text</a>").is_err());
+        assert!(parse_tree("<a/><b/>").is_err(), "two roots");
+        assert!(parse_tree("< a/>").is_err());
+        assert!(parse_tree("<a").is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_tags() {
+        let e = parse_tree("<a></b>").unwrap_err();
+        assert!(e.to_string().contains('a') && e.to_string().contains('b'));
+    }
+
+    #[test]
+    fn tag_name_characters() {
+        let t = parse_tree("<books_2004><x-1.2/></books_2004>").unwrap();
+        assert_eq!(t.label().as_str(), "books_2004");
+        assert_eq!(t.children()[0].label().as_str(), "x-1.2");
+    }
+}

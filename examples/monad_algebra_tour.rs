@@ -1,0 +1,46 @@
+//! A tour of monad algebra (§2): the same variable-free query language
+//! interpreted over sets, lists, and bags, the derived operations of
+//! Theorem 2.2, and the translation to Core XQuery (Figure 3).
+
+use xq_complexity::monad::{derived, eval, Cond, CollectionKind, Expr, Operand, typecheck};
+use xq_complexity::value::{parse_type, parse_value};
+use xq_complexity::core::{xq_of_ma, Var};
+
+fn main() {
+    // The Cartesian product of Example 2.1: f × g.
+    let product = derived::product(Expr::Id, Expr::Id);
+    let input = parse_value("{a, b}").unwrap();
+    let out = eval(&product, CollectionKind::Set, &input).unwrap();
+    println!("id × id on {input}  =  {out}");
+
+    // The same expression under bag semantics keeps duplicates.
+    let bag_in = parse_value("{|a, a|}").unwrap();
+    let bag_out = eval(&product, CollectionKind::Bag, &bag_in).unwrap();
+    println!("id × id on {bag_in}  =  {bag_out}");
+
+    // Type checking: pairwith's rule from §2.2.
+    let ty = parse_type("<A: {Dom}, B: Dom>").unwrap();
+    let out_ty = typecheck(&Expr::pairwith("A"), CollectionKind::Set, &ty).unwrap();
+    println!("\npairwith_A : {ty} -> {out_ty}");
+
+    // Derived difference (Example 2.4) vs the built-in.
+    let pair = parse_value("<R: {1, 2, 3}, S: {2}>").unwrap();
+    let derived_out = eval(&derived::derived_diff(), CollectionKind::Set, &pair).unwrap();
+    println!("\nR − S by Example 2.4 on {pair}  =  {derived_out}");
+
+    // Bag monus, §2.3's example.
+    let monus = Expr::Monus(Expr::proj("1").into(), Expr::proj("2").into());
+    let bags = parse_value("<1: {|a, a, a, b, b, b, c, d|}, 2: {|a, a, b, c, e|}>").unwrap();
+    println!(
+        "monus example: {}",
+        eval(&monus, CollectionKind::Bag, &bags).unwrap()
+    );
+
+    // Figure 3: compile a monad algebra query to Core XQuery.
+    let f = Expr::pairwith("A").then(
+        Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B"))).mapped(),
+    );
+    let ty = parse_type("<A: [Dom], B: Dom>").unwrap();
+    let q = xq_of_ma(&f, &ty, &Var::new("x")).unwrap();
+    println!("\nFigure 3 translation of  {f}\n  into XQuery:\n{q}");
+}

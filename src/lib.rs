@@ -1,0 +1,18 @@
+//! Umbrella crate for the Koch (PODS 2005) reproduction workspace.
+//!
+//! Re-exports every sub-crate so examples and integration tests can use a
+//! single dependency. See the repository `README.md` for an overview and
+//! `DESIGN.md` for the system inventory.
+
+pub use cv_monad as monad;
+pub use cv_value as value;
+pub use cv_xtree as xtree;
+pub use xq_compfree as compfree;
+pub use xq_core as core;
+pub use xq_fom as fom;
+pub use xq_logicprog as logicprog;
+pub use xq_paths as paths;
+pub use xq_reductions as reductions;
+pub use xq_relalg as relalg;
+pub use xq_rewrite as rewrite;
+pub use xq_stream as stream;

@@ -1,0 +1,121 @@
+//! Golden tests reproducing the paper's worked examples verbatim:
+//! Figures 5, 6, 10, 11 and Examples 2.1, 2.3, 2.4, 7.2, 7.5, A.1.
+
+use xq_complexity::core::{boolean_result, eval_query, parse_query};
+use xq_complexity::monad::{derived, eval, CollectionKind, Expr};
+use xq_complexity::paths::{eval_paths, figure_5_query, prove, unit_input};
+use xq_complexity::value::{parse_value, Value};
+use xq_complexity::xtree::parse_tree;
+
+#[test]
+fn figure_5_deterministic_tree_stages() {
+    // The value computed by the query is {{<>}} packed in the outer
+    // Boolean set: exactly one surviving path ending in ⟨⟩, carrying the
+    // provenance of A-member 2 paired with B-member 1 (the values 2 = 2).
+    let out = eval_paths(&figure_5_query(), &unit_input()).unwrap();
+    assert_eq!(out.len(), 1);
+    let p = out.iter().next().unwrap().to_string();
+    assert!(p.ends_with(".<>"), "path {p}");
+    assert!(p.contains("(2.1)"), "provenance of the matching pair: {p}");
+    // Direct evaluation agrees: the query computes {{⟨⟩}} (truth).
+    let v = eval(&figure_5_query(), CollectionKind::Set, &Value::unit()).unwrap();
+    assert_eq!(v, parse_value("{<>}").unwrap());
+}
+
+#[test]
+fn figure_6_proof_tree_shape() {
+    let q = figure_5_query();
+    let out = eval_paths(&q, &unit_input()).unwrap();
+    let target = out.iter().next().unwrap();
+    let proof = prove(&q, &unit_input(), target).unwrap().unwrap();
+    let stats = proof.stats();
+    // Fig 6's proof: branching ≤ 2, ops flatten/map/pairwith/=atomic/const.
+    assert!(stats.max_branching <= 2);
+    let r = proof.render();
+    for op in ["flatten", "map_e", "map_b", "=atomic", "pairwith", "const", "premise"] {
+        assert!(r.contains(op), "missing {op} in:\n{r}");
+    }
+    // All premises are the input axiom {1.⟨⟩}.
+    assert!(r.matches("premise: 1.<>").count() >= 4, "{r}");
+}
+
+#[test]
+fn figure_10_rewriting() {
+    let q = parse_query(
+        "let $x := <a>{ for $w in $root/* return <b>{$w}</b> }</a> \
+         return for $y in $x/b return $y/*",
+    )
+    .unwrap();
+    let (out, _) = xq_complexity::rewrite::eliminate_composition(&q, 1_000_000).unwrap();
+    assert_eq!(out, parse_query("for $w in $root/* return $w").unwrap());
+}
+
+#[test]
+fn figure_11_flat_decoding() {
+    let ty = xq_complexity::value::parse_type("{<A: Dom, B: Dom>}").unwrap();
+    let v = parse_value("{<A: a, B: b>, <A: c, B: d>}").unwrap();
+    let (flat, root) = xq_complexity::relalg::flat_value(&v);
+    let got = eval(
+        &xq_complexity::relalg::v_prime(&ty, root),
+        CollectionKind::Set,
+        &flat,
+    )
+    .unwrap();
+    assert_eq!(got, Value::set([v]));
+}
+
+#[test]
+fn example_2_1_product_nests() {
+    let product = derived::product(Expr::Id, Expr::Id);
+    let s = parse_value("{<1: x1, 2: x2>, <1: x3, 2: x4>}").unwrap();
+    let got = eval(&product, CollectionKind::Set, &s).unwrap();
+    // {⟨⟨x1,x2⟩,⟨x3,x4⟩⟩ | both in S} — nested pairs, not flattened 4-tuples.
+    assert_eq!(got.items().unwrap().len(), 4);
+    for t in got.items().unwrap() {
+        let fst = t.project("1").unwrap();
+        assert!(fst.as_tuple().is_some(), "members stay nested: {t}");
+    }
+}
+
+#[test]
+fn example_7_5_qbf_query_is_true() {
+    let q = parse_query(
+        r#"<a>{ if (every $x in $root/* satisfies
+               (some $y in $root/* satisfies
+                 ((not($x =atomic <true/>) or $y =atomic <true/>) and
+                  ($x =atomic <true/> or not($y =atomic <true/>)))))
+              then <yes/> }</a>"#,
+    )
+    .unwrap();
+    let t = parse_tree("<r><true/><false/></r>").unwrap();
+    assert!(boolean_result(&q, &t).unwrap());
+}
+
+#[test]
+fn intro_books_query_end_to_end() {
+    let q = xq_bench_books();
+    let doc = parse_tree(
+        "<doc><bib>\
+           <book><year><y2004/></year><title><t1/></title>\
+             <author><lastname><n1/></lastname></author></book>\
+           <book><year><y1999/></year><title><t2/></title></book>\
+         </bib></doc>",
+    )
+    .unwrap();
+    let out = eval_query(&q, &doc).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].children().len(), 1, "only the 2004 book survives");
+}
+
+fn xq_bench_books() -> xq_complexity::core::Query {
+    parse_query(
+        r#"<books_2004>
+          { for $b in $root/bib return
+            for $x in $b/book
+            where some $w in $x/year satisfies
+                  some $u in $w/y2004 satisfies true
+            return <book>{ $x/title }</book> }
+          </books_2004>"#,
+    )
+    .unwrap()
+}

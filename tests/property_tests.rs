@@ -1,0 +1,186 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! headline invariants.
+
+use proptest::prelude::*;
+use xq_complexity::monad::{eval, CollectionKind, Expr};
+use xq_complexity::paths::{decode, value_paths};
+use xq_complexity::value::{parse_value, Type, Value};
+use xq_complexity::xtree::{Token, Tree};
+use xq_complexity::core::{c_tree, c_tree_inverse, t_value, t_value_inverse};
+
+// ---- generators ----------------------------------------------------------
+
+fn arb_atom() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::atom("a")),
+        Just(Value::atom("b")),
+        Just(Value::atom("c")),
+        Just(Value::atom("0")),
+        Just(Value::atom("1")),
+    ]
+}
+
+/// Complex values over lists + tuples + atoms (the T-translatable ones).
+fn arb_list_value() -> impl Strategy<Value = Value> {
+    arb_atom().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
+            prop::collection::vec((any::<u8>(), inner), 0..3).prop_map(|fields| {
+                Value::tuple(
+                    fields
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (_, v))| (format!("f{i}"), v)),
+                )
+            }),
+        ]
+    })
+}
+
+/// Set-based complex values (for the path semantics). Always a set at the
+/// top level; members are atoms or nested sets.
+fn arb_set_value() -> impl Strategy<Value = Value> {
+    let member = arb_atom().prop_recursive(2, 12, 3, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::set)
+    });
+    prop::collection::vec(member, 0..4).prop_map(Value::set)
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    prop_oneof![Just("a"), Just("b"), Just("c")]
+        .prop_map(Tree::leaf)
+        .prop_recursive(3, 20, 4, |inner| {
+            (
+                prop_oneof![Just("a"), Just("b"), Just("x")],
+                prop::collection::vec(inner, 0..4),
+            )
+                .prop_map(|(l, cs)| Tree::node(l, cs))
+        })
+}
+
+// ---- properties ----------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn value_display_parse_round_trip(v in arb_list_value()) {
+        let text = v.to_string();
+        prop_assert_eq!(parse_value(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn set_canonicalization_is_idempotent(v in arb_set_value()) {
+        let items: Vec<Value> = v.items().unwrap().to_vec();
+        let rebuilt = Value::set(items);
+        prop_assert_eq!(rebuilt, v);
+    }
+
+    #[test]
+    fn tree_tokens_round_trip(t in arb_tree()) {
+        let toks = t.tokens();
+        let forest = Tree::forest_from_tokens(&toks).unwrap();
+        prop_assert_eq!(forest, vec![t]);
+    }
+
+    #[test]
+    fn tree_tokens_balance(t in arb_tree()) {
+        let mut depth = 0i64;
+        for tok in t.tokens() {
+            match tok {
+                Token::Open(_) => depth += 1,
+                Token::Close(_) => depth -= 1,
+            }
+            prop_assert!(depth >= 0);
+        }
+        prop_assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn c_encoding_bijective_on_trees(t in arb_tree()) {
+        prop_assert_eq!(c_tree_inverse(&c_tree(&t)), Some(t));
+    }
+
+    #[test]
+    fn t_encoding_bijective_on_list_values(v in arb_list_value()) {
+        let tree = t_value(&v).unwrap();
+        prop_assert_eq!(t_value_inverse(&tree), Some(v));
+    }
+
+    #[test]
+    fn union_is_set_union(a in arb_set_value(), b in arb_set_value()) {
+        let input = Value::tuple([("A", a.clone()), ("B", b.clone())]);
+        let expr = Expr::proj("A").union(Expr::proj("B"));
+        let got = eval(&expr, CollectionKind::Set, &input).unwrap();
+        let want = Value::set(
+            a.items().unwrap().iter().chain(b.items().unwrap()).cloned(),
+        );
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sng_then_flatten_is_identity(v in arb_set_value()) {
+        // flatten ∘ sng on the wrapped value: map(sng) ∘ flatten = id on sets.
+        let expr = Expr::Sng.mapped().then(Expr::Flatten);
+        let got = eval(&expr, CollectionKind::Set, &v).unwrap();
+        prop_assert_eq!(got, v);
+    }
+
+    #[test]
+    fn path_decoding_inverts_encoding(v in arb_set_value()) {
+        // U^τ(paths(v)) = v for set-of-atom-ish types (depth ≤ 4 here).
+        fn type_of(v: &Value, depth: usize) -> Type {
+            match v.items() {
+                Ok(items) if depth < 5 => {
+                    let inner = items
+                        .first()
+                        .map(|m| type_of(m, depth + 1))
+                        .unwrap_or(Type::Dom);
+                    Type::set(inner)
+                }
+                _ => Type::Dom,
+            }
+        }
+        let ty = type_of(&v, 0);
+        // Heterogeneous-depth sets don't decode; restrict to uniform ones.
+        fn uniform(v: &Value) -> bool {
+            match v.items() {
+                Err(_) => true,
+                Ok(items) => {
+                    let kinds: Vec<bool> =
+                        items.iter().map(|m| m.items().is_ok()).collect();
+                    kinds.windows(2).all(|w| w[0] == w[1])
+                        && items.iter().all(uniform)
+                }
+            }
+        }
+        prop_assume!(uniform(&v));
+        let paths = value_paths(&v);
+        if let Some(decoded) = decode(&paths, &ty) {
+            // Empty inner collections are unrepresentable as paths; skip
+            // values containing them.
+            fn has_empty_inner(v: &Value) -> bool {
+                match v.items() {
+                    Err(_) => false,
+                    Ok(items) => {
+                        items.iter().any(|m| {
+                            m.items().map(|i| i.is_empty()).unwrap_or(false)
+                                || has_empty_inner(m)
+                        })
+                    }
+                }
+            }
+            if !has_empty_inner(&v) {
+                prop_assert_eq!(decoded, v);
+            }
+        }
+    }
+
+    #[test]
+    fn xq_eval_never_panics_on_random_docs(seed in 0u64..50) {
+        let mut g = xq_complexity::xtree::TreeGen::new(seed);
+        let t = xq_complexity::xtree::random_tree(&mut g, 12, &["a", "b"]);
+        let q = xq_complexity::core::parse_query(
+            "for $x in $root//a return <w>{ $x/b }</w>",
+        ).unwrap();
+        let _ = xq_complexity::core::eval_query(&q, &t).unwrap();
+    }
+}
