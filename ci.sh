@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The full CI gate. Run from the repository root; exits nonzero on the
+# first failing step. GitHub Actions (.github/workflows/ci.yml) runs this
+# same script so local and hosted CI cannot drift.
+set -euo pipefail
+
+step() { printf '\n=== %s\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q --workspace"
+cargo test -q --workspace
+
+step "cargo bench --no-run (bench targets must compile)"
+cargo bench --no-run
+
+step "cargo doc --no-deps --workspace (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+step "examples"
+for ex in quickstart monad_algebra_tour composition_elimination complexity_frontier; do
+    echo "--- cargo run --release --example $ex"
+    cargo run --release --example "$ex" > /dev/null
+done
+
+step "cargo fmt --check"
+cargo fmt --check
+
+echo
+echo "CI green."

@@ -6,7 +6,10 @@ use cv_value::Value;
 
 fn bench(c: &mut Criterion) {
     let r: Vec<Value> = (0..60).map(|i| Value::atom(format!("r{i}"))).collect();
-    let s: Vec<Value> = (0..60).filter(|i| i % 2 == 0).map(|i| Value::atom(format!("r{i}"))).collect();
+    let s: Vec<Value> = (0..60)
+        .filter(|i| i % 2 == 0)
+        .map(|i| Value::atom(format!("r{i}")))
+        .collect();
     let input = Value::tuple([("R", Value::set(r)), ("S", Value::set(s))]);
     let builtin = Expr::Diff(Expr::proj("R").into(), Expr::proj("S").into());
     let derived = derived_diff();

@@ -8,7 +8,9 @@ fn bench(c: &mut Criterion) {
     let q = figure_5_query();
     let mut g = c.benchmark_group("logicprog");
     g.sample_size(20);
-    g.bench_function("translate", |b| b.iter(|| ma_to_lp(&q).unwrap().program.size()));
+    g.bench_function("translate", |b| {
+        b.iter(|| ma_to_lp(&q).unwrap().program.size())
+    });
     g.bench_function("lp_success", |b| {
         let lp = ma_to_lp(&q).unwrap();
         b.iter(|| lp_succeeds(&lp, 1_000_000).unwrap())

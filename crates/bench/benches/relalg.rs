@@ -17,9 +17,11 @@ fn bench(c: &mut Criterion) {
         }));
         let (flat, root) = flat_value(&v);
         let q = v_prime(&ty, root);
-        g.bench_with_input(BenchmarkId::new("v_prime_decode", rows), &flat, |b, flat| {
-            b.iter(|| eval(&q, CollectionKind::Set, flat).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("v_prime_decode", rows),
+            &flat,
+            |b, flat| b.iter(|| eval(&q, CollectionKind::Set, flat).unwrap()),
+        );
     }
     g.finish();
 }

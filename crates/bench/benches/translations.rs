@@ -7,15 +7,15 @@ fn bench(c: &mut Criterion) {
     let q = books_query();
     let mut g = c.benchmark_group("translations");
     g.sample_size(10);
-    g.bench_function("ma_of_books_query", |b| b.iter(|| ma_query(&q).unwrap().size()));
+    g.bench_function("ma_of_books_query", |b| {
+        b.iter(|| ma_query(&q).unwrap().size())
+    });
     for n in [10usize, 40] {
         let doc = bib_document(n);
         let expr = ma_query(&q).unwrap();
         g.bench_with_input(BenchmarkId::new("eval_translated", n), &doc, |b, doc| {
             let env = ma_env(&[(Var::root(), doc.clone())]);
-            b.iter(|| {
-                cv_monad::eval(&expr, cv_monad::CollectionKind::List, &env).unwrap()
-            })
+            b.iter(|| cv_monad::eval(&expr, cv_monad::CollectionKind::List, &env).unwrap())
         });
     }
     g.finish();

@@ -2,7 +2,7 @@
 //! (paper claim vs measured) in one run. Intended use:
 //!
 //! ```text
-//! cargo run --release -p xq-bench --bin harness
+//! cargo run --release -p xq_bench --bin harness
 //! ```
 
 use cv_monad::Budget;
@@ -74,7 +74,11 @@ fn t1_ntm_reduction() {
         max_nodes: 2_000_000_000,
     };
     for (m, input, name) in [
-        (red::ntm::zoo::first_is_one(), vec![1, 0, 0, 0], "first_is_one"),
+        (
+            red::ntm::zoo::first_is_one(),
+            vec![1, 0, 0, 0],
+            "first_is_one",
+        ),
         (red::ntm::zoo::some_one(), vec![0, 0, 1, 0], "some_one"),
         (red::ntm::zoo::some_one(), vec![0, 0, 0, 0], "some_one"),
     ] {
@@ -141,8 +145,11 @@ fn t3_blowup() {
                     bound >= p.node_count
                 );
             }
-            Err(e) => println!("| {m} | {} | {} | budget: {e} | – |",
-                red::blowup_query(m).size(), red::blowup_cardinality(m)),
+            Err(e) => println!(
+                "| {m} | {} | {} | budget: {e} | – |",
+                red::blowup_query(m).size(),
+                red::blowup_cardinality(m)
+            ),
         }
     }
 }
@@ -204,7 +211,10 @@ fn t6_three_col() {
     ];
     let mut gen = TreeGen::new(42);
     for v in [5usize, 7] {
-        cases.push((format!("rand(v={v})"), red::random_graph(&mut gen, v, v + 2)));
+        cases.push((
+            format!("rand(v={v})"),
+            red::random_graph(&mut gen, v, v + 2),
+        ));
     }
     for (name, graph) in cases {
         let want = graph.is_3_colorable();
@@ -225,7 +235,12 @@ fn t7_translations() {
     let e = ma_query(&q).unwrap();
     println!("| |Q| (XQ) | |MA(Q)| | ratio |");
     println!("|---|---|---|");
-    println!("| {} | {} | {:.1} |", q.size(), e.size(), e.size() as f64 / q.size() as f64);
+    println!(
+        "| {} | {} | {:.1} |",
+        q.size(),
+        e.size(),
+        e.size() as f64 / q.size() as f64
+    );
     let doc = bib_document(8);
     println!(
         "\nLemma 3.2 invariant C′([[Q]](t)) = MA(Q)(env) on the books workload: {}",
@@ -290,7 +305,10 @@ fn t9_data_complexity() {
         .iter()
         .flat_map(cv_xtree::Tree::tokens)
         .collect();
-    println!("Positional (Remark 6.7) agreement on a small instance: {}", a == b);
+    println!(
+        "Positional (Remark 6.7) agreement on a small instance: {}",
+        a == b
+    );
 }
 
 /// T10 — Thm 7.9: composition elimination.
@@ -325,7 +343,10 @@ fn t11_derived() {
     )
     .unwrap();
     let derived = eval(&derived_diff(), CollectionKind::Set, &pair).unwrap();
-    println!("difference: builtin = {builtin}, Example 2.4 = {derived}, agree = {}", builtin == derived);
+    println!(
+        "difference: builtin = {builtin}, Example 2.4 = {derived}, agree = {}",
+        builtin == derived
+    );
     let sub = eval(&subset_pred("S", "R"), CollectionKind::Set, &pair).unwrap();
     println!("S ⊆ R via Example 2.3: {}", sub.is_true());
 }

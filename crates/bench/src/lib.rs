@@ -71,8 +71,7 @@ pub fn let_chain_query(depth: usize) -> Query {
             prev = i - 1
         ));
     }
-    parse_query(&format!("<out>{{ {bindings} $x{depth}/* }}</out>"))
-        .expect("static query parses")
+    parse_query(&format!("<out>{{ {bindings} $x{depth}/* }}</out>")).expect("static query parses")
 }
 
 #[cfg(test)]

@@ -177,8 +177,7 @@ impl<'d> NestedLoopEngine<'d> {
                 let nodes = self.source_nodes(source)?;
                 for n in nodes {
                     self.env.push((x.clone(), n));
-                    self.stats.max_live_bindings =
-                        self.stats.max_live_bindings.max(self.env.len());
+                    self.stats.max_live_bindings = self.stats.max_live_bindings.max(self.env.len());
                     let r = self.emit_query(body, out);
                     self.env.pop();
                     r?;
@@ -220,8 +219,7 @@ impl<'d> NestedLoopEngine<'d> {
                 let nodes = self.source_nodes(source)?;
                 for n in nodes {
                     self.env.push((x.clone(), n));
-                    self.stats.max_live_bindings =
-                        self.stats.max_live_bindings.max(self.env.len());
+                    self.stats.max_live_bindings = self.stats.max_live_bindings.max(self.env.len());
                     let r = self.cond(sat);
                     self.env.pop();
                     if r? {
@@ -234,8 +232,7 @@ impl<'d> NestedLoopEngine<'d> {
                 let nodes = self.source_nodes(source)?;
                 for n in nodes {
                     self.env.push((x.clone(), n));
-                    self.stats.max_live_bindings =
-                        self.stats.max_live_bindings.max(self.env.len());
+                    self.stats.max_live_bindings = self.stats.max_live_bindings.max(self.env.len());
                     let r = self.cond(sat);
                     self.env.pop();
                     if !r? {
@@ -293,11 +290,7 @@ fn lookup(env: &[(Var, NodeId)], v: &Var) -> Result<NodeId, CfError> {
 }
 
 /// Does `[[q]]′` have a nonempty instantiation?
-fn nonempty(
-    doc: &Document,
-    q: &Query,
-    env: &mut Vec<(Var, NodeId)>,
-) -> Result<bool, CfError> {
+fn nonempty(doc: &Document, q: &Query, env: &mut Vec<(Var, NodeId)>) -> Result<bool, CfError> {
     match q {
         Query::Empty => Ok(false),
         Query::Elem(_, _) => Ok(true), // always constructs a node
@@ -333,11 +326,7 @@ fn nonempty(
     }
 }
 
-fn guess_cond(
-    doc: &Document,
-    c: &Cond,
-    env: &mut Vec<(Var, NodeId)>,
-) -> Result<bool, CfError> {
+fn guess_cond(doc: &Document, c: &Cond, env: &mut Vec<(Var, NodeId)>) -> Result<bool, CfError> {
     match c {
         Cond::True => Ok(true),
         Cond::VarEq(x, y, mode) => {
@@ -533,10 +522,9 @@ mod tests {
         let t = doc("<r><a/><b/></r>");
         assert_eq!(witness_boolean(&q, &t), Ok(true));
         // Negation over a quantified condition is rejected.
-        let q = parse_query(
-            "<out>{ if (not(some $x in $root/* satisfies true)) then <none/> }</out>",
-        )
-        .unwrap();
+        let q =
+            parse_query("<out>{ if (not(some $x in $root/* satisfies true)) then <none/> }</out>")
+                .unwrap();
         assert_eq!(witness_boolean(&q, &t), Err(CfError::NegationPresent));
     }
 

@@ -215,13 +215,9 @@ impl Query {
         match self {
             Query::Empty | Query::Var(_) => self.clone(),
             Query::Elem(a, q) => Query::elem(a.clone(), q.desugar(fresh)),
-            Query::Seq(a, b) => {
-                Query::Seq(Rc::new(a.desugar(fresh)), Rc::new(b.desugar(fresh)))
-            }
+            Query::Seq(a, b) => Query::Seq(Rc::new(a.desugar(fresh)), Rc::new(b.desugar(fresh))),
             Query::Step(q, ax, nt) => Query::step(q.desugar(fresh), *ax, nt.clone()),
-            Query::For(v, s, b) => {
-                Query::for_in(v.clone(), s.desugar(fresh), b.desugar(fresh))
-            }
+            Query::For(v, s, b) => Query::for_in(v.clone(), s.desugar(fresh), b.desugar(fresh)),
             Query::If(c, q) => Query::if_then(c.desugar(fresh), q.desugar(fresh)),
             Query::Let(v, bound, body) => {
                 Query::for_in(v.clone(), bound.desugar(fresh), body.desugar(fresh))
@@ -294,10 +290,7 @@ impl Cond {
                 Cond::query(Query::for_in(
                     y.clone(),
                     Query::leaf(a.clone()),
-                    Query::if_then(
-                        Cond::VarEq(x.clone(), y, *mode),
-                        Query::leaf("yes"),
-                    ),
+                    Query::if_then(Cond::VarEq(x.clone(), y, *mode), Query::leaf("yes")),
                 ))
             }
             Cond::Query(q) => Cond::query(q.desugar(fresh)),
@@ -310,13 +303,9 @@ impl Cond {
             }
             Cond::Every(v, s, c) => {
                 // every := not (some ¬φ)
-                Cond::Some(
-                    v.clone(),
-                    s.clone(),
-                    Rc::new((**c).clone().negate()),
-                )
-                .negate()
-                .desugar(fresh)
+                Cond::Some(v.clone(), s.clone(), Rc::new((**c).clone().negate()))
+                    .negate()
+                    .desugar(fresh)
             }
             Cond::And(a, b) => {
                 // φ and ψ := if φ then ψ
@@ -403,11 +392,7 @@ mod tests {
     fn sizes() {
         assert_eq!(Query::Empty.size(), 1);
         assert_eq!(Query::leaf("a").size(), 2);
-        let q = Query::for_in(
-            "x",
-            Query::child(Query::var("root"), "a"),
-            Query::var("x"),
-        );
+        let q = Query::for_in("x", Query::child(Query::var("root"), "a"), Query::var("x"));
         assert_eq!(q.size(), 1 + 2 + 1);
     }
 

@@ -345,10 +345,12 @@ pub fn to_xq_tilde(q: &Query) -> Query {
                     crate::ast::cond_as_query(&g_cond(c)),
                 ))
             }
-            Cond::Every(v, s, c) => {
-                g_cond(&Cond::Some(v.clone(), s.clone(), std::rc::Rc::new((**c).clone().negate())))
-                    .negate()
-            }
+            Cond::Every(v, s, c) => g_cond(&Cond::Some(
+                v.clone(),
+                s.clone(),
+                std::rc::Rc::new((**c).clone().negate()),
+            ))
+            .negate(),
             Cond::Query(q) => Cond::query(walk(q)),
         }
     }
@@ -403,14 +405,17 @@ mod tests {
         assert!(!is_composition_free(&tilde), "query conditions are not XQ⁻");
 
         let minus = to_composition_free(&tilde);
-        assert!(is_composition_free(&minus), "translated query is XQ⁻:\n{minus}");
+        assert!(
+            is_composition_free(&minus),
+            "translated query is XQ⁻:\n{minus}"
+        );
 
         // Semantics preserved on a few documents.
         for doc in [
-            "<r><a><b><c/><d/></b><f/></a></r>",  // b has c and d ⇒ not(...) false
-            "<r><a><b><c/></b><f/></a></r>",      // b has c but no d/e ⇒ true
-            "<r><a><f/></a></r>",                 // no b at all ⇒ true
-            "<r><a><b><d/></b><f/></a></r>",      // b without c ⇒ true
+            "<r><a><b><c/><d/></b><f/></a></r>", // b has c and d ⇒ not(...) false
+            "<r><a><b><c/></b><f/></a></r>",     // b has c but no d/e ⇒ true
+            "<r><a><f/></a></r>",                // no b at all ⇒ true
+            "<r><a><b><d/></b><f/></a></r>",     // b without c ⇒ true
             "<r/>",
         ] {
             let t = parse_tree(doc).unwrap();

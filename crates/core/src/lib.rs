@@ -20,8 +20,8 @@ pub mod translate;
 
 pub use ast::{cond_as_query, Cond, EqMode, Query, Var};
 pub use fragments::{
-    free_vars, is_composition_free, is_strict_core, is_xq_tilde, to_composition_free,
-    to_xq_tilde, Features,
+    free_vars, is_composition_free, is_strict_core, is_xq_tilde, to_composition_free, to_xq_tilde,
+    Features,
 };
 pub use parser::{parse_query, QueryParseError};
 pub use semantics::{

@@ -40,7 +40,11 @@ pub struct QueryParseError {
 
 impl std::fmt::Display for QueryParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -167,7 +171,9 @@ impl<'a> Parser<'a> {
         if !self.eat("$") {
             return Err(self.err("expected a variable"));
         }
-        let name = self.ident().ok_or_else(|| self.err("expected a variable name"))?;
+        let name = self
+            .ident()
+            .ok_or_else(|| self.err("expected a variable name"))?;
         Ok(Var::new(name))
     }
 
@@ -271,9 +277,7 @@ impl<'a> Parser<'a> {
                             "descendant" => Axis::Descendant,
                             "self" => Axis::SelfAxis,
                             "dos" | "descendant-or-self" => Axis::DescendantOrSelf,
-                            other => {
-                                return Err(self.err(format!("unknown axis {other:?}")))
-                            }
+                            other => return Err(self.err(format!("unknown axis {other:?}"))),
                         })
                     } else {
                         // It was a bare node test; rewind.
@@ -297,13 +301,17 @@ impl<'a> Parser<'a> {
         if self.eat("*") {
             return Ok(NodeTest::Wildcard);
         }
-        let name = self.ident().ok_or_else(|| self.err("expected a node test"))?;
+        let name = self
+            .ident()
+            .ok_or_else(|| self.err("expected a node test"))?;
         Ok(NodeTest::tag(name))
     }
 
     fn element(&mut self) -> Result<Query, QueryParseError> {
         self.expect("<")?;
-        let tag = self.ident().ok_or_else(|| self.err("expected a tag name"))?;
+        let tag = self
+            .ident()
+            .ok_or_else(|| self.err("expected a tag name"))?;
         if self.eat("/>") {
             return Ok(Query::leaf(tag));
         }
@@ -325,7 +333,9 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect("</")?;
-        let close = self.ident().ok_or_else(|| self.err("expected a tag name"))?;
+        let close = self
+            .ident()
+            .ok_or_else(|| self.err("expected a tag name"))?;
         if close != tag {
             return Err(self.err(format!("mismatched tags <{tag}> and </{close}>")));
         }
@@ -428,7 +438,9 @@ impl<'a> Parser<'a> {
                 return Ok(Cond::query(el));
             }
             // Fall through to the equality machinery with the leaf operand.
-            let Query::Elem(tag, _) = el else { unreachable!() };
+            let Query::Elem(tag, _) = el else {
+                unreachable!()
+            };
             let mode = if self.eat("=deep") {
                 EqMode::Deep
             } else if self.eat("=atomic") {
@@ -440,11 +452,7 @@ impl<'a> Parser<'a> {
                 EqMode::Atomic
             };
             let rhs = self.eq_operand()?;
-            return Ok(self.desugar_eq(
-                EqOperand::ConstLeaf(tag.as_str().to_string()),
-                rhs,
-                mode,
-            ));
+            return Ok(self.desugar_eq(EqOperand::ConstLeaf(tag.as_str().to_string()), rhs, mode));
         }
         // operand (= operand)?
         let lhs = self.eq_operand()?;
@@ -557,14 +565,8 @@ mod tests {
         assert_eq!(p("$x"), Query::var("x"));
         assert_eq!(p("<a/>"), Query::leaf("a"));
         assert_eq!(p("<a></a>"), Query::leaf("a"));
-        assert_eq!(
-            p("$x/b"),
-            Query::child(Query::var("x"), "b")
-        );
-        assert_eq!(
-            p("$x/*"),
-            Query::child_any(Query::var("x"))
-        );
+        assert_eq!(p("$x/b"), Query::child(Query::var("x"), "b"));
+        assert_eq!(p("$x/*"), Query::child_any(Query::var("x")));
     }
 
     #[test]
@@ -731,7 +733,10 @@ mod tests {
           </a>
         "#);
         let t = parse_tree("<r><true/><false/></r>").unwrap();
-        assert!(boolean_result(&q, &t).unwrap(), "the QBF of Ex. 7.5 is true");
+        assert!(
+            boolean_result(&q, &t).unwrap(),
+            "the QBF of Ex. 7.5 is true"
+        );
     }
 
     #[test]

@@ -332,15 +332,15 @@ mod tests {
     #[test]
     fn empty_and_var() {
         assert_eq!(run(&Query::Empty, "<a/>"), vec![]);
-        assert_eq!(render(&run(&Query::var("root"), "<a><b/></a>")), "<a><b/></a>");
+        assert_eq!(
+            render(&run(&Query::var("root"), "<a><b/></a>")),
+            "<a><b/></a>"
+        );
     }
 
     #[test]
     fn element_construction_wraps_list() {
-        let q = Query::elem(
-            "out",
-            Query::seq([Query::leaf("x"), Query::leaf("y")]),
-        );
+        let q = Query::elem("out", Query::seq([Query::leaf("x"), Query::leaf("y")]));
         assert_eq!(render(&run(&q, "<a/>")), "<out><x/><y/></out>");
     }
 
@@ -349,11 +349,7 @@ mod tests {
         let doc = "<r><a><b/></a><c/><a/></r>";
         let child_a = Query::child(Query::var("root"), "a");
         assert_eq!(render(&run(&child_a, doc)), "<a><b/></a><a/>");
-        let desc_any = Query::step(
-            Query::var("root"),
-            Axis::Descendant,
-            NodeTest::Wildcard,
-        );
+        let desc_any = Query::step(Query::var("root"), Axis::Descendant, NodeTest::Wildcard);
         assert_eq!(render(&run(&desc_any, doc)), "<a><b/></a><b/><c/><a/>");
         let self_r = Query::step(Query::var("root"), Axis::SelfAxis, NodeTest::tag("r"));
         assert_eq!(run(&self_r, doc).len(), 1);
@@ -399,17 +395,17 @@ mod tests {
                 Query::for_in(
                     "y",
                     Query::child_any(Query::var("root")),
-                    Query::if_then(
-                        Cond::VarEq("x".into(), "y".into(), mode),
-                        Query::leaf("eq"),
-                    ),
+                    Query::if_then(Cond::VarEq("x".into(), "y".into(), mode), Query::leaf("eq")),
                 ),
             )
         };
         // Deep: <a><b/></a> vs <a/> differ; diagonal matches only: 2 of 4.
         assert_eq!(run(&body(EqMode::Deep), "<r><a><b/></a><a/></r>").len(), 2);
         // Atomic compares root labels: all 4 pairs match.
-        assert_eq!(run(&body(EqMode::Atomic), "<r><a><b/></a><a/></r>").len(), 4);
+        assert_eq!(
+            run(&body(EqMode::Atomic), "<r><a><b/></a><a/></r>").len(),
+            4
+        );
     }
 
     #[test]

@@ -52,19 +52,20 @@ pub fn c_tree_inverse(v: &Value) -> Option<Tree> {
     if kind != cv_value::CollectionKind::List {
         return None;
     }
-    let children = items.iter().map(c_tree_inverse).collect::<Option<Vec<_>>>()?;
+    let children = items
+        .iter()
+        .map(c_tree_inverse)
+        .collect::<Option<Vec<_>>>()?;
     Some(Tree::node(label, children))
 }
 
 /// The monad-algebra environment value for a Figure 1 environment:
 /// `[⟨N: x1, V: C(t1)⟩, …, ⟨N: xk, V: C(tk)⟩]` (Lemma 3.2).
 pub fn ma_env(env: &[(Var, Tree)]) -> Value {
-    Value::list(env.iter().map(|(v, t)| {
-        Value::tuple([
-            ("N", Value::atom(v.name())),
-            ("V", c_tree(t)),
-        ])
-    }))
+    Value::list(
+        env.iter()
+            .map(|(v, t)| Value::tuple([("N", Value::atom(v.name())), ("V", c_tree(t))])),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -156,10 +157,7 @@ impl From<TypeError> for TranslateError {
 
 fn sel_var(v: &Var) -> Expr {
     // σ_{N=$x}
-    Expr::Select(Cond::eq_atomic(
-        Operand::path("N"),
-        Operand::atom(v.name()),
-    ))
+    Expr::Select(Cond::eq_atomic(Operand::path("N"), Operand::atom(v.name())))
 }
 
 fn node_test_filter(nt: &NodeTest) -> Option<Expr> {
@@ -186,11 +184,12 @@ pub fn ma_query(q: &Query) -> Result<Expr, TranslateError> {
 fn ma_q(q: &Query) -> Result<Expr, TranslateError> {
     match q {
         Query::Empty => Ok(Expr::EmptyColl),
-        Query::Elem(a, body) => Ok(Expr::mk_tuple([
-            ("label", Expr::atom(a.as_str())),
-            ("children", ma_q(body)?),
-        ])
-        .then(Expr::Sng)),
+        Query::Elem(a, body) => {
+            Ok(
+                Expr::mk_tuple([("label", Expr::atom(a.as_str())), ("children", ma_q(body)?)])
+                    .then(Expr::Sng),
+            )
+        }
         Query::Seq(x, y) => Ok(ma_q(x)?.union(ma_q(y)?)),
         Query::Var(v) => Ok(sel_var(v).then(Expr::proj("V").mapped())),
         Query::Step(base, axis, nt) => {
@@ -216,25 +215,19 @@ fn ma_q(q: &Query) -> Result<Expr, TranslateError> {
         Query::For(v, source, body) => {
             // ⟨1: id, 2: MA(α)⟩ ∘ pairwith2 ∘
             //   flatmap((π1 ∪ (⟨N: $x, V: π2⟩ ∘ sng)) ∘ MA(β))
-            let bind = Expr::mk_tuple([
-                ("N", Expr::atom(v.name())),
-                ("V", Expr::proj("2")),
-            ])
-            .then(Expr::Sng);
+            let bind = Expr::mk_tuple([("N", Expr::atom(v.name())), ("V", Expr::proj("2"))])
+                .then(Expr::Sng);
             Ok(Expr::mk_tuple([("1", Expr::Id), ("2", ma_q(source)?)])
                 .then(Expr::pairwith("2"))
-                .then(Expr::flatmap(
-                    Expr::proj("1").union(bind).then(ma_q(body)?),
-                )))
+                .then(Expr::flatmap(Expr::proj("1").union(bind).then(ma_q(body)?))))
         }
         Query::If(c, body) => {
             // ⟨1: id, 2: MA(φ) ∘ true⟩ ∘ pairwith2 ∘ flatmap(π1 ∘ MA(β))
-            Ok(Expr::mk_tuple([
-                ("1", Expr::Id),
-                ("2", ma_cond(c)?.then(Expr::True)),
-            ])
-            .then(Expr::pairwith("2"))
-            .then(Expr::flatmap(Expr::proj("1").then(ma_q(body)?))))
+            Ok(
+                Expr::mk_tuple([("1", Expr::Id), ("2", ma_cond(c)?.then(Expr::True))])
+                    .then(Expr::pairwith("2"))
+                    .then(Expr::flatmap(Expr::proj("1").then(ma_q(body)?))),
+            )
         }
         Query::Let(_, _, _) => Err(TranslateError::Unsupported(
             "let must be desugared before translation".into(),
@@ -248,10 +241,9 @@ fn ma_cond(c: &XCond) -> Result<Expr, TranslateError> {
             // ⟨1: σ_{N=$x}, 2: σ_{N=$y}⟩ ∘ pairwith1 ∘ flatmap(pairwith2) ∘ σ…
             let filter = match mode {
                 EqMode::Deep => Cond::eq_deep(Operand::path("1.V"), Operand::path("2.V")),
-                EqMode::Atomic => Cond::eq_atomic(
-                    Operand::path("1.V.label"),
-                    Operand::path("2.V.label"),
-                ),
+                EqMode::Atomic => {
+                    Cond::eq_atomic(Operand::path("1.V.label"), Operand::path("2.V.label"))
+                }
                 EqMode::Mon => {
                     return Err(TranslateError::Unsupported(
                         "=mon is not an XQuery equality".into(),
@@ -361,9 +353,7 @@ impl XqBuilder {
                 let fields = ty
                     .attributes()
                     .ok_or_else(|| {
-                        TranslateError::Unsupported(format!(
-                            "pairwith at non-tuple type {ty}"
-                        ))
+                        TranslateError::Unsupported(format!("pairwith at non-tuple type {ty}"))
                     })?
                     .to_vec();
                 let y = self.fresh_var();
@@ -470,9 +460,8 @@ impl XqBuilder {
 /// Builds a query constant for `T(v)` — constants are values constructed
 /// from scratch (Prop 4.1 / Fig 3 `XQ(c)`).
 pub fn value_query(v: &Value) -> Result<Query, TranslateError> {
-    let tree = t_value(v).ok_or_else(|| {
-        TranslateError::Unsupported(format!("sets/bags have no T-image: {v}"))
-    })?;
+    let tree = t_value(v)
+        .ok_or_else(|| TranslateError::Unsupported(format!("sets/bags have no T-image: {v}")))?;
     fn tree_query(t: &Tree) -> Query {
         Query::elem(
             t.label().clone(),
@@ -507,10 +496,9 @@ pub fn xq_invariant_holds(f: &Expr, input_type: &Type, v: &Value) -> Result<bool
     let tv = t_value(v).ok_or("input value has no T-image")?;
     let mut env = Env::new();
     env.bind(x, tv);
-    let (xq_result, _) =
-        eval_with(&q, &env, Budget::default()).map_err(|e| e.to_string())?;
-    let ma_result = cv_monad::eval(f, cv_monad::CollectionKind::List, v)
-        .map_err(|e| e.to_string())?;
+    let (xq_result, _) = eval_with(&q, &env, Budget::default()).map_err(|e| e.to_string())?;
+    let ma_result =
+        cv_monad::eval(f, cv_monad::CollectionKind::List, v).map_err(|e| e.to_string())?;
     let want = t_value(&ma_result).ok_or("result value has no T-image")?;
     Ok(xq_result == vec![want])
 }
@@ -557,10 +545,7 @@ mod tests {
     #[test]
     fn ma_translation_is_linear_size() {
         // Lemma 3.2 (3): |MA(Q)| = O(|Q|).
-        let q = parse_query(
-            "for $x in $root/a return if ($x = $x) then <w>{$x/b}</w>",
-        )
-        .unwrap();
+        let q = parse_query("for $x in $root/a return if ($x = $x) then <w>{$x/b}</w>").unwrap();
         let e = ma_query(&q).unwrap();
         assert!(
             e.size() <= 40 * q.size(),
@@ -647,7 +632,11 @@ mod tests {
             (E::Id.union(E::Id), list_of_atoms.clone(), "[a, b]"),
             (E::EmptyColl, Type::Dom, "c"),
             (E::konst(parse_value("[x, y]").unwrap()), Type::Dom, "c"),
-            (E::konst(parse_value("<A: y, B: [z]>").unwrap()), Type::Dom, "c"),
+            (
+                E::konst(parse_value("<A: y, B: [z]>").unwrap()),
+                Type::Dom,
+                "c",
+            ),
             (E::True, Type::list(Type::unit()), "[<>]"),
             (E::True, Type::list(Type::unit()), "[]"),
             (E::Not, Type::list(Type::unit()), "[]"),
@@ -679,10 +668,7 @@ mod tests {
             );
         }
         // Deep equality of list-valued attributes.
-        let ty = Type::tuple([
-            ("A", Type::list(Type::Dom)),
-            ("B", Type::list(Type::Dom)),
-        ]);
+        let ty = Type::tuple([("A", Type::list(Type::Dom)), ("B", Type::list(Type::Dom))]);
         for input in ["<A: [x, y], B: [x, y]>", "<A: [x], B: [x, y]>"] {
             let v = parse_value(input).unwrap();
             assert!(
@@ -738,10 +724,7 @@ mod tests {
     #[test]
     fn untranslatable_constructs_error_cleanly() {
         let q = parse_query("(<a><b/></a>)/b").unwrap();
-        assert!(matches!(
-            ma_query(&q),
-            Err(TranslateError::Unsupported(_))
-        ));
+        assert!(matches!(ma_query(&q), Err(TranslateError::Unsupported(_))));
         let f = cv_monad::Expr::Unique;
         assert!(matches!(
             xq_of_ma(&f, &Type::list(Type::Dom), &Var::new("x")),

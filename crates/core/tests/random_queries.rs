@@ -4,13 +4,13 @@
 //! semantic preservation against the Figure 1 reference on random
 //! documents.
 
+use cv_xtree::{random_tree, Axis, NodeTest, Tree, TreeGen};
 use proptest::prelude::*;
 use xq_core::ast::{Cond, EqMode, Query, Var};
 use xq_core::{
-    boolean_result, is_composition_free, is_xq_tilde, ma_invariant_holds,
-    to_composition_free, to_xq_tilde,
+    boolean_result, is_composition_free, is_xq_tilde, ma_invariant_holds, to_composition_free,
+    to_xq_tilde,
 };
-use cv_xtree::{random_tree, Axis, NodeTest, Tree, TreeGen};
 
 /// Variables in scope are `$root` plus loop variables `v0..v{depth}`.
 fn var_in_scope(depth: usize) -> impl Strategy<Value = Var> {
@@ -76,12 +76,13 @@ fn xq_tilde(depth: usize, size: u32) -> BoxedStrategy<Query> {
 
 /// XQ∼ conditions: queries, var = var, $z = ⟨a/⟩, not.
 fn cond(depth: usize, size: u32) -> BoxedStrategy<Cond> {
-    let base = prop_oneof![
-        (var_in_scope(depth), var_in_scope(depth), eq_mode())
-            .prop_map(|(x, y, m)| Cond::VarEq(x, y, m)),
-        (var_in_scope(depth), prop_oneof![Just("a"), Just("k")])
-            .prop_map(|(x, t)| Cond::ConstEq(x, t.into(), EqMode::Atomic)),
-    ];
+    let base =
+        prop_oneof![
+            (var_in_scope(depth), var_in_scope(depth), eq_mode())
+                .prop_map(|(x, y, m)| Cond::VarEq(x, y, m)),
+            (var_in_scope(depth), prop_oneof![Just("a"), Just("k")])
+                .prop_map(|(x, t)| Cond::ConstEq(x, t.into(), EqMode::Atomic)),
+        ];
     if size == 0 {
         return base.boxed();
     }

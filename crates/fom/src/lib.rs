@@ -7,7 +7,7 @@
 //! XQuery evaluation as FOM formulas `size[[α]]` / `pos_l[[α]]`; the two
 //! ingredients reproduced here are
 //!
-//! * [`formula`]-style predicates over tag strings — `node(i, j)`
+//! * formula-style predicates over tag strings — `node(i, j)`
 //!   (matching tags), `axis_child`, `axis_descendant`, `item` — written
 //!   with counting exactly as in the proof ("the number of opening tags
 //!   between i and j equals the number of closing tags"), evaluated over
@@ -75,9 +75,7 @@ pub fn axis_child(s: &TagString, i: usize, j: usize) -> bool {
         return false;
     }
     let (ip, jp) = (close_of(s, i).unwrap(), close_of(s, j).unwrap());
-    !(0..s.len()).any(|l| {
-        close_of(s, l).is_some_and(|lp| i < l && l < j && jp < lp && lp < ip)
-    })
+    !(0..s.len()).any(|l| close_of(s, l).is_some_and(|lp| i < l && l < j && jp < lp && lp < ip))
 }
 
 /// `item(i)`: position `i` opens a top-level tree of the (forest-valued)
@@ -212,9 +210,7 @@ impl<'q> PosInterp<'q> {
                             cv_xtree::Axis::SelfAxis => j == i,
                             cv_xtree::Axis::Child => axis_child(&s, i, j),
                             cv_xtree::Axis::Descendant => axis_descendant(&s, i, j),
-                            cv_xtree::Axis::DescendantOrSelf => {
-                                j == i || axis_descendant(&s, i, j)
-                            }
+                            cv_xtree::Axis::DescendantOrSelf => j == i || axis_descendant(&s, i, j),
                         };
                         if !selected {
                             continue;
@@ -467,10 +463,7 @@ mod tests {
 
     #[test]
     fn budget_guard() {
-        let q = parse_query(
-            "for $a in $root//* return for $b in $root//* return <t/>",
-        )
-        .unwrap();
+        let q = parse_query("for $a in $root//* return for $b in $root//* return <t/>").unwrap();
         let mut g = cv_xtree::TreeGen::new(3);
         let t = cv_xtree::random_tree(&mut g, 60, &["a"]);
         assert_eq!(eval_positional(&q, &t, 1000), Err(PosError::Budget));

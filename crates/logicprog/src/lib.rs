@@ -260,9 +260,7 @@ impl Program {
                     .iter()
                     .map(|p| p.instantiate(bindings))
                     .collect::<Option<Vec<_>>>()
-                    .ok_or_else(|| {
-                        LpError::NotRangeRestricted(prog.pred_names[head].clone())
-                    })?;
+                    .ok_or_else(|| LpError::NotRangeRestricted(prog.pred_names[head].clone()))?;
                 if ext[head].insert(fact) {
                     *total += 1;
                     if *total > max_facts {
@@ -289,7 +287,16 @@ impl Program {
             }
             Ok(())
         }
-        join(self, rule, 0, &mut BTreeMap::new(), ext, total, max_facts, head)
+        join(
+            self,
+            rule,
+            0,
+            &mut BTreeMap::new(),
+            ext,
+            total,
+            max_facts,
+            head,
+        )
     }
 }
 
@@ -411,16 +418,10 @@ impl Tr {
                 // p'(X, (i.j).v) ← p(X, i.j.v).
                 self.prog.rule(
                     out,
-                    vec![
-                        x(),
-                        Pat::pair(Pat::pair(Pat::var("i"), Pat::var("j")), v()),
-                    ],
+                    vec![x(), Pat::pair(Pat::pair(Pat::var("i"), Pat::var("j")), v())],
                     vec![Literal {
                         pred: input,
-                        args: vec![
-                            x(),
-                            Pat::pair(Pat::var("i"), Pat::pair(Pat::var("j"), v())),
-                        ],
+                        args: vec![x(), Pat::pair(Pat::var("i"), Pat::pair(Pat::var("j"), v()))],
                     }],
                 );
                 Ok(out)
@@ -447,10 +448,7 @@ impl Tr {
                     vec![x(), Pat::pair(i(), Pat::pair(Pat::sym(aj.as_str()), v()))],
                     vec![Literal {
                         pred: input,
-                        args: vec![
-                            x(),
-                            Pat::pair(Pat::sym(aj.as_str()), Pat::pair(i(), v())),
-                        ],
+                        args: vec![x(), Pat::pair(Pat::sym(aj.as_str()), Pat::pair(i(), v()))],
                     }],
                 );
                 // p'(X, i.Ak.w) ← p(X, Aj.i.v), p(X, Ak.w)   [Ak ≠ Aj]
@@ -466,19 +464,13 @@ impl Tr {
                     }
                     self.prog.rule(
                         out,
-                        vec![
-                            x(),
-                            Pat::pair(i(), Pat::pair(Pat::sym(ak), Pat::var("w"))),
-                        ],
+                        vec![x(), Pat::pair(i(), Pat::pair(Pat::sym(ak), Pat::var("w")))],
                         vec![
                             Literal {
                                 pred: input,
                                 args: vec![
                                     x(),
-                                    Pat::pair(
-                                        Pat::sym(aj.as_str()),
-                                        Pat::pair(i(), v()),
-                                    ),
+                                    Pat::pair(Pat::sym(aj.as_str()), Pat::pair(i(), v())),
                                 ],
                             },
                             Literal {
@@ -530,10 +522,7 @@ impl Tr {
                     // p'(X, (t.i).v) ← p_sub(X, i.v).
                     self.prog.rule(
                         out,
-                        vec![
-                            x(),
-                            Pat::pair(Pat::pair(Pat::sym(tag), Pat::var("i")), v()),
-                        ],
+                        vec![x(), Pat::pair(Pat::pair(Pat::sym(tag), Pat::var("i")), v())],
                         vec![Literal {
                             pred: sub,
                             args: vec![x(), Pat::pair(Pat::var("i"), v())],
@@ -697,12 +686,9 @@ mod tests {
         let cases = vec![
             Expr::atom("c").then(Expr::Sng),
             Expr::konst(parse_value("{a, b}").unwrap()).then(Expr::Sng.mapped()),
-            Expr::konst(parse_value("{<A: u, B: u>, <A: u, B: w>}").unwrap()).then(
-                Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B")))
-                    .mapped(),
-            ),
-            Expr::konst(parse_value("<A: {1, 2}, B: z>").unwrap())
-                .then(Expr::pairwith("A")),
+            Expr::konst(parse_value("{<A: u, B: u>, <A: u, B: w>}").unwrap())
+                .then(Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B"))).mapped()),
+            Expr::konst(parse_value("<A: {1, 2}, B: z>").unwrap()).then(Expr::pairwith("A")),
             Expr::konst(parse_value("{{a}, {b}}").unwrap()).then(Expr::Flatten),
             // σ is desugared per Example 2.3 on both sides: the native
             // Select of the path semantics keeps original member indexes,

@@ -85,11 +85,8 @@ pub fn subset_pred(a: &str, b: &str) -> Expr {
 
 /// Derived membership predicate: `(A ∈ B) ⇔ ({A} ⊆ B)`.
 pub fn member_pred(a: &str, b: &str) -> Expr {
-    Expr::mk_tuple([
-        ("A", Expr::proj(a).then(Expr::Sng)),
-        ("B", Expr::proj(b)),
-    ])
-    .then(subset_pred("A", "B"))
+    Expr::mk_tuple([("A", Expr::proj(a).then(Expr::Sng)), ("B", Expr::proj(b))])
+        .then(subset_pred("A", "B"))
 }
 
 /// Derived difference `R − S` in `M∪[σ]` on input `⟨R: {τ}, S: {τ}⟩`
@@ -209,11 +206,8 @@ pub fn derived_nest_binary(key: &str, collect: &str, into: &str) -> Expr {
                         Operand::path("v"),
                     )))
                     .then(
-                        Expr::mk_tuple([(
-                            collect,
-                            Expr::proj("rel").then(Expr::proj(collect)),
-                        )])
-                        .mapped(),
+                        Expr::mk_tuple([(collect, Expr::proj("rel").then(Expr::proj(collect)))])
+                            .mapped(),
                     ),
                 ),
             ])

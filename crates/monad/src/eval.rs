@@ -276,12 +276,20 @@ impl Evaluator {
             Expr::Not => {
                 let xs = self.items("not", input)?;
                 let empty = xs.is_empty();
-                self.coll(if empty { vec![Value::unit()] } else { Vec::new() })
+                self.coll(if empty {
+                    vec![Value::unit()]
+                } else {
+                    Vec::new()
+                })
             }
             Expr::True => {
                 let xs = self.items("true", input)?;
                 let nonempty = !xs.is_empty();
-                self.coll(if nonempty { vec![Value::unit()] } else { Vec::new() })
+                self.coll(if nonempty {
+                    vec![Value::unit()]
+                } else {
+                    Vec::new()
+                })
             }
             Expr::Diff(f, g) => {
                 let left = self.eval(f, input)?;
@@ -427,10 +435,8 @@ impl Evaluator {
         for key in order {
             let members = groups.remove(&key).expect("key recorded in order");
             let nested = Value::collection(self.kind, members);
-            let mut fields: Vec<(cv_value::Atom, Value)> = key
-                .as_tuple()
-                .expect("key built as tuple")
-                .to_vec();
+            let mut fields: Vec<(cv_value::Atom, Value)> =
+                key.as_tuple().expect("key built as tuple").to_vec();
             fields.push((into.clone(), nested));
             self.alloc(fields.len() as u64 + 1)?;
             out.push(Value::tuple(fields));
@@ -440,9 +446,7 @@ impl Evaluator {
 
     fn resolve<'v>(&self, operand: &'v Operand, ctx: &'v Value) -> Result<Value, EvalError> {
         match operand {
-            Operand::Path(p) => Ok(ctx
-                .project_path(p.iter().map(|a| a.as_str()))?
-                .clone()),
+            Operand::Path(p) => Ok(ctx.project_path(p.iter().map(|a| a.as_str()))?.clone()),
             Operand::Const(v) => Ok(v.clone()),
         }
     }
@@ -590,10 +594,7 @@ mod tests {
         let e = Expr::mk_tuple([("A", Expr::Id), ("B", Expr::Sng)]);
         assert_eq!(ev(&e, "7"), parse_value("<A: 7, B: {7}>").unwrap());
         assert_eq!(ev(&Expr::proj("A"), "<A: 1, B: 2>"), a("1"));
-        assert_eq!(
-            ev(&Expr::proj_path("A.B"), "<A: <B: hit>>"),
-            a("hit")
-        );
+        assert_eq!(ev(&Expr::proj_path("A.B"), "<A: <B: hit>>"), a("hit"));
     }
 
     #[test]
@@ -639,10 +640,7 @@ mod tests {
         );
         // Selection against a constant.
         let e = Expr::Select(Cond::eq_atomic(Operand::path("A"), Operand::atom("1")));
-        assert_eq!(
-            ev(&e, "{<A: 1>, <A: 2>}"),
-            parse_value("{<A: 1>}").unwrap()
-        );
+        assert_eq!(ev(&e, "{<A: 1>, <A: 2>}"), parse_value("{<A: 1>}").unwrap());
     }
 
     #[test]
@@ -685,10 +683,7 @@ mod tests {
     #[test]
     fn monus_matches_paper_example() {
         // {|a,a,a,b,b,b,c,d|} monus {|a,a,b,c,e|} = {|a,b,b,d|} (§2.3)
-        let e = Expr::Monus(
-            Expr::proj("1").into(),
-            Expr::proj("2").into(),
-        );
+        let e = Expr::Monus(Expr::proj("1").into(), Expr::proj("2").into());
         assert_eq!(
             ev_bag(&e, "<1: {|a, a, a, b, b, b, c, d|}, 2: {|a, a, b, c, e|}>"),
             parse_value("{|a, b, b, d|}").unwrap()
@@ -797,13 +792,8 @@ mod tests {
 
     #[test]
     fn stats_are_reported() {
-        let (v, stats) = eval_with(
-            &Expr::Sng,
-            CollectionKind::Set,
-            &a("x"),
-            Budget::default(),
-        )
-        .unwrap();
+        let (v, stats) =
+            eval_with(&Expr::Sng, CollectionKind::Set, &a("x"), Budget::default()).unwrap();
         assert_eq!(v, Value::set([a("x")]));
         assert!(stats.steps >= 1);
         assert!(stats.nodes_allocated >= 2);

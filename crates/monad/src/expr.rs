@@ -367,10 +367,9 @@ impl Expr {
             Expr::Compose(f, g) => f.size() + g.size(),
             Expr::Map(f) => 1 + f.size(),
             Expr::MkTuple(fs) => 1 + fs.iter().map(|(_, e)| e.size()).sum::<u64>(),
-            Expr::Union(f, g)
-            | Expr::Diff(f, g)
-            | Expr::Intersect(f, g)
-            | Expr::Monus(f, g) => 1 + f.size() + g.size(),
+            Expr::Union(f, g) | Expr::Diff(f, g) | Expr::Intersect(f, g) | Expr::Monus(f, g) => {
+                1 + f.size() + g.size()
+            }
             Expr::Pred(c) | Expr::Select(c) => 1 + c.size(),
             Expr::Nest { collect, .. } => 1 + collect.len() as u64,
         }
@@ -381,9 +380,7 @@ impl Expr {
     pub fn is_monotone(&self) -> bool {
         match self {
             Expr::Not | Expr::Diff(_, _) | Expr::Monus(_, _) => false,
-            Expr::Pred(c) | Expr::Select(c) => {
-                !c.uses_negation() && !cond_uses_deep(c)
-            }
+            Expr::Pred(c) | Expr::Select(c) => !c.uses_negation() && !cond_uses_deep(c),
             Expr::Compose(f, g) | Expr::Union(f, g) | Expr::Intersect(f, g) => {
                 f.is_monotone() && g.is_monotone()
             }
@@ -488,9 +485,8 @@ mod tests {
         assert!(sel_atomic.is_monotone());
         let sel_deep = Expr::Select(Cond::eq_deep(Operand::path("A"), Operand::path("B")));
         assert!(!sel_deep.is_monotone());
-        let not_in_cond = Expr::Select(
-            Cond::eq_atomic(Operand::path("A"), Operand::path("B")).negate(),
-        );
+        let not_in_cond =
+            Expr::Select(Cond::eq_atomic(Operand::path("A"), Operand::path("B")).negate());
         assert!(!not_in_cond.is_monotone());
         assert!(!Expr::Diff(Rc::new(Expr::Id), Rc::new(Expr::Id)).is_monotone());
     }

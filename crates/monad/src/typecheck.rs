@@ -131,9 +131,12 @@ pub fn type_of_value(v: &Value) -> Result<Type, TypeError> {
     }
 }
 
-fn resolve_operand(op: &str, operand: &Operand, ctx: &Type, _kind: CollectionKind)
-    -> Result<Type, TypeError>
-{
+fn resolve_operand(
+    op: &str,
+    operand: &Operand,
+    ctx: &Type,
+    _kind: CollectionKind,
+) -> Result<Type, TypeError> {
     match operand {
         Operand::Const(v) => type_of_value(v),
         Operand::Path(p) => {
@@ -142,14 +145,13 @@ fn resolve_operand(op: &str, operand: &Operand, ctx: &Type, _kind: CollectionKin
                 if cur == Type::Any {
                     return Ok(Type::Any);
                 }
-                cur = cur
-                    .attribute(seg.as_str())
-                    .cloned()
-                    .ok_or_else(|| TypeError::NoSuchAttribute {
+                cur = cur.attribute(seg.as_str()).cloned().ok_or_else(|| {
+                    TypeError::NoSuchAttribute {
                         op: op.to_string(),
                         attr: seg.as_str().to_string(),
                         ty: cur.clone(),
-                    })?;
+                    }
+                })?;
             }
             Ok(cur)
         }
@@ -415,7 +417,12 @@ mod tests {
 
     #[test]
     fn projection_and_tuple_formation() {
-        assert_eq!(tc(&Expr::proj("B"), "<A: Dom, B: {Dom}>").unwrap().to_string(), "{Dom}");
+        assert_eq!(
+            tc(&Expr::proj("B"), "<A: Dom, B: {Dom}>")
+                .unwrap()
+                .to_string(),
+            "{Dom}"
+        );
         let e = Expr::mk_tuple([("X", Expr::Id), ("Y", Expr::Sng)]);
         assert_eq!(tc(&e, "Dom").unwrap().to_string(), "<X: Dom, Y: {Dom}>");
         assert!(matches!(
@@ -513,10 +520,7 @@ mod tests {
     #[test]
     fn constant_typing() {
         let v = cv_value::parse_value("{<A: 1>, <A: 2>}").unwrap();
-        assert_eq!(
-            type_of_value(&v).unwrap().to_string(),
-            "{<A: Dom>}"
-        );
+        assert_eq!(type_of_value(&v).unwrap().to_string(), "{<A: Dom>}");
         let het = cv_value::parse_value("{1, <A: 2>}").unwrap();
         assert!(matches!(
             type_of_value(&het),
@@ -532,6 +536,6 @@ mod tests {
         assert!(e.to_string().contains("set"));
     }
 
-    use cv_value::Value;
     use crate::{Cond, Operand};
+    use cv_value::Value;
 }

@@ -24,10 +24,9 @@ fn coll_of_atoms(kind: CollectionKind) -> impl Strategy<Value = Value> {
 
 /// A collection of collections of atoms.
 fn coll2(kind: CollectionKind) -> impl Strategy<Value = Value> {
-    prop::collection::vec(prop::collection::vec(atom(), 0..4), 0..4)
-        .prop_map(move |vv| {
-            Value::collection(kind, vv.into_iter().map(|v| Value::collection(kind, v)))
-        })
+    prop::collection::vec(prop::collection::vec(atom(), 0..4), 0..4).prop_map(move |vv| {
+        Value::collection(kind, vv.into_iter().map(|v| Value::collection(kind, v)))
+    })
 }
 
 /// A collection of collections of collections of atoms.

@@ -15,8 +15,7 @@ mod term;
 
 pub use proof::{prove, ProofNode, ProofStats};
 pub use semantics::{
-    decode, eval_paths, eval_paths_with, map_b, map_e, value_paths, PathBudget, PathError,
-    PathSet,
+    decode, eval_paths, eval_paths_with, map_b, map_e, value_paths, PathBudget, PathError, PathSet,
 };
 pub use term::{parse_term, Term};
 
@@ -25,16 +24,12 @@ pub use term::{parse_term, Term};
 ///  ∘ flatten ∘ flatten`.
 pub fn figure_5_query() -> cv_monad::Expr {
     use cv_monad::{Cond, Expr, Operand};
-    let const_ab =
-        Expr::konst(cv_value::parse_value("<A: {1, 2}, B: {2, 3}>").expect("literal"));
+    let const_ab = Expr::konst(cv_value::parse_value("<A: {1, 2}, B: {2, 3}>").expect("literal"));
     const_ab
         .then(Expr::pairwith("A"))
         .then(
             Expr::pairwith("B")
-                .then(
-                    Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B")))
-                        .mapped(),
-                )
+                .then(Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B"))).mapped())
                 .mapped(),
         )
         .then(Expr::Flatten)
@@ -43,7 +38,9 @@ pub fn figure_5_query() -> cv_monad::Expr {
 
 /// The canonical Boolean input `{⟨⟩}` as a path set: `{1.⟨⟩}` (Thm 5.2).
 pub fn unit_input() -> PathSet {
-    [Term::cons(Term::sym("1"), Term::unit())].into_iter().collect()
+    [Term::cons(Term::sym("1"), Term::unit())]
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]

@@ -99,11 +99,7 @@ pub struct ProofStats {
 
 /// Builds a proof that `target ∈ [[expr]](input)`, or returns `None` if it
 /// is not a member. Errors propagate from the underlying path semantics.
-pub fn prove(
-    expr: &Expr,
-    input: &PathSet,
-    target: &Term,
-) -> Result<Option<ProofNode>, PathError> {
+pub fn prove(expr: &Expr, input: &PathSet, target: &Term) -> Result<Option<ProofNode>, PathError> {
     let budget = PathBudget::default();
     let out = step(expr, input, &budget)?;
     if !out.contains(target) {
@@ -188,13 +184,12 @@ fn build(
         }
         Expr::Flatten => {
             let (m, grp, p) = target.split_two().ok_or_else(missing)?;
-            let Term::Pair(i, j) = grp else { return Err(missing()) };
+            let Term::Pair(i, j) = grp else {
+                return Err(missing());
+            };
             let prem = Term::cons(
                 m.clone(),
-                Term::cons(
-                    (**i).clone(),
-                    Term::cons_opt((**j).clone(), p.cloned()),
-                ),
+                Term::cons((**i).clone(), Term::cons_opt((**j).clone(), p.cloned())),
             );
             Ok(ProofNode::node(
                 "flatten",
@@ -204,10 +199,7 @@ fn build(
         }
         Expr::Proj(a) => {
             let (m, p) = target.split_first();
-            let prem = Term::cons(
-                m.clone(),
-                Term::cons_opt(Term::sym(a.as_str()), p.cloned()),
-            );
+            let prem = Term::cons(m.clone(), Term::cons_opt(Term::sym(a.as_str()), p.cloned()));
             Ok(ProofNode::node(
                 format!("pi[{a}]"),
                 target.clone(),
@@ -217,10 +209,7 @@ fn build(
         Expr::Map(f) => {
             // target m.i.p ⇐ map_e ⇐ (m.i).p ∈ [[f]](map_b(input)).
             let (m, i, p) = target.split_two().ok_or_else(missing)?;
-            let mid_target = Term::cons_opt(
-                Term::cons(m.clone(), i.clone()),
-                p.cloned(),
-            );
+            let mid_target = Term::cons_opt(Term::cons(m.clone(), i.clone()), p.cloned());
             let grouped = map_b(input)?;
             let inner = build(f, &grouped, &mid_target, budget)?;
             // Premises of `inner` are in map_b(input); justify them with a
@@ -230,11 +219,10 @@ fn build(
         }
         Expr::Union(f, g) => {
             let (m, grp, p) = target.split_two().ok_or_else(missing)?;
-            let Term::Pair(tag, i) = grp else { return Err(missing()) };
-            let prem = Term::cons(
-                m.clone(),
-                Term::cons_opt((**i).clone(), p.cloned()),
-            );
+            let Term::Pair(tag, i) = grp else {
+                return Err(missing());
+            };
+            let prem = Term::cons(m.clone(), Term::cons_opt((**i).clone(), p.cloned()));
             let (branch, name) = if tag.is_sym("1") {
                 (f, "union-left")
             } else {
@@ -275,10 +263,7 @@ fn build(
                 // m.i.Aj.p ⇐ m.Aj.i.p
                 let prem = Term::cons(
                     m.clone(),
-                    Term::cons(
-                        Term::sym(aj),
-                        Term::cons_opt(i.clone(), rest),
-                    ),
+                    Term::cons(Term::sym(aj), Term::cons_opt(i.clone(), rest)),
                 );
                 Ok(ProofNode::node(
                     format!("pairwith[{aj}]"),
@@ -287,17 +272,12 @@ fn build(
                 ))
             } else {
                 // m.i.Ak.p′ ⇐ m.Ak.p′ and ∃p m.Aj.i.p
-                let prem1 = Term::cons(
-                    m.clone(),
-                    Term::cons_opt(a.clone(), rest),
-                );
+                let prem1 = Term::cons(m.clone(), Term::cons_opt(a.clone(), rest));
                 let witness = input
                     .iter()
                     .find(|t| {
                         t.split_two().is_some_and(|(m2, a2, r)| {
-                            m2 == m
-                                && a2.is_sym(aj)
-                                && r.is_some_and(|r| r.split_first().0 == i)
+                            m2 == m && a2.is_sym(aj) && r.is_some_and(|r| r.split_first().0 == i)
                         })
                     })
                     .ok_or_else(missing)?;
@@ -319,10 +299,7 @@ fn build(
             for t in input {
                 if let Some((m2, attr, p)) = t.split_two() {
                     if m2 == m && attr.is_sym(a) {
-                        let other = Term::cons(
-                            m.clone(),
-                            Term::cons_opt(Term::sym(b), p.cloned()),
-                        );
+                        let other = Term::cons(m.clone(), Term::cons_opt(Term::sym(b), p.cloned()));
                         if input.contains(&other) {
                             found = Some((t.clone(), other));
                             break;
@@ -380,10 +357,7 @@ fn graft_map_b(tree: ProofNode, input: &PathSet) -> Result<ProofNode, PathError>
                 path: tree.path.to_string(),
             });
         };
-        let prem = Term::cons(
-            (**m).clone(),
-            Term::cons_opt((**i).clone(), p.cloned()),
-        );
+        let prem = Term::cons((**m).clone(), Term::cons_opt((**i).clone(), p.cloned()));
         return Ok(ProofNode::node(
             "map_b",
             tree.path.clone(),
@@ -424,11 +398,8 @@ mod tests {
             .then(
                 Expr::pairwith("B")
                     .then(
-                        Expr::Pred(Cond::eq_atomic(
-                            Operand::path("A"),
-                            Operand::path("B"),
-                        ))
-                        .mapped(),
+                        Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B")))
+                            .mapped(),
                     )
                     .mapped(),
             )

@@ -213,7 +213,11 @@ fn malformed(op: &str, p: &Term) -> PathError {
     }
 }
 
-pub(crate) fn step(expr: &Expr, input: &PathSet, budget: &PathBudget) -> Result<PathSet, PathError> {
+pub(crate) fn step(
+    expr: &Expr,
+    input: &PathSet,
+    budget: &PathBudget,
+) -> Result<PathSet, PathError> {
     match expr {
         Expr::Id => Ok(input.clone()),
         Expr::Compose(f, g) => {
@@ -258,9 +262,7 @@ pub(crate) fn step(expr: &Expr, input: &PathSet, budget: &PathBudget) -> Result<
         Expr::Flatten => {
             let mut out = BTreeSet::new();
             for t in input {
-                let (m, i, j, p) = t
-                    .split_three()
-                    .ok_or_else(|| malformed("flatten", t))?;
+                let (m, i, j, p) = t.split_three().ok_or_else(|| malformed("flatten", t))?;
                 out.insert(Term::cons(
                     m.clone(),
                     Term::cons_opt(Term::cons(i.clone(), j.clone()), p.cloned()),
@@ -283,15 +285,10 @@ pub(crate) fn step(expr: &Expr, input: &PathSet, budget: &PathBudget) -> Result<
                 let _ = i_or_p;
                 if a.is_sym(aj) {
                     let (_, _, rest) = t.split_two().expect("checked");
-                    let (i, p) = rest
-                        .ok_or_else(|| malformed("pairwith", t))?
-                        .split_first();
+                    let (i, p) = rest.ok_or_else(|| malformed("pairwith", t))?.split_first();
                     out.insert(Term::cons(
                         m.clone(),
-                        Term::cons(
-                            i.clone(),
-                            Term::cons_opt(Term::sym(aj), p.cloned()),
-                        ),
+                        Term::cons(i.clone(), Term::cons_opt(Term::sym(aj), p.cloned())),
                     ));
                     // Copies of the other attributes for this i.
                     for t2 in input {
@@ -299,10 +296,7 @@ pub(crate) fn step(expr: &Expr, input: &PathSet, budget: &PathBudget) -> Result<
                             if m2 == m && !a2.is_sym(aj) {
                                 out.insert(Term::cons(
                                     m.clone(),
-                                    Term::cons(
-                                        i.clone(),
-                                        Term::cons_opt(a2.clone(), p2.cloned()),
-                                    ),
+                                    Term::cons(i.clone(), Term::cons_opt(a2.clone(), p2.cloned())),
                                 ));
                             }
                         }
@@ -359,10 +353,7 @@ pub(crate) fn step(expr: &Expr, input: &PathSet, budget: &PathBudget) -> Result<
                     let (m, i, p) = t.split_two().ok_or_else(|| malformed("union", t))?;
                     out.insert(Term::cons(
                         m.clone(),
-                        Term::cons_opt(
-                            Term::cons(Term::sym(tag), i.clone()),
-                            p.cloned(),
-                        ),
+                        Term::cons_opt(Term::cons(Term::sym(tag), i.clone()), p.cloned()),
                     ));
                 }
             }
@@ -379,10 +370,7 @@ pub(crate) fn step(expr: &Expr, input: &PathSet, budget: &PathBudget) -> Result<
                         // Seek m.B.p in P.
                         let wanted = Term::cons(
                             m.clone(),
-                            Term::cons_opt(
-                                Term::sym(pb[0].as_str()),
-                                p.cloned(),
-                            ),
+                            Term::cons_opt(Term::sym(pb[0].as_str()), p.cloned()),
                         );
                         if input.contains(&wanted) {
                             out.insert(Term::cons(
@@ -432,10 +420,7 @@ pub fn map_b(input: &PathSet) -> Result<PathSet, PathError> {
     let mut out = BTreeSet::new();
     for t in input {
         let (m, i, p) = t.split_two().ok_or_else(|| malformed("map_b", t))?;
-        out.insert(Term::cons_opt(
-            Term::cons(m.clone(), i.clone()),
-            p.cloned(),
-        ));
+        out.insert(Term::cons_opt(Term::cons(m.clone(), i.clone()), p.cloned()));
     }
     Ok(out)
 }
@@ -458,18 +443,15 @@ pub fn map_e(input: &PathSet) -> Result<PathSet, PathError> {
 
 /// Resolves an atomic condition for the set member at prefix `m.i`: an
 /// operand path `π` resolves to the atom `c` with `m.i.π.c ∈ P`.
-fn eval_select_cond(
-    cond: &Cond,
-    m: &Term,
-    i: &Term,
-    input: &PathSet,
-) -> Result<bool, PathError> {
+fn eval_select_cond(cond: &Cond, m: &Term, i: &Term, input: &PathSet) -> Result<bool, PathError> {
     match cond {
         Cond::True => Ok(true),
-        Cond::And(a, b) => Ok(eval_select_cond(a, m, i, input)?
-            && eval_select_cond(b, m, i, input)?),
-        Cond::Or(a, b) => Ok(eval_select_cond(a, m, i, input)?
-            || eval_select_cond(b, m, i, input)?),
+        Cond::And(a, b) => {
+            Ok(eval_select_cond(a, m, i, input)? && eval_select_cond(b, m, i, input)?)
+        }
+        Cond::Or(a, b) => {
+            Ok(eval_select_cond(a, m, i, input)? || eval_select_cond(b, m, i, input)?)
+        }
         Cond::Eq(a, b, EqMode::Atomic) => {
             let va = resolve_atom(a, m, i, input)?;
             let vb = resolve_atom(b, m, i, input)?;
@@ -478,7 +460,9 @@ fn eval_select_cond(
                 _ => false,
             })
         }
-        other => Err(PathError::Unsupported(format!("selection condition {other}"))),
+        other => Err(PathError::Unsupported(format!(
+            "selection condition {other}"
+        ))),
     }
 }
 
@@ -605,12 +589,7 @@ mod tests {
                 "{{<A: Dom, B: Dom>}}",
                 Expr::pairwith("A"),
             ),
-            (
-                "{{a, b}}",
-                "{{Dom}}",
-                "{{{Dom}}}",
-                Expr::Sng.mapped(),
-            ),
+            ("{{a, b}}", "{{Dom}}", "{{{Dom}}}", Expr::Sng.mapped()),
             // σ filters the members of each set member (the input is a
             // set of sets of tuples under the map convention).
             (
@@ -634,10 +613,10 @@ mod tests {
             let in_ty = parse_type(in_ty).unwrap();
             let out_ty = parse_type(out_ty).unwrap();
             let p = value_paths(&v);
-            let got_paths = eval_paths(&f, &p)
-                .unwrap_or_else(|e| panic!("path eval failed for {f}: {e}"));
-            let got = decode(&got_paths, &out_ty)
-                .unwrap_or_else(|| panic!("decode failed for {f}"));
+            let got_paths =
+                eval_paths(&f, &p).unwrap_or_else(|e| panic!("path eval failed for {f}: {e}"));
+            let got =
+                decode(&got_paths, &out_ty).unwrap_or_else(|| panic!("decode failed for {f}"));
             let want = eval(&f.clone().mapped(), CollectionKind::Set, &v).unwrap();
             assert_eq!(got, want, "query {f} on {input}; in_ty {in_ty}");
         }
@@ -665,11 +644,7 @@ mod tests {
         for _ in 0..6 {
             q = q.then(product.clone());
         }
-        let r = eval_paths_with(
-            &q,
-            &ps(&["1.<>"]),
-            PathBudget { max_paths: 1000 },
-        );
+        let r = eval_paths_with(&q, &ps(&["1.<>"]), PathBudget { max_paths: 1000 });
         assert!(matches!(r, Err(PathError::Budget(_))));
     }
 }

@@ -101,9 +101,7 @@ impl Atm {
         let mut sets = Vec::new();
         let a1: BTreeSet<Config> = psi
             .iter()
-            .filter(|(c, cp)| {
-                self.machine.accepting.contains(&cp.state) && self.is_existential(c)
-            })
+            .filter(|(c, cp)| self.machine.accepting.contains(&cp.state) && self.is_existential(c))
             .map(|(c, _)| c.clone())
             .collect();
         sets.push(a1);
@@ -114,8 +112,7 @@ impl Atm {
             let next: BTreeSet<Config> = psi
                 .iter()
                 .filter(|(c, cp)| {
-                    complement.contains(cp)
-                        && (self.is_existential(c) != self.is_existential(cp))
+                    complement.contains(cp) && (self.is_existential(c) != self.is_existential(cp))
                 })
                 .map(|(c, _)| c.clone())
                 .collect();
@@ -126,13 +123,11 @@ impl Atm {
 
     /// Acceptance with `rounds` alternations (odd, per the proof's
     /// assumption): `C_start ∈ A_rounds`.
-    pub fn accepts_alternating(
-        &self,
-        start: &Config,
-        steps: usize,
-        rounds: usize,
-    ) -> bool {
-        assert!(rounds % 2 == 1, "the proof assumes an odd alternation count");
+    pub fn accepts_alternating(&self, start: &Config, steps: usize, rounds: usize) -> bool {
+        assert!(
+            rounds % 2 == 1,
+            "the proof assumes an odd alternation count"
+        );
         let sets = self.alternation_sets(start.tape.len(), steps, rounds);
         sets[rounds - 1].contains(start)
     }
@@ -155,15 +150,57 @@ pub mod zoo {
     pub fn forall_then_check(require_one: bool) -> Atm {
         let mut transitions = vec![
             // Existential kick-off: hand over to the universal state.
-            Transition { from: 0, read: 0, to: 1, write: 0, mv: Move::Stay },
-            Transition { from: 0, read: 1, to: 1, write: 1, mv: Move::Stay },
+            Transition {
+                from: 0,
+                read: 0,
+                to: 1,
+                write: 0,
+                mv: Move::Stay,
+            },
+            Transition {
+                from: 0,
+                read: 1,
+                to: 1,
+                write: 1,
+                mv: Move::Stay,
+            },
             // Universal: overwrite cell 0 with # or 1.
-            Transition { from: 1, read: 0, to: 2, write: 0, mv: Move::Stay },
-            Transition { from: 1, read: 0, to: 2, write: 1, mv: Move::Stay },
-            Transition { from: 1, read: 1, to: 2, write: 0, mv: Move::Stay },
-            Transition { from: 1, read: 1, to: 2, write: 1, mv: Move::Stay },
+            Transition {
+                from: 1,
+                read: 0,
+                to: 2,
+                write: 0,
+                mv: Move::Stay,
+            },
+            Transition {
+                from: 1,
+                read: 0,
+                to: 2,
+                write: 1,
+                mv: Move::Stay,
+            },
+            Transition {
+                from: 1,
+                read: 1,
+                to: 2,
+                write: 0,
+                mv: Move::Stay,
+            },
+            Transition {
+                from: 1,
+                read: 1,
+                to: 2,
+                write: 1,
+                mv: Move::Stay,
+            },
             // Existential checker: accept on 1.
-            Transition { from: 2, read: 1, to: 3, write: 1, mv: Move::Stay },
+            Transition {
+                from: 2,
+                read: 1,
+                to: 3,
+                write: 1,
+                mv: Move::Stay,
+            },
         ];
         if !require_one {
             transitions.push(Transition {
@@ -239,10 +276,11 @@ mod tests {
         // From u0 (state 1, universal) one step reaches e0 (state 2,
         // existential) — endpoints may cross the block boundary — but acc
         // (state 3) would need a second crossing step, which ψ cuts.
-        let u0 = Config { state: 1, ..m.machine.start_config(&[1, 0], 2) };
-        let crossed_once = psi
-            .iter()
-            .any(|(c, cp)| c == &u0 && cp.state == 2);
+        let u0 = Config {
+            state: 1,
+            ..m.machine.start_config(&[1, 0], 2)
+        };
+        let crossed_once = psi.iter().any(|(c, cp)| c == &u0 && cp.state == 2);
         assert!(crossed_once);
         let crossed_twice = psi.iter().any(|(c, cp)| c == &u0 && cp.state == 3);
         assert!(!crossed_twice, "ψ must stop at the block boundary");

@@ -30,7 +30,10 @@ impl<'m> AtmReduction<'m> {
     /// Creates the reduction for `atm` on `input` with tape length `2^k`
     /// and `rounds` alternations.
     pub fn new(atm: &'m Atm, k: u32, input: Vec<usize>, rounds: usize) -> Self {
-        assert!(rounds % 2 == 1, "the proof assumes an odd alternation count");
+        assert!(
+            rounds % 2 == 1,
+            "the proof assumes an odd alternation count"
+        );
         AtmReduction {
             atm,
             base: NtmReduction::new(&atm.machine, k, input, EqFlavor::Builtin),
@@ -68,12 +71,8 @@ impl<'m> AtmReduction<'m> {
             psi = psi
                 .then(product(Expr::Id, Expr::Id))
                 .then(Expr::Select(
-                    Cond::Eq(
-                        Operand::path("1.Cp"),
-                        Operand::path("2.C"),
-                        EqMode::Mon,
-                    )
-                    .and(Cond::iff(self.in_exists("1.C"), self.in_exists("2.C"))),
+                    Cond::Eq(Operand::path("1.Cp"), Operand::path("2.C"), EqMode::Mon)
+                        .and(Cond::iff(self.in_exists("1.C"), self.in_exists("2.C"))),
                 ))
                 .then(
                     Expr::mk_tuple([
@@ -99,12 +98,8 @@ impl<'m> AtmReduction<'m> {
         if i == 1 {
             return product(self.psi_same_block(), self.base.accepting_configs())
                 .then(Expr::Select(
-                    Cond::Eq(
-                        Operand::path("1.Cp"),
-                        Operand::path("2"),
-                        EqMode::Mon,
-                    )
-                    .and(self.in_exists("1.C")),
+                    Cond::Eq(Operand::path("1.Cp"), Operand::path("2"), EqMode::Mon)
+                        .and(self.in_exists("1.C")),
                 ))
                 .then(Expr::proj_path("1.C").mapped());
         }
@@ -114,12 +109,10 @@ impl<'m> AtmReduction<'m> {
         );
         product(self.psi_same_block(), complement)
             .then(Expr::Select(
-                Cond::Eq(Operand::path("1.Cp"), Operand::path("2"), EqMode::Mon).and(
-                    Cond::iff(
-                        self.in_exists("1.C"),
-                        self.in_exists("1.Cp").negate(),
-                    ),
-                ),
+                Cond::Eq(Operand::path("1.Cp"), Operand::path("2"), EqMode::Mon).and(Cond::iff(
+                    self.in_exists("1.C"),
+                    self.in_exists("1.Cp").negate(),
+                )),
             ))
             .then(Expr::proj_path("1.C").mapped())
     }

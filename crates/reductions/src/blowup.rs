@@ -42,8 +42,9 @@ pub fn size_bound(expr: &Expr, input_size: u64) -> u64 {
             Expr::MkTuple(fs) => fs
                 .iter()
                 .fold(1u64, |acc, (_, f)| acc.saturating_add(c(f, n))),
-            Expr::Union(f, g) | Expr::Diff(f, g) | Expr::Intersect(f, g)
-            | Expr::Monus(f, g) => c(f, n).saturating_add(c(g, n)),
+            Expr::Union(f, g) | Expr::Diff(f, g) | Expr::Intersect(f, g) | Expr::Monus(f, g) => {
+                c(f, n).saturating_add(c(g, n))
+            }
             Expr::Compose(f, g) => c(g, c(f, n)),
             Expr::Nest { .. } => n.saturating_mul(2),
             Expr::DescMap => n.saturating_mul(n),
@@ -66,7 +67,10 @@ pub struct BlowupPoint {
 }
 
 /// Runs the blowup query at depth `m` and reports the measured sizes.
-pub fn measure_blowup(m: usize, budget: cv_monad::Budget) -> Result<BlowupPoint, cv_monad::EvalError> {
+pub fn measure_blowup(
+    m: usize,
+    budget: cv_monad::Budget,
+) -> Result<BlowupPoint, cv_monad::EvalError> {
     let q = blowup_query(m);
     let (v, _) = cv_monad::eval_with(&q, cv_monad::CollectionKind::Set, &Value::unit(), budget)?;
     Ok(BlowupPoint {
@@ -105,10 +109,13 @@ mod tests {
     #[test]
     fn m4_exhausts_a_small_budget() {
         // 2^16 = 65536 pairs of depth 4 — fine; m=5 would be 2^32.
-        let r = measure_blowup(5, Budget {
-            max_steps: 100_000,
-            max_nodes: 100_000,
-        });
+        let r = measure_blowup(
+            5,
+            Budget {
+                max_steps: 100_000,
+                max_nodes: 100_000,
+            },
+        );
         assert!(r.is_err(), "m=5 must hit the budget");
     }
 

@@ -126,9 +126,7 @@ impl Ntm {
             }
             frontier = next;
         }
-        frontier
-            .iter()
-            .any(|c| self.accepting.contains(&c.state))
+        frontier.iter().any(|c| self.accepting.contains(&c.state))
     }
 
     /// Adds stay self-loops `(q, a) → (q, a, Stay)` for every state and

@@ -119,9 +119,8 @@ impl<'m> NtmReduction<'m> {
     /// `Configs := (Tapes × Q) ∘ map(⟨t: π1, q: π2⟩)`.
     pub fn configs(&self) -> Expr {
         let states = const_set(self.machine.states.iter().map(|s| plain(s)));
-        product(self.tapes(), states).then(
-            Expr::mk_tuple([("t", Expr::proj("1")), ("q", Expr::proj("2"))]).mapped(),
-        )
+        product(self.tapes(), states)
+            .then(Expr::mk_tuple([("t", Expr::proj("1")), ("q", Expr::proj("2"))]).mapped())
     }
 
     /// `AcceptingConfigs := Configs ∘ (σ_{q=f1} ∪ ··· ∪ σ_{q=f|F|})`.
@@ -190,11 +189,9 @@ impl<'m> NtmReduction<'m> {
     #[allow(dead_code)] // kept as the documented Lemma 5.7 building block
     fn tape_eq(&self, d: u32, a: &str, b: &str) -> Expr {
         match self.flavor {
-            EqFlavor::Builtin => Expr::Pred(Cond::Eq(
-                Operand::path(a),
-                Operand::path(b),
-                EqMode::Mon,
-            )),
+            EqFlavor::Builtin => {
+                Expr::Pred(Cond::Eq(Operand::path(a), Operand::path(b), EqMode::Mon))
+            }
             EqFlavor::Defined => defined_mon_eq(d, a, b),
         }
     }
@@ -203,11 +200,9 @@ impl<'m> NtmReduction<'m> {
     /// the configs from dotted paths `a` and `b`.
     fn config_eq(&self, a: &str, b: &str) -> Expr {
         match self.flavor {
-            EqFlavor::Builtin => Expr::Pred(Cond::Eq(
-                Operand::path(a),
-                Operand::path(b),
-                EqMode::Mon,
-            )),
+            EqFlavor::Builtin => {
+                Expr::Pred(Cond::Eq(Operand::path(a), Operand::path(b), EqMode::Mon))
+            }
             EqFlavor::Defined => {
                 let tapes = Expr::mk_tuple([
                     ("A", Expr::proj_path(&format!("{a}.t"))),
@@ -226,17 +221,12 @@ impl<'m> NtmReduction<'m> {
     /// Selection by an equality of two tape-valued paths at depth `d`.
     fn select_tape_eq(&self, d: u32, a: &str, b: &str) -> Expr {
         match self.flavor {
-            EqFlavor::Builtin => Expr::Select(Cond::Eq(
-                Operand::path(a),
-                Operand::path(b),
-                EqMode::Mon,
-            )),
+            EqFlavor::Builtin => {
+                Expr::Select(Cond::Eq(Operand::path(a), Operand::path(b), EqMode::Mon))
+            }
             EqFlavor::Defined => {
-                let gamma = Expr::mk_tuple([
-                    ("A", Expr::proj_path(a)),
-                    ("B", Expr::proj_path(b)),
-                ])
-                .then(defined_mon_eq(d, "A", "B"));
+                let gamma = Expr::mk_tuple([("A", Expr::proj_path(a)), ("B", Expr::proj_path(b))])
+                    .then(defined_mon_eq(d, "A", "B"));
                 sigma_gamma(gamma)
             }
         }
@@ -261,27 +251,23 @@ impl<'m> NtmReduction<'m> {
         }
         // Rule 1: second halves kept when first halves agree — σ12⊲34⊳ in
         // the paper keeps the *second* halves when w.1 = w′.1.
-        let rule1 = self
-            .select_tape_eq(d - 1, "w.1", "wp.1")
-            .then(
-                Expr::mk_tuple([
-                    ("s", Expr::proj("s")),
-                    ("w", Expr::proj_path("w.2")),
-                    ("wp", Expr::proj_path("wp.2")),
-                ])
-                .mapped(),
-            );
+        let rule1 = self.select_tape_eq(d - 1, "w.1", "wp.1").then(
+            Expr::mk_tuple([
+                ("s", Expr::proj("s")),
+                ("w", Expr::proj_path("w.2")),
+                ("wp", Expr::proj_path("wp.2")),
+            ])
+            .mapped(),
+        );
         // Rule 2: first halves kept when second halves agree.
-        let rule2 = self
-            .select_tape_eq(d - 1, "w.2", "wp.2")
-            .then(
-                Expr::mk_tuple([
-                    ("s", Expr::proj("s")),
-                    ("w", Expr::proj_path("w.1")),
-                    ("wp", Expr::proj_path("wp.1")),
-                ])
-                .mapped(),
-            );
+        let rule2 = self.select_tape_eq(d - 1, "w.2", "wp.2").then(
+            Expr::mk_tuple([
+                ("s", Expr::proj("s")),
+                ("w", Expr::proj_path("w.1")),
+                ("wp", Expr::proj_path("wp.1")),
+            ])
+            .mapped(),
+        );
         // Rule 3: middle window when outer quarters agree (needs d ≥ 2).
         let mid = |w: &str| {
             Expr::mk_tuple([
@@ -293,12 +279,8 @@ impl<'m> NtmReduction<'m> {
             .select_tape_eq(d - 2, "w.1.1", "wp.1.1")
             .then(self.select_tape_eq(d - 2, "w.2.2", "wp.2.2"))
             .then(
-                Expr::mk_tuple([
-                    ("s", Expr::proj("s")),
-                    ("w", mid("w")),
-                    ("wp", mid("wp")),
-                ])
-                .mapped(),
+                Expr::mk_tuple([("s", Expr::proj("s")), ("w", mid("w")), ("wp", mid("wp"))])
+                    .mapped(),
             );
         let _ = keep; // rules are written out explicitly above
         if d >= 2 {
@@ -327,9 +309,9 @@ impl<'m> NtmReduction<'m> {
         }
         // φ_marker: the window of the first tape contains the head.
         let marker = Cond::any(self.machine.alphabet.iter().flat_map(|s| {
-            ["w.1", "w.2"].into_iter().map(move |side| {
-                Cond::eq_atomic(Operand::path(side), Operand::atom(marked(s)))
-            })
+            ["w.1", "w.2"]
+                .into_iter()
+                .map(move |side| Cond::eq_atomic(Operand::path(side), Operand::atom(marked(s))))
         }));
         q.then(Expr::Select(marker))
     }
@@ -340,41 +322,39 @@ impl<'m> NtmReduction<'m> {
         let qp = plain(&self.machine.states[t.to]);
         let a = &self.machine.alphabet[t.read];
         let b = &self.machine.alphabet[t.write];
-        let state_cond = Cond::eq_atomic(Operand::path("s.1.q"), Operand::atom(q)).and(
-            Cond::eq_atomic(Operand::path("s.2.q"), Operand::atom(qp)),
-        );
-        let eq = |path: &str, atom: String| {
-            Cond::eq_atomic(Operand::path(path), Operand::atom(atom))
-        };
+        let state_cond = Cond::eq_atomic(Operand::path("s.1.q"), Operand::atom(q))
+            .and(Cond::eq_atomic(Operand::path("s.2.q"), Operand::atom(qp)));
+        let eq =
+            |path: &str, atom: String| Cond::eq_atomic(Operand::path(path), Operand::atom(atom));
         let window = match t.mv {
             // ⊲a⊳ s ⇝ b ⊲s⊳
             Move::Right => {
-                let carry = Cond::any(self.machine.alphabet.iter().map(|s| {
-                    eq("w.2", plain(s)).and(eq("wp.2", marked(s)))
-                }));
+                let carry = Cond::any(
+                    self.machine
+                        .alphabet
+                        .iter()
+                        .map(|s| eq("w.2", plain(s)).and(eq("wp.2", marked(s)))),
+                );
                 eq("w.1", marked(a)).and(eq("wp.1", plain(b))).and(carry)
             }
             // s ⊲a⊳ ⇝ ⊲s⊳ b
             Move::Left => {
-                let carry = Cond::any(self.machine.alphabet.iter().map(|s| {
-                    eq("w.1", plain(s)).and(eq("wp.1", marked(s)))
-                }));
+                let carry = Cond::any(
+                    self.machine
+                        .alphabet
+                        .iter()
+                        .map(|s| eq("w.1", plain(s)).and(eq("wp.1", marked(s)))),
+                );
                 eq("w.2", marked(a)).and(eq("wp.2", plain(b))).and(carry)
             }
             // ⊲a⊳ x ⇝ ⊲b⊳ x  or  x ⊲a⊳ ⇝ x ⊲b⊳
             Move::Stay => {
                 let left = eq("w.1", marked(a))
                     .and(eq("wp.1", marked(b)))
-                    .and(Cond::eq_atomic(
-                        Operand::path("w.2"),
-                        Operand::path("wp.2"),
-                    ));
+                    .and(Cond::eq_atomic(Operand::path("w.2"), Operand::path("wp.2")));
                 let right = eq("w.2", marked(a))
                     .and(eq("wp.2", marked(b)))
-                    .and(Cond::eq_atomic(
-                        Operand::path("w.1"),
-                        Operand::path("wp.1"),
-                    ));
+                    .and(Cond::eq_atomic(Operand::path("w.1"), Operand::path("wp.1")));
                 left.or(right)
             }
         };
@@ -389,15 +369,13 @@ impl<'m> NtmReduction<'m> {
                 .iter()
                 .map(|t| self.transition_cond(t)),
         );
-        self.witness_succ()
-            .then(Expr::Select(gammas))
-            .then(
-                Expr::mk_tuple([
-                    ("C", Expr::proj_path("s.1")),
-                    ("Cp", Expr::proj_path("s.2")),
-                ])
-                .mapped(),
-            )
+        self.witness_succ().then(Expr::Select(gammas)).then(
+            Expr::mk_tuple([
+                ("C", Expr::proj_path("s.1")),
+                ("Cp", Expr::proj_path("s.2")),
+            ])
+            .mapped(),
+        )
     }
 
     /// `ψ_K`: reachability in ≤ `2^K` steps by Savitch squaring. `ψ_0` is
@@ -410,25 +388,23 @@ impl<'m> NtmReduction<'m> {
             .then(Expr::mk_tuple([("C", Expr::Id), ("Cp", Expr::Id)]).mapped());
         let mut psi = self.succ().union(identity);
         for _ in 0..self.k {
-            psi = psi.then(product(Expr::Id, Expr::Id)).then(
-                match self.flavor {
+            psi = psi
+                .then(product(Expr::Id, Expr::Id))
+                .then(match self.flavor {
                     EqFlavor::Builtin => Expr::Select(Cond::Eq(
                         Operand::path("1.Cp"),
                         Operand::path("2.C"),
                         EqMode::Mon,
                     )),
-                    EqFlavor::Defined => {
-                        sigma_gamma(self.config_eq("1.Cp", "2.C"))
-                    }
-                },
-            )
-            .then(
-                Expr::mk_tuple([
-                    ("C", Expr::proj_path("1.C")),
-                    ("Cp", Expr::proj_path("2.Cp")),
-                ])
-                .mapped(),
-            );
+                    EqFlavor::Defined => sigma_gamma(self.config_eq("1.Cp", "2.C")),
+                })
+                .then(
+                    Expr::mk_tuple([
+                        ("C", Expr::proj_path("1.C")),
+                        ("Cp", Expr::proj_path("2.Cp")),
+                    ])
+                    .mapped(),
+                );
         }
         psi
     }
@@ -457,12 +433,8 @@ impl<'m> NtmReduction<'m> {
     /// Evaluates `φ_accept` (a Boolean query) under `budget`.
     pub fn run(&self, budget: cv_monad::Budget) -> Result<bool, cv_monad::EvalError> {
         let q = self.accept_query();
-        let (v, _) = cv_monad::eval_with(
-            &q,
-            cv_monad::CollectionKind::Set,
-            &Value::unit(),
-            budget,
-        )?;
+        let (v, _) =
+            cv_monad::eval_with(&q, cv_monad::CollectionKind::Set, &Value::unit(), budget)?;
         Ok(v.is_true())
     }
 }
@@ -478,15 +450,9 @@ pub fn defined_mon_eq(d: u32, a: &str, b: &str) -> Expr {
     }
     let phi = Expr::mk_tuple([("T", Expr::atom("1")), ("V", Expr::proj("1"))])
         .then(Expr::Sng)
-        .union(
-            Expr::mk_tuple([("T", Expr::atom("2")), ("V", Expr::proj("2"))])
-                .then(Expr::Sng),
-        );
-    let inner = Expr::mk_tuple([
-        ("A", Expr::proj_path("1.V")),
-        ("B", Expr::proj_path("2.V")),
-    ])
-    .then(defined_mon_eq(d - 1, "A", "B"));
+        .union(Expr::mk_tuple([("T", Expr::atom("2")), ("V", Expr::proj("2"))]).then(Expr::Sng));
+    let inner = Expr::mk_tuple([("A", Expr::proj_path("1.V")), ("B", Expr::proj_path("2.V"))])
+        .then(defined_mon_eq(d - 1, "A", "B"));
     product(Expr::proj(a).then(phi.clone()), Expr::proj(b).then(phi))
         .then(Expr::Select(Cond::eq_atomic(
             Operand::path("1.T"),
@@ -541,10 +507,7 @@ mod tests {
         let v = eval(&r.start_config(), CollectionKind::Set, &unit()).unwrap();
         let tape = v.project("t").unwrap();
         // Depth-2 tape: ⟨1: ⟨1: H_1, 2: #⟩, 2: ⟨1: #, 2: #⟩⟩
-        assert_eq!(
-            tape.to_string(),
-            "<1: <1: H_1, 2: #>, 2: <1: #, 2: #>>"
-        );
+        assert_eq!(tape.to_string(), "<1: <1: H_1, 2: #>, 2: <1: #, 2: #>>");
         assert_eq!(v.project("q").unwrap(), &Value::atom("q0"));
     }
 

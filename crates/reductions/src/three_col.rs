@@ -172,18 +172,8 @@ mod tests {
 
     #[test]
     fn query_size_is_linear_in_graph_size() {
-        let small = three_col_query(&random_graph(
-            &mut cv_xtree::TreeGen::new(1),
-            4,
-            4,
-        ))
-        .size();
-        let big = three_col_query(&random_graph(
-            &mut cv_xtree::TreeGen::new(1),
-            12,
-            12,
-        ))
-        .size();
+        let small = three_col_query(&random_graph(&mut cv_xtree::TreeGen::new(1), 4, 4)).size();
+        let big = three_col_query(&random_graph(&mut cv_xtree::TreeGen::new(1), 12, 12)).size();
         assert!(big < 10 * small);
     }
 }

@@ -142,8 +142,10 @@ pub fn eval_ra(ra: &Ra, db: &Database) -> Result<Relation, RaError> {
         Ra::SelectEq(e, a, b) => {
             let r = eval_ra(e, db)?;
             let (ia, ib) = (
-                r.col(a).ok_or_else(|| RaError::NoSuchAttribute(a.clone()))?,
-                r.col(b).ok_or_else(|| RaError::NoSuchAttribute(b.clone()))?,
+                r.col(a)
+                    .ok_or_else(|| RaError::NoSuchAttribute(a.clone()))?,
+                r.col(b)
+                    .ok_or_else(|| RaError::NoSuchAttribute(b.clone()))?,
             );
             Ok(Relation {
                 schema: r.schema.clone(),
@@ -152,7 +154,9 @@ pub fn eval_ra(ra: &Ra, db: &Database) -> Result<Relation, RaError> {
         }
         Ra::SelectConst(e, a, c) => {
             let r = eval_ra(e, db)?;
-            let ia = r.col(a).ok_or_else(|| RaError::NoSuchAttribute(a.clone()))?;
+            let ia = r
+                .col(a)
+                .ok_or_else(|| RaError::NoSuchAttribute(a.clone()))?;
             Ok(Relation {
                 schema: r.schema.clone(),
                 rows: r.rows.iter().filter(|t| &t[ia] == c).cloned().collect(),
@@ -386,11 +390,8 @@ pub fn v_tau(ty: &cv_value::Type) -> Expr {
                             Operand::path("Rows.1"),
                         )))
                         .then(
-                            lookup_in(
-                                Expr::proj("D").then(velem),
-                                Expr::proj_path("Rows.2"),
-                            )
-                            .mapped(),
+                            lookup_in(Expr::proj("D").then(velem), Expr::proj_path("Rows.2"))
+                                .mapped(),
                         )
                         .then(Expr::Flatten)
                         .then(Expr::Sng),
@@ -412,9 +413,7 @@ fn product_of(a: Expr, b: Expr, n1: &str, n2: &str) -> Expr {
     Expr::mk_tuple([("L", a), ("R", b)])
         .then(Expr::pairwith("L"))
         .then(Expr::flatmap(Expr::pairwith("R")))
-        .then(
-            Expr::mk_tuple([(n1, Expr::proj("L")), (n2, Expr::proj("R"))]).mapped(),
-        )
+        .then(Expr::mk_tuple([(n1, Expr::proj("L")), (n2, Expr::proj("R"))]).mapped())
 }
 
 /// `V′ := V_τ ∘ σ_{1 = root} ∘ map(π2) ∘ flatten` — recovers `{v}` from
@@ -461,8 +460,7 @@ mod tests {
             Ra::SelectEq(
                 Ra::Product(
                     Ra::Base("R".into()).into(),
-                    Ra::Rename(Ra::Base("S".into()).into(), vec![("C".into(), "B2".into())])
-                        .into(),
+                    Ra::Rename(Ra::Base("S".into()).into(), vec![("C".into(), "B2".into())]).into(),
                 )
                 .into(),
                 "B".into(),
@@ -472,16 +470,16 @@ mod tests {
             vec!["A".into()],
         );
         let r = eval_ra(&q, &db).unwrap();
-        assert_eq!(
-            r,
-            Relation::new(["A"], [vec![a("1")], vec![a("2")]])
-        );
+        assert_eq!(r, Relation::new(["A"], [vec![a("1")], vec![a("2")]]));
     }
 
     #[test]
     fn ra_union_difference_and_errors() {
         let mut db = Database::new();
-        db.insert("R".into(), Relation::new(["A"], [vec![a("1")], vec![a("2")]]));
+        db.insert(
+            "R".into(),
+            Relation::new(["A"], [vec![a("1")], vec![a("2")]]),
+        );
         db.insert("S".into(), Relation::new(["A"], [vec![a("2")]]));
         let u = eval_ra(
             &Ra::Union(Ra::Base("R".into()).into(), Ra::Base("S".into()).into()),
@@ -534,10 +532,7 @@ mod tests {
     #[test]
     fn figure_11_v_tau_recovers_the_value() {
         let ty = parse_type("{<A: Dom, B: Dom>}").unwrap();
-        for src in [
-            "{<A: x, B: y>, <A: u, B: w>}",
-            "{<A: x, B: x>}",
-        ] {
+        for src in ["{<A: x, B: y>, <A: u, B: w>}", "{<A: x, B: x>}"] {
             let v = parse_value(src).unwrap();
             let (flat, root) = flat_value(&v);
             let q = v_prime(&ty, root);
@@ -593,8 +588,7 @@ mod tests {
         db.insert("S".into(), s.clone());
         let ra = Ra::Project(
             Ra::SelectEq(
-                Ra::Product(Ra::Base("R".into()).into(), Ra::Base("S".into()).into())
-                    .into(),
+                Ra::Product(Ra::Base("R".into()).into(), Ra::Base("S".into()).into()).into(),
                 "B".into(),
                 "C".into(),
             )
@@ -603,17 +597,14 @@ mod tests {
         );
         let want = eval_ra(&ra, &db).unwrap();
 
-        let ma = Expr::mk_tuple([
-            ("R", Expr::proj("R")),
-            ("S", Expr::proj("S")),
-        ])
-        .then(Expr::pairwith("R"))
-        .then(Expr::flatmap(Expr::pairwith("S")))
-        .then(Expr::Select(Cond::eq_atomic(
-            Operand::path("R.B"),
-            Operand::path("S.C"),
-        )))
-        .then(Expr::mk_tuple([("A", Expr::proj_path("R.A"))]).mapped());
+        let ma = Expr::mk_tuple([("R", Expr::proj("R")), ("S", Expr::proj("S"))])
+            .then(Expr::pairwith("R"))
+            .then(Expr::flatmap(Expr::pairwith("S")))
+            .then(Expr::Select(Cond::eq_atomic(
+                Operand::path("R.B"),
+                Operand::path("S.C"),
+            )))
+            .then(Expr::mk_tuple([("A", Expr::proj_path("R.A"))]).mapped());
         let input = Value::tuple([("R", r.to_value()), ("S", s.to_value())]);
         let got = eval(&ma, CollectionKind::Set, &input).unwrap();
         assert_eq!(Relation::from_value(&got), Some(want));

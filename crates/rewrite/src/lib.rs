@@ -104,21 +104,13 @@ impl Rewriter {
 
     /// Renames binder `v` (which would capture a free variable of the
     /// replacement) to a fresh variable throughout `body`.
-    fn rename_binder(
-        &mut self,
-        v: &Var,
-        body: &Query,
-    ) -> Result<(Var, Query), RewriteError> {
+    fn rename_binder(&mut self, v: &Var, body: &Query) -> Result<(Var, Query), RewriteError> {
         let fresh = self.fresh_var();
         let renamed = self.subst_q(body, v, &Query::Var(fresh.clone()))?;
         Ok((fresh, renamed))
     }
 
-    fn rename_binder_cond(
-        &mut self,
-        v: &Var,
-        body: &Cond,
-    ) -> Result<(Var, Cond), RewriteError> {
+    fn rename_binder_cond(&mut self, v: &Var, body: &Cond) -> Result<(Var, Cond), RewriteError> {
         let fresh = self.fresh_var();
         let renamed = self.subst_c(body, v, &Query::Var(fresh.clone()))?;
         Ok((fresh, renamed))
@@ -138,9 +130,7 @@ impl Rewriter {
                 Rc::new(self.subst_q(a, x, r)?),
                 Rc::new(self.subst_q(b, x, r)?),
             ),
-            Query::Step(base, ax, nt) => {
-                Query::step(self.subst_q(base, x, r)?, *ax, nt.clone())
-            }
+            Query::Step(base, ax, nt) => Query::step(self.subst_q(base, x, r)?, *ax, nt.clone()),
             Query::For(v, s, b) | Query::Let(v, s, b) => {
                 let is_let = matches!(q, Query::Let(_, _, _));
                 let s = self.subst_q(s, x, r)?;
@@ -161,10 +151,7 @@ impl Rewriter {
                     Query::for_in(v, s, b)
                 }
             }
-            Query::If(c, b) => Query::if_then(
-                self.subst_c(c, x, r)?,
-                self.subst_q(b, x, r)?,
-            ),
+            Query::If(c, b) => Query::if_then(self.subst_c(c, x, r)?, self.subst_q(b, x, r)?),
         })
     }
 
@@ -189,9 +176,7 @@ impl Rewriter {
                         self.trace.log("subst-eq", c);
                         let is_leaf = matches!(**body, Query::Empty);
                         if *mode == EqMode::Deep && !is_leaf {
-                            return Err(RewriteError::DeepEqualityOnConstruction(
-                                c.to_string(),
-                            ));
+                            return Err(RewriteError::DeepEqualityOnConstruction(c.to_string()));
                         }
                         if a_hit && b_hit {
                             // ⟨a⟩α⟨/a⟩ = ⟨a⟩α⟨/a⟩ is vacuously true.
@@ -264,10 +249,7 @@ impl Rewriter {
         Ok(match q {
             Query::Empty | Query::Var(_) => q.clone(),
             Query::Elem(a, b) => Query::elem(a.clone(), self.elim(b)?),
-            Query::Seq(a, b) => Query::Seq(
-                Rc::new(self.elim(a)?),
-                Rc::new(self.elim(b)?),
-            ),
+            Query::Seq(a, b) => Query::Seq(Rc::new(self.elim(a)?), Rc::new(self.elim(b)?)),
             Query::Step(base, ax, nt) => {
                 let base = self.elim(base)?;
                 self.push_step(base, *ax, nt)?
@@ -376,16 +358,10 @@ impl Rewriter {
                     (Axis::SelfAxis, NodeTest::Tag(b)) if b != a => Query::Empty,
                     (Axis::SelfAxis, _) => base.clone(),
                     // (⟨a⟩α⟨/a⟩)//ν ⊢ α/dos::ν
-                    (Axis::Descendant, nt) => {
-                        self.push_step(alpha, Axis::DescendantOrSelf, nt)?
-                    }
+                    (Axis::Descendant, nt) => self.push_step(alpha, Axis::DescendantOrSelf, nt)?,
                     // dos: keep self if the tag matches, then recurse
                     (Axis::DescendantOrSelf, nt) => {
-                        let below = self.push_step(
-                            alpha,
-                            Axis::DescendantOrSelf,
-                            nt,
-                        )?;
+                        let below = self.push_step(alpha, Axis::DescendantOrSelf, nt)?;
                         let keep_self = match nt {
                             NodeTest::Wildcard => true,
                             NodeTest::Tag(b) => b == a,
@@ -423,7 +399,8 @@ impl Rewriter {
             }
             // (3) for $x in (α β) return γ ⊢ (for…α…γ) (for…β…γ)
             Query::Seq(a, b) => {
-                self.trace.log("Fig.9(3)", &Query::Seq(a.clone(), b.clone()));
+                self.trace
+                    .log("Fig.9(3)", &Query::Seq(a.clone(), b.clone()));
                 let left = self.push_for(x, (*a).clone(), body.clone())?;
                 let right = self.push_for(x, (*b).clone(), body)?;
                 Query::Seq(Rc::new(left), Rc::new(right))
@@ -469,10 +446,7 @@ impl Rewriter {
 /// the result and the rule trace. `max_size` bounds the intermediate query
 /// size (the blowup is exponential in the worst case — Theorem 7.9's
 /// succinctness statement).
-pub fn eliminate_composition(
-    q: &Query,
-    max_size: u64,
-) -> Result<(Query, Trace), RewriteError> {
+pub fn eliminate_composition(q: &Query, max_size: u64) -> Result<(Query, Trace), RewriteError> {
     let mut rw = Rewriter {
         fresh: 0,
         trace: Trace::default(),
@@ -514,8 +488,7 @@ mod tests {
         // for $y in $x/b return $y/*       ⊢*    for $w in $root/* return $w
         let src = "let $x := <a>{ for $w in $root/* return <b>{$w}</b> }</a> \
                    return for $y in $x/b return $y/*";
-        let (_, out, trace) =
-            check_equivalent(src, &["<r><p><q/></p><s/></r>", "<r/>"]);
+        let (_, out, trace) = check_equivalent(src, &["<r><p><q/></p><s/></r>", "<r/>"]);
         assert_eq!(
             out,
             parse_query("for $w in $root/* return $w").unwrap(),
@@ -538,10 +511,7 @@ mod tests {
                    <b>{$w}</b> }</a> return for $y in $x/b return $y/* }</books>";
         let (_, out, _) = check_equivalent(
             src,
-            &[
-                "<bib><book><t1/></book><book><t2/></book></bib>",
-                "<bib/>",
-            ],
+            &["<bib><book><t1/></book><book><t2/></book></bib>", "<bib/>"],
         );
         // Equivalent to ⟨books⟩{for $w in $root/book return $w}⟨/books⟩.
         assert_eq!(
@@ -553,10 +523,7 @@ mod tests {
     #[test]
     fn for_over_for_uses_rule_4() {
         let src = "for $y in (for $w in $root/b return <b>{$w}</b>) return $y/*";
-        let (_, out, trace) = check_equivalent(
-            src,
-            &["<r><b><x/></b><b><y/></b></r>", "<r/>"],
-        );
+        let (_, out, trace) = check_equivalent(src, &["<r><b><x/></b><b><y/></b></r>", "<r/>"]);
         assert!(trace.rules().contains(&"Fig.9(4)"));
         assert_eq!(out, parse_query("for $w in $root/b return $w").unwrap());
     }

@@ -157,7 +157,10 @@ struct XCursor<'q> {
 enum Kind<'q> {
     Done,
     /// Raw token slice (the input or a subtree of it).
-    Slice { tokens: Rc<[Token]>, pos: usize },
+    Slice {
+        tokens: Rc<[Token]>,
+        pos: usize,
+    },
     /// `⟨a⟩ body ⟨/a⟩`.
     Elem {
         tag: Label,
@@ -278,9 +281,7 @@ impl<'q> XCursor<'q> {
 
     fn of_binding(b: Binding<'q>, shared: &Shared) -> Result<XCursor<'q>, StreamError> {
         match b {
-            Binding::Input(tokens) => {
-                Ok(XCursor::new(Kind::Slice { tokens, pos: 0 }, shared))
-            }
+            Binding::Input(tokens) => Ok(XCursor::new(Kind::Slice { tokens, pos: 0 }, shared)),
             Binding::Lazy { expr, env, index } => {
                 shared.recompute();
                 let inner = XCursor::of_query(expr, &env, shared)?;
@@ -567,11 +568,7 @@ fn first_label(b: Binding<'_>, shared: &Shared) -> Result<Option<Label>, StreamE
     }
 }
 
-fn streams_equal<'q>(
-    a: Binding<'q>,
-    b: Binding<'q>,
-    shared: &Shared,
-) -> Result<bool, StreamError> {
+fn streams_equal<'q>(a: Binding<'q>, b: Binding<'q>, shared: &Shared) -> Result<bool, StreamError> {
     let mut ca = XCursor::of_binding(a, shared)?;
     let mut cb = XCursor::of_binding(b, shared)?;
     loop {
@@ -714,8 +711,8 @@ mod tests {
     fn agree(src: &str, doc: &str) -> StreamStats {
         let q = parse_query(src).unwrap();
         let t = parse_tree(doc).unwrap();
-        let (got, stats) = stream_query(&q, &t, FUEL)
-            .unwrap_or_else(|e| panic!("stream failed for {src}: {e}"));
+        let (got, stats) =
+            stream_query(&q, &t, FUEL).unwrap_or_else(|e| panic!("stream failed for {src}: {e}"));
         let want: Vec<Token> = xq_core::eval_query(&q, &t)
             .unwrap()
             .iter()

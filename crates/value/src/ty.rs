@@ -244,7 +244,10 @@ mod tests {
 
     #[test]
     fn display_round_trips_through_text() {
-        let t = Type::set(Type::tuple([("A", Type::Dom), ("B", Type::list(Type::Dom))]));
+        let t = Type::set(Type::tuple([
+            ("A", Type::Dom),
+            ("B", Type::list(Type::Dom)),
+        ]));
         assert_eq!(t.to_string(), "{<A: Dom, B: [Dom]>}");
     }
 

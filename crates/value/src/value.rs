@@ -226,9 +226,8 @@ impl Value {
                 }
                 Ok(true)
             }
-            (ValueKind::Atom(_), ValueKind::Tuple(_)) | (ValueKind::Tuple(_), ValueKind::Atom(_)) => {
-                Ok(false)
-            }
+            (ValueKind::Atom(_), ValueKind::Tuple(_))
+            | (ValueKind::Tuple(_), ValueKind::Atom(_)) => Ok(false),
             _ => Err(ValueError::NotMonotoneComparable(self.to_string())),
         }
     }
@@ -262,9 +261,7 @@ impl Value {
     pub fn depth(&self) -> u64 {
         match self.kind() {
             ValueKind::Atom(_) => 1,
-            ValueKind::Tuple(fs) => {
-                1 + fs.iter().map(|(_, v)| v.depth()).max().unwrap_or(0)
-            }
+            ValueKind::Tuple(fs) => 1 + fs.iter().map(|(_, v)| v.depth()).max().unwrap_or(0),
             ValueKind::Set(v) | ValueKind::List(v) | ValueKind::Bag(v) => {
                 1 + v.iter().map(Value::depth).max().unwrap_or(0)
             }

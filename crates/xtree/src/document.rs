@@ -114,7 +114,10 @@ impl Document {
                 );
             }
             Axis::Descendant => {
-                out.extend(self.descendants(id).filter(|&c| test.matches(self.label(c))));
+                out.extend(
+                    self.descendants(id)
+                        .filter(|&c| test.matches(self.label(c))),
+                );
             }
             Axis::SelfAxis => {
                 if test.matches(self.label(id)) {
@@ -125,7 +128,10 @@ impl Document {
                 if test.matches(self.label(id)) {
                     out.push(id);
                 }
-                out.extend(self.descendants(id).filter(|&c| test.matches(self.label(c))));
+                out.extend(
+                    self.descendants(id)
+                        .filter(|&c| test.matches(self.label(c))),
+                );
             }
         }
         out
@@ -228,7 +234,10 @@ mod tests {
             vec![NodeId(1), NodeId(4), NodeId(6)]
         );
         assert_eq!(d.axis(NodeId(1), Axis::SelfAxis, &a), vec![NodeId(1)]);
-        assert_eq!(d.axis(NodeId(1), Axis::SelfAxis, &NodeTest::tag("z")), vec![]);
+        assert_eq!(
+            d.axis(NodeId(1), Axis::SelfAxis, &NodeTest::tag("z")),
+            vec![]
+        );
         assert_eq!(
             d.axis(NodeId(5), Axis::DescendantOrSelf, &NodeTest::Wildcard),
             vec![NodeId(5), NodeId(6), NodeId(7)]

@@ -60,8 +60,9 @@ pub fn random_tree(gen: &mut TreeGen, size: usize, labels: &[&str]) -> Tree {
         let window = 8.min(i);
         *p = i - 1 - gen.below(window);
     }
-    let node_labels: Vec<Label> =
-        (0..size).map(|_| Label::from(*gen.choose(labels))).collect();
+    let node_labels: Vec<Label> = (0..size)
+        .map(|_| Label::from(*gen.choose(labels)))
+        .collect();
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); size];
     for (i, &p) in parents.iter().enumerate().skip(1) {
         children[p].push(i);

@@ -208,10 +208,7 @@ impl Tree {
                     if &frame.label != l {
                         return Err(crate::XmlError {
                             offset: i,
-                            message: format!(
-                                "mismatched tags: <{}> closed by </{l}>",
-                                frame.label
-                            ),
+                            message: format!("mismatched tags: <{}> closed by </{l}>", frame.label),
                         });
                     }
                     let t = Tree::node(frame.label, frame.children);

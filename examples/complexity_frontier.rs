@@ -3,18 +3,19 @@
 //! (Prop 7.4), and the streaming evaluator that keeps space singly
 //! exponential (Thm 4.5).
 
-use xq_complexity::monad::Budget;
-use xq_complexity::reductions::{
-    self as red, measure_blowup, EqFlavor, NtmReduction,
-};
-use xq_complexity::stream::stream_query;
 use xq_complexity::core::parse_query;
+use xq_complexity::monad::Budget;
+use xq_complexity::reductions::{self as red, measure_blowup, EqFlavor, NtmReduction};
+use xq_complexity::stream::stream_query;
 
 fn main() {
     println!("Prop 4.2 — values of size 2^(2^m) from queries of size O(m):");
     for m in 0..=4usize {
         let p = measure_blowup(m, Budget::large()).unwrap();
-        println!("  m={m}: |Q|={}, |result|={} members", p.query_size, p.cardinality);
+        println!(
+            "  m={m}: |Q|={}, |result|={} members",
+            p.query_size, p.cardinality
+        );
     }
 
     println!("\nThm 5.6 — machine acceptance as a monad algebra query (K=1):");
@@ -37,7 +38,10 @@ fn main() {
         ),
     };
     let q = red::qbf_query(&f);
-    println!("  ∀x∃y(¬x ∨ y) → {}", xq_complexity::core::boolean_result(&q, &red::qbf_tree()).unwrap());
+    println!(
+        "  ∀x∃y(¬x ∨ y) → {}",
+        xq_complexity::core::boolean_result(&q, &red::qbf_tree()).unwrap()
+    );
 
     println!("\nThm 4.5 — streaming keeps live state small while output doubles:");
     let t = xq_complexity::xtree::parse_tree("<r/>").unwrap();

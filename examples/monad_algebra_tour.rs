@@ -2,9 +2,9 @@
 //! interpreted over sets, lists, and bags, the derived operations of
 //! Theorem 2.2, and the translation to Core XQuery (Figure 3).
 
-use xq_complexity::monad::{derived, eval, Cond, CollectionKind, Expr, Operand, typecheck};
-use xq_complexity::value::{parse_type, parse_value};
 use xq_complexity::core::{xq_of_ma, Var};
+use xq_complexity::monad::{derived, eval, typecheck, CollectionKind, Cond, Expr, Operand};
+use xq_complexity::value::{parse_type, parse_value};
 
 fn main() {
     // The Cartesian product of Example 2.1: f × g.
@@ -37,9 +37,8 @@ fn main() {
     );
 
     // Figure 3: compile a monad algebra query to Core XQuery.
-    let f = Expr::pairwith("A").then(
-        Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B"))).mapped(),
-    );
+    let f = Expr::pairwith("A")
+        .then(Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B"))).mapped());
     let ty = parse_type("<A: [Dom], B: Dom>").unwrap();
     let q = xq_of_ma(&f, &ty, &Var::new("x")).unwrap();
     println!("\nFigure 3 translation of  {f}\n  into XQuery:\n{q}");

@@ -6,7 +6,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use xq_complexity::core::{eval_query, parse_query, Features, is_composition_free};
+use xq_complexity::core::{eval_query, is_composition_free, parse_query, Features};
 use xq_complexity::xtree::parse_tree;
 
 fn main() {

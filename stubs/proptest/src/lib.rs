@@ -1,0 +1,166 @@
+//! Offline stub of [proptest](https://docs.rs/proptest) — see `stubs/README.md`.
+//!
+//! Implements the API subset this workspace uses: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`/`prop_recursive`/
+//! `boxed`, [`prop_oneof!`], `prop::collection::vec`, integer-range and tuple
+//! strategies, `any::<T>()`, and the `prop_assert*`/`prop_assume!` macros.
+//! Generation is deterministic per test (seeded from the test name, with an
+//! optional `PROPTEST_SEED` environment override); there is no shrinking.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a test file needs, mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (not panicking directly) so the runner can report it with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `{}` + concat! rather than passing stringify! as the format string:
+        // the condition text may itself contain braces.
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n  {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+}
+
+/// Discards the current case (counted as a rejection, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Union of strategies, optionally weighted: `prop_oneof![a, b]` or
+/// `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::WeightedUnion::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body on `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut ran: u32 = 0;
+            let mut attempts: u32 = 0;
+            while ran < config.cases {
+                attempts += 1;
+                if attempts > config.cases * 64 {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} accepted of {} attempts)",
+                        stringify!($name), ran, attempts
+                    );
+                }
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => ran += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed (case {} of {}, seed {}):\n{}",
+                            stringify!($name), ran, config.cases, rng.seed(), msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,96 @@
+//! Test configuration, the per-test RNG, and case outcomes.
+
+/// Configuration for a `proptest!` block. Only `cases` is supported.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; the stub keeps CI fast while
+        // still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; the runner draws another.
+    Reject(String),
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic xorshift64* RNG, seeded from the test name so every test
+/// gets an independent but reproducible stream. Set `PROPTEST_SEED` to an
+/// integer to override the seed for all tests (e.g. to probe other regions
+/// of the input space).
+pub struct TestRng {
+    seed: u64,
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse::<u64>().unwrap_or_else(|_| Self::hash(name)),
+            Err(_) => Self::hash(name),
+        };
+        TestRng {
+            seed,
+            state: seed | 1,
+        }
+    }
+
+    fn hash(name: &str) -> u64 {
+        // FNV-1a, good enough to decorrelate test names.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// The seed this RNG started from (reported on failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* — fast, full-period, plenty for test generation.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is irrelevant at test-generation scale.
+        self.next_u64() % n
+    }
+}

@@ -125,8 +125,7 @@ fn rewriter_preserves_semantics_on_compositional_queries() {
     for doc in fleet_docs() {
         for src in COMPOSITIONAL {
             let q = parse_query(src).unwrap();
-            let (out, _) =
-                xq_complexity::rewrite::eliminate_composition(&q, 10_000_000).unwrap();
+            let (out, _) = xq_complexity::rewrite::eliminate_composition(&q, 10_000_000).unwrap();
             assert!(xq_complexity::core::is_xq_tilde(&out), "{out}");
             assert_eq!(
                 core::eval_query(&out, &doc).unwrap(),

@@ -32,7 +32,9 @@ fn figure_6_proof_tree_shape() {
     // Fig 6's proof: branching ≤ 2, ops flatten/map/pairwith/=atomic/const.
     assert!(stats.max_branching <= 2);
     let r = proof.render();
-    for op in ["flatten", "map_e", "map_b", "=atomic", "pairwith", "const", "premise"] {
+    for op in [
+        "flatten", "map_e", "map_b", "=atomic", "pairwith", "const", "premise",
+    ] {
         assert!(r.contains(op), "missing {op} in:\n{r}");
     }
     // All premises are the input axiom {1.⟨⟩}.

@@ -2,11 +2,11 @@
 //! headline invariants.
 
 use proptest::prelude::*;
+use xq_complexity::core::{c_tree, c_tree_inverse, t_value, t_value_inverse};
 use xq_complexity::monad::{eval, CollectionKind, Expr};
 use xq_complexity::paths::{decode, value_paths};
 use xq_complexity::value::{parse_value, Type, Value};
 use xq_complexity::xtree::{Token, Tree};
-use xq_complexity::core::{c_tree, c_tree_inverse, t_value, t_value_inverse};
 
 // ---- generators ----------------------------------------------------------
 
