@@ -1,18 +1,10 @@
 //! E11 (Thm 2.2): derived operations vs built-ins.
 use criterion::{criterion_group, criterion_main, Criterion};
-use cv_monad::derived::derived_diff;
-use cv_monad::{eval, CollectionKind, Expr};
-use cv_value::Value;
+use cv_monad::{eval, CollectionKind};
+use xq_bench::diff_workload;
 
 fn bench(c: &mut Criterion) {
-    let r: Vec<Value> = (0..60).map(|i| Value::atom(format!("r{i}"))).collect();
-    let s: Vec<Value> = (0..60)
-        .filter(|i| i % 2 == 0)
-        .map(|i| Value::atom(format!("r{i}")))
-        .collect();
-    let input = Value::tuple([("R", Value::set(r)), ("S", Value::set(s))]);
-    let builtin = Expr::Diff(Expr::proj("R").into(), Expr::proj("S").into());
-    let derived = derived_diff();
+    let (derived, builtin, input) = diff_workload();
     let mut g = c.benchmark_group("derived_ops");
     g.sample_size(20);
     g.bench_function("difference_builtin", |b| {

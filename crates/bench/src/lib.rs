@@ -62,6 +62,24 @@ pub fn doubling_query(n: usize) -> Query {
     parse_query(&q).expect("static query parses")
 }
 
+/// The T11/T14/`opt_vs_naive` derived-difference workload: the Example 2.4
+/// construction, its built-in counterpart, and a `⟨R, S⟩` input with
+/// |R| = 60, |S| = 30 (every second member shared). Returns
+/// `(derived, builtin, input)`.
+pub fn diff_workload() -> (cv_monad::Expr, cv_monad::Expr, cv_value::Value) {
+    use cv_monad::Expr;
+    use cv_value::Value;
+    let r: Vec<Value> = (0..60).map(|i| Value::atom(format!("r{i}"))).collect();
+    let s: Vec<Value> = (0..60)
+        .filter(|i| i % 2 == 0)
+        .map(|i| Value::atom(format!("r{i}")))
+        .collect();
+    let input = Value::tuple([("R", Value::set(r)), ("S", Value::set(s))]);
+    let derived = cv_monad::derived::derived_diff();
+    let builtin = Expr::Diff(Expr::proj("R").into(), Expr::proj("S").into());
+    (derived, builtin, input)
+}
+
 /// The `let`-chain family for the composition-elimination blowup (E10).
 pub fn let_chain_query(depth: usize) -> Query {
     let mut bindings = String::from("let $x0 := <a>{ $root/* }</a> return ");

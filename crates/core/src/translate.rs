@@ -268,8 +268,27 @@ fn ma_cond(c: &XCond) -> Result<Expr, TranslateError> {
     }
 }
 
+/// [`ma_query`] followed by the `cv_monad::opt` normalization pass — the
+/// plan handed to engines when optimization is requested. Returns the
+/// rewritten expression together with the rule [`cv_monad::Trace`].
+///
+/// The Figure 2 output is full of optimizer fodder: every `for`/`if`
+/// builds `⟨1: id, 2: …⟩ ∘ pairwith_2 ∘ flatmap(…)` scaffolding whose
+/// compositions the pass flattens, and any derived Theorem 2.2
+/// constructions spliced in by callers collapse to built-ins.
+pub fn ma_query_optimized(q: &Query) -> Result<(Expr, cv_monad::Trace), TranslateError> {
+    let expr = ma_query(q)?;
+    Ok(cv_monad::opt::optimize(
+        &expr,
+        cv_monad::CollectionKind::List,
+    ))
+}
+
 /// Convenience: checks the Lemma 3.2 invariant on a concrete input —
-/// evaluates both sides and compares. Used heavily in tests and benches.
+/// evaluates both sides and compares. Also evaluates the
+/// [`ma_query_optimized`] plan, so every call differentially tests the
+/// optimizer pass against the naive translation. Used heavily in tests
+/// and benches.
 pub fn ma_invariant_holds(q: &Query, t: &Tree) -> Result<bool, String> {
     let expr = ma_query(q).map_err(|e| e.to_string())?;
     let xq_result = match eval_with(q, &Env::with_root(t.clone()), Budget::default()) {
@@ -280,7 +299,10 @@ pub fn ma_invariant_holds(q: &Query, t: &Tree) -> Result<bool, String> {
     let env_val = ma_env(&[(Var::root(), t.clone())]);
     let ma_result = cv_monad::eval(&expr, cv_monad::CollectionKind::List, &env_val)
         .map_err(|e| e.to_string())?;
-    Ok(c_forest(&xq_result) == ma_result)
+    let (opt_expr, _) = cv_monad::opt::optimize(&expr, cv_monad::CollectionKind::List);
+    let opt_result = cv_monad::eval(&opt_expr, cv_monad::CollectionKind::List, &env_val)
+        .map_err(|e| format!("optimized plan failed: {e}"))?;
+    Ok(c_forest(&xq_result) == ma_result && ma_result == opt_result)
 }
 
 // ---------------------------------------------------------------------------
@@ -718,6 +740,31 @@ mod tests {
                 // select) — the two lemmas each hold in their own direction.
             }
             Err(e) => panic!("unexpected translation error: {e}"),
+        }
+    }
+
+    #[test]
+    fn optimized_translation_agrees_and_never_grows() {
+        let doc = tree("<r><a><b/><b/></a><a><c/></a><b/></r>");
+        for src in [
+            "$root/a",
+            "for $x in $root/a return <w>{ $x/b }</w>",
+            "if ($root/a) then <yes/>",
+            "for $x in $root/* return if ($x = $x) then <hit/>",
+            "if (not($root/zzz)) then <empty/>",
+        ] {
+            let q = parse_query(src).unwrap();
+            let naive = ma_query(&q).unwrap();
+            let (opt, _) = ma_query_optimized(&q).unwrap();
+            assert!(
+                opt.size() <= naive.size(),
+                "{src}: optimized {} vs naive {}",
+                opt.size(),
+                naive.size()
+            );
+            // ma_invariant_holds evaluates the naive and optimized plans
+            // and the reference semantics, and compares all three.
+            assert!(ma_invariant_holds(&q, &doc).unwrap(), "{src}");
         }
     }
 

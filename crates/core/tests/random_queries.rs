@@ -98,17 +98,32 @@ fn eq_mode() -> impl Strategy<Value = EqMode> {
     prop_oneof![Just(EqMode::Deep), Just(EqMode::Atomic)]
 }
 
+/// The shared document corpus, built once per test thread and reused
+/// across every generated case (it was rebuilt per case before — the
+/// dominant cost of this suite, see ROADMAP "Slow suite"). `Tree` is
+/// `Rc`-based, so the returned clone is three pointer bumps.
 fn docs() -> Vec<Tree> {
-    let mut out = Vec::new();
-    for seed in 0..3u64 {
-        let mut g = TreeGen::new(seed);
-        out.push(random_tree(&mut g, 10, &["a", "b", "k"]));
+    thread_local! {
+        static DOCS: Vec<Tree> = (0..3u64)
+            .map(|seed| {
+                let mut g = TreeGen::new(seed);
+                random_tree(&mut g, 10, &["a", "b", "k"])
+            })
+            .collect();
     }
-    out
+    DOCS.with(|d| d.clone())
+}
+
+/// Cases per property: `XQ_RANDOM_CASES` if set (CI uses 16), else 64.
+fn cases() -> u32 {
+    std::env::var("XQ_RANDOM_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
 
     /// Prop 7.1 round trip: XQ∼ → XQ⁻ → XQ∼, all three equivalent.
     #[test]
@@ -118,15 +133,15 @@ proptest! {
         prop_assert!(is_composition_free(&minus), "not XQ⁻: {}", minus);
         let back = to_xq_tilde(&minus);
         prop_assert!(is_xq_tilde(&back), "not XQ∼: {}", back);
-        for doc in docs() {
-            let want = boolean_result(&q, &doc).unwrap();
+        for doc in &docs() {
+            let want = boolean_result(&q, doc).unwrap();
             prop_assert_eq!(
-                boolean_result(&minus, &doc).unwrap(),
+                boolean_result(&minus, doc).unwrap(),
                 want,
                 "XQ⁻ of {} on {}", q, doc
             );
             prop_assert_eq!(
-                boolean_result(&back, &doc).unwrap(),
+                boolean_result(&back, doc).unwrap(),
                 want,
                 "XQ∼ round trip of {} on {}", q, doc
             );
@@ -137,9 +152,9 @@ proptest! {
     /// with evaluation through the C/C′ encodings.
     #[test]
     fn lemma_3_2_on_random_queries(q in xq_tilde(0, 2)) {
-        for doc in docs() {
+        for doc in &docs() {
             prop_assert!(
-                ma_invariant_holds(&q, &doc).unwrap(),
+                ma_invariant_holds(&q, doc).unwrap(),
                 "Lemma 3.2 failed for {} on {}", q, doc
             );
         }
@@ -150,10 +165,10 @@ proptest! {
     fn desugaring_preserves_semantics(q in xq_tilde(0, 3)) {
         let mut fresh = 0;
         let core = q.desugar(&mut fresh);
-        for doc in docs() {
+        for doc in &docs() {
             prop_assert_eq!(
-                xq_core::eval_query(&core, &doc).unwrap(),
-                xq_core::eval_query(&q, &doc).unwrap(),
+                xq_core::eval_query(&core, doc).unwrap(),
+                xq_core::eval_query(&q, doc).unwrap(),
                 "desugaring changed {} on {}", q, doc
             );
         }
@@ -164,27 +179,32 @@ proptest! {
     fn nested_loop_on_random_queries(q in xq_tilde(0, 3)) {
         let minus = to_composition_free(&q);
         prop_assume!(is_composition_free(&minus));
-        for doc in docs() {
-            let d = cv_xtree::Document::new(&doc);
+        for doc in &docs() {
+            let d = cv_xtree::Document::new(doc);
             let mut engine = xq_compfree::NestedLoopEngine::new(&d);
             let got = engine.boolean(&minus).unwrap();
-            let want = boolean_result(&minus, &doc).unwrap();
+            let want = boolean_result(&minus, doc).unwrap();
             prop_assert_eq!(got, want, "{} on {}", minus, doc);
         }
     }
 
-    /// The streaming engine agrees with the reference on random XQ∼.
+    /// The streaming engine — lazy discipline and buffered fast path —
+    /// agrees with the reference on random XQ∼.
     #[test]
     fn streaming_on_random_queries(q in xq_tilde(0, 2)) {
-        for doc in docs() {
-            let (got, _) = xq_stream::stream_query(&q, &doc, 50_000_000)
+        for doc in &docs() {
+            let (got, _) = xq_stream::stream_query(&q, doc, 50_000_000)
                 .unwrap_or_else(|e| panic!("{q}: {e}"));
-            let want: Vec<cv_xtree::Token> = xq_core::eval_query(&q, &doc)
+            let want: Vec<cv_xtree::Token> = xq_core::eval_query(&q, doc)
                 .unwrap()
                 .iter()
                 .flat_map(Tree::tokens)
                 .collect();
-            prop_assert_eq!(got, want, "{} on {}", q, doc);
+            prop_assert_eq!(&got, &want, "{} on {}", q, doc);
+            let (fast, _) = xq_stream::stream_query_buffered(
+                &q, doc, 50_000_000, xq_stream::DEFAULT_BUFFER_LIMIT,
+            ).unwrap_or_else(|e| panic!("buffered {q}: {e}"));
+            prop_assert_eq!(&fast, &want, "buffered {} on {}", q, doc);
         }
     }
 }

@@ -17,6 +17,12 @@
 //! * [`all_equal`] — the Theorem 5.11 bulk-equality predicate;
 //! * [`derived_nest_binary`] — `nest_{C=(B)}` on binary relations from
 //!   selection (footnote 5 / Theorem 2.2).
+//!
+//! Each derived form is the paper's *proof* that the operator is
+//! redundant; evaluated literally it is asymptotically slower than the
+//! built-in (the Example 2.4 difference pays for a full R × S pairing).
+//! The [`crate::opt`] pass recognizes every construction in this module
+//! and rewrites it back — the worked examples below show the round trips.
 
 use crate::{Cond, EqMode, Expr, Operand};
 use cv_value::Type;
@@ -51,6 +57,23 @@ pub fn pred_true() -> Expr {
 ///
 /// Unlike the built-in [`Expr::Select`], `γ` here is an arbitrary
 /// monad-algebra expression of Boolean type.
+///
+/// # Example
+///
+/// When `γ` *is* a built-in predicate, the optimizer folds the whole
+/// scaffolding back into [`Expr::Select`]:
+///
+/// ```
+/// use cv_monad::{derived::sigma_gamma, opt, CollectionKind, Cond, Expr, Operand};
+///
+/// let gamma = Expr::Pred(Cond::eq_atomic(Operand::path("A"), Operand::path("B")));
+/// let (rewritten, trace) = opt::optimize(&sigma_gamma(gamma), CollectionKind::List);
+/// assert_eq!(
+///     rewritten,
+///     Expr::Select(Cond::eq_atomic(Operand::path("A"), Operand::path("B")))
+/// );
+/// assert!(trace.rules().contains(&"select-2.3"));
+/// ```
 pub fn sigma_gamma(gamma: Expr) -> Expr {
     Expr::flatmap(
         Expr::mk_tuple([("1", Expr::Id), ("2", Expr::Id.then(gamma))])
@@ -61,6 +84,31 @@ pub fn sigma_gamma(gamma: Expr) -> Expr {
 
 /// Derived intersection (Example 2.3):
 /// `f ∩ g := (f × g) ∘ σ_{1=2} ∘ map(π1)`.
+///
+/// # Example
+///
+/// The derived shape pairs every member of `f` with every member of `g`
+/// (quadratic); [`crate::opt::optimize`] rewrites it to the built-in
+/// [`Expr::Intersect`], and both agree:
+///
+/// ```
+/// use cv_monad::{derived::derived_intersect, eval, opt, CollectionKind, Expr};
+/// use cv_value::parse_value;
+///
+/// let derived = derived_intersect(Expr::proj("R"), Expr::proj("S"));
+/// let (rewritten, trace) = opt::optimize(&derived, CollectionKind::Set);
+/// assert_eq!(
+///     rewritten,
+///     Expr::Intersect(Expr::proj("R").into(), Expr::proj("S").into())
+/// );
+/// assert!(trace.rules().contains(&"intersect-2.3"));
+///
+/// let input = parse_value("<R: {1, 2, 3}, S: {2, 3, 4}>").unwrap();
+/// assert_eq!(
+///     eval(&rewritten, CollectionKind::Set, &input).unwrap(),
+///     eval(&derived, CollectionKind::Set, &input).unwrap(),
+/// );
+/// ```
 pub fn derived_intersect(f: Expr, g: Expr) -> Expr {
     product(f, g)
         .then(Expr::Select(Cond::eq_deep(
@@ -72,6 +120,23 @@ pub fn derived_intersect(f: Expr, g: Expr) -> Expr {
 
 /// Derived containment predicate (Example 2.3):
 /// `(A ⊆ B) := ⟨A: πA, A′: πA ∩ πB⟩ ∘ (A =deep A′)`.
+///
+/// # Example
+///
+/// Optimizing cascades: the inner derived intersection collapses first,
+/// then the whole construction becomes the built-in `⊆` condition:
+///
+/// ```
+/// use cv_monad::{derived::subset_pred, opt, CollectionKind, Cond, Expr, Operand};
+///
+/// let (rewritten, trace) = opt::optimize(&subset_pred("A", "B"), CollectionKind::Set);
+/// assert_eq!(
+///     rewritten,
+///     Expr::Pred(Cond::Subset(Operand::path("A"), Operand::path("B")))
+/// );
+/// assert!(trace.rules().contains(&"intersect-2.3"));
+/// assert!(trace.rules().contains(&"subset-2.3"));
+/// ```
 pub fn subset_pred(a: &str, b: &str) -> Expr {
     Expr::mk_tuple([
         ("A", Expr::proj(a)),
@@ -84,6 +149,24 @@ pub fn subset_pred(a: &str, b: &str) -> Expr {
 }
 
 /// Derived membership predicate: `(A ∈ B) ⇔ ({A} ⊆ B)`.
+///
+/// # Example
+///
+/// Three nested constructions (`∈` via `⊆` via `∩`) collapse to one
+/// built-in condition:
+///
+/// ```
+/// use cv_monad::{derived::member_pred, opt, CollectionKind, Cond, Expr, Operand};
+///
+/// let (rewritten, trace) = opt::optimize(&member_pred("A", "B"), CollectionKind::Set);
+/// assert_eq!(
+///     rewritten,
+///     Expr::Pred(Cond::In(Operand::path("A"), Operand::path("B")))
+/// );
+/// for rule in ["intersect-2.3", "subset-2.3", "member-2.3"] {
+///     assert!(trace.rules().contains(&rule), "missing {rule}");
+/// }
+/// ```
 pub fn member_pred(a: &str, b: &str) -> Expr {
     Expr::mk_tuple([("A", Expr::proj(a).then(Expr::Sng)), ("B", Expr::proj(b))])
         .then(subset_pred("A", "B"))
@@ -99,6 +182,30 @@ pub fn member_pred(a: &str, b: &str) -> Expr {
 ///
 /// For each `r ∈ R` it computes the set `SR` of members of `S` equal to
 /// `r`, then keeps the `r` whose `SR` is empty.
+///
+/// # Example
+///
+/// This is the construction behind the `opt_vs_naive` benchmark's ~30×
+/// gap: the derived form pairs all of `R` with all of `S`. The optimizer
+/// collapses it to the built-in linear-scan [`Expr::Diff`]:
+///
+/// ```
+/// use cv_monad::{derived::derived_diff, eval, opt, CollectionKind, Expr};
+/// use cv_value::parse_value;
+///
+/// let (rewritten, trace) = opt::optimize(&derived_diff(), CollectionKind::Set);
+/// assert_eq!(
+///     rewritten,
+///     Expr::Diff(Expr::proj("R").into(), Expr::proj("S").into())
+/// );
+/// assert_eq!(trace.rules(), vec!["diff-2.4"]);
+///
+/// let input = parse_value("<R: {1, 2, 3}, S: {2}>").unwrap();
+/// assert_eq!(
+///     eval(&rewritten, CollectionKind::Set, &input).unwrap(),
+///     parse_value("{1, 3}").unwrap(),
+/// );
+/// ```
 pub fn derived_diff() -> Expr {
     Expr::pairwith("R")
         .then(
@@ -127,6 +234,19 @@ pub fn derived_diff() -> Expr {
 ///
 /// Demonstrates that negation is redundant in languages with deep equality
 /// (§1 "Related work", §3).
+///
+/// # Example
+///
+/// For collection-valued `φ` the optimizer reads the comparison back as
+/// the built-in [`Expr::Not`]:
+///
+/// ```
+/// use cv_monad::{derived::{derived_not, pred_true}, opt, CollectionKind, Cond, Expr};
+///
+/// let (rewritten, trace) = opt::optimize(&derived_not(pred_true()), CollectionKind::Set);
+/// assert_eq!(rewritten, Expr::Pred(Cond::True).then(Expr::Not));
+/// assert!(trace.rules().contains(&"not-deep-eq"));
+/// ```
 pub fn derived_not(phi: Expr) -> Expr {
     Expr::mk_tuple([("1", phi), ("2", Expr::EmptyColl)]).then(Expr::Pred(Cond::eq_deep(
         Operand::path("1"),
@@ -188,6 +308,26 @@ pub fn all_equal(mode: EqMode) -> Expr {
 /// attributes `key` and `collect` (footnote 5), built from selection:
 /// for each tuple `r`, group the `collect`-values of all tuples sharing
 /// `r`'s key. Set semantics deduplicates the groups.
+///
+/// # Example
+///
+/// On sets the optimizer rewrites the quadratic per-tuple selection to a
+/// binary projection feeding the built-in hash-grouping [`Expr::Nest`]:
+///
+/// ```
+/// use cv_monad::{derived::derived_nest_binary, eval, opt, CollectionKind};
+/// use cv_value::parse_value;
+///
+/// let derived = derived_nest_binary("A", "B", "C");
+/// let (rewritten, trace) = opt::optimize(&derived, CollectionKind::Set);
+/// assert!(trace.rules().contains(&"nest-fn.5"));
+///
+/// let rel = parse_value("{<A: 1, B: x>, <A: 1, B: y>, <A: 2, B: x>}").unwrap();
+/// assert_eq!(
+///     eval(&rewritten, CollectionKind::Set, &rel).unwrap(),
+///     parse_value("{<A: 1, C: {<B: x>, <B: y>}>, <A: 2, C: {<B: x>}>}").unwrap(),
+/// );
+/// ```
 pub fn derived_nest_binary(key: &str, collect: &str, into: &str) -> Expr {
     Expr::mk_tuple([("t", Expr::Id), ("rel", Expr::Id)])
         .then(Expr::pairwith("t"))

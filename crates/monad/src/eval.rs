@@ -118,6 +118,7 @@ pub struct Evaluator {
     kind: CollectionKind,
     budget: Budget,
     stats: EvalStats,
+    optimize: bool,
 }
 
 impl Evaluator {
@@ -133,7 +134,22 @@ impl Evaluator {
             kind,
             budget,
             stats: EvalStats::default(),
+            optimize: false,
         }
+    }
+
+    /// Enables (or disables) the [`crate::opt`] rewriting pass: every
+    /// top-level [`eval`](Evaluator::eval) call first normalizes the
+    /// expression — derived Theorem 2.2 constructions run as built-ins.
+    /// Off by default, so the naive evaluator stays the paper's baseline.
+    pub fn with_optimizer(mut self, on: bool) -> Evaluator {
+        self.optimize = on;
+        self
+    }
+
+    /// Whether the optimizer pass is enabled.
+    pub fn optimizes(&self) -> bool {
+        self.optimize
     }
 
     /// The collection monad this evaluator interprets `∪`/`flatten` in.
@@ -186,14 +202,25 @@ impl Evaluator {
         }
     }
 
-    /// Evaluates `expr` on `input`.
+    /// Evaluates `expr` on `input`. With
+    /// [`with_optimizer`](Evaluator::with_optimizer) enabled, the
+    /// expression is first rewritten by [`crate::opt::optimize`].
     pub fn eval(&mut self, expr: &Expr, input: &Value) -> Result<Value, EvalError> {
+        if self.optimize {
+            let (rewritten, _) = crate::opt::optimize(expr, self.kind);
+            self.eval_expr(&rewritten, input)
+        } else {
+            self.eval_expr(expr, input)
+        }
+    }
+
+    fn eval_expr(&mut self, expr: &Expr, input: &Value) -> Result<Value, EvalError> {
         self.step()?;
         match expr {
             Expr::Id => Ok(input.clone()),
             Expr::Compose(f, g) => {
-                let mid = self.eval(f, input)?;
-                self.eval(g, &mid)
+                let mid = self.eval_expr(f, input)?;
+                self.eval_expr(g, &mid)
             }
             Expr::Const(v) => {
                 self.alloc(v.node_count())?;
@@ -205,7 +232,7 @@ impl Evaluator {
                 let xs = self.items("map", input)?.to_vec();
                 let mut out = Vec::with_capacity(xs.len());
                 for x in &xs {
-                    out.push(self.eval(f, x)?);
+                    out.push(self.eval_expr(f, x)?);
                 }
                 self.coll(out)
             }
@@ -245,15 +272,15 @@ impl Evaluator {
             Expr::MkTuple(fields) => {
                 let mut out = Vec::with_capacity(fields.len());
                 for (n, f) in fields {
-                    out.push((n.clone(), self.eval(f, input)?));
+                    out.push((n.clone(), self.eval_expr(f, input)?));
                 }
                 self.alloc(fields.len() as u64 + 1)?;
                 Ok(Value::tuple(out))
             }
             Expr::Proj(a) => Ok(input.project(a.as_str())?.clone()),
             Expr::Union(f, g) => {
-                let left = self.eval(f, input)?;
-                let right = self.eval(g, input)?;
+                let left = self.eval_expr(f, input)?;
+                let right = self.eval_expr(g, input)?;
                 let mut items = self.items("union", &left)?.to_vec();
                 items.extend_from_slice(self.items("union", &right)?);
                 self.coll(items)
@@ -292,8 +319,8 @@ impl Evaluator {
                 })
             }
             Expr::Diff(f, g) => {
-                let left = self.eval(f, input)?;
-                let right = self.eval(g, input)?;
+                let left = self.eval_expr(f, input)?;
+                let right = self.eval_expr(g, input)?;
                 let rs = self.items("difference", &right)?;
                 let ls = self.items("difference", &left)?;
                 let mut out = Vec::new();
@@ -306,8 +333,8 @@ impl Evaluator {
                 self.coll(out)
             }
             Expr::Intersect(f, g) => {
-                let left = self.eval(f, input)?;
-                let right = self.eval(g, input)?;
+                let left = self.eval_expr(f, input)?;
+                let right = self.eval_expr(g, input)?;
                 let rs = self.items("intersection", &right)?;
                 let ls = self.items("intersection", &left)?;
                 let mut out = Vec::new();
@@ -327,8 +354,8 @@ impl Evaluator {
                         kind: self.kind,
                     });
                 }
-                let left = self.eval(f, input)?;
-                let right = self.eval(g, input)?;
+                let left = self.eval_expr(f, input)?;
+                let right = self.eval_expr(g, input)?;
                 // Both canonically sorted; a merge walk computes
                 // multiplicity max(0, #left − #right).
                 let ls = self.items("monus", &left)?;
@@ -486,6 +513,16 @@ impl Evaluator {
 /// Evaluates `expr` on `input` under the default budget.
 pub fn eval(expr: &Expr, kind: CollectionKind, input: &Value) -> Result<Value, EvalError> {
     Evaluator::new(kind).eval(expr, input)
+}
+
+/// Evaluates `expr` on `input` with the [`crate::opt`] pass enabled:
+/// derived Theorem 2.2 constructions are rewritten to built-ins first.
+pub fn eval_optimized(
+    expr: &Expr,
+    kind: CollectionKind,
+    input: &Value,
+) -> Result<Value, EvalError> {
+    Evaluator::new(kind).with_optimizer(true).eval(expr, input)
 }
 
 /// Evaluates with an explicit budget, returning the statistics as well.

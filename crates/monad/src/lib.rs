@@ -24,16 +24,23 @@
 //! * [`derived`] — the paper's derived forms: Cartesian product
 //!   (Example 2.1), Boolean connectives, `σ_γ`, `⊆`, `∩` (Example 2.3),
 //!   difference (Example 2.4), `=mon` expansion (Proposition 5.1), and the
-//!   `all_equal` predicate from Theorem 5.11.
+//!   `all_equal` predicate from Theorem 5.11;
+//! * [`opt`] — the optimizer: a peephole/normalization pass rewriting the
+//!   derived constructions back to the built-in operators (with a rule
+//!   [`Trace`] shared with `xq_rewrite`'s Theorem 7.9 eliminator), enabled
+//!   on the evaluator via [`Evaluator::with_optimizer`].
 
 pub mod derived;
 mod eval;
 mod expr;
+pub mod opt;
+mod trace;
 mod typecheck;
 
 pub use cv_value::CollectionKind;
-pub use eval::{eval, eval_with, Budget, EvalError, EvalStats, Evaluator};
+pub use eval::{eval, eval_optimized, eval_with, Budget, EvalError, EvalStats, Evaluator};
 pub use expr::{Cond, EqMode, Expr, Operand};
+pub use trace::{Trace, TraceStep};
 pub use typecheck::{typecheck, TypeError};
 
 #[cfg(test)]

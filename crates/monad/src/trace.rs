@@ -1,0 +1,66 @@
+//! Rewrite traces shared by the optimizer ([`crate::opt`]) and the §7.2
+//! composition-elimination rewriter (`xq_rewrite`).
+//!
+//! Both passes are term rewriting systems whose *derivations* matter as
+//! much as their results (Figure 10 reproduces one verbatim; the optimizer
+//! golden tests pin one per rule), so rule applications are recorded as
+//! [`TraceStep`]s: the rule's name plus a rendering of the redex it fired
+//! on.
+
+/// A rule application record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The rule applied. The composition eliminator uses the paper's names
+    /// (`"elim.let"`, `"Lem.7.8"`, `"Fig.9(1)"` … `"Fig.9(6)"`,
+    /// `"subst-eq"`, `"simplify-self"`); the optimizer uses the catalog of
+    /// [`crate::opt`] (`"diff-2.4"`, `"intersect-2.3"`, `"elim-id"`, …).
+    pub rule: &'static str,
+    /// Rendering of the redex that was rewritten.
+    pub redex: String,
+}
+
+/// The sequence of rule applications performed by a rewriting pass.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Steps in application order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Records one rule application. The redex rendering is capped at
+    /// ~160 bytes (on a UTF-8 character boundary — atom and constant text
+    /// is arbitrary) — rewriting inputs can blow up exponentially.
+    pub fn log(&mut self, rule: &'static str, redex: &impl std::fmt::Display) {
+        let mut s = redex.to_string();
+        if s.len() > 160 {
+            let mut cut = 160;
+            while !s.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            s.truncate(cut);
+        }
+        self.steps.push(TraceStep { rule, redex: s });
+    }
+
+    /// Rules applied, in order.
+    pub fn rules(&self) -> Vec<&'static str> {
+        self.steps.iter().map(|s| s.rule).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_truncates_on_char_boundaries() {
+        let mut t = Trace::default();
+        // A two-byte char straddling the 160-byte cap must not panic.
+        t.log("probe", &format!("{}é tail", "x".repeat(159)));
+        assert_eq!(t.steps[0].redex.len(), 159);
+        t.log("probe", &"y".repeat(200));
+        assert_eq!(t.steps[1].redex.len(), 160);
+        t.log("short", &"ok");
+        assert_eq!(t.steps[2].redex, "ok");
+    }
+}

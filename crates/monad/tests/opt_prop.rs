@@ -1,0 +1,201 @@
+//! Differential property testing of the `cv_monad::opt` pass: on random
+//! expressions (seeded with the paper's derived constructions, the
+//! optimizer's prey) and random documents, the optimized expression must
+//! agree with the naive evaluator whenever the naive evaluator succeeds.
+//!
+//! The one-sided contract is deliberate: cleanup rules like `fuse-proj`
+//! delete dead tuple fields *together with their failures*, so the
+//! optimized form may succeed where the naive one errors — but never
+//! differ on a value the naive evaluator produces.
+
+use cv_monad::derived::{
+    derived_diff, derived_intersect, derived_nest_binary, derived_not, member_pred, pred_and,
+    pred_or, pred_true, sigma_gamma, subset_pred,
+};
+use cv_monad::{eval, opt, CollectionKind, Cond, Expr, Operand};
+use cv_value::Value;
+use proptest::prelude::*;
+
+const K: CollectionKind = CollectionKind::Set;
+
+/// Random input of the shape every generated expression can consume:
+/// `⟨R: {…atoms…}, S: {…atoms…}⟩` over a small alphabet (collisions make
+/// difference/intersection/membership nontrivial).
+fn input_value() -> impl Strategy<Value = Value> {
+    let atoms =
+        || prop::collection::vec((0u64..6).prop_map(|i| Value::atom(format!("v{i}"))), 0..5);
+    (atoms(), atoms()).prop_map(|(r, s)| Value::tuple([("R", Value::set(r)), ("S", Value::set(s))]))
+}
+
+/// Conditions on the `⟨R, S⟩` input tuple.
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::True),
+        Just(Cond::Subset(Operand::path("R"), Operand::path("S"))),
+        Just(Cond::eq_deep(Operand::path("R"), Operand::path("S"))),
+        Just(Cond::eq_deep(
+            Operand::path("R"),
+            Operand::konst(Value::set([]))
+        )),
+    ]
+}
+
+/// Predicates (`τ → {⟨⟩}`) on the input tuple, derived and built-in.
+fn pred(size: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        Just(pred_true()),
+        Just(Expr::EmptyColl),
+        cond().prop_map(Expr::Pred),
+        Just(subset_pred("R", "S")),
+        Just(subset_pred("S", "R")),
+        Just(member_pred("R", "S")),
+    ];
+    if size == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        2 => leaf,
+        1 => (pred(size - 1), pred(size - 1)).prop_map(|(a, b)| pred_and(a, b)),
+        1 => (pred(size - 1), pred(size - 1)).prop_map(|(a, b)| pred_or(a, b)),
+        1 => pred(size - 1).prop_map(derived_not),
+    ]
+    .boxed()
+}
+
+/// Collection-valued expressions on the input tuple.
+fn collection_expr(size: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::proj("R")),
+        Just(Expr::proj("S")),
+        Just(derived_diff()),
+        Just(derived_intersect(Expr::proj("R"), Expr::proj("S"))),
+        Just(Expr::Diff(Expr::proj("R").into(), Expr::proj("S").into())),
+    ];
+    if size == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        3 => leaf,
+        1 => pred(size - 1),
+        1 => (collection_expr(size - 1), collection_expr(size - 1))
+            .prop_map(|(a, b)| a.union(b)),
+        1 => collection_expr(size - 1).prop_map(|e| {
+            e.then(Expr::Select(Cond::eq_deep(
+                Operand::this(),
+                Operand::atom("v0"),
+            )))
+        }),
+        1 => collection_expr(size - 1)
+            .prop_map(|e| e.then(sigma_gamma(Expr::Pred(Cond::True)))),
+        1 => collection_expr(size - 1).prop_map(|e| e.then(Expr::Sng.mapped()).then(Expr::Flatten)),
+        1 => collection_expr(size - 1).prop_map(|e| e.then(Expr::Id).then(Expr::Unique)),
+        1 => (collection_expr(size - 1), collection_expr(size - 1)).prop_map(|(a, b)| {
+            Expr::mk_tuple([("A", a), ("B", b)]).then(Expr::proj("A"))
+        }),
+    ]
+    .boxed()
+}
+
+/// `⟨R, S⟩` inputs with `kind` collections of *duplicate-rich* atoms —
+/// lists and bags must catch multiplicity-changing rewrites (the class of
+/// bug a set-only suite cannot see).
+fn input_of_kind(kind: CollectionKind) -> impl Strategy<Value = Value> {
+    let atoms =
+        || prop::collection::vec((0u64..3).prop_map(|i| Value::atom(format!("v{i}"))), 0..6);
+    (atoms(), atoms()).prop_map(move |(r, s)| {
+        Value::tuple([
+            ("R", Value::collection(kind, r)),
+            ("S", Value::collection(kind, s)),
+        ])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// If the naive evaluator succeeds, the optimized expression yields
+    /// exactly the same value.
+    #[test]
+    fn optimized_agrees_with_naive(e in collection_expr(3), input in input_value()) {
+        let naive = eval(&e, K, &input);
+        prop_assume!(naive.is_ok());
+        let (rewritten, _) = opt::optimize(&e, K);
+        let optimized = eval(&rewritten, K, &input);
+        prop_assert_eq!(
+            optimized.ok(), naive.ok(),
+            "optimizer changed the result of {} (rewritten: {})", e, rewritten
+        );
+    }
+
+    /// The same contract under list semantics (order and multiplicity
+    /// matter — this is what forces the set-only gates on
+    /// `intersect-2.3`/`or-union`/`nest-fn.5`).
+    #[test]
+    fn optimized_agrees_with_naive_on_lists(
+        e in collection_expr(3),
+        input in input_of_kind(CollectionKind::List),
+    ) {
+        let naive = eval(&e, CollectionKind::List, &input);
+        prop_assume!(naive.is_ok());
+        let (rewritten, _) = opt::optimize(&e, CollectionKind::List);
+        prop_assert_eq!(
+            eval(&rewritten, CollectionKind::List, &input).ok(), naive.ok(),
+            "optimizer changed the list result of {} (rewritten: {})", e, rewritten
+        );
+    }
+
+    /// And under bag semantics (multiplicities without order).
+    #[test]
+    fn optimized_agrees_with_naive_on_bags(
+        e in collection_expr(3),
+        input in input_of_kind(CollectionKind::Bag),
+    ) {
+        let naive = eval(&e, CollectionKind::Bag, &input);
+        prop_assume!(naive.is_ok());
+        let (rewritten, _) = opt::optimize(&e, CollectionKind::Bag);
+        prop_assert_eq!(
+            eval(&rewritten, CollectionKind::Bag, &input).ok(), naive.ok(),
+            "optimizer changed the bag result of {} (rewritten: {})", e, rewritten
+        );
+    }
+
+    /// The pass is idempotent: its output is a normal form.
+    #[test]
+    fn optimizer_is_idempotent(e in collection_expr(3)) {
+        let (once, _) = opt::optimize(&e, K);
+        let (twice, _) = opt::optimize(&once, K);
+        prop_assert_eq!(&once, &twice, "not a normal form for {}", e);
+    }
+
+    /// Rewriting never grows the expression (every rule shrinks or
+    /// preserves operator count).
+    #[test]
+    fn optimizer_never_grows(e in collection_expr(3)) {
+        let (rewritten, _) = opt::optimize(&e, K);
+        prop_assert!(
+            rewritten.size() <= e.size(),
+            "{} ({} ops) grew to {} ({} ops)",
+            e, e.size(), rewritten, rewritten.size()
+        );
+    }
+
+    /// Nest rewriting (sets only) on random binary relations.
+    #[test]
+    fn nest_rewrite_agrees_on_random_relations(
+        rows in prop::collection::vec((0u64..4, 0u64..4), 0..8)
+    ) {
+        let rel = Value::set(rows.into_iter().map(|(a, b)| {
+            Value::tuple([
+                ("A", Value::atom(format!("a{a}"))),
+                ("B", Value::atom(format!("b{b}"))),
+            ])
+        }));
+        let derived = derived_nest_binary("A", "B", "C");
+        let (rewritten, trace) = opt::optimize(&derived, K);
+        prop_assert!(trace.rules().contains(&"nest-fn.5"));
+        prop_assert_eq!(
+            eval(&rewritten, K, &rel).unwrap(),
+            eval(&derived, K, &rel).unwrap()
+        );
+    }
+}

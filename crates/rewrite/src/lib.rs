@@ -23,36 +23,10 @@ use cv_xtree::{Axis, NodeTest};
 use std::rc::Rc;
 use xq_core::ast::{Cond, EqMode, Query, Var};
 
-/// A rule application record.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceStep {
-    /// The rule applied (paper names: `"elim.let"`, `"Lem.7.8"`,
-    /// `"Fig.9(1)"` … `"Fig.9(6)"`, `"subst-eq"`, `"simplify-self"`).
-    pub rule: &'static str,
-    /// Rendering of the redex that was rewritten.
-    pub redex: String,
-}
-
-/// The sequence of rule applications performed by the rewriter.
-#[derive(Debug, Clone, Default)]
-pub struct Trace {
-    /// Steps in application order.
-    pub steps: Vec<TraceStep>,
-}
-
-impl Trace {
-    fn log(&mut self, rule: &'static str, redex: &impl std::fmt::Display) {
-        // Cap redex rendering; rewriting can blow up exponentially.
-        let mut s = redex.to_string();
-        s.truncate(160);
-        self.steps.push(TraceStep { rule, redex: s });
-    }
-
-    /// Rules applied, in order.
-    pub fn rules(&self) -> Vec<&'static str> {
-        self.steps.iter().map(|s| s.rule).collect()
-    }
-}
+// Trace plumbing is shared with the `cv_monad::opt` optimizer pass: both
+// are rewriting systems whose derivations are pinned by tests (Figure 10
+// here, the rule-catalog golden tests there).
+pub use cv_monad::{Trace, TraceStep};
 
 /// Rewriting failure.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -18,6 +18,24 @@
 //! query variable: [`StreamStats::peak_live_cursors`] measures it, and the
 //! E4 experiment contrasts it with the materializing evaluator's allocated
 //! nodes on the Prop 4.2 blowup family.
+//!
+//! # The buffered fast path
+//!
+//! Pure recomputation is the right *space* story but a terrible *time*
+//! story on small intermediates: re-streaming a `for`-source once per
+//! `item_exists` probe and once per variable reference makes the engine
+//! ~160× slower than materializing on the tiny doubling-family outputs
+//! (ROADMAP "Perf headroom"). [`stream_query_buffered`] adds a fast path:
+//! when a `for`-source (or a `some`/`every` source) streams to completion
+//! within a per-source token cap, its items are materialized **once** into
+//! token buffers and the loop variable binds to plain slices — skipping
+//! the per-token `Item` cursor bookkeeping and all re-streaming for that
+//! source. Sources that exceed the cap fall back to the lazy Theorem 4.5
+//! discipline. Every *live* loop/quantifier scope holds at most one
+//! buffer, so worst-case space is `O(live cursors × buffer cap)` — the
+//! cap bounds the degradation per scope, not globally.
+//! [`StreamStats::buffered_sources`] counts how often the fast path
+//! engaged.
 
 use cv_xtree::{Axis, Label, NodeTest, Token, Tree};
 use std::cell::Cell;
@@ -62,6 +80,9 @@ pub struct StreamStats {
     /// memory" of Theorem 4.5 (each cursor is O(1) counters plus a
     /// constant number of references).
     pub peak_live_cursors: u64,
+    /// Sources materialized by the buffered fast path
+    /// ([`stream_query_buffered`]); always 0 under [`stream_query`].
+    pub buffered_sources: u64,
 }
 
 #[derive(Clone)]
@@ -70,17 +91,22 @@ struct Shared {
     live: Rc<Cell<u64>>,
     peak: Rc<Cell<u64>>,
     recomp: Rc<Cell<u64>>,
+    buffered: Rc<Cell<u64>>,
     max_pulls: u64,
+    /// Per-source token cap for the buffered fast path; 0 disables it.
+    buffer_limit: usize,
 }
 
 impl Shared {
-    fn new(max_pulls: u64) -> Shared {
+    fn new(max_pulls: u64, buffer_limit: usize) -> Shared {
         Shared {
             pulls: Rc::new(Cell::new(0)),
             live: Rc::new(Cell::new(0)),
             peak: Rc::new(Cell::new(0)),
             recomp: Rc::new(Cell::new(0)),
+            buffered: Rc::new(Cell::new(0)),
             max_pulls,
+            buffer_limit,
         }
     }
 
@@ -190,13 +216,15 @@ enum Kind<'q> {
         sub: Option<MatchEmitter<'q>>,
         exhausted: bool,
     },
-    /// `for var in source return body`, item-by-item with lazy bindings.
+    /// `for var in source return body`, item-by-item. [`SourceIter`]
+    /// yields the per-item bindings (lazy handles, or buffered slices on
+    /// the fast path).
     For {
         var: Var,
         source: &'q Query,
         body: &'q Query,
         env: Env<'q>,
-        m: u64,
+        iter: Option<SourceIter<'q>>,
         cur: Option<Box<XCursor<'q>>>,
         exhausted: bool,
     },
@@ -264,7 +292,7 @@ impl<'q> XCursor<'q> {
                 source: s,
                 body: b,
                 env: env.clone(),
-                m: 0,
+                iter: None,
                 cur: None,
                 exhausted: false,
             },
@@ -424,7 +452,7 @@ impl<'q> XCursor<'q> {
                 source,
                 body,
                 env,
-                m,
+                iter,
                 cur,
                 exhausted,
             } => loop {
@@ -432,26 +460,21 @@ impl<'q> XCursor<'q> {
                     return Ok(None);
                 }
                 if cur.is_none() {
-                    if !item_exists(source, env, *m, &shared)? {
+                    if iter.is_none() {
+                        *iter = Some(SourceIter::new(source, env, &shared)?);
+                    }
+                    let next = iter.as_mut().expect("just set").next_binding(&shared)?;
+                    let Some(binding) = next else {
                         *exhausted = true;
                         return Ok(None);
-                    }
-                    let new_env = bind(
-                        env,
-                        var.clone(),
-                        Binding::Lazy {
-                            expr: source,
-                            env: env.clone(),
-                            index: *m,
-                        },
-                    );
+                    };
+                    let new_env = bind(env, var.clone(), binding);
                     *cur = Some(Box::new(XCursor::of_query(body, &new_env, &shared)?));
                 }
                 if let Some(t) = cur.as_mut().expect("just set").next()? {
                     return Ok(Some(t));
                 }
                 *cur = None;
-                *m += 1;
             },
             Kind::If {
                 cond,
@@ -529,6 +552,132 @@ impl MatchEmitter<'_> {
                 }
             }
         }
+    }
+}
+
+/// Incrementally materialized items of a `for`/`some`/`every` source —
+/// the buffered fast path. One cursor streams the source exactly once;
+/// items are split off the token stream *on demand*, so a consumer that
+/// stops early (a short-circuiting condition, an outer boolean probe)
+/// pulls no more of the source than the lazy discipline would. When the
+/// stream exceeds the per-source token cap, `overflowed` is set and the
+/// caller falls back to lazy re-streaming (the pulls spent probing still
+/// count against the budget).
+struct ItemBuffer<'q> {
+    cursor: Option<Box<XCursor<'q>>>,
+    items: Vec<Rc<[Token]>>,
+    partial: Vec<Token>,
+    depth: i64,
+    total: usize,
+    overflowed: bool,
+}
+
+impl<'q> ItemBuffer<'q> {
+    fn new(expr: &'q Query, env: &Env<'q>, shared: &Shared) -> Result<ItemBuffer<'q>, StreamError> {
+        shared.recompute();
+        Ok(ItemBuffer {
+            cursor: Some(Box::new(XCursor::of_query(expr, env, shared)?)),
+            items: Vec::new(),
+            partial: Vec::new(),
+            depth: 0,
+            total: 0,
+            overflowed: false,
+        })
+    }
+
+    /// Returns item #m (0-based), pulling just far enough to materialize
+    /// it. `Ok(None)` means the source ended before item #m *or* the cap
+    /// was exceeded — check [`ItemBuffer::overflowed`] to tell them apart.
+    fn get(&mut self, m: usize, shared: &Shared) -> Result<Option<Rc<[Token]>>, StreamError> {
+        while self.items.len() <= m {
+            let Some(cursor) = self.cursor.as_mut() else {
+                return Ok(None);
+            };
+            let Some(t) = cursor.next()? else {
+                // Source fully buffered: this is a completed fast path.
+                self.cursor = None;
+                shared.buffered.set(shared.buffered.get() + 1);
+                return Ok(None);
+            };
+            self.total += 1;
+            if self.total > shared.buffer_limit {
+                self.overflowed = true;
+                self.cursor = None;
+                return Ok(None);
+            }
+            match &t {
+                Token::Open(_) => self.depth += 1,
+                Token::Close(_) => self.depth -= 1,
+            }
+            self.partial.push(t);
+            if self.depth == 0 {
+                self.items.push(Rc::from(std::mem::take(&mut self.partial)));
+            }
+        }
+        Ok(Some(self.items[m].clone()))
+    }
+}
+
+/// Iterates the item bindings of a `for`/`some`/`every` source: the
+/// buffered fast path when enabled (falling back to lazy re-streaming on
+/// overflow), pure `item_exists` probing otherwise. Both disciplines
+/// yield bindings one at a time, so early-stopping consumers (quantifier
+/// short-circuits, outer boolean probes) pull no more of the source than
+/// strictly needed.
+struct SourceIter<'q> {
+    source: &'q Query,
+    env: Env<'q>,
+    m: u64,
+    buf: Option<ItemBuffer<'q>>,
+}
+
+impl<'q> SourceIter<'q> {
+    fn new(
+        source: &'q Query,
+        env: &Env<'q>,
+        shared: &Shared,
+    ) -> Result<SourceIter<'q>, StreamError> {
+        let buf = if shared.buffer_limit > 0 {
+            Some(ItemBuffer::new(source, env, shared)?)
+        } else {
+            None
+        };
+        Ok(SourceIter {
+            source,
+            env: env.clone(),
+            m: 0,
+            buf,
+        })
+    }
+
+    /// The binding for the next item, or `None` when the source ends.
+    fn next_binding(&mut self, shared: &Shared) -> Result<Option<Binding<'q>>, StreamError> {
+        let m = self.m;
+        self.m += 1;
+        let mut overflowed = false;
+        if let Some(b) = self.buf.as_mut() {
+            match b.get(m as usize, shared)? {
+                Some(item) => return Ok(Some(Binding::Input(item))),
+                None => {
+                    if b.overflowed {
+                        overflowed = true;
+                    } else {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        if overflowed {
+            self.buf = None;
+        }
+        if !item_exists(self.source, &self.env, m, shared)? {
+            return Ok(None);
+        }
+        Ok(Some(Binding::Lazy {
+            expr: self.source,
+            env: self.env.clone(),
+            index: m,
+        }))
     }
 }
 
@@ -612,40 +761,22 @@ fn eval_cond<'q>(c: &'q Cond, env: &Env<'q>, shared: &Shared) -> Result<bool, St
             Ok(c.next()?.is_some())
         }
         Cond::Some(v, source, sat) => {
-            let mut m = 0u64;
-            while item_exists(source, env, m, shared)? {
-                let new_env = bind(
-                    env,
-                    v.clone(),
-                    Binding::Lazy {
-                        expr: source,
-                        env: env.clone(),
-                        index: m,
-                    },
-                );
+            let mut iter = SourceIter::new(source, env, shared)?;
+            while let Some(binding) = iter.next_binding(shared)? {
+                let new_env = bind(env, v.clone(), binding);
                 if eval_cond(sat, &new_env, shared)? {
                     return Ok(true);
                 }
-                m += 1;
             }
             Ok(false)
         }
         Cond::Every(v, source, sat) => {
-            let mut m = 0u64;
-            while item_exists(source, env, m, shared)? {
-                let new_env = bind(
-                    env,
-                    v.clone(),
-                    Binding::Lazy {
-                        expr: source,
-                        env: env.clone(),
-                        index: m,
-                    },
-                );
+            let mut iter = SourceIter::new(source, env, shared)?;
+            while let Some(binding) = iter.next_binding(shared)? {
+                let new_env = bind(env, v.clone(), binding);
                 if !eval_cond(sat, &new_env, shared)? {
                     return Ok(false);
                 }
-                m += 1;
             }
             Ok(true)
         }
@@ -655,14 +786,47 @@ fn eval_cond<'q>(c: &'q Cond, env: &Env<'q>, shared: &Shared) -> Result<bool, St
     }
 }
 
+/// Default per-source token cap for [`stream_query_buffered`]: generous
+/// enough for everyday intermediates, small enough that the fast path's
+/// worst-case extra space stays bounded.
+pub const DEFAULT_BUFFER_LIMIT: usize = 1 << 16;
+
 /// Streams `[[q]]($root ↦ input)` into a token vector, reporting stats.
 /// `max_pulls` bounds the (possibly exponential) recomputation time.
+///
+/// This is the pure Theorem 4.5 discipline — every variable reference
+/// re-streams. [`stream_query_buffered`] is the fast path.
 pub fn stream_query(
     q: &Query,
     input: &Tree,
     max_pulls: u64,
 ) -> Result<(Vec<Token>, StreamStats), StreamError> {
-    let shared = Shared::new(max_pulls);
+    stream_with(q, input, max_pulls, 0)
+}
+
+/// [`stream_query`] with the buffered fast path enabled: any `for`/`some`/
+/// `every` source whose full token stream fits in `buffer_limit` tokens is
+/// materialized once and iterated as plain slices instead of being
+/// re-streamed per item and per variable reference. Oversized sources fall
+/// back to the lazy discipline, so the Theorem 4.5 space bound degrades by
+/// at most `O(buffer_limit)` *per live loop/quantifier scope* (nested live
+/// scopes each hold a buffer).
+pub fn stream_query_buffered(
+    q: &Query,
+    input: &Tree,
+    max_pulls: u64,
+    buffer_limit: usize,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    stream_with(q, input, max_pulls, buffer_limit)
+}
+
+fn stream_with(
+    q: &Query,
+    input: &Tree,
+    max_pulls: u64,
+    buffer_limit: usize,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    let shared = Shared::new(max_pulls, buffer_limit);
     let tokens: Rc<[Token]> = input.tokens().into();
     let env = bind(&None, Var::root(), Binding::Input(tokens));
     let mut cursor = XCursor::of_query(q, &env, &shared)?;
@@ -676,6 +840,7 @@ pub fn stream_query(
         pulls: shared.pulls.get(),
         recomputations: shared.recomp.get(),
         peak_live_cursors: shared.peak.get(),
+        buffered_sources: shared.buffered.get(),
     };
     Ok((out, stats))
 }
@@ -684,7 +849,7 @@ pub fn stream_query(
 /// the root element has a child (§7.1 convention); otherwise whether the
 /// stream is nonempty. Never materializes the result.
 pub fn stream_boolean(q: &Query, input: &Tree, max_pulls: u64) -> Result<bool, StreamError> {
-    let shared = Shared::new(max_pulls);
+    let shared = Shared::new(max_pulls, 0);
     let tokens: Rc<[Token]> = input.tokens().into();
     let env = bind(&None, Var::root(), Binding::Input(tokens));
     let mut cursor = XCursor::of_query(q, &env, &shared)?;
@@ -851,6 +1016,109 @@ mod tests {
             stream_query(&q, &t, FUEL),
             Err(StreamError::UnboundVariable(_))
         ));
+    }
+
+    /// The buffered fast path agrees with the lazy discipline (and hence
+    /// the reference semantics) on the whole corpus of this module.
+    #[test]
+    fn buffered_fast_path_agrees_with_lazy() {
+        let corpus = [
+            ("()", "<r/>"),
+            (
+                "for $v in $root/a return <w>{$v}</w>",
+                "<r><a><x/></a><a><y/></a></r>",
+            ),
+            (
+                "for $v in $root/a return for $u in $v/* return ($u, $u)",
+                "<r><a><x/></a><a><y/></a></r>",
+            ),
+            (
+                "for $y in (for $w in $root/a return <b>{$w}</b>) return $y/*",
+                "<r><a><x/></a></r>",
+            ),
+            ("(<c>{ $root/a }</c>)//b", "<r><a><b/></a></r>"),
+            (
+                "for $x in $root/a return for $y in $root/a return \
+                 if ($x = $y) then <deepeq/>",
+                "<r><a><b/></a><a><b/></a><c/></r>",
+            ),
+            (
+                "if (some $x in $root/* satisfies $x =atomic <c/>) then <y/>",
+                "<r><a/><c/></r>",
+            ),
+            (
+                "if (every $x in $root/a satisfies $x/b) then <all/>",
+                "<r><a><b/></a></r>",
+            ),
+        ];
+        for (src, doc) in corpus {
+            let q = parse_query(src).unwrap();
+            let t = parse_tree(doc).unwrap();
+            let (want, _) = stream_query(&q, &t, FUEL).unwrap();
+            let (got, stats) = stream_query_buffered(&q, &t, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
+            assert_eq!(got, want, "query {src} on {doc}");
+            // A tiny cap forces the lazy fallback — still correct.
+            let (fallback, fb_stats) = stream_query_buffered(&q, &t, FUEL, 1).unwrap();
+            assert_eq!(fallback, want, "fallback for {src} on {doc}");
+            assert!(fb_stats.buffered_sources <= stats.buffered_sources);
+        }
+    }
+
+    #[test]
+    fn fast_path_cuts_pulls_on_the_doubling_family() {
+        fn doubling(n: usize) -> String {
+            let mut q = String::from("<z/>");
+            for i in 0..n {
+                q = format!("for $v{i} in ({q}, {q}) return <z/>");
+            }
+            q
+        }
+        let t = parse_tree("<r/>").unwrap();
+        let q = parse_query(&doubling(4)).unwrap();
+        let (want, lazy) = stream_query(&q, &t, FUEL).unwrap();
+        let (got, fast) = stream_query_buffered(&q, &t, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
+        assert_eq!(got, want);
+        assert!(fast.buffered_sources > 0, "{fast:?}");
+        assert!(
+            fast.pulls * 4 < lazy.pulls,
+            "expected ≥4× fewer pulls: fast {} vs lazy {}",
+            fast.pulls,
+            lazy.pulls
+        );
+    }
+
+    #[test]
+    fn buffering_preserves_quantifier_short_circuit() {
+        // The first item of $root/* already satisfies the `some`; the
+        // buffered path must not stream the remaining (large) siblings.
+        let mut doc = String::from("<r><a/>");
+        for _ in 0..200 {
+            doc.push_str("<b><c><d/><d/></c></b>");
+        }
+        doc.push_str("</r>");
+        let t = parse_tree(&doc).unwrap();
+        let q = parse_query("if (some $x in $root/* satisfies $x =atomic <a/>) then <y/>").unwrap();
+        // Tight budget: far below the document's token count, ample for a
+        // short-circuiting probe.
+        let (out, stats) = stream_query_buffered(&q, &t, 500, DEFAULT_BUFFER_LIMIT)
+            .expect("short-circuit must not buffer the whole source");
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(stats.pulls < 500, "{stats:?}");
+    }
+
+    #[test]
+    fn fast_path_still_respects_the_budget() {
+        let q = parse_query(
+            "for $a in $root//* return for $b in $root//* return \
+             for $c in $root//* return <t/>",
+        )
+        .unwrap();
+        let mut g = cv_xtree::TreeGen::new(5);
+        let t = cv_xtree::random_tree(&mut g, 60, &["a"]);
+        assert_eq!(
+            stream_query_buffered(&q, &t, 2_000, DEFAULT_BUFFER_LIMIT).unwrap_err(),
+            StreamError::Budget
+        );
     }
 
     #[test]
