@@ -12,6 +12,16 @@ cargo build --release
 step "cargo test -q --workspace"
 cargo test -q --workspace
 
+# The arena-vs-Rc differential surface beyond the workspace pass (which
+# already runs arena_diff with XQ_ARENA unset): XQ_ARENA=1 reroutes the
+# agreement suites' document loading through the arena store (see
+# xq_core::doc). CI sets XQ_RANDOM_CASES=16; default to it here so local
+# runs stay quick too.
+step "agreement suites with XQ_ARENA=1"
+XQ_ARENA=1 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" \
+    cargo test -q -p xq_core --test random_queries
+XQ_ARENA=1 cargo test -q -p xq_complexity --test engine_agreement
+
 step "cargo bench --no-run (bench targets must compile)"
 cargo bench --no-run
 

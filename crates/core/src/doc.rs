@@ -1,0 +1,106 @@
+//! Document loading for the evaluation suites, with a representation
+//! switch.
+//!
+//! The Figure 1 reference semantics consumes [`Tree`]s, but the workspace
+//! now carries two document stores: the `Rc`-per-node [`Tree`] and the
+//! arena-backed, label-interned [`ArenaDoc`]. This
+//! module is where the agreement suites choose between them: with
+//! `XQ_ARENA` set (to anything but `0`/`false`/off), every document loaded
+//! through [`load_document`] — and every generated tree routed through
+//! [`DocRepr::roundtrip`] — takes the arena path (`parse → ArenaDoc →
+//! Tree`), so one environment variable re-runs the whole differential test
+//! surface against the arena store. Conversion is lossless (property
+//! tested in `cv_xtree`), so results must be byte-identical; the
+//! `arena_diff` suite asserts exactly that.
+
+use cv_xtree::{ArenaDoc, Tree, XmlError};
+
+/// Which document store backs loaded documents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DocRepr {
+    /// The recursive `Rc`-per-node [`Tree`] (the seed representation).
+    #[default]
+    RcTree,
+    /// The arena store: parse/build into [`ArenaDoc`], convert at the
+    /// boundary. Selected by the `XQ_ARENA` environment variable.
+    Arena,
+}
+
+impl DocRepr {
+    /// Reads the `XQ_ARENA` environment variable: unset, `0`, `false`, or
+    /// `off` mean [`DocRepr::RcTree`]; anything else selects
+    /// [`DocRepr::Arena`].
+    pub fn from_env() -> DocRepr {
+        match std::env::var("XQ_ARENA") {
+            Ok(v) if !matches!(v.as_str(), "" | "0" | "false" | "off") => DocRepr::Arena,
+            _ => DocRepr::RcTree,
+        }
+    }
+
+    /// Parses a single-rooted XML document under this representation.
+    pub fn load(self, src: &str) -> Result<Tree, XmlError> {
+        match self {
+            DocRepr::RcTree => cv_xtree::parse_tree(src),
+            DocRepr::Arena => Ok(ArenaDoc::parse(src)?.to_tree()),
+        }
+    }
+
+    /// Routes an already-built tree through this representation: the
+    /// identity for [`DocRepr::RcTree`], and the (lossless)
+    /// `Tree → ArenaDoc → Tree` round trip for [`DocRepr::Arena`]. Test
+    /// corpora built by generators call this so `XQ_ARENA` covers them too.
+    pub fn roundtrip(self, t: &Tree) -> Tree {
+        match self {
+            DocRepr::RcTree => t.clone(),
+            DocRepr::Arena => ArenaDoc::from_tree(t).to_tree(),
+        }
+    }
+}
+
+impl std::fmt::Display for DocRepr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DocRepr::RcTree => "rc-tree",
+            DocRepr::Arena => "arena",
+        })
+    }
+}
+
+/// Parses a document under the representation selected by `XQ_ARENA`
+/// (see [`DocRepr::from_env`]). The suites' standard entry point.
+pub fn load_document(src: &str) -> Result<Tree, XmlError> {
+    DocRepr::from_env().load(src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_representations_load_identically() {
+        let src = "<r><a><b/></a><a/><c><a><b/></a></c></r>";
+        let rc = DocRepr::RcTree.load(src).unwrap();
+        let arena = DocRepr::Arena.load(src).unwrap();
+        assert_eq!(rc, arena);
+        assert_eq!(DocRepr::Arena.roundtrip(&rc), rc);
+    }
+
+    #[test]
+    fn both_representations_reject_identically() {
+        for bad in ["<a>", "</a>", "<a></b>", "<a/><b/>"] {
+            assert_eq!(
+                DocRepr::RcTree.load(bad).unwrap_err(),
+                DocRepr::Arena.load(bad).unwrap_err(),
+                "error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn env_parsing() {
+        // from_env is read-only; exercise the match arms via load paths.
+        assert_eq!(DocRepr::default(), DocRepr::RcTree);
+        assert_eq!(DocRepr::RcTree.to_string(), "rc-tree");
+        assert_eq!(DocRepr::Arena.to_string(), "arena");
+    }
+}

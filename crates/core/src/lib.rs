@@ -3,6 +3,8 @@
 //! lists up to representation issues.
 //!
 //! * [`ast`] — the abstract syntax (core grammar + Prop 3.1 derived forms);
+//! * [`doc`] — document loading for the suites, with the `XQ_ARENA`
+//!   switch between the `Rc` tree and the arena document store;
 //! * [`parser`] — a parser for the surface syntax used in the paper's
 //!   examples;
 //! * [`semantics`] — the Figure 1 denotational semantics (environments of
@@ -13,12 +15,14 @@
 //!   on lists and the `C`/`C′`/`T` data encodings (Lemmas 3.2 and 3.3).
 
 pub mod ast;
+pub mod doc;
 pub mod fragments;
 pub mod parser;
 pub mod semantics;
 pub mod translate;
 
 pub use ast::{cond_as_query, Cond, EqMode, Query, Var};
+pub use doc::{load_document, DocRepr};
 pub use fragments::{
     free_vars, is_composition_free, is_strict_core, is_xq_tilde, to_composition_free, to_xq_tilde,
     Features,

@@ -47,6 +47,11 @@ fn var_step(depth: usize) -> impl Strategy<Value = Query> {
 }
 
 /// Random XQ∼ queries with `depth` loop variables in scope.
+///
+/// NOTE: `crates/xtree/tests/arena_diff.rs` carries a deliberate copy of
+/// this grammar (its suite must run from `cv_xtree`, and a shared helper
+/// would put the generator on `xq_core`'s public surface). If you extend
+/// the grammar here, mirror it there.
 fn xq_tilde(depth: usize, size: u32) -> BoxedStrategy<Query> {
     if size == 0 {
         return prop_oneof![
@@ -101,15 +106,21 @@ fn eq_mode() -> impl Strategy<Value = EqMode> {
 /// The shared document corpus, built once per test thread and reused
 /// across every generated case (it was rebuilt per case before — the
 /// dominant cost of this suite, see ROADMAP "Slow suite"). `Tree` is
-/// `Rc`-based, so the returned clone is three pointer bumps.
+/// `Rc`-based, so the returned clone is three pointer bumps. With
+/// `XQ_ARENA` set, every corpus document is routed through the arena
+/// store (`Tree → ArenaDoc → Tree`, see `xq_core::doc`), so these suites
+/// double as arena agreement suites.
 fn docs() -> Vec<Tree> {
     thread_local! {
-        static DOCS: Vec<Tree> = (0..3u64)
-            .map(|seed| {
-                let mut g = TreeGen::new(seed);
-                random_tree(&mut g, 10, &["a", "b", "k"])
-            })
-            .collect();
+        static DOCS: Vec<Tree> = {
+            let repr = xq_core::DocRepr::from_env();
+            (0..3u64)
+                .map(|seed| {
+                    let mut g = TreeGen::new(seed);
+                    repr.roundtrip(&random_tree(&mut g, 10, &["a", "b", "k"]))
+                })
+                .collect()
+        };
     }
     DOCS.with(|d| d.clone())
 }

@@ -7,17 +7,21 @@
 //!   operator rules, with `U^τ` decoding back to complex values;
 //! * [`proof`] — proof trees certifying path membership (Figure 6), with
 //!   the statistics the Theorem 5.2 argument bounds (branching ≤ 2,
-//!   polynomial path sizes).
+//!   polynomial path sizes);
+//! * [`treepaths`] — the same flat path-set encoding applied to XML data
+//!   trees, with an arena fast path over `cv_xtree::ArenaDoc`.
 
 pub mod proof;
 pub mod semantics;
 mod term;
+pub mod treepaths;
 
 pub use proof::{prove, ProofNode, ProofStats};
 pub use semantics::{
     decode, eval_paths, eval_paths_with, map_b, map_e, value_paths, PathBudget, PathError, PathSet,
 };
 pub use term::{parse_term, Term};
+pub use treepaths::{doc_paths, tree_paths};
 
 /// The running example of Figures 5 and 6:
 /// `⟨A: {1,2}, B: {2,3}⟩ ∘ pairwithA ∘ map(pairwithB ∘ map(A =atomic B))

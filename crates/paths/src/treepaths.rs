@@ -1,0 +1,147 @@
+//! The §5.1 flat path-set encoding of *data trees*.
+//!
+//! [`value_paths`](crate::value_paths) views a complex value as the set of
+//! its root-to-leaf label paths; the same flattening applies to the XML
+//! data model: an unranked ordered labeled tree is the set of its
+//! root-to-leaf paths, where each step contributes a 1-based child-index
+//! segment (set/list members get index labels in `value_paths`, children
+//! get sibling positions here) followed by the node's label segment. Inner
+//! labels appear on every path through them, so the path set determines
+//! the tree: [`tree_paths`] and [`doc_paths`] are injective and agree with
+//! each other.
+//!
+//! Two implementations are provided deliberately: [`tree_paths`] recurses
+//! over the `Rc` [`Tree`], while [`doc_paths`] takes the arena route — a
+//! single preorder pass over the [`ArenaDoc`] parallel vectors that
+//! maintains one running prefix and never clones a subtree. They are
+//! differentially tested equal, which is their point: each is an
+//! independent oracle for the other. On time the two are a wash (~1× in
+//! the T15 harness row) — building the `Term` path set dominates, not the
+//! traversal — so reach for `doc_paths` to avoid a tree materialization,
+//! not for speed.
+
+use crate::{PathSet, Term};
+use cv_xtree::{ArenaDoc, NodeId, Tree};
+
+/// Encodes a tree as the set of its root-to-leaf paths, `value_paths`
+/// style: `root-label (. child-index . label)* `.
+pub fn tree_paths(t: &Tree) -> PathSet {
+    let mut out = PathSet::new();
+    let mut prefix = vec![Term::sym(t.label().as_str())];
+    collect(t, &mut prefix, &mut out);
+    out
+}
+
+fn collect(t: &Tree, prefix: &mut Vec<Term>, out: &mut PathSet) {
+    if t.is_leaf() {
+        out.insert(Term::from_segments(prefix.clone()));
+        return;
+    }
+    for (i, c) in t.children().iter().enumerate() {
+        prefix.push(Term::sym((i + 1).to_string()));
+        prefix.push(Term::sym(c.label().as_str()));
+        collect(c, prefix, out);
+        prefix.pop();
+        prefix.pop();
+    }
+}
+
+/// [`tree_paths`] over the arena store: same output, computed by one
+/// stack-driven preorder walk over the id-indexed vectors.
+pub fn doc_paths(doc: &ArenaDoc) -> PathSet {
+    let mut out = PathSet::new();
+    let root = doc.root();
+    let mut prefix = vec![Term::sym(doc.label(root).as_str())];
+    // (node, child index within its parent) to visit, plus pop markers.
+    enum Ev {
+        Visit(NodeId, usize),
+        Pop,
+    }
+    let mut stack: Vec<Ev> = Vec::new();
+    let push_children = |stack: &mut Vec<Ev>, v: NodeId| {
+        for (i, &c) in doc.children(v).iter().enumerate().rev() {
+            stack.push(Ev::Visit(c, i + 1));
+        }
+    };
+    if doc.is_leaf(root) {
+        out.insert(Term::from_segments(prefix.clone()));
+        return out;
+    }
+    push_children(&mut stack, root);
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Visit(v, i) => {
+                prefix.push(Term::sym(i.to_string()));
+                prefix.push(Term::sym(doc.label(v).as_str()));
+                if doc.is_leaf(v) {
+                    out.insert(Term::from_segments(prefix.clone()));
+                    prefix.pop();
+                    prefix.pop();
+                } else {
+                    stack.push(Ev::Pop);
+                    push_children(&mut stack, v);
+                }
+            }
+            Ev::Pop => {
+                prefix.pop();
+                prefix.pop();
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_xtree::{parse_tree, random_tree, DoublingFamily, TreeGen};
+
+    fn ps(paths: &[&str]) -> PathSet {
+        paths
+            .iter()
+            .map(|p| crate::parse_term(p).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn paths_of_the_remark_6_7_document() {
+        // <c><d/><a/><a><c/></a></c>
+        let t = parse_tree("<c><d/><a/><a><c/></a></c>").unwrap();
+        assert_eq!(tree_paths(&t), ps(&["c.1.d", "c.2.a", "c.3.a.1.c"]));
+    }
+
+    #[test]
+    fn leaf_document_is_a_single_segment() {
+        let t = parse_tree("<r/>").unwrap();
+        assert_eq!(tree_paths(&t), ps(&["r"]));
+        assert_eq!(doc_paths(&ArenaDoc::from_tree(&t)), ps(&["r"]));
+    }
+
+    #[test]
+    fn encoding_distinguishes_sibling_order() {
+        let ab = parse_tree("<r><a/><b/></r>").unwrap();
+        let ba = parse_tree("<r><b/><a/></r>").unwrap();
+        assert_ne!(tree_paths(&ab), tree_paths(&ba));
+    }
+
+    #[test]
+    fn arena_fast_path_agrees_with_tree_recursion() {
+        for seed in 0..6u64 {
+            let mut g = TreeGen::new(seed);
+            let t = random_tree(&mut g, 40, &["a", "b", "c"]);
+            assert_eq!(
+                doc_paths(&ArenaDoc::from_tree(&t)),
+                tree_paths(&t),
+                "seed {seed}"
+            );
+        }
+        for family in DoublingFamily::ALL {
+            let n = 5;
+            assert_eq!(
+                doc_paths(&family.arena(n)),
+                tree_paths(&family.tree(n)),
+                "{family} n={n}"
+            );
+        }
+    }
+}

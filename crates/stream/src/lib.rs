@@ -37,7 +37,7 @@
 //! [`StreamStats::buffered_sources`] counts how often the fast path
 //! engaged.
 
-use cv_xtree::{Axis, Label, NodeTest, Token, Tree};
+use cv_xtree::{ArenaDoc, Axis, Label, NodeTest, Token, Tree};
 use std::cell::Cell;
 use std::rc::Rc;
 use xq_core::ast::{Cond, EqMode, Query, Var};
@@ -820,14 +820,36 @@ pub fn stream_query_buffered(
     stream_with(q, input, max_pulls, buffer_limit)
 }
 
+/// [`stream_query_buffered`] over an arena-backed document: the `$root`
+/// binding is tokenized straight out of the [`ArenaDoc`]'s parallel
+/// vectors — no `Rc` tree is materialized, and per-item bindings are
+/// plain token slices. This is the arena fast path of the streaming
+/// engine; output is byte-identical to streaming `doc.to_tree()`.
+pub fn stream_query_arena(
+    q: &Query,
+    doc: &ArenaDoc,
+    max_pulls: u64,
+    buffer_limit: usize,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    stream_tokens(q, doc.tokens().into(), max_pulls, buffer_limit)
+}
+
 fn stream_with(
     q: &Query,
     input: &Tree,
     max_pulls: u64,
     buffer_limit: usize,
 ) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    stream_tokens(q, input.tokens().into(), max_pulls, buffer_limit)
+}
+
+fn stream_tokens(
+    q: &Query,
+    tokens: Rc<[Token]>,
+    max_pulls: u64,
+    buffer_limit: usize,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
     let shared = Shared::new(max_pulls, buffer_limit);
-    let tokens: Rc<[Token]> = input.tokens().into();
     let env = bind(&None, Var::root(), Binding::Input(tokens));
     let mut cursor = XCursor::of_query(q, &env, &shared)?;
     let mut out = Vec::new();
@@ -1119,6 +1141,26 @@ mod tests {
             stream_query_buffered(&q, &t, 2_000, DEFAULT_BUFFER_LIMIT).unwrap_err(),
             StreamError::Budget
         );
+    }
+
+    #[test]
+    fn arena_source_agrees_with_tree_source() {
+        let queries = [
+            "$root//b",
+            "for $x in $root/* return <w>{ $x/* }</w>",
+            "if (some $x in $root/* satisfies $x =atomic <a/>) then <y/>",
+        ];
+        for seed in 0..4u64 {
+            let mut g = cv_xtree::TreeGen::new(seed);
+            let t = cv_xtree::random_tree(&mut g, 25, &["a", "b", "c"]);
+            let doc = ArenaDoc::from_tree(&t);
+            for src in &queries {
+                let q = parse_query(src).unwrap();
+                let (want, _) = stream_query_buffered(&q, &t, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
+                let (got, _) = stream_query_arena(&q, &doc, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
+                assert_eq!(got, want, "query {src} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,731 @@
+//! The arena-backed, label-interned document store.
+//!
+//! Koch's complexity bounds (PODS 2005) are stated over data trees whose
+//! *size* dominates everything; the [`Tree`] representation spends that
+//! budget on one `Rc<TreeNode>` allocation per node and one `Rc<str>` per
+//! label. This module provides the flat alternative suggested by the §5.1
+//! path-set encoding (and the flat-value encoding of Prop 6.1): all node
+//! data lives in contiguous, [`NodeId`]-indexed parallel vectors, and
+//! labels are interned once per thread into `u32` [`LabelId`]s, making
+//! label equality a single integer compare.
+//!
+//! Layout of an [`ArenaDoc`] (ids are assigned in preorder, so comparing
+//! ids compares document order, exactly as in [`Document`](crate::Document)):
+//!
+//! ```text
+//! labels:       Vec<LabelId>     one per node, resolved via the interner
+//! parents:      Vec<u32>         parent id (root stores NO_PARENT)
+//! child_spans:  Vec<Range<u32>>  per-node contiguous span into child_ids
+//! child_ids:    Vec<NodeId>      all child lists, concatenated
+//! subtree_ends: Vec<u32>         preorder end of each node's subtree
+//! ```
+//!
+//! The descendants of `v` are exactly the id range
+//! `v+1 .. subtree_ends[v]`, so a descendant axis scan is a linear walk
+//! over a `u32` range with no pointer chasing and no `Rc` refcount
+//! traffic — the core of the T15 speedup over [`Tree::axis`].
+//!
+//! **Thread affinity.** [`LabelId`]s are only meaningful on the thread
+//! that interned them, so `ArenaDoc` is deliberately `!Send`/`!Sync`
+//! (like [`Tree`], whose `Rc`s already are).
+
+use crate::{Axis, Label, NodeId, NodeTest, Token, Tree, XmlError};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// An interned label: a `u32` handle into the thread-local
+/// [`LabelInterner`]. Equality and hashing are O(1) integer operations;
+/// *ordering* is intentionally not derived, because ids are assigned in
+/// interning order, not lexicographic order — compare via [`LabelId::label`].
+///
+/// Like [`ArenaDoc`], a `LabelId` is only meaningful on the thread that
+/// interned it, so it is deliberately `!Send`/`!Sync` (the marker field;
+/// `PhantomData` keeps it `Copy`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LabelId(u32, PhantomData<Rc<()>>);
+
+impl LabelId {
+    fn from_raw(id: u32) -> LabelId {
+        LabelId(id, PhantomData)
+    }
+
+    /// Interns `s` in this thread's interner and returns its id. The same
+    /// string always receives the same id within a thread.
+    pub fn intern(s: impl AsRef<str>) -> LabelId {
+        INTERNER.with(|i| i.borrow_mut().intern(s.as_ref()))
+    }
+
+    /// Resolves the id back to its [`Label`] (a cheap `Rc` clone).
+    pub fn label(self) -> Label {
+        INTERNER.with(|i| i.borrow().resolve(self))
+    }
+
+    /// The id `s` was interned under, if any — a lookup that, unlike
+    /// [`LabelId::intern`], never grows the table. Queries use this: a
+    /// never-interned label cannot occur in any document on this thread.
+    pub fn lookup(s: &str) -> Option<LabelId> {
+        INTERNER.with(|i| i.borrow().ids.get(s).copied().map(LabelId::from_raw))
+    }
+
+    /// The raw handle (useful for dense per-label side tables).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+impl fmt::Debug for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LabelId({} = {:?})", self.0, self.label().as_str())
+    }
+}
+
+impl From<&str> for LabelId {
+    fn from(s: &str) -> LabelId {
+        LabelId::intern(s)
+    }
+}
+
+impl From<&Label> for LabelId {
+    fn from(l: &Label) -> LabelId {
+        LabelId::intern(l.as_str())
+    }
+}
+
+/// The string ⇄ id table behind [`LabelId`]. One instance lives per
+/// thread; use the [`LabelId`] associated functions rather than holding an
+/// interner directly.
+#[derive(Default)]
+pub struct LabelInterner {
+    labels: Vec<Label>,
+    ids: HashMap<Label, u32>,
+}
+
+impl LabelInterner {
+    fn intern(&mut self, s: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(s) {
+            return LabelId::from_raw(id);
+        }
+        let id = u32::try_from(self.labels.len()).expect("more than u32::MAX distinct labels");
+        let label = Label::new(s);
+        self.labels.push(label.clone());
+        self.ids.insert(label, id);
+        LabelId::from_raw(id)
+    }
+
+    fn resolve(&self, id: LabelId) -> Label {
+        self.labels[id.0 as usize].clone()
+    }
+}
+
+thread_local! {
+    static INTERNER: RefCell<LabelInterner> = RefCell::new(LabelInterner::default());
+}
+
+/// Number of distinct labels interned on this thread so far (test aid).
+pub fn interned_labels() -> usize {
+    INTERNER.with(|i| i.borrow().labels.len())
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// An arena-backed document: one tree stored as [`NodeId`]-indexed
+/// parallel vectors with interned labels. See the module docs for the
+/// layout and the [`Document`](crate::Document) comparison.
+pub struct ArenaDoc {
+    labels: Vec<LabelId>,
+    parents: Vec<u32>,
+    child_spans: Vec<Range<u32>>,
+    child_ids: Vec<NodeId>,
+    subtree_ends: Vec<u32>,
+    // No marker field needed: `labels` holds `LabelId`s, whose own
+    // thread-affinity marker already makes the arena `!Send`/`!Sync`.
+}
+
+/// Incremental preorder construction of an [`ArenaDoc`]: call
+/// [`open`](ArenaBuilder::open)/[`close`](ArenaBuilder::close) in tag-string
+/// order (or [`leaf`](ArenaBuilder::leaf)), then [`finish`](ArenaBuilder::finish).
+/// Generators use this to build documents arena-natively, with no `Rc`
+/// tree ever materialized.
+pub struct ArenaBuilder {
+    doc: ArenaDoc,
+    /// Open nodes: (node, offset into `scratch` where its child list
+    /// starts). Completed-but-unflushed sibling ids accumulate in the one
+    /// shared `scratch` stack, so building performs no per-node
+    /// allocation (a fresh `Vec` per open node would).
+    stack: Vec<(u32, usize)>,
+    scratch: Vec<NodeId>,
+    roots: usize,
+}
+
+impl Default for ArenaBuilder {
+    fn default() -> ArenaBuilder {
+        ArenaBuilder::new()
+    }
+}
+
+impl ArenaBuilder {
+    /// An empty builder.
+    pub fn new() -> ArenaBuilder {
+        ArenaBuilder::with_capacity(0)
+    }
+
+    /// An empty builder with room for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> ArenaBuilder {
+        ArenaBuilder {
+            doc: ArenaDoc {
+                labels: Vec::with_capacity(nodes),
+                parents: Vec::with_capacity(nodes),
+                child_spans: Vec::with_capacity(nodes),
+                child_ids: Vec::with_capacity(nodes.saturating_sub(1)),
+                subtree_ends: Vec::with_capacity(nodes),
+            },
+            stack: Vec::new(),
+            scratch: Vec::new(),
+            roots: 0,
+        }
+    }
+
+    /// Opens a node (`<a>`): assigns the next preorder id.
+    pub fn open(&mut self, label: impl Into<LabelId>) -> NodeId {
+        let id = u32::try_from(self.doc.labels.len()).expect("more than u32::MAX nodes");
+        self.doc.labels.push(label.into());
+        self.doc
+            .parents
+            .push(self.stack.last().map_or(NO_PARENT, |(p, _)| *p));
+        self.doc.child_spans.push(0..0);
+        self.doc.subtree_ends.push(0);
+        if self.stack.is_empty() {
+            self.roots += 1;
+        }
+        self.stack.push((id, self.scratch.len()));
+        NodeId(id)
+    }
+
+    /// Closes the innermost open node (`</a>`), flushing its child list —
+    /// the top `scratch` segment — into the contiguous `child_ids` vector.
+    pub fn close(&mut self) {
+        let (id, kids_from) = self.stack.pop().expect("close without a matching open");
+        let start = self.doc.child_ids.len() as u32;
+        self.doc
+            .child_ids
+            .extend_from_slice(&self.scratch[kids_from..]);
+        self.scratch.truncate(kids_from);
+        self.doc.child_spans[id as usize] = start..self.doc.child_ids.len() as u32;
+        self.doc.subtree_ends[id as usize] = self.doc.labels.len() as u32;
+        // Register as a completed sibling for the enclosing node (if any).
+        self.scratch.push(NodeId(id));
+    }
+
+    /// `open` + `close`: a leaf node (`<a/>`).
+    pub fn leaf(&mut self, label: impl Into<LabelId>) -> NodeId {
+        let id = self.open(label);
+        self.close();
+        id
+    }
+
+    /// Finishes construction. Panics unless exactly one root was built and
+    /// every `open` was closed (malformed input should be rejected earlier,
+    /// by [`ArenaDoc::parse`]).
+    pub fn finish(self) -> ArenaDoc {
+        assert!(self.stack.is_empty(), "unclosed node in ArenaBuilder");
+        assert_eq!(self.roots, 1, "ArenaDoc holds exactly one root");
+        self.doc
+    }
+}
+
+impl ArenaDoc {
+    /// Builds the arena for `tree` (lossless; see [`ArenaDoc::to_tree`]).
+    pub fn from_tree(tree: &Tree) -> ArenaDoc {
+        let mut b = ArenaBuilder::with_capacity(tree.size() as usize);
+        // Explicit stack: (subtree, next-child index); avoids deep recursion
+        // on comb-shaped documents.
+        let mut stack: Vec<(&Tree, usize)> = Vec::new();
+        b.open(tree.label());
+        stack.push((tree, 0));
+        while let Some((t, next)) = stack.last_mut() {
+            if let Some(c) = t.children().get(*next) {
+                *next += 1;
+                b.open(c.label());
+                stack.push((c, 0));
+            } else {
+                b.close();
+                stack.pop();
+            }
+        }
+        b.finish()
+    }
+
+    /// Parses an XML document (the paper's tag-string dialect) directly
+    /// into the arena — no intermediate [`Tree`] is built. Error messages
+    /// are identical to [`parse_tree`](crate::parse_tree)'s on the same
+    /// input, so the two representations are interchangeable in error
+    /// paths too.
+    pub fn parse(src: &str) -> Result<ArenaDoc, XmlError> {
+        let tokens = crate::parse::tokenize(src)?;
+        ArenaDoc::from_tokens(&tokens)
+    }
+
+    /// Rebuilds a single-rooted document from a token stream, with the
+    /// same error messages as [`Tree::forest_from_tokens`] plus the
+    /// [`parse_tree`](crate::parse_tree) single-root check.
+    pub fn from_tokens(tokens: &[Token]) -> Result<ArenaDoc, XmlError> {
+        let mut b = ArenaBuilder::with_capacity(tokens.len() / 2);
+        // Open labels, for the mismatch/unclosed diagnostics.
+        let mut open: Vec<Label> = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            match tok {
+                Token::Open(l) => {
+                    b.open(l);
+                    open.push(l.clone());
+                }
+                Token::Close(l) => {
+                    let top = open.pop().ok_or_else(|| XmlError {
+                        offset: i,
+                        message: format!("unmatched closing tag </{l}>"),
+                    })?;
+                    if &top != l {
+                        return Err(XmlError {
+                            offset: i,
+                            message: format!("mismatched tags: <{top}> closed by </{l}>"),
+                        });
+                    }
+                    b.close();
+                }
+            }
+        }
+        if let Some(l) = open.last() {
+            return Err(XmlError {
+                offset: tokens.len(),
+                message: format!("unclosed tag <{l}>"),
+            });
+        }
+        if b.roots != 1 {
+            return Err(XmlError {
+                offset: 0,
+                message: format!("expected exactly one root element, found {}", b.roots),
+            });
+        }
+        Ok(b.finish())
+    }
+
+    /// The root node (always id 0).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True iff the document has no nodes (never after a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The interned label of `id` — O(1) to compare against another node's.
+    pub fn label_id(&self, id: NodeId) -> LabelId {
+        self.labels[id.0 as usize]
+    }
+
+    /// The resolved label of `id`.
+    pub fn label(&self, id: NodeId) -> Label {
+        self.label_id(id).label()
+    }
+
+    /// The parent of `id`, if any.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        match self.parents[id.0 as usize] {
+            NO_PARENT => None,
+            p => Some(NodeId(p)),
+        }
+    }
+
+    /// The children of `id` in document order, as a contiguous slice.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        let span = self.child_spans[id.0 as usize].clone();
+        &self.child_ids[span.start as usize..span.end as usize]
+    }
+
+    /// Whether `id` is a leaf.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        let span = &self.child_spans[id.0 as usize];
+        span.start == span.end
+    }
+
+    /// Proper descendants of `id` in document order — a pure id-range scan.
+    pub fn descendants(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        (id.0 + 1..self.subtree_ends[id.0 as usize]).map(NodeId)
+    }
+
+    /// Whether `desc` lies in the subtree rooted at `anc` (inclusive).
+    pub fn is_in_subtree(&self, anc: NodeId, desc: NodeId) -> bool {
+        anc.0 <= desc.0 && desc.0 < self.subtree_ends[anc.0 as usize]
+    }
+
+    /// Number of nodes in the subtree of `id` (inclusive).
+    pub fn subtree_len(&self, id: NodeId) -> usize {
+        (self.subtree_ends[id.0 as usize] - id.0) as usize
+    }
+
+    /// Height of the subtree of `id` (a leaf has height 1). Iterative:
+    /// height(v) = 1 + max(height(children)), computed in reverse preorder.
+    pub fn height(&self, id: NodeId) -> u64 {
+        let start = id.0 as usize;
+        let end = self.subtree_ends[start] as usize;
+        let mut h = vec![1u64; end - start];
+        for v in (start..end).rev() {
+            for c in self.children(NodeId(v as u32)) {
+                h[v - start] = h[v - start].max(1 + h[c.0 as usize - start]);
+            }
+        }
+        h[0]
+    }
+
+    /// The nodes reached from `id` via `axis` whose labels pass `test`, in
+    /// document order — mirrors [`Document::axis`](crate::Document::axis).
+    pub fn axis(&self, id: NodeId, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+        // Node tests resolve to one interned-id compare (or none for `*`).
+        // Lookup only — querying a foreign tag must not grow the interner,
+        // and a never-interned tag matches nothing.
+        let want: Option<LabelId> = match test {
+            NodeTest::Tag(l) => match LabelId::lookup(l.as_str()) {
+                Some(w) => Some(w),
+                None => return Vec::new(),
+            },
+            NodeTest::Wildcard => None,
+        };
+        let pass = |n: NodeId| want.is_none_or(|w| self.label_id(n) == w);
+        let mut out = Vec::new();
+        match axis {
+            Axis::Child => out.extend(self.children(id).iter().copied().filter(|&c| pass(c))),
+            Axis::Descendant => out.extend(self.descendants(id).filter(|&c| pass(c))),
+            Axis::SelfAxis => {
+                if pass(id) {
+                    out.push(id);
+                }
+            }
+            Axis::DescendantOrSelf => {
+                if pass(id) {
+                    out.push(id);
+                }
+                out.extend(self.descendants(id).filter(|&c| pass(c)));
+            }
+        }
+        out
+    }
+
+    /// Deep (value) equality of the subtrees at `a` and `b`. Interning
+    /// makes the per-node label compare O(1); the shape compare walks the
+    /// two preorder ranges in lockstep.
+    pub fn deep_eq(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return true;
+        }
+        let n = self.subtree_len(a);
+        if n != self.subtree_len(b) {
+            return false;
+        }
+        // Equal-size preorder ranges are equal trees iff labels and child
+        // counts agree position-wise.
+        (0..n as u32).all(|i| {
+            let (x, y) = (NodeId(a.0 + i), NodeId(b.0 + i));
+            self.label_id(x) == self.label_id(y) && self.children(x).len() == self.children(y).len()
+        })
+    }
+
+    /// Atomic equality: both nodes must be leaves; compares labels.
+    /// `None` when either node is not a leaf (the comparison is undefined,
+    /// matching `=atomic` being a partial operation).
+    pub fn atomic_eq(&self, a: NodeId, b: NodeId) -> Option<bool> {
+        if self.is_leaf(a) && self.is_leaf(b) {
+            Some(self.label_id(a) == self.label_id(b))
+        } else {
+            None
+        }
+    }
+
+    /// The tag string of the subtree at `id` (cf. [`Tree::tokens`]).
+    pub fn tokens_of(&self, id: NodeId) -> Vec<Token> {
+        let mut out = Vec::with_capacity(2 * self.subtree_len(id));
+        self.walk(id, |doc, v, open| {
+            let label = doc.label(v);
+            out.push(if open {
+                Token::Open(label)
+            } else {
+                Token::Close(label)
+            })
+        });
+        out
+    }
+
+    /// The tag string of the whole document.
+    pub fn tokens(&self) -> Vec<Token> {
+        self.tokens_of(self.root())
+    }
+
+    /// Serializes the subtree at `id` to XML text, byte-identical to
+    /// [`Tree::to_xml`] on the converted tree (leaves print as `<a/>`).
+    pub fn xml_of(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.walk(id, |doc, v, open| {
+            let leaf = doc.is_leaf(v);
+            if open {
+                out.push('<');
+                out.push_str(doc.label(v).as_str());
+                out.push_str(if leaf { "/>" } else { ">" });
+            } else if !leaf {
+                out.push_str("</");
+                out.push_str(doc.label(v).as_str());
+                out.push('>');
+            }
+        });
+        out
+    }
+
+    /// Serializes the whole document to XML text.
+    pub fn to_xml(&self) -> String {
+        self.xml_of(self.root())
+    }
+
+    /// Materializes the subtree at `id` as a [`Tree`]. Iterative, in
+    /// reverse preorder: by the time `v` is visited every child tree is
+    /// already built.
+    pub fn subtree(&self, id: NodeId) -> Tree {
+        let start = id.0 as usize;
+        let end = self.subtree_ends[start] as usize;
+        let mut built: Vec<Option<Tree>> = vec![None; end - start];
+        for v in (start..end).rev() {
+            let children: Vec<Tree> = self
+                .children(NodeId(v as u32))
+                .iter()
+                .map(|c| built[c.0 as usize - start].take().expect("child built"))
+                .collect();
+            built[v - start] = Some(Tree::node(self.label(NodeId(v as u32)), children));
+        }
+        built[0].take().expect("root built")
+    }
+
+    /// Converts the whole document back to a [`Tree`]
+    /// (`ArenaDoc::from_tree` ∘ `to_tree` is the identity — tested).
+    pub fn to_tree(&self) -> Tree {
+        self.subtree(self.root())
+    }
+
+    /// Iterative preorder tag-string walk — the one traversal behind
+    /// [`ArenaDoc::tokens_of`] and [`ArenaDoc::xml_of`]: calls
+    /// `f(self, node, true)` at each opening tag and `f(self, node,
+    /// false)` at the matching closing tag (leaves get both calls
+    /// back-to-back; serializers may collapse them).
+    fn walk(&self, id: NodeId, mut f: impl FnMut(&ArenaDoc, NodeId, bool)) {
+        enum Ev {
+            Open(NodeId),
+            Close(NodeId),
+        }
+        let mut stack = vec![Ev::Open(id)];
+        while let Some(ev) = stack.pop() {
+            match ev {
+                Ev::Open(v) => {
+                    f(self, v, true);
+                    stack.push(Ev::Close(v));
+                    for &c in self.children(v).iter().rev() {
+                        stack.push(Ev::Open(c));
+                    }
+                }
+                Ev::Close(v) => f(self, v, false),
+            }
+        }
+    }
+}
+
+impl fmt::Display for ArenaDoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+impl fmt::Debug for ArenaDoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ArenaDoc[{} nodes] {}", self.len(), self.to_xml())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_tree;
+
+    fn sample() -> Tree {
+        // <r><a><b/><b/></a><a/><c><a><b/></a></c></r> — the Document
+        // module's example, for cross-representation comparison.
+        Tree::node(
+            "r",
+            [
+                Tree::node("a", [Tree::leaf("b"), Tree::leaf("b")]),
+                Tree::leaf("a"),
+                Tree::node("c", [Tree::node("a", [Tree::leaf("b")])]),
+            ],
+        )
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_o1_equal() {
+        let a1 = LabelId::intern("a");
+        let before = interned_labels();
+        let a2 = LabelId::intern("a");
+        assert_eq!(before, interned_labels(), "re-interning must not grow");
+        let b = LabelId::intern("b");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.label().as_str(), "a");
+        assert_eq!(b.label(), Label::from("b"));
+        assert_eq!(LabelId::lookup("a"), Some(a1));
+    }
+
+    #[test]
+    fn axis_queries_do_not_grow_the_interner() {
+        let doc = ArenaDoc::from_tree(&sample());
+        let before = interned_labels();
+        let hits = doc.axis(
+            doc.root(),
+            Axis::Descendant,
+            &NodeTest::tag("never-interned-tag"),
+        );
+        assert!(hits.is_empty());
+        assert_eq!(
+            interned_labels(),
+            before,
+            "querying a foreign tag must not intern it"
+        );
+    }
+
+    #[test]
+    fn ids_are_preorder_and_links_match_document() {
+        let t = sample();
+        let a = ArenaDoc::from_tree(&t);
+        let d = crate::Document::new(&t);
+        assert_eq!(a.len(), d.len());
+        for i in 0..a.len() as u32 {
+            let id = NodeId(i);
+            assert_eq!(a.label(id), *d.label(id), "label of {i}");
+            assert_eq!(a.parent(id), d.parent(id), "parent of {i}");
+            assert_eq!(a.children(id), d.children(id), "children of {i}");
+            assert_eq!(a.is_leaf(id), d.is_leaf(id), "leafness of {i}");
+            assert_eq!(
+                a.descendants(id).collect::<Vec<_>>(),
+                d.descendants(id).collect::<Vec<_>>(),
+                "descendants of {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn axes_match_document_on_every_node_and_test() {
+        let t = sample();
+        let a = ArenaDoc::from_tree(&t);
+        let d = crate::Document::new(&t);
+        let tests = [
+            NodeTest::Wildcard,
+            NodeTest::tag("a"),
+            NodeTest::tag("b"),
+            NodeTest::tag("zzz"),
+        ];
+        for i in 0..a.len() as u32 {
+            for axis in [
+                Axis::Child,
+                Axis::Descendant,
+                Axis::SelfAxis,
+                Axis::DescendantOrSelf,
+            ] {
+                for test in &tests {
+                    assert_eq!(
+                        a.axis(NodeId(i), axis, test),
+                        d.axis(NodeId(i), axis, test),
+                        "axis {axis} test {test} at node {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_round_trip_is_identity() {
+        let t = sample();
+        let a = ArenaDoc::from_tree(&t);
+        assert_eq!(a.to_tree(), t);
+        assert_eq!(a.subtree(NodeId(6)), Tree::node("a", [Tree::leaf("b")]));
+    }
+
+    #[test]
+    fn parse_and_serialize_directly() {
+        let src = "<c><d/><a/><a><c/></a></c>";
+        let a = ArenaDoc::parse(src).unwrap();
+        assert_eq!(a.to_xml(), src);
+        assert_eq!(a.tokens(), parse_tree(src).unwrap().tokens());
+        assert_eq!(a.to_tree(), parse_tree(src).unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_with_tree_identical_messages() {
+        for bad in ["<a>", "</a>", "<a></b>", "<a>text</a>", "<a/><b/>", "<a"] {
+            let via_tree = parse_tree(bad).unwrap_err();
+            let via_arena = ArenaDoc::parse(bad).unwrap_err();
+            assert_eq!(via_arena, via_tree, "error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn equalities_match_document() {
+        let t = sample();
+        let a = ArenaDoc::from_tree(&t);
+        let d = crate::Document::new(&t);
+        for x in 0..a.len() as u32 {
+            for y in 0..a.len() as u32 {
+                let (x, y) = (NodeId(x), NodeId(y));
+                assert_eq!(a.deep_eq(x, y), d.deep_eq(x, y), "deep_eq {x:?} {y:?}");
+                assert_eq!(
+                    a.atomic_eq(x, y),
+                    d.atomic_eq(x, y),
+                    "atomic_eq {x:?} {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metrics() {
+        let a = ArenaDoc::from_tree(&sample());
+        assert_eq!(a.len(), 8);
+        assert_eq!(a.subtree_len(a.root()), 8);
+        assert_eq!(a.subtree_len(NodeId(5)), 3);
+        assert_eq!(a.height(a.root()), 4);
+        assert_eq!(a.height(NodeId(4)), 1);
+        assert!(a.is_in_subtree(NodeId(5), NodeId(7)));
+        assert!(!a.is_in_subtree(NodeId(1), NodeId(4)));
+    }
+
+    #[test]
+    fn builder_builds_the_remark_6_7_document() {
+        // <c><d/><a/><a><c/></a></c>, built by hand.
+        let mut b = ArenaBuilder::new();
+        b.open("c");
+        b.leaf("d");
+        b.leaf("a");
+        b.open("a");
+        b.leaf("c");
+        b.close();
+        b.close();
+        let a = b.finish();
+        assert_eq!(a.to_xml(), "<c><d/><a/><a><c/></a></c>");
+    }
+}

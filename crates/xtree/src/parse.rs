@@ -24,7 +24,7 @@ impl std::fmt::Display for XmlError {
 
 impl std::error::Error for XmlError {}
 
-fn tokenize(src: &str) -> Result<Vec<Token>, XmlError> {
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, XmlError> {
     let bytes = src.as_bytes();
     let mut pos = 0;
     let mut out = Vec::new();

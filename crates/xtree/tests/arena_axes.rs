@@ -1,0 +1,127 @@
+//! Golden axis tests: every `Axis` × node test on the `generate.rs`
+//! doubling families (plus a fixed-seed random document), compared
+//! node-for-node against the `Rc` `Tree::axis` baseline, with a
+//! fixed-seed golden file so regressions diff readably.
+//!
+//! Regenerate the golden file after an intentional change with
+//!
+//! ```text
+//! XQ_UPDATE_GOLDEN=1 cargo test -p cv_xtree --test arena_axes
+//! ```
+//! and review the diff of `tests/golden/axes.golden` like any other code
+//! change.
+
+use cv_xtree::{random_tree, ArenaDoc, Axis, DoublingFamily, NodeId, NodeTest, Tree, TreeGen};
+use std::fmt::Write as _;
+
+const AXES: [Axis; 4] = [
+    Axis::Child,
+    Axis::Descendant,
+    Axis::SelfAxis,
+    Axis::DescendantOrSelf,
+];
+
+fn node_tests() -> [NodeTest; 3] {
+    [NodeTest::Wildcard, NodeTest::tag("a"), NodeTest::tag("b")]
+}
+
+/// The fixed instance set: the three doubling families at n = 3 and one
+/// fixed-seed random document. Changing this set invalidates the golden
+/// file on purpose.
+fn instances() -> Vec<(String, Tree)> {
+    let mut out: Vec<(String, Tree)> = DoublingFamily::ALL
+        .iter()
+        .map(|f| (format!("{f}(n=3)"), f.tree(3)))
+        .collect();
+    let mut g = TreeGen::new(2005);
+    out.push((
+        "random(seed=2005,size=18)".into(),
+        random_tree(&mut g, 18, &["a", "b", "c"]),
+    ));
+    out
+}
+
+/// Pairs each subtree of `t` (preorder) with its arena [`NodeId`].
+fn preorder_subtrees(t: &Tree) -> Vec<Tree> {
+    let mut out = vec![t.clone()];
+    out.extend(t.descendants());
+    out
+}
+
+/// The Rc-tree baseline for an axis + node test at one subtree.
+fn baseline(sub: &Tree, axis: Axis, test: &NodeTest) -> Vec<Tree> {
+    sub.axis(axis)
+        .into_iter()
+        .filter(|x| test.matches(x.label()))
+        .collect()
+}
+
+#[test]
+fn arena_axes_match_the_rc_baseline_node_for_node() {
+    for (name, t) in instances() {
+        let arena = ArenaDoc::from_tree(&t);
+        let subs = preorder_subtrees(&t);
+        assert_eq!(subs.len(), arena.len(), "{name}: node count");
+        for (i, sub) in subs.iter().enumerate() {
+            let id = NodeId(i as u32);
+            for axis in AXES {
+                for test in &node_tests() {
+                    let want = baseline(sub, axis, test);
+                    let got: Vec<Tree> = arena
+                        .axis(id, axis, test)
+                        .into_iter()
+                        .map(|n| arena.subtree(n))
+                        .collect();
+                    assert_eq!(got, want, "{name}: node {i}, axis {axis}, test {test}");
+                }
+            }
+        }
+    }
+}
+
+/// Renders the full axis relation of the instance set, one line per
+/// (document, node, axis, test) with the selected preorder ids.
+fn render_golden() -> String {
+    let mut out = String::new();
+    for (name, t) in instances() {
+        let arena = ArenaDoc::from_tree(&t);
+        writeln!(out, "# {name}  ({} nodes)  {}", arena.len(), t.to_xml()).unwrap();
+        for i in 0..arena.len() as u32 {
+            let id = NodeId(i);
+            for axis in AXES {
+                for test in &node_tests() {
+                    let ids: Vec<String> = arena
+                        .axis(id, axis, test)
+                        .iter()
+                        .map(|n| n.0.to_string())
+                        .collect();
+                    writeln!(
+                        out,
+                        "{name} node={i}({}) axis={axis} test={test} -> [{}]",
+                        arena.label(id),
+                        ids.join(",")
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn axis_relation_matches_the_golden_file() {
+    let got = render_golden();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/axes.golden");
+    if std::env::var_os("XQ_UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing — run with XQ_UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "axis relation drifted from tests/golden/axes.golden; \
+         if intentional, regenerate with XQ_UPDATE_GOLDEN=1"
+    );
+}

@@ -1,0 +1,109 @@
+//! Property tests for the arena document store (vendored proptest):
+//!
+//! * `Tree → ArenaDoc → Tree` is the identity;
+//! * `to_xml`/`parse` round-trips through the arena (and matches the
+//!   `Rc`-tree serialization byte-for-byte);
+//! * label interning preserves equality and ordering — checked on random
+//!   label sets and across the three doubling-family generators.
+
+use cv_xtree::{random_tree, ArenaDoc, DoublingFamily, LabelId, Tree, TreeGen};
+use proptest::prelude::*;
+
+/// Random tag names over the parser's accepted alphabet.
+fn label_string() -> impl Strategy<Value = String> {
+    const ALPHABET: [char; 8] = ['a', 'b', 'c', 'k', 'x', '.', '-', '_'];
+    prop::collection::vec(0usize..ALPHABET.len(), 1..12)
+        .prop_map(|ix| ix.into_iter().map(|i| ALPHABET[i]).collect())
+}
+
+/// Random trees via the deterministic generator: proptest draws the seed
+/// and size, `TreeGen` supplies the document-ish shape.
+fn tree() -> impl Strategy<Value = Tree> {
+    (0u64..1 << 32, 1usize..80).prop_map(|(seed, size)| {
+        let mut g = TreeGen::new(seed);
+        random_tree(&mut g, size, &["a", "b", "c", "k", "long-label.x"])
+    })
+}
+
+proptest! {
+    /// Lossless conversion: the arena stores exactly the tree.
+    #[test]
+    fn tree_to_arena_to_tree_is_identity(t in tree()) {
+        let arena = ArenaDoc::from_tree(&t);
+        prop_assert_eq!(arena.len() as u64, t.size());
+        prop_assert_eq!(arena.to_tree(), t);
+    }
+
+    /// Serialize/parse round-trips agree across representations.
+    #[test]
+    fn xml_round_trips_through_the_arena(t in tree()) {
+        let xml = t.to_xml();
+        let arena = ArenaDoc::parse(&xml).unwrap();
+        prop_assert_eq!(arena.to_xml(), xml.clone());
+        prop_assert_eq!(arena.to_tree(), t.clone());
+        prop_assert_eq!(arena.tokens(), t.tokens());
+        // And building the arena from the tree serializes identically too.
+        prop_assert_eq!(ArenaDoc::from_tree(&t).to_xml(), xml);
+    }
+
+    /// Interning is injective and order-preserving on arbitrary strings.
+    #[test]
+    fn interning_preserves_label_equality_and_ordering(
+        a in label_string(),
+        b in label_string(),
+    ) {
+        let (ia, ib) = (LabelId::intern(&a), LabelId::intern(&b));
+        prop_assert_eq!(ia == ib, a == b, "equality: {} vs {}", a, b);
+        prop_assert_eq!(
+            ia.label().cmp(&ib.label()),
+            a.as_str().cmp(b.as_str()),
+            "ordering: {} vs {}",
+            a,
+            b
+        );
+        let resolved = ia.label();
+        prop_assert_eq!(resolved.as_str(), a.as_str());
+    }
+}
+
+/// Interning across the three doubling-family generators: the arena
+/// instance's interned labels must match the tree instance's labels
+/// node-for-node (preorder), with id equality mirroring string equality
+/// and resolved ordering mirroring string ordering.
+#[test]
+fn interning_is_faithful_across_the_doubling_families() {
+    for family in DoublingFamily::ALL {
+        for n in 0..6u32 {
+            let t = family.tree(n);
+            let arena = family.arena(n);
+            let mut tree_labels = Vec::new();
+            collect_labels(&t, &mut tree_labels);
+            let arena_ids: Vec<LabelId> = (0..arena.len() as u32)
+                .map(|i| arena.label_id(cv_xtree::NodeId(i)))
+                .collect();
+            assert_eq!(tree_labels.len(), arena_ids.len(), "{family} n={n}");
+            for (x, (sx, ix)) in tree_labels.iter().zip(&arena_ids).enumerate() {
+                assert_eq!(
+                    ix.label().as_str(),
+                    sx.as_str(),
+                    "{family} n={n} node {x} resolves wrong"
+                );
+                for (sy, iy) in tree_labels.iter().zip(&arena_ids) {
+                    assert_eq!(ix == iy, sx == sy, "{family} n={n} equality");
+                    assert_eq!(
+                        ix.label().cmp(&iy.label()),
+                        sx.cmp(sy),
+                        "{family} n={n} ordering"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn collect_labels(t: &Tree, out: &mut Vec<cv_xtree::Label>) {
+    out.push(t.label().clone());
+    for c in t.children() {
+        collect_labels(c, out);
+    }
+}

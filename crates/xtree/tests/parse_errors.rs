@@ -1,0 +1,80 @@
+//! Negative-parse coverage for `cv_xtree::parse` across both document
+//! representations: mismatched tags, truncated input, stray text, and
+//! malformed tags must fail with *stable*, *identical* error messages
+//! whether parsed into the `Rc` [`Tree`] or directly into the
+//! [`ArenaDoc`]. The expected strings are pinned here so an accidental
+//! wording or offset change fails readably.
+
+use cv_xtree::{parse_tree, ArenaDoc};
+
+/// (input, expected `XmlError` display) — the stable error contract.
+const CASES: &[(&str, &str)] = &[
+    // Mismatched tags.
+    (
+        "<a></b>",
+        "XML error at 1: mismatched tags: <a> closed by </b>",
+    ),
+    (
+        "<a><b></a></b>",
+        "XML error at 2: mismatched tags: <b> closed by </a>",
+    ),
+    // Truncated input.
+    ("<a>", "XML error at 1: unclosed tag <a>"),
+    ("<a><b/>", "XML error at 3: unclosed tag <a>"),
+    ("<a", "XML error at 2: expected '>'"),
+    ("<a/", "XML error at 3: expected '>'"),
+    ("<", "XML error at 1: expected a tag name"),
+    // Unmatched close.
+    ("</a>", "XML error at 0: unmatched closing tag </a>"),
+    ("<a/></a>", "XML error at 2: unmatched closing tag </a>"),
+    // Stray text content.
+    (
+        "<a>text</a>",
+        "XML error at 3: expected '<' (text content is not supported)",
+    ),
+    (
+        "x<a/>",
+        "XML error at 0: expected '<' (text content is not supported)",
+    ),
+    // Malformed tag names.
+    ("< a/>", "XML error at 1: expected a tag name"),
+    ("<a b/>", "XML error at 2: expected '>'"),
+    // Root-count violations (single-document parses).
+    (
+        "",
+        "XML error at 0: expected exactly one root element, found 0",
+    ),
+    (
+        "<a/><b/>",
+        "XML error at 0: expected exactly one root element, found 2",
+    ),
+];
+
+#[test]
+fn error_messages_are_stable_and_identical_across_representations() {
+    for (src, want) in CASES {
+        let tree_err = parse_tree(src).expect_err(src);
+        let arena_err = ArenaDoc::parse(src).expect_err(src);
+        assert_eq!(tree_err, arena_err, "representations disagree on {src:?}");
+        assert_eq!(&tree_err.to_string(), want, "message drifted for {src:?}");
+    }
+}
+
+#[test]
+fn errors_do_not_depend_on_surrounding_whitespace() {
+    for (src, padded) in [("<a></b>", " <a></b>"), ("</a>", "\n</a>")] {
+        let plain = ArenaDoc::parse(src).unwrap_err();
+        let spaced = ArenaDoc::parse(padded).unwrap_err();
+        assert_eq!(plain.message, spaced.message, "message for {padded:?}");
+    }
+}
+
+#[test]
+fn good_documents_still_parse_on_both_paths() {
+    for src in ["<a/>", "<a><b/><c><d/></c></a>", "<x-1.2/>"] {
+        assert_eq!(
+            ArenaDoc::parse(src).unwrap().to_tree(),
+            parse_tree(src).unwrap()
+        );
+    }
+}
