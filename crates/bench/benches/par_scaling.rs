@@ -1,0 +1,83 @@
+//! T16 — data-parallel evaluation over the arena store (`xq_core::par`,
+//! `xq_stream::stream_query_arena_par`): the cross-join `for`-nests of
+//! the doubling families evaluated at 1/2/4 worker threads, plus the
+//! indexed-vs-linear `Env::lookup` contrast on a deep `for`-nest
+//! environment. The harness binary prints the corresponding table (and
+//! `--json` emits it machine-readably); this target keeps the workloads
+//! compiling and timeable under `cargo bench`.
+//!
+//! Note: wall-clock *speedup* from the threaded rows needs actual cores —
+//! on a single-core container the 2/4-thread rows measure overhead only.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cv_xtree::{DoublingFamily, Tree};
+use xq_bench::{par_workload, stream_workload, ENV_NEST_DEPTH};
+use xq_core::{eval_query_par, Budget, Env, Threads, Var};
+
+/// Bench-sized instances (the harness sweeps larger ones).
+const FAMILIES: [(DoublingFamily, u32); 3] = [
+    (DoublingFamily::Binary, 9),
+    (DoublingFamily::Wide, 10),
+    (DoublingFamily::Comb, 8),
+];
+
+fn bench_eval_par(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par_scaling/eval");
+    for (family, n) in FAMILIES {
+        let doc = family.arena(n);
+        let q = par_workload(family);
+        for threads in [1usize, 2, 4] {
+            let budget = Budget::default().with_threads(Threads::N(threads));
+            g.bench_function(format!("{family}-n{n}-t{threads}"), |b| {
+                b.iter(|| black_box(eval_query_par(&q, &doc, budget).unwrap()))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_stream_par(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par_scaling/stream");
+    let (family, n) = FAMILIES[0];
+    let doc = family.arena(n);
+    let q = stream_workload(family);
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("{family}-n{n}-t{threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    xq_stream::stream_query_arena_par(
+                        &q,
+                        &doc,
+                        u64::MAX,
+                        xq_stream::DEFAULT_BUFFER_LIMIT,
+                        threads,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The deep-`for`-nest environment: `ENV_NEST_DEPTH` live bindings, the
+/// referenced variable bound outermost (the linear scan's worst case).
+fn bench_env_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("par_scaling/env-lookup");
+    let mut env = Env::new();
+    env.bind(Var::root(), Tree::leaf("doc"));
+    for i in 0..ENV_NEST_DEPTH {
+        env.bind(Var::new(format!("v{i}")), Tree::leaf("x"));
+    }
+    let root = Var::root();
+    g.bench_function(format!("indexed-depth{ENV_NEST_DEPTH}"), |b| {
+        b.iter(|| black_box(env.lookup(&root).is_some()))
+    });
+    g.bench_function(format!("linear-depth{ENV_NEST_DEPTH}"), |b| {
+        b.iter(|| black_box(env.lookup_linear(&root).is_some()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval_par, bench_stream_par, bench_env_lookup);
+criterion_main!(benches);

@@ -1,13 +1,13 @@
 //! E5 (Prop 7.3/7.4): QBF through the XQ⁻ reduction and the PSPACE
 //! nested-loop engine.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cv_xtree::{Document, TreeGen};
+use cv_xtree::{ArenaDoc, TreeGen};
 use xq_compfree::NestedLoopEngine;
 use xq_reductions::{qbf_query, qbf_tree, random_qbf};
 
 fn bench(c: &mut Criterion) {
     let tree = qbf_tree();
-    let doc = Document::new(&tree);
+    let doc = ArenaDoc::from_tree(&tree);
     let mut g = c.benchmark_group("qbf");
     g.sample_size(10);
     for vars in [4usize, 8, 12] {

@@ -1,12 +1,12 @@
 //! E6 (Prop 7.6/7.7): 3-colorability via witness search vs nested loops.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cv_xtree::{Document, TreeGen};
+use cv_xtree::{ArenaDoc, TreeGen};
 use xq_compfree::{witness_boolean, NestedLoopEngine};
 use xq_reductions::{color_tree, random_graph, three_col_query};
 
 fn bench(c: &mut Criterion) {
     let tree = color_tree();
-    let doc = Document::new(&tree);
+    let doc = ArenaDoc::from_tree(&tree);
     let mut g = c.benchmark_group("three_col");
     g.sample_size(10);
     for v in [4usize, 6, 8] {

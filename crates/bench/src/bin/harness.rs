@@ -3,10 +3,15 @@
 //!
 //! ```text
 //! cargo run --release -p xq_bench --bin harness
+//! cargo run --release -p xq_bench --bin harness -- --only t16 --json BENCH_T16.json
 //! ```
+//!
+//! `--only tN` runs a single table; `--json FILE` additionally writes the
+//! T16 parallel-scaling measurements as machine-readable JSON (the CI
+//! perf-trajectory artifact).
 
 use cv_monad::Budget;
-use cv_xtree::{Document, TreeGen};
+use cv_xtree::{ArenaDoc, TreeGen};
 use std::time::Instant;
 use xq_bench::{bib_document, books_query, doubling_query, let_chain_query};
 use xq_compfree::{witness_boolean, NestedLoopEngine};
@@ -22,25 +27,233 @@ fn header(title: &str) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut only: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json_path = Some(it.next().expect("--json needs a file path").clone()),
+            "--only" => only = Some(it.next().expect("--only needs a table name").to_lowercase()),
+            other => {
+                panic!("unknown harness argument {other:?} (expected --json FILE / --only tN)")
+            }
+        }
+    }
+    if let Some(o) = &only {
+        // A typo must fail loudly, not silently run zero tables.
+        let known: Vec<String> = (1..=16).map(|i| format!("t{i}")).collect();
+        assert!(
+            known.contains(o),
+            "--only {o:?} is not a known table (expected one of t1..t16)"
+        );
+    }
+
     println!("# Koch (PODS 2005) reproduction — experiment harness");
 
-    t1_ntm_reduction();
-    t2_atm_reduction();
-    t3_blowup();
-    t4_streaming();
-    t5_qbf();
-    t6_three_col();
-    t7_translations();
-    t8_path_semantics();
-    t9_data_complexity();
-    t10_rewrite();
-    t11_derived();
-    t12_logicprog();
-    t13_relalg();
-    t14_optimizer();
-    t15_arena();
+    let tables: [(&str, fn()); 15] = [
+        ("t1", t1_ntm_reduction),
+        ("t2", t2_atm_reduction),
+        ("t3", t3_blowup),
+        ("t4", t4_streaming),
+        ("t5", t5_qbf),
+        ("t6", t6_three_col),
+        ("t7", t7_translations),
+        ("t8", t8_path_semantics),
+        ("t9", t9_data_complexity),
+        ("t10", t10_rewrite),
+        ("t11", t11_derived),
+        ("t12", t12_logicprog),
+        ("t13", t13_relalg),
+        ("t14", t14_optimizer),
+        ("t15", t15_arena),
+    ];
+    for (name, run) in tables {
+        if only.as_deref().is_none_or(|o| o == name) {
+            run();
+        }
+    }
+    // T16 runs last and carries the JSON payload.
+    if only.as_deref().is_none_or(|o| o == "t16") {
+        let rows = t16_parallel();
+        if let Some(path) = &json_path {
+            std::fs::write(path, t16_json(&rows)).expect("write --json file");
+            println!("\nT16 rows written to {path}");
+        }
+    } else if let Some(path) = &json_path {
+        panic!("--json {path} requires T16 to run (drop --only or use --only t16)");
+    }
 
-    println!("\nAll experiment tables regenerated.");
+    println!("\nAll requested experiment tables regenerated.");
+}
+
+/// One T16 measurement: a doubling-family workload at a thread count.
+struct T16Row {
+    family: String,
+    n: u32,
+    nodes: u64,
+    outer_items: usize,
+    threads: usize,
+    eval_us: f64,
+    stream_us: f64,
+}
+
+/// T16 — data-parallel evaluation over the arena store (`xq_core::par`,
+/// `stream_query_arena_par`): the cross-join `for`-nest workloads at
+/// 1/2/4 worker threads, plus the indexed-vs-linear `Env::lookup`
+/// contrast and the `QueryService` batch shape.
+fn t16_parallel() -> Vec<T16Row> {
+    use xq_core::{eval_query_par, Threads};
+
+    header("T16  Data-parallel evaluation  (xq_core::par, stream_query_arena_par)");
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "Host parallelism: {host} hardware thread(s). Speedups are \
+         hardware-bound — on a single-core host the multi-thread rows \
+         measure sharding overhead, not speedup.\n"
+    );
+
+    println!("| family (n) | nodes | outer items | threads | eval cross-join (µs) | stream emit (µs) | eval speedup vs 1T | stream speedup vs 1T |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut rows = Vec::new();
+    for (family, n) in [
+        (cv_xtree::DoublingFamily::Binary, 11u32),
+        (cv_xtree::DoublingFamily::Wide, 12),
+        (cv_xtree::DoublingFamily::Comb, 10),
+    ] {
+        let doc = family.arena(n);
+        let q = xq_bench::par_workload(family);
+        let qs = xq_bench::stream_workload(family);
+        let outer_items = xq_core::outer_for_split(&q)
+            .and_then(|(_, _, s, _)| xq_core::resolve_node_source(&doc, s))
+            .map_or(0, |nodes| nodes.len());
+        let (mut eval_base, mut stream_base) = (0.0, 0.0);
+        for threads in [1usize, 2, 4] {
+            // The cross-join runs ~|items|·|doc| steps — far past the
+            // default caps, which exist to stop runaway blowups, not
+            // deliberate ones.
+            let budget = xq_core::Budget {
+                max_steps: u64::MAX,
+                max_items: u64::MAX,
+                threads: Threads::N(threads),
+            };
+            let eval_us = time_us(2, || {
+                eval_query_par(&q, &doc, budget).unwrap();
+            });
+            let stream_us = time_us(2, || {
+                xq_stream::stream_query_arena_par(
+                    &qs,
+                    &doc,
+                    u64::MAX,
+                    xq_stream::DEFAULT_BUFFER_LIMIT,
+                    threads,
+                )
+                .unwrap();
+            });
+            if threads == 1 {
+                eval_base = eval_us;
+                stream_base = stream_us;
+            }
+            println!(
+                "| {family} ({n}) | {} | {outer_items} | {threads} | {eval_us:.1} | {stream_us:.1} | {:.2}x | {:.2}x |",
+                family.size(n),
+                eval_base / eval_us,
+                stream_base / stream_us
+            );
+            rows.push(T16Row {
+                family: family.to_string(),
+                n,
+                nodes: family.size(n),
+                outer_items,
+                threads,
+                eval_us,
+                stream_us,
+            });
+        }
+    }
+
+    // The Env::lookup satellite: indexed vs linear on the deep-nest
+    // environment (ENV_NEST_DEPTH live bindings, outermost var probed).
+    let depth = xq_bench::ENV_NEST_DEPTH;
+    let mut env = xq_core::Env::new();
+    env.bind(Var::root(), cv_xtree::Tree::leaf("doc"));
+    for i in 0..depth {
+        env.bind(Var::new(format!("v{i}")), cv_xtree::Tree::leaf("x"));
+    }
+    let root = Var::root();
+    let probes = 1000;
+    let indexed_us = time_us(200, || {
+        for _ in 0..probes {
+            std::hint::black_box(env.lookup(&root).is_some());
+        }
+    });
+    let linear_us = time_us(200, || {
+        for _ in 0..probes {
+            std::hint::black_box(env.lookup_linear(&root).is_some());
+        }
+    });
+    println!(
+        "\nEnv::lookup at nest depth {depth} ({probes} probes): indexed {indexed_us:.1} µs \
+         vs linear scan {linear_us:.1} µs — {:.1}x",
+        linear_us / indexed_us
+    );
+
+    // The QueryService batch shape: one pool, a mixed batch, results in
+    // submission order.
+    let docs: Vec<std::sync::Arc<ArenaDoc>> = (0..4u64)
+        .map(|seed| {
+            let mut g = TreeGen::new(seed);
+            std::sync::Arc::new(ArenaDoc::from_tree(&cv_xtree::random_tree(
+                &mut g,
+                200,
+                &["a", "b", "k"],
+            )))
+        })
+        .collect();
+    let mut service = xq_core::QueryService::new(4);
+    let batch: Vec<xq_core::Request> = docs
+        .iter()
+        .cycle()
+        .take(64)
+        .map(|d| xq_core::Request::new("for $x in $root//a return <w>{ $x/* }</w>", d.clone()))
+        .collect();
+    let batch_us = time_us(5, || {
+        let got = service.run_batch(batch.clone());
+        assert!(got.iter().all(Result::is_ok));
+    });
+    println!(
+        "QueryService: 64-request batch over 4 docs, 4 workers: {batch_us:.1} µs \
+         ({:.1} µs/request)",
+        batch_us / 64.0
+    );
+    println!("\nShape: chunks are contiguous spans of the outer for-source; merge preserves document order, so results are byte-identical to sequential (par_diff proves it). The stream speedup has two components: binding items straight from arena spans (algorithmic, visible even at 1 host core) and actual hardware parallelism (needs cores).");
+    rows
+}
+
+/// Renders the T16 rows as the `--json` payload (hand-rolled: the
+/// workspace is offline, no serde).
+fn t16_json(rows: &[T16Row]) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"table\": \"T16\",\n");
+    out.push_str(&format!("  \"host_threads\": {host},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"nodes\": {}, \"outer_items\": {}, \
+             \"threads\": {}, \"eval_us\": {:.1}, \"stream_us\": {:.1}}}{}\n",
+            r.family,
+            r.n,
+            r.nodes,
+            r.outer_items,
+            r.threads,
+            r.eval_us,
+            r.stream_us,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Times `f` over `iters` runs (after one warmup) and returns mean µs.
@@ -360,7 +573,7 @@ fn t5_qbf() {
     println!("| vars | oracle | reduction | agree | live bindings |");
     println!("|---|---|---|---|---|");
     let tree = red::qbf_tree();
-    let doc = Document::new(&tree);
+    let doc = ArenaDoc::from_tree(&tree);
     let mut gen = TreeGen::new(2005);
     for vars in [2usize, 4, 6, 8] {
         let f = red::random_qbf(&mut gen, vars, vars);
@@ -383,7 +596,7 @@ fn t6_three_col() {
     println!("| graph | oracle | witness search | nested loop | agree |");
     println!("|---|---|---|---|---|");
     let tree = red::color_tree();
-    let doc = Document::new(&tree);
+    let doc = ArenaDoc::from_tree(&tree);
     let mut cases = vec![
         ("K4".to_string(), red::three_col::k4()),
         ("C5".to_string(), red::three_col::c5()),

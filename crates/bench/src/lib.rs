@@ -2,7 +2,7 @@
 //! per-experiment Criterion targets and `src/bin/harness.rs` for the
 //! EXPERIMENTS.md table generator).
 
-use cv_xtree::{Tree, TreeGen};
+use cv_xtree::{DoublingFamily, Tree, TreeGen};
 use xq_core::{parse_query, Query};
 
 /// A fixed bibliography-style document generator: `n` books with years,
@@ -79,6 +79,49 @@ pub fn diff_workload() -> (cv_monad::Expr, cv_monad::Expr, cv_value::Value) {
     let builtin = Expr::Diff(Expr::proj("R").into(), Expr::proj("S").into());
     (derived, builtin, input)
 }
+
+/// The T16/`par_scaling` cross-join workload for a doubling family: an
+/// outer `for` over one tag class joined (by always-false atomic
+/// equality, so `some` never short-circuits) against a full re-scan of
+/// the other class. Work is `Θ(|x-items| · |doc|)` — the large-`for`-nest
+/// shape of the paper's combined-complexity results — and the outer loop
+/// is exactly what `xq_core::par` distributes across threads.
+pub fn par_workload(family: DoublingFamily) -> Query {
+    let (x_src, y_src) = match family {
+        // Binary: `a` at even depths, `b` at odd depths.
+        DoublingFamily::Binary => ("$root//a", "$root//b"),
+        // Wide: leaf children cycling a/b/c.
+        DoublingFamily::Wide => ("$root/a", "$root/b"),
+        // Comb: an `s` spine carrying `t` leaves.
+        DoublingFamily::Comb => ("$root//t", "$root//s"),
+    };
+    parse_query(&format!(
+        "for $x in {x_src} return \
+         if (some $y in {y_src} satisfies $x =atomic $y) then <hit/>"
+    ))
+    .expect("static query parses")
+}
+
+/// The T16 streaming workload: a token-throughput shape (outer `for`,
+/// per-item subtree emission) rather than the cross-join — under the
+/// buffered streaming engine the cross-join's per-item source overflows
+/// the buffer cap and degenerates to quadratic lazy re-streaming, which
+/// would measure the Theorem 4.5 recomputation discipline, not sharding.
+pub fn stream_workload(family: DoublingFamily) -> Query {
+    // Sources are kept under the buffered engine's token cap (the comb
+    // spine `$root//s` would overflow it and degenerate the *sequential*
+    // baseline the same way the cross-join does).
+    let src = match family {
+        DoublingFamily::Binary => "for $x in $root//a return <w>{ $x//b }</w>",
+        DoublingFamily::Wide => "for $x in $root/a return <w>{ $x }</w>",
+        DoublingFamily::Comb => "for $x in $root//t return <w>{ $x }</w>",
+    };
+    parse_query(src).expect("static query parses")
+}
+
+/// Depth of the deep-`for`-nest environment in the `Env::lookup` contrast
+/// (T16 row and `par_scaling/env-lookup` bench).
+pub const ENV_NEST_DEPTH: usize = 64;
 
 /// The `let`-chain family for the composition-elimination blowup (E10).
 pub fn let_chain_query(depth: usize) -> Query {

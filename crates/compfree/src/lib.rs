@@ -13,8 +13,15 @@
 //!   (implemented as backtracking search), sound and complete for Boolean
 //!   queries because `[[for …]]` is a concatenation over all the choices
 //!   the guess ranges over.
+//!
+//! Both engines navigate the [`ArenaDoc`] store: axis scans are `u32`
+//! range walks over contiguous spans, label tests and atomic equality are
+//! O(1) interned-id compares, and result emission walks preorder spans —
+//! the `Rc`-per-node `Document` is no longer on this path (ROADMAP
+//! "Scale-out groundwork"). Since `ArenaDoc: Send + Sync`, one loaded
+//! document can also serve nested-loop evaluations from many threads.
 
-use cv_xtree::{Document, NodeId, Token, Tree};
+use cv_xtree::{ArenaDoc, LabelId, NodeId, Token, Tree};
 use xq_core::ast::{Cond, EqMode, Query, Var};
 use xq_core::fragments::is_composition_free;
 
@@ -62,7 +69,7 @@ pub struct SpaceStats {
 
 /// Proposition 7.3's nested-loop evaluator over an arena document.
 pub struct NestedLoopEngine<'d> {
-    doc: &'d Document,
+    doc: &'d ArenaDoc,
     max_steps: u64,
     stats: SpaceStats,
     env: Vec<(Var, NodeId)>,
@@ -70,7 +77,7 @@ pub struct NestedLoopEngine<'d> {
 
 impl<'d> NestedLoopEngine<'d> {
     /// Creates an engine for the document.
-    pub fn new(doc: &'d Document) -> Self {
+    pub fn new(doc: &'d ArenaDoc) -> Self {
         NestedLoopEngine {
             doc,
             max_steps: 100_000_000,
@@ -131,15 +138,16 @@ impl<'d> NestedLoopEngine<'d> {
     }
 
     fn emit_node(&mut self, id: NodeId, out: &mut Vec<Token>) -> Result<(), CfError> {
-        self.step()?;
-        let label = self.doc.label(id).clone();
-        out.push(Token::Open(label.clone()));
-        self.stats.output_tokens += 1;
-        for &c in self.doc.children(id) {
-            self.emit_node(c, out)?;
+        // One step per emitted node (as the recursive Rc walk charged),
+        // paid up front; the walk itself is an iterative preorder over the
+        // arena span — no recursion, so comb-deep subtrees are safe.
+        let nodes = self.doc.subtree_len(id) as u64;
+        self.stats.steps += nodes;
+        if self.stats.steps > self.max_steps {
+            return Err(CfError::Budget);
         }
-        out.push(Token::Close(label));
-        self.stats.output_tokens += 1;
+        out.extend(self.doc.tokens_of(id));
+        self.stats.output_tokens += 2 * nodes;
         Ok(())
     }
 
@@ -204,15 +212,16 @@ impl<'d> NestedLoopEngine<'d> {
                 let b = self.lookup(y)?;
                 Ok(match mode {
                     EqMode::Deep => self.doc.deep_eq(a, b),
-                    // Atomic equality compares root labels (see xq-core).
-                    _ => self.doc.label(a) == self.doc.label(b),
+                    // Atomic equality compares root labels (see xq-core) —
+                    // one interned-id compare on the arena.
+                    _ => self.doc.label_id(a) == self.doc.label_id(b),
                 })
             }
             Cond::ConstEq(x, a, mode) => {
                 let n = self.lookup(x)?;
                 Ok(match mode {
-                    EqMode::Deep => self.doc.label(n) == a && self.doc.is_leaf(n),
-                    _ => self.doc.label(n) == a,
+                    EqMode::Deep => label_is(self.doc, n, a.as_str()) && self.doc.is_leaf(n),
+                    _ => label_is(self.doc, n, a.as_str()),
                 })
             }
             Cond::Some(x, source, sat) => {
@@ -271,7 +280,7 @@ pub fn witness_boolean(q: &Query, tree: &Tree) -> Result<bool, CfError> {
     if !is_composition_free(q) {
         return Err(CfError::NotCompositionFree);
     }
-    let doc = Document::new(tree);
+    let doc = ArenaDoc::from_tree(tree);
     let mut env: Vec<(Var, NodeId)> = vec![(Var::root(), doc.root())];
     let found = match q {
         // Boolean convention: ⟨a⟩α⟨/a⟩ is true iff α produces anything.
@@ -289,8 +298,15 @@ fn lookup(env: &[(Var, NodeId)], v: &Var) -> Result<NodeId, CfError> {
         .ok_or_else(|| CfError::UnboundVariable(v.name().to_string()))
 }
 
+/// Whether node `n`'s label is the string `a` — a lookup-only interned-id
+/// compare (a never-interned constant matches nothing, and the query must
+/// not grow the global interner).
+fn label_is(doc: &ArenaDoc, n: NodeId, a: &str) -> bool {
+    LabelId::lookup(a).is_some_and(|want| doc.label_id(n) == want)
+}
+
 /// Does `[[q]]′` have a nonempty instantiation?
-fn nonempty(doc: &Document, q: &Query, env: &mut Vec<(Var, NodeId)>) -> Result<bool, CfError> {
+fn nonempty(doc: &ArenaDoc, q: &Query, env: &mut Vec<(Var, NodeId)>) -> Result<bool, CfError> {
     match q {
         Query::Empty => Ok(false),
         Query::Elem(_, _) => Ok(true), // always constructs a node
@@ -326,7 +342,7 @@ fn nonempty(doc: &Document, q: &Query, env: &mut Vec<(Var, NodeId)>) -> Result<b
     }
 }
 
-fn guess_cond(doc: &Document, c: &Cond, env: &mut Vec<(Var, NodeId)>) -> Result<bool, CfError> {
+fn guess_cond(doc: &ArenaDoc, c: &Cond, env: &mut Vec<(Var, NodeId)>) -> Result<bool, CfError> {
     match c {
         Cond::True => Ok(true),
         Cond::VarEq(x, y, mode) => {
@@ -334,14 +350,14 @@ fn guess_cond(doc: &Document, c: &Cond, env: &mut Vec<(Var, NodeId)>) -> Result<
             let b = lookup(env, y)?;
             Ok(match mode {
                 EqMode::Deep => doc.deep_eq(a, b),
-                _ => doc.label(a) == doc.label(b),
+                _ => doc.label_id(a) == doc.label_id(b),
             })
         }
         Cond::ConstEq(x, a, mode) => {
             let n = lookup(env, x)?;
             Ok(match mode {
-                EqMode::Deep => doc.label(n) == a && doc.is_leaf(n),
-                _ => doc.label(n) == a,
+                EqMode::Deep => label_is(doc, n, a.as_str()) && doc.is_leaf(n),
+                _ => label_is(doc, n, a.as_str()),
             })
         }
         Cond::Some(x, source, sat) => {
@@ -423,7 +439,7 @@ mod tests {
     }
 
     fn nested_loop_tokens(q: &Query, t: &Tree) -> Vec<Token> {
-        let d = Document::new(t);
+        let d = ArenaDoc::from_tree(t);
         let mut e = NestedLoopEngine::new(&d);
         let mut out = Vec::new();
         e.eval(q, &mut out).unwrap();
@@ -467,7 +483,7 @@ mod tests {
         for size in [10usize, 100, 1000] {
             let mut g = cv_xtree::TreeGen::new(size as u64);
             let t = cv_xtree::random_tree(&mut g, size, &["a", "b"]);
-            let d = Document::new(&t);
+            let d = ArenaDoc::from_tree(&t);
             let mut e = NestedLoopEngine::new(&d);
             let mut out = Vec::new();
             e.eval(&q, &mut out).unwrap();
@@ -483,7 +499,7 @@ mod tests {
     fn rejects_composition() {
         let q = parse_query("for $y in <a><b/></a> return $y/b").unwrap();
         let t = doc("<r/>");
-        let d = Document::new(&t);
+        let d = ArenaDoc::from_tree(&t);
         let mut e = NestedLoopEngine::new(&d);
         assert_eq!(
             e.eval(&q, &mut Vec::new()),
@@ -531,7 +547,7 @@ mod tests {
     #[test]
     fn boolean_convention() {
         let t = doc("<r><a/></r>");
-        let d = Document::new(&t);
+        let d = ArenaDoc::from_tree(&t);
         let mut e = NestedLoopEngine::new(&d);
         let yes = parse_query("<out>{ $root/a }</out>").unwrap();
         let no = parse_query("<out>{ $root/z }</out>").unwrap();
@@ -548,7 +564,7 @@ mod tests {
         .unwrap();
         let mut g = cv_xtree::TreeGen::new(1);
         let t = cv_xtree::random_tree(&mut g, 200, &["a"]);
-        let d = Document::new(&t);
+        let d = ArenaDoc::from_tree(&t);
         let mut e = NestedLoopEngine::new(&d).with_max_steps(10_000);
         assert_eq!(e.eval(&q, &mut Vec::new()), Err(CfError::Budget));
     }

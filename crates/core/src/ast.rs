@@ -23,13 +23,13 @@
 
 use cv_xtree::{Axis, Label, NodeTest};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use cv_monad::EqMode;
 
 /// An XQuery variable (`$x`). Cheap to clone, compared by name.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Var(Rc<str>);
+pub struct Var(Arc<str>);
 
 impl Var {
     /// Creates a variable; the leading `$` is implied and must not be
@@ -37,7 +37,7 @@ impl Var {
     pub fn new(name: impl AsRef<str>) -> Var {
         let name = name.as_ref();
         debug_assert!(!name.starts_with('$'), "variable names exclude the $");
-        Var(Rc::from(name))
+        Var(Arc::from(name))
     }
 
     /// The distinguished root variable (the query's unique free variable).
@@ -48,7 +48,7 @@ impl Var {
     /// A machine-generated variable that cannot collide with surface names
     /// (used by desugarings and the Fig 3 translation).
     pub fn fresh(counter: usize) -> Var {
-        Var(Rc::from(format!("#g{counter}")))
+        Var(Arc::from(format!("#g{counter}")))
     }
 
     /// The variable's name, without the `$`.
@@ -81,20 +81,20 @@ pub enum Query {
     /// The empty sequence `()`.
     Empty,
     /// Element construction `⟨a⟩α⟨/a⟩`.
-    Elem(Label, Rc<Query>),
+    Elem(Label, Arc<Query>),
     /// Sequence concatenation `α β`.
-    Seq(Rc<Query>, Rc<Query>),
+    Seq(Arc<Query>, Arc<Query>),
     /// A variable reference `$x`.
     Var(Var),
     /// A step `q/axis::ν`. In strict Core XQuery `q` is a variable.
-    Step(Rc<Query>, Axis, NodeTest),
+    Step(Arc<Query>, Axis, NodeTest),
     /// `for $x in α return β`.
-    For(Var, Rc<Query>, Rc<Query>),
+    For(Var, Arc<Query>, Arc<Query>),
     /// `if φ then α` (no else; Prop 3.1 recovers else via `not`).
-    If(Rc<Cond>, Rc<Query>),
+    If(Arc<Cond>, Arc<Query>),
     /// Derived: `(let $x := α) β` (Prop 3.1 requires α to be an element
     /// constructor; the rewriter of §7.2 eliminates these first).
-    Let(Var, Rc<Query>, Rc<Query>),
+    Let(Var, Arc<Query>, Arc<Query>),
 }
 
 /// A condition of an `if`/`where`/`satisfies`.
@@ -110,25 +110,25 @@ pub enum Cond {
     /// Derived: `$x = ⟨a/⟩` — comparison against a constant leaf.
     ConstEq(Var, Label, EqMode),
     /// A query used as a condition: true iff its result is nonempty.
-    Query(Rc<Query>),
+    Query(Arc<Query>),
     /// Derived: the constant `true` (`⟨nonempty/⟩` as a query).
     True,
     /// Derived: `some $x in α satisfies φ`.
-    Some(Var, Rc<Query>, Rc<Cond>),
+    Some(Var, Arc<Query>, Arc<Cond>),
     /// Derived: `every $x in α satisfies φ` (requires negation).
-    Every(Var, Rc<Query>, Rc<Cond>),
+    Every(Var, Arc<Query>, Arc<Cond>),
     /// Derived: conjunction.
-    And(Rc<Cond>, Rc<Cond>),
+    And(Arc<Cond>, Arc<Cond>),
     /// Derived: disjunction.
-    Or(Rc<Cond>, Rc<Cond>),
+    Or(Arc<Cond>, Arc<Cond>),
     /// Negation (definable from `=deep`, §3; a primitive of `XQ[..., not]`).
-    Not(Rc<Cond>),
+    Not(Arc<Cond>),
 }
 
 impl Query {
     /// `⟨a⟩α⟨/a⟩`.
     pub fn elem(tag: impl Into<Label>, body: Query) -> Query {
-        Query::Elem(tag.into(), Rc::new(body))
+        Query::Elem(tag.into(), Arc::new(body))
     }
 
     /// The empty element `⟨a/⟩`.
@@ -143,7 +143,7 @@ impl Query {
 
     /// `$x/axis::ν`.
     pub fn step(base: Query, axis: Axis, test: NodeTest) -> Query {
-        Query::Step(Rc::new(base), axis, test)
+        Query::Step(Arc::new(base), axis, test)
     }
 
     /// `$x/a` (child axis, tag test).
@@ -158,17 +158,17 @@ impl Query {
 
     /// `for $x in α return β`.
     pub fn for_in(v: impl Into<Var>, source: Query, body: Query) -> Query {
-        Query::For(v.into(), Rc::new(source), Rc::new(body))
+        Query::For(v.into(), Arc::new(source), Arc::new(body))
     }
 
     /// `if φ then α`.
     pub fn if_then(cond: Cond, then: Query) -> Query {
-        Query::If(Rc::new(cond), Rc::new(then))
+        Query::If(Arc::new(cond), Arc::new(then))
     }
 
     /// `(let $x := α) β`.
     pub fn let_in(v: impl Into<Var>, bound: Query, body: Query) -> Query {
-        Query::Let(v.into(), Rc::new(bound), Rc::new(body))
+        Query::Let(v.into(), Arc::new(bound), Arc::new(body))
     }
 
     /// Sequence of queries (right-nested `Seq`; empty input gives `()`).
@@ -180,7 +180,7 @@ impl Query {
             _ => {
                 let mut it = parts.into_iter().rev();
                 let last = it.next().expect("length checked");
-                it.fold(last, |acc, q| Query::Seq(Rc::new(q), Rc::new(acc)))
+                it.fold(last, |acc, q| Query::Seq(Arc::new(q), Arc::new(acc)))
             }
         }
     }
@@ -215,7 +215,7 @@ impl Query {
         match self {
             Query::Empty | Query::Var(_) => self.clone(),
             Query::Elem(a, q) => Query::elem(a.clone(), q.desugar(fresh)),
-            Query::Seq(a, b) => Query::Seq(Rc::new(a.desugar(fresh)), Rc::new(b.desugar(fresh))),
+            Query::Seq(a, b) => Query::Seq(Arc::new(a.desugar(fresh)), Arc::new(b.desugar(fresh))),
             Query::Step(q, ax, nt) => Query::step(q.desugar(fresh), *ax, nt.clone()),
             Query::For(v, s, b) => Query::for_in(v.clone(), s.desugar(fresh), b.desugar(fresh)),
             Query::If(c, q) => Query::if_then(c.desugar(fresh), q.desugar(fresh)),
@@ -239,32 +239,32 @@ impl Cond {
 
     /// A query as a condition.
     pub fn query(q: Query) -> Cond {
-        Cond::Query(Rc::new(q))
+        Cond::Query(Arc::new(q))
     }
 
     /// `some $x in α satisfies φ`.
     pub fn some(v: impl Into<Var>, source: Query, sat: Cond) -> Cond {
-        Cond::Some(v.into(), Rc::new(source), Rc::new(sat))
+        Cond::Some(v.into(), Arc::new(source), Arc::new(sat))
     }
 
     /// `every $x in α satisfies φ`.
     pub fn every(v: impl Into<Var>, source: Query, sat: Cond) -> Cond {
-        Cond::Every(v.into(), Rc::new(source), Rc::new(sat))
+        Cond::Every(v.into(), Arc::new(source), Arc::new(sat))
     }
 
     /// Conjunction helper.
     pub fn and(self, other: Cond) -> Cond {
-        Cond::And(Rc::new(self), Rc::new(other))
+        Cond::And(Arc::new(self), Arc::new(other))
     }
 
     /// Disjunction helper.
     pub fn or(self, other: Cond) -> Cond {
-        Cond::Or(Rc::new(self), Rc::new(other))
+        Cond::Or(Arc::new(self), Arc::new(other))
     }
 
     /// Negation helper.
     pub fn negate(self) -> Cond {
-        Cond::Not(Rc::new(self))
+        Cond::Not(Arc::new(self))
     }
 
     /// Number of AST nodes.
@@ -303,7 +303,7 @@ impl Cond {
             }
             Cond::Every(v, s, c) => {
                 // every := not (some ¬φ)
-                Cond::Some(v.clone(), s.clone(), Rc::new((**c).clone().negate()))
+                Cond::Some(v.clone(), s.clone(), Arc::new((**c).clone().negate()))
                     .negate()
                     .desugar(fresh)
             }
@@ -319,7 +319,7 @@ impl Cond {
                 let b = b.desugar(fresh);
                 Cond::query(Query::seq([cond_as_query(&a), cond_as_query(&b)]))
             }
-            Cond::Not(c) => Cond::Not(Rc::new(c.desugar(fresh))),
+            Cond::Not(c) => Cond::Not(Arc::new(c.desugar(fresh))),
         }
     }
 }

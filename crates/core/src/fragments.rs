@@ -348,7 +348,7 @@ pub fn to_xq_tilde(q: &Query) -> Query {
             Cond::Every(v, s, c) => g_cond(&Cond::Some(
                 v.clone(),
                 s.clone(),
-                std::rc::Rc::new((**c).clone().negate()),
+                std::sync::Arc::new((**c).clone().negate()),
             ))
             .negate(),
             Cond::Query(q) => Cond::query(walk(q)),

@@ -9,6 +9,10 @@
 //!   examples;
 //! * [`semantics`] — the Figure 1 denotational semantics (environments of
 //!   trees → lists of trees), with resource budgets;
+//! * [`par`] — data-parallel evaluation over the arena store: the outer
+//!   `for`-loop sharded across threads with an order-preserving merge;
+//! * [`service`] — a fixed worker pool batching many (query, document)
+//!   pairs, the serve-heavy-traffic shape;
 //! * [`fragments`] — feature analysis and the composition-free fragments
 //!   `XQ⁻`/`XQ∼` of §7, with the Prop 7.1 interconversions;
 //! * [`translate`] — the Figure 2/3 translations to and from monad algebra
@@ -17,8 +21,10 @@
 pub mod ast;
 pub mod doc;
 pub mod fragments;
+pub mod par;
 pub mod parser;
 pub mod semantics;
+pub mod service;
 pub mod translate;
 
 pub use ast::{cond_as_query, Cond, EqMode, Query, Var};
@@ -27,10 +33,12 @@ pub use fragments::{
     free_vars, is_composition_free, is_strict_core, is_xq_tilde, to_composition_free, to_xq_tilde,
     Features,
 };
+pub use par::{eval_query_par, outer_for_split, resolve_node_source, ParStats};
 pub use parser::{parse_query, QueryParseError};
 pub use semantics::{
-    boolean_result, eval_cond_with, eval_query, eval_with, Budget, Env, EvalStats, XqError,
+    boolean_result, eval_cond_with, eval_query, eval_with, Budget, Env, EvalStats, Threads, XqError,
 };
+pub use service::{QueryService, Request, ServiceError};
 pub use translate::{
     c_forest, c_tree, c_tree_inverse, ma_env, ma_invariant_holds, ma_query, ma_query_optimized,
     t_value, t_value_inverse, value_query, xq_invariant_holds, xq_of_ma, TranslateError,

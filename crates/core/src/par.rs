@@ -1,0 +1,355 @@
+//! Data-parallel evaluation over the arena document store.
+//!
+//! The paper's combined-complexity results hinge on large `for`-nests over
+//! documents: the outer `for` of a query typically ranges over thousands
+//! of input nodes, and the body's work per node is independent of every
+//! other node's. With the label interner now global and sharded,
+//! [`ArenaDoc`] is `Send + Sync`, so that loop can be split across
+//! threads: [`eval_query_par`] resolves the outer `for`-source to arena
+//! node ids, carves the id list into one contiguous chunk per worker, and
+//! evaluates the body on each chunk under [`std::thread::scope`] (no
+//! thread pool, no external runtime — the registry is offline).
+//!
+//! **Determinism is the contract.** Workers return their chunk's result
+//! as interned token streams ([`IToken`], the `Send` form of a tag
+//! string); the merging thread concatenates them *in chunk order* and
+//! rebuilds trees through the tested [`Tree::forest_from_tokens`] path.
+//! Because each body evaluation is exactly the Figure 1 sequential
+//! semantics on the same subtree values, the merged result is
+//! byte-identical to [`eval_query`](crate::eval_query) — the `par_diff`
+//! differential suite asserts this at 1/2/4/8 threads over the
+//! random-query corpus.
+//!
+//! **Budget semantics.** Each worker draws on the step/item caps of the
+//! [`Budget`] independently for its chunk (a shared atomic counter would
+//! put a contended cache line in the innermost loop). Work per chunk is a
+//! subset of the sequential work, so any query that fits the budget
+//! sequentially also fits it in parallel; the converse may not hold, which
+//! only ever turns an error into a result.
+//!
+//! Queries whose outer shape is not a `for` over input nodes (or with
+//! fewer outer items than would pay for a thread) fall back to the
+//! sequential evaluator on the materialized tree — [`ParStats::parallelized`]
+//! reports which path ran.
+
+use crate::ast::{Query, Var};
+use crate::fragments::free_vars;
+use crate::semantics::{eval_with, Budget, Env, EvalStats, XqError};
+use cv_xtree::{intern_tokens, resolve_tokens, ArenaDoc, IToken, Label, NodeId, Tree};
+
+/// Counters reported by [`eval_query_par`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParStats {
+    /// Worker threads the budget's [`Threads`](crate::Threads) knob
+    /// resolved to.
+    pub threads: usize,
+    /// Items of the outer `for`-source (0 when the query fell back).
+    pub outer_items: usize,
+    /// Whether the data-parallel path ran (false: sequential fallback).
+    pub parallelized: bool,
+    /// Evaluation steps summed over all workers (excludes the outer
+    /// source resolution, which is a pure arena axis scan).
+    pub steps: u64,
+    /// Result-list items summed over all workers.
+    pub items: u64,
+}
+
+/// Splits `q` into its element-constructor wrappers and the outermost
+/// `for`, if that is its shape: `⟨a⟩…⟨b⟩ for $v in σ return β ⟨/b⟩…⟨/a⟩`
+/// returns `([a, …, b], $v, σ, β)`. This is the loop the data-parallel
+/// evaluators distribute; anything else falls back to sequential.
+pub fn outer_for_split(q: &Query) -> Option<(Vec<Label>, &Var, &Query, &Query)> {
+    let mut wrappers = Vec::new();
+    let mut cur = q;
+    loop {
+        match cur {
+            Query::Elem(a, body) => {
+                wrappers.push(a.clone());
+                cur = body;
+            }
+            Query::For(v, source, body) => return Some((wrappers, v, source, body)),
+            _ => return None,
+        }
+    }
+}
+
+/// Resolves a `for`-source that is a chain of axis steps grounded at
+/// `$root` to the arena nodes it selects, in document order with
+/// multiplicity — exactly the items (as subtrees) the Figure 1 semantics
+/// would bind. Returns `None` for any other source shape (constructed
+/// intermediates, variables other than `$root`, conditionals …), which
+/// the callers treat as "not parallelizable".
+pub fn resolve_node_source(doc: &ArenaDoc, source: &Query) -> Option<Vec<NodeId>> {
+    match source {
+        Query::Var(v) if *v == Var::root() => Some(vec![doc.root()]),
+        Query::Step(base, axis, test) => {
+            let bases = resolve_node_source(doc, base)?;
+            let mut out = Vec::new();
+            for b in bases {
+                out.extend(doc.axis(b, *axis, test));
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// Carves `items` into at most `parts` contiguous chunks of near-equal
+/// length (never empty; fewer chunks than `parts` when items are scarce).
+/// Public so every parallel engine shards identically
+/// (`xq_stream::stream_query_arena_par` uses it too).
+pub fn chunks<T>(items: &[T], parts: usize) -> Vec<&[T]> {
+    let parts = parts.clamp(1, items.len().max(1));
+    let base = items.len() / parts;
+    let extra = items.len() % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(&items[start..start + len]);
+        start += len;
+    }
+    out
+}
+
+/// One worker's share of the outer loop: evaluates `body` with `var`
+/// bound to each chunk node's subtree (and `$root` to the whole document
+/// when the body needs it), under the worker's own slice of the budget.
+/// The chunk result crosses back to the merger as an interned token
+/// stream.
+fn eval_chunk(
+    doc: &ArenaDoc,
+    var: &Var,
+    body: &Query,
+    chunk: &[NodeId],
+    budget: Budget,
+    needs_root: bool,
+) -> Result<(Vec<IToken>, EvalStats), XqError> {
+    let mut env = Env::new();
+    if needs_root {
+        env.bind(Var::root(), doc.to_tree());
+    }
+    let mut remaining = budget;
+    let mut itokens = Vec::new();
+    let mut total = EvalStats::default();
+    for &node in chunk {
+        // One env reused across the loop: bind/pop around each item
+        // (eval_with clones internally, so the binding stays per-item).
+        env.bind(var.clone(), doc.subtree(node));
+        let result = eval_with(body, &env, remaining);
+        env.pop();
+        let (out, stats) = result?;
+        total.steps += stats.steps;
+        total.items += stats.items;
+        total.max_env_depth = total.max_env_depth.max(stats.max_env_depth);
+        remaining.max_steps = remaining.max_steps.saturating_sub(stats.steps);
+        remaining.max_items = remaining.max_items.saturating_sub(stats.items);
+        for t in &out {
+            itokens.extend(intern_tokens(&t.tokens()));
+        }
+    }
+    Ok((itokens, total))
+}
+
+/// Evaluates `q` over an arena-backed document, splitting the outer
+/// `for`-loop across `budget.threads` workers. Results are byte-identical
+/// to [`eval_query`](crate::eval_query) on `doc.to_tree()`; see the
+/// module docs for the merge and budget contracts.
+pub fn eval_query_par(
+    q: &Query,
+    doc: &ArenaDoc,
+    budget: Budget,
+) -> Result<(Vec<Tree>, ParStats), XqError> {
+    let threads = budget.threads.count();
+    let split = outer_for_split(q)
+        .and_then(|(w, v, s, b)| resolve_node_source(doc, s).map(|nodes| (w, v, nodes, b)));
+    let (wrappers, var, nodes, body) = match split {
+        // One worker per chunk only pays off with at least one item each.
+        Some(s) if threads > 1 && s.2.len() >= 2 => s,
+        _ => return eval_seq(q, doc, budget, threads),
+    };
+    let needs_root = free_vars(body).contains(&Var::root());
+    let parts = chunks(&nodes, threads);
+    let results: Vec<Result<(Vec<IToken>, EvalStats), XqError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|chunk| scope.spawn(move || eval_chunk(doc, var, body, chunk, budget, needs_root)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::new();
+    let mut stats = ParStats {
+        threads,
+        outer_items: nodes.len(),
+        parallelized: true,
+        ..ParStats::default()
+    };
+    // Chunk order is document order, so extending in order preserves it;
+    // the first error in chunk order wins, making failures deterministic
+    // for a fixed thread count.
+    for r in results {
+        let (itokens, chunk_stats) = r?;
+        stats.steps += chunk_stats.steps;
+        stats.items += chunk_stats.items;
+        out.extend(
+            Tree::forest_from_tokens(&resolve_tokens(&itokens))
+                .expect("workers emit well-formed tag strings"),
+        );
+    }
+    for a in wrappers.into_iter().rev() {
+        out = vec![Tree::node(a, out)];
+    }
+    Ok((out, stats))
+}
+
+/// The sequential fallback: materialize the tree once and run Figure 1.
+fn eval_seq(
+    q: &Query,
+    doc: &ArenaDoc,
+    budget: Budget,
+    threads: usize,
+) -> Result<(Vec<Tree>, ParStats), XqError> {
+    let (out, stats) = eval_with(q, &Env::with_root(doc.to_tree()), budget)?;
+    Ok((
+        out,
+        ParStats {
+            threads,
+            outer_items: 0,
+            parallelized: false,
+            steps: stats.steps,
+            items: stats.items,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::Threads;
+    use crate::{eval_query, parse_query};
+    use cv_xtree::{random_tree, TreeGen};
+
+    fn arena(src: &str) -> ArenaDoc {
+        ArenaDoc::parse(src).unwrap()
+    }
+
+    fn xml(trees: &[Tree]) -> String {
+        trees.iter().map(Tree::to_xml).collect()
+    }
+
+    #[test]
+    fn outer_for_split_recognizes_wrapped_loops() {
+        let q = parse_query("<out>{ for $x in $root/a return $x }</out>").unwrap();
+        let (wrappers, v, _, _) = outer_for_split(&q).unwrap();
+        assert_eq!(wrappers, vec![Label::from("out")]);
+        assert_eq!(v.name(), "x");
+        assert!(outer_for_split(&parse_query("$root/a").unwrap()).is_none());
+    }
+
+    #[test]
+    fn node_source_matches_sequential_step_semantics() {
+        let doc = arena("<r><a><b/><a/></a><c/><a/></r>");
+        let q = parse_query("$root//a").unwrap();
+        let nodes = resolve_node_source(&doc, &q).unwrap();
+        let seq = eval_query(&q, &doc.to_tree()).unwrap();
+        assert_eq!(nodes.len(), seq.len());
+        for (n, t) in nodes.iter().zip(&seq) {
+            assert_eq!(&doc.subtree(*n), t);
+        }
+        // Constructed sources are not node sources.
+        let q = parse_query("(<w><a/></w>)/a").unwrap();
+        assert!(resolve_node_source(&doc, &q).is_none());
+    }
+
+    #[test]
+    fn chunking_covers_everything_in_order() {
+        let items: Vec<u32> = (0..10).collect();
+        for parts in 1..=12 {
+            let cs = chunks(&items, parts);
+            let flat: Vec<u32> = cs.iter().flat_map(|c| c.iter().copied()).collect();
+            assert_eq!(flat, items, "parts = {parts}");
+            assert!(cs.iter().all(|c| !c.is_empty()));
+        }
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_on_fixed_queries() {
+        let queries = [
+            "for $x in $root/* return <w>{ $x }</w>",
+            "<out>{ for $x in $root//a return $x/b }</out>",
+            "for $x in $root//* return if ($x =atomic <a/>) then <hit/>",
+            "for $x in $root/a return for $y in $root/a return \
+             if ($x = $y) then <same/>",
+            "$root/a", // no outer for: fallback
+            "<solo/>", // constant: fallback
+        ];
+        for seed in 0..4u64 {
+            let mut g = TreeGen::new(seed);
+            let t = random_tree(&mut g, 30, &["a", "b", "c"]);
+            let doc = ArenaDoc::from_tree(&t);
+            for src in queries {
+                let q = parse_query(src).unwrap();
+                let want = xml(&eval_query(&q, &t).unwrap());
+                for threads in [1usize, 2, 4] {
+                    let budget = Budget::default().with_threads(Threads::N(threads));
+                    let (got, _) = eval_query_par(&q, &doc, budget).unwrap();
+                    assert_eq!(xml(&got), want, "{src} at {threads} threads, seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_actually_engages() {
+        let doc = arena("<r><a/><a/><a/><a/><a/><a/></r>");
+        let q = parse_query("for $x in $root/a return <w>{ $x }</w>").unwrap();
+        let budget = Budget::default().with_threads(Threads::N(3));
+        let (_, stats) = eval_query_par(&q, &doc, budget).unwrap();
+        assert!(stats.parallelized);
+        assert_eq!(stats.outer_items, 6);
+        assert_eq!(stats.threads, 3);
+        // Threads::One falls back by construction.
+        let (_, stats) = eval_query_par(&q, &doc, Budget::default()).unwrap();
+        assert!(!stats.parallelized);
+    }
+
+    #[test]
+    fn errors_are_deterministic_and_budget_is_monotone() {
+        let doc = arena("<r><a/><a/><a/><a/></r>");
+        // Unbound variable in the body: every worker fails identically.
+        let q = parse_query("for $x in $root/a return $nope").unwrap();
+        for threads in [1usize, 2, 4] {
+            let budget = Budget::default().with_threads(Threads::N(threads));
+            let got = eval_query_par(&q, &doc, budget);
+            assert!(
+                matches!(got, Err(XqError::UnboundVariable(ref v)) if v == "nope"),
+                "{got:?} at {threads} threads"
+            );
+        }
+        // A budget ample for the sequential run stays ample in parallel.
+        let q = parse_query("for $x in $root/a return ($x, $x)").unwrap();
+        let tight = Budget {
+            max_steps: 10_000,
+            max_items: 10_000,
+            ..Budget::default()
+        };
+        assert!(eval_with(&q, &Env::with_root(doc.to_tree()), tight).is_ok());
+        for threads in [2usize, 4] {
+            assert!(eval_query_par(&q, &doc, tight.with_threads(Threads::N(threads))).is_ok());
+        }
+    }
+
+    #[test]
+    fn threads_knob_resolves() {
+        assert_eq!(Threads::One.count(), 1);
+        assert_eq!(Threads::N(0).count(), 1);
+        assert_eq!(Threads::N(7).count(), 7);
+        assert!(Threads::Auto.count() >= 1);
+    }
+}

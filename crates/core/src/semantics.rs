@@ -12,6 +12,43 @@
 
 use crate::ast::{Cond, EqMode, Query, Var};
 use cv_xtree::Tree;
+use std::collections::HashMap;
+
+/// How many worker threads the data-parallel entry points
+/// ([`crate::par::eval_query_par`] and friends) may use. The sequential
+/// evaluator ignores this knob.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Threads {
+    /// Single-threaded (the default — identical to the sequential path).
+    #[default]
+    One,
+    /// One worker per available hardware thread.
+    Auto,
+    /// Exactly this many workers (clamped to at least 1).
+    N(usize),
+}
+
+impl Threads {
+    /// The concrete worker count this knob resolves to on this machine.
+    pub fn count(self) -> usize {
+        match self {
+            Threads::One => 1,
+            Threads::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            Threads::N(n) => n.max(1),
+        }
+    }
+
+    /// Reads the `XQ_THREADS` environment variable: unset or `1` mean
+    /// [`Threads::One`]; `auto` (or `0`) means [`Threads::Auto`]; any
+    /// other number means [`Threads::N`]. The CI parallel suites set this.
+    pub fn from_env() -> Threads {
+        match std::env::var("XQ_THREADS").ok().as_deref() {
+            None | Some("" | "1") => Threads::One,
+            Some("auto" | "0") => Threads::Auto,
+            Some(n) => n.parse().map_or(Threads::One, Threads::N),
+        }
+    }
+}
 
 /// Resource limits for one evaluation.
 #[derive(Clone, Copy, Debug)]
@@ -20,6 +57,11 @@ pub struct Budget {
     pub max_steps: u64,
     /// Maximum number of trees put into result lists.
     pub max_items: u64,
+    /// Worker threads for the data-parallel entry points (the sequential
+    /// evaluator ignores this). In the parallel path each worker draws on
+    /// the step/item caps independently for its chunk, so a query that
+    /// fits the budget sequentially always fits it in parallel.
+    pub threads: Threads,
 }
 
 impl Default for Budget {
@@ -27,7 +69,15 @@ impl Default for Budget {
         Budget {
             max_steps: 20_000_000,
             max_items: 10_000_000,
+            threads: Threads::One,
         }
+    }
+}
+
+impl Budget {
+    /// This budget with the given thread knob.
+    pub fn with_threads(self, threads: Threads) -> Budget {
+        Budget { threads, ..self }
     }
 }
 
@@ -70,9 +120,17 @@ impl std::error::Error for XqError {}
 
 /// A variable environment: name/tree bindings, later entries shadowing
 /// earlier ones (Figure 1's `~e`).
+///
+/// Bindings live in a stack (preserving scope order and shadowing), and a
+/// side map indexes each name to its binding positions, so
+/// [`Env::lookup`] is one hash probe instead of a linear scan over the
+/// live bindings — on a deep `for`-nest the scan is O(nesting depth)
+/// *per variable reference*, which the T16 harness row measures.
 #[derive(Clone, Debug, Default)]
 pub struct Env {
     bindings: Vec<(Var, Tree)>,
+    /// name → stack of indices into `bindings` (innermost last).
+    index: HashMap<Var, Vec<u32>>,
 }
 
 impl Env {
@@ -90,11 +148,33 @@ impl Env {
 
     /// Adds a binding (shadowing any earlier one of the same name).
     pub fn bind(&mut self, v: Var, t: Tree) {
+        let slot = self.bindings.len() as u32;
+        self.index.entry(v.clone()).or_default().push(slot);
         self.bindings.push((v, t));
+    }
+
+    /// Removes the innermost binding (the evaluator's scope exit).
+    pub(crate) fn pop(&mut self) {
+        let (v, _) = self.bindings.pop().expect("pop on an empty environment");
+        let slots = self.index.get_mut(&v).expect("binding was indexed");
+        slots.pop();
+        if slots.is_empty() {
+            self.index.remove(&v);
+        }
     }
 
     /// Looks up the innermost binding of `v`.
     pub fn lookup(&self, v: &Var) -> Option<&Tree> {
+        let &slot = self.index.get(v)?.last()?;
+        Some(&self.bindings[slot as usize].1)
+    }
+
+    /// The pre-index lookup: a reverse linear scan over the binding stack.
+    /// Kept as the reference implementation — property tests assert it
+    /// agrees with [`Env::lookup`], and the `par_scaling` bench contrasts
+    /// their costs on deep `for`-nests.
+    #[doc(hidden)]
+    pub fn lookup_linear(&self, v: &Var) -> Option<&Tree> {
         self.bindings
             .iter()
             .rev()
@@ -178,7 +258,7 @@ impl Interp {
                 for t in items {
                     env.bind(v.clone(), t);
                     let r = self.eval(body, env);
-                    env.bindings.pop();
+                    env.pop();
                     for x in r? {
                         self.emit(&mut out, x)?;
                     }
@@ -201,7 +281,7 @@ impl Interp {
                 for t in items {
                     env.bind(v.clone(), t);
                     let r = self.eval(body, env);
-                    env.bindings.pop();
+                    env.pop();
                     for x in r? {
                         self.emit(&mut out, x)?;
                     }
@@ -247,7 +327,7 @@ impl Interp {
                 for t in items {
                     env.bind(v.clone(), t);
                     let r = self.eval_cond(sat, env);
-                    env.bindings.pop();
+                    env.pop();
                     if r? {
                         return Ok(true);
                     }
@@ -259,7 +339,7 @@ impl Interp {
                 for t in items {
                     env.bind(v.clone(), t);
                     let r = self.eval_cond(sat, env);
-                    env.bindings.pop();
+                    env.pop();
                     if !r? {
                         return Ok(false);
                     }
@@ -498,7 +578,7 @@ mod tests {
         for i in 0..40 {
             q = Query::for_in(
                 format!("v{i}").as_str(),
-                Query::Seq(Rc::new(q.clone()), Rc::new(q)),
+                Query::Seq(Arc::new(q.clone()), Arc::new(q)),
                 Query::leaf("z"),
             );
         }
@@ -508,12 +588,13 @@ mod tests {
             Budget {
                 max_steps: 50_000,
                 max_items: 50_000,
+                ..Budget::default()
             },
         );
         assert!(matches!(r, Err(XqError::Budget { .. })));
     }
 
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn stats_track_env_depth() {

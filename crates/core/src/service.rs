@@ -1,0 +1,277 @@
+//! A batching query service over a fixed worker pool — the
+//! serve-heavy-traffic shape of the ROADMAP north star.
+//!
+//! [`QueryService`] owns `N` long-lived worker threads. A batch of
+//! [`Request`]s (query text + shared [`ArenaDoc`] + [`Budget`]) is fanned
+//! out over one shared job channel; workers parse, evaluate, and send back
+//! `(index, result)` pairs, and [`QueryService::run_batch`] reassembles
+//! them in submission order. Documents cross threads as
+//! `Arc<ArenaDoc>` — the sharded global interner is what makes that legal
+//! — so a corpus is loaded once and served by every worker without
+//! copying.
+//!
+//! Workers keep a small per-document cache of the materialized [`Tree`]
+//! (the Figure 1 evaluator's input form), keyed by the `Arc` pointer
+//! identity, so serving many queries against the same hot document pays
+//! the arena → tree conversion once per worker, not once per request.
+
+use crate::semantics::{eval_with, Budget, Env};
+use crate::Query;
+use cv_xtree::{ArenaDoc, Tree};
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One unit of work for the service: evaluate `query` (surface syntax)
+/// against `doc` under `budget`.
+#[derive(Clone)]
+pub struct Request {
+    /// The query in the paper's surface syntax (parsed by the worker).
+    pub query: Arc<str>,
+    /// The document, shared across workers without copying.
+    pub doc: Arc<ArenaDoc>,
+    /// Per-request resource limits (the `threads` knob is ignored here;
+    /// parallelism comes from the pool).
+    pub budget: Budget,
+}
+
+impl Request {
+    /// A request with the default budget.
+    pub fn new(query: impl AsRef<str>, doc: Arc<ArenaDoc>) -> Request {
+        Request {
+            query: Arc::from(query.as_ref()),
+            doc,
+            budget: Budget::default(),
+        }
+    }
+}
+
+/// Why a request failed. Carries rendered messages (not the source
+/// errors) so results stay `Send` and comparable in tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The query text did not parse.
+    Parse(String),
+    /// Evaluation failed (unbound variable, budget exhaustion, …).
+    Eval(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Parse(m) => write!(f, "parse error: {m}"),
+            ServiceError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+struct Job {
+    index: usize,
+    request: Request,
+}
+
+type Reply = (usize, Result<String, ServiceError>);
+
+/// A fixed pool of evaluation workers serving batches of requests; see
+/// the module docs for the data flow.
+pub struct QueryService {
+    jobs: Option<Sender<Job>>,
+    replies: Receiver<Reply>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// How many materialized documents each worker keeps (eviction is a full
+/// clear — requests batches are expected to cycle few distinct docs).
+const DOC_CACHE_CAP: usize = 32;
+
+fn serve(
+    request: &Request,
+    cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tree)>,
+) -> Result<String, ServiceError> {
+    let query: Query =
+        crate::parse_query(&request.query).map_err(|e| ServiceError::Parse(e.to_string()))?;
+    let key = Arc::as_ptr(&request.doc) as usize;
+    if cache.len() >= DOC_CACHE_CAP && !cache.contains_key(&key) {
+        cache.clear();
+    }
+    let (_, tree) = cache
+        .entry(key)
+        // Holding the Arc in the cache keeps the pointer identity stable.
+        .or_insert_with(|| (request.doc.clone(), request.doc.to_tree()));
+    let (out, _) = eval_with(&query, &Env::with_root(tree.clone()), request.budget)
+        .map_err(|e| ServiceError::Eval(e.to_string()))?;
+    Ok(out.iter().map(Tree::to_xml).collect())
+}
+
+impl QueryService {
+    /// Spawns a pool of `workers` evaluation threads (at least 1).
+    pub fn new(workers: usize) -> QueryService {
+        let workers = workers.max(1);
+        let (jobs_tx, jobs_rx) = channel::<Job>();
+        let (replies_tx, replies_rx) = channel::<Reply>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let jobs_rx = Arc::clone(&jobs_rx);
+                let replies_tx = replies_tx.clone();
+                std::thread::spawn(move || {
+                    let mut cache = HashMap::new();
+                    loop {
+                        // Lock only around the receive so idle workers
+                        // never block a busy one.
+                        let job = match jobs_rx.lock().expect("job queue poisoned").recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // service dropped: shut down
+                        };
+                        let result = serve(&job.request, &mut cache);
+                        if replies_tx.send((job.index, result)).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        QueryService {
+            jobs: Some(jobs_tx),
+            replies: replies_rx,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs a batch: fans the requests out over the pool and returns the
+    /// results in submission order (failures stay positional — one bad
+    /// request never poisons its batch).
+    pub fn run_batch(&mut self, requests: Vec<Request>) -> Vec<Result<String, ServiceError>> {
+        let n = requests.len();
+        let jobs = self.jobs.as_ref().expect("service not shut down");
+        for (index, request) in requests.into_iter().enumerate() {
+            jobs.send(Job { index, request }).expect("workers alive");
+        }
+        let mut out: Vec<Option<Result<String, ServiceError>>> = vec![None; n];
+        for _ in 0..n {
+            let (index, result) = self.replies.recv().expect("workers alive");
+            out[index] = Some(result);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        // Closing the job channel is the shutdown signal.
+        self.jobs.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval_query;
+    use cv_xtree::{random_tree, TreeGen};
+
+    fn corpus() -> Vec<Arc<ArenaDoc>> {
+        (0..3u64)
+            .map(|seed| {
+                let mut g = TreeGen::new(seed);
+                Arc::new(ArenaDoc::from_tree(&random_tree(
+                    &mut g,
+                    20,
+                    &["a", "b", "k"],
+                )))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_match_direct_evaluation_in_order() {
+        let docs = corpus();
+        let queries = [
+            "for $x in $root//a return <w>{ $x/* }</w>",
+            "$root/*",
+            "<out>{ for $x in $root/* return if ($x =atomic <k/>) then $x }</out>",
+        ];
+        let mut service = QueryService::new(4);
+        assert_eq!(service.workers(), 4);
+        let requests: Vec<Request> = docs
+            .iter()
+            .flat_map(|d| queries.iter().map(|q| Request::new(q, d.clone())))
+            .collect();
+        let want: Vec<String> = requests
+            .iter()
+            .map(|r| {
+                eval_query(&crate::parse_query(&r.query).unwrap(), &r.doc.to_tree())
+                    .unwrap()
+                    .iter()
+                    .map(Tree::to_xml)
+                    .collect()
+            })
+            .collect();
+        let got = service.run_batch(requests);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.as_ref().expect("request succeeds"), w);
+        }
+    }
+
+    #[test]
+    fn failures_stay_positional() {
+        let docs = corpus();
+        let mut service = QueryService::new(2);
+        let got = service.run_batch(vec![
+            Request::new("$root", docs[0].clone()),
+            Request::new("for $x in", docs[0].clone()), // parse error
+            Request::new("$nope", docs[1].clone()),     // unbound variable
+            Request::new("<ok/>", docs[2].clone()),
+        ]);
+        assert!(got[0].is_ok());
+        assert!(matches!(got[1], Err(ServiceError::Parse(_))));
+        assert!(matches!(got[2], Err(ServiceError::Eval(_))));
+        assert_eq!(got[3].as_deref(), Ok("<ok/>"));
+    }
+
+    #[test]
+    fn budget_is_enforced_per_request() {
+        let docs = corpus();
+        let mut tight = Request::new(
+            "for $a in $root//* return for $b in $root//* return \
+             for $c in $root//* return <t/>",
+            docs[0].clone(),
+        );
+        tight.budget = Budget {
+            max_steps: 50,
+            max_items: 50,
+            ..Budget::default()
+        };
+        let mut service = QueryService::new(2);
+        let got = service.run_batch(vec![tight]);
+        assert!(matches!(got[0], Err(ServiceError::Eval(_))));
+    }
+
+    #[test]
+    fn reusable_across_batches() {
+        let docs = corpus();
+        let mut service = QueryService::new(3);
+        for _ in 0..3 {
+            let got = service.run_batch(vec![
+                Request::new("$root/*", docs[0].clone()),
+                Request::new("$root/*", docs[1].clone()),
+            ]);
+            assert!(got.iter().all(Result::is_ok));
+        }
+        // An empty batch is fine too.
+        assert!(service.run_batch(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! The parallel differential suite: random XQ∼ queries (biased toward the
+//! outer-`for` shape the data-parallel evaluators distribute) must yield
+//! **byte-identical** results sequentially and at 1/2/4/8 worker threads,
+//! on both parallel engines:
+//!
+//! * `xq_core::par::eval_query_par` vs the Figure 1 reference semantics;
+//! * `xq_stream::stream_query_arena_par` vs `stream_query_arena`,
+//!   token-for-token, at the default buffer cap *and* with a tiny cap
+//!   forcing the lazy discipline inside the workers.
+//!
+//! Determinism is the whole contract of `xq_core::par` (the chunk merge
+//! preserves document order; errors resolve in chunk order), so the suite
+//! runs every query at every thread count — including thread counts far
+//! above this machine's core count, which exercises the chunking edge
+//! cases (more workers than items, empty remainders).
+//!
+//! The corpus is cached per thread and the case count honours
+//! `XQ_RANDOM_CASES` (CI pins 16; local default 64). `XQ_THREADS` adds an
+//! extra thread count to the sweep, so CI's `XQ_THREADS=4` run is explicit
+//! about the configuration it covers. The `#[ignore]`d full-size variant
+//! (weekly `scheduled.yml` run) sweeps bigger documents plus the three
+//! doubling families.
+
+use cv_xtree::{random_tree, ArenaDoc, Axis, DoublingFamily, NodeTest, Tree, TreeGen};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use xq_core::ast::{Cond, EqMode, Query, Var};
+use xq_core::{eval_query_par, Budget, Threads};
+
+/// Variables in scope are `$root` plus loop variables `v0..v{depth}`.
+fn var_in_scope(depth: usize) -> impl Strategy<Value = Var> {
+    (0..=depth).prop_map(|i| {
+        if i == 0 {
+            Var::root()
+        } else {
+            Var::new(format!("v{}", i - 1))
+        }
+    })
+}
+
+fn node_test() -> impl Strategy<Value = NodeTest> {
+    prop_oneof![
+        Just(NodeTest::Wildcard),
+        Just(NodeTest::tag("a")),
+        Just(NodeTest::tag("b")),
+    ]
+}
+
+fn axis() -> impl Strategy<Value = Axis> {
+    prop_oneof![
+        3 => Just(Axis::Child),
+        1 => Just(Axis::Descendant),
+        1 => Just(Axis::DescendantOrSelf),
+        1 => Just(Axis::SelfAxis),
+    ]
+}
+
+/// A step on an in-scope variable.
+fn var_step(depth: usize) -> impl Strategy<Value = Query> {
+    (var_in_scope(depth), axis(), node_test())
+        .prop_map(|(v, ax, nt)| Query::step(Query::Var(v), ax, nt))
+}
+
+/// A chain of up to three steps grounded at `$root` — the source shape
+/// `resolve_node_source` parallelizes.
+fn root_step_chain() -> impl Strategy<Value = Query> {
+    proptest::collection::vec((axis(), node_test()), 1..=3).prop_map(|steps| {
+        steps
+            .into_iter()
+            .fold(Query::Var(Var::root()), |q, (ax, nt)| {
+                Query::step(q, ax, nt)
+            })
+    })
+}
+
+/// Random XQ∼ queries with `depth` loop variables in scope — the
+/// `random_queries.rs` grammar (see the NOTE there about deliberate
+/// duplication), reused here as loop bodies and fallback shapes.
+fn xq_tilde(depth: usize, size: u32) -> BoxedStrategy<Query> {
+    if size == 0 {
+        return prop_oneof![
+            Just(Query::Empty),
+            Just(Query::leaf("k")),
+            var_in_scope(depth).prop_map(Query::Var),
+            var_step(depth),
+        ]
+        .boxed();
+    }
+    let d = depth;
+    prop_oneof![
+        2 => var_step(d),
+        2 => (prop_oneof![Just("w"), Just("x")], xq_tilde(d, size - 1))
+            .prop_map(|(t, b)| Query::elem(t, b)),
+        2 => (xq_tilde(d, size - 1), xq_tilde(d, size - 1))
+            .prop_map(|(a, b)| Query::seq([a, b])),
+        3 => (var_step(d), xq_tilde(d + 1, size - 1)).prop_map(move |(s, b)| {
+            Query::for_in(format!("v{d}").as_str(), s, b)
+        }),
+        2 => (cond(d, size - 1), xq_tilde(d, size - 1))
+            .prop_map(|(c, b)| Query::if_then(c, b)),
+        1 => var_in_scope(d).prop_map(Query::Var),
+    ]
+    .boxed()
+}
+
+fn cond(depth: usize, size: u32) -> BoxedStrategy<Cond> {
+    let base =
+        prop_oneof![
+            (var_in_scope(depth), var_in_scope(depth), eq_mode())
+                .prop_map(|(x, y, m)| Cond::VarEq(x, y, m)),
+            (var_in_scope(depth), prop_oneof![Just("a"), Just("k")])
+                .prop_map(|(x, t)| Cond::ConstEq(x, t.into(), EqMode::Atomic)),
+        ];
+    if size == 0 {
+        return base.boxed();
+    }
+    prop_oneof![
+        2 => base,
+        2 => xq_tilde(depth, size.min(1)).prop_map(Cond::query),
+        1 => cond(depth, size - 1).prop_map(Cond::negate),
+    ]
+    .boxed()
+}
+
+fn eq_mode() -> impl Strategy<Value = EqMode> {
+    prop_oneof![Just(EqMode::Deep), Just(EqMode::Atomic)]
+}
+
+/// The query corpus: mostly parallelizable shapes (an outer `for` over a
+/// `$root` step chain, possibly element-wrapped), plus raw XQ∼ queries to
+/// cover the sequential fallback.
+fn par_query() -> BoxedStrategy<Query> {
+    // Built twice rather than cloned: the vendored proptest stub's
+    // strategies are not `Clone`.
+    let outer_for = || {
+        (root_step_chain(), xq_tilde(1, 2))
+            .prop_map(|(source, body)| Query::for_in("v0", source, body))
+    };
+    prop_oneof![
+        3 => outer_for(),
+        2 => outer_for().prop_map(|q| Query::elem("out", q)),
+        2 => xq_tilde(0, 3),
+    ]
+    .boxed()
+}
+
+/// The cached per-thread corpus — the `random_queries.rs` documents.
+fn docs() -> Vec<Tree> {
+    thread_local! {
+        static DOCS: Vec<Tree> = (0..3u64)
+            .map(|seed| {
+                let mut g = TreeGen::new(seed);
+                random_tree(&mut g, 10, &["a", "b", "k"])
+            })
+            .collect();
+    }
+    DOCS.with(|d| d.clone())
+}
+
+/// Cases per property: `XQ_RANDOM_CASES` if set (CI uses 16), else 64.
+fn cases() -> u32 {
+    std::env::var("XQ_RANDOM_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Thread counts under test: 1/2/4/8 always, plus whatever `XQ_THREADS`
+/// resolves to (CI's parallel job sets it to 4).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, 8];
+    let env = Threads::from_env().count();
+    if !counts.contains(&env) {
+        counts.push(env);
+    }
+    counts
+}
+
+/// Serializes a result list to bytes.
+fn bytes(trees: &[Tree]) -> Vec<u8> {
+    trees
+        .iter()
+        .map(Tree::to_xml)
+        .collect::<String>()
+        .into_bytes()
+}
+
+const FUEL: u64 = 50_000_000;
+
+/// The differential body shared by the quick and full-size suites.
+///
+/// The contract mirrors the `xq_core::par` budget semantics: when the
+/// sequential run succeeds, the parallel result must be byte-identical
+/// (and parallel must not fail — each worker's chunk is a subset of the
+/// sequential work); when the sequential run exhausts its budget, the
+/// parallel run may either exhaust its own or legitimately succeed (each
+/// worker gets the full budget for less work). Non-budget errors must
+/// match exactly.
+fn assert_par_agrees(q: &Query, doc: &Tree) -> Result<(), TestCaseError> {
+    let arena = ArenaDoc::from_tree(doc);
+
+    // Materializing engine: reference vs eval_query_par at every count.
+    let want = match xq_core::eval_query(q, doc) {
+        Ok(out) => Ok(bytes(&out)),
+        Err(e) => Err(e),
+    };
+    for threads in thread_counts() {
+        let budget = Budget::default().with_threads(Threads::N(threads));
+        let got = eval_query_par(q, &arena, budget).map(|(out, _)| bytes(&out));
+        match (&want, &got) {
+            (Err(xq_core::XqError::Budget { .. }), Ok(_)) => {} // monotone: allowed
+            _ => prop_assert_eq!(&got, &want, "eval {} at {} threads on {}", q, threads, doc),
+        }
+    }
+
+    // Streaming engine: sequential arena stream vs the parallel one.
+    let stream_want =
+        xq_stream::stream_query_arena(q, &arena, FUEL, xq_stream::DEFAULT_BUFFER_LIMIT)
+            .map(|(tokens, _)| tokens);
+    for threads in thread_counts() {
+        let got = xq_stream::stream_query_arena_par(
+            q,
+            &arena,
+            FUEL,
+            xq_stream::DEFAULT_BUFFER_LIMIT,
+            threads,
+        )
+        .map(|(tokens, _)| tokens);
+        match (&stream_want, &got) {
+            (Err(xq_stream::StreamError::Budget), Ok(_)) => {} // monotone: allowed
+            _ => prop_assert_eq!(
+                &got,
+                &stream_want,
+                "stream {} at {} threads on {}",
+                q,
+                threads,
+                doc
+            ),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Parallel and sequential evaluation are byte-identical at 1/2/4/8
+    /// threads on the cached corpus, for both engines.
+    #[test]
+    fn parallel_results_are_byte_identical(q in par_query()) {
+        for doc in &docs() {
+            assert_par_agrees(&q, doc)?;
+        }
+    }
+}
+
+proptest! {
+    // The weekly full-size pass: bigger random documents plus the three
+    // doubling families at n = 6, 128 cases. Run explicitly with
+    // `cargo test --release -p xq_core -- --ignored` (scheduled.yml does).
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    #[ignore = "full-size parallel differential pass; runs in the weekly scheduled workflow"]
+    fn parallel_results_are_byte_identical_full_size(q in par_query()) {
+        let mut full: Vec<Tree> = (0..2u64)
+            .map(|seed| {
+                let mut g = TreeGen::new(seed);
+                random_tree(&mut g, 64, &["a", "b", "k"])
+            })
+            .collect();
+        full.extend(DoublingFamily::ALL.iter().map(|f| f.tree(6)));
+        for doc in &full {
+            assert_par_agrees(&q, doc)?;
+        }
+    }
+}
+
+/// The service path agrees with direct evaluation under concurrency: one
+/// pool, many requests, order-preserving results.
+#[test]
+fn query_service_agrees_with_reference() {
+    use std::sync::Arc;
+    let corpus = docs();
+    let arenas: Vec<Arc<ArenaDoc>> = corpus
+        .iter()
+        .map(|t| Arc::new(ArenaDoc::from_tree(t)))
+        .collect();
+    let queries = [
+        "for $x in $root//a return <w>{ $x/* }</w>",
+        "<out>{ for $x in $root/* return if ($x =atomic <k/>) then $x }</out>",
+        "$root/*",
+    ];
+    let mut service = xq_core::QueryService::new(4);
+    let requests: Vec<xq_core::Request> = arenas
+        .iter()
+        .flat_map(|d| queries.iter().map(|q| xq_core::Request::new(q, d.clone())))
+        .collect();
+    let got = service.run_batch(requests.clone());
+    for (i, r) in requests.iter().enumerate() {
+        let q = xq_core::parse_query(&r.query).unwrap();
+        let want: String = xq_core::eval_query(&q, &r.doc.to_tree())
+            .unwrap()
+            .iter()
+            .map(Tree::to_xml)
+            .collect();
+        assert_eq!(got[i].as_ref().unwrap(), &want, "request {i}");
+    }
+}

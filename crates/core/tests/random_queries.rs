@@ -191,7 +191,7 @@ proptest! {
         let minus = to_composition_free(&q);
         prop_assume!(is_composition_free(&minus));
         for doc in &docs() {
-            let d = cv_xtree::Document::new(doc);
+            let d = cv_xtree::ArenaDoc::from_tree(doc);
             let mut engine = xq_compfree::NestedLoopEngine::new(&d);
             let got = engine.boolean(&minus).unwrap();
             let want = boolean_result(&minus, doc).unwrap();

@@ -230,7 +230,7 @@ mod tests {
     fn reduction_agrees_with_nested_loop_engine() {
         let mut gen = cv_xtree::TreeGen::new(77);
         let tree = qbf_tree();
-        let doc = cv_xtree::Document::new(&tree);
+        let doc = cv_xtree::ArenaDoc::from_tree(&tree);
         for _ in 0..10 {
             let f = random_qbf(&mut gen, 3, 3);
             let q = qbf_query(&f);

@@ -20,7 +20,7 @@
 //! [`Trace`] of rule applications (Figure 10 is reproduced as a test).
 
 use cv_xtree::{Axis, NodeTest};
-use std::rc::Rc;
+use std::sync::Arc;
 use xq_core::ast::{Cond, EqMode, Query, Var};
 
 // Trace plumbing is shared with the `cv_monad::opt` optimizer pass: both
@@ -101,8 +101,8 @@ impl Rewriter {
             Query::Var(_) => q.clone(),
             Query::Elem(a, b) => Query::elem(a.clone(), self.subst_q(b, x, r)?),
             Query::Seq(a, b) => Query::Seq(
-                Rc::new(self.subst_q(a, x, r)?),
-                Rc::new(self.subst_q(b, x, r)?),
+                Arc::new(self.subst_q(a, x, r)?),
+                Arc::new(self.subst_q(b, x, r)?),
             ),
             Query::Step(base, ax, nt) => Query::step(self.subst_q(base, x, r)?, *ax, nt.clone()),
             Query::For(v, s, b) | Query::Let(v, s, b) => {
@@ -223,7 +223,7 @@ impl Rewriter {
         Ok(match q {
             Query::Empty | Query::Var(_) => q.clone(),
             Query::Elem(a, b) => Query::elem(a.clone(), self.elim(b)?),
-            Query::Seq(a, b) => Query::Seq(Rc::new(self.elim(a)?), Rc::new(self.elim(b)?)),
+            Query::Seq(a, b) => Query::Seq(Arc::new(self.elim(a)?), Arc::new(self.elim(b)?)),
             Query::Step(base, ax, nt) => {
                 let base = self.elim(base)?;
                 self.push_step(base, *ax, nt)?
@@ -269,7 +269,7 @@ impl Rewriter {
                 .elim_cond(&Cond::Some(
                     v.clone(),
                     s.clone(),
-                    Rc::new((**inner).clone().negate()),
+                    Arc::new((**inner).clone().negate()),
                 ))?
                 .negate(),
             Cond::And(a, b) => self.elim_cond(a)?.and(self.elim_cond(b)?),
@@ -299,21 +299,21 @@ impl Rewriter {
                 self.trace.log("Lem.7.8", &base);
                 let (a, b) = ((**a).clone(), (**b).clone());
                 Query::Seq(
-                    Rc::new(self.push_step(a, axis, nt)?),
-                    Rc::new(self.push_step(b, axis, nt)?),
+                    Arc::new(self.push_step(a, axis, nt)?),
+                    Arc::new(self.push_step(b, axis, nt)?),
                 )
             }
             Query::For(v, s, b) => {
                 // (for $x in α return β)/χ::ν ⊢ for $x in α return β/χ::ν
                 self.trace.log("Lem.7.8", &base);
                 let inner = self.push_step((**b).clone(), axis, nt)?;
-                Query::For(v.clone(), s.clone(), Rc::new(inner))
+                Query::For(v.clone(), s.clone(), Arc::new(inner))
             }
             Query::If(c, b) => {
                 // (if φ then α)/χ::ν ⊢ if φ then α/χ::ν
                 self.trace.log("Lem.7.8", &base);
                 let inner = self.push_step((**b).clone(), axis, nt)?;
-                Query::If(c.clone(), Rc::new(inner))
+                Query::If(c.clone(), Arc::new(inner))
             }
             Query::Step(_, _, _) => {
                 // ($x/χ::ν)/χ′::ν′ ⊢ for $y in $x/χ::ν return $y/χ′::ν′
@@ -341,7 +341,7 @@ impl Rewriter {
                             NodeTest::Tag(b) => b == a,
                         };
                         if keep_self {
-                            Query::Seq(Rc::new(base.clone()), Rc::new(below))
+                            Query::Seq(Arc::new(base.clone()), Arc::new(below))
                         } else {
                             below
                         }
@@ -377,7 +377,7 @@ impl Rewriter {
                     .log("Fig.9(3)", &Query::Seq(a.clone(), b.clone()));
                 let left = self.push_for(x, (*a).clone(), body.clone())?;
                 let right = self.push_for(x, (*b).clone(), body)?;
-                Query::Seq(Rc::new(left), Rc::new(right))
+                Query::Seq(Arc::new(left), Arc::new(right))
             }
             // (4) for $y in (for $x in α return β) return γ
             //     ⊢ for $x in α return (for $y in β return γ)
@@ -399,7 +399,7 @@ impl Rewriter {
             //     ⊢ for $x in α return if φ then β
             Query::If(c, a) => {
                 self.trace.log("Fig.9(5)", &Query::If(c.clone(), a.clone()));
-                let wrapped = Query::If(c, Rc::new(body));
+                let wrapped = Query::If(c, Arc::new(body));
                 self.push_for(x, (*a).clone(), wrapped)?
             }
             // (6) for $y in $x return α ⊢ α[$y ⇒ $x]

@@ -37,10 +37,11 @@
 //! [`StreamStats::buffered_sources`] counts how often the fast path
 //! engaged.
 
-use cv_xtree::{ArenaDoc, Axis, Label, NodeTest, Token, Tree};
+use cv_xtree::{ArenaDoc, Axis, IToken, Label, NodeId, NodeTest, Token, Tree};
 use std::cell::Cell;
 use std::rc::Rc;
 use xq_core::ast::{Cond, EqMode, Query, Var};
+use xq_core::par::{chunks, outer_for_split, resolve_node_source};
 
 /// Streaming failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -834,6 +835,103 @@ pub fn stream_query_arena(
     stream_tokens(q, doc.tokens().into(), max_pulls, buffer_limit)
 }
 
+/// [`stream_query_arena`] with the outer `for`-loop distributed over
+/// `threads` workers: the source is resolved to arena node ids
+/// ([`resolve_node_source`]), carved into contiguous chunks, and each
+/// worker streams the body with the loop variable bound to its chunk's
+/// item token slices — exactly the binding the buffered fast path would
+/// produce. Per-chunk output crosses back as interned tokens and is
+/// concatenated in chunk (= document) order, so the stream is
+/// byte-identical to [`stream_query_arena`]'s. Queries without a
+/// node-source outer `for` (and `threads <= 1`) take the sequential path.
+///
+/// `max_pulls` bounds each worker's chunk independently: parallel never
+/// exhausts a budget that sufficed sequentially. Merged stats sum
+/// `pulls`/`recomputations`/`buffered_sources` across workers and take
+/// the worker maximum for `peak_live_cursors`.
+pub fn stream_query_arena_par(
+    q: &Query,
+    doc: &ArenaDoc,
+    max_pulls: u64,
+    buffer_limit: usize,
+    threads: usize,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    let split = outer_for_split(q)
+        .and_then(|(w, v, s, b)| resolve_node_source(doc, s).map(|nodes| (w, v, nodes, b)));
+    let (wrappers, var, nodes, body) = match split {
+        Some(s) if threads > 1 && s.2.len() >= 2 => s,
+        _ => return stream_query_arena(q, doc, max_pulls, buffer_limit),
+    };
+    let needs_root = xq_core::free_vars(body).contains(&Var::root());
+    let parts = chunks(&nodes, threads);
+    type ChunkOut = Result<(Vec<IToken>, StreamStats), StreamError>;
+    let results: Vec<ChunkOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    stream_chunk(doc, var, body, chunk, max_pulls, buffer_limit, needs_root)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("streaming worker panicked"))
+            .collect()
+    });
+    let mut out: Vec<Token> = wrappers.iter().map(|a| Token::Open(a.clone())).collect();
+    let mut stats = StreamStats::default();
+    // First error in chunk order wins: deterministic for a fixed thread
+    // count.
+    for r in results {
+        let (itokens, s) = r?;
+        stats.pulls += s.pulls;
+        stats.recomputations += s.recomputations;
+        stats.buffered_sources += s.buffered_sources;
+        stats.peak_live_cursors = stats.peak_live_cursors.max(s.peak_live_cursors);
+        out.extend(itokens.iter().map(|t| t.resolve()));
+    }
+    out.extend(wrappers.iter().rev().map(|a| Token::Close(a.clone())));
+    stats.tokens_out = out.len() as u64;
+    Ok((out, stats))
+}
+
+/// One worker's share of a parallel stream: the body streamed once per
+/// chunk node, with bindings tokenized straight out of the shared arena.
+fn stream_chunk(
+    doc: &ArenaDoc,
+    var: &Var,
+    body: &Query,
+    chunk: &[NodeId],
+    max_pulls: u64,
+    buffer_limit: usize,
+    needs_root: bool,
+) -> Result<(Vec<IToken>, StreamStats), StreamError> {
+    let shared = Shared::new(max_pulls, buffer_limit);
+    let root_tokens: Option<Rc<[Token]>> = needs_root.then(|| doc.tokens().into());
+    let mut itokens = Vec::new();
+    for &node in chunk {
+        let mut env: Env = None;
+        if let Some(rt) = &root_tokens {
+            env = bind(&env, Var::root(), Binding::Input(rt.clone()));
+        }
+        let item: Rc<[Token]> = doc.tokens_of(node).into();
+        env = bind(&env, var.clone(), Binding::Input(item));
+        let mut cursor = XCursor::of_query(body, &env, &shared)?;
+        while let Some(t) = cursor.next()? {
+            itokens.push(IToken::intern(&t));
+        }
+    }
+    let stats = StreamStats {
+        tokens_out: itokens.len() as u64,
+        pulls: shared.pulls.get(),
+        recomputations: shared.recomp.get(),
+        peak_live_cursors: shared.peak.get(),
+        buffered_sources: shared.buffered.get(),
+    };
+    Ok((itokens, stats))
+}
+
 fn stream_with(
     q: &Query,
     input: &Tree,
@@ -1159,6 +1257,36 @@ mod tests {
                 let (want, _) = stream_query_buffered(&q, &t, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
                 let (got, _) = stream_query_arena(&q, &doc, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
                 assert_eq!(got, want, "query {src} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_arena_stream_is_byte_identical() {
+        let queries = [
+            "for $x in $root//a return <w>{ $x/* }</w>",
+            "<out>{ for $x in $root/* return ($x//b, <w>{ $x/a }</w>) }</out>",
+            "for $x in $root/* return if (some $y in $root/* satisfies $x = $y) then $x",
+            "$root//b", // no outer for: sequential fallback
+        ];
+        for seed in 0..4u64 {
+            let mut g = cv_xtree::TreeGen::new(seed);
+            let t = cv_xtree::random_tree(&mut g, 30, &["a", "b", "c"]);
+            let doc = ArenaDoc::from_tree(&t);
+            for src in &queries {
+                let q = parse_query(src).unwrap();
+                let (want, _) = stream_query_arena(&q, &doc, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
+                for threads in [1usize, 2, 4] {
+                    let (got, _) =
+                        stream_query_arena_par(&q, &doc, FUEL, DEFAULT_BUFFER_LIMIT, threads)
+                            .unwrap();
+                    assert_eq!(got, want, "query {src} seed {seed} threads {threads}");
+                }
+                // A tiny buffer cap (lazy discipline in the workers) must
+                // not change the bytes either.
+                let (got, _) = stream_query_arena_par(&q, &doc, FUEL, 1, 4).unwrap();
+                let (lazy_want, _) = stream_query_arena(&q, &doc, FUEL, 1).unwrap();
+                assert_eq!(got, lazy_want, "lazy query {src} seed {seed}");
             }
         }
     }

@@ -6,7 +6,7 @@
 //! label. This module provides the flat alternative suggested by the §5.1
 //! path-set encoding (and the flat-value encoding of Prop 6.1): all node
 //! data lives in contiguous, [`NodeId`]-indexed parallel vectors, and
-//! labels are interned once per thread into `u32` [`LabelId`]s, making
+//! labels are interned process-wide into `u32` [`LabelId`]s, making
 //! label equality a single integer compare.
 //!
 //! Layout of an [`ArenaDoc`] (ids are assigned in preorder, so comparing
@@ -25,50 +25,98 @@
 //! over a `u32` range with no pointer chasing and no `Rc` refcount
 //! traffic — the core of the T15 speedup over [`Tree::axis`].
 //!
-//! **Thread affinity.** [`LabelId`]s are only meaningful on the thread
-//! that interned them, so `ArenaDoc` is deliberately `!Send`/`!Sync`
-//! (like [`Tree`], whose `Rc`s already are).
+//! **Sharing across threads.** Labels are interned into one *global*,
+//! lock-striped [`LabelInterner`]: the label hash selects one of
+//! [`LabelInterner::SHARDS`] shards, each an independent
+//! `RwLock<Vec<Arc<str>>> + reverse map`, so concurrent interning from
+//! many threads contends only when two threads hit the same shard at the
+//! same instant, and the common case (the label is already interned) takes
+//! a read lock only. A [`LabelId`] therefore means the same label on
+//! *every* thread, which makes `ArenaDoc: Send + Sync` — a document can be
+//! built on one thread and scanned from many (the basis of
+//! `xq_core::par`'s data-parallel evaluation). Hot resolution
+//! ([`LabelId::label`]) goes through a per-thread cache of already-resolved
+//! [`Label`]s, so repeated serialization never touches the shard locks.
 
 use crate::{Axis, Label, NodeId, NodeTest, Token, Tree, XmlError};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::marker::PhantomData;
 use std::ops::Range;
-use std::rc::Rc;
+use std::sync::{Arc, LazyLock, RwLock};
 
-/// An interned label: a `u32` handle into the thread-local
+/// An interned label: a `u32` handle into the global sharded
 /// [`LabelInterner`]. Equality and hashing are O(1) integer operations;
 /// *ordering* is intentionally not derived, because ids are assigned in
 /// interning order, not lexicographic order — compare via [`LabelId::label`].
 ///
-/// Like [`ArenaDoc`], a `LabelId` is only meaningful on the thread that
-/// interned it, so it is deliberately `!Send`/`!Sync` (the marker field;
-/// `PhantomData` keeps it `Copy`).
+/// The interner is process-global, so a `LabelId` is meaningful on every
+/// thread: the same string interns to the same id everywhere, and ids are
+/// freely `Send`/`Sync` (they are what makes [`ArenaDoc`] shareable).
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-pub struct LabelId(u32, PhantomData<Rc<()>>);
+pub struct LabelId(u32);
 
 impl LabelId {
-    fn from_raw(id: u32) -> LabelId {
-        LabelId(id, PhantomData)
+    /// Packs a (shard, slot-within-shard) pair into the `u32` handle: the
+    /// low [`SHARD_BITS`](LabelInterner::SHARD_BITS) bits address the
+    /// shard, so resolution never searches.
+    fn from_parts(shard: usize, slot: u32) -> LabelId {
+        debug_assert!(shard < LabelInterner::SHARDS);
+        LabelId((slot << LabelInterner::SHARD_BITS) | shard as u32)
     }
 
-    /// Interns `s` in this thread's interner and returns its id. The same
-    /// string always receives the same id within a thread.
+    fn shard(self) -> usize {
+        (self.0 & (LabelInterner::SHARDS as u32 - 1)) as usize
+    }
+
+    fn slot(self) -> usize {
+        (self.0 >> LabelInterner::SHARD_BITS) as usize
+    }
+
+    /// Interns `s` in the global interner and returns its id. The same
+    /// string always receives the same id, on every thread.
     pub fn intern(s: impl AsRef<str>) -> LabelId {
-        INTERNER.with(|i| i.borrow_mut().intern(s.as_ref()))
+        interner().intern(s.as_ref())
     }
 
-    /// Resolves the id back to its [`Label`] (a cheap `Rc` clone).
+    /// Resolves the id back to its [`Label`]. The first resolution on a
+    /// thread takes a shard read lock; later ones hit the thread's resolve
+    /// cache (a cheap `Rc` clone).
     pub fn label(self) -> Label {
-        INTERNER.with(|i| i.borrow().resolve(self))
+        RESOLVE_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let i = self.0 as usize;
+            if i >= cache.len() {
+                cache.resize(i + 1, None);
+            }
+            if let Some(l) = &cache[i] {
+                return l.clone();
+            }
+            let label = Label::new(interner().resolve(self));
+            cache[i] = Some(label.clone());
+            label
+        })
     }
 
     /// The id `s` was interned under, if any — a lookup that, unlike
     /// [`LabelId::intern`], never grows the table. Queries use this: a
-    /// never-interned label cannot occur in any document on this thread.
+    /// never-interned label cannot occur in any document in this process.
+    ///
+    /// Found ids are cached per thread (ids are immutable once assigned,
+    /// so positive entries can never go stale), keeping hot repeated
+    /// lookups — e.g. a `ConstEq` condition in an innermost nested loop —
+    /// off the shard locks. Misses are *not* cached: another thread may
+    /// intern the label later, so a negative answer is only valid at the
+    /// moment it is given.
     pub fn lookup(s: &str) -> Option<LabelId> {
-        INTERNER.with(|i| i.borrow().ids.get(s).copied().map(LabelId::from_raw))
+        LOOKUP_CACHE.with(|cache| {
+            if let Some(&id) = cache.borrow().get(s) {
+                return Some(id);
+            }
+            let found = interner().lookup(s)?;
+            cache.borrow_mut().insert(s.to_owned().into(), found);
+            Some(found)
+        })
     }
 
     /// The raw handle (useful for dense per-label side tables).
@@ -101,39 +149,155 @@ impl From<&Label> for LabelId {
     }
 }
 
-/// The string ⇄ id table behind [`LabelId`]. One instance lives per
-/// thread; use the [`LabelId`] associated functions rather than holding an
-/// interner directly.
+/// A compact, thread-portable token: one symbol of a tag string with its
+/// label interned. An `IToken` is `Copy` and 4 bytes + discriminant (no
+/// refcount traffic at all), so the data-parallel evaluators use it to
+/// ship per-chunk results back to the merging thread, where
+/// [`IToken::resolve`] reconstitutes ordinary tokens.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IToken {
+    /// `<a>`
+    Open(LabelId),
+    /// `</a>`
+    Close(LabelId),
+}
+
+impl IToken {
+    /// Interns the token's label.
+    pub fn intern(t: &Token) -> IToken {
+        match t {
+            Token::Open(l) => IToken::Open(LabelId::intern(l.as_str())),
+            Token::Close(l) => IToken::Close(LabelId::intern(l.as_str())),
+        }
+    }
+
+    /// Resolves back to an ordinary [`Token`].
+    pub fn resolve(self) -> Token {
+        match self {
+            IToken::Open(id) => Token::Open(id.label()),
+            IToken::Close(id) => Token::Close(id.label()),
+        }
+    }
+}
+
+/// Interns a whole tag string (see [`IToken::intern`]).
+pub fn intern_tokens(tokens: &[Token]) -> Vec<IToken> {
+    tokens.iter().map(IToken::intern).collect()
+}
+
+/// Resolves a whole interned tag string (see [`IToken::resolve`]).
+pub fn resolve_tokens(itokens: &[IToken]) -> Vec<Token> {
+    itokens.iter().map(|t| t.resolve()).collect()
+}
+
+/// One lock stripe of the global interner: the labels owned by this shard
+/// (slot-indexed) plus the reverse map. `Arc<str>` rather than [`Label`]
+/// (`Rc<str>`) so the table is shareable across threads.
 #[derive(Default)]
+struct Shard {
+    labels: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
+}
+
+/// The global string ⇄ id table behind [`LabelId`]: an array of
+/// [`SHARDS`](LabelInterner::SHARDS) independently locked stripes, selected
+/// by label hash. Use the [`LabelId`] associated functions rather than
+/// holding an interner directly.
 pub struct LabelInterner {
-    labels: Vec<Label>,
-    ids: HashMap<Label, u32>,
+    shards: Vec<RwLock<Shard>>,
 }
 
 impl LabelInterner {
-    fn intern(&mut self, s: &str) -> LabelId {
-        if let Some(&id) = self.ids.get(s) {
-            return LabelId::from_raw(id);
+    /// log2 of the shard count; the low bits of a [`LabelId`] name the
+    /// shard, the high bits the slot within it.
+    const SHARD_BITS: u32 = 4;
+    /// Number of lock stripes. Interning threads contend only within a
+    /// stripe, and each stripe still addresses `2^28` distinct labels.
+    pub const SHARDS: usize = 1 << Self::SHARD_BITS;
+
+    fn new() -> LabelInterner {
+        LabelInterner {
+            shards: (0..Self::SHARDS).map(|_| RwLock::default()).collect(),
         }
-        let id = u32::try_from(self.labels.len()).expect("more than u32::MAX distinct labels");
-        let label = Label::new(s);
-        self.labels.push(label.clone());
-        self.ids.insert(label, id);
-        LabelId::from_raw(id)
     }
 
-    fn resolve(&self, id: LabelId) -> Label {
-        self.labels[id.0 as usize].clone()
+    /// FNV-1a over the label bytes — a fixed (per-process-stable) hash, so
+    /// shard selection is deterministic and never consults `RandomState`.
+    fn shard_of(s: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h & (Self::SHARDS as u64 - 1)) as usize
     }
+
+    fn intern(&self, s: &str) -> LabelId {
+        let idx = Self::shard_of(s);
+        let shard = &self.shards[idx];
+        // Fast path: already interned — read lock only.
+        if let Some(&slot) = shard.read().expect("interner shard poisoned").ids.get(s) {
+            return LabelId::from_parts(idx, slot);
+        }
+        let mut shard = shard.write().expect("interner shard poisoned");
+        // Double-check: another thread may have interned `s` between the
+        // read unlock and the write lock.
+        if let Some(&slot) = shard.ids.get(s) {
+            return LabelId::from_parts(idx, slot);
+        }
+        let slot = u32::try_from(shard.labels.len())
+            .ok()
+            .filter(|&n| n < 1 << (32 - Self::SHARD_BITS))
+            .expect("too many distinct labels in one interner shard");
+        let label: Arc<str> = Arc::from(s);
+        shard.labels.push(label.clone());
+        shard.ids.insert(label, slot);
+        LabelId::from_parts(idx, slot)
+    }
+
+    fn lookup(&self, s: &str) -> Option<LabelId> {
+        let idx = Self::shard_of(s);
+        let shard = self.shards[idx].read().expect("interner shard poisoned");
+        shard.ids.get(s).map(|&slot| LabelId::from_parts(idx, slot))
+    }
+
+    fn resolve(&self, id: LabelId) -> Arc<str> {
+        self.shards[id.shard()]
+            .read()
+            .expect("interner shard poisoned")
+            .labels[id.slot()]
+        .clone()
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("interner shard poisoned").labels.len())
+            .sum()
+    }
+}
+
+static INTERNER: LazyLock<LabelInterner> = LazyLock::new(LabelInterner::new);
+
+fn interner() -> &'static LabelInterner {
+    &INTERNER
 }
 
 thread_local! {
-    static INTERNER: RefCell<LabelInterner> = RefCell::new(LabelInterner::default());
+    /// Per-thread resolve cache: raw id → already-materialized [`Label`].
+    /// Keeps the hot serialization paths (`tokens_of`, `xml_of`) off the
+    /// shard locks entirely after the first resolution per label.
+    static RESOLVE_CACHE: RefCell<Vec<Option<Label>>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread *positive* lookup cache: name → id for labels this
+    /// thread has already looked up successfully (see [`LabelId::lookup`]).
+    static LOOKUP_CACHE: RefCell<HashMap<Box<str>, LabelId>> = RefCell::new(HashMap::new());
 }
 
-/// Number of distinct labels interned on this thread so far (test aid).
+/// Number of distinct labels interned process-wide so far (test aid; under
+/// concurrent tests this can grow at any time — assert on
+/// [`LabelId::lookup`] of specific strings rather than on counts).
 pub fn interned_labels() -> usize {
-    INTERNER.with(|i| i.borrow().labels.len())
+    interner().len()
 }
 
 const NO_PARENT: u32 = u32::MAX;
@@ -147,8 +311,9 @@ pub struct ArenaDoc {
     child_spans: Vec<Range<u32>>,
     child_ids: Vec<NodeId>,
     subtree_ends: Vec<u32>,
-    // No marker field needed: `labels` holds `LabelId`s, whose own
-    // thread-affinity marker already makes the arena `!Send`/`!Sync`.
+    // Every field is a vector of plain data (`LabelId`s resolve through
+    // the global interner), so `ArenaDoc` is automatically `Send + Sync`
+    // — asserted at compile time in the test suite.
 }
 
 /// Incremental preorder construction of an [`ArenaDoc`]: call
@@ -580,33 +745,52 @@ mod tests {
 
     #[test]
     fn interning_is_idempotent_and_o1_equal() {
+        // The interner is global and other tests intern concurrently, so
+        // assert on specific ids, never on table counts.
         let a1 = LabelId::intern("a");
-        let before = interned_labels();
         let a2 = LabelId::intern("a");
-        assert_eq!(before, interned_labels(), "re-interning must not grow");
         let b = LabelId::intern("b");
         assert_eq!(a1, a2);
         assert_ne!(a1, b);
         assert_eq!(a1.label().as_str(), "a");
         assert_eq!(b.label(), Label::from("b"));
         assert_eq!(LabelId::lookup("a"), Some(a1));
+        assert!(interned_labels() >= 2);
     }
 
     #[test]
     fn axis_queries_do_not_grow_the_interner() {
+        // This tag string appears nowhere else in the workspace, so the
+        // only way it could enter the (global) interner is a bug in the
+        // lookup-only query path below.
+        let foreign = "never-interned-tag-axis-query";
         let doc = ArenaDoc::from_tree(&sample());
-        let before = interned_labels();
-        let hits = doc.axis(
-            doc.root(),
-            Axis::Descendant,
-            &NodeTest::tag("never-interned-tag"),
-        );
+        let hits = doc.axis(doc.root(), Axis::Descendant, &NodeTest::tag(foreign));
         assert!(hits.is_empty());
         assert_eq!(
-            interned_labels(),
-            before,
+            LabelId::lookup(foreign),
+            None,
             "querying a foreign tag must not intern it"
         );
+    }
+
+    #[test]
+    fn arena_and_label_ids_are_send_and_sync() {
+        // Compile-time proof obligations for the data-parallel layer: the
+        // arena store and everything workers ship across threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LabelId>();
+        assert_send_sync::<ArenaDoc>();
+        assert_send_sync::<IToken>();
+        assert_send_sync::<LabelInterner>();
+    }
+
+    #[test]
+    fn interned_tokens_round_trip() {
+        let doc = ArenaDoc::from_tree(&sample());
+        let tokens = doc.tokens();
+        let itokens = intern_tokens(&tokens);
+        assert_eq!(resolve_tokens(&itokens), tokens);
     }
 
     #[test]

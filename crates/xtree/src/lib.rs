@@ -26,7 +26,10 @@ mod generate;
 mod parse;
 mod tree;
 
-pub use arena::{interned_labels, ArenaBuilder, ArenaDoc, LabelId, LabelInterner};
+pub use arena::{
+    intern_tokens, interned_labels, resolve_tokens, ArenaBuilder, ArenaDoc, IToken, LabelId,
+    LabelInterner,
+};
 pub use document::{Document, NodeId};
 pub use generate::{
     random_arena_document, random_document, random_forest, random_tree, DoublingFamily, TreeGen,

@@ -2,15 +2,18 @@
 
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A node label (XML tag name). Cheap to clone; compared by symbol.
+/// `Arc`-backed so labels (and the tokens/query plans holding them) can
+/// cross threads; the tree nodes around them stay `Rc`.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Label(Rc<str>);
+pub struct Label(Arc<str>);
 
 impl Label {
     /// Creates a label for the given tag name.
     pub fn new(s: impl AsRef<str>) -> Label {
-        Label(Rc::from(s.as_ref()))
+        Label(Arc::from(s.as_ref()))
     }
 
     /// The tag name.
@@ -27,7 +30,7 @@ impl From<&str> for Label {
 
 impl From<String> for Label {
     fn from(s: String) -> Label {
-        Label(Rc::from(s))
+        Label(Arc::from(s))
     }
 }
 

@@ -1,0 +1,95 @@
+//! Concurrency smoke tests for the sharded global label interner: the
+//! invariants that make `LabelId` (and hence [`ArenaDoc`]) safe to share —
+//! same string ⇒ same id on every thread, distinct strings ⇒ distinct ids,
+//! resolution round-trips — asserted while 8 threads intern the same label
+//! set simultaneously in different orders.
+
+use cv_xtree::{ArenaDoc, Axis, DoublingFamily, LabelId, NodeTest};
+use std::collections::HashMap;
+
+const WORKERS: usize = 8;
+
+#[test]
+fn concurrent_interning_preserves_id_equality_and_ordering() {
+    // A label set large enough to spread over every shard, interned by all
+    // workers in rotated orders so lock acquisition interleaves.
+    let labels: Vec<String> = (0..64).map(|i| format!("shared-label-{i}")).collect();
+    let per_thread: Vec<Vec<(String, LabelId)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let labels = &labels;
+                scope.spawn(move || {
+                    let mut seen = Vec::new();
+                    for round in 0..4 {
+                        for i in 0..labels.len() {
+                            let label = &labels[(i + w * 7 + round) % labels.len()];
+                            seen.push((label.clone(), LabelId::intern(label)));
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Equality invariant: every thread agrees on every label's id, and the
+    // raw handles agree too (ids are plain data, not per-thread handles).
+    let mut canon: HashMap<String, LabelId> = HashMap::new();
+    for thread in &per_thread {
+        for (label, id) in thread {
+            let entry = canon.entry(label.clone()).or_insert(*id);
+            assert_eq!(entry, id, "label {label} interned to two different ids");
+            assert_eq!(entry.index(), id.index());
+        }
+    }
+    // Distinctness (the ordering side of the invariant: ids are distinct
+    // handles whose order is stable, even if not lexicographic).
+    let mut ids: Vec<u32> = canon.values().map(|id| id.index()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(
+        ids.len(),
+        labels.len(),
+        "distinct labels must get distinct ids"
+    );
+    // Resolution round-trips on a fresh thread (its resolve cache is cold).
+    std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                for (label, id) in &canon {
+                    assert_eq!(id.label().as_str(), label.as_str());
+                    assert_eq!(LabelId::lookup(label), Some(*id));
+                }
+            })
+            .join()
+            .unwrap();
+    });
+}
+
+#[test]
+fn arena_docs_cross_and_are_shared_between_threads() {
+    // Send: build on a worker, ship the whole document back.
+    let doc: ArenaDoc = std::thread::scope(|scope| {
+        scope
+            .spawn(|| DoublingFamily::Binary.arena(8))
+            .join()
+            .unwrap()
+    });
+    let want = doc.axis(doc.root(), Axis::Descendant, &NodeTest::tag("a"));
+
+    // Sync: scan the same document from 8 threads at once; every scan
+    // (and every label resolution) must agree with the builder thread's.
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            let doc = &doc;
+            let want = &want;
+            scope.spawn(move || {
+                let got = doc.axis(doc.root(), Axis::Descendant, &NodeTest::tag("a"));
+                assert_eq!(&got, want);
+                assert_eq!(doc.label(doc.root()).as_str(), "r");
+                assert_eq!(doc.to_tree(), DoublingFamily::Binary.tree(8));
+            });
+        }
+    });
+}

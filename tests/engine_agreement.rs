@@ -5,7 +5,7 @@
 //! plus the Fig 2 monad-algebra translation evaluated on encoded inputs.
 
 use xq_complexity::core::{self as core, parse_query, DocRepr};
-use xq_complexity::xtree::{random_tree, Document, Token, Tree, TreeGen};
+use xq_complexity::xtree::{random_tree, ArenaDoc, Token, Tree, TreeGen};
 
 fn reference_tokens(q: &core::Query, t: &Tree) -> Vec<Token> {
     core::eval_query(q, t)
@@ -65,7 +65,7 @@ fn streaming_agrees_with_reference() {
 #[test]
 fn nested_loop_agrees_with_reference() {
     for doc in fleet_docs() {
-        let d = Document::new(&doc);
+        let d = ArenaDoc::from_tree(&doc);
         for src in COMPOSITION_FREE {
             let q = parse_query(src).unwrap();
             let mut engine = xq_complexity::compfree::NestedLoopEngine::new(&d);
