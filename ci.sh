@@ -23,18 +23,26 @@ XQ_ARENA=1 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" \
 XQ_ARENA=1 cargo test -q -p xq_complexity --test engine_agreement
 
 # The data-parallel surface: par_diff sweeps 1/2/4/8 worker threads (plus
-# whatever XQ_THREADS resolves to) on both parallel engines, and the
-# interner concurrency smoke test hammers the sharded global table from 8
-# threads. Run once more with XQ_ARENA=1 + XQ_THREADS=4 so the arena
-# document store and a >1 thread knob are exercised together.
-step "parallel suites (par_diff, interner_threads; XQ_ARENA=1 XQ_THREADS=4)"
+# whatever XQ_THREADS resolves to) on both parallel engines — including
+# the planner suites (Seq-of-fors, nested fors, let-hoisted and
+# where-filtered sources, and the parallelized⇒byte-identical property) —
+# and the interner concurrency smoke test hammers the sharded global
+# table from 8 threads. Run once more with XQ_ARENA=1 + XQ_THREADS=4 so
+# the arena document store and a >1 thread knob are exercised together
+# (par_diff's corpus documents route through DocRepr, so XQ_ARENA=1
+# re-runs every planner shape on arena-loaded documents).
+step "parallel + planner suites (par_diff, plan, interner_threads; XQ_ARENA=1 XQ_THREADS=4)"
 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" cargo test -q -p xq_core --test par_diff
 XQ_ARENA=1 XQ_THREADS=4 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" \
     cargo test -q -p xq_core --test par_diff
+cargo test -q -p xq_core --lib plan
 cargo test -q -p cv_xtree --test interner_threads
 
 step "T16 parallel-scaling table (machine-readable: BENCH_T16.json)"
 cargo run --release -p xq_bench --bin harness -- --only t16 --json BENCH_T16.json > /dev/null
+
+step "T17 planner-coverage table (machine-readable: BENCH_T17.json)"
+cargo run --release -p xq_bench --bin harness -- --only t17 --json BENCH_T17.json > /dev/null
 
 step "cargo bench --no-run (bench targets must compile)"
 cargo bench --no-run

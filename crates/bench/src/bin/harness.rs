@@ -4,11 +4,13 @@
 //! ```text
 //! cargo run --release -p xq_bench --bin harness
 //! cargo run --release -p xq_bench --bin harness -- --only t16 --json BENCH_T16.json
+//! cargo run --release -p xq_bench --bin harness -- --only t17 --json BENCH_T17.json
 //! ```
 //!
 //! `--only tN` runs a single table; `--json FILE` additionally writes the
-//! T16 parallel-scaling measurements as machine-readable JSON (the CI
-//! perf-trajectory artifact).
+//! machine-readable payload of the selected measurement table — T17
+//! (planner coverage) under `--only t17`, T16 (parallel scaling)
+//! otherwise — the CI perf-trajectory artifacts.
 
 use cv_monad::Budget;
 use cv_xtree::{ArenaDoc, TreeGen};
@@ -42,10 +44,10 @@ fn main() {
     }
     if let Some(o) = &only {
         // A typo must fail loudly, not silently run zero tables.
-        let known: Vec<String> = (1..=16).map(|i| format!("t{i}")).collect();
+        let known: Vec<String> = (1..=17).map(|i| format!("t{i}")).collect();
         assert!(
             known.contains(o),
-            "--only {o:?} is not a known table (expected one of t1..t16)"
+            "--only {o:?} is not a known table (expected one of t1..t17)"
         );
     }
 
@@ -73,18 +75,222 @@ fn main() {
             run();
         }
     }
-    // T16 runs last and carries the JSON payload.
+    // T16/T17 run last and carry the JSON payloads (`--only t17` writes
+    // the T17 coverage JSON; any other selection that includes T16 writes
+    // the T16 scaling JSON).
     if only.as_deref().is_none_or(|o| o == "t16") {
         let rows = t16_parallel();
         if let Some(path) = &json_path {
             std::fs::write(path, t16_json(&rows)).expect("write --json file");
             println!("\nT16 rows written to {path}");
         }
-    } else if let Some(path) = &json_path {
-        panic!("--json {path} requires T16 to run (drop --only or use --only t16)");
+    }
+    if only.as_deref().is_none_or(|o| o == "t17") {
+        let cov = t17_coverage();
+        if only.as_deref() == Some("t17") {
+            if let Some(path) = &json_path {
+                std::fs::write(path, t17_json(&cov)).expect("write --json file");
+                println!("\nT17 rows written to {path}");
+            }
+        }
+    } else if only.as_deref() != Some("t16") {
+        if let Some(path) = &json_path {
+            panic!("--json {path} requires T16 or T17 to run (drop --only or use --only t16/t17)");
+        }
     }
 
     println!("\nAll requested experiment tables regenerated.");
+}
+
+/// One T17 measurement: planner vs PR 4 baseline coverage on one corpus
+/// document.
+struct T17Row {
+    doc_seed: u64,
+    nodes: usize,
+    queries: usize,
+    /// Queries the PR 4 `outer_for_split` path would have parallelized.
+    baseline: usize,
+    /// Queries the `xq_core::plan` planner parallelizes.
+    planner: usize,
+}
+
+/// The T17 merge-datapoint timings (µs): the retired
+/// `resolve_tokens → forest_from_tokens` merge vs the `IToken` splice.
+struct T17Merge {
+    tokens: usize,
+    reparse_us: f64,
+    splice_us: f64,
+}
+
+struct T17Coverage {
+    rows: Vec<T17Row>,
+    merge: T17Merge,
+}
+
+/// T17 — parallel-path coverage of the random-query corpus: which
+/// fraction of deterministic random queries (the `par_diff` grammar,
+/// fixed seed stream) the parallel layer shards, before (PR 4's
+/// `outer_for_split` + `$root`-chain resolution) vs after (the
+/// `xq_core::plan` planner: `Seq` branches, nested `for`s, hoisted
+/// `let`s, `where`-filtered sources). Every planner-engaged query is
+/// verified byte-identical to sequential at 4 threads as it is counted,
+/// so the coverage number is also a correctness sweep.
+fn t17_coverage() -> T17Coverage {
+    use xq_core::{eval_query_par, outer_for_split, resolve_node_source, ParPlan, Threads};
+
+    header("T17  Parallel planner coverage  (xq_core::plan vs PR 4 outer_for_split)");
+    let corpus = xq_bench::coverage_corpus(256);
+    println!(
+        "Corpus: {} deterministic random queries (seeded stream; \
+         regenerated identically every run).\n",
+        corpus.len()
+    );
+    println!("| doc (seed) | nodes | queries | PR4 outer-for engaged | planner engaged | coverage before → after |");
+    println!("|---|---|---|---|---|---|");
+    let mut rows = Vec::new();
+    let (mut base_total, mut plan_total) = (0usize, 0usize);
+    for seed in 0..3u64 {
+        let mut g = TreeGen::new(seed);
+        let tree = cv_xtree::random_tree(&mut g, 30, &["a", "b", "k"]);
+        let doc = ArenaDoc::from_tree(&tree);
+        let budget = xq_core::Budget::default().with_threads(Threads::N(4));
+        let (mut baseline, mut planner) = (0usize, 0usize);
+        for q in &corpus {
+            if outer_for_split(q)
+                .and_then(|(_, _, s, _)| resolve_node_source(&doc, s))
+                .is_some_and(|nodes| nodes.len() >= 2)
+            {
+                baseline += 1;
+            }
+            if ParPlan::of(q, &doc, budget).engages() {
+                planner += 1;
+                // Trust, then verify: the counted query must be
+                // byte-identical to sequential on this document.
+                let par = eval_query_par(q, &doc, budget);
+                let seq = xq_core::eval_query(q, &tree);
+                match (par, seq) {
+                    (Ok((p, stats)), Ok(s)) => {
+                        assert!(stats.parallelized, "engaged plan must parallelize: {q}");
+                        let render = |ts: &[cv_xtree::Tree]| -> String {
+                            ts.iter().map(|t| t.to_xml()).collect()
+                        };
+                        assert_eq!(render(&p), render(&s), "coverage sweep diverged on {q}");
+                    }
+                    // Per-worker budgets are fresh, so parallel may outlive
+                    // a sequential budget exhaustion (the documented
+                    // monotone direction).
+                    (_, Err(xq_core::XqError::Budget { .. })) => {}
+                    (Err(p), Err(s)) => assert_eq!(p, s, "error mismatch on {q}"),
+                    (p, s) => panic!("outcome mismatch on {q}: par {p:?} vs seq {s:?}"),
+                }
+            }
+        }
+        println!(
+            "| {seed} | {} | {} | {baseline} | {planner} | {:.0}% → {:.0}% |",
+            doc.len(),
+            corpus.len(),
+            100.0 * baseline as f64 / corpus.len() as f64,
+            100.0 * planner as f64 / corpus.len() as f64,
+        );
+        base_total += baseline;
+        plan_total += planner;
+        rows.push(T17Row {
+            doc_seed: seed,
+            nodes: doc.len(),
+            queries: corpus.len(),
+            baseline,
+            planner,
+        });
+    }
+    let pairs = corpus.len() * rows.len();
+    println!(
+        "\nOverall: {base_total}/{pairs} query-document pairs parallelized before \
+         ({:.0}%), {plan_total}/{pairs} after ({:.0}%).",
+        100.0 * base_total as f64 / pairs as f64,
+        100.0 * plan_total as f64 / pairs as f64,
+    );
+
+    // The merge datapoint: the retired per-chunk `resolve_tokens` →
+    // `forest_from_tokens` rebuild vs the single `forest_from_itokens`
+    // splice pass, on a large worker-shaped result buffer.
+    let forest_doc = cv_xtree::DoublingFamily::Wide.arena(12);
+    let itokens: Vec<cv_xtree::IToken> = {
+        let toks = forest_doc.tokens();
+        let one = cv_xtree::intern_tokens(&toks);
+        // Splice of 4 per-worker buffers, as a 4-thread merge would see.
+        let mut all = Vec::with_capacity(4 * one.len());
+        for _ in 0..4 {
+            all.extend_from_slice(&one);
+        }
+        all
+    };
+    let reparse_us = time_us(10, || {
+        let tokens = cv_xtree::resolve_tokens(&itokens);
+        std::hint::black_box(cv_xtree::Tree::forest_from_tokens(&tokens).unwrap());
+    });
+    let splice_us = time_us(10, || {
+        std::hint::black_box(cv_xtree::forest_from_itokens(&itokens).unwrap());
+    });
+    println!(
+        "\nMerge of a {}-token spliced result: resolve+reparse {reparse_us:.1} µs \
+         vs IToken splice {splice_us:.1} µs — {:.2}x (the intermediate Vec<Token> \
+         is gone from the merge path).",
+        itokens.len(),
+        reparse_us / splice_us
+    );
+
+    // The shared-root datapoint: the full-tree materialization each
+    // worker used to repeat when the body mentioned $root. At W workers
+    // the old path paid W of these per query; the planner builds one.
+    let big = cv_xtree::DoublingFamily::Binary.arena(11);
+    let to_tree_us = time_us(5, || {
+        std::hint::black_box(big.to_tree());
+    });
+    println!(
+        "Shared $root build (binary n=11, {} nodes): {to_tree_us:.1} µs per \
+         materialization — a 4-worker query with a $root-referencing body \
+         previously paid 4x this, now 1x (Tree is Arc-backed; workers clone \
+         the one build).",
+        big.len()
+    );
+    println!("\nShape: the planner strictly widens the parallelizable fraction — every outer-for query still shards, and Seq/nested/let/filtered shapes are new coverage; the per-query verification makes this table a correctness sweep too.");
+    T17Coverage {
+        rows,
+        merge: T17Merge {
+            tokens: itokens.len(),
+            reparse_us,
+            splice_us,
+        },
+    }
+}
+
+/// Renders the T17 coverage as the `--json` payload (hand-rolled: the
+/// workspace is offline, no serde).
+fn t17_json(cov: &T17Coverage) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"table\": \"T17\",\n");
+    out.push_str(&format!("  \"host_threads\": {host},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in cov.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"doc_seed\": {}, \"nodes\": {}, \"queries\": {}, \
+             \"baseline_engaged\": {}, \"planner_engaged\": {}}}{}\n",
+            r.doc_seed,
+            r.nodes,
+            r.queries,
+            r.baseline,
+            r.planner,
+            if i + 1 == cov.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"merge\": {{\"tokens\": {}, \"reparse_us\": {:.1}, \"splice_us\": {:.1}}}\n",
+        cov.merge.tokens, cov.merge.reparse_us, cov.merge.splice_us
+    ));
+    out.push_str("}\n");
+    out
 }
 
 /// One T16 measurement: a doubling-family workload at a thread count.

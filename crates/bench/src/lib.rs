@@ -2,8 +2,9 @@
 //! per-experiment Criterion targets and `src/bin/harness.rs` for the
 //! EXPERIMENTS.md table generator).
 
-use cv_xtree::{DoublingFamily, Tree, TreeGen};
-use xq_core::{parse_query, Query};
+use cv_xtree::{Axis, DoublingFamily, NodeTest, Tree, TreeGen};
+use xq_core::ast::{Cond, EqMode};
+use xq_core::{parse_query, Query, Var};
 
 /// A fixed bibliography-style document generator: `n` books with years,
 /// titles, and authors — the workload shape of the paper's introduction.
@@ -123,6 +124,195 @@ pub fn stream_workload(family: DoublingFamily) -> Query {
 /// (T16 row and `par_scaling/env-lookup` bench).
 pub const ENV_NEST_DEPTH: usize = 64;
 
+/// T17/`par_scaling` planner-shape workloads: each exercises one shape
+/// the `xq_core::plan` planner shards that the PR 4 `outer_for_split`
+/// could not — a `Seq` of two loops, a nested `for` flattened to (node,
+/// node) rows, and a loop whose body mentions `$root` (the shared
+/// root-tree build). Returns `(name, query)` pairs.
+pub fn planner_workloads(family: DoublingFamily) -> Vec<(&'static str, Query)> {
+    let (x_src, y_src) = match family {
+        DoublingFamily::Binary => ("$root//a", "$root//b"),
+        DoublingFamily::Wide => ("$root/a", "$root/b"),
+        DoublingFamily::Comb => ("$root//t", "$root//s"),
+    };
+    vec![
+        (
+            "seq-of-fors",
+            parse_query(&format!(
+                "(for $x in {x_src} return <w>{{ $x }}</w>, \
+                  for $y in {y_src} return <v>{{ $y }}</v>)"
+            ))
+            .expect("static query parses"),
+        ),
+        (
+            "nested-for",
+            parse_query(&format!(
+                "for $x in {x_src} return for $y in $x/* return <p>{{ $y }}</p>"
+            ))
+            .expect("static query parses"),
+        ),
+        (
+            "root-share",
+            parse_query(&format!(
+                "for $x in {x_src} return if (some $y in $root/* satisfies \
+                 $x =atomic $y) then <hit/>"
+            ))
+            .expect("static query parses"),
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// T17: a deterministic random-query corpus for the parallel-path
+// coverage measurement. Mirrors the `par_diff.rs` proptest grammar, but
+// drawn from a seeded splitmix64 stream so the harness (which has no
+// proptest) regenerates the *same* corpus every run — coverage numbers
+// are comparable across PRs.
+// ---------------------------------------------------------------------
+
+fn rand_var(g: &mut TreeGen, depth: usize) -> Var {
+    let i = g.below(depth + 1);
+    if i == 0 {
+        Var::root()
+    } else {
+        Var::new(format!("v{}", i - 1))
+    }
+}
+
+fn rand_axis(g: &mut TreeGen) -> Axis {
+    *g.choose(&[
+        Axis::Child,
+        Axis::Child,
+        Axis::Child,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::SelfAxis,
+    ])
+}
+
+fn rand_test(g: &mut TreeGen) -> NodeTest {
+    match g.below(3) {
+        0 => NodeTest::Wildcard,
+        1 => NodeTest::tag("a"),
+        _ => NodeTest::tag("b"),
+    }
+}
+
+fn rand_var_step(g: &mut TreeGen, depth: usize) -> Query {
+    Query::step(Query::Var(rand_var(g, depth)), rand_axis(g), rand_test(g))
+}
+
+fn rand_root_chain(g: &mut TreeGen) -> Query {
+    let steps = 1 + g.below(3);
+    (0..steps).fold(Query::Var(Var::root()), |q, _| {
+        Query::step(q, rand_axis(g), rand_test(g))
+    })
+}
+
+fn rand_cond(g: &mut TreeGen, depth: usize, size: u32) -> Cond {
+    if size > 0 && g.chance(1, 5) {
+        return rand_cond(g, depth, size - 1).negate();
+    }
+    if size > 0 && g.chance(2, 5) {
+        return Cond::query(rand_xq(g, depth, 1));
+    }
+    if g.chance(1, 2) {
+        let mode = if g.chance(1, 2) {
+            EqMode::Deep
+        } else {
+            EqMode::Atomic
+        };
+        Cond::VarEq(rand_var(g, depth), rand_var(g, depth), mode)
+    } else {
+        let tag = if g.chance(1, 2) { "a" } else { "k" };
+        Cond::ConstEq(rand_var(g, depth), tag.into(), EqMode::Atomic)
+    }
+}
+
+fn rand_xq(g: &mut TreeGen, depth: usize, size: u32) -> Query {
+    if size == 0 {
+        return match g.below(4) {
+            0 => Query::Empty,
+            1 => Query::leaf("k"),
+            2 => Query::Var(rand_var(g, depth)),
+            _ => rand_var_step(g, depth),
+        };
+    }
+    match g.below(12) {
+        0 | 1 => rand_var_step(g, depth),
+        2 | 3 => {
+            let tag = if g.chance(1, 2) { "w" } else { "x" };
+            Query::elem(tag, rand_xq(g, depth, size - 1))
+        }
+        4 | 5 => Query::seq([rand_xq(g, depth, size - 1), rand_xq(g, depth, size - 1)]),
+        6..=8 => {
+            let s = rand_var_step(g, depth);
+            let b = rand_xq(g, depth + 1, size - 1);
+            Query::for_in(format!("v{depth}").as_str(), s, b)
+        }
+        9 | 10 => Query::if_then(rand_cond(g, depth, size - 1), rand_xq(g, depth, size - 1)),
+        _ => Query::Var(rand_var(g, depth)),
+    }
+}
+
+/// One random query of the T17 coverage corpus, mirroring the `par_diff`
+/// distribution: mostly planner-shardable shapes (outer `for`s, `Seq`s of
+/// loops, nested `for`s, `let`-hoisted sources, `where`-filtered sources)
+/// plus raw XQ∼ queries for the fallback share.
+fn rand_coverage_query(g: &mut TreeGen) -> Query {
+    match g.below(14) {
+        0..=2 => Query::for_in("v0", rand_root_chain(g), rand_xq(g, 1, 2)),
+        3 | 4 => Query::elem(
+            "out",
+            Query::for_in("v0", rand_root_chain(g), rand_xq(g, 1, 2)),
+        ),
+        5 | 6 => {
+            // Nested for: inner grounded at $root or at the outer var.
+            let inner = if g.chance(1, 2) {
+                rand_root_chain(g)
+            } else {
+                Query::step(Query::var("v0"), rand_axis(g), rand_test(g))
+            };
+            Query::for_in(
+                "v0",
+                rand_root_chain(g),
+                Query::for_in("v1", inner, rand_xq(g, 2, 1)),
+            )
+        }
+        7 | 8 => Query::seq([
+            Query::for_in("v0", rand_root_chain(g), rand_xq(g, 1, 1)),
+            rand_xq(g, 0, 1),
+            Query::for_in("v0", rand_root_chain(g), rand_xq(g, 1, 1)),
+        ]),
+        9 => Query::let_in(
+            "v0",
+            Query::Var(Var::root()),
+            Query::for_in(
+                "v1",
+                Query::step(Query::var("v0"), rand_axis(g), rand_test(g)),
+                rand_xq(g, 2, 1),
+            ),
+        ),
+        10 | 11 => {
+            // where-filtered source.
+            let filtered = Query::for_in(
+                "v0",
+                rand_root_chain(g),
+                Query::if_then(rand_cond(g, 1, 1), Query::var("v0")),
+            );
+            Query::for_in("v0", filtered, rand_xq(g, 1, 1))
+        }
+        _ => rand_xq(g, 0, 3),
+    }
+}
+
+/// The T17 coverage corpus: `cases` deterministic random queries (fixed
+/// seed stream, comparable across runs and PRs).
+pub fn coverage_corpus(cases: usize) -> Vec<Query> {
+    let mut g = TreeGen::new(2005);
+    (0..cases).map(|_| rand_coverage_query(&mut g)).collect()
+}
+
 /// The `let`-chain family for the composition-elimination blowup (E10).
 pub fn let_chain_query(depth: usize) -> Query {
     let mut bindings = String::from("let $x0 := <a>{ $root/* }</a> return ");
@@ -148,5 +338,34 @@ mod tests {
         assert!(xq_core::is_composition_free(&books_query()));
         assert!(doubling_query(3).size() > 0);
         assert!(!xq_core::is_composition_free(&let_chain_query(2)));
+    }
+
+    #[test]
+    fn coverage_corpus_is_deterministic_and_evaluable() {
+        let a = coverage_corpus(32);
+        let b = coverage_corpus(32);
+        assert_eq!(a, b, "same seed stream, same corpus");
+        // Every corpus query evaluates (or budget-errors) on a small doc;
+        // no unbound variables by construction.
+        let mut g = TreeGen::new(0);
+        let t = cv_xtree::random_tree(&mut g, 10, &["a", "b", "k"]);
+        for q in &a {
+            if let Err(e) = xq_core::eval_query(q, &t) {
+                assert!(
+                    matches!(e, xq_core::XqError::Budget { .. }),
+                    "{q} failed with {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planner_workloads_shard() {
+        use cv_xtree::DoublingFamily;
+        let doc = DoublingFamily::Binary.arena(6);
+        for (name, q) in planner_workloads(DoublingFamily::Binary) {
+            let plan = xq_core::ParPlan::of(&q, &doc, xq_core::Budget::default());
+            assert!(plan.engages(), "{name} must engage the planner");
+        }
     }
 }

@@ -9,8 +9,12 @@
 //!   examples;
 //! * [`semantics`] — the Figure 1 denotational semantics (environments of
 //!   trees → lists of trees), with resource budgets;
-//! * [`par`] — data-parallel evaluation over the arena store: the outer
-//!   `for`-loop sharded across threads with an order-preserving merge;
+//! * [`plan`] — the parallel planner: a recursive analysis producing a
+//!   [`ParPlan`] of shardable loops (`Seq` branches, flattened `for`-nests,
+//!   hoisted `let` sources, predicate-filtered sources);
+//! * [`par`] — data-parallel evaluation over the arena store: every loop
+//!   the planner proves shardable split across threads with an
+//!   order-preserving interned-token splice merge;
 //! * [`service`] — a fixed worker pool batching many (query, document)
 //!   pairs, the serve-heavy-traffic shape;
 //! * [`fragments`] — feature analysis and the composition-free fragments
@@ -23,6 +27,7 @@ pub mod doc;
 pub mod fragments;
 pub mod par;
 pub mod parser;
+pub mod plan;
 pub mod semantics;
 pub mod service;
 pub mod translate;
@@ -35,6 +40,7 @@ pub use fragments::{
 };
 pub use par::{eval_query_par, outer_for_split, resolve_node_source, ParStats};
 pub use parser::{parse_query, QueryParseError};
+pub use plan::{ParPlan, ShardPlan};
 pub use semantics::{
     boolean_result, eval_cond_with, eval_query, eval_with, Budget, Env, EvalStats, Threads, XqError,
 };

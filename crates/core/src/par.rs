@@ -1,63 +1,85 @@
 //! Data-parallel evaluation over the arena document store.
 //!
 //! The paper's combined-complexity results hinge on large `for`-nests over
-//! documents: the outer `for` of a query typically ranges over thousands
-//! of input nodes, and the body's work per node is independent of every
-//! other node's. With the label interner now global and sharded,
-//! [`ArenaDoc`] is `Send + Sync`, so that loop can be split across
-//! threads: [`eval_query_par`] resolves the outer `for`-source to arena
-//! node ids, carves the id list into one contiguous chunk per worker, and
-//! evaluates the body on each chunk under [`std::thread::scope`] (no
-//! thread pool, no external runtime — the registry is offline).
+//! documents: loops range over thousands of input nodes, and the body's
+//! work per node is independent of every other node's. With the label
+//! interner global and sharded, [`ArenaDoc`] is `Send + Sync`, so those
+//! loops split across threads: [`eval_query_par`] asks the planner
+//! ([`ParPlan`], see [`crate::plan`]) which parts of the query shard —
+//! `Seq` branches, flattened `for`-nests, hoisted `let` sources,
+//! predicate-filtered loops — carves each shardable work-list into one
+//! contiguous chunk per worker, and evaluates the loop body on each chunk
+//! under [`std::thread::scope`] (no thread pool, no external runtime — the
+//! registry is offline).
 //!
-//! **Determinism is the contract.** Workers return their chunk's result
-//! as interned token streams ([`IToken`], the `Send` form of a tag
-//! string); the merging thread concatenates them *in chunk order* and
-//! rebuilds trees through the tested [`Tree::forest_from_tokens`] path.
-//! Because each body evaluation is exactly the Figure 1 sequential
-//! semantics on the same subtree values, the merged result is
-//! byte-identical to [`eval_query`](crate::eval_query) — the `par_diff`
-//! differential suite asserts this at 1/2/4/8 threads over the
-//! random-query corpus.
+//! **Determinism is the contract.** Workers return their chunk's result as
+//! interned token buffers ([`IToken`], `Copy + Send`); the merging thread
+//! splices the per-worker buffers *in chunk order* and rebuilds trees in
+//! one pass with [`forest_from_itokens`] — no intermediate
+//! [`Token`](cv_xtree::Token) list, no per-chunk rebuild. Because each
+//! body evaluation is exactly the Figure 1 sequential semantics on the
+//! same subtree values, and every plan node concatenates partial results
+//! in iteration/branch order, the merged result is byte-identical to
+//! [`eval_query`](crate::eval_query) — the `par_diff` differential suite
+//! asserts this at 1/2/4/8 threads over the random-query corpus.
+//!
+//! **Shared values are built once.** If any shard body or opaque leaf
+//! mentions `$root`, the root tree is materialized **once** before the
+//! thread split and shared with every worker by an `Arc` pointer bump
+//! (`Tree` is `Arc`-backed) — not once per worker, which at `N` workers
+//! cost `N` full-tree materializations per query. Hoisted `let` bindings
+//! are shared the same way.
 //!
 //! **Budget semantics.** Each worker draws on the step/item caps of the
 //! [`Budget`] independently for its chunk (a shared atomic counter would
 //! put a contended cache line in the innermost loop). Work per chunk is a
 //! subset of the sequential work, so any query that fits the budget
 //! sequentially also fits it in parallel; the converse may not hold, which
-//! only ever turns an error into a result.
+//! only ever turns an error into a result. A worker that *exactly*
+//! exhausts its step or item cap mid-chunk continues with a cap of 0 —
+//! and 0 means "nothing further allowed", never "unlimited" (see
+//! [`Budget::max_steps`]), so the next item fails deterministically.
 //!
-//! Queries whose outer shape is not a `for` over input nodes (or with
-//! fewer outer items than would pay for a thread) fall back to the
-//! sequential evaluator on the materialized tree — [`ParStats::parallelized`]
-//! reports which path ran.
+//! Queries with no shardable loop of at least two items (or `threads <=
+//! 1`) fall back to the sequential evaluator on the materialized tree —
+//! [`ParStats::parallelized`] reports which path ran.
 
 use crate::ast::{Query, Var};
-use crate::fragments::free_vars;
+use crate::plan::{ParPlan, ShardPlan};
 use crate::semantics::{eval_with, Budget, Env, EvalStats, XqError};
-use cv_xtree::{intern_tokens, resolve_tokens, ArenaDoc, IToken, Label, NodeId, Tree};
+use cv_xtree::{forest_from_itokens, intern_tokens, ArenaDoc, IToken, Label, NodeId, Tree};
 
 /// Counters reported by [`eval_query_par`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ParStats {
     /// Worker threads the budget's [`Threads`](crate::Threads) knob
-    /// resolved to.
+    /// resolved to (the *requested* parallelism).
     pub threads: usize,
-    /// Items of the outer `for`-source (0 when the query fell back).
+    /// Workers actually spawned — the maximum over the plan's shard
+    /// executions, each of which spawns one worker per chunk. Less than
+    /// [`ParStats::threads`] when a work-list has fewer items than
+    /// threads; 0 on the sequential fallback.
+    pub workers: usize,
+    /// Sharded work items across all plan loops (0 when the query fell
+    /// back to the sequential path).
     pub outer_items: usize,
     /// Whether the data-parallel path ran (false: sequential fallback).
     pub parallelized: bool,
-    /// Evaluation steps summed over all workers (excludes the outer
-    /// source resolution, which is a pure arena axis scan).
+    /// Evaluation steps summed over all workers and opaque (sequential)
+    /// plan leaves. Excludes source resolution, which is pure arena axis
+    /// scans plus any filter predicates.
     pub steps: u64,
-    /// Result-list items summed over all workers.
+    /// Result-list items summed over all workers and opaque leaves.
     pub items: u64,
 }
 
 /// Splits `q` into its element-constructor wrappers and the outermost
 /// `for`, if that is its shape: `⟨a⟩…⟨b⟩ for $v in σ return β ⟨/b⟩…⟨/a⟩`
-/// returns `([a, …, b], $v, σ, β)`. This is the loop the data-parallel
-/// evaluators distribute; anything else falls back to sequential.
+/// returns `([a, …, b], $v, σ, β)`.
+///
+/// This was the *entire* analysis of the PR 4 parallel layer; the planner
+/// ([`ParPlan`]) subsumes it. It remains public as the baseline the T17
+/// coverage harness measures the planner against.
 pub fn outer_for_split(q: &Query) -> Option<(Vec<Label>, &Var, &Query, &Query)> {
     let mut wrappers = Vec::new();
     let mut cur = q;
@@ -75,10 +97,11 @@ pub fn outer_for_split(q: &Query) -> Option<(Vec<Label>, &Var, &Query, &Query)> 
 
 /// Resolves a `for`-source that is a chain of axis steps grounded at
 /// `$root` to the arena nodes it selects, in document order with
-/// multiplicity — exactly the items (as subtrees) the Figure 1 semantics
-/// would bind. Returns `None` for any other source shape (constructed
-/// intermediates, variables other than `$root`, conditionals …), which
-/// the callers treat as "not parallelizable".
+/// multiplicity. Returns `None` for any other source shape.
+///
+/// The planner's source resolution (which additionally handles pinned
+/// variables and filter predicates) supersedes this; like
+/// [`outer_for_split`] it is kept as the T17 baseline.
 pub fn resolve_node_source(doc: &ArenaDoc, source: &Query) -> Option<Vec<NodeId>> {
     match source {
         Query::Var(v) if *v == Var::root() => Some(vec![doc.root()]),
@@ -115,111 +138,255 @@ pub fn chunks<T>(items: &[T], parts: usize) -> Vec<&[T]> {
     out
 }
 
-/// One worker's share of the outer loop: evaluates `body` with `var`
-/// bound to each chunk node's subtree (and `$root` to the whole document
-/// when the body needs it), under the worker's own slice of the budget.
-/// The chunk result crosses back to the merger as an interned token
-/// stream.
-fn eval_chunk(
+/// The row loop shared by the worker and inline shard paths: evaluates
+/// `body` with the loop variables bound row-wise to the rows' subtrees
+/// (plus the shared `$root` tree and hoisted bindings when present),
+/// under one draining slice of the budget, feeding every result tree to
+/// `emit` in iteration order.
+#[allow(clippy::too_many_arguments)]
+fn eval_rows(
     doc: &ArenaDoc,
-    var: &Var,
+    vars: &[Var],
     body: &Query,
-    chunk: &[NodeId],
+    rows: &[&[NodeId]],
     budget: Budget,
-    needs_root: bool,
-) -> Result<(Vec<IToken>, EvalStats), XqError> {
+    root: Option<&Tree>,
+    hoisted: &[(Var, Tree)],
+    mut emit: impl FnMut(Tree),
+) -> Result<EvalStats, XqError> {
     let mut env = Env::new();
-    if needs_root {
-        env.bind(Var::root(), doc.to_tree());
+    if let Some(rt) = root {
+        // One shared build: binding is an Arc pointer bump per worker.
+        env.bind(Var::root(), rt.clone());
+    }
+    for (v, t) in hoisted {
+        env.bind(v.clone(), t.clone());
     }
     let mut remaining = budget;
-    let mut itokens = Vec::new();
     let mut total = EvalStats::default();
-    for &node in chunk {
-        // One env reused across the loop: bind/pop around each item
-        // (eval_with clones internally, so the binding stays per-item).
-        env.bind(var.clone(), doc.subtree(node));
+    for &row in rows {
+        // One env reused across the loop: bind/pop around each row
+        // (eval_with clones internally, so the bindings stay per-item).
+        for (v, &n) in vars.iter().zip(row) {
+            env.bind(v.clone(), doc.subtree(n));
+        }
         let result = eval_with(body, &env, remaining);
-        env.pop();
+        for _ in vars {
+            env.pop();
+        }
         let (out, stats) = result?;
         total.steps += stats.steps;
         total.items += stats.items;
         total.max_env_depth = total.max_env_depth.max(stats.max_env_depth);
         remaining.max_steps = remaining.max_steps.saturating_sub(stats.steps);
         remaining.max_items = remaining.max_items.saturating_sub(stats.items);
-        for t in &out {
-            itokens.extend(intern_tokens(&t.tokens()));
+        for t in out {
+            emit(t);
         }
     }
-    Ok((itokens, total))
+    Ok(total)
 }
 
-/// Evaluates `q` over an arena-backed document, splitting the outer
-/// `for`-loop across `budget.threads` workers. Results are byte-identical
-/// to [`eval_query`](crate::eval_query) on `doc.to_tree()`; see the
-/// module docs for the merge and budget contracts.
+/// One worker's share of a sharded loop ([`eval_rows`] with the result
+/// crossing back to the merger as an interned token buffer).
+#[allow(clippy::too_many_arguments)]
+fn eval_chunk(
+    doc: &ArenaDoc,
+    vars: &[Var],
+    body: &Query,
+    rows: &[&[NodeId]],
+    budget: Budget,
+    root: Option<&Tree>,
+    hoisted: &[(Var, Tree)],
+) -> Result<(Vec<IToken>, EvalStats), XqError> {
+    let mut itokens = Vec::new();
+    let stats = eval_rows(doc, vars, body, rows, budget, root, hoisted, |t| {
+        itokens.extend(intern_tokens(&t.tokens()))
+    })?;
+    Ok((itokens, stats))
+}
+
+/// Plan executor state shared down the plan walk.
+struct Exec<'d> {
+    doc: &'d ArenaDoc,
+    budget: Budget,
+    threads: usize,
+    /// The root tree, materialized once iff the plan needs it.
+    root: Option<Tree>,
+    /// Hoisted `let` bindings in scope (each subtree built once, shared
+    /// with workers by clone).
+    hoisted: Vec<(Var, Tree)>,
+    stats: ParStats,
+}
+
+impl Exec<'_> {
+    fn run(&mut self, plan: &ParPlan<'_>) -> Result<Vec<Tree>, XqError> {
+        match plan {
+            ParPlan::Wrap(a, inner) => {
+                let children = self.run(inner)?;
+                Ok(vec![Tree::node(a.clone(), children)])
+            }
+            ParPlan::Seq(branches) => {
+                // Branch order is concatenation order; the first error in
+                // branch order wins, as in sequential evaluation.
+                let mut out = Vec::new();
+                for b in branches {
+                    out.extend(self.run(b)?);
+                }
+                Ok(out)
+            }
+            ParPlan::Hoist(v, node, inner) => {
+                // `let $z := $root` is the common hoist; when the shared
+                // root tree already exists, rebinding it is a pointer
+                // bump, not a second full materialization.
+                let t = match &self.root {
+                    Some(rt) if *node == self.doc.root() => rt.clone(),
+                    _ => self.doc.subtree(*node),
+                };
+                self.hoisted.push((v.clone(), t));
+                let result = self.run(inner);
+                self.hoisted.pop();
+                result
+            }
+            ParPlan::Shard(sp) => self.run_shard(sp),
+            ParPlan::Opaque(q) => {
+                let mut env = Env::new();
+                if let Some(rt) = &self.root {
+                    env.bind(Var::root(), rt.clone());
+                }
+                for (v, t) in &self.hoisted {
+                    env.bind(v.clone(), t.clone());
+                }
+                let (out, stats) = eval_with(q, &env, self.budget)?;
+                self.stats.steps += stats.steps;
+                self.stats.items += stats.items;
+                Ok(out)
+            }
+        }
+    }
+
+    fn run_shard(&mut self, sp: &ShardPlan<'_>) -> Result<Vec<Tree>, XqError> {
+        let rows: Vec<&[NodeId]> = sp.rows().collect();
+        let parts = chunks(&rows, self.threads);
+        self.stats.workers = self.stats.workers.max(parts.len());
+        let (doc, budget) = (self.doc, self.budget);
+        let (vars, body) = (sp.vars(), sp.body());
+        let (root, hoisted) = (self.root.as_ref(), self.hoisted.as_slice());
+        if parts.len() <= 1 {
+            // One chunk: evaluate inline — no thread to pay for, and no
+            // reason to round-trip the result trees through tokens.
+            let chunk = parts.first().copied().unwrap_or(&[]);
+            let mut out = Vec::new();
+            let stats = eval_rows(doc, vars, body, chunk, budget, root, hoisted, |t| {
+                out.push(t)
+            })?;
+            self.stats.steps += stats.steps;
+            self.stats.items += stats.items;
+            return Ok(out);
+        }
+        let results: Vec<Result<(Vec<IToken>, EvalStats), XqError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move || eval_chunk(doc, vars, body, chunk, budget, root, hoisted))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation worker panicked"))
+                .collect()
+        });
+        // Chunk order is iteration order, so splicing the per-worker
+        // buffers in order preserves it; the first error in chunk order
+        // wins, making failures deterministic for a fixed thread count.
+        let mut spliced: Vec<IToken> = Vec::new();
+        for r in results {
+            let (itokens, chunk_stats) = r?;
+            self.stats.steps += chunk_stats.steps;
+            self.stats.items += chunk_stats.items;
+            spliced.extend_from_slice(&itokens);
+        }
+        Ok(forest_from_itokens(&spliced).expect("workers emit well-formed tag strings"))
+    }
+}
+
+/// Evaluates `q` over an arena-backed document, sharding every loop the
+/// planner proves splittable across `budget.threads` workers. Results are
+/// byte-identical to [`eval_query`](crate::eval_query) on `doc.to_tree()`;
+/// see the module docs for the merge and budget contracts.
 pub fn eval_query_par(
     q: &Query,
     doc: &ArenaDoc,
     budget: Budget,
 ) -> Result<(Vec<Tree>, ParStats), XqError> {
     let threads = budget.threads.count();
-    let split = outer_for_split(q)
-        .and_then(|(w, v, s, b)| resolve_node_source(doc, s).map(|nodes| (w, v, nodes, b)));
-    let (wrappers, var, nodes, body) = match split {
-        // One worker per chunk only pays off with at least one item each.
-        Some(s) if threads > 1 && s.2.len() >= 2 => s,
-        _ => return eval_seq(q, doc, budget, threads),
-    };
-    let needs_root = free_vars(body).contains(&Var::root());
-    let parts = chunks(&nodes, threads);
-    let results: Vec<Result<(Vec<IToken>, EvalStats), XqError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .iter()
-            .map(|chunk| scope.spawn(move || eval_chunk(doc, var, body, chunk, budget, needs_root)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation worker panicked"))
-            .collect()
-    });
-    let mut out = Vec::new();
-    let mut stats = ParStats {
-        threads,
-        outer_items: nodes.len(),
-        parallelized: true,
-        ..ParStats::default()
-    };
-    // Chunk order is document order, so extending in order preserves it;
-    // the first error in chunk order wins, making failures deterministic
-    // for a fixed thread count.
-    for r in results {
-        let (itokens, chunk_stats) = r?;
-        stats.steps += chunk_stats.steps;
-        stats.items += chunk_stats.items;
-        out.extend(
-            Tree::forest_from_tokens(&resolve_tokens(&itokens))
-                .expect("workers emit well-formed tag strings"),
-        );
+    if threads <= 1 {
+        return eval_seq(q, doc, budget, threads, None);
     }
-    for a in wrappers.into_iter().rev() {
-        out = vec![Tree::node(a, out)];
+    // Reuse whatever root build the planner's filter predicates already
+    // made — on both the parallel and the fallback path.
+    let (plan, planner_root) = ParPlan::of_with_root_cache(q, doc, budget, None);
+    if !plan.engages() {
+        return eval_seq(q, doc, budget, threads, planner_root);
     }
-    Ok((out, stats))
+    eval_plan(&plan, doc, budget, threads, planner_root)
 }
 
-/// The sequential fallback: materialize the tree once and run Figure 1.
+/// Executes an already-built, engaging plan. Callers that need the
+/// engagement decision before committing to this path (`QueryService`
+/// keeps non-engaging threaded requests on its cached-tree route) plan
+/// once and pass the plan here instead of re-planning via
+/// [`eval_query_par`]. `root_cache` is an already-materialized root tree
+/// (the planner's predicate build, or a service cache hit) — reused so
+/// the "root built once per query" contract holds across planner and
+/// executor.
+pub(crate) fn eval_plan(
+    plan: &ParPlan<'_>,
+    doc: &ArenaDoc,
+    budget: Budget,
+    threads: usize,
+    root_cache: Option<Tree>,
+) -> Result<(Vec<Tree>, ParStats), XqError> {
+    // Build shared values once, before any thread split (satellite fix:
+    // this used to happen once per worker).
+    let root = if plan.needs_root() {
+        Some(root_cache.unwrap_or_else(|| doc.to_tree()))
+    } else {
+        None
+    };
+    let mut exec = Exec {
+        doc,
+        budget,
+        threads,
+        root,
+        hoisted: Vec::new(),
+        stats: ParStats {
+            threads,
+            outer_items: plan.sharded_items(),
+            parallelized: true,
+            ..ParStats::default()
+        },
+    };
+    let out = exec.run(plan)?;
+    Ok((out, exec.stats))
+}
+
+/// The sequential fallback: materialize the tree once (reusing any build
+/// the planner already made) and run Figure 1.
 fn eval_seq(
     q: &Query,
     doc: &ArenaDoc,
     budget: Budget,
     threads: usize,
+    root_cache: Option<Tree>,
 ) -> Result<(Vec<Tree>, ParStats), XqError> {
-    let (out, stats) = eval_with(q, &Env::with_root(doc.to_tree()), budget)?;
+    let root = root_cache.unwrap_or_else(|| doc.to_tree());
+    let (out, stats) = eval_with(q, &Env::with_root(root), budget)?;
     Ok((
         out,
         ParStats {
             threads,
+            workers: 0,
             outer_items: 0,
             parallelized: false,
             steps: stats.steps,
@@ -286,7 +453,13 @@ mod tests {
             "for $x in $root//* return if ($x =atomic <a/>) then <hit/>",
             "for $x in $root/a return for $y in $root/a return \
              if ($x = $y) then <same/>",
-            "$root/a", // no outer for: fallback
+            // Planner shapes: Seq branches, nested fors, let hoist, filter.
+            "(for $x in $root/a return <w>{ $x }</w>, \
+              for $y in $root/b return <v>{ $y }</v>)",
+            "for $x in $root/* return for $y in $x/* return <p>{ $y }</p>",
+            "let $z := $root return for $x in $z/* return <w>{ $x }</w>",
+            "for $x in (for $w in $root/* where $w/b return $w) return <f>{ $x }</f>",
+            "$root/a", // no shardable loop: fallback
             "<solo/>", // constant: fallback
         ];
         for seed in 0..4u64 {
@@ -314,9 +487,24 @@ mod tests {
         assert!(stats.parallelized);
         assert_eq!(stats.outer_items, 6);
         assert_eq!(stats.threads, 3);
+        assert_eq!(stats.workers, 3);
         // Threads::One falls back by construction.
         let (_, stats) = eval_query_par(&q, &doc, Budget::default()).unwrap();
         assert!(!stats.parallelized);
+        assert_eq!(stats.workers, 0);
+    }
+
+    #[test]
+    fn workers_report_actual_spawned_not_requested() {
+        // Regression (satellite): with fewer outer items than threads,
+        // `chunks` produces fewer parts — the stats must say so.
+        let doc = arena("<r><a/><a/></r>");
+        let q = parse_query("for $x in $root/a return <w>{ $x }</w>").unwrap();
+        let budget = Budget::default().with_threads(Threads::N(8));
+        let (_, stats) = eval_query_par(&q, &doc, budget).unwrap();
+        assert!(stats.parallelized);
+        assert_eq!(stats.threads, 8, "requested parallelism");
+        assert_eq!(stats.workers, 2, "actual workers = chunks = items");
     }
 
     #[test]
@@ -342,6 +530,34 @@ mod tests {
         assert!(eval_with(&q, &Env::with_root(doc.to_tree()), tight).is_ok());
         for threads in [2usize, 4] {
             assert!(eval_query_par(&q, &doc, tight.with_threads(Threads::N(threads))).is_ok());
+        }
+    }
+
+    #[test]
+    fn exact_budget_exhaustion_mid_chunk_errors_deterministically() {
+        // Regression (satellite): a worker whose first item consumes
+        // *exactly* the remaining step cap continues with max_steps = 0,
+        // which must mean "no further steps" — never "unlimited". If 0
+        // were treated as unlimited anywhere, the second item of each
+        // chunk would silently evaluate with no cap instead of erroring.
+        let doc = arena("<r><a/><a/><a/><a/></r>");
+        let q = parse_query("for $x in $root/a return <w>{ $x }</w>").unwrap();
+        let body = parse_query("<w>{ $x }</w>").unwrap();
+        let mut env = Env::new();
+        env.bind(Var::new("x"), Tree::leaf("a"));
+        let (_, per_item) = eval_with(&body, &env, Budget::default()).unwrap();
+        // Two items per chunk at 2 threads; cap = exactly one item's steps.
+        let exact = Budget {
+            max_steps: per_item.steps,
+            max_items: u64::MAX,
+            threads: Threads::N(2),
+        };
+        for _ in 0..3 {
+            let got = eval_query_par(&q, &doc, exact);
+            assert!(
+                matches!(got, Err(XqError::Budget { which: "steps" })),
+                "exact exhaustion must error deterministically, got {got:?}"
+            );
         }
     }
 

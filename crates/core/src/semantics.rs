@@ -51,11 +51,19 @@ impl Threads {
 }
 
 /// Resource limits for one evaluation.
+///
+/// **Zero is never "unlimited".** `max_steps: 0` permits no evaluation
+/// steps at all (the first step errors), and `max_items: 0` permits no
+/// result items. The parallel workers rely on this: they thread the
+/// remaining budget through a `saturating_sub` chain between loop items,
+/// so a worker that *exactly* exhausts its cap mid-chunk continues with a
+/// cap of 0 and fails deterministically on the next item — audited here
+/// and regression-tested in `par::tests` and below.
 #[derive(Clone, Copy, Debug)]
 pub struct Budget {
-    /// Maximum number of evaluation steps.
+    /// Maximum number of evaluation steps. 0 forbids any step.
     pub max_steps: u64,
-    /// Maximum number of trees put into result lists.
+    /// Maximum number of trees put into result lists. 0 forbids any item.
     pub max_items: u64,
     /// Worker threads for the data-parallel entry points (the sequential
     /// evaluator ignores this). In the parallel path each worker draws on
@@ -373,12 +381,24 @@ pub fn eval_query(q: &Query, t: &Tree) -> Result<Vec<Tree>, XqError> {
 /// Evaluates a condition in an environment (exposed for engines that share
 /// the Figure 1 condition semantics).
 pub fn eval_cond_with(c: &Cond, env: &Env, budget: Budget) -> Result<bool, XqError> {
+    eval_cond_with_stats(c, env, budget).map(|(b, _)| b)
+}
+
+/// [`eval_cond_with`] reporting the resources it consumed — the parallel
+/// planner uses this to charge filter-predicate evaluations against one
+/// shared budget instance across all candidates.
+pub fn eval_cond_with_stats(
+    c: &Cond,
+    env: &Env,
+    budget: Budget,
+) -> Result<(bool, EvalStats), XqError> {
     let mut interp = Interp {
         budget,
         stats: EvalStats::default(),
     };
     let mut env = env.clone();
-    interp.eval_cond(c, &mut env)
+    let verdict = interp.eval_cond(c, &mut env)?;
+    Ok((verdict, interp.stats))
 }
 
 /// The paper's Boolean-query convention for XQuery (§7.1): a query
@@ -595,6 +615,24 @@ mod tests {
     }
 
     use std::sync::Arc;
+
+    #[test]
+    fn zero_budget_means_nothing_allowed_not_unlimited() {
+        // The contract the parallel saturating_sub chain depends on: a cap
+        // of 0 rejects the very first step/item, deterministically.
+        let zero_steps = Budget {
+            max_steps: 0,
+            ..Budget::default()
+        };
+        let r = eval_with(&Query::Empty, &Env::with_root(t("<a/>")), zero_steps);
+        assert!(matches!(r, Err(XqError::Budget { which: "steps" })));
+        let zero_items = Budget {
+            max_items: 0,
+            ..Budget::default()
+        };
+        let r = eval_with(&Query::leaf("a"), &Env::with_root(t("<a/>")), zero_items);
+        assert!(matches!(r, Err(XqError::Budget { which: "items" })));
+    }
 
     #[test]
     fn stats_track_env_depth() {

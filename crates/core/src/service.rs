@@ -31,8 +31,13 @@ pub struct Request {
     pub query: Arc<str>,
     /// The document, shared across workers without copying.
     pub doc: Arc<ArenaDoc>,
-    /// Per-request resource limits (the `threads` knob is ignored here;
-    /// parallelism comes from the pool).
+    /// Per-request resource limits. A `threads` knob above 1 routes the
+    /// request through the parallel planner
+    /// ([`eval_query_par`](crate::eval_query_par)), sharding the query's
+    /// loops across that many scoped workers *inside* the pool worker —
+    /// intra-query parallelism on top of the pool's inter-query
+    /// parallelism. The default ([`Threads::One`](crate::Threads)) keeps
+    /// requests on the cached-tree sequential path.
     pub budget: Budget,
 }
 
@@ -87,21 +92,73 @@ pub struct QueryService {
 /// clear — requests batches are expected to cycle few distinct docs).
 const DOC_CACHE_CAP: usize = 32;
 
+/// The worker's materialized view of a request's document: one tree per
+/// (worker, document), whatever route the request takes. `build` supplies
+/// the tree on a miss (usually `doc.to_tree()`, or a build the planner
+/// already made).
+fn cached_tree_or(
+    request: &Request,
+    cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tree)>,
+    build: impl FnOnce() -> Tree,
+) -> Tree {
+    let key = Arc::as_ptr(&request.doc) as usize;
+    if cache.len() >= DOC_CACHE_CAP && !cache.contains_key(&key) {
+        cache.clear();
+    }
+    cache
+        .entry(key)
+        // Holding the Arc in the cache keeps the pointer identity stable.
+        .or_insert_with(|| (request.doc.clone(), build()))
+        .1
+        .clone()
+}
+
+fn cached_tree(request: &Request, cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tree)>) -> Tree {
+    cached_tree_or(request, cache, || request.doc.to_tree())
+}
+
 fn serve(
     request: &Request,
     cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tree)>,
 ) -> Result<String, ServiceError> {
     let query: Query =
         crate::parse_query(&request.query).map_err(|e| ServiceError::Parse(e.to_string()))?;
-    let key = Arc::as_ptr(&request.doc) as usize;
-    if cache.len() >= DOC_CACHE_CAP && !cache.contains_key(&key) {
-        cache.clear();
+    let threads = request.budget.threads.count();
+    if threads > 1 {
+        // Intra-query parallelism: plan-driven sharding over the arena
+        // (byte-identical to the sequential path — par_diff's contract).
+        // Only when the plan actually engages — otherwise fall through to
+        // the cached-tree route below, so non-shardable threaded requests
+        // still hit the per-worker document cache instead of paying a
+        // fresh to_tree() per request.
+        // Seed the planner with the worker's cached tree (lookup only —
+        // no eager build), so $root-referencing filter predicates reuse
+        // it; whatever build the planning session ends with is folded
+        // back into the cache, so later requests for the same document
+        // never rebuild it either.
+        let key = Arc::as_ptr(&request.doc) as usize;
+        let seed = cache.get(&key).map(|(_, t)| t.clone());
+        let (plan, planner_root) =
+            crate::ParPlan::of_with_root_cache(&query, &request.doc, request.budget, seed);
+        if let Some(t) = &planner_root {
+            let _ = cached_tree_or(request, cache, || t.clone());
+        }
+        if plan.engages() {
+            // Root-needing plans draw the tree from the same cache the
+            // sequential route uses — no per-request rebuild.
+            let root = match planner_root {
+                Some(t) => Some(t),
+                None if plan.needs_root() => Some(cached_tree(request, cache)),
+                None => None,
+            };
+            let (out, _) =
+                crate::par::eval_plan(&plan, &request.doc, request.budget, threads, root)
+                    .map_err(|e| ServiceError::Eval(e.to_string()))?;
+            return Ok(out.iter().map(Tree::to_xml).collect());
+        }
     }
-    let (_, tree) = cache
-        .entry(key)
-        // Holding the Arc in the cache keeps the pointer identity stable.
-        .or_insert_with(|| (request.doc.clone(), request.doc.to_tree()));
-    let (out, _) = eval_with(&query, &Env::with_root(tree.clone()), request.budget)
+    let tree = cached_tree(request, cache);
+    let (out, _) = eval_with(&query, &Env::with_root(tree), request.budget)
         .map_err(|e| ServiceError::Eval(e.to_string()))?;
     Ok(out.iter().map(Tree::to_xml).collect())
 }
@@ -258,6 +315,35 @@ mod tests {
         let mut service = QueryService::new(2);
         let got = service.run_batch(vec![tight]);
         assert!(matches!(got[0], Err(ServiceError::Eval(_))));
+    }
+
+    #[test]
+    fn threaded_requests_agree_with_sequential_serving() {
+        use crate::semantics::Threads;
+        let docs = corpus();
+        let queries = [
+            "for $x in $root//a return <w>{ $x/* }</w>",
+            "(for $x in $root/a return <w>{ $x }</w>, for $y in $root/b return $y)",
+            "for $x in $root/* return for $y in $x/* return <p>{ $y }</p>",
+            // Not planner-shardable: a threaded request falls through to
+            // the cached-tree route and must still serve identical bytes.
+            "$root/*",
+        ];
+        let mut service = QueryService::new(2);
+        let make = |threads: Threads| -> Vec<Request> {
+            docs.iter()
+                .flat_map(|d| {
+                    queries.iter().map(move |q| {
+                        let mut r = Request::new(q, d.clone());
+                        r.budget = r.budget.with_threads(threads);
+                        r
+                    })
+                })
+                .collect()
+        };
+        let seq = service.run_batch(make(Threads::One));
+        let par = service.run_batch(make(Threads::N(4)));
+        assert_eq!(seq, par, "plan-driven requests must serve identical bytes");
     }
 
     #[test]

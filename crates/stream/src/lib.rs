@@ -41,7 +41,8 @@ use cv_xtree::{ArenaDoc, Axis, IToken, Label, NodeId, NodeTest, Token, Tree};
 use std::cell::Cell;
 use std::rc::Rc;
 use xq_core::ast::{Cond, EqMode, Query, Var};
-use xq_core::par::{chunks, outer_for_split, resolve_node_source};
+use xq_core::par::chunks;
+use xq_core::plan::{ParPlan, ShardPlan};
 
 /// Streaming failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +85,11 @@ pub struct StreamStats {
     /// Sources materialized by the buffered fast path
     /// ([`stream_query_buffered`]); always 0 under [`stream_query`].
     pub buffered_sources: u64,
+    /// Workers actually spawned by [`stream_query_arena_par`] — the
+    /// maximum over the plan's shard executions, which can be less than
+    /// the requested thread count when a work-list has fewer items than
+    /// threads. 0 on every sequential path.
+    pub workers: usize,
 }
 
 #[derive(Clone)]
@@ -835,20 +841,29 @@ pub fn stream_query_arena(
     stream_tokens(q, doc.tokens().into(), max_pulls, buffer_limit)
 }
 
-/// [`stream_query_arena`] with the outer `for`-loop distributed over
-/// `threads` workers: the source is resolved to arena node ids
-/// ([`resolve_node_source`]), carved into contiguous chunks, and each
-/// worker streams the body with the loop variable bound to its chunk's
-/// item token slices — exactly the binding the buffered fast path would
+/// [`stream_query_arena`] with every planner-shardable loop distributed
+/// over `threads` workers: the query is analyzed by the parallel planner
+/// ([`ParPlan`], `xq_core::plan`) — `Seq` branches stream independently
+/// and concatenate in branch order, nested `for`s flatten into one
+/// work-list of node rows, `let`-bound singleton sources hoist, and
+/// `where`-filtered sources resolve to filtered node sets. Each sharded
+/// loop's rows split into contiguous chunks; workers stream the body with
+/// the loop variables bound to row token slices straight out of the
+/// shared arena — exactly the binding the buffered fast path would
 /// produce. Per-chunk output crosses back as interned tokens and is
-/// concatenated in chunk (= document) order, so the stream is
-/// byte-identical to [`stream_query_arena`]'s. Queries without a
-/// node-source outer `for` (and `threads <= 1`) take the sequential path.
+/// spliced in chunk (= iteration) order, so the stream is byte-identical
+/// to [`stream_query_arena`]'s. Queries the planner cannot shard (and
+/// `threads <= 1`) take the sequential path.
 ///
-/// `max_pulls` bounds each worker's chunk independently: parallel never
-/// exhausts a budget that sufficed sequentially. Merged stats sum
-/// `pulls`/`recomputations`/`buffered_sources` across workers and take
-/// the worker maximum for `peak_live_cursors`.
+/// The `$root` token stream, when some body needs it, is tokenized from
+/// the arena **once** before the thread split; each worker re-wraps the
+/// shared slice (a flat copy, not a re-walk of the document).
+///
+/// `max_pulls` bounds each worker's chunk (and each sequential plan leaf)
+/// independently: parallel never exhausts a budget that sufficed
+/// sequentially. Merged stats sum `pulls`/`recomputations`/
+/// `buffered_sources`, take the maximum for `peak_live_cursors`, and
+/// report actually-spawned `workers`.
 pub fn stream_query_arena_par(
     q: &Query,
     doc: &ArenaDoc,
@@ -856,79 +871,259 @@ pub fn stream_query_arena_par(
     buffer_limit: usize,
     threads: usize,
 ) -> Result<(Vec<Token>, StreamStats), StreamError> {
-    let split = outer_for_split(q)
-        .and_then(|(w, v, s, b)| resolve_node_source(doc, s).map(|nodes| (w, v, nodes, b)));
-    let (wrappers, var, nodes, body) = match split {
-        Some(s) if threads > 1 && s.2.len() >= 2 => s,
-        _ => return stream_query_arena(q, doc, max_pulls, buffer_limit),
-    };
-    let needs_root = xq_core::free_vars(body).contains(&Var::root());
-    let parts = chunks(&nodes, threads);
-    type ChunkOut = Result<(Vec<IToken>, StreamStats), StreamError>;
-    let results: Vec<ChunkOut> = std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
-            .iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    stream_chunk(doc, var, body, chunk, max_pulls, buffer_limit, needs_root)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("streaming worker panicked"))
-            .collect()
-    });
-    let mut out: Vec<Token> = wrappers.iter().map(|a| Token::Open(a.clone())).collect();
-    let mut stats = StreamStats::default();
-    // First error in chunk order wins: deterministic for a fixed thread
-    // count.
-    for r in results {
-        let (itokens, s) = r?;
-        stats.pulls += s.pulls;
-        stats.recomputations += s.recomputations;
-        stats.buffered_sources += s.buffered_sources;
-        stats.peak_live_cursors = stats.peak_live_cursors.max(s.peak_live_cursors);
-        out.extend(itokens.iter().map(|t| t.resolve()));
+    if threads <= 1 {
+        return stream_query_arena(q, doc, max_pulls, buffer_limit);
     }
-    out.extend(wrappers.iter().rev().map(|a| Token::Close(a.clone())));
+    // The planner's filter predicates evaluate under the Figure 1
+    // semantics; the agreement suites prove both engines semantically
+    // identical, so a planner-filtered node set is exactly the item set
+    // this engine would stream. Any planner fallback (including predicate
+    // errors) lands on the sequential engine, which reproduces the
+    // sequential stream — bytes and errors — by definition. The caller's
+    // pull budget doubles as the planner's (shared, aggregate) predicate
+    // allowance: steps and pulls are the same order of magnitude, and a
+    // too-small allowance only means a sequential fallback — never extra
+    // unbounded planning work on a budget-limited call.
+    let plan_budget = xq_core::Budget {
+        max_steps: max_pulls,
+        max_items: max_pulls,
+        ..xq_core::Budget::default()
+    };
+    let plan = ParPlan::of(q, doc, plan_budget);
+    if !plan.engages() {
+        return stream_query_arena(q, doc, max_pulls, buffer_limit);
+    }
+    let root: Option<Vec<Token>> = plan.needs_root().then(|| doc.tokens());
+    let mut exec = StreamExec {
+        doc,
+        max_pulls,
+        buffer_limit,
+        threads,
+        root,
+        hoisted: Vec::new(),
+        out: Vec::new(),
+        stats: StreamStats::default(),
+    };
+    exec.run(&plan)?;
+    let StreamExec { out, mut stats, .. } = exec;
     stats.tokens_out = out.len() as u64;
     Ok((out, stats))
 }
 
-/// One worker's share of a parallel stream: the body streamed once per
-/// chunk node, with bindings tokenized straight out of the shared arena.
-fn stream_chunk(
-    doc: &ArenaDoc,
-    var: &Var,
-    body: &Query,
-    chunk: &[NodeId],
+/// Plan executor for the streaming engine (see [`stream_query_arena_par`]).
+struct StreamExec<'d> {
+    doc: &'d ArenaDoc,
     max_pulls: u64,
     buffer_limit: usize,
-    needs_root: bool,
-) -> Result<(Vec<IToken>, StreamStats), StreamError> {
-    let shared = Shared::new(max_pulls, buffer_limit);
-    let root_tokens: Option<Rc<[Token]>> = needs_root.then(|| doc.tokens().into());
-    let mut itokens = Vec::new();
-    for &node in chunk {
-        let mut env: Env = None;
-        if let Some(rt) = &root_tokens {
-            env = bind(&env, Var::root(), Binding::Input(rt.clone()));
-        }
-        let item: Rc<[Token]> = doc.tokens_of(node).into();
-        env = bind(&env, var.clone(), Binding::Input(item));
-        let mut cursor = XCursor::of_query(body, &env, &shared)?;
-        while let Some(t) = cursor.next()? {
-            itokens.push(IToken::intern(&t));
+    threads: usize,
+    /// `$root` tokenized once (iff the plan needs it); workers re-wrap it.
+    root: Option<Vec<Token>>,
+    /// Hoisted `let` bindings in scope, tokenized once each.
+    hoisted: Vec<(Var, Vec<Token>)>,
+    out: Vec<Token>,
+    stats: StreamStats,
+}
+
+impl StreamExec<'_> {
+    fn merge_stats(&mut self, s: &StreamStats) {
+        self.stats.pulls += s.pulls;
+        self.stats.recomputations += s.recomputations;
+        self.stats.buffered_sources += s.buffered_sources;
+        self.stats.peak_live_cursors = self.stats.peak_live_cursors.max(s.peak_live_cursors);
+    }
+
+    fn run(&mut self, plan: &ParPlan<'_>) -> Result<(), StreamError> {
+        match plan {
+            ParPlan::Wrap(a, inner) => {
+                self.out.push(Token::Open(a.clone()));
+                self.run(inner)?;
+                self.out.push(Token::Close(a.clone()));
+                Ok(())
+            }
+            ParPlan::Seq(branches) => {
+                // Branch order is concatenation order; the first error in
+                // branch order wins, as sequentially.
+                for b in branches {
+                    self.run(b)?;
+                }
+                Ok(())
+            }
+            ParPlan::Hoist(v, node, inner) => {
+                // `let $z := $root` is the common hoist; reuse the shared
+                // root token build instead of re-walking the document.
+                let tokens = match &self.root {
+                    Some(rt) if *node == self.doc.root() => rt.clone(),
+                    _ => self.doc.tokens_of(*node),
+                };
+                self.hoisted.push((v.clone(), tokens));
+                let result = self.run(inner);
+                self.hoisted.pop();
+                result
+            }
+            ParPlan::Shard(sp) => self.run_shard(sp),
+            ParPlan::Opaque(q) => {
+                let shared = Shared::new(self.max_pulls, self.buffer_limit);
+                let mut env: Env = None;
+                if let Some(rt) = &self.root {
+                    env = bind(&env, Var::root(), Binding::Input(Rc::from(&rt[..])));
+                }
+                for (v, t) in &self.hoisted {
+                    env = bind(&env, v.clone(), Binding::Input(Rc::from(&t[..])));
+                }
+                let mut cursor = XCursor::of_query(q, &env, &shared)?;
+                while let Some(t) = cursor.next()? {
+                    self.out.push(t);
+                }
+                drop(cursor);
+                let stats = StreamStats {
+                    pulls: shared.pulls.get(),
+                    recomputations: shared.recomp.get(),
+                    peak_live_cursors: shared.peak.get(),
+                    buffered_sources: shared.buffered.get(),
+                    ..StreamStats::default()
+                };
+                self.merge_stats(&stats);
+                Ok(())
+            }
         }
     }
-    let stats = StreamStats {
-        tokens_out: itokens.len() as u64,
+
+    fn run_shard(&mut self, sp: &ShardPlan<'_>) -> Result<(), StreamError> {
+        let rows: Vec<&[NodeId]> = sp.rows().collect();
+        let parts = chunks(&rows, self.threads);
+        self.stats.workers = self.stats.workers.max(parts.len());
+        let (doc, max_pulls, buffer_limit) = (self.doc, self.max_pulls, self.buffer_limit);
+        let (vars, body) = (sp.vars(), sp.body());
+        let root = self.root.as_deref();
+        let hoisted = self.hoisted.as_slice();
+        if parts.len() <= 1 {
+            // One chunk: stream inline — no thread to pay for, and no
+            // reason to round-trip the output through interned tokens.
+            let chunk = parts.first().copied().unwrap_or(&[]);
+            let out = &mut self.out;
+            let s = stream_rows(
+                doc,
+                vars,
+                body,
+                chunk,
+                max_pulls,
+                buffer_limit,
+                root,
+                hoisted,
+                |t| out.push(t),
+            )?;
+            self.merge_stats(&s);
+            return Ok(());
+        }
+        type ChunkOut = Result<(Vec<IToken>, StreamStats), StreamError>;
+        let results: Vec<ChunkOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        stream_chunk(
+                            doc,
+                            vars,
+                            body,
+                            chunk,
+                            max_pulls,
+                            buffer_limit,
+                            root,
+                            hoisted,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("streaming worker panicked"))
+                .collect()
+        });
+        // First error in chunk order wins: deterministic for a fixed
+        // thread count.
+        for r in results {
+            let (itokens, s) = r?;
+            self.merge_stats(&s);
+            self.out.extend(itokens.iter().map(|t| t.resolve()));
+        }
+        Ok(())
+    }
+}
+
+/// The row loop shared by the worker and inline shard paths: the body
+/// streamed once per row, with loop-variable bindings tokenized straight
+/// out of the shared arena and the `$root`/hoisted streams re-wrapped
+/// from the one shared build; every output token goes to `emit` in
+/// iteration order.
+#[allow(clippy::too_many_arguments)]
+fn stream_rows(
+    doc: &ArenaDoc,
+    vars: &[Var],
+    body: &Query,
+    rows: &[&[NodeId]],
+    max_pulls: u64,
+    buffer_limit: usize,
+    root: Option<&[Token]>,
+    hoisted: &[(Var, Vec<Token>)],
+    mut emit: impl FnMut(Token),
+) -> Result<StreamStats, StreamError> {
+    let shared = Shared::new(max_pulls, buffer_limit);
+    let root_rc: Option<Rc<[Token]>> = root.map(Rc::from);
+    let hoisted_rc: Vec<(Var, Rc<[Token]>)> = hoisted
+        .iter()
+        .map(|(v, t)| (v.clone(), Rc::from(&t[..])))
+        .collect();
+    for &row in rows {
+        let mut env: Env = None;
+        if let Some(rt) = &root_rc {
+            env = bind(&env, Var::root(), Binding::Input(rt.clone()));
+        }
+        for (v, t) in &hoisted_rc {
+            env = bind(&env, v.clone(), Binding::Input(t.clone()));
+        }
+        for (v, &n) in vars.iter().zip(row) {
+            env = bind(&env, v.clone(), Binding::Input(doc.tokens_of(n).into()));
+        }
+        let mut cursor = XCursor::of_query(body, &env, &shared)?;
+        while let Some(t) = cursor.next()? {
+            emit(t);
+        }
+    }
+    Ok(StreamStats {
         pulls: shared.pulls.get(),
         recomputations: shared.recomp.get(),
         peak_live_cursors: shared.peak.get(),
         buffered_sources: shared.buffered.get(),
-    };
+        ..StreamStats::default()
+    })
+}
+
+/// One worker's share of a sharded loop ([`stream_rows`] with the output
+/// crossing back to the merger as interned tokens).
+#[allow(clippy::too_many_arguments)]
+fn stream_chunk(
+    doc: &ArenaDoc,
+    vars: &[Var],
+    body: &Query,
+    rows: &[&[NodeId]],
+    max_pulls: u64,
+    buffer_limit: usize,
+    root: Option<&[Token]>,
+    hoisted: &[(Var, Vec<Token>)],
+) -> Result<(Vec<IToken>, StreamStats), StreamError> {
+    let mut itokens = Vec::new();
+    let mut stats = stream_rows(
+        doc,
+        vars,
+        body,
+        rows,
+        max_pulls,
+        buffer_limit,
+        root,
+        hoisted,
+        |t| itokens.push(IToken::intern(&t)),
+    )?;
+    stats.tokens_out = itokens.len() as u64;
     Ok((itokens, stats))
 }
 
@@ -961,6 +1156,7 @@ fn stream_tokens(
         recomputations: shared.recomp.get(),
         peak_live_cursors: shared.peak.get(),
         buffered_sources: shared.buffered.get(),
+        workers: 0,
     };
     Ok((out, stats))
 }

@@ -27,8 +27,8 @@ mod parse;
 mod tree;
 
 pub use arena::{
-    intern_tokens, interned_labels, resolve_tokens, ArenaBuilder, ArenaDoc, IToken, LabelId,
-    LabelInterner,
+    forest_from_itokens, intern_tokens, interned_labels, resolve_tokens, ArenaBuilder, ArenaDoc,
+    IToken, LabelId, LabelInterner,
 };
 pub use document::{Document, NodeId};
 pub use generate::{

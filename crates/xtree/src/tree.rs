@@ -1,12 +1,11 @@
 //! The recursive tree representation and its tag-string form.
 
 use std::fmt;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// A node label (XML tag name). Cheap to clone; compared by symbol.
 /// `Arc`-backed so labels (and the tokens/query plans holding them) can
-/// cross threads; the tree nodes around them stay `Rc`.
+/// cross threads.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Label(Arc<str>);
 
@@ -75,12 +74,19 @@ struct TreeNode {
     children: Vec<Tree>,
 }
 
-/// An immutable unranked ordered labeled tree with `Rc`-cheap clones.
+/// An immutable unranked ordered labeled tree with refcount-cheap clones.
 ///
 /// Equality is deep value equality of trees, which per §3 is the same as
 /// equality of the corresponding tag strings.
+///
+/// Nodes are `Arc`-backed, so a `Tree` is `Send + Sync`: the data-parallel
+/// evaluators build shared values (notably the `$root` tree) **once** and
+/// hand each worker a pointer-bump clone, instead of materializing one
+/// copy per worker. Clones stay O(1); the cost of the atomic refcount is
+/// in the noise next to the evaluator's allocation traffic (the
+/// `par_scaling` bench tracks it).
 #[derive(Clone)]
-pub struct Tree(Rc<TreeNode>);
+pub struct Tree(Arc<TreeNode>);
 
 impl Tree {
     /// A leaf node (an atomic value in the paper's sense).
@@ -90,7 +96,7 @@ impl Tree {
 
     /// An inner node with the given children, in order.
     pub fn node(label: impl Into<Label>, children: impl IntoIterator<Item = Tree>) -> Tree {
-        Tree(Rc::new(TreeNode {
+        Tree(Arc::new(TreeNode {
             label: label.into(),
             children: children.into_iter().collect(),
         }))
@@ -234,7 +240,7 @@ impl Tree {
 
 impl PartialEq for Tree {
     fn eq(&self, other: &Tree) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.0, &other.0)
             || (self.label() == other.label() && self.children() == other.children())
     }
 }
@@ -249,7 +255,7 @@ impl PartialOrd for Tree {
 
 impl Ord for Tree {
     fn cmp(&self, other: &Tree) -> std::cmp::Ordering {
-        if Rc::ptr_eq(&self.0, &other.0) {
+        if Arc::ptr_eq(&self.0, &other.0) {
             return std::cmp::Ordering::Equal;
         }
         self.label()
