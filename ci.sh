@@ -38,11 +38,28 @@ XQ_ARENA=1 XQ_THREADS=4 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" \
 cargo test -q -p xq_core --lib plan
 cargo test -q -p cv_xtree --test interner_threads
 
+# The bytecode-VM surface: vm_diff proves interpreter, fresh plans, and
+# warm cache hits byte- and counter-identical on the seeded coverage
+# corpus; vm_golden pins the disassembly listings; plan_cache_threads
+# hammers the lock-striped plan store from 8 threads. Run again with
+# XQ_ARENA=1 + XQ_THREADS=4 so arena documents and the parallel entry
+# points are exercised through compiled plans too.
+step "bytecode VM suites (vm_diff, vm_golden, plan_cache_threads; XQ_ARENA=1 XQ_THREADS=4)"
+XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" cargo test -q -p xq_core --test vm_diff
+XQ_ARENA=1 XQ_THREADS=4 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" \
+    cargo test -q -p xq_core --test vm_diff
+cargo test -q -p xq_core --test vm_golden
+XQ_ARENA=1 XQ_THREADS=4 cargo test -q -p xq_core --test vm_golden
+cargo test -q -p xq_core --test plan_cache_threads
+
 step "T16 parallel-scaling table (machine-readable: BENCH_T16.json)"
 cargo run --release -p xq_bench --bin harness -- --only t16 --json BENCH_T16.json > /dev/null
 
 step "T17 planner-coverage table (machine-readable: BENCH_T17.json)"
 cargo run --release -p xq_bench --bin harness -- --only t17 --json BENCH_T17.json > /dev/null
+
+step "T18 VM-vs-interpreter table (machine-readable: BENCH_T18.json)"
+cargo run --release -p xq_bench --bin harness -- --only t18 --json BENCH_T18.json > /dev/null
 
 step "cargo bench --no-run (bench targets must compile)"
 cargo bench --no-run

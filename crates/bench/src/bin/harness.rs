@@ -5,12 +5,14 @@
 //! cargo run --release -p xq_bench --bin harness
 //! cargo run --release -p xq_bench --bin harness -- --only t16 --json BENCH_T16.json
 //! cargo run --release -p xq_bench --bin harness -- --only t17 --json BENCH_T17.json
+//! cargo run --release -p xq_bench --bin harness -- --only t18 --json BENCH_T18.json
 //! ```
 //!
 //! `--only tN` runs a single table; `--json FILE` additionally writes the
 //! machine-readable payload of the selected measurement table — T17
-//! (planner coverage) under `--only t17`, T16 (parallel scaling)
-//! otherwise — the CI perf-trajectory artifacts.
+//! (planner coverage) under `--only t17`, T18 (VM vs interpreter) under
+//! `--only t18`, T16 (parallel scaling) otherwise — the CI
+//! perf-trajectory artifacts.
 
 use cv_monad::Budget;
 use cv_xtree::{ArenaDoc, TreeGen};
@@ -44,10 +46,10 @@ fn main() {
     }
     if let Some(o) = &only {
         // A typo must fail loudly, not silently run zero tables.
-        let known: Vec<String> = (1..=17).map(|i| format!("t{i}")).collect();
+        let known: Vec<String> = (1..=18).map(|i| format!("t{i}")).collect();
         assert!(
             known.contains(o),
-            "--only {o:?} is not a known table (expected one of t1..t17)"
+            "--only {o:?} is not a known table (expected one of t1..t18)"
         );
     }
 
@@ -75,9 +77,9 @@ fn main() {
             run();
         }
     }
-    // T16/T17 run last and carry the JSON payloads (`--only t17` writes
-    // the T17 coverage JSON; any other selection that includes T16 writes
-    // the T16 scaling JSON).
+    // T16/T17/T18 run last and carry the JSON payloads (`--only t17`
+    // writes the T17 coverage JSON, `--only t18` the T18 VM comparison;
+    // any other selection that includes T16 writes the T16 scaling JSON).
     if only.as_deref().is_none_or(|o| o == "t16") {
         let rows = t16_parallel();
         if let Some(path) = &json_path {
@@ -93,10 +95,23 @@ fn main() {
                 println!("\nT17 rows written to {path}");
             }
         }
-    } else if only.as_deref() != Some("t16") {
-        if let Some(path) = &json_path {
-            panic!("--json {path} requires T16 or T17 to run (drop --only or use --only t16/t17)");
+    }
+    if only.as_deref().is_none_or(|o| o == "t18") {
+        let rows = t18_vm();
+        if only.as_deref() == Some("t18") {
+            if let Some(path) = &json_path {
+                std::fs::write(path, t18_json(&rows)).expect("write --json file");
+                println!("\nT18 rows written to {path}");
+            }
         }
+    }
+    if json_path.is_some()
+        && !matches!(
+            only.as_deref(),
+            None | Some("t16") | Some("t17") | Some("t18")
+        )
+    {
+        panic!("--json requires T16, T17, or T18 to run (drop --only or use --only t16/t17/t18)");
     }
 
     println!("\nAll requested experiment tables regenerated.");
@@ -455,6 +470,168 @@ fn t16_json(rows: &[T16Row]) -> String {
             r.threads,
             r.eval_us,
             r.stream_us,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One T18 measurement: a configuration's total and per-unit latency.
+struct T18Row {
+    label: &'static str,
+    total_us: f64,
+    per_unit_us: f64,
+}
+
+fn t18_vm() -> Vec<T18Row> {
+    use xq_core::{compile_query, parse_query, ServeMode, Threads};
+
+    header("T18  Bytecode VM and plan cache  (xq_core::vm, QueryService)");
+    println!(
+        "Compile-once-run-many vs parse-and-tree-walk-per-request, on the \
+         T16 service shape. The vm_diff suite proves the engines byte- and \
+         counter-identical; this table prices the difference.\n"
+    );
+
+    let mut rows = Vec::new();
+    let src = "for $x in $root//a return <w>{ $x/* }</w>";
+    let q = parse_query(src).unwrap();
+
+    // Engine micro-comparison: one document, repeated evaluation.
+    let mut g = TreeGen::new(7);
+    let doc = cv_xtree::random_tree(&mut g, 200, &["a", "b", "k"]);
+    let env = xq_core::Env::with_root(doc.clone());
+    let budget = xq_core::Budget::default();
+    let evals = 50u32;
+    let interp_us = time_us(evals, || {
+        xq_core::eval_with(&q, &env, budget).unwrap();
+    });
+    let plan = compile_query(&q);
+    let vm_us = time_us(evals, || {
+        xq_core::vm::exec_with(&plan, &env, budget).unwrap();
+    });
+    let reparse_us = time_us(evals, || {
+        let q = parse_query(src).unwrap();
+        xq_core::eval_with(&q, &env, budget).unwrap();
+    });
+    let compile_us = time_us(evals, || {
+        std::hint::black_box(compile_query(&q));
+    });
+    println!("| engine | per-eval (µs) | vs interpreter |");
+    println!("|---|---|---|");
+    for (label, us) in [
+        ("interpreter (pre-parsed AST)", interp_us),
+        ("interpreter (parse per request)", reparse_us),
+        ("VM (compiled plan)", vm_us),
+    ] {
+        println!("| {label} | {us:.1} | {:.2}x |", interp_us / us);
+    }
+    println!("\nCompile cost (amortized by the cache): {compile_us:.1} µs/plan");
+    rows.push(T18Row {
+        label: "interp_eval",
+        total_us: interp_us,
+        per_unit_us: interp_us,
+    });
+    rows.push(T18Row {
+        label: "interp_parse_eval",
+        total_us: reparse_us,
+        per_unit_us: reparse_us,
+    });
+    rows.push(T18Row {
+        label: "vm_exec",
+        total_us: vm_us,
+        per_unit_us: vm_us,
+    });
+    rows.push(T18Row {
+        label: "compile",
+        total_us: compile_us,
+        per_unit_us: compile_us,
+    });
+
+    // The service comparison: the exact T16 batch shape (64 requests over
+    // 4 docs, 4 workers, one hot query) under both serve modes. CachedVm
+    // is the default route: workers hit the global plan cache, so the
+    // parse + compile happens once per distinct text per process.
+    let docs: Vec<std::sync::Arc<ArenaDoc>> = (0..4u64)
+        .map(|seed| {
+            let mut g = TreeGen::new(seed);
+            std::sync::Arc::new(ArenaDoc::from_tree(&cv_xtree::random_tree(
+                &mut g,
+                200,
+                &["a", "b", "k"],
+            )))
+        })
+        .collect();
+    let batch: Vec<xq_core::Request> = docs
+        .iter()
+        .cycle()
+        .take(64)
+        .map(|d| xq_core::Request::new(src, d.clone()))
+        .collect();
+    println!("\n| serve mode | 64-request batch (µs) | µs/request | speedup |");
+    println!("|---|---|---|---|");
+    let mut interp_batch = 0.0;
+    for (label, mode) in [
+        ("interp", ServeMode::Interp),
+        ("cached_vm", ServeMode::CachedVm),
+    ] {
+        let mut service = xq_core::QueryService::with_mode(4, mode);
+        let batch_us = time_us(5, || {
+            let got = service.run_batch(batch.clone());
+            assert!(got.iter().all(Result::is_ok));
+        });
+        if matches!(mode, ServeMode::Interp) {
+            interp_batch = batch_us;
+        }
+        println!(
+            "| {label} | {batch_us:.1} | {:.1} | {:.2}x |",
+            batch_us / 64.0,
+            interp_batch / batch_us
+        );
+        rows.push(T18Row {
+            label: match mode {
+                ServeMode::Interp => "service_interp",
+                ServeMode::CachedVm => "service_cached_vm",
+            },
+            total_us: batch_us,
+            per_unit_us: batch_us / 64.0,
+        });
+    }
+
+    // Sanity: the modes agree on the batch itself (vm_diff and the
+    // service tests prove this at scale; this is the harness's own check).
+    let a = xq_core::QueryService::with_mode(2, ServeMode::Interp).run_batch(batch.clone());
+    let b = xq_core::QueryService::with_mode(2, ServeMode::CachedVm).run_batch(batch.clone());
+    assert_eq!(a, b, "serve modes diverged on the T18 batch");
+
+    // The parallel entry point still engages through a compiled plan.
+    let arena = &docs[0];
+    let par_budget = xq_core::Budget::default().with_threads(Threads::N(4));
+    let (_, stats) = xq_core::eval_compiled_par(&plan, arena, par_budget).unwrap();
+    println!(
+        "\neval_compiled_par on doc seed 0: parallelized={} workers={}",
+        stats.parallelized, stats.workers
+    );
+
+    println!("\nShape: the VM wins by skipping per-request parse + scope re-resolution; the plan cache amortizes compilation to zero on hot queries, which is where the service µs/request delta comes from.");
+    rows
+}
+
+/// Renders the T18 rows as the `--json` payload (hand-rolled: the
+/// workspace is offline, no serde).
+fn t18_json(rows: &[T18Row]) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"table\": \"T18\",\n");
+    out.push_str(&format!("  \"host_threads\": {host},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"total_us\": {:.1}, \"per_unit_us\": {:.2}}}{}\n",
+            r.label,
+            r.total_us,
+            r.per_unit_us,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

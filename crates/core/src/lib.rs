@@ -17,6 +17,10 @@
 //!   order-preserving interned-token splice merge;
 //! * [`service`] — a fixed worker pool batching many (query, document)
 //!   pairs, the serve-heavy-traffic shape;
+//! * [`vm`] — the bytecode VM: queries lower once to a flat instruction
+//!   sequence (static slots, baked planner hint and optimizer verdict)
+//!   held in a process-wide lock-striped plan cache, executed on a stack
+//!   machine byte-identical to the Figure 1 interpreter;
 //! * [`fragments`] — feature analysis and the composition-free fragments
 //!   `XQ⁻`/`XQ∼` of §7, with the Prop 7.1 interconversions;
 //! * [`translate`] — the Figure 2/3 translations to and from monad algebra
@@ -31,6 +35,7 @@ pub mod plan;
 pub mod semantics;
 pub mod service;
 pub mod translate;
+pub mod vm;
 
 pub use ast::{cond_as_query, Cond, EqMode, Query, Var};
 pub use doc::{load_document, DocRepr};
@@ -38,14 +43,15 @@ pub use fragments::{
     free_vars, is_composition_free, is_strict_core, is_xq_tilde, to_composition_free, to_xq_tilde,
     Features,
 };
-pub use par::{eval_query_par, outer_for_split, resolve_node_source, ParStats};
+pub use par::{eval_compiled_par, eval_query_par, outer_for_split, resolve_node_source, ParStats};
 pub use parser::{parse_query, QueryParseError};
 pub use plan::{ParPlan, ShardPlan};
 pub use semantics::{
     boolean_result, eval_cond_with, eval_query, eval_with, Budget, Env, EvalStats, Threads, XqError,
 };
-pub use service::{QueryService, Request, ServiceError};
+pub use service::{QueryService, Request, ServeMode, ServiceError};
 pub use translate::{
     c_forest, c_tree, c_tree_inverse, ma_env, ma_invariant_holds, ma_query, ma_query_optimized,
     t_value, t_value_inverse, value_query, xq_invariant_holds, xq_of_ma, TranslateError,
 };
+pub use vm::{compile_query, compile_query_text, CompiledPlan, InstrSeq, OpCode, PlanCache};

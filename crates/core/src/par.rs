@@ -332,6 +332,54 @@ pub fn eval_query_par(
     eval_plan(&plan, doc, budget, threads, planner_root)
 }
 
+/// [`eval_query_par`] for a compiled plan: the data-parallel entry point
+/// of the bytecode VM. The baked [`par_hint`](crate::vm::CompiledPlan::par_hint)
+/// short-circuits planning for queries that can never shard (hint `false`
+/// proves `ParPlan` would not engage on any document), and both the
+/// non-engaging and single-thread routes run on the VM executor instead
+/// of the tree-walking interpreter. Output is byte-identical to
+/// [`eval_query_par`] — the compiled-vs-interpreted differential suite
+/// (`vm_diff`) pins this across the corpus at 1/2/4 threads.
+pub fn eval_compiled_par(
+    plan: &crate::vm::CompiledPlan,
+    doc: &ArenaDoc,
+    budget: Budget,
+) -> Result<(Vec<Tree>, ParStats), XqError> {
+    let threads = budget.threads.count();
+    if threads <= 1 || !plan.par_hint() {
+        return exec_seq(plan, doc, budget, threads, None);
+    }
+    let (par_plan, planner_root) = ParPlan::of_with_root_cache(plan.query(), doc, budget, None);
+    if !par_plan.engages() {
+        return exec_seq(plan, doc, budget, threads, planner_root);
+    }
+    eval_plan(&par_plan, doc, budget, threads, planner_root)
+}
+
+/// The compiled sequential fallback: materialize the tree once (reusing
+/// any build the planner already made) and run the VM executor.
+fn exec_seq(
+    plan: &crate::vm::CompiledPlan,
+    doc: &ArenaDoc,
+    budget: Budget,
+    threads: usize,
+    root_cache: Option<Tree>,
+) -> Result<(Vec<Tree>, ParStats), XqError> {
+    let root = root_cache.unwrap_or_else(|| doc.to_tree());
+    let (out, stats) = crate::vm::exec_with(plan, &Env::with_root(root), budget)?;
+    Ok((
+        out,
+        ParStats {
+            threads,
+            workers: 0,
+            outer_items: 0,
+            parallelized: false,
+            steps: stats.steps,
+            items: stats.items,
+        },
+    ))
+}
+
 /// Executes an already-built, engaging plan. Callers that need the
 /// engagement decision before committing to this path (`QueryService`
 /// keeps non-engaging threaded requests on its cached-tree route) plan

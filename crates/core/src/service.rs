@@ -3,12 +3,19 @@
 //!
 //! [`QueryService`] owns `N` long-lived worker threads. A batch of
 //! [`Request`]s (query text + shared [`ArenaDoc`] + [`Budget`]) is fanned
-//! out over one shared job channel; workers parse, evaluate, and send back
+//! out over one shared job channel; workers evaluate and send back
 //! `(index, result)` pairs, and [`QueryService::run_batch`] reassembles
 //! them in submission order. Documents cross threads as
 //! `Arc<ArenaDoc>` — the sharded global interner is what makes that legal
 //! — so a corpus is loaded once and served by every worker without
 //! copying.
+//!
+//! On the default route ([`ServeMode::CachedVm`]) workers do not parse at
+//! all: query text resolves through the process-wide
+//! [`PlanCache`] to a [`CompiledPlan`](crate::vm::CompiledPlan) —
+//! compiled exactly once per process, however many workers race on it —
+//! and runs on the bytecode VM. [`ServeMode::Interp`] preserves the
+//! parse-per-request interpreter route as a baseline.
 //!
 //! Workers keep a small per-document cache of the materialized [`Tree`]
 //! (the Figure 1 evaluator's input form), keyed by the `Arc` pointer
@@ -16,6 +23,7 @@
 //! the arena → tree conversion once per worker, not once per request.
 
 use crate::semantics::{eval_with, Budget, Env};
+use crate::vm::PlanCache;
 use crate::Query;
 use cv_xtree::{ArenaDoc, Tree};
 use std::collections::HashMap;
@@ -73,6 +81,21 @@ impl std::fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Which evaluation route the pool workers take.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ServeMode {
+    /// Parse every request and tree-walk the Figure 1 interpreter — the
+    /// pre-VM behavior, kept as the T18 baseline and for mode-differential
+    /// tests. This is the latent per-request re-parse the plan cache
+    /// fixes.
+    Interp,
+    /// Compile through the process-wide [`PlanCache`] and run the
+    /// bytecode VM: a hot query parses and compiles once per process,
+    /// not once per request per worker. The default.
+    #[default]
+    CachedVm,
+}
+
 struct Job {
     index: usize,
     request: Request,
@@ -120,6 +143,57 @@ fn cached_tree(request: &Request, cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tre
 fn serve(
     request: &Request,
     cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tree)>,
+    mode: ServeMode,
+) -> Result<String, ServiceError> {
+    match mode {
+        ServeMode::Interp => serve_interp(request, cache),
+        ServeMode::CachedVm => serve_cached_vm(request, cache),
+    }
+}
+
+/// The compiled route: one shared [`PlanCache`] probe replaces the
+/// worker-side per-request parse (and re-derives nothing — scoping, the
+/// planner hint, and the optimizer verdict are baked into the plan).
+fn serve_cached_vm(
+    request: &Request,
+    cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tree)>,
+) -> Result<String, ServiceError> {
+    let plan = PlanCache::global()
+        .get_or_compile(&request.query)
+        .map_err(|e| ServiceError::Parse(e.to_string()))?;
+    let threads = request.budget.threads.count();
+    // The baked hint proves most non-shardable queries out of the planner
+    // without walking the AST; hinted queries plan as before.
+    if threads > 1 && plan.par_hint() {
+        let key = Arc::as_ptr(&request.doc) as usize;
+        let seed = cache.get(&key).map(|(_, t)| t.clone());
+        let (par_plan, planner_root) =
+            crate::ParPlan::of_with_root_cache(plan.query(), &request.doc, request.budget, seed);
+        if let Some(t) = &planner_root {
+            let _ = cached_tree_or(request, cache, || t.clone());
+        }
+        if par_plan.engages() {
+            let root = match planner_root {
+                Some(t) => Some(t),
+                None if par_plan.needs_root() => Some(cached_tree(request, cache)),
+                None => None,
+            };
+            let (out, _) =
+                crate::par::eval_plan(&par_plan, &request.doc, request.budget, threads, root)
+                    .map_err(|e| ServiceError::Eval(e.to_string()))?;
+            return Ok(out.iter().map(Tree::to_xml).collect());
+        }
+    }
+    let tree = cached_tree(request, cache);
+    let (out, _) = crate::vm::exec_with(&plan, &Env::with_root(tree), request.budget)
+        .map_err(|e| ServiceError::Eval(e.to_string()))?;
+    Ok(out.iter().map(Tree::to_xml).collect())
+}
+
+/// The pre-VM route, unchanged: parse per request, tree-walk Figure 1.
+fn serve_interp(
+    request: &Request,
+    cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tree)>,
 ) -> Result<String, ServiceError> {
     let query: Query =
         crate::parse_query(&request.query).map_err(|e| ServiceError::Parse(e.to_string()))?;
@@ -164,8 +238,14 @@ fn serve(
 }
 
 impl QueryService {
-    /// Spawns a pool of `workers` evaluation threads (at least 1).
+    /// Spawns a pool of `workers` evaluation threads (at least 1) on the
+    /// default route ([`ServeMode::CachedVm`]).
     pub fn new(workers: usize) -> QueryService {
+        QueryService::with_mode(workers, ServeMode::default())
+    }
+
+    /// [`QueryService::new`] with an explicit evaluation route.
+    pub fn with_mode(workers: usize, mode: ServeMode) -> QueryService {
         let workers = workers.max(1);
         let (jobs_tx, jobs_rx) = channel::<Job>();
         let (replies_tx, replies_rx) = channel::<Reply>();
@@ -183,7 +263,7 @@ impl QueryService {
                             Ok(job) => job,
                             Err(_) => break, // service dropped: shut down
                         };
-                        let result = serve(&job.request, &mut cache);
+                        let result = serve(&job.request, &mut cache, mode);
                         if replies_tx.send((job.index, result)).is_err() {
                             break;
                         }
@@ -344,6 +424,61 @@ mod tests {
         let seq = service.run_batch(make(Threads::One));
         let par = service.run_batch(make(Threads::N(4)));
         assert_eq!(seq, par, "plan-driven requests must serve identical bytes");
+    }
+
+    #[test]
+    fn repeated_query_batch_compiles_exactly_once() {
+        // The latent-issue regression: workers used to re-parse the query
+        // text per request. Routed through the shared PlanCache, a batch
+        // of identical requests fanned over 4 workers must compile the
+        // text exactly once (the compile-count hook observes duplicates).
+        // The text is unique to this test so other suites sharing the
+        // process-wide cache can't pre-warm it.
+        let text = "for $svc_once in $root/* return <compiled_once>{ $svc_once }</compiled_once>";
+        assert_eq!(crate::PlanCache::global().compile_count(text), 0);
+        let docs = corpus();
+        let mut service = QueryService::new(4);
+        let requests: Vec<Request> = (0..32)
+            .map(|i| Request::new(text, docs[i % docs.len()].clone()))
+            .collect();
+        let got = service.run_batch(requests);
+        assert!(got.iter().all(Result::is_ok));
+        assert_eq!(
+            crate::PlanCache::global().compile_count(text),
+            1,
+            "a repeated-query batch must hit one cached compilation"
+        );
+    }
+
+    #[test]
+    fn serve_modes_agree_byte_for_byte() {
+        use crate::semantics::Threads;
+        let docs = corpus();
+        let queries = [
+            "for $x in $root//a return <w>{ $x/* }</w>",
+            "$root/*",
+            "<out>{ for $x in $root/* return if ($x =atomic <k/>) then $x }</out>",
+            "for $x in", // parse error: identical rendering on both routes
+            "$nope",     // eval error: identical rendering on both routes
+        ];
+        let make = |threads: Threads| -> Vec<Request> {
+            docs.iter()
+                .flat_map(|d| {
+                    queries.iter().map(move |q| {
+                        let mut r = Request::new(q, d.clone());
+                        r.budget = r.budget.with_threads(threads);
+                        r
+                    })
+                })
+                .collect()
+        };
+        let mut interp = QueryService::with_mode(2, ServeMode::Interp);
+        let mut vm = QueryService::with_mode(2, ServeMode::CachedVm);
+        for threads in [Threads::One, Threads::N(4)] {
+            let want = interp.run_batch(make(threads));
+            let got = vm.run_batch(make(threads));
+            assert_eq!(got, want, "modes diverged at {threads:?}");
+        }
     }
 
     #[test]

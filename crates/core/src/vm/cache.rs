@@ -1,0 +1,179 @@
+//! The process-wide plan store.
+//!
+//! Hot queries compile once: [`PlanCache::get_or_compile`] keys
+//! [`CompiledPlan`]s by query text, sharded 16 ways by an FNV-1a hash of
+//! the text (the same striping discipline as the global label interner,
+//! for the same reason — service workers hit the cache concurrently and
+//! must not serialize on one lock). Reads take a shard read lock;
+//! a miss upgrades to the shard write lock and compiles **inside** it,
+//! re-checking first, so each text is compiled exactly once per process
+//! no matter how many workers race on it — each entry carries a compile
+//! counter precisely so a duplicated compilation would be *observable*
+//! (the `plan_cache_threads` suite asserts the counter stays at 1).
+//!
+//! Parse errors are not cached: a malformed query costs a parse per
+//! attempt, exactly as it did before the cache existed. Each shard holds
+//! at most `SHARD_CAP` plans; at capacity the shard clears (the
+//! document-cache eviction idiom — workloads cycle few distinct hot
+//! queries).
+
+use super::compile::{compile_query_text, CompiledPlan};
+use crate::parser::QueryParseError;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of lock stripes. Power of two so the hash folds cheaply.
+const SHARDS: usize = 16;
+
+/// Plans per shard before the shard clears.
+const SHARD_CAP: usize = 512;
+
+struct Entry {
+    plan: Arc<CompiledPlan>,
+    /// Times this key was compiled while cached — 1 unless the
+    /// exactly-once discipline is broken (asserted in tests).
+    compiles: u64,
+}
+
+/// A sharded map from query text to compiled plan. One process-wide
+/// instance serves every evaluation path ([`PlanCache::global`]); tests
+/// build private instances with [`PlanCache::new`].
+#[derive(Default)]
+pub struct PlanCache {
+    shards: Vec<RwLock<HashMap<Arc<str>, Entry>>>,
+}
+
+/// FNV-1a, matching the label interner's shard router.
+fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The process-wide cache every evaluation path shares.
+    pub fn global() -> &'static PlanCache {
+        static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+        GLOBAL.get_or_init(PlanCache::new)
+    }
+
+    fn shard(&self, text: &str) -> &RwLock<HashMap<Arc<str>, Entry>> {
+        &self.shards[(fnv1a(text) as usize) & (SHARDS - 1)]
+    }
+
+    /// The cached plan for `text`, if present (never compiles).
+    pub fn get(&self, text: &str) -> Option<Arc<CompiledPlan>> {
+        self.shard(text)
+            .read()
+            .expect("plan cache poisoned")
+            .get(text)
+            .map(|e| e.plan.clone())
+    }
+
+    /// The cached plan for `text`, compiling it on a miss. Hits return
+    /// the same `Arc` (pointer equality — property-tested); misses
+    /// compile under the shard write lock after a re-check, so concurrent
+    /// misses on one text compile it once. Parse failures propagate and
+    /// are not cached.
+    pub fn get_or_compile(&self, text: &str) -> Result<Arc<CompiledPlan>, QueryParseError> {
+        if let Some(plan) = self.get(text) {
+            return Ok(plan);
+        }
+        let mut shard = self.shard(text).write().expect("plan cache poisoned");
+        if let Some(e) = shard.get(text) {
+            return Ok(e.plan.clone());
+        }
+        let plan = Arc::new(compile_query_text(text)?);
+        if shard.len() >= SHARD_CAP {
+            shard.clear();
+        }
+        shard.insert(
+            Arc::from(text),
+            Entry {
+                plan: plan.clone(),
+                compiles: 1,
+            },
+        );
+        Ok(plan)
+    }
+
+    /// How many times `text` was compiled while cached (0 when absent,
+    /// 1 under the exactly-once guarantee) — the compile-count hook the
+    /// concurrency smoke test observes.
+    pub fn compile_count(&self, text: &str) -> u64 {
+        self.shard(text)
+            .read()
+            .expect("plan cache poisoned")
+            .get(text)
+            .map_or(0, |e| e.compiles)
+    }
+
+    /// Number of cached plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("plan cache poisoned").len())
+            .sum()
+    }
+
+    /// True iff no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_return_the_same_arc() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_compile("$root/*").unwrap();
+        let b = cache.get_or_compile("$root/*").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.compile_count("$root/*"), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_propagate_and_are_not_cached() {
+        let cache = PlanCache::new();
+        assert!(cache.get_or_compile("for $x in").is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.compile_count("for $x in"), 0);
+    }
+
+    #[test]
+    fn distinct_texts_get_distinct_plans() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_compile("$root/a").unwrap();
+        let b = cache.get_or_compile("$root/b").unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_overflow_clears_the_shard_not_the_cache() {
+        let cache = PlanCache::new();
+        // Overfill: SHARD_CAP plans land in ~16 shards, so pushing well
+        // past SHARDS * SHARD_CAP forces at least one clear without the
+        // cache growing unboundedly.
+        let n = SHARDS * SHARD_CAP + SHARD_CAP;
+        for i in 0..n {
+            cache.get_or_compile(&format!("$root/t{i}")).unwrap();
+        }
+        assert!(cache.len() <= SHARDS * SHARD_CAP);
+        assert!(!cache.is_empty());
+    }
+}

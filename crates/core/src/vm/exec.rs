@@ -1,0 +1,374 @@
+//! The stack-based executor.
+//!
+//! Runs a [`CompiledPlan`] against an [`Env`] under a [`Budget`],
+//! producing exactly what [`eval_with`](crate::eval_with) produces — the
+//! same trees, the same [`EvalStats`] counters, and the same error at the
+//! same point when the budget runs out. That equivalence is the load-
+//! bearing contract (the `vm_diff` suite pins it per corpus query), so
+//! the machine is deliberately plain: three stacks (lists, booleans, loop
+//! frames), a static slot array for query-bound variables, and a program
+//! counter over the flat instruction sequence. No recursion: `for`/`let`
+//! loops and quantifiers run as jump-backed loops, so evaluation depth is
+//! heap-bounded rather than call-stack-bounded.
+
+use super::compile::CompiledPlan;
+use super::ir::{OpCode, VarRef};
+use crate::ast::EqMode;
+use crate::semantics::{Budget, Env, EvalStats, XqError};
+use cv_xtree::Tree;
+
+/// Executes a compiled plan in `env` under `budget` — the VM counterpart
+/// of [`eval_with`](crate::eval_with), byte- and counter-identical to it.
+pub fn exec_with(
+    plan: &CompiledPlan,
+    env: &Env,
+    budget: Budget,
+) -> Result<(Vec<Tree>, EvalStats), XqError> {
+    let mut m = Machine {
+        budget,
+        stats: EvalStats::default(),
+        env,
+        env_depth: env.depth(),
+        locals: vec![None; plan.slots()],
+        lists: Vec::new(),
+        bools: Vec::new(),
+        frames: Vec::new(),
+    };
+    m.run(plan.instrs().ops())?;
+    debug_assert!(m.bools.is_empty() && m.frames.is_empty());
+    let out = m.lists.pop().expect("a compiled query leaves its result");
+    debug_assert!(m.lists.is_empty());
+    Ok((out, m.stats))
+}
+
+/// Executes a compiled plan on input tree `t` (bound to `$root`) under the
+/// default budget — the VM counterpart of [`eval_query`](crate::eval_query).
+pub fn exec_query(plan: &CompiledPlan, t: &Tree) -> Result<Vec<Tree>, XqError> {
+    exec_with(plan, &Env::with_root(t.clone()), Budget::default()).map(|(out, _)| out)
+}
+
+/// An open loop: remaining work items plus (for `for`/`let`) the output
+/// accumulated so far. Quantifier frames leave `out` empty.
+struct Frame {
+    items: std::vec::IntoIter<Tree>,
+    out: Vec<Tree>,
+}
+
+struct Machine<'e> {
+    budget: Budget,
+    stats: EvalStats,
+    env: &'e Env,
+    /// The caller's environment depth — static scope depths in `TickQ`
+    /// offset from here, reproducing the interpreter's `max_env_depth`.
+    env_depth: usize,
+    locals: Vec<Option<Tree>>,
+    lists: Vec<Vec<Tree>>,
+    bools: Vec<bool>,
+    frames: Vec<Frame>,
+}
+
+impl Machine<'_> {
+    fn step(&mut self) -> Result<(), XqError> {
+        self.stats.steps += 1;
+        if self.stats.steps > self.budget.max_steps {
+            return Err(XqError::Budget { which: "steps" });
+        }
+        Ok(())
+    }
+
+    fn emit(&mut self, out: &mut Vec<Tree>, t: Tree) -> Result<(), XqError> {
+        self.stats.items += 1;
+        if self.stats.items > self.budget.max_items {
+            return Err(XqError::Budget { which: "items" });
+        }
+        out.push(t);
+        Ok(())
+    }
+
+    fn load(&self, r: &VarRef) -> Result<Tree, XqError> {
+        match r {
+            VarRef::Local(slot, _) => Ok(self.locals[*slot as usize]
+                .clone()
+                .expect("compiled local is live inside its binder")),
+            VarRef::Free(v) => self
+                .env
+                .lookup(v)
+                .cloned()
+                .ok_or_else(|| XqError::UnboundVariable(v.name().to_string())),
+        }
+    }
+
+    fn pop_list(&mut self) -> Vec<Tree> {
+        self.lists.pop().expect("list operand on the stack")
+    }
+
+    fn pop_bool(&mut self) -> bool {
+        self.bools.pop().expect("boolean operand on the stack")
+    }
+
+    fn tree_eq(a: &Tree, b: &Tree, mode: EqMode) -> Result<bool, XqError> {
+        match mode {
+            EqMode::Deep => Ok(a == b),
+            EqMode::Atomic => Ok(a.label() == b.label()),
+            EqMode::Mon => Err(XqError::BadEqualityMode),
+        }
+    }
+
+    fn run(&mut self, ops: &[OpCode]) -> Result<(), XqError> {
+        let mut pc = 0usize;
+        while pc < ops.len() {
+            match &ops[pc] {
+                OpCode::TickQ(d) => {
+                    self.step()?;
+                    self.stats.max_env_depth =
+                        self.stats.max_env_depth.max(self.env_depth + *d as usize);
+                }
+                OpCode::TickC => self.step()?,
+                OpCode::PushUnit => self.lists.push(Vec::new()),
+                OpCode::Load(r) => {
+                    let t = self.load(r)?;
+                    let mut out = Vec::with_capacity(1);
+                    self.emit(&mut out, t)?;
+                    self.lists.push(out);
+                }
+                OpCode::MakeElem(a) => {
+                    let children = self.pop_list();
+                    let mut out = Vec::with_capacity(1);
+                    self.emit(&mut out, Tree::node(a.clone(), children))?;
+                    self.lists.push(out);
+                }
+                OpCode::Concat => {
+                    let rest = self.pop_list();
+                    let mut out = self.pop_list();
+                    for t in rest {
+                        self.emit(&mut out, t)?;
+                    }
+                    self.lists.push(out);
+                }
+                OpCode::AxisStep(axis, test) => {
+                    let bases = self.pop_list();
+                    let mut out = Vec::new();
+                    for t in &bases {
+                        for s in t.axis(*axis) {
+                            self.step()?;
+                            if test.matches(s.label()) {
+                                self.emit(&mut out, s)?;
+                            }
+                        }
+                    }
+                    self.lists.push(out);
+                }
+                OpCode::IterInit => {
+                    let items = self.pop_list();
+                    self.frames.push(Frame {
+                        items: items.into_iter(),
+                        out: Vec::new(),
+                    });
+                }
+                OpCode::IterNext { slot, exit, .. } => {
+                    let frame = self.frames.last_mut().expect("open loop frame");
+                    match frame.items.next() {
+                        Some(t) => self.locals[*slot as usize] = Some(t),
+                        None => {
+                            let frame = self.frames.pop().expect("open loop frame");
+                            self.lists.push(frame.out);
+                            pc = *exit as usize;
+                            continue;
+                        }
+                    }
+                }
+                OpCode::IterAccum { back } => {
+                    let r = self.pop_list();
+                    // Swap the accumulator out so `emit` (which borrows
+                    // `self` mutably for the counters) can fill it.
+                    let mut out =
+                        std::mem::take(&mut self.frames.last_mut().expect("open loop frame").out);
+                    for x in r {
+                        self.emit(&mut out, x)?;
+                    }
+                    self.frames.last_mut().expect("open loop frame").out = out;
+                    pc = *back as usize;
+                    continue;
+                }
+                OpCode::PushBool(b) => self.bools.push(*b),
+                OpCode::CmpVars(x, y, mode) => {
+                    let tx = self.load(x)?;
+                    let ty = self.load(y)?;
+                    self.bools.push(Self::tree_eq(&tx, &ty, *mode)?);
+                }
+                OpCode::CmpConst(x, a, mode) => {
+                    let tx = self.load(x)?;
+                    self.bools
+                        .push(Self::tree_eq(&tx, &Tree::leaf(a.clone()), *mode)?);
+                }
+                OpCode::NonEmpty => {
+                    let l = self.pop_list();
+                    self.bools.push(!l.is_empty());
+                }
+                OpCode::NotBool => {
+                    let b = self.pop_bool();
+                    self.bools.push(!b);
+                }
+                OpCode::JumpIfFalse(t) => {
+                    if !self.pop_bool() {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                OpCode::Jump(t) => {
+                    pc = *t as usize;
+                    continue;
+                }
+                OpCode::AndJump(t) => {
+                    if *self.bools.last().expect("boolean operand") {
+                        self.bools.pop();
+                    } else {
+                        pc = *t as usize;
+                        continue;
+                    }
+                }
+                OpCode::OrJump(t) => {
+                    if *self.bools.last().expect("boolean operand") {
+                        pc = *t as usize;
+                        continue;
+                    } else {
+                        self.bools.pop();
+                    }
+                }
+                OpCode::QuantInit => {
+                    let items = self.pop_list();
+                    self.frames.push(Frame {
+                        items: items.into_iter(),
+                        out: Vec::new(),
+                    });
+                }
+                OpCode::QuantNext {
+                    slot, some, exit, ..
+                } => {
+                    let frame = self.frames.last_mut().expect("open quantifier frame");
+                    match frame.items.next() {
+                        Some(t) => self.locals[*slot as usize] = Some(t),
+                        None => {
+                            self.frames.pop();
+                            // Exhausted without a decision: `some` is
+                            // false, `every` vacuously true.
+                            self.bools.push(!*some);
+                            pc = *exit as usize;
+                            continue;
+                        }
+                    }
+                }
+                OpCode::QuantCheck { some, back, exit } => {
+                    let verdict = self.pop_bool();
+                    if verdict == *some {
+                        // true decides `some`; false decides `every`.
+                        self.frames.pop();
+                        self.bools.push(*some);
+                        pc = *exit as usize;
+                    } else {
+                        pc = *back as usize;
+                    }
+                    continue;
+                }
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::compile_query;
+    use crate::{eval_with, parse_query};
+    use cv_xtree::parse_tree;
+
+    fn both(src: &str, doc: &str, budget: Budget) {
+        let q = parse_query(src).unwrap();
+        let t = parse_tree(doc).unwrap();
+        let env = Env::with_root(t);
+        let want = eval_with(&q, &env, budget);
+        let got = exec_with(&compile_query(&q), &env, budget);
+        match (&want, &got) {
+            (Ok((wt, ws)), Ok((gt, gs))) => {
+                assert_eq!(gt, wt, "{src}");
+                assert_eq!(gs.steps, ws.steps, "{src}: steps");
+                assert_eq!(gs.items, ws.items, "{src}: items");
+                assert_eq!(gs.max_env_depth, ws.max_env_depth, "{src}: depth");
+            }
+            (Err(we), Err(ge)) => assert_eq!(ge, we, "{src}"),
+            _ => panic!("{src}: interpreter {want:?} vs vm {got:?}"),
+        }
+    }
+
+    #[test]
+    fn vm_matches_interpreter_on_representative_queries() {
+        let doc = "<r><a><b/><k/></a><b/><a/><k><a/></k></r>";
+        for src in [
+            "()",
+            "<a/>",
+            "$root",
+            "$root/*",
+            "$root//a",
+            "($root/a, $root/b)",
+            "<out>{ ($root/a, $root/b, $root/k) }</out>",
+            "for $x in $root//a return <w>{ $x/* }</w>",
+            "let $z := $root return for $x in $z/* return $x",
+            "for $x in $root/* return for $y in $x/* return <p>{ $y }</p>",
+            "if ($root = $root) then <eq/>",
+            "if (some $x in $root/* satisfies $x =atomic <k/>) then <hit/>",
+            "if (every $x in $root/* satisfies $x =atomic $x) then <all/>",
+            "if (not($root/b) and $root/a) then <both/>",
+            "if ($root/zzz or $root/a) then <or/>",
+            "for $x in (for $w in $root/* where $w/b return $w) return <f>{ $x }</f>",
+            "for $x in $root/a return for $x in $x/* return $x",
+        ] {
+            both(src, doc, Budget::default());
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_identical_to_the_interpreter() {
+        let doc = "<r><a/><a/><a/><a/></r>";
+        let src = "for $x in $root//* return for $y in $root//* return <t>{ $y }</t>";
+        // Sweep tight budgets so the error point crosses every opcode.
+        for max_steps in 0..60 {
+            both(
+                src,
+                doc,
+                Budget {
+                    max_steps,
+                    ..Budget::default()
+                },
+            );
+        }
+        for max_items in 0..40 {
+            both(
+                src,
+                doc,
+                Budget {
+                    max_items,
+                    ..Budget::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn unbound_and_mon_errors_match() {
+        both("$nope", "<a/>", Budget::default());
+        both("if ($nope = $root) then <x/>", "<a/>", Budget::default());
+        // `=mon` has no surface syntax; build the AST directly.
+        use crate::ast::{Cond, EqMode, Query};
+        let q = Query::if_then(
+            Cond::VarEq("root".into(), "root".into(), EqMode::Mon),
+            Query::leaf("x"),
+        );
+        let env = Env::with_root(parse_tree("<a/>").unwrap());
+        let want = eval_with(&q, &env, Budget::default()).unwrap_err();
+        let got = exec_with(&compile_query(&q), &env, Budget::default()).unwrap_err();
+        assert_eq!(got, want);
+        assert_eq!(got, XqError::BadEqualityMode);
+    }
+}

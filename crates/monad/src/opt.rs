@@ -92,6 +92,36 @@ pub fn optimize(e: &Expr, kind: CollectionKind) -> (Expr, Trace) {
     (cur, opt.trace)
 }
 
+/// A thread-shareable summary of one [`optimize`] run: which rules fired
+/// and how the expression size changed. [`Expr`] (and therefore [`Trace`],
+/// which stores redex snapshots) is `Rc`-backed and cannot cross threads;
+/// compile-time consumers that cache plans process-wide — `xq_core`'s
+/// bytecode plan store bakes the optimizer verdict into each cached plan —
+/// keep this report instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptReport {
+    /// Names of the rules that fired, in application order (the
+    /// [`Trace::rules`] listing).
+    pub rules: Vec<&'static str>,
+    /// Operator count of the input expression.
+    pub size_before: u64,
+    /// Operator count of the normalized expression.
+    pub size_after: u64,
+}
+
+/// [`optimize`], additionally returning an [`OptReport`] — the
+/// `Send + Sync` summary surfaced at query-compile time by plan caches.
+pub fn optimize_report(e: &Expr, kind: CollectionKind) -> (Expr, OptReport) {
+    let size_before = e.size();
+    let (out, trace) = optimize(e, kind);
+    let report = OptReport {
+        rules: trace.rules(),
+        size_before,
+        size_after: out.size(),
+    };
+    (out, report)
+}
+
 struct Optimizer {
     kind: CollectionKind,
     trace: Trace,
