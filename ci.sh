@@ -52,6 +52,20 @@ cargo test -q -p xq_core --test vm_golden
 XQ_ARENA=1 XQ_THREADS=4 cargo test -q -p xq_core --test vm_golden
 cargo test -q -p xq_core --test plan_cache_threads
 
+# The serving surface: cancel_diff proves cancel-at-tick-k ≡ budget-cap-k
+# across both engines (and that an untripped flag is byte-invisible);
+# the xq_server package runs the protocol golden + malformed-frame fuzz
+# suite (proto), the bounded-queue / exact-shedding / no-lost-responses
+# socket suite (load_shed), and the protocol unit tests. Run again with
+# XQ_ARENA=1 + XQ_THREADS=4 so cancellation and the socket path are
+# exercised over arena documents and the parallel entry points.
+step "serving suites (cancel_diff, xq_server; XQ_ARENA=1 XQ_THREADS=4)"
+XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" cargo test -q -p xq_core --test cancel_diff
+XQ_ARENA=1 XQ_THREADS=4 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" \
+    cargo test -q -p xq_core --test cancel_diff
+cargo test -q -p xq_server
+XQ_ARENA=1 XQ_THREADS=4 cargo test -q -p xq_server
+
 step "T16 parallel-scaling table (machine-readable: BENCH_T16.json)"
 cargo run --release -p xq_bench --bin harness -- --only t16 --json BENCH_T16.json > /dev/null
 
@@ -61,8 +75,13 @@ cargo run --release -p xq_bench --bin harness -- --only t17 --json BENCH_T17.jso
 step "T18 VM-vs-interpreter table (machine-readable: BENCH_T18.json)"
 cargo run --release -p xq_bench --bin harness -- --only t18 --json BENCH_T18.json > /dev/null
 
-step "cargo bench --no-run (bench targets must compile)"
-cargo bench --no-run
+step "T19 network-serving table (machine-readable: BENCH_T19.json)"
+cargo run --release -p xq_bench --bin harness -- --only t19 --json BENCH_T19.json > /dev/null
+
+step "cargo bench --no-run --workspace (bench targets must compile)"
+# --workspace matters: from the root, plain `cargo bench` only builds the
+# umbrella package's benches and would skip every xq_bench target.
+cargo bench --no-run --workspace
 
 step "cargo doc --no-deps --workspace (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -32,7 +32,7 @@ fn bench_eval_par(c: &mut Criterion) {
         for threads in [1usize, 2, 4] {
             let budget = Budget::default().with_threads(Threads::N(threads));
             g.bench_function(format!("{family}-n{n}-t{threads}"), |b| {
-                b.iter(|| black_box(eval_query_par(&q, &doc, budget).unwrap()))
+                b.iter(|| black_box(eval_query_par(&q, &doc, budget.clone()).unwrap()))
             });
         }
     }
@@ -77,7 +77,7 @@ fn bench_planner_shapes(c: &mut Criterion) {
         for threads in [1usize, 4] {
             let budget = Budget::default().with_threads(Threads::N(threads));
             g.bench_function(format!("{name}-{family}-n{n}-t{threads}"), |b| {
-                b.iter(|| black_box(eval_query_par(&q, &doc, budget).unwrap()))
+                b.iter(|| black_box(eval_query_par(&q, &doc, budget.clone()).unwrap()))
             });
         }
     }

@@ -27,15 +27,15 @@ fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("vm_vs_interp");
     group.sample_size(30);
     group.bench_function("interp_eval", |b| {
-        b.iter(|| eval_with(&q, &env, budget).unwrap())
+        b.iter(|| eval_with(&q, &env, budget.clone()).unwrap())
     });
     group.bench_function("vm_exec", |b| {
-        b.iter(|| exec_with(&plan, &env, budget).unwrap())
+        b.iter(|| exec_with(&plan, &env, budget.clone()).unwrap())
     });
     group.bench_function("interp_parse_then_eval", |b| {
         b.iter(|| {
             let q = parse_query(QUERY).unwrap();
-            eval_with(&q, &env, budget).unwrap()
+            eval_with(&q, &env, budget.clone()).unwrap()
         })
     });
     let cache = PlanCache::new();
@@ -43,7 +43,7 @@ fn bench_engines(c: &mut Criterion) {
     group.bench_function("vm_warm_cache_then_exec", |b| {
         b.iter(|| {
             let plan = cache.get_or_compile(QUERY).unwrap();
-            exec_with(&plan, &env, budget).unwrap()
+            exec_with(&plan, &env, budget.clone()).unwrap()
         })
     });
     group.bench_function("parse", |b| b.iter(|| parse_query(QUERY).unwrap()));

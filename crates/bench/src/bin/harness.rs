@@ -6,13 +6,14 @@
 //! cargo run --release -p xq_bench --bin harness -- --only t16 --json BENCH_T16.json
 //! cargo run --release -p xq_bench --bin harness -- --only t17 --json BENCH_T17.json
 //! cargo run --release -p xq_bench --bin harness -- --only t18 --json BENCH_T18.json
+//! cargo run --release -p xq_bench --bin harness -- --only t19 --json BENCH_T19.json
 //! ```
 //!
 //! `--only tN` runs a single table; `--json FILE` additionally writes the
 //! machine-readable payload of the selected measurement table — T17
 //! (planner coverage) under `--only t17`, T18 (VM vs interpreter) under
-//! `--only t18`, T16 (parallel scaling) otherwise — the CI
-//! perf-trajectory artifacts.
+//! `--only t18`, T19 (network serving under load) under `--only t19`,
+//! T16 (parallel scaling) otherwise — the CI perf-trajectory artifacts.
 
 use cv_monad::Budget;
 use cv_xtree::{ArenaDoc, TreeGen};
@@ -46,10 +47,10 @@ fn main() {
     }
     if let Some(o) = &only {
         // A typo must fail loudly, not silently run zero tables.
-        let known: Vec<String> = (1..=18).map(|i| format!("t{i}")).collect();
+        let known: Vec<String> = (1..=19).map(|i| format!("t{i}")).collect();
         assert!(
             known.contains(o),
-            "--only {o:?} is not a known table (expected one of t1..t18)"
+            "--only {o:?} is not a known table (expected one of t1..t19)"
         );
     }
 
@@ -105,13 +106,24 @@ fn main() {
             }
         }
     }
+    if only.as_deref().is_none_or(|o| o == "t19") {
+        let rows = t19_serving();
+        if only.as_deref() == Some("t19") {
+            if let Some(path) = &json_path {
+                std::fs::write(path, t19_json(&rows)).expect("write --json file");
+                println!("\nT19 rows written to {path}");
+            }
+        }
+    }
     if json_path.is_some()
         && !matches!(
             only.as_deref(),
-            None | Some("t16") | Some("t17") | Some("t18")
+            None | Some("t16") | Some("t17") | Some("t18") | Some("t19")
         )
     {
-        panic!("--json requires T16, T17, or T18 to run (drop --only or use --only t16/t17/t18)");
+        panic!(
+            "--json requires T16, T17, T18, or T19 to run (drop --only or use --only t16/t17/t18/t19)"
+        );
     }
 
     println!("\nAll requested experiment tables regenerated.");
@@ -177,11 +189,11 @@ fn t17_coverage() -> T17Coverage {
             {
                 baseline += 1;
             }
-            if ParPlan::of(q, &doc, budget).engages() {
+            if ParPlan::of(q, &doc, budget.clone()).engages() {
                 planner += 1;
                 // Trust, then verify: the counted query must be
                 // byte-identical to sequential on this document.
-                let par = eval_query_par(q, &doc, budget);
+                let par = eval_query_par(q, &doc, budget.clone());
                 let seq = xq_core::eval_query(q, &tree);
                 match (par, seq) {
                     (Ok((p, stats)), Ok(s)) => {
@@ -357,9 +369,10 @@ fn t16_parallel() -> Vec<T16Row> {
                 max_steps: u64::MAX,
                 max_items: u64::MAX,
                 threads: Threads::N(threads),
+                ..xq_core::Budget::default()
             };
             let eval_us = time_us(2, || {
-                eval_query_par(&q, &doc, budget).unwrap();
+                eval_query_par(&q, &doc, budget.clone()).unwrap();
             });
             let stream_us = time_us(2, || {
                 xq_stream::stream_query_arena_par(
@@ -431,7 +444,7 @@ fn t16_parallel() -> Vec<T16Row> {
             )))
         })
         .collect();
-    let mut service = xq_core::QueryService::new(4);
+    let service = xq_core::QueryService::new(4);
     let batch: Vec<xq_core::Request> = docs
         .iter()
         .cycle()
@@ -505,15 +518,15 @@ fn t18_vm() -> Vec<T18Row> {
     let budget = xq_core::Budget::default();
     let evals = 50u32;
     let interp_us = time_us(evals, || {
-        xq_core::eval_with(&q, &env, budget).unwrap();
+        xq_core::eval_with(&q, &env, budget.clone()).unwrap();
     });
     let plan = compile_query(&q);
     let vm_us = time_us(evals, || {
-        xq_core::vm::exec_with(&plan, &env, budget).unwrap();
+        xq_core::vm::exec_with(&plan, &env, budget.clone()).unwrap();
     });
     let reparse_us = time_us(evals, || {
         let q = parse_query(src).unwrap();
-        xq_core::eval_with(&q, &env, budget).unwrap();
+        xq_core::eval_with(&q, &env, budget.clone()).unwrap();
     });
     let compile_us = time_us(evals, || {
         std::hint::black_box(compile_query(&q));
@@ -576,7 +589,7 @@ fn t18_vm() -> Vec<T18Row> {
         ("interp", ServeMode::Interp),
         ("cached_vm", ServeMode::CachedVm),
     ] {
-        let mut service = xq_core::QueryService::with_mode(4, mode);
+        let service = xq_core::QueryService::with_mode(4, mode);
         let batch_us = time_us(5, || {
             let got = service.run_batch(batch.clone());
             assert!(got.iter().all(Result::is_ok));
@@ -616,6 +629,205 @@ fn t18_vm() -> Vec<T18Row> {
 
     println!("\nShape: the VM wins by skipping per-request parse + scope re-resolution; the plan cache amortizes compilation to zero on hot queries, which is where the service µs/request delta comes from.");
     rows
+}
+
+/// One T19 measurement: a closed-loop client count's serving profile
+/// against the socket front door.
+struct T19Row {
+    clients: usize,
+    requests: usize,
+    ok: usize,
+    shed: usize,
+    p50_us: f64,
+    p99_us: f64,
+    throughput_rps: f64,
+    wall_ms: f64,
+}
+
+/// The latency percentile of a sorted sample (nearest-rank).
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn t19_serving() -> Vec<T19Row> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use xq_server::{Frame, Server, ServerConfig};
+
+    header("T19  Network serving under load  (xq_server: admission, shedding)");
+    const WORKERS: usize = 2;
+    const CAPACITY: usize = 4;
+    const PER_CLIENT: usize = 100;
+    println!(
+        "Closed-loop load generator over the line-delimited JSON socket \
+         protocol: each client pipelines nothing — send one query, wait \
+         for the answer (or the shed), repeat. {WORKERS} pool workers, \
+         admission queue capacity {CAPACITY}; once concurrent clients \
+         exceed workers + capacity the server must answer `overloaded` \
+         immediately rather than queue without bound, so p99 for the \
+         *admitted* requests stays bounded while the shed rate absorbs \
+         the overload.\n"
+    );
+
+    // One moderately heavy query (a quadratic //* self-join shape on a
+    // 200-node document) so per-request service time dominates loopback
+    // latency and the queue actually fills under concurrency.
+    let src = "for $x in $root//* return <w>{ $x//* }</w>";
+    let mut g = TreeGen::new(19);
+    let doc = cv_xtree::random_tree(&mut g, 200, &["a", "b", "k"]);
+    let mut docs = std::collections::HashMap::new();
+    docs.insert(
+        "d0".to_string(),
+        std::sync::Arc::new(ArenaDoc::from_tree(&doc)),
+    );
+
+    println!("| clients | requests | ok | shed | shed rate | p50 (µs) | p99 (µs) | ok/s |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut rows = Vec::new();
+    for clients in [1usize, 2, 4, 8, 16] {
+        let server = Server::start(ServerConfig {
+            workers: WORKERS,
+            queue_capacity: CAPACITY,
+            docs: docs.clone(),
+            ..ServerConfig::default()
+        })
+        .expect("start T19 server");
+        let started = Instant::now();
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut ok = 0usize;
+        let mut shed = 0usize;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let addr = server.addr();
+                    scope.spawn(move || {
+                        let stream = TcpStream::connect(addr).expect("connect");
+                        stream.set_nodelay(true).expect("nodelay");
+                        let mut reader = BufReader::new(stream.try_clone().unwrap());
+                        let mut writer = stream;
+                        let mut lat = Vec::with_capacity(PER_CLIENT);
+                        let mut ok = 0usize;
+                        let mut shed = 0usize;
+                        for id in 0..PER_CLIENT {
+                            let frame = Frame::new()
+                                .str("op", "query")
+                                .uint("id", id as u64)
+                                .str("doc", "d0")
+                                .str("query", src);
+                            let t0 = Instant::now();
+                            writer.write_all(frame.encode().as_bytes()).expect("send");
+                            writer.write_all(b"\n").expect("send");
+                            writer.flush().expect("flush");
+                            let mut line = String::new();
+                            reader.read_line(&mut line).expect("recv");
+                            let us = t0.elapsed().as_secs_f64() * 1e6;
+                            let resp =
+                                Frame::parse(line.trim_end_matches('\n')).expect("frame parses");
+                            if resp.get_bool("ok") == Some(true) {
+                                ok += 1;
+                                lat.push(us);
+                            } else {
+                                assert_eq!(
+                                    resp.get_str("code"),
+                                    Some("overloaded"),
+                                    "T19 only expects ok or overloaded answers"
+                                );
+                                shed += 1;
+                            }
+                        }
+                        (lat, ok, shed)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (lat, o, s) = h.join().expect("client thread");
+                latencies.extend(lat);
+                ok += o;
+                shed += s;
+            }
+        });
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let requests = clients * PER_CLIENT;
+        let row = T19Row {
+            clients,
+            requests,
+            ok,
+            shed,
+            p50_us: percentile_us(&latencies, 50.0),
+            p99_us: percentile_us(&latencies, 99.0),
+            throughput_rps: ok as f64 / (wall_ms / 1e3),
+            wall_ms,
+        };
+        println!(
+            "| {} | {} | {} | {} | {:.1}% | {:.1} | {:.1} | {:.0} |",
+            row.clients,
+            row.requests,
+            row.ok,
+            row.shed,
+            100.0 * row.shed as f64 / row.requests as f64,
+            row.p50_us,
+            row.p99_us,
+            row.throughput_rps
+        );
+        rows.push(row);
+        drop(server);
+    }
+
+    // The load-shedding contract, self-checked: below the high-water
+    // mark nothing is shed; well past it the server must actually shed
+    // (16 closed-loop clients against workers + capacity = 6 admitted
+    // slots cannot all be admitted once service time dominates).
+    assert_eq!(rows[0].shed, 0, "a single closed-loop client never sheds");
+    let past_mark = rows.last().unwrap();
+    assert!(
+        past_mark.shed > 0,
+        "{} clients against {} admitted slots must shed",
+        past_mark.clients,
+        WORKERS + CAPACITY
+    );
+
+    println!(
+        "\nShape: closed-loop concurrency beyond workers + queue slots converts \
+         directly into sheds, not latency — the admitted-request percentiles grow \
+         with queue depth only, which is the entire point of admission control."
+    );
+    rows
+}
+
+/// Renders the T19 rows as the `--json` payload (hand-rolled: the
+/// workspace is offline, no serde).
+fn t19_json(rows: &[T19Row]) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"table\": \"T19\",\n");
+    out.push_str(&format!("  \"host_threads\": {host},\n"));
+    out.push_str("  \"workers\": 2,\n");
+    out.push_str("  \"queue_capacity\": 4,\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"requests\": {}, \"ok\": {}, \"shed\": {}, \
+             \"shed_rate\": {:.4}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"throughput_rps\": {:.1}, \"wall_ms\": {:.1}}}{}\n",
+            r.clients,
+            r.requests,
+            r.ok,
+            r.shed,
+            r.shed as f64 / r.requests as f64,
+            r.p50_us,
+            r.p99_us,
+            r.throughput_rps,
+            r.wall_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders the T18 rows as the `--json` payload (hand-rolled: the

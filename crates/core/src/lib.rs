@@ -47,7 +47,8 @@ pub use par::{eval_compiled_par, eval_query_par, outer_for_split, resolve_node_s
 pub use parser::{parse_query, QueryParseError};
 pub use plan::{ParPlan, ShardPlan};
 pub use semantics::{
-    boolean_result, eval_cond_with, eval_query, eval_with, Budget, Env, EvalStats, Threads, XqError,
+    boolean_result, eval_cond_with, eval_query, eval_with, Budget, CancelFlag, Env, EvalStats,
+    Threads, XqError,
 };
 pub use service::{QueryService, Request, ServeMode, ServiceError};
 pub use translate::{

@@ -170,7 +170,7 @@ fn eval_rows(
         for (v, &n) in vars.iter().zip(row) {
             env.bind(v.clone(), doc.subtree(n));
         }
-        let result = eval_with(body, &env, remaining);
+        let result = eval_with(body, &env, remaining.clone());
         for _ in vars {
             env.pop();
         }
@@ -257,7 +257,7 @@ impl Exec<'_> {
                 for (v, t) in &self.hoisted {
                     env.bind(v.clone(), t.clone());
                 }
-                let (out, stats) = eval_with(q, &env, self.budget)?;
+                let (out, stats) = eval_with(q, &env, self.budget.clone())?;
                 self.stats.steps += stats.steps;
                 self.stats.items += stats.items;
                 Ok(out)
@@ -269,7 +269,7 @@ impl Exec<'_> {
         let rows: Vec<&[NodeId]> = sp.rows().collect();
         let parts = chunks(&rows, self.threads);
         self.stats.workers = self.stats.workers.max(parts.len());
-        let (doc, budget) = (self.doc, self.budget);
+        let (doc, budget) = (self.doc, self.budget.clone());
         let (vars, body) = (sp.vars(), sp.body());
         let (root, hoisted) = (self.root.as_ref(), self.hoisted.as_slice());
         if parts.len() <= 1 {
@@ -288,6 +288,9 @@ impl Exec<'_> {
             let handles: Vec<_> = parts
                 .iter()
                 .map(|chunk| {
+                    // Clones share the cancel flag: one cancellation (or
+                    // deadline) aborts every worker of this request.
+                    let budget = budget.clone();
                     scope.spawn(move || eval_chunk(doc, vars, body, chunk, budget, root, hoisted))
                 })
                 .collect();
@@ -325,7 +328,7 @@ pub fn eval_query_par(
     }
     // Reuse whatever root build the planner's filter predicates already
     // made — on both the parallel and the fallback path.
-    let (plan, planner_root) = ParPlan::of_with_root_cache(q, doc, budget, None);
+    let (plan, planner_root) = ParPlan::of_with_root_cache(q, doc, budget.clone(), None);
     if !plan.engages() {
         return eval_seq(q, doc, budget, threads, planner_root);
     }
@@ -349,7 +352,8 @@ pub fn eval_compiled_par(
     if threads <= 1 || !plan.par_hint() {
         return exec_seq(plan, doc, budget, threads, None);
     }
-    let (par_plan, planner_root) = ParPlan::of_with_root_cache(plan.query(), doc, budget, None);
+    let (par_plan, planner_root) =
+        ParPlan::of_with_root_cache(plan.query(), doc, budget.clone(), None);
     if !par_plan.engages() {
         return exec_seq(plan, doc, budget, threads, planner_root);
     }
@@ -575,9 +579,10 @@ mod tests {
             max_items: 10_000,
             ..Budget::default()
         };
-        assert!(eval_with(&q, &Env::with_root(doc.to_tree()), tight).is_ok());
+        assert!(eval_with(&q, &Env::with_root(doc.to_tree()), tight.clone()).is_ok());
         for threads in [2usize, 4] {
-            assert!(eval_query_par(&q, &doc, tight.with_threads(Threads::N(threads))).is_ok());
+            let b = tight.clone().with_threads(Threads::N(threads));
+            assert!(eval_query_par(&q, &doc, b).is_ok());
         }
     }
 
@@ -599,9 +604,10 @@ mod tests {
             max_steps: per_item.steps,
             max_items: u64::MAX,
             threads: Threads::N(2),
+            ..Budget::default()
         };
         for _ in 0..3 {
-            let got = eval_query_par(&q, &doc, exact);
+            let got = eval_query_par(&q, &doc, exact.clone());
             assert!(
                 matches!(got, Err(XqError::Budget { which: "steps" })),
                 "exact exhaustion must error deterministically, got {got:?}"

@@ -375,7 +375,7 @@ impl<'d> Planner<'d> {
         let mut out = Vec::new();
         for n in candidates {
             tree_env.bind(w.clone(), self.doc.subtree(n));
-            let verdict = eval_cond_with_stats(cond, &tree_env, self.remaining);
+            let verdict = eval_cond_with_stats(cond, &tree_env, self.remaining.clone());
             tree_env.pop();
             match verdict {
                 Ok((pass, stats)) => {

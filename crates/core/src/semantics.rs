@@ -13,6 +13,9 @@
 use crate::ast::{Cond, EqMode, Query, Var};
 use cv_xtree::Tree;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How many worker threads the data-parallel entry points
 /// ([`crate::par::eval_query_par`] and friends) may use. The sequential
@@ -50,6 +53,93 @@ impl Threads {
     }
 }
 
+/// A shared cooperative cancellation flag.
+///
+/// Clone it into a [`Budget`] (the clone shares state) and keep one copy:
+/// calling [`CancelFlag::cancel`] from any thread makes every engine
+/// holding that budget — the Figure 1 interpreter, the bytecode VM, and
+/// all parallel workers they spawn — fail with [`XqError::Cancelled`] at
+/// its **next budget tick**, the `step()` charge both engines make at
+/// every `tick.q`/`tick.c` site. Cancellation latency is therefore one
+/// budget-tick granularity, and since the VM is tick-exact to the
+/// interpreter (`vm_diff`), a cancellation observed at tick `k` aborts
+/// both engines at the same evaluation point (`cancel_diff` pins this).
+///
+/// The network front door (`xq_server`) attaches one flag per in-flight
+/// request: an explicit cancel frame or a client disconnect sets it, and
+/// the evaluation unwinds mid-query instead of running to completion.
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// 0 on production flags (polls are not counted — parallel workers
+    /// share the flag and a `fetch_add` per tick would put a contended
+    /// cache line in the innermost loop). Nonzero enables the counting
+    /// device below for the differential suites.
+    trip_at: AtomicU64,
+    polls: AtomicU64,
+}
+
+impl CancelFlag {
+    /// A fresh, unset flag (the production constructor: polling it costs
+    /// two relaxed atomic loads per budget tick).
+    pub fn new() -> CancelFlag {
+        CancelFlag::default()
+    }
+
+    /// A flag that counts its polls and trips itself on poll number `n`
+    /// (1-based) — the deterministic cancel-at-tick-`k` device of the
+    /// `cancel_diff` suite. Real clients set the flag asynchronously with
+    /// [`CancelFlag::cancel`] instead; this device exists so tests can pin
+    /// *exactly which tick* observes the cancellation, single-threaded.
+    pub fn tripping_at(n: u64) -> CancelFlag {
+        let flag = CancelFlag::new();
+        flag.inner.trip_at.store(n.max(1), Ordering::Relaxed);
+        flag
+    }
+
+    /// A flag that counts its polls but never trips — attach it to a run
+    /// to observe how many budget ticks polled it (the "same evaluation
+    /// point" witness in `cancel_diff`).
+    pub fn counting() -> CancelFlag {
+        CancelFlag::tripping_at(u64::MAX)
+    }
+
+    /// Requests cancellation: every evaluation holding a budget with this
+    /// flag fails at its next budget tick.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested (an observer read — does
+    /// not count as a poll).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Polls observed so far (0 unless built by [`CancelFlag::counting`]
+    /// or [`CancelFlag::tripping_at`]).
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.load(Ordering::Relaxed)
+    }
+
+    /// The engine-side check, called once per budget tick.
+    pub(crate) fn poll(&self) -> bool {
+        let trip_at = self.inner.trip_at.load(Ordering::Relaxed);
+        if trip_at != 0 {
+            let polls = self.inner.polls.fetch_add(1, Ordering::Relaxed) + 1;
+            if polls >= trip_at {
+                self.cancel();
+            }
+        }
+        self.is_cancelled()
+    }
+}
+
 /// Resource limits for one evaluation.
 ///
 /// **Zero is never "unlimited".** `max_steps: 0` permits no evaluation
@@ -59,7 +149,13 @@ impl Threads {
 /// so a worker that *exactly* exhausts its cap mid-chunk continues with a
 /// cap of 0 and fails deterministically on the next item — audited here
 /// and regression-tested in `par::tests` and below.
-#[derive(Clone, Copy, Debug)]
+///
+/// The same "zero means nothing" discipline covers the serving fields: a
+/// [`CancelFlag`] that is already set or a [`Budget::deadline`] already in
+/// the past rejects at the **first** budget tick, before any evaluation
+/// work — never "ignored because evaluation just started" (regression-
+/// tested below, mirroring the zero-cap contract).
+#[derive(Clone, Debug)]
 pub struct Budget {
     /// Maximum number of evaluation steps. 0 forbids any step.
     pub max_steps: u64,
@@ -70,6 +166,16 @@ pub struct Budget {
     /// the step/item caps independently for its chunk, so a query that
     /// fits the budget sequentially always fits it in parallel.
     pub threads: Threads,
+    /// Cooperative cancellation: when set, both engines poll the flag at
+    /// every budget tick and abort with [`XqError::Cancelled`]. Budget
+    /// clones share the flag, so all parallel workers of one request
+    /// observe one cancellation. `None` (the default) costs nothing.
+    pub cancel: Option<CancelFlag>,
+    /// Absolute deadline: when set, both engines compare it against the
+    /// monotonic clock at every budget tick and abort with
+    /// [`XqError::DeadlineExceeded`] once passed. `None` (the default)
+    /// never reads the clock.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for Budget {
@@ -78,6 +184,8 @@ impl Default for Budget {
             max_steps: 20_000_000,
             max_items: 10_000_000,
             threads: Threads::One,
+            cancel: None,
+            deadline: None,
         }
     }
 }
@@ -86,6 +194,87 @@ impl Budget {
     /// This budget with the given thread knob.
     pub fn with_threads(self, threads: Threads) -> Budget {
         Budget { threads, ..self }
+    }
+
+    /// This budget observing the given cancellation flag (cloning the
+    /// budget shares the flag).
+    pub fn with_cancel(self, flag: CancelFlag) -> Budget {
+        Budget {
+            cancel: Some(flag),
+            ..self
+        }
+    }
+
+    /// This budget with an absolute deadline.
+    pub fn with_deadline(self, deadline: Instant) -> Budget {
+        Budget {
+            deadline: Some(deadline),
+            ..self
+        }
+    }
+
+    /// This budget with a deadline `timeout` from now.
+    pub fn with_deadline_in(self, timeout: Duration) -> Budget {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// The admission-time check: fails fast if the budget could never
+    /// admit a first tick — the cancel flag is already set, the deadline
+    /// already passed, or the step cap is 0. Evaluating such a budget
+    /// fails identically at tick 1; front doors call this *before*
+    /// parsing or queueing so doomed requests are rejected without
+    /// consuming pool capacity.
+    pub fn preflight(&self) -> Result<(), XqError> {
+        if let Some(flag) = &self.cancel {
+            if flag.is_cancelled() {
+                return Err(XqError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(XqError::DeadlineExceeded);
+            }
+        }
+        if self.max_steps == 0 {
+            return Err(XqError::Budget { which: "steps" });
+        }
+        Ok(())
+    }
+
+    /// Charges one evaluation step (the `tick.q`/`tick.c` budget-tick
+    /// site): polls the cancel flag, then the deadline, then the step
+    /// cap — in that order, so a cancelled *and* exhausted run reports
+    /// [`XqError::Cancelled`] deterministically. `steps` is the counter
+    /// value *after* the increment. Both engines route every tick through
+    /// here, which is what makes cancellation engine-agnostic.
+    #[inline]
+    pub(crate) fn charge_step(&self, steps: u64) -> Result<(), XqError> {
+        if let Some(flag) = &self.cancel {
+            if flag.poll() {
+                return Err(XqError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(XqError::DeadlineExceeded);
+            }
+        }
+        if steps > self.max_steps {
+            return Err(XqError::Budget { which: "steps" });
+        }
+        Ok(())
+    }
+
+    /// Charges one emitted result item. Items do not poll the cancel
+    /// flag — every emission is adjacent to a step tick, and keeping
+    /// polls == steps gives `cancel_diff` an exact evaluation-point
+    /// witness.
+    #[inline]
+    pub(crate) fn charge_item(&self, items: u64) -> Result<(), XqError> {
+        if items > self.max_items {
+            return Err(XqError::Budget { which: "items" });
+        }
+        Ok(())
     }
 }
 
@@ -112,6 +301,12 @@ pub enum XqError {
         /// `"steps"` or `"items"`.
         which: &'static str,
     },
+    /// The run's [`CancelFlag`] was set (client disconnect, explicit
+    /// cancel frame, shutdown) and a budget tick observed it.
+    Cancelled,
+    /// The run's [`Budget::deadline`] passed and a budget tick observed
+    /// it.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for XqError {
@@ -120,6 +315,8 @@ impl std::fmt::Display for XqError {
             XqError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
             XqError::BadEqualityMode => f.write_str("=mon is not an XQuery equality"),
             XqError::Budget { which } => write!(f, "budget exhausted ({which})"),
+            XqError::Cancelled => f.write_str("evaluation cancelled"),
+            XqError::DeadlineExceeded => f.write_str("deadline exceeded"),
         }
     }
 }
@@ -204,17 +401,12 @@ struct Interp {
 impl Interp {
     fn step(&mut self) -> Result<(), XqError> {
         self.stats.steps += 1;
-        if self.stats.steps > self.budget.max_steps {
-            return Err(XqError::Budget { which: "steps" });
-        }
-        Ok(())
+        self.budget.charge_step(self.stats.steps)
     }
 
     fn emit(&mut self, out: &mut Vec<Tree>, t: Tree) -> Result<(), XqError> {
         self.stats.items += 1;
-        if self.stats.items > self.budget.max_items {
-            return Err(XqError::Budget { which: "items" });
-        }
+        self.budget.charge_item(self.stats.items)?;
         out.push(t);
         Ok(())
     }
@@ -632,6 +824,67 @@ mod tests {
         };
         let r = eval_with(&Query::leaf("a"), &Env::with_root(t("<a/>")), zero_items);
         assert!(matches!(r, Err(XqError::Budget { which: "items" })));
+    }
+
+    #[test]
+    fn preset_cancel_flag_rejects_the_first_tick() {
+        // The zero-cap contract extended to the new fields: a flag that is
+        // already set when evaluation starts must abort at the very first
+        // tick, even on `Query::Empty` — never "run a bit, then notice".
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let b = Budget::default().with_cancel(flag);
+        let r = eval_with(&Query::Empty, &Env::with_root(t("<a/>")), b.clone());
+        assert!(matches!(r, Err(XqError::Cancelled)));
+        // And the VM-shared charge path agrees before any work happens.
+        assert!(matches!(b.preflight(), Err(XqError::Cancelled)));
+    }
+
+    #[test]
+    fn past_deadline_rejects_the_first_tick() {
+        let long_ago = Instant::now() - Duration::from_secs(1);
+        let b = Budget::default().with_deadline(long_ago);
+        let r = eval_with(&Query::Empty, &Env::with_root(t("<a/>")), b.clone());
+        assert!(matches!(r, Err(XqError::DeadlineExceeded)));
+        assert!(matches!(b.preflight(), Err(XqError::DeadlineExceeded)));
+    }
+
+    #[test]
+    fn preflight_rejects_zero_steps_like_evaluation_does() {
+        // The front door uses preflight() to shed doomed requests before
+        // queuing them; it must agree with the evaluator's zero-cap rule.
+        let b = Budget {
+            max_steps: 0,
+            ..Budget::default()
+        };
+        assert!(matches!(
+            b.preflight(),
+            Err(XqError::Budget { which: "steps" })
+        ));
+        assert!(Budget::default().preflight().is_ok());
+    }
+
+    #[test]
+    fn tripping_flag_cancels_at_the_exact_tick_with_a_polls_witness() {
+        // The determinism device cancel_diff builds on: a flag armed to
+        // trip at poll n cancels exactly at tick n, and `polls()` reports
+        // where evaluation stopped.
+        let q = Query::for_in("x", Query::child_any(Query::var("root")), Query::var("x"));
+        let env = Env::with_root(t("<r><a/><b/><c/></r>"));
+        let (_, full) = eval_with(&q, &env, Budget::default()).unwrap();
+        assert!(full.steps > 2);
+        let k = full.steps / 2;
+        let flag = CancelFlag::tripping_at(k);
+        let r = eval_with(&q, &env, Budget::default().with_cancel(flag.clone()));
+        assert!(matches!(r, Err(XqError::Cancelled)));
+        assert_eq!(flag.polls(), k, "cancelled at exactly tick k");
+        // A counting flag that never trips leaves the run untouched and
+        // witnesses one poll per step.
+        let counting = CancelFlag::counting();
+        let (_, stats) =
+            eval_with(&q, &env, Budget::default().with_cancel(counting.clone())).unwrap();
+        assert_eq!(stats.steps, full.steps);
+        assert_eq!(counting.polls(), full.steps);
     }
 
     #[test]

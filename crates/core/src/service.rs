@@ -22,11 +22,12 @@
 //! identity, so serving many queries against the same hot document pays
 //! the arena → tree conversion once per worker, not once per request.
 
-use crate::semantics::{eval_with, Budget, Env};
+use crate::semantics::{eval_with, Budget, Env, XqError};
 use crate::vm::PlanCache;
 use crate::Query;
 use cv_xtree::{ArenaDoc, Tree};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -68,6 +69,30 @@ pub enum ServiceError {
     Parse(String),
     /// Evaluation failed (unbound variable, budget exhaustion, …).
     Eval(String),
+    /// Shed at admission: the bounded queue was at its high-water mark.
+    /// The request was never queued and consumed no evaluation work.
+    Overloaded,
+    /// The request's [`CancelFlag`](crate::CancelFlag) was set — either
+    /// before evaluation started (preflight) or mid-evaluation at a
+    /// budget tick.
+    Cancelled,
+    /// The request's deadline passed — before evaluation started
+    /// (preflight) or mid-evaluation at a budget tick.
+    DeadlineExceeded,
+}
+
+impl ServiceError {
+    /// Maps an evaluation error to the service vocabulary: cancellation
+    /// and deadline expiry keep their identity (the front door answers
+    /// them with distinct protocol codes); everything else renders as a
+    /// generic evaluation failure.
+    pub fn from_eval(e: &XqError) -> ServiceError {
+        match e {
+            XqError::Cancelled => ServiceError::Cancelled,
+            XqError::DeadlineExceeded => ServiceError::DeadlineExceeded,
+            other => ServiceError::Eval(other.to_string()),
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -75,6 +100,9 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Parse(m) => write!(f, "parse error: {m}"),
             ServiceError::Eval(m) => write!(f, "evaluation error: {m}"),
+            ServiceError::Overloaded => write!(f, "overloaded"),
+            ServiceError::Cancelled => write!(f, "evaluation cancelled"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -99,6 +127,12 @@ pub enum ServeMode {
 struct Job {
     index: usize,
     request: Request,
+    /// The submitting batch's reply channel. Per-batch channels (rather
+    /// than one shared receiver) are what make [`QueryService::run_batch`]
+    /// take `&self`: any number of callers — one per TCP connection, say —
+    /// can have batches in flight on the same pool concurrently, each
+    /// collecting exactly its own replies.
+    reply: Sender<Reply>,
 }
 
 type Reply = (usize, Result<String, ServiceError>);
@@ -107,8 +141,15 @@ type Reply = (usize, Result<String, ServiceError>);
 /// the module docs for the data flow.
 pub struct QueryService {
     jobs: Option<Sender<Job>>,
-    replies: Receiver<Reply>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs accepted but not yet picked up by a worker. Admission
+    /// control compare-and-swaps against this gauge.
+    queued: Arc<AtomicUsize>,
+    /// Jobs a worker is currently evaluating.
+    in_flight: Arc<AtomicUsize>,
+    /// High-water mark for [`QueryService::try_run_batch`]: requests
+    /// arriving while `queued` ≥ capacity are shed.
+    queue_capacity: usize,
 }
 
 /// How many materialized documents each worker keeps (eviction is a full
@@ -145,6 +186,13 @@ fn serve(
     cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tree)>,
     mode: ServeMode,
 ) -> Result<String, ServiceError> {
+    // A request that is already doomed — pre-set cancel flag, expired
+    // deadline, zero step cap — is rejected before any evaluation
+    // starts (the zero-cap contract extended to the new Budget fields).
+    request
+        .budget
+        .preflight()
+        .map_err(|e| ServiceError::from_eval(&e))?;
     match mode {
         ServeMode::Interp => serve_interp(request, cache),
         ServeMode::CachedVm => serve_cached_vm(request, cache),
@@ -167,8 +215,12 @@ fn serve_cached_vm(
     if threads > 1 && plan.par_hint() {
         let key = Arc::as_ptr(&request.doc) as usize;
         let seed = cache.get(&key).map(|(_, t)| t.clone());
-        let (par_plan, planner_root) =
-            crate::ParPlan::of_with_root_cache(plan.query(), &request.doc, request.budget, seed);
+        let (par_plan, planner_root) = crate::ParPlan::of_with_root_cache(
+            plan.query(),
+            &request.doc,
+            request.budget.clone(),
+            seed,
+        );
         if let Some(t) = &planner_root {
             let _ = cached_tree_or(request, cache, || t.clone());
         }
@@ -178,15 +230,20 @@ fn serve_cached_vm(
                 None if par_plan.needs_root() => Some(cached_tree(request, cache)),
                 None => None,
             };
-            let (out, _) =
-                crate::par::eval_plan(&par_plan, &request.doc, request.budget, threads, root)
-                    .map_err(|e| ServiceError::Eval(e.to_string()))?;
+            let (out, _) = crate::par::eval_plan(
+                &par_plan,
+                &request.doc,
+                request.budget.clone(),
+                threads,
+                root,
+            )
+            .map_err(|e| ServiceError::from_eval(&e))?;
             return Ok(out.iter().map(Tree::to_xml).collect());
         }
     }
     let tree = cached_tree(request, cache);
-    let (out, _) = crate::vm::exec_with(&plan, &Env::with_root(tree), request.budget)
-        .map_err(|e| ServiceError::Eval(e.to_string()))?;
+    let (out, _) = crate::vm::exec_with(&plan, &Env::with_root(tree), request.budget.clone())
+        .map_err(|e| ServiceError::from_eval(&e))?;
     Ok(out.iter().map(Tree::to_xml).collect())
 }
 
@@ -213,7 +270,7 @@ fn serve_interp(
         let key = Arc::as_ptr(&request.doc) as usize;
         let seed = cache.get(&key).map(|(_, t)| t.clone());
         let (plan, planner_root) =
-            crate::ParPlan::of_with_root_cache(&query, &request.doc, request.budget, seed);
+            crate::ParPlan::of_with_root_cache(&query, &request.doc, request.budget.clone(), seed);
         if let Some(t) = &planner_root {
             let _ = cached_tree_or(request, cache, || t.clone());
         }
@@ -226,14 +283,14 @@ fn serve_interp(
                 None => None,
             };
             let (out, _) =
-                crate::par::eval_plan(&plan, &request.doc, request.budget, threads, root)
-                    .map_err(|e| ServiceError::Eval(e.to_string()))?;
+                crate::par::eval_plan(&plan, &request.doc, request.budget.clone(), threads, root)
+                    .map_err(|e| ServiceError::from_eval(&e))?;
             return Ok(out.iter().map(Tree::to_xml).collect());
         }
     }
     let tree = cached_tree(request, cache);
-    let (out, _) = eval_with(&query, &Env::with_root(tree), request.budget)
-        .map_err(|e| ServiceError::Eval(e.to_string()))?;
+    let (out, _) = eval_with(&query, &Env::with_root(tree), request.budget.clone())
+        .map_err(|e| ServiceError::from_eval(&e))?;
     Ok(out.iter().map(Tree::to_xml).collect())
 }
 
@@ -248,12 +305,14 @@ impl QueryService {
     pub fn with_mode(workers: usize, mode: ServeMode) -> QueryService {
         let workers = workers.max(1);
         let (jobs_tx, jobs_rx) = channel::<Job>();
-        let (replies_tx, replies_rx) = channel::<Reply>();
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let queued = Arc::new(AtomicUsize::new(0));
+        let in_flight = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|_| {
                 let jobs_rx = Arc::clone(&jobs_rx);
-                let replies_tx = replies_tx.clone();
+                let queued = Arc::clone(&queued);
+                let in_flight = Arc::clone(&in_flight);
                 std::thread::spawn(move || {
                     let mut cache = HashMap::new();
                     loop {
@@ -263,19 +322,33 @@ impl QueryService {
                             Ok(job) => job,
                             Err(_) => break, // service dropped: shut down
                         };
+                        queued.fetch_sub(1, Ordering::SeqCst);
+                        in_flight.fetch_add(1, Ordering::SeqCst);
                         let result = serve(&job.request, &mut cache, mode);
-                        if replies_tx.send((job.index, result)).is_err() {
-                            break;
-                        }
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        // The batch may have given up (its collector hung
+                        // up); losing that reply is the batch's business.
+                        let _ = job.reply.send((job.index, result));
                     }
                 })
             })
             .collect();
         QueryService {
             jobs: Some(jobs_tx),
-            replies: replies_rx,
             workers: handles,
+            queued,
+            in_flight,
+            queue_capacity: usize::MAX,
         }
+    }
+
+    /// Sets the admission high-water mark: [`QueryService::try_run_batch`]
+    /// sheds any request arriving while the accepted-but-unserved queue
+    /// holds `capacity` jobs. `run_batch` ignores the mark (it always
+    /// admits). The default is effectively unbounded.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> QueryService {
+        self.queue_capacity = capacity;
+        self
     }
 
     /// Number of worker threads in the pool.
@@ -283,18 +356,90 @@ impl QueryService {
         self.workers.len()
     }
 
+    /// Jobs accepted but not yet picked up by a worker, right now.
+    pub fn queue_depth(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    /// Jobs being evaluated by a worker, right now.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// The admission high-water mark (`usize::MAX` when unbounded).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Atomically claims a queue slot: increments `queued` unless it is
+    /// already at the high-water mark. This is the entire shedding
+    /// decision — one compare-and-swap, no lock, so concurrent
+    /// connections can never overshoot the mark.
+    fn admit(&self) -> bool {
+        self.queued
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |q| {
+                (q < self.queue_capacity).then_some(q + 1)
+            })
+            .is_ok()
+    }
+
     /// Runs a batch: fans the requests out over the pool and returns the
     /// results in submission order (failures stay positional — one bad
-    /// request never poisons its batch).
-    pub fn run_batch(&mut self, requests: Vec<Request>) -> Vec<Result<String, ServiceError>> {
+    /// request never poisons its batch). Always admits, ignoring the
+    /// queue capacity; use [`QueryService::try_run_batch`] at the front
+    /// door. Takes `&self`: batches from different threads interleave on
+    /// the pool, each collecting its own replies.
+    pub fn run_batch(&self, requests: Vec<Request>) -> Vec<Result<String, ServiceError>> {
         let n = requests.len();
         let jobs = self.jobs.as_ref().expect("service not shut down");
+        let (reply_tx, reply_rx) = channel::<Reply>();
         for (index, request) in requests.into_iter().enumerate() {
-            jobs.send(Job { index, request }).expect("workers alive");
+            self.queued.fetch_add(1, Ordering::SeqCst);
+            jobs.send(Job {
+                index,
+                request,
+                reply: reply_tx.clone(),
+            })
+            .expect("workers alive");
         }
-        let mut out: Vec<Option<Result<String, ServiceError>>> = vec![None; n];
-        for _ in 0..n {
-            let (index, result) = self.replies.recv().expect("workers alive");
+        drop(reply_tx);
+        Self::collect(reply_rx, vec![None; n])
+    }
+
+    /// [`QueryService::run_batch`] with admission control: each request
+    /// is individually admitted or shed. A shed request is answered
+    /// `Err(Overloaded)` in place — still positional, still in
+    /// submission order — without ever touching the queue or a worker.
+    pub fn try_run_batch(&self, requests: Vec<Request>) -> Vec<Result<String, ServiceError>> {
+        let jobs = self.jobs.as_ref().expect("service not shut down");
+        let (reply_tx, reply_rx) = channel::<Reply>();
+        let mut out: Vec<Option<Result<String, ServiceError>>> = vec![None; requests.len()];
+        for (index, request) in requests.into_iter().enumerate() {
+            if self.admit() {
+                jobs.send(Job {
+                    index,
+                    request,
+                    reply: reply_tx.clone(),
+                })
+                .expect("workers alive");
+            } else {
+                out[index] = Some(Err(ServiceError::Overloaded));
+            }
+        }
+        drop(reply_tx);
+        Self::collect(reply_rx, out)
+    }
+
+    /// Fills the unanswered slots of `out` from the batch's private reply
+    /// channel. The channel yields exactly one reply per submitted job
+    /// (workers hold the only senders and send exactly once), so this
+    /// terminates when every sender is dropped — no counting, no timeout.
+    fn collect(
+        reply_rx: Receiver<Reply>,
+        mut out: Vec<Option<Result<String, ServiceError>>>,
+    ) -> Vec<Result<String, ServiceError>> {
+        while let Ok((index, result)) = reply_rx.recv() {
+            debug_assert!(out[index].is_none(), "one reply per job");
             out[index] = Some(result);
         }
         out.into_iter()
@@ -340,7 +485,7 @@ mod tests {
             "$root/*",
             "<out>{ for $x in $root/* return if ($x =atomic <k/>) then $x }</out>",
         ];
-        let mut service = QueryService::new(4);
+        let service = QueryService::new(4);
         assert_eq!(service.workers(), 4);
         let requests: Vec<Request> = docs
             .iter()
@@ -366,7 +511,7 @@ mod tests {
     #[test]
     fn failures_stay_positional() {
         let docs = corpus();
-        let mut service = QueryService::new(2);
+        let service = QueryService::new(2);
         let got = service.run_batch(vec![
             Request::new("$root", docs[0].clone()),
             Request::new("for $x in", docs[0].clone()), // parse error
@@ -392,7 +537,7 @@ mod tests {
             max_items: 50,
             ..Budget::default()
         };
-        let mut service = QueryService::new(2);
+        let service = QueryService::new(2);
         let got = service.run_batch(vec![tight]);
         assert!(matches!(got[0], Err(ServiceError::Eval(_))));
     }
@@ -409,7 +554,7 @@ mod tests {
             // the cached-tree route and must still serve identical bytes.
             "$root/*",
         ];
-        let mut service = QueryService::new(2);
+        let service = QueryService::new(2);
         let make = |threads: Threads| -> Vec<Request> {
             docs.iter()
                 .flat_map(|d| {
@@ -437,7 +582,7 @@ mod tests {
         let text = "for $svc_once in $root/* return <compiled_once>{ $svc_once }</compiled_once>";
         assert_eq!(crate::PlanCache::global().compile_count(text), 0);
         let docs = corpus();
-        let mut service = QueryService::new(4);
+        let service = QueryService::new(4);
         let requests: Vec<Request> = (0..32)
             .map(|i| Request::new(text, docs[i % docs.len()].clone()))
             .collect();
@@ -472,8 +617,8 @@ mod tests {
                 })
                 .collect()
         };
-        let mut interp = QueryService::with_mode(2, ServeMode::Interp);
-        let mut vm = QueryService::with_mode(2, ServeMode::CachedVm);
+        let interp = QueryService::with_mode(2, ServeMode::Interp);
+        let vm = QueryService::with_mode(2, ServeMode::CachedVm);
         for threads in [Threads::One, Threads::N(4)] {
             let want = interp.run_batch(make(threads));
             let got = vm.run_batch(make(threads));
@@ -482,9 +627,85 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_sheds_everything_and_run_batch_still_admits() {
+        let docs = corpus();
+        let service = QueryService::new(2).with_queue_capacity(0);
+        assert_eq!(service.queue_capacity(), 0);
+        let make = || {
+            vec![
+                Request::new("$root/*", docs[0].clone()),
+                Request::new("<ok/>", docs[1].clone()),
+            ]
+        };
+        // try_run_batch: every request shed at admission, positionally.
+        let got = service.try_run_batch(make());
+        assert_eq!(got, vec![Err(ServiceError::Overloaded); 2]);
+        assert_eq!(service.queue_depth(), 0, "shed requests never queue");
+        // run_batch bypasses admission — same pool still serves.
+        let got = service.run_batch(make());
+        assert!(got.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn doomed_requests_are_rejected_before_evaluation() {
+        use crate::CancelFlag;
+        use std::time::{Duration, Instant};
+        let docs = corpus();
+        let service = QueryService::new(2);
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let mut cancelled = Request::new("$root/*", docs[0].clone());
+        cancelled.budget = cancelled.budget.with_cancel(flag);
+        let mut expired = Request::new("$root/*", docs[0].clone());
+        expired.budget = expired
+            .budget
+            .with_deadline(Instant::now() - Duration::from_secs(1));
+        let got = service.run_batch(vec![cancelled, expired]);
+        assert_eq!(got[0], Err(ServiceError::Cancelled));
+        assert_eq!(got[1], Err(ServiceError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn concurrent_batches_share_the_pool() {
+        // The &self contract: batches submitted from different threads
+        // interleave on one pool, and each collects exactly its own
+        // replies (per-batch channels — no cross-batch bleed).
+        let docs = corpus();
+        let service = QueryService::new(2);
+        let want: Vec<String> = docs
+            .iter()
+            .map(|d| {
+                eval_query(&crate::parse_query("$root/*").unwrap(), &d.to_tree())
+                    .unwrap()
+                    .iter()
+                    .map(Tree::to_xml)
+                    .collect()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        let reqs: Vec<Request> = docs
+                            .iter()
+                            .map(|d| Request::new("$root/*", d.clone()))
+                            .collect();
+                        let got = service.run_batch(reqs);
+                        for (g, w) in got.iter().zip(&want) {
+                            assert_eq!(g.as_ref().expect("request succeeds"), w);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(service.queue_depth(), 0);
+        assert_eq!(service.in_flight(), 0);
+    }
+
+    #[test]
     fn reusable_across_batches() {
         let docs = corpus();
-        let mut service = QueryService::new(3);
+        let service = QueryService::new(3);
         for _ in 0..3 {
             let got = service.run_batch(vec![
                 Request::new("$root/*", docs[0].clone()),

@@ -70,17 +70,15 @@ struct Machine<'e> {
 impl Machine<'_> {
     fn step(&mut self) -> Result<(), XqError> {
         self.stats.steps += 1;
-        if self.stats.steps > self.budget.max_steps {
-            return Err(XqError::Budget { which: "steps" });
-        }
-        Ok(())
+        // One shared charge path with the interpreter (cancel flag, then
+        // deadline, then step cap) — cancellation is engine-agnostic
+        // because both engines observe it at the same tick sites.
+        self.budget.charge_step(self.stats.steps)
     }
 
     fn emit(&mut self, out: &mut Vec<Tree>, t: Tree) -> Result<(), XqError> {
         self.stats.items += 1;
-        if self.stats.items > self.budget.max_items {
-            return Err(XqError::Budget { which: "items" });
-        }
+        self.budget.charge_item(self.stats.items)?;
         out.push(t);
         Ok(())
     }
@@ -288,7 +286,7 @@ mod tests {
         let q = parse_query(src).unwrap();
         let t = parse_tree(doc).unwrap();
         let env = Env::with_root(t);
-        let want = eval_with(&q, &env, budget);
+        let want = eval_with(&q, &env, budget.clone());
         let got = exec_with(&compile_query(&q), &env, budget);
         match (&want, &got) {
             (Ok((wt, ws)), Ok((gt, gs))) => {

@@ -440,7 +440,7 @@ fn query_service_agrees_with_reference() {
         "<out>{ for $x in $root/* return if ($x =atomic <k/>) then $x }</out>",
         "$root/*",
     ];
-    let mut service = xq_core::QueryService::new(4);
+    let service = xq_core::QueryService::new(4);
     let requests: Vec<xq_core::Request> = arenas
         .iter()
         .flat_map(|d| queries.iter().map(|q| xq_core::Request::new(q, d.clone())))

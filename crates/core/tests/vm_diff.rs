@@ -79,7 +79,7 @@ fn bytes(trees: &[Tree]) -> Vec<u8> {
 /// Runs both engines under `budget` and demands *identical* outcomes:
 /// same bytes, same counters, or the same error.
 fn assert_engines_identical(q: &Query, env: &Env, budget: Budget, ctx: &str) {
-    let want = eval_with(q, env, budget);
+    let want = eval_with(q, env, budget.clone());
     let plan = compile_query(q);
     let got = exec_with(&plan, env, budget);
     match (&want, &got) {
@@ -106,7 +106,7 @@ fn assert_vm_agrees(q: &Query, doc: &Tree, cache: &PlanCache) {
     let budget = Budget::default();
 
     // Cold plan, full budget.
-    assert_engines_identical(q, &env, budget, "cold");
+    assert_engines_identical(q, &env, budget.clone(), "cold");
 
     // Warm cache hit: keyed by the query's surface text (the round-trip
     // test below guarantees this is faithful); the second probe must be
@@ -116,8 +116,8 @@ fn assert_vm_agrees(q: &Query, doc: &Tree, cache: &PlanCache) {
     let p2 = cache.get_or_compile(&src).expect("corpus text parses");
     assert!(Arc::ptr_eq(&p1, &p2), "warm hit must reuse the plan: {src}");
     assert_eq!(p1.query(), q, "cached plan compiles the same query: {src}");
-    let want = eval_with(q, &env, budget);
-    let got = exec_with(&p1, &env, budget);
+    let want = eval_with(q, &env, budget.clone());
+    let got = exec_with(&p1, &env, budget.clone());
     match (&want, &got) {
         (Ok((wt, ws)), Ok((gt, gs))) => {
             assert_eq!(bytes(gt), bytes(wt), "warm: result bytes for {q}");
@@ -134,12 +134,12 @@ fn assert_vm_agrees(q: &Query, doc: &Tree, cache: &PlanCache) {
     // Budget exhaustion at the same point: tighten each cap to fractions
     // of the full run's spend (plus the 0 and 1 edges) and demand the
     // identical Err(Budget)/Ok outcome from both engines.
-    if let Ok((_, full)) = eval_with(q, &env, budget) {
+    if let Ok((_, full)) = eval_with(q, &env, budget.clone()) {
         let step_caps = [0, 1, full.steps / 2, full.steps.saturating_sub(1)];
         for cap in step_caps {
             let b = Budget {
                 max_steps: cap,
-                ..budget
+                ..budget.clone()
             };
             assert_engines_identical(q, &env, b, "step-cap");
         }
@@ -147,7 +147,7 @@ fn assert_vm_agrees(q: &Query, doc: &Tree, cache: &PlanCache) {
         for cap in item_caps {
             let b = Budget {
                 max_items: cap,
-                ..budget
+                ..budget.clone()
             };
             assert_engines_identical(q, &env, b, "item-cap");
         }
@@ -189,7 +189,7 @@ fn par_hint_is_sound_for_the_planner() {
     for doc in &docs() {
         let arena = ArenaDoc::from_tree(doc);
         for q in corpus() {
-            let plan = ParPlan::of(&q, &arena, budget);
+            let plan = ParPlan::of(&q, &arena, budget.clone());
             if plan.engages() {
                 assert!(
                     par_hint(&q),
@@ -223,7 +223,7 @@ fn compiled_parallel_matches_interpreted_parallel() {
             let plan = compile_query(&q);
             for threads in [1usize, 2, 4, 8] {
                 let budget = Budget::default().with_threads(Threads::N(threads));
-                let want = eval_query_par(&q, &arena, budget).map(|(out, _)| bytes(&out));
+                let want = eval_query_par(&q, &arena, budget.clone()).map(|(out, _)| bytes(&out));
                 let got = eval_compiled_par(&plan, &arena, budget).map(|(out, _)| bytes(&out));
                 assert_eq!(got, want, "{q} at {threads} threads");
             }
@@ -248,7 +248,7 @@ fn zero_budgets_refuse_identically() {
                 ..Budget::default()
             },
         ] {
-            let want = eval_with(&q, &env, b);
+            let want = eval_with(&q, &env, b.clone());
             let got = exec_with(&compile_query(&q), &env, b);
             match (&want, &got) {
                 (Err(we), Err(ge)) => assert_eq!(ge, we, "{q}"),

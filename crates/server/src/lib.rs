@@ -1,0 +1,39 @@
+//! Network front door for the query engines: a line-delimited JSON
+//! TCP service over the [`xq_core::QueryService`] worker pool.
+//!
+//! This is the serving layer of the ROADMAP's north star — the paper's
+//! complexity-calibrated engines behind a socket. One frame per line:
+//!
+//! ```text
+//! → {"op":"hello","tenant":"acme"}
+//! ← {"ok":true,"op":"hello","tenant":"acme"}
+//! → {"op":"query","id":1,"doc":"d0","query":"$root/*","deadline_ms":50}
+//! ← {"ok":true,"id":1,"result":"<a/><b/>"}
+//! → {"op":"cancel","id":2}
+//! ← {"ok":true,"op":"cancel","id":2}
+//! ```
+//!
+//! Failures answer with a `code` — `parse`, `eval`, `cancelled`,
+//! `deadline`, `overloaded`, `unknown_doc`, `bad_request` — pinned
+//! byte-for-byte by the golden suite (`tests/proto.rs`). The pieces:
+//!
+//! * [`protocol`] — the hand-rolled flat-JSON codec (the registry is
+//!   offline; no serde). Total: fuzzing may not panic it.
+//! * [`server`] — accept loop, per-connection reader/eval threads,
+//!   cooperative cancellation ([`xq_core::CancelFlag`] tripped by
+//!   `cancel` frames and disconnects), per-frame deadlines, and
+//!   load-shedding through the pool's bounded admission queue.
+//!
+//! The behavioral contracts live in this crate's test layer:
+//! `tests/proto.rs` (golden frames + malformed-frame fuzz),
+//! `tests/load_shed.rs` (client swarm: bounded queue, exact shed
+//! counts, zero lost or duplicated responses), and
+//! `crates/core/tests/cancel_diff.rs` (cancellation is deterministic
+//! and engine-agnostic). T19 in the bench harness closes the loop with
+//! offered-load vs latency vs shed-rate curves.
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{Frame, Value};
+pub use server::{Server, ServerConfig, ServerStats};

@@ -1,0 +1,477 @@
+//! The TCP front door: accept loop, per-connection protocol state, and
+//! the bridge from wire frames to [`QueryService`] batches.
+//!
+//! ## Connection anatomy
+//!
+//! Each accepted connection gets **two** threads:
+//!
+//! * The **reader** owns the socket's read half. It parses one frame per
+//!   line, answers `hello`/`cancel`/malformed frames immediately, and
+//!   hands well-formed `query` frames to the eval thread over an
+//!   in-process channel. Crucially it also *registers the request's
+//!   [`CancelFlag`] at frame-parse time* — before the query is even
+//!   queued — so a `cancel` that races ahead of its query's evaluation
+//!   still finds a flag to set, and a disconnect cancels work that is
+//!   still waiting in the pool queue.
+//! * The **eval** thread drains that channel greedily — up to
+//!   [`ServerConfig::batch_max`] queued frames per round — and submits
+//!   them as one [`QueryService::try_run_batch`] call, reusing the
+//!   pool's batch path (admission control included). Responses go back
+//!   in submission order, so a pipelining client reads answers in the
+//!   order it sent queries.
+//!
+//! Both threads write through one mutex-held writer; every response is a
+//! single line, flushed, so frames never interleave mid-line.
+//!
+//! ## Cancellation and deadlines
+//!
+//! A `query` frame's [`Budget`] starts from the connection tenant's
+//! quota (or the server default), gains a fresh [`CancelFlag`], and — if
+//! the frame carries `deadline_ms` — an absolute deadline that many
+//! milliseconds out. Both are observed at every budget tick inside the
+//! interpreter and the VM, so an expired deadline or a set flag aborts
+//! mid-evaluation within one tick, deterministically
+//! (`XqError::Cancelled` / `XqError::DeadlineExceeded` — distinct wire
+//! codes). Client disconnect sets every flag the connection has
+//! registered: an abandoned request stops burning pool time within one
+//! tick of the EOF.
+//!
+//! ## Shedding
+//!
+//! Admission is the pool's compare-and-swap against
+//! [`ServerConfig::queue_capacity`]: a frame that arrives past the
+//! high-water mark is answered `overloaded` immediately — bounded queue,
+//! bounded memory, and the latency of *admitted* requests stays bounded
+//! under overload (the T19 harness plots exactly that).
+
+use crate::protocol::Frame;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xq_core::{Budget, CancelFlag, QueryService, Request, ServeMode, ServiceError};
+
+use cv_xtree::ArenaDoc;
+
+/// Server configuration; see the field docs. `Default` gives two
+/// workers, the VM route, an effectively unbounded queue, and no
+/// documents — tests and embedders override what they need.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Pool worker threads.
+    pub workers: usize,
+    /// Pool evaluation route (VM by default).
+    pub mode: ServeMode,
+    /// Admission high-water mark: frames arriving while this many
+    /// requests are queued (accepted, unserved) are shed with an
+    /// `overloaded` response.
+    pub queue_capacity: usize,
+    /// Most queued frames one eval round submits as a single pool batch.
+    pub batch_max: usize,
+    /// Budget for connections that never identify a tenant (and for
+    /// unknown tenant ids).
+    pub default_budget: Budget,
+    /// Per-tenant budget quotas, keyed by the `hello` frame's tenant id.
+    pub tenants: HashMap<String, Budget>,
+    /// The served documents, keyed by the name `query` frames cite.
+    pub docs: HashMap<String, Arc<ArenaDoc>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            mode: ServeMode::default(),
+            queue_capacity: usize::MAX,
+            batch_max: 32,
+            default_budget: Budget::default(),
+            tenants: HashMap::new(),
+            docs: HashMap::new(),
+        }
+    }
+}
+
+/// Monotonic counters the server exposes for tests and the T19 harness.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Query frames answered `ok`.
+    pub served: AtomicU64,
+    /// Query frames answered `overloaded` (shed at admission).
+    pub shed: AtomicU64,
+    /// Query frames answered `cancelled` or `deadline`.
+    pub cancelled: AtomicU64,
+}
+
+/// A running front door bound to a loopback port. Dropping it stops the
+/// accept loop and joins it; open connections wind down as their clients
+/// disconnect.
+pub struct Server {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    service: Arc<QueryService>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:0` (the OS picks a free port — [`Server::addr`]
+    /// says which) and starts accepting.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(
+            QueryService::with_mode(config.workers, config.mode)
+                .with_queue_capacity(config.queue_capacity),
+        );
+        let shared = Arc::new(config);
+        let accept = {
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Line-delimited request/response RPC is exactly the
+                    // small-write pattern Nagle + delayed ACK punish with
+                    // ~40ms stalls; every response must go out now.
+                    let _ = stream.set_nodelay(true);
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn = Connection {
+                        config: Arc::clone(&shared),
+                        service: Arc::clone(&service),
+                        stats: Arc::clone(&stats),
+                    };
+                    std::thread::spawn(move || conn.run(stream));
+                }
+            })
+        };
+        Ok(Server {
+            addr,
+            stats,
+            service,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (always loopback, ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's monotonic counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Requests accepted into the pool queue but not yet being
+    /// evaluated — by construction never exceeds the configured
+    /// `queue_capacity` on the `try_run_batch` path.
+    pub fn queue_depth(&self) -> usize {
+        self.service.queue_depth()
+    }
+
+    /// Requests a pool worker is evaluating right now.
+    pub fn in_flight(&self) -> usize {
+        self.service.in_flight()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One query frame on its way from the reader to the eval thread.
+struct Pending {
+    id: u64,
+    request: Request,
+    flag: CancelFlag,
+}
+
+/// Per-connection state shared by its reader and eval threads.
+struct Connection {
+    config: Arc<ServerConfig>,
+    service: Arc<QueryService>,
+    stats: Arc<ServerStats>,
+}
+
+/// The flags of every request this connection has submitted and not yet
+/// answered — what `cancel` frames and disconnects trip.
+type FlagRegistry = Arc<Mutex<HashMap<u64, CancelFlag>>>;
+
+/// Writes one response line and flushes it. A client that hung up makes
+/// this fail; callers treat that as "connection over" via the returned
+/// bool rather than erroring, since the reader will see the EOF too.
+fn write_line(writer: &Mutex<TcpStream>, frame: &Frame) -> bool {
+    let mut line = frame.encode();
+    line.push('\n');
+    let mut w = writer.lock().expect("writer lock");
+    w.write_all(line.as_bytes())
+        .and_then(|()| w.flush())
+        .is_ok()
+}
+
+impl Connection {
+    fn run(self, stream: TcpStream) {
+        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        let writer = Arc::new(Mutex::new(stream));
+        let flags: FlagRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let (queue_tx, queue_rx) = channel::<Pending>();
+
+        let eval = {
+            let conn = Connection {
+                config: Arc::clone(&self.config),
+                service: Arc::clone(&self.service),
+                stats: Arc::clone(&self.stats),
+            };
+            let writer = Arc::clone(&writer);
+            let flags = Arc::clone(&flags);
+            std::thread::spawn(move || conn.eval_loop(queue_rx, writer, flags))
+        };
+
+        self.read_loop(reader, &writer, &flags, queue_tx);
+
+        // Reader done (EOF, read error, or unwritable socket): cancel
+        // everything still in flight so abandoned work stops at its next
+        // budget tick, then let the eval thread drain and exit (the
+        // queue sender is dropped by read_loop's return).
+        for flag in flags.lock().expect("flag registry").values() {
+            flag.cancel();
+        }
+        let _ = eval.join();
+    }
+
+    /// The reader: one frame per line until EOF. Returns (dropping the
+    /// queue sender) when the client is gone in either direction.
+    fn read_loop(
+        &self,
+        reader: BufReader<TcpStream>,
+        writer: &Mutex<TcpStream>,
+        flags: &FlagRegistry,
+        queue: Sender<Pending>,
+    ) {
+        let mut tenant_budget = self.config.default_budget.clone();
+        for line in reader.lines() {
+            let Ok(line) = line else { return };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let frame = match Frame::parse(&line) {
+                Ok(f) => f,
+                Err(e) => {
+                    let resp = Frame::new()
+                        .bool("ok", false)
+                        .str("code", "bad_request")
+                        .str("error", e);
+                    if !write_line(writer, &resp) {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            match frame.get_str("op") {
+                Some("hello") => {
+                    let tenant = frame.get_str("tenant").unwrap_or("default");
+                    tenant_budget = self
+                        .config
+                        .tenants
+                        .get(tenant)
+                        .cloned()
+                        .unwrap_or_else(|| self.config.default_budget.clone());
+                    let resp = Frame::new()
+                        .bool("ok", true)
+                        .str("op", "hello")
+                        .str("tenant", tenant);
+                    if !write_line(writer, &resp) {
+                        return;
+                    }
+                }
+                Some("cancel") => {
+                    let Some(id) = frame.get_uint("id") else {
+                        let resp = Frame::new()
+                            .bool("ok", false)
+                            .str("code", "bad_request")
+                            .str("error", "cancel needs a numeric id");
+                        if !write_line(writer, &resp) {
+                            return;
+                        }
+                        continue;
+                    };
+                    // Ack first, then trip the flag: the ack's position
+                    // in the response stream is deterministic (before
+                    // the cancelled query's own response), which the
+                    // golden suite pins.
+                    let resp = Frame::new()
+                        .bool("ok", true)
+                        .str("op", "cancel")
+                        .uint("id", id);
+                    if !write_line(writer, &resp) {
+                        return;
+                    }
+                    if let Some(flag) = flags.lock().expect("flag registry").get(&id) {
+                        flag.cancel();
+                    }
+                }
+                Some("query") => {
+                    let (id, pending) = match self.build_request(&frame, &tenant_budget) {
+                        Ok(p) => p,
+                        Err(resp) => {
+                            if !write_line(writer, &resp) {
+                                return;
+                            }
+                            continue;
+                        }
+                    };
+                    // Register before enqueueing: a cancel (or EOF) that
+                    // arrives while the request waits in the pool queue
+                    // must still reach its flag.
+                    flags
+                        .lock()
+                        .expect("flag registry")
+                        .insert(id, pending.flag.clone());
+                    if queue.send(pending).is_err() {
+                        return; // eval thread gone: connection is over
+                    }
+                }
+                _ => {
+                    let resp = Frame::new()
+                        .bool("ok", false)
+                        .str("code", "bad_request")
+                        .str("error", "op must be hello, query, or cancel");
+                    if !write_line(writer, &resp) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Turns a `query` frame into a pool request, or into the error
+    /// response to send instead.
+    fn build_request(
+        &self,
+        frame: &Frame,
+        tenant_budget: &Budget,
+    ) -> Result<(u64, Pending), Frame> {
+        let bad = |msg: &str| {
+            Frame::new()
+                .bool("ok", false)
+                .str("code", "bad_request")
+                .str("error", msg)
+        };
+        let Some(id) = frame.get_uint("id") else {
+            return Err(bad("query needs a numeric id"));
+        };
+        let Some(query) = frame.get_str("query") else {
+            return Err(bad("query needs query text").uint("id", id));
+        };
+        let Some(doc_name) = frame.get_str("doc") else {
+            return Err(bad("query needs a doc name").uint("id", id));
+        };
+        let Some(doc) = self.config.docs.get(doc_name) else {
+            return Err(Frame::new()
+                .bool("ok", false)
+                .uint("id", id)
+                .str("code", "unknown_doc")
+                .str("error", format!("no document named {doc_name:?}")));
+        };
+        let flag = CancelFlag::new();
+        let mut budget = tenant_budget.clone().with_cancel(flag.clone());
+        if let Some(ms) = frame.get_uint("deadline_ms") {
+            budget = budget.with_deadline_in(Duration::from_millis(ms));
+        }
+        let mut request = Request::new(query, Arc::clone(doc));
+        request.budget = budget;
+        Ok((id, Pending { id, request, flag }))
+    }
+
+    /// The eval thread: greedy rounds over the queued frames. Each round
+    /// takes up to `batch_max` frames and submits them as one admission-
+    /// controlled pool batch; responses are written in submission order.
+    fn eval_loop(
+        &self,
+        queue: Receiver<Pending>,
+        writer: Arc<Mutex<TcpStream>>,
+        flags: FlagRegistry,
+    ) {
+        loop {
+            // Block for the round's first frame, then drain whatever
+            // else has already arrived — pipelined clients batch, serial
+            // clients get per-frame latency.
+            let first = match queue.recv() {
+                Ok(p) => p,
+                Err(_) => return, // reader gone, queue drained
+            };
+            let mut round = vec![first];
+            while round.len() < self.config.batch_max.max(1) {
+                match queue.try_recv() {
+                    Ok(p) => round.push(p),
+                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                }
+            }
+            let requests: Vec<Request> = round.iter().map(|p| p.request.clone()).collect();
+            let results = self.service.try_run_batch(requests);
+            for (pending, result) in round.iter().zip(results) {
+                flags.lock().expect("flag registry").remove(&pending.id);
+                let resp = self.render(pending.id, result);
+                if !write_line(&writer, &resp) {
+                    return; // client hung up; reader sees it too
+                }
+            }
+        }
+    }
+
+    /// Maps a pool result to its wire frame, bumping the stats counters.
+    fn render(&self, id: u64, result: Result<String, ServiceError>) -> Frame {
+        match result {
+            Ok(xml) => {
+                self.stats.served.fetch_add(1, Ordering::Relaxed);
+                Frame::new()
+                    .bool("ok", true)
+                    .uint("id", id)
+                    .str("result", xml)
+            }
+            Err(e) => {
+                let code = match &e {
+                    ServiceError::Parse(_) => "parse",
+                    ServiceError::Eval(_) => "eval",
+                    ServiceError::Overloaded => "overloaded",
+                    ServiceError::Cancelled => "cancelled",
+                    ServiceError::DeadlineExceeded => "deadline",
+                };
+                match &e {
+                    ServiceError::Overloaded => {
+                        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ServiceError::Cancelled | ServiceError::DeadlineExceeded => {
+                        self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                Frame::new()
+                    .bool("ok", false)
+                    .uint("id", id)
+                    .str("code", code)
+                    .str("error", e.to_string())
+            }
+        }
+    }
+}

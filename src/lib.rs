@@ -15,4 +15,5 @@ pub use xq_paths as paths;
 pub use xq_reductions as reductions;
 pub use xq_relalg as relalg;
 pub use xq_rewrite as rewrite;
+pub use xq_server as server;
 pub use xq_stream as stream;
