@@ -55,10 +55,13 @@ cargo test -q -p xq_core --test plan_cache_threads
 # The serving surface: cancel_diff proves cancel-at-tick-k ≡ budget-cap-k
 # across both engines (and that an untripped flag is byte-invisible);
 # the xq_server package runs the protocol golden + malformed-frame fuzz
-# suite (proto), the bounded-queue / exact-shedding / no-lost-responses
-# socket suite (load_shed), and the protocol unit tests. Run again with
-# XQ_ARENA=1 + XQ_THREADS=4 so cancellation and the socket path are
-# exercised over arena documents and the parallel entry points.
+# + duplicate-id suite (proto), the bounded-queue / exact-shedding /
+# no-lost-responses socket suite (load_shed), the token-bucket suite
+# (rate_limit), the graceful-shutdown suite (drain), and the
+# protocol + epoll-binding unit tests — all against the readiness-driven
+# reactor front door. Run again with XQ_ARENA=1 + XQ_THREADS=4 so
+# cancellation and the socket path are exercised over arena documents
+# and the parallel entry points.
 step "serving suites (cancel_diff, xq_server; XQ_ARENA=1 XQ_THREADS=4)"
 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" cargo test -q -p xq_core --test cancel_diff
 XQ_ARENA=1 XQ_THREADS=4 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" \
@@ -77,6 +80,9 @@ cargo run --release -p xq_bench --bin harness -- --only t18 --json BENCH_T18.jso
 
 step "T19 network-serving table (machine-readable: BENCH_T19.json)"
 cargo run --release -p xq_bench --bin harness -- --only t19 --json BENCH_T19.json > /dev/null
+
+step "T20 connection-scaling table (machine-readable: BENCH_T20.json)"
+cargo run --release -p xq_bench --bin harness -- --only t20 --json BENCH_T20.json > /dev/null
 
 step "cargo bench --no-run --workspace (bench targets must compile)"
 # --workspace matters: from the root, plain `cargo bench` only builds the

@@ -7,12 +7,14 @@
 //! cargo run --release -p xq_bench --bin harness -- --only t17 --json BENCH_T17.json
 //! cargo run --release -p xq_bench --bin harness -- --only t18 --json BENCH_T18.json
 //! cargo run --release -p xq_bench --bin harness -- --only t19 --json BENCH_T19.json
+//! cargo run --release -p xq_bench --bin harness -- --only t20 --json BENCH_T20.json
 //! ```
 //!
 //! `--only tN` runs a single table; `--json FILE` additionally writes the
 //! machine-readable payload of the selected measurement table — T17
 //! (planner coverage) under `--only t17`, T18 (VM vs interpreter) under
 //! `--only t18`, T19 (network serving under load) under `--only t19`,
+//! T20 (connection scaling on the reactor) under `--only t20`,
 //! T16 (parallel scaling) otherwise — the CI perf-trajectory artifacts.
 
 use cv_monad::Budget;
@@ -47,10 +49,10 @@ fn main() {
     }
     if let Some(o) = &only {
         // A typo must fail loudly, not silently run zero tables.
-        let known: Vec<String> = (1..=19).map(|i| format!("t{i}")).collect();
+        let known: Vec<String> = (1..=20).map(|i| format!("t{i}")).collect();
         assert!(
             known.contains(o),
-            "--only {o:?} is not a known table (expected one of t1..t19)"
+            "--only {o:?} is not a known table (expected one of t1..t20)"
         );
     }
 
@@ -115,15 +117,22 @@ fn main() {
             }
         }
     }
+    if only.as_deref().is_none_or(|o| o == "t20") {
+        let rows = t20_connection_scaling();
+        if only.as_deref() == Some("t20") {
+            if let Some(path) = &json_path {
+                std::fs::write(path, t20_json(&rows)).expect("write --json file");
+                println!("\nT20 rows written to {path}");
+            }
+        }
+    }
     if json_path.is_some()
         && !matches!(
             only.as_deref(),
-            None | Some("t16") | Some("t17") | Some("t18") | Some("t19")
+            None | Some("t16") | Some("t17") | Some("t18") | Some("t19") | Some("t20")
         )
     {
-        panic!(
-            "--json requires T16, T17, T18, or T19 to run (drop --only or use --only t16/t17/t18/t19)"
-        );
+        panic!("--json requires T16..T20 to run (drop --only or use --only t16/t17/t18/t19/t20)");
     }
 
     println!("\nAll requested experiment tables regenerated.");
@@ -819,6 +828,182 @@ fn t19_json(rows: &[T19Row]) -> String {
             r.ok,
             r.shed,
             r.shed as f64 / r.requests as f64,
+            r.p50_us,
+            r.p99_us,
+            r.throughput_rps,
+            r.wall_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One T20 measurement: a concurrent-connection count served by the
+/// fixed-thread reactor front door.
+struct T20Row {
+    conns: usize,
+    requests: usize,
+    ok: usize,
+    p50_us: f64,
+    p99_us: f64,
+    throughput_rps: f64,
+    wall_ms: f64,
+}
+
+fn t20_connection_scaling() -> Vec<T20Row> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use xq_server::{Frame, Server, ServerConfig};
+
+    header("T20  Connection scaling  (xq_server reactor: fixed threads, many sockets)");
+    const WORKERS: usize = 2;
+    const PER_CONN: usize = 25;
+    println!(
+        "The connection-count sweep T19 could not run: the PR 7 front door \
+         spent two threads per connection, so 64 clients cost 128 threads. \
+         The reactor serves every connection from one thread ({WORKERS} pool \
+         workers + 1 reactor = {} serving threads total, at any client \
+         count). Same closed-loop clients and the same quadratic query as \
+         T19, but an unbounded admission queue: with send-one-await-one \
+         clients the queue is bounded by the connection count, and the \
+         point here is socket scaling, not shedding. Throughput should \
+         hold at the worker-limited rate — the T19 baseline — while \
+         connections grow past anything thread-per-connection could pin.\n",
+        WORKERS + 1
+    );
+
+    let src = "for $x in $root//* return <w>{ $x//* }</w>";
+    let mut g = TreeGen::new(19);
+    let doc = cv_xtree::random_tree(&mut g, 200, &["a", "b", "k"]);
+    let mut docs = std::collections::HashMap::new();
+    docs.insert(
+        "d0".to_string(),
+        std::sync::Arc::new(ArenaDoc::from_tree(&doc)),
+    );
+
+    println!("| conns | requests | ok | p50 (µs) | p99 (µs) | ok/s |");
+    println!("|---|---|---|---|---|---|");
+    let mut rows = Vec::new();
+    for conns in [8usize, 16, 32, 64] {
+        let server = Server::start(ServerConfig {
+            workers: WORKERS,
+            docs: docs.clone(),
+            ..ServerConfig::default()
+        })
+        .expect("start T20 server");
+        let started = Instant::now();
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut ok = 0usize;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..conns)
+                .map(|_| {
+                    let addr = server.addr();
+                    scope.spawn(move || {
+                        let stream = TcpStream::connect(addr).expect("connect");
+                        stream.set_nodelay(true).expect("nodelay");
+                        let mut reader = BufReader::new(stream.try_clone().unwrap());
+                        let mut writer = stream;
+                        let mut lat = Vec::with_capacity(PER_CONN);
+                        for id in 0..PER_CONN {
+                            let frame = Frame::new()
+                                .str("op", "query")
+                                .uint("id", id as u64)
+                                .str("doc", "d0")
+                                .str("query", src);
+                            let t0 = Instant::now();
+                            writer.write_all(frame.encode().as_bytes()).expect("send");
+                            writer.write_all(b"\n").expect("send");
+                            writer.flush().expect("flush");
+                            let mut line = String::new();
+                            reader.read_line(&mut line).expect("recv");
+                            let us = t0.elapsed().as_secs_f64() * 1e6;
+                            let resp =
+                                Frame::parse(line.trim_end_matches('\n')).expect("frame parses");
+                            assert_eq!(
+                                resp.get_bool("ok"),
+                                Some(true),
+                                "T20 runs with an unbounded queue; every answer must be ok"
+                            );
+                            lat.push(us);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            for h in handles {
+                let lat = h.join().expect("client thread");
+                ok += lat.len();
+                latencies.extend(lat);
+            }
+        });
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let requests = conns * PER_CONN;
+        let row = T20Row {
+            conns,
+            requests,
+            ok,
+            p50_us: percentile_us(&latencies, 50.0),
+            p99_us: percentile_us(&latencies, 99.0),
+            throughput_rps: ok as f64 / (wall_ms / 1e3),
+            wall_ms,
+        };
+        println!(
+            "| {} | {} | {} | {:.1} | {:.1} | {:.0} |",
+            row.conns, row.requests, row.ok, row.p50_us, row.p99_us, row.throughput_rps
+        );
+        rows.push(row);
+        drop(server);
+    }
+
+    // The scaling contract, self-checked: every request at every
+    // connection count is answered (nothing lost multiplexing 64
+    // sockets over one thread), and throughput at the top of the sweep
+    // has not collapsed relative to the bottom — the workers stay the
+    // bottleneck, not the reactor.
+    for r in &rows {
+        assert_eq!(r.ok, r.requests, "lost responses at {} conns", r.conns);
+    }
+    let (first, last) = (rows.first().unwrap(), rows.last().unwrap());
+    assert!(last.conns >= 64, "the sweep must reach 64 connections");
+    assert!(
+        last.throughput_rps > 0.35 * first.throughput_rps,
+        "throughput collapsed with connection count: {:.0} ok/s at {} conns \
+         vs {:.0} ok/s at {} conns",
+        last.throughput_rps,
+        last.conns,
+        first.throughput_rps,
+        first.conns
+    );
+
+    println!(
+        "\nShape: worker-limited throughput is flat across the sweep while \
+         p50 grows linearly with the closed-loop connection count (each \
+         request queues behind ~conns others) — the reactor adds sockets, \
+         not threads, and loses nothing."
+    );
+    rows
+}
+
+/// Renders the T20 rows as the `--json` payload (hand-rolled: the
+/// workspace is offline, no serde).
+fn t20_json(rows: &[T20Row]) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"table\": \"T20\",\n");
+    out.push_str(&format!("  \"host_threads\": {host},\n"));
+    out.push_str("  \"workers\": 2,\n");
+    out.push_str("  \"server_threads\": 3,\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"conns\": {}, \"requests\": {}, \"ok\": {}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"throughput_rps\": {:.1}, \"wall_ms\": {:.1}}}{}\n",
+            r.conns,
+            r.requests,
+            r.ok,
             r.p50_us,
             r.p99_us,
             r.throughput_rps,

@@ -10,6 +10,14 @@
 //! — so a corpus is loaded once and served by every worker without
 //! copying.
 //!
+//! Besides the synchronous batch collectors there is an asynchronous
+//! handoff for event-loop callers: [`QueryService::try_submit`] admits
+//! (or sheds) one tagged request and returns immediately; the worker
+//! later pushes `(tag, result)` onto the caller's [`CompletionSink`] and
+//! runs its waker — how the reactor front door in `xq_server` gets
+//! completions back into an `epoll_wait` loop without parking a thread
+//! per connection.
+//!
 //! On the default route ([`ServeMode::CachedVm`]) workers do not parse at
 //! all: query text resolves through the process-wide
 //! [`PlanCache`] to a [`CompiledPlan`](crate::vm::CompiledPlan) —
@@ -124,31 +132,78 @@ pub enum ServeMode {
     CachedVm,
 }
 
-struct Job {
-    index: usize,
-    request: Request,
-    /// The submitting batch's reply channel. Per-batch channels (rather
-    /// than one shared receiver) are what make [`QueryService::run_batch`]
-    /// take `&self`: any number of callers — one per TCP connection, say —
-    /// can have batches in flight on the same pool concurrently, each
-    /// collecting exactly its own replies.
-    reply: Sender<Reply>,
+/// Where a finished job's result goes.
+enum JobSink {
+    /// A synchronous batch collector ([`QueryService::run_batch`] /
+    /// [`QueryService::try_run_batch`]): per-batch channels (rather than
+    /// one shared receiver) are what make the batch methods take `&self` —
+    /// any number of callers can have batches in flight on the same pool
+    /// concurrently, each collecting exactly its own replies.
+    Batch(Sender<Reply>),
+    /// An asynchronous completion queue ([`QueryService::try_submit`]):
+    /// the reply lands on the sink's channel and the sink's waker runs,
+    /// so a reactor blocked in `epoll_wait` learns a completion exists.
+    Queue(CompletionSink),
 }
 
-type Reply = (usize, Result<String, ServiceError>);
+struct Job {
+    /// Caller-chosen correlation tag: the batch paths use the request's
+    /// position, `try_submit` callers use whatever ticket they routed.
+    tag: u64,
+    request: Request,
+    sink: JobSink,
+    /// Whether this job claimed an admission slot (and so must release
+    /// one when a worker picks it up).
+    admitted: bool,
+}
+
+type Reply = (u64, Result<String, ServiceError>);
+
+/// The delivery end of [`QueryService::try_submit`]: a completion channel
+/// plus a wake callback, bundled so pool workers can hand results back to
+/// an event loop that is not blocked on a channel. The worker sends
+/// `(tag, result)` on the channel **then** runs the waker — a waker that
+/// (say) writes an eventfd therefore never fires before its completion is
+/// observable.
+#[derive(Clone)]
+pub struct CompletionSink {
+    tx: Sender<Reply>,
+    wake: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl CompletionSink {
+    /// Bundles a completion channel with the waker that announces sends.
+    pub fn new(tx: Sender<Reply>, wake: Arc<dyn Fn() + Send + Sync>) -> CompletionSink {
+        CompletionSink { tx, wake }
+    }
+
+    fn deliver(&self, tag: u64, result: Result<String, ServiceError>) {
+        // Losing the reply means the consumer hung up; that's its
+        // business (mirrors the batch paths).
+        let _ = self.tx.send((tag, result));
+        (self.wake)();
+    }
+}
 
 /// A fixed pool of evaluation workers serving batches of requests; see
 /// the module docs for the data flow.
 pub struct QueryService {
     jobs: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
-    /// Jobs accepted but not yet picked up by a worker. Admission
-    /// control compare-and-swaps against this gauge.
+    /// Jobs accepted but not yet picked up by a worker — *all* of them,
+    /// whichever path enqueued them. Pure observability.
     queued: Arc<AtomicUsize>,
+    /// The admission-controlled subset of `queued`: only jobs that came
+    /// through [`QueryService::admit`] (`try_run_batch` / `try_submit`)
+    /// count here, so an un-admission-controlled `run_batch` can never
+    /// eat admission slots and force spurious sheds (the PR 8 gauge
+    /// bugfix — both paths now account consistently: each increments the
+    /// gauges it owns, and the worker decrements the same ones).
+    admitted: Arc<AtomicUsize>,
     /// Jobs a worker is currently evaluating.
     in_flight: Arc<AtomicUsize>,
-    /// High-water mark for [`QueryService::try_run_batch`]: requests
-    /// arriving while `queued` ≥ capacity are shed.
+    /// High-water mark for the admission-controlled paths: requests
+    /// arriving while `admitted` ≥ capacity are shed.
     queue_capacity: usize,
 }
 
@@ -307,11 +362,13 @@ impl QueryService {
         let (jobs_tx, jobs_rx) = channel::<Job>();
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
         let queued = Arc::new(AtomicUsize::new(0));
+        let admitted = Arc::new(AtomicUsize::new(0));
         let in_flight = Arc::new(AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|_| {
                 let jobs_rx = Arc::clone(&jobs_rx);
                 let queued = Arc::clone(&queued);
+                let admitted = Arc::clone(&admitted);
                 let in_flight = Arc::clone(&in_flight);
                 std::thread::spawn(move || {
                     let mut cache = HashMap::new();
@@ -323,12 +380,20 @@ impl QueryService {
                             Err(_) => break, // service dropped: shut down
                         };
                         queued.fetch_sub(1, Ordering::SeqCst);
+                        if job.admitted {
+                            admitted.fetch_sub(1, Ordering::SeqCst);
+                        }
                         in_flight.fetch_add(1, Ordering::SeqCst);
                         let result = serve(&job.request, &mut cache, mode);
                         in_flight.fetch_sub(1, Ordering::SeqCst);
                         // The batch may have given up (its collector hung
                         // up); losing that reply is the batch's business.
-                        let _ = job.reply.send((job.index, result));
+                        match &job.sink {
+                            JobSink::Batch(reply) => {
+                                let _ = reply.send((job.tag, result));
+                            }
+                            JobSink::Queue(sink) => sink.deliver(job.tag, result),
+                        }
                     }
                 })
             })
@@ -337,6 +402,7 @@ impl QueryService {
             jobs: Some(jobs_tx),
             workers: handles,
             queued,
+            admitted,
             in_flight,
             queue_capacity: usize::MAX,
         }
@@ -356,9 +422,18 @@ impl QueryService {
         self.workers.len()
     }
 
-    /// Jobs accepted but not yet picked up by a worker, right now.
+    /// Jobs accepted but not yet picked up by a worker, right now —
+    /// whichever path enqueued them.
     pub fn queue_depth(&self) -> usize {
         self.queued.load(Ordering::SeqCst)
+    }
+
+    /// The admission-controlled subset of [`QueryService::queue_depth`]:
+    /// jobs holding one of the `queue_capacity` admission slots right
+    /// now. This — not the total queue — is what the admission
+    /// compare-and-swap bounds, so `run_batch` traffic can never cause admission sheds.
+    pub fn admitted_depth(&self) -> usize {
+        self.admitted.load(Ordering::SeqCst)
     }
 
     /// Jobs being evaluated by a worker, right now.
@@ -371,36 +446,51 @@ impl QueryService {
         self.queue_capacity
     }
 
-    /// Atomically claims a queue slot: increments `queued` unless it is
-    /// already at the high-water mark. This is the entire shedding
+    /// Atomically claims an admission slot: increments `admitted` unless
+    /// it is already at the high-water mark. This is the entire shedding
     /// decision — one compare-and-swap, no lock, so concurrent
     /// connections can never overshoot the mark.
     fn admit(&self) -> bool {
-        self.queued
+        self.admitted
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |q| {
                 (q < self.queue_capacity).then_some(q + 1)
             })
             .is_ok()
     }
 
+    /// Enqueues one job, accounting the gauges it claims: every job
+    /// counts toward `queued`; only admission-controlled ones hold an
+    /// `admitted` slot (already claimed by [`QueryService::admit`]).
+    fn enqueue(&self, tag: u64, request: Request, sink: JobSink, admitted: bool) {
+        let jobs = self.jobs.as_ref().expect("service not shut down");
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        jobs.send(Job {
+            tag,
+            request,
+            sink,
+            admitted,
+        })
+        .expect("workers alive");
+    }
+
     /// Runs a batch: fans the requests out over the pool and returns the
     /// results in submission order (failures stay positional — one bad
     /// request never poisons its batch). Always admits, ignoring the
-    /// queue capacity; use [`QueryService::try_run_batch`] at the front
-    /// door. Takes `&self`: batches from different threads interleave on
-    /// the pool, each collecting its own replies.
+    /// queue capacity — and, since it never claims admission slots, a
+    /// concurrent `run_batch` cannot make [`QueryService::try_run_batch`]
+    /// shed below its real high-water mark. Takes `&self`: batches from
+    /// different threads interleave on the pool, each collecting its own
+    /// replies.
     pub fn run_batch(&self, requests: Vec<Request>) -> Vec<Result<String, ServiceError>> {
         let n = requests.len();
-        let jobs = self.jobs.as_ref().expect("service not shut down");
         let (reply_tx, reply_rx) = channel::<Reply>();
         for (index, request) in requests.into_iter().enumerate() {
-            self.queued.fetch_add(1, Ordering::SeqCst);
-            jobs.send(Job {
-                index,
+            self.enqueue(
+                index as u64,
                 request,
-                reply: reply_tx.clone(),
-            })
-            .expect("workers alive");
+                JobSink::Batch(reply_tx.clone()),
+                false,
+            );
         }
         drop(reply_tx);
         Self::collect(reply_rx, vec![None; n])
@@ -411,23 +501,37 @@ impl QueryService {
     /// `Err(Overloaded)` in place — still positional, still in
     /// submission order — without ever touching the queue or a worker.
     pub fn try_run_batch(&self, requests: Vec<Request>) -> Vec<Result<String, ServiceError>> {
-        let jobs = self.jobs.as_ref().expect("service not shut down");
         let (reply_tx, reply_rx) = channel::<Reply>();
         let mut out: Vec<Option<Result<String, ServiceError>>> = vec![None; requests.len()];
         for (index, request) in requests.into_iter().enumerate() {
             if self.admit() {
-                jobs.send(Job {
-                    index,
+                self.enqueue(
+                    index as u64,
                     request,
-                    reply: reply_tx.clone(),
-                })
-                .expect("workers alive");
+                    JobSink::Batch(reply_tx.clone()),
+                    true,
+                );
             } else {
                 out[index] = Some(Err(ServiceError::Overloaded));
             }
         }
         drop(reply_tx);
         Self::collect(reply_rx, out)
+    }
+
+    /// Asynchronous, admission-controlled submission — the reactor front
+    /// door's handoff. On admission the request is queued and `true`
+    /// returned immediately; the result arrives later as `(tag, result)`
+    /// on the sink's channel, followed by the sink's waker. Returns
+    /// `false` (shed) without queueing anything when the admission queue
+    /// is at its high-water mark — the caller renders the `overloaded`
+    /// answer itself, keeping shed responses on its own ordered path.
+    pub fn try_submit(&self, tag: u64, request: Request, sink: &CompletionSink) -> bool {
+        if !self.admit() {
+            return false;
+        }
+        self.enqueue(tag, request, JobSink::Queue(sink.clone()), true);
+        true
     }
 
     /// Fills the unanswered slots of `out` from the batch's private reply
@@ -439,6 +543,7 @@ impl QueryService {
         mut out: Vec<Option<Result<String, ServiceError>>>,
     ) -> Vec<Result<String, ServiceError>> {
         while let Ok((index, result)) = reply_rx.recv() {
+            let index = index as usize;
             debug_assert!(out[index].is_none(), "one reply per job");
             out[index] = Some(result);
         }
@@ -700,6 +805,141 @@ mod tests {
         });
         assert_eq!(service.queue_depth(), 0);
         assert_eq!(service.in_flight(), 0);
+    }
+
+    /// Spins until `probe` holds (schedule-independent waiting).
+    fn wait_for(what: &str, probe: impl Fn() -> bool) {
+        use std::time::{Duration, Instant};
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while !probe() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// A query whose full run is ~3^20 loop iterations: never finishes
+    /// inside a test, aborts within one tick of its cancel flag.
+    fn infinite_query() -> String {
+        (1..=20)
+            .map(|i| format!("for $v{i} in $root//* return "))
+            .collect::<String>()
+            + "<t/>"
+    }
+
+    #[test]
+    fn run_batch_never_eats_admission_slots() {
+        // The PR 8 gauge regression: run_batch used to bump the same
+        // gauge admit() CAS-es against, so a concurrent un-admission-
+        // controlled batch made try_run_batch shed below its real
+        // high-water mark. The two paths now account separately: with a
+        // run_batch of 4 infinite queries parked on a capacity-2 pool,
+        // try_run_batch must still admit exactly 2 and shed exactly 1.
+        use crate::CancelFlag;
+        let docs = corpus();
+        let service = QueryService::new(1).with_queue_capacity(2);
+        let flags: Vec<CancelFlag> = (0..4).map(|_| CancelFlag::new()).collect();
+        let parked: Vec<Request> = flags
+            .iter()
+            .map(|f| {
+                let mut r = Request::new(infinite_query(), docs[0].clone());
+                r.budget = Budget {
+                    max_steps: u64::MAX,
+                    max_items: u64::MAX,
+                    ..Budget::default()
+                }
+                .with_cancel(f.clone());
+                r
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let uncontrolled = scope.spawn(|| service.run_batch(parked));
+            wait_for("worker pinned, rest queued", || {
+                service.in_flight() == 1 && service.queue_depth() == 3
+            });
+            assert_eq!(
+                service.admitted_depth(),
+                0,
+                "run_batch must not hold admission slots"
+            );
+            let controlled = scope.spawn(|| {
+                service.try_run_batch(vec![
+                    Request::new("$root/*", docs[0].clone()),
+                    Request::new("<ok/>", docs[1].clone()),
+                    Request::new("$root/*", docs[2].clone()),
+                ])
+            });
+            wait_for("both admission slots claimed", || {
+                service.admitted_depth() == 2
+            });
+            // Release the parked queries; everything drains.
+            for f in &flags {
+                f.cancel();
+            }
+            let got = controlled.join().expect("controlled batch");
+            assert!(
+                got[0].is_ok(),
+                "first admitted request served: {:?}",
+                got[0]
+            );
+            assert!(got[1].is_ok(), "second admitted request served");
+            assert_eq!(
+                got[2],
+                Err(ServiceError::Overloaded),
+                "exactly the over-capacity request sheds"
+            );
+            let parked_results = uncontrolled.join().expect("uncontrolled batch");
+            assert!(parked_results
+                .iter()
+                .all(|r| matches!(r, Err(ServiceError::Cancelled))));
+        });
+        wait_for("gauges settle", || {
+            service.queue_depth() == 0 && service.admitted_depth() == 0 && service.in_flight() == 0
+        });
+    }
+
+    #[test]
+    fn try_submit_delivers_tagged_completions_and_wakes() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::mpsc::channel;
+        use std::time::Duration;
+        let docs = corpus();
+        let service = QueryService::new(2);
+        let (tx, rx) = channel();
+        let woken = Arc::new(AtomicUsize::new(0));
+        let sink = {
+            let woken = Arc::clone(&woken);
+            CompletionSink::new(
+                tx,
+                Arc::new(move || {
+                    woken.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+        };
+        assert!(service.try_submit(7, Request::new("<ok/>", docs[0].clone()), &sink));
+        assert!(service.try_submit(9, Request::new("for $x in", docs[1].clone()), &sink));
+        let mut got: Vec<Reply> = (0..2)
+            .map(|_| {
+                rx.recv_timeout(Duration::from_secs(30))
+                    .expect("completion")
+            })
+            .collect();
+        got.sort_by_key(|(tag, _)| *tag);
+        assert_eq!(got[0].0, 7);
+        assert_eq!(got[0].1.as_deref(), Ok("<ok/>"));
+        assert_eq!(got[1].0, 9);
+        assert!(matches!(got[1].1, Err(ServiceError::Parse(_))));
+        // The waker runs *after* its send, so it may trail our recv by an
+        // instant — wait for both rather than asserting instantaneously.
+        wait_for("one wake per delivery", || {
+            woken.load(Ordering::SeqCst) >= 2
+        });
+        // At capacity 0 the submission sheds without queueing or waking.
+        let shed_service = QueryService::new(1).with_queue_capacity(0);
+        let before = woken.load(Ordering::SeqCst);
+        assert!(!shed_service.try_submit(1, Request::new("<ok/>", docs[0].clone()), &sink));
+        assert_eq!(shed_service.queue_depth(), 0);
+        assert_eq!(shed_service.admitted_depth(), 0);
+        assert_eq!(woken.load(Ordering::SeqCst), before);
     }
 
     #[test]

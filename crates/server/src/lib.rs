@@ -14,26 +14,37 @@
 //! ```
 //!
 //! Failures answer with a `code` — `parse`, `eval`, `cancelled`,
-//! `deadline`, `overloaded`, `unknown_doc`, `bad_request` — pinned
-//! byte-for-byte by the golden suite (`tests/proto.rs`). The pieces:
+//! `deadline`, `overloaded`, `rate_limited`, `shutting_down`,
+//! `unknown_doc`, `bad_request` — pinned byte-for-byte by the golden
+//! suite (`tests/proto.rs`). The pieces:
 //!
 //! * [`protocol`] — the hand-rolled flat-JSON codec (the registry is
 //!   offline; no serde). Total: fuzzing may not panic it.
-//! * [`server`] — accept loop, per-connection reader/eval threads,
-//!   cooperative cancellation ([`xq_core::CancelFlag`] tripped by
-//!   `cancel` frames and disconnects), per-frame deadlines, and
-//!   load-shedding through the pool's bounded admission queue.
+//! * [`reactor`] — a `std`-only epoll + eventfd binding (raw syscalls,
+//!   no `libc`): the readiness layer the front door multiplexes on.
+//! * [`server`] — the readiness-driven front door: one reactor thread
+//!   owns the listener and every connection's nonblocking socket and
+//!   line buffers, hands parsed queries to the [`xq_core::QueryService`]
+//!   pool, and collects completions through a wakeable queue — a fixed
+//!   `1 + workers` threads regardless of connection count. Cooperative
+//!   cancellation ([`xq_core::CancelFlag`] tripped by `cancel` frames
+//!   and disconnects), per-frame deadlines, load-shedding through the
+//!   pool's bounded admission gauge, per-tenant request-rate token
+//!   buckets, and graceful drain on shutdown.
 //!
 //! The behavioral contracts live in this crate's test layer:
-//! `tests/proto.rs` (golden frames + malformed-frame fuzz),
-//! `tests/load_shed.rs` (client swarm: bounded queue, exact shed
-//! counts, zero lost or duplicated responses), and
-//! `crates/core/tests/cancel_diff.rs` (cancellation is deterministic
-//! and engine-agnostic). T19 in the bench harness closes the loop with
-//! offered-load vs latency vs shed-rate curves.
+//! `tests/proto.rs` (golden frames + malformed-frame fuzz + the
+//! duplicate-id regression), `tests/load_shed.rs` (client swarm:
+//! bounded queue, exact shed counts, zero lost or duplicated
+//! responses), `tests/rate_limit.rs` (token-bucket refusal and refill),
+//! `tests/drain.rs` (prompt drop with idle clients, drain semantics),
+//! and `crates/core/tests/cancel_diff.rs` (cancellation is
+//! deterministic and engine-agnostic). T19/T20 in the bench harness
+//! close the loop with offered-load and connection-scaling curves.
 
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use protocol::{Frame, Value};
-pub use server::{Server, ServerConfig, ServerStats};
+pub use server::{RateLimit, Server, ServerConfig, ServerStats};

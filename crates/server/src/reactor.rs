@@ -1,0 +1,380 @@
+//! A minimal, `std`-only readiness reactor: epoll + eventfd over raw
+//! syscalls.
+//!
+//! The workspace is offline — no `libc`, no `mio` — so the three kernel
+//! facilities the front door needs are bound by hand:
+//!
+//! * [`Poller`] — an `epoll` instance. Sockets register with a `u64`
+//!   token and a read/write interest pair; [`Poller::wait`] parks the
+//!   reactor thread until something is ready (level-triggered, so
+//!   nothing is lost if a readiness notification is only half-consumed).
+//! * [`WakeFd`] — an `eventfd` the pool workers write to announce
+//!   completions. It registers with the poller like any socket, which is
+//!   what lets ONE `epoll_wait` observe both socket readiness and
+//!   eval-pool completions — the heart of the fixed-thread-count design.
+//!
+//! Only the five syscalls the reactor needs are bound (`epoll_create1`,
+//! `epoll_ctl`, `epoll_pwait`, `eventfd2`, plus `read`/`write` for the
+//! eventfd counter), via `asm!` on x86-64 and aarch64 Linux. Everything
+//! else — nonblocking sockets, accept, socket reads/writes, fd lifetime
+//! (`OwnedFd` closes on drop) — stays on portable `std`.
+
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "xq_server's reactor front door multiplexes connections with epoll and \
+     therefore requires Linux (the workspace is offline, so no portable \
+     polling crate is available to fall back on)"
+);
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+/// Raw syscall numbers for the two supported architectures.
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const READ: usize = 0;
+    pub const WRITE: usize = 1;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const READ: usize = 63;
+    pub const WRITE: usize = 64;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const EVENTFD2: usize = 19;
+    pub const EPOLL_CREATE1: usize = 20;
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+compile_error!("the reactor's raw syscall shim covers x86-64 and aarch64 only");
+
+/// One raw syscall, up to six arguments. Returns the kernel's `rax`/`x0`
+/// verbatim: values in `[-4095, -1]` are `-errno`.
+///
+/// # Safety
+///
+/// The caller must pass argument values valid for the specific syscall
+/// (live fds, pointers to appropriately-sized buffers).
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
+    let ret: isize;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") n as isize => ret,
+        in("rdi") a,
+        in("rsi") b,
+        in("rdx") c,
+        in("r10") d,
+        in("r8") e,
+        in("r9") f,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack)
+    );
+    ret
+}
+
+/// See the x86-64 variant; aarch64 passes the number in `x8`.
+///
+/// # Safety
+///
+/// As for the x86-64 variant.
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
+    let ret: isize;
+    std::arch::asm!(
+        "svc #0",
+        in("x8") n,
+        inlateout("x0") a as isize => ret,
+        in("x1") b,
+        in("x2") c,
+        in("x3") d,
+        in("x4") e,
+        in("x5") f,
+        options(nostack)
+    );
+    ret
+}
+
+/// Converts a raw syscall return into `io::Result`.
+fn check(ret: isize) -> io::Result<usize> {
+    if (-4095..0).contains(&ret) {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+// epoll_ctl ops and event bits (uapi/linux/eventpoll.h).
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+const EPOLL_CTL_MOD: usize = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLL_CLOEXEC: usize = 0x80000;
+const EFD_CLOEXEC: usize = 0x80000;
+const EFD_NONBLOCK: usize = 0x800;
+
+/// The kernel's `struct epoll_event`. Packed on x86-64 (the one ABI
+/// where the kernel declares it `__attribute__((packed))`).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Default)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// One readiness notification, decoded.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable (or at EOF — a read will not block).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup: the connection is unusable; reads/writes will
+    /// fail promptly rather than block, so treating this as
+    /// readable+writable and letting the I/O calls report is sound.
+    pub hangup: bool,
+}
+
+/// An epoll instance owning its fd.
+pub struct Poller {
+    epfd: OwnedFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poller> {
+        let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+        Ok(Poller {
+            epfd: unsafe { OwnedFd::from_raw_fd(fd as RawFd) },
+        })
+    }
+
+    fn ctl(&self, op: usize, fd: RawFd, ev: Option<EpollEvent>) -> io::Result<()> {
+        let ptr = ev
+            .as_ref()
+            .map_or(std::ptr::null(), |e| e as *const EpollEvent);
+        check(unsafe {
+            syscall6(
+                nr::EPOLL_CTL,
+                self.epfd.as_raw_fd() as usize,
+                op,
+                fd as usize,
+                ptr as usize,
+                0,
+                0,
+            )
+        })
+        .map(drop)
+    }
+
+    fn interest(token: u64, readable: bool, writable: bool) -> EpollEvent {
+        // Level-triggered (no EPOLLET): a half-drained buffer re-arms on
+        // the next wait, so the reactor can bound per-connection work
+        // per round without losing data. EPOLLERR/EPOLLHUP are always
+        // reported regardless of the mask.
+        let mut events = 0;
+        if readable {
+            events |= EPOLLIN;
+        }
+        if writable {
+            events |= EPOLLOUT;
+        }
+        EpollEvent {
+            events,
+            data: token,
+        }
+    }
+
+    /// Registers `fd` under `token` with the given interests.
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Some(Self::interest(token, readable, writable)),
+        )
+    }
+
+    /// Replaces `fd`'s interests (token may change too).
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Some(Self::interest(token, readable, writable)),
+        )
+    }
+
+    /// Deregisters `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Waits for readiness, up to `timeout_ms` milliseconds (`-1` blocks
+    /// indefinitely, `0` polls). Decoded notifications are appended to
+    /// `out` (cleared first). EINTR retries internally.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        out.clear();
+        let mut buf = [EpollEvent::default(); 64];
+        let n = loop {
+            let ret = unsafe {
+                syscall6(
+                    nr::EPOLL_PWAIT,
+                    self.epfd.as_raw_fd() as usize,
+                    buf.as_mut_ptr() as usize,
+                    buf.len(),
+                    timeout_ms as usize,
+                    0, // sigmask: null — plain epoll_wait semantics
+                    8, // sigsetsize (ignored with a null mask)
+                )
+            };
+            match check(ret) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        for ev in &buf[..n] {
+            let bits = ev.events;
+            out.push(Event {
+                token: ev.data,
+                readable: bits & EPOLLIN != 0,
+                writable: bits & EPOLLOUT != 0,
+                hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A nonblocking eventfd: the reactor's wake channel. `wake()` is safe
+/// from any thread (pool workers, `Server::shutdown`); the reactor
+/// registers the fd readable and `drain()`s it once woken.
+pub struct WakeFd {
+    fd: OwnedFd,
+}
+
+impl WakeFd {
+    /// Creates the eventfd (counter 0, nonblocking, cloexec).
+    pub fn new() -> io::Result<WakeFd> {
+        let fd =
+            check(unsafe { syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) })?;
+        Ok(WakeFd {
+            fd: unsafe { OwnedFd::from_raw_fd(fd as RawFd) },
+        })
+    }
+
+    /// The fd to register with a [`Poller`].
+    pub fn raw(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Adds 1 to the counter, making the fd readable. A full counter
+    /// (`EAGAIN`) already guarantees a pending wake, so errors are moot.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        let _ = check(unsafe {
+            syscall6(
+                nr::WRITE,
+                self.fd.as_raw_fd() as usize,
+                (&one as *const u64) as usize,
+                8,
+                0,
+                0,
+                0,
+            )
+        });
+    }
+
+    /// Zeroes the counter (nonblocking: a bare `EAGAIN` means it already
+    /// was zero). One drain absorbs any number of coalesced wakes.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        let _ = check(unsafe {
+            syscall6(
+                nr::READ,
+                self.fd.as_raw_fd() as usize,
+                (&mut buf as *mut u64) as usize,
+                8,
+                0,
+                0,
+                0,
+            )
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn eventfd_wakes_the_poller_and_drain_rearms() {
+        let poller = Poller::new().unwrap();
+        let wake = WakeFd::new().unwrap();
+        poller.add(wake.raw(), 7, true, false).unwrap();
+        let mut events = Vec::new();
+        // Nothing pending: a zero-timeout wait returns empty.
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+        // Wakes coalesce into one readable notification under the token.
+        wake.wake();
+        wake.wake();
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        // Drained: quiet again.
+        wake.drain();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn socket_readiness_reports_reads_writes_and_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(client.as_raw_fd(), 42, true, true).unwrap();
+        let mut events = Vec::new();
+        // A fresh connected socket is writable but not readable.
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable && !events[0].readable);
+        // Narrow interest to reads only: quiet until the peer sends.
+        poller.modify(client.as_raw_fd(), 42, true, false).unwrap();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+        served.write_all(b"hi").unwrap();
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable);
+        let mut buf = [0u8; 8];
+        let mut c = &client;
+        assert_eq!(c.read(&mut buf).unwrap(), 2);
+        // Peer close: level-triggered EPOLLIN persists at EOF.
+        drop(served);
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].readable);
+        assert_eq!(c.read(&mut buf).unwrap(), 0, "EOF");
+        poller.delete(client.as_raw_fd()).unwrap();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty());
+    }
+}

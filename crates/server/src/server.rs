@@ -1,82 +1,150 @@
-//! The TCP front door: accept loop, per-connection protocol state, and
-//! the bridge from wire frames to [`QueryService`] batches.
+//! The TCP front door: a readiness-driven reactor multiplexing every
+//! connection over a **fixed thread count**, bridging wire frames to the
+//! [`QueryService`] pool.
 //!
-//! ## Connection anatomy
+//! ## Architecture
 //!
-//! Each accepted connection gets **two** threads:
+//! PR 7's server spawned two threads per connection (reader + eval) —
+//! fine for hundreds of clients, fatal for the ROADMAP's "millions of
+//! users" north star. This rewrite serves *all* connections from **one
+//! reactor thread**:
 //!
-//! * The **reader** owns the socket's read half. It parses one frame per
-//!   line, answers `hello`/`cancel`/malformed frames immediately, and
-//!   hands well-formed `query` frames to the eval thread over an
-//!   in-process channel. Crucially it also *registers the request's
-//!   [`CancelFlag`] at frame-parse time* — before the query is even
-//!   queued — so a `cancel` that races ahead of its query's evaluation
-//!   still finds a flag to set, and a disconnect cancels work that is
-//!   still waiting in the pool queue.
-//! * The **eval** thread drains that channel greedily — up to
-//!   [`ServerConfig::batch_max`] queued frames per round — and submits
-//!   them as one [`QueryService::try_run_batch`] call, reusing the
-//!   pool's batch path (admission control included). Responses go back
-//!   in submission order, so a pipelining client reads answers in the
-//!   order it sent queries.
+//! * The reactor owns an epoll instance ([`crate::reactor::Poller`]) and
+//!   every socket: the (nonblocking) listener, one nonblocking
+//!   `TcpStream` per connection with in-reactor read/write line buffers,
+//!   and an eventfd ([`crate::reactor::WakeFd`]) the eval pool writes to
+//!   announce completions. One `epoll_wait` therefore observes client
+//!   I/O *and* pool completions; the thread count is `1 + workers`
+//!   regardless of connection count.
+//! * Complete request lines parse in the reactor and hand off through
+//!   [`QueryService::try_submit`] — admission control included — with a
+//!   reactor-chosen ticket. The pool worker evaluates and pushes
+//!   `(ticket, result)` onto the completion queue
+//!   ([`xq_core::CompletionSink`]), then wakes the eventfd.
+//! * Responses to `query` frames flow through a per-connection FIFO
+//!   (`pending` ids + out-of-order `done` results), so a pipelining
+//!   client reads answers in the order it sent queries — exactly the
+//!   PR 7 contract, now without a thread parked per connection. Frame
+//!   errors (`bad_request`, `unknown_doc`) are still answered
+//!   immediately, ahead of in-flight queries, as before.
 //!
-//! Both threads write through one mutex-held writer; every response is a
-//! single line, flushed, so frames never interleave mid-line.
+//! Per-connection fairness: at most [`ServerConfig::batch_max`] buffered
+//! lines are handled per connection per reactor round, so one pipelining
+//! firehose cannot starve its neighbours.
 //!
 //! ## Cancellation and deadlines
 //!
-//! A `query` frame's [`Budget`] starts from the connection tenant's
-//! quota (or the server default), gains a fresh [`CancelFlag`], and — if
-//! the frame carries `deadline_ms` — an absolute deadline that many
-//! milliseconds out. Both are observed at every budget tick inside the
-//! interpreter and the VM, so an expired deadline or a set flag aborts
-//! mid-evaluation within one tick, deterministically
-//! (`XqError::Cancelled` / `XqError::DeadlineExceeded` — distinct wire
-//! codes). Client disconnect sets every flag the connection has
-//! registered: an abandoned request stops burning pool time within one
-//! tick of the EOF.
+//! Unchanged contracts from PR 7, relocated into the reactor: a `query`
+//! frame's [`Budget`] starts from the connection tenant's quota, gains a
+//! fresh [`CancelFlag`] *registered before submission* (so a `cancel`
+//! racing ahead of evaluation still finds its flag), and an optional
+//! `deadline_ms` deadline. A `cancel` frame acks first, then trips the
+//! flag — the ack's position in the response stream stays deterministic.
+//! Client EOF trips every flag the connection still has in flight, after
+//! any already-buffered lines have been handled (matching the old
+//! reader's `lines()`-then-cleanup order). Duplicate in-flight query ids
+//! are rejected with `bad_request` — previously a duplicate *clobbered*
+//! the first request's flag registration and the first completion
+//! stripped protection from the still-running second, so a later
+//! `cancel`/EOF silently no-opped (the PR 8 cancel-registry bugfix).
+//!
+//! ## Rate limits vs budget quotas
+//!
+//! Tenant **budget quotas** ([`ServerConfig::tenants`]) bound how much
+//! work one request may do; tenant **rate limits**
+//! ([`ServerConfig::rates`]) bound how many requests per second a tenant
+//! may submit — a token bucket per tenant, shared across all of the
+//! tenant's connections, refilled continuously at
+//! [`RateLimit::per_sec`] up to a burst of [`RateLimit::burst`]. A query
+//! arriving on an empty bucket is answered with the `rate_limited` wire
+//! code (through the ordered FIFO, like `overloaded`) without consuming
+//! any pool capacity.
 //!
 //! ## Shedding
 //!
-//! Admission is the pool's compare-and-swap against
-//! [`ServerConfig::queue_capacity`]: a frame that arrives past the
-//! high-water mark is answered `overloaded` immediately — bounded queue,
-//! bounded memory, and the latency of *admitted* requests stays bounded
-//! under overload (the T19 harness plots exactly that).
+//! Admission stays the pool's compare-and-swap against
+//! [`ServerConfig::queue_capacity`] — now on a dedicated
+//! admission-slot gauge, so internal `run_batch` traffic can't cause
+//! spurious sheds: a frame that arrives past the high-water mark is
+//! answered `overloaded` without ever queueing.
+//!
+//! ## Graceful drain
+//!
+//! [`Server::shutdown`] (also run by `Drop`): stop accepting, refuse
+//! late `query` frames with the `shutting_down` code, let queued and
+//! in-flight work finish and flush its answers, cancel whatever is still
+//! running once [`ServerConfig::drain_deadline`] passes, then close
+//! every connection and join every thread — the reactor and, via the
+//! pool's own drop, every worker. A server with an idle connected client
+//! shuts down promptly (pre-reactor, the blocking reader thread leaked).
 
 use crate::protocol::Frame;
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use crate::reactor::{Event, Poller, WakeFd};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
-use xq_core::{Budget, CancelFlag, QueryService, Request, ServeMode, ServiceError};
+use std::time::{Duration, Instant};
+use xq_core::{Budget, CancelFlag, CompletionSink, QueryService, Request, ServeMode, ServiceError};
 
 use cv_xtree::ArenaDoc;
 
+/// A per-tenant request-rate limit: a token bucket holding at most
+/// `burst` tokens, refilled continuously at `per_sec` tokens per second.
+/// Each `query` frame spends one token; an empty bucket answers
+/// `rate_limited`. This bounds *request frequency* — orthogonal to the
+/// per-request *work* bound of the tenant's [`Budget`] quota.
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimit {
+    /// Sustained requests per second (fractional rates are fine: `0.5`
+    /// is one request every two seconds; `0.0` never refills — useful
+    /// for deterministic tests).
+    pub per_sec: f64,
+    /// Bucket capacity: the largest instantaneous burst admitted. New
+    /// buckets start full.
+    pub burst: u32,
+}
+
 /// Server configuration; see the field docs. `Default` gives two
-/// workers, the VM route, an effectively unbounded queue, and no
-/// documents — tests and embedders override what they need.
+/// workers, the VM route, an effectively unbounded queue, no rate
+/// limits, a one-second drain deadline, and no documents — tests and
+/// embedders override what they need.
 #[derive(Clone)]
 pub struct ServerConfig {
-    /// Pool worker threads.
+    /// Pool worker threads. Total server threads are `workers + 1` (the
+    /// reactor), independent of connection count.
     pub workers: usize,
     /// Pool evaluation route (VM by default).
     pub mode: ServeMode,
     /// Admission high-water mark: frames arriving while this many
-    /// requests are queued (accepted, unserved) are shed with an
-    /// `overloaded` response.
+    /// admission-controlled requests are queued (accepted, unserved)
+    /// are shed with an `overloaded` response.
     pub queue_capacity: usize,
-    /// Most queued frames one eval round submits as a single pool batch.
+    /// Most buffered frames the reactor handles per connection per
+    /// round — the pipelining-fairness bound.
     pub batch_max: usize,
-    /// Budget for connections that never identify a tenant (and for
-    /// unknown tenant ids).
+    /// Budget quota (per-request *work* cap) for connections that never
+    /// identify a tenant, and for unknown tenant ids.
     pub default_budget: Budget,
     /// Per-tenant budget quotas, keyed by the `hello` frame's tenant id.
     pub tenants: HashMap<String, Budget>,
+    /// Per-tenant request-*rate* limits (requests/sec token buckets),
+    /// keyed like [`ServerConfig::tenants`]. One bucket per tenant,
+    /// shared by all of the tenant's connections. Tenants without an
+    /// entry fall back to [`ServerConfig::default_rate`].
+    pub rates: HashMap<String, RateLimit>,
+    /// Rate limit for tenants with no [`ServerConfig::rates`] entry
+    /// (including connections that never sent `hello`, which count as
+    /// tenant `"default"`). `None` means unlimited.
+    pub default_rate: Option<RateLimit>,
+    /// How long [`Server::shutdown`] lets queued and in-flight work run
+    /// before cancelling it. Queued work that finishes earlier is
+    /// answered in full and the server exits as soon as it drains.
+    pub drain_deadline: Duration,
     /// The served documents, keyed by the name `query` frames cite.
     pub docs: HashMap<String, Arc<ArenaDoc>>,
 }
@@ -90,12 +158,15 @@ impl Default for ServerConfig {
             batch_max: 32,
             default_budget: Budget::default(),
             tenants: HashMap::new(),
+            rates: HashMap::new(),
+            default_rate: None,
+            drain_deadline: Duration::from_secs(1),
             docs: HashMap::new(),
         }
     }
 }
 
-/// Monotonic counters the server exposes for tests and the T19 harness.
+/// Monotonic counters the server exposes for tests and the harness.
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted.
@@ -104,26 +175,31 @@ pub struct ServerStats {
     pub served: AtomicU64,
     /// Query frames answered `overloaded` (shed at admission).
     pub shed: AtomicU64,
+    /// Query frames answered `rate_limited` (tenant bucket empty).
+    pub rate_limited: AtomicU64,
     /// Query frames answered `cancelled` or `deadline`.
     pub cancelled: AtomicU64,
 }
 
-/// A running front door bound to a loopback port. Dropping it stops the
-/// accept loop and joins it; open connections wind down as their clients
-/// disconnect.
+/// A running front door bound to a loopback port. [`Server::shutdown`]
+/// (or drop) drains gracefully: accepting stops, outstanding work
+/// finishes or is cancelled at the drain deadline, and every thread —
+/// reactor and pool workers — is joined.
 pub struct Server {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
-    service: Arc<QueryService>,
+    service: Option<Arc<QueryService>>,
     shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    wake: Arc<WakeFd>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `127.0.0.1:0` (the OS picks a free port — [`Server::addr`]
-    /// says which) and starts accepting.
+    /// says which), spawns the reactor thread, and starts accepting.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -131,37 +207,41 @@ impl Server {
             QueryService::with_mode(config.workers, config.mode)
                 .with_queue_capacity(config.queue_capacity),
         );
-        let shared = Arc::new(config);
-        let accept = {
-            let stats = Arc::clone(&stats);
-            let shutdown = Arc::clone(&shutdown);
-            let service = Arc::clone(&service);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    // Line-delimited request/response RPC is exactly the
-                    // small-write pattern Nagle + delayed ACK punish with
-                    // ~40ms stalls; every response must go out now.
-                    let _ = stream.set_nodelay(true);
-                    stats.connections.fetch_add(1, Ordering::Relaxed);
-                    let conn = Connection {
-                        config: Arc::clone(&shared),
-                        service: Arc::clone(&service),
-                        stats: Arc::clone(&stats),
-                    };
-                    std::thread::spawn(move || conn.run(stream));
-                }
-            })
+        let wake = Arc::new(WakeFd::new()?);
+        let (completion_tx, completion_rx) = channel();
+        let sink = {
+            let wake = Arc::clone(&wake);
+            CompletionSink::new(completion_tx, Arc::new(move || wake.wake()))
         };
+        let poller = Poller::new()?;
+        poller.add(wake.raw(), TOKEN_WAKE, true, false)?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+        let reactor = Reactor {
+            poller,
+            wake: Arc::clone(&wake),
+            listener: Some(listener),
+            config: Arc::new(config),
+            service: Arc::clone(&service),
+            stats: Arc::clone(&stats),
+            shutdown: Arc::clone(&shutdown),
+            completions: completion_rx,
+            sink,
+            conns: HashMap::new(),
+            routes: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            next_ticket: 0,
+            buckets: HashMap::new(),
+            drain_deadline: None,
+            drain_cancelled: false,
+        };
+        let handle = std::thread::spawn(move || reactor.run());
         Ok(Server {
             addr,
             stats,
-            service,
+            service: Some(service),
             shutdown,
-            accept: Some(accept),
+            wake,
+            reactor: Some(handle),
         })
     }
 
@@ -176,302 +256,697 @@ impl Server {
     }
 
     /// Requests accepted into the pool queue but not yet being
-    /// evaluated — by construction never exceeds the configured
-    /// `queue_capacity` on the `try_run_batch` path.
+    /// evaluated.
     pub fn queue_depth(&self) -> usize {
-        self.service.queue_depth()
+        self.service.as_ref().map_or(0, |s| s.queue_depth())
     }
 
     /// Requests a pool worker is evaluating right now.
     pub fn in_flight(&self) -> usize {
-        self.service.in_flight()
+        self.service.as_ref().map_or(0, |s| s.in_flight())
+    }
+
+    /// Drains and stops the server: stop accepting, refuse late `query`
+    /// frames (`shutting_down`), finish queued and in-flight work —
+    /// cancelling whatever outlives [`ServerConfig::drain_deadline`] —
+    /// flush and close every connection, and join the reactor and every
+    /// pool worker. Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake.wake();
+        if let Some(h) = self.reactor.take() {
+            let _ = h.join();
+        }
+        if let Some(service) = self.service.take() {
+            // The reactor's clone is gone (thread joined), so this is
+            // the last Arc and dropping it joins the worker pool.
+            drop(Arc::try_unwrap(service).map(drop));
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with one throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
+        self.shutdown();
+    }
+}
+
+const TOKEN_WAKE: u64 = 0;
+const TOKEN_LISTENER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Longest accepted request line; a connection exceeding it without a
+/// newline is dropped (the pre-reactor `BufReader` had no such guard —
+/// one hostile connection could balloon memory without bound).
+const MAX_LINE: usize = 1 << 20;
+
+/// A per-tenant token bucket (see [`RateLimit`]).
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl Bucket {
+    fn full(limit: &RateLimit) -> Bucket {
+        Bucket {
+            tokens: limit.burst as f64,
+            last: Instant::now(),
+        }
+    }
+
+    fn take(&mut self, limit: &RateLimit) -> bool {
+        let now = Instant::now();
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * limit.per_sec).min(limit.burst as f64);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
         }
     }
 }
 
-/// One query frame on its way from the reader to the eval thread.
-struct Pending {
-    id: u64,
-    request: Request,
-    flag: CancelFlag,
+/// What [`Conn::take_line`] found in the read buffer.
+enum LineStep {
+    /// No complete line buffered.
+    None,
+    /// One complete line, UTF-8 validated, `\n` (and any `\r`) stripped.
+    Line(String),
+    /// Invalid UTF-8 or an over-long line: drop the connection (the
+    /// pre-reactor `BufReader::lines` path did the same for bad UTF-8).
+    Fatal,
 }
 
-/// Per-connection state shared by its reader and eval threads.
-struct Connection {
+/// Per-connection state, owned entirely by the reactor thread — no
+/// locks anywhere on the serving path.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed as lines.
+    rbuf: Vec<u8>,
+    /// Encoded response bytes not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// The tenant named by `hello` (`"default"` until then) — the rate
+    /// bucket key.
+    tenant: String,
+    /// The tenant's budget quota, template for each request's budget.
+    budget: Budget,
+    /// Cancel flags of requests submitted and not yet completed — what
+    /// `cancel` frames, EOF, and the drain deadline trip.
+    flags: HashMap<u64, CancelFlag>,
+    /// Query ids awaiting responses, in submission order — the FIFO
+    /// that keeps pipelined responses ordered.
+    pending: VecDeque<u64>,
+    /// Out-of-order completions waiting for their turn at the FIFO head.
+    done: HashMap<u64, Frame>,
+    /// The socket returned EOF; remaining buffered lines still run.
+    eof_seen: bool,
+    /// EOF fully processed (buffered lines handled, flags tripped).
+    read_closed: bool,
+    /// Write side failed: discard output, tear down.
+    dead: bool,
+    /// Current epoll interest pair, to make re-registration a no-op
+    /// when nothing changed.
+    interest: (bool, bool),
+}
+
+impl Conn {
+    fn new(stream: TcpStream, budget: Budget) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            tenant: "default".to_string(),
+            budget,
+            flags: HashMap::new(),
+            pending: VecDeque::new(),
+            done: HashMap::new(),
+            eof_seen: false,
+            read_closed: false,
+            dead: false,
+            interest: (true, false),
+        }
+    }
+
+    /// Extracts the next complete line from `rbuf`, mirroring
+    /// `BufRead::lines` (strips `\n` and a trailing `\r`; invalid UTF-8
+    /// is fatal to the connection).
+    fn take_line(&mut self) -> LineStep {
+        match self.rbuf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let mut line: Vec<u8> = self.rbuf.drain(..=i).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                match String::from_utf8(line) {
+                    Ok(s) => LineStep::Line(s),
+                    Err(_) => LineStep::Fatal,
+                }
+            }
+            None if self.rbuf.len() > MAX_LINE => LineStep::Fatal,
+            None => LineStep::None,
+        }
+    }
+
+    /// Whether a complete buffered line is waiting (drives zero-timeout
+    /// polling so fairness-deferred lines are handled promptly).
+    fn has_buffered_line(&self) -> bool {
+        !self.read_closed && !self.dead && self.rbuf.contains(&b'\n')
+    }
+
+    /// Trips every in-flight flag (EOF, fatal line, write failure, or
+    /// the drain deadline).
+    fn trip_flags(&self) {
+        for flag in self.flags.values() {
+            flag.cancel();
+        }
+    }
+
+    /// Done serving: reaped once nothing remains to deliver.
+    fn finished(&self) -> bool {
+        self.dead || (self.read_closed && self.pending.is_empty() && self.wbuf.is_empty())
+    }
+}
+
+/// The reactor: owns the poller, the listener, every connection, and the
+/// pool handoff. Runs until shutdown + drain complete.
+struct Reactor {
+    poller: Poller,
+    wake: Arc<WakeFd>,
+    listener: Option<TcpListener>,
     config: Arc<ServerConfig>,
     service: Arc<QueryService>,
     stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    completions: Receiver<(u64, Result<String, ServiceError>)>,
+    sink: CompletionSink,
+    conns: HashMap<u64, Conn>,
+    /// Submission ticket → (connection token, request id). Entries
+    /// outlive their connection so completions for torn-down
+    /// connections still reach the stats counters.
+    routes: HashMap<u64, (u64, u64)>,
+    next_token: u64,
+    next_ticket: u64,
+    /// Per-tenant rate-limit buckets (reactor-owned: no locking).
+    buckets: HashMap<String, Bucket>,
+    /// Set when shutdown is observed: the moment outstanding work gets
+    /// cancelled.
+    drain_deadline: Option<Instant>,
+    /// The deadline cancellation has fired.
+    drain_cancelled: bool,
 }
 
-/// The flags of every request this connection has submitted and not yet
-/// answered — what `cancel` frames and disconnects trip.
-type FlagRegistry = Arc<Mutex<HashMap<u64, CancelFlag>>>;
-
-/// Writes one response line and flushes it. A client that hung up makes
-/// this fail; callers treat that as "connection over" via the returned
-/// bool rather than erroring, since the reader will see the EOF too.
-fn write_line(writer: &Mutex<TcpStream>, frame: &Frame) -> bool {
-    let mut line = frame.encode();
-    line.push('\n');
-    let mut w = writer.lock().expect("writer lock");
-    w.write_all(line.as_bytes())
-        .and_then(|()| w.flush())
-        .is_ok()
-}
-
-impl Connection {
-    fn run(self, stream: TcpStream) {
-        let reader = BufReader::new(stream.try_clone().expect("clone socket"));
-        let writer = Arc::new(Mutex::new(stream));
-        let flags: FlagRegistry = Arc::new(Mutex::new(HashMap::new()));
-        let (queue_tx, queue_rx) = channel::<Pending>();
-
-        let eval = {
-            let conn = Connection {
-                config: Arc::clone(&self.config),
-                service: Arc::clone(&self.service),
-                stats: Arc::clone(&self.stats),
-            };
-            let writer = Arc::clone(&writer);
-            let flags = Arc::clone(&flags);
-            std::thread::spawn(move || conn.eval_loop(queue_rx, writer, flags))
-        };
-
-        self.read_loop(reader, &writer, &flags, queue_tx);
-
-        // Reader done (EOF, read error, or unwritable socket): cancel
-        // everything still in flight so abandoned work stops at its next
-        // budget tick, then let the eval thread drain and exit (the
-        // queue sender is dropped by read_loop's return).
-        for flag in flags.lock().expect("flag registry").values() {
-            flag.cancel();
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = self.poll_timeout();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break; // unrecoverable poller failure
+            }
+            for ev in events.clone() {
+                match ev.token {
+                    TOKEN_WAKE => self.wake.drain(),
+                    TOKEN_LISTENER => self.accept_ready(),
+                    token => self.conn_ready(token, &ev),
+                }
+            }
+            self.drain_completions();
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in &tokens {
+                self.process_buffered(*token);
+            }
+            if self.shutdown.load(Ordering::SeqCst) && self.drain_deadline.is_none() {
+                self.begin_drain();
+            }
+            if let Some(deadline) = self.drain_deadline {
+                if !self.drain_cancelled && Instant::now() >= deadline {
+                    self.drain_cancelled = true;
+                    for conn in self.conns.values() {
+                        conn.trip_flags();
+                    }
+                }
+            }
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            for token in tokens {
+                self.post_io(token);
+            }
+            self.reap();
+            if self.drain_deadline.is_some() && self.drained() {
+                break; // dropping self closes every remaining socket
+            }
         }
-        let _ = eval.join();
     }
 
-    /// The reader: one frame per line until EOF. Returns (dropping the
-    /// queue sender) when the client is gone in either direction.
-    fn read_loop(
-        &self,
-        reader: BufReader<TcpStream>,
-        writer: &Mutex<TcpStream>,
-        flags: &FlagRegistry,
-        queue: Sender<Pending>,
-    ) {
-        let mut tenant_budget = self.config.default_budget.clone();
-        for line in reader.lines() {
-            let Ok(line) = line else { return };
-            if line.trim().is_empty() {
-                continue;
+    /// Zero while fairness-deferred lines wait, the time to the drain
+    /// deadline while draining, otherwise block until an event.
+    fn poll_timeout(&self) -> i32 {
+        if self.conns.values().any(Conn::has_buffered_line) {
+            return 0;
+        }
+        match self.drain_deadline {
+            Some(d) if !self.drain_cancelled => {
+                let ms = d.saturating_duration_since(Instant::now()).as_millis();
+                ms.min(i32::MAX as u128) as i32
             }
-            let frame = match Frame::parse(&line) {
-                Ok(f) => f,
-                Err(e) => {
-                    let resp = Frame::new()
-                        .bool("ok", false)
-                        .str("code", "bad_request")
-                        .str("error", e);
-                    if !write_line(writer, &resp) {
-                        return;
-                    }
-                    continue;
-                }
+            // Draining past cancellation: only completions remain, and
+            // they arrive via the wake fd.
+            _ => -1,
+        }
+    }
+
+    /// Everything outstanding is delivered (or undeliverable): exit.
+    fn drained(&self) -> bool {
+        let pendings_done =
+            self.routes.is_empty() && self.conns.values().all(|c| c.dead || c.pending.is_empty());
+        let flushed = self.conns.values().all(|c| c.dead || c.wbuf.is_empty());
+        // Before the deadline, wait for clients to take their flushed
+        // answers; past it, a stalled reader no longer delays exit.
+        pendings_done && (flushed || self.drain_cancelled)
+    }
+
+    /// Shutdown observed: close the door and start the drain clock.
+    fn begin_drain(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.delete(listener.as_raw_fd());
+            // Dropping the listener closes it: connection attempts from
+            // here on are refused at the TCP layer.
+        }
+        self.drain_deadline = Some(Instant::now() + self.config.drain_deadline);
+    }
+
+    /// Accepts until the backlog is empty (level-triggered listener).
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
             };
-            match frame.get_str("op") {
-                Some("hello") => {
-                    let tenant = frame.get_str("tenant").unwrap_or("default");
-                    tenant_budget = self
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // Line-delimited request/response RPC is exactly the
+                    // small-write pattern Nagle + delayed ACK punish with
+                    // ~40ms stalls; every response must go out now.
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, true, false)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    self.conns
+                        .insert(token, Conn::new(stream, self.config.default_budget.clone()));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient per-connection failures (ECONNABORTED …).
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// A connection's readiness event: drain the socket into `rbuf`
+    /// and/or retry the write buffer. Line handling happens afterwards
+    /// in [`Reactor::process_buffered`].
+    fn conn_ready(&mut self, token: u64, ev: &Event) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if ev.readable || ev.hangup {
+            let mut chunk = [0u8; 16 * 1024];
+            while !conn.eof_seen && !conn.dead {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => conn.eof_seen = true,
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&chunk[..n]);
+                        // Stop pulling once a hostile line is over-long;
+                        // process_buffered turns that into a teardown.
+                        if conn.rbuf.len() > MAX_LINE {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // Read side gone without clean EOF: same
+                        // teardown as EOF, nothing more will arrive.
+                        conn.eof_seen = true;
+                    }
+                }
+            }
+        }
+        if ev.writable || ev.hangup {
+            Self::try_write(conn);
+        }
+    }
+
+    /// Handles up to `batch_max` buffered lines for one connection (the
+    /// pipelining-fairness bound), then finalizes EOF once the buffer
+    /// holds no complete line.
+    fn process_buffered(&mut self, token: u64) {
+        let limit = self.config.batch_max.max(1);
+        for _ in 0..limit {
+            let step = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.read_closed || conn.dead {
+                    return;
+                }
+                conn.take_line()
+            };
+            match step {
+                LineStep::Line(line) => self.handle_line(token, &line),
+                LineStep::Fatal => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        // Matches the old reader: the connection is
+                        // dropped, its outstanding work cancelled, but
+                        // already-written responses still flush.
+                        conn.read_closed = true;
+                        conn.rbuf.clear();
+                        conn.trip_flags();
+                    }
+                    return;
+                }
+                LineStep::None => break,
+            }
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if conn.eof_seen && !conn.read_closed && !conn.rbuf.contains(&b'\n') {
+                // EOF, and every complete line has been handled: the old
+                // reader's post-loop cleanup — cancel what's in flight.
+                conn.read_closed = true;
+                conn.rbuf.clear();
+                conn.trip_flags();
+            }
+        }
+    }
+
+    /// One request line: parse, dispatch by op. Protocol-level errors
+    /// answer immediately (ahead of in-flight queries, as PR 7 did);
+    /// query outcomes flow through the ordered FIFO.
+    fn handle_line(&mut self, token: u64, line: &str) {
+        if line.trim().is_empty() {
+            return;
+        }
+        let frame = match Frame::parse(line) {
+            Ok(f) => f,
+            Err(e) => {
+                self.respond(token, bad_request(e));
+                return;
+            }
+        };
+        match frame.get_str("op") {
+            Some("hello") => {
+                let tenant = frame.get_str("tenant").unwrap_or("default").to_string();
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.budget = self
                         .config
                         .tenants
-                        .get(tenant)
+                        .get(&tenant)
                         .cloned()
                         .unwrap_or_else(|| self.config.default_budget.clone());
-                    let resp = Frame::new()
-                        .bool("ok", true)
-                        .str("op", "hello")
-                        .str("tenant", tenant);
-                    if !write_line(writer, &resp) {
-                        return;
-                    }
+                    conn.tenant = tenant.clone();
                 }
-                Some("cancel") => {
-                    let Some(id) = frame.get_uint("id") else {
-                        let resp = Frame::new()
-                            .bool("ok", false)
-                            .str("code", "bad_request")
-                            .str("error", "cancel needs a numeric id");
-                        if !write_line(writer, &resp) {
-                            return;
-                        }
-                        continue;
-                    };
-                    // Ack first, then trip the flag: the ack's position
-                    // in the response stream is deterministic (before
-                    // the cancelled query's own response), which the
-                    // golden suite pins.
-                    let resp = Frame::new()
-                        .bool("ok", true)
-                        .str("op", "cancel")
-                        .uint("id", id);
-                    if !write_line(writer, &resp) {
-                        return;
-                    }
-                    if let Some(flag) = flags.lock().expect("flag registry").get(&id) {
+                let resp = Frame::new()
+                    .bool("ok", true)
+                    .str("op", "hello")
+                    .str("tenant", tenant);
+                self.respond(token, resp);
+            }
+            Some("cancel") => {
+                let Some(id) = frame.get_uint("id") else {
+                    self.respond(token, bad_request("cancel needs a numeric id"));
+                    return;
+                };
+                // Ack first, then trip the flag: the ack's position in
+                // the response stream is deterministic (before the
+                // cancelled query's own response), which the golden
+                // suite pins.
+                let resp = Frame::new()
+                    .bool("ok", true)
+                    .str("op", "cancel")
+                    .uint("id", id);
+                self.respond(token, resp);
+                if let Some(conn) = self.conns.get(&token) {
+                    if let Some(flag) = conn.flags.get(&id) {
                         flag.cancel();
                     }
                 }
-                Some("query") => {
-                    let (id, pending) = match self.build_request(&frame, &tenant_budget) {
-                        Ok(p) => p,
-                        Err(resp) => {
-                            if !write_line(writer, &resp) {
-                                return;
-                            }
-                            continue;
-                        }
-                    };
-                    // Register before enqueueing: a cancel (or EOF) that
-                    // arrives while the request waits in the pool queue
-                    // must still reach its flag.
-                    flags
-                        .lock()
-                        .expect("flag registry")
-                        .insert(id, pending.flag.clone());
-                    if queue.send(pending).is_err() {
-                        return; // eval thread gone: connection is over
-                    }
-                }
-                _ => {
-                    let resp = Frame::new()
-                        .bool("ok", false)
-                        .str("code", "bad_request")
-                        .str("error", "op must be hello, query, or cancel");
-                    if !write_line(writer, &resp) {
-                        return;
-                    }
-                }
             }
+            Some("query") => self.handle_query(token, &frame),
+            _ => self.respond(token, bad_request("op must be hello, query, or cancel")),
         }
     }
 
-    /// Turns a `query` frame into a pool request, or into the error
-    /// response to send instead.
-    fn build_request(
-        &self,
-        frame: &Frame,
-        tenant_budget: &Budget,
-    ) -> Result<(u64, Pending), Frame> {
-        let bad = |msg: &str| {
-            Frame::new()
-                .bool("ok", false)
-                .str("code", "bad_request")
-                .str("error", msg)
-        };
+    /// A `query` frame: validate, rate-limit, register the cancel flag,
+    /// and hand off to the pool.
+    fn handle_query(&mut self, token: u64, frame: &Frame) {
         let Some(id) = frame.get_uint("id") else {
-            return Err(bad("query needs a numeric id"));
+            self.respond(token, bad_request("query needs a numeric id"));
+            return;
         };
+        if self.drain_deadline.is_some() {
+            // Late frame during drain: refused, never queued.
+            let resp = Frame::new()
+                .bool("ok", false)
+                .uint("id", id)
+                .str("code", "shutting_down")
+                .str("error", "server is draining");
+            self.respond(token, resp);
+            return;
+        }
+        let Some(conn) = self.conns.get(&token) else {
+            return;
+        };
+        if conn.pending.contains(&id) {
+            // The duplicate-id bugfix: a second in-flight `query` with
+            // the same id used to clobber the first's cancel-flag
+            // registration; now it is rejected outright.
+            let resp = bad_request(format!("id {id} is already in flight")).uint("id", id);
+            self.respond(token, resp);
+            return;
+        }
         let Some(query) = frame.get_str("query") else {
-            return Err(bad("query needs query text").uint("id", id));
+            self.respond(token, bad_request("query needs query text").uint("id", id));
+            return;
         };
         let Some(doc_name) = frame.get_str("doc") else {
-            return Err(bad("query needs a doc name").uint("id", id));
+            self.respond(token, bad_request("query needs a doc name").uint("id", id));
+            return;
         };
         let Some(doc) = self.config.docs.get(doc_name) else {
-            return Err(Frame::new()
+            let resp = Frame::new()
                 .bool("ok", false)
                 .uint("id", id)
                 .str("code", "unknown_doc")
-                .str("error", format!("no document named {doc_name:?}")));
+                .str("error", format!("no document named {doc_name:?}"));
+            self.respond(token, resp);
+            return;
         };
+        // Rate limit: one token per well-formed query, from the
+        // tenant's shared bucket. Refusals take the ordered FIFO (like
+        // `overloaded`) so pipelined responses stay in submission order.
+        let tenant = conn.tenant.clone();
+        let limit = self
+            .config
+            .rates
+            .get(&tenant)
+            .or(self.config.default_rate.as_ref());
+        if let Some(limit) = limit {
+            let bucket = self
+                .buckets
+                .entry(tenant)
+                .or_insert_with(|| Bucket::full(limit));
+            if !bucket.take(limit) {
+                self.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                let resp = Frame::new()
+                    .bool("ok", false)
+                    .uint("id", id)
+                    .str("code", "rate_limited")
+                    .str("error", "rate limit exceeded");
+                let conn = self.conns.get_mut(&token).expect("conn checked above");
+                conn.pending.push_back(id);
+                conn.done.insert(id, resp);
+                return;
+            }
+        }
         let flag = CancelFlag::new();
-        let mut budget = tenant_budget.clone().with_cancel(flag.clone());
+        let conn = self.conns.get_mut(&token).expect("conn checked above");
+        let mut budget = conn.budget.clone().with_cancel(flag.clone());
         if let Some(ms) = frame.get_uint("deadline_ms") {
             budget = budget.with_deadline_in(Duration::from_millis(ms));
         }
         let mut request = Request::new(query, Arc::clone(doc));
         request.budget = budget;
-        Ok((id, Pending { id, request, flag }))
+        // Register before submitting: a cancel (or EOF) racing the
+        // evaluation must still reach the flag.
+        conn.pending.push_back(id);
+        conn.flags.insert(id, flag);
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.routes.insert(ticket, (token, id));
+        if !self.service.try_submit(ticket, request, &self.sink) {
+            // Shed at admission: the result is known now; it still takes
+            // the FIFO so responses stay ordered.
+            self.routes.remove(&ticket);
+            let frame = render(&self.stats, id, Err(ServiceError::Overloaded));
+            let conn = self.conns.get_mut(&token).expect("conn checked above");
+            conn.flags.remove(&id);
+            conn.done.insert(id, frame);
+        }
     }
 
-    /// The eval thread: greedy rounds over the queued frames. Each round
-    /// takes up to `batch_max` frames and submits them as one admission-
-    /// controlled pool batch; responses are written in submission order.
-    fn eval_loop(
-        &self,
-        queue: Receiver<Pending>,
-        writer: Arc<Mutex<TcpStream>>,
-        flags: FlagRegistry,
-    ) {
-        loop {
-            // Block for the round's first frame, then drain whatever
-            // else has already arrived — pipelined clients batch, serial
-            // clients get per-frame latency.
-            let first = match queue.recv() {
-                Ok(p) => p,
-                Err(_) => return, // reader gone, queue drained
+    /// Routes every queued pool completion to its connection's FIFO
+    /// (counting stats even when the connection is already gone).
+    fn drain_completions(&mut self) {
+        while let Ok((ticket, result)) = self.completions.try_recv() {
+            let Some((token, id)) = self.routes.remove(&ticket) else {
+                continue;
             };
-            let mut round = vec![first];
-            while round.len() < self.config.batch_max.max(1) {
-                match queue.try_recv() {
-                    Ok(p) => round.push(p),
-                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            let frame = render(&self.stats, id, result);
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if !conn.dead {
+                    conn.flags.remove(&id);
+                    conn.done.insert(id, frame);
                 }
             }
-            let requests: Vec<Request> = round.iter().map(|p| p.request.clone()).collect();
-            let results = self.service.try_run_batch(requests);
-            for (pending, result) in round.iter().zip(results) {
-                flags.lock().expect("flag registry").remove(&pending.id);
-                let resp = self.render(pending.id, result);
-                if !write_line(&writer, &resp) {
-                    return; // client hung up; reader sees it too
-                }
+            // Connection torn down: the answer is undeliverable, but the
+            // counters above still observed it (the disconnect-cancels
+            // contract is tested through exactly this path).
+        }
+    }
+
+    /// An immediate (non-FIFO) response: protocol errors, hello/cancel
+    /// acks — written ahead of in-flight query answers, like the PR 7
+    /// reader thread did.
+    fn respond(&mut self, token: u64, frame: Frame) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if !conn.dead {
+                let mut line = frame.encode();
+                line.push('\n');
+                conn.wbuf.extend_from_slice(line.as_bytes());
             }
         }
     }
 
-    /// Maps a pool result to its wire frame, bumping the stats counters.
-    fn render(&self, id: u64, result: Result<String, ServiceError>) -> Frame {
-        match result {
-            Ok(xml) => {
-                self.stats.served.fetch_add(1, Ordering::Relaxed);
-                Frame::new()
-                    .bool("ok", true)
-                    .uint("id", id)
-                    .str("result", xml)
+    /// Moves ready FIFO-ordered answers into the write buffer, flushes
+    /// what the socket will take, and refreshes epoll interest.
+    fn post_io(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while let Some(front) = conn.pending.front() {
+            let Some(frame) = conn.done.remove(front) else {
+                break;
+            };
+            conn.pending.pop_front();
+            if !conn.dead {
+                let mut line = frame.encode();
+                line.push('\n');
+                conn.wbuf.extend_from_slice(line.as_bytes());
             }
-            Err(e) => {
-                let code = match &e {
-                    ServiceError::Parse(_) => "parse",
-                    ServiceError::Eval(_) => "eval",
-                    ServiceError::Overloaded => "overloaded",
-                    ServiceError::Cancelled => "cancelled",
-                    ServiceError::DeadlineExceeded => "deadline",
-                };
-                match &e {
-                    ServiceError::Overloaded => {
-                        self.stats.shed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    ServiceError::Cancelled | ServiceError::DeadlineExceeded => {
-                        self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
-                    }
-                    _ => {}
+        }
+        Self::try_write(conn);
+        let want = (
+            !conn.eof_seen && !conn.read_closed && !conn.dead,
+            !conn.wbuf.is_empty() && !conn.dead,
+        );
+        if want != conn.interest {
+            conn.interest = want;
+            let _ = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, want.0, want.1);
+        }
+    }
+
+    /// Writes as much of `wbuf` as the socket takes right now. A write
+    /// failure kills the connection and cancels its outstanding work.
+    fn try_write(conn: &mut Conn) {
+        let mut written = 0;
+        while written < conn.wbuf.len() && !conn.dead {
+            match conn.stream.write(&conn.wbuf[written..]) {
+                Ok(0) => conn.dead = true,
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => conn.dead = true,
+            }
+        }
+        conn.wbuf.drain(..written);
+        if conn.dead {
+            conn.wbuf.clear();
+            conn.trip_flags();
+        }
+    }
+
+    /// Deregisters and drops finished connections (dropping the stream
+    /// closes it). Their `routes` entries stay until the completions
+    /// arrive, so stats never lose a result.
+    fn reap(&mut self) {
+        let goners: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.finished())
+            .map(|(t, _)| *t)
+            .collect();
+        for token in goners {
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = self.poller.delete(conn.stream.as_raw_fd());
+            }
+        }
+    }
+}
+
+/// A frame-level `bad_request` answer.
+fn bad_request(error: impl Into<String>) -> Frame {
+    Frame::new()
+        .bool("ok", false)
+        .str("code", "bad_request")
+        .str("error", error.into())
+}
+
+/// Maps a pool result to its wire frame, bumping the stats counters —
+/// the one place query outcomes are counted, deliverable or not.
+fn render(stats: &ServerStats, id: u64, result: Result<String, ServiceError>) -> Frame {
+    match result {
+        Ok(xml) => {
+            stats.served.fetch_add(1, Ordering::Relaxed);
+            Frame::new()
+                .bool("ok", true)
+                .uint("id", id)
+                .str("result", xml)
+        }
+        Err(e) => {
+            let code = match &e {
+                ServiceError::Parse(_) => "parse",
+                ServiceError::Eval(_) => "eval",
+                ServiceError::Overloaded => "overloaded",
+                ServiceError::Cancelled => "cancelled",
+                ServiceError::DeadlineExceeded => "deadline",
+            };
+            match &e {
+                ServiceError::Overloaded => {
+                    stats.shed.fetch_add(1, Ordering::Relaxed);
                 }
-                Frame::new()
-                    .bool("ok", false)
-                    .uint("id", id)
-                    .str("code", code)
-                    .str("error", e.to_string())
+                ServiceError::Cancelled | ServiceError::DeadlineExceeded => {
+                    stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
             }
+            Frame::new()
+                .bool("ok", false)
+                .uint("id", id)
+                .str("code", code)
+                .str("error", e.to_string())
         }
     }
 }

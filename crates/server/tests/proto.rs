@@ -28,7 +28,7 @@ use std::time::Duration;
 
 use cv_xtree::{parse_tree, ArenaDoc, TreeGen};
 use xq_core::{Budget, Threads};
-use xq_server::{Server, ServerConfig};
+use xq_server::{RateLimit, Server, ServerConfig};
 
 /// The fixed golden document: small, hand-written, engine-independent.
 fn golden_docs() -> HashMap<String, Arc<ArenaDoc>> {
@@ -183,7 +183,42 @@ fn render_transcript() -> String {
         &[
             (r#"{"op":"hello","tenant":"slow"}"#, 1),
             (query_frame.as_str(), 0),
+            // A second query reusing the in-flight id is rejected
+            // outright (it used to clobber the first's cancel-flag
+            // registration); the original query and its flag are
+            // untouched, so the cancel below still lands.
+            (r#"{"op":"query","id":1,"doc":"d0","query":"$root/*"}"#, 1),
             (r#"{"op":"cancel","id":1}"#, 2),
+        ],
+    );
+
+    // Rate limit: tenant "acme" gets a two-token bucket that never
+    // refills (per_sec=0), so exactly the first two queries are served
+    // and the third answers `rate_limited` — deterministically, because
+    // refusals flow through the same ordered FIFO as results.
+    let mut rates = HashMap::new();
+    rates.insert(
+        "acme".to_string(),
+        RateLimit {
+            per_sec: 0.0,
+            burst: 2,
+        },
+    );
+    let limited = Server::start(ServerConfig {
+        rates,
+        docs: golden_docs(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    run_script(
+        &mut t,
+        "rate limit (acme: burst 2, no refill)",
+        &limited,
+        &[
+            (r#"{"op":"hello","tenant":"acme"}"#, 1),
+            (r#"{"op":"query","id":1,"doc":"d0","query":"$root/*"}"#, 1),
+            (r#"{"op":"query","id":2,"doc":"d0","query":"<x/>"}"#, 1),
+            (r#"{"op":"query","id":3,"doc":"d0","query":"$root/b"}"#, 1),
         ],
     );
 
@@ -262,6 +297,71 @@ fn disconnect_cancels_in_flight_work() {
     assert!(
         resp.contains(r#""ok":true"#),
         "pool wedged after disconnect: {resp}"
+    );
+}
+
+/// Regression for the PR 8 cancel-registry bugfix: a duplicate query id
+/// used to `insert` over the first request's cancel flag, and the
+/// duplicate's completion then `remove`d the registration, leaving the
+/// still-running original uncancellable. Now the duplicate is rejected
+/// with `bad_request` and the original's cancel still lands.
+#[test]
+fn duplicate_id_is_rejected_and_does_not_clobber_cancellation() {
+    let mut tenants = HashMap::new();
+    tenants.insert(
+        "slow".to_string(),
+        Budget {
+            max_steps: u64::MAX,
+            max_items: u64::MAX,
+            threads: Threads::One,
+            ..Budget::default()
+        },
+    );
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        tenants,
+        docs: golden_docs(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let nested: String = (1..=20)
+        .map(|i| format!("for $v{i} in $root//* return "))
+        .collect::<String>()
+        + "<t/>";
+    let mut client = Client::connect(&server);
+    client.send(r#"{"op":"hello","tenant":"slow"}"#);
+    let _ = client.recv();
+    client.send(&format!(
+        r#"{{"op":"query","id":1,"doc":"d0","query":"{nested}"}}"#
+    ));
+    // Wait for the original to be picked up, so the duplicate arrives
+    // while it is genuinely in flight.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while server.in_flight() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "query was never picked up"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    client.send(r#"{"op":"query","id":1,"doc":"d0","query":"$root/*"}"#);
+    let dup = client.recv();
+    assert!(
+        dup.contains(r#""code":"bad_request""#) && dup.contains("already in flight"),
+        "duplicate id was not rejected: {dup}"
+    );
+    // Pre-fix, this cancel would no-op (the registration was clobbered
+    // then stripped) and the recv below would hang until the timeout.
+    client.send(r#"{"op":"cancel","id":1}"#);
+    let ack = client.recv();
+    assert!(
+        ack.contains(r#""op":"cancel""#),
+        "missing cancel ack: {ack}"
+    );
+    let resp = client.recv();
+    assert!(
+        resp.contains(r#""code":"cancelled""#),
+        "original query was not cancelled: {resp}"
     );
 }
 
