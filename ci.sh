@@ -57,15 +57,23 @@ cargo test -q -p xq_core --test plan_cache_threads
 # the xq_server package runs the protocol golden + malformed-frame fuzz
 # + duplicate-id suite (proto), the bounded-queue / exact-shedding /
 # no-lost-responses socket suite (load_shed), the token-bucket suite
-# (rate_limit), the graceful-shutdown suite (drain), and the
-# protocol + epoll-binding unit tests — all against the readiness-driven
-# reactor front door. Run again with XQ_ARENA=1 + XQ_THREADS=4 so
-# cancellation and the socket path are exercised over arena documents
-# and the parallel entry points.
-step "serving suites (cancel_diff, xq_server; XQ_ARENA=1 XQ_THREADS=4)"
+# (rate_limit), the graceful-shutdown suite (drain), the pinned-seed
+# chaos soak (chaos: injected worker panics, dropped completions, and
+# refusals — zero lost or duplicated responses, pool self-healing),
+# the backpressure + idle-timeout suite (pressure), the fault-spec
+# environment gate (fault_env), and the protocol + epoll-binding +
+# timer-wheel unit tests — all against the readiness-driven reactor
+# front door. The supervision suite drives the unwind fence, restart
+# budget, and RAII gauge contracts on the pool directly. Run again with
+# XQ_ARENA=1 + XQ_THREADS=4 so cancellation, the socket path, and the
+# chaos soak are exercised over arena documents and the parallel entry
+# points.
+step "serving suites (cancel_diff, supervision, xq_server; XQ_ARENA=1 XQ_THREADS=4)"
 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" cargo test -q -p xq_core --test cancel_diff
 XQ_ARENA=1 XQ_THREADS=4 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" \
     cargo test -q -p xq_core --test cancel_diff
+cargo test -q -p xq_core --test supervision
+XQ_ARENA=1 XQ_THREADS=4 cargo test -q -p xq_core --test supervision
 cargo test -q -p xq_server
 XQ_ARENA=1 XQ_THREADS=4 cargo test -q -p xq_server
 
@@ -83,6 +91,9 @@ cargo run --release -p xq_bench --bin harness -- --only t19 --json BENCH_T19.jso
 
 step "T20 connection-scaling table (machine-readable: BENCH_T20.json)"
 cargo run --release -p xq_bench --bin harness -- --only t20 --json BENCH_T20.json > /dev/null
+
+step "T21 chaos-soak table (machine-readable: BENCH_T21.json)"
+cargo run --release -p xq_bench --bin harness -- --only t21 --json BENCH_T21.json > /dev/null
 
 step "cargo bench --no-run --workspace (bench targets must compile)"
 # --workspace matters: from the root, plain `cargo bench` only builds the

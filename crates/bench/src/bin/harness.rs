@@ -8,6 +8,7 @@
 //! cargo run --release -p xq_bench --bin harness -- --only t18 --json BENCH_T18.json
 //! cargo run --release -p xq_bench --bin harness -- --only t19 --json BENCH_T19.json
 //! cargo run --release -p xq_bench --bin harness -- --only t20 --json BENCH_T20.json
+//! cargo run --release -p xq_bench --bin harness -- --only t21 --json BENCH_T21.json
 //! ```
 //!
 //! `--only tN` runs a single table; `--json FILE` additionally writes the
@@ -15,6 +16,7 @@
 //! (planner coverage) under `--only t17`, T18 (VM vs interpreter) under
 //! `--only t18`, T19 (network serving under load) under `--only t19`,
 //! T20 (connection scaling on the reactor) under `--only t20`,
+//! T21 (chaos soak under seeded fault injection) under `--only t21`,
 //! T16 (parallel scaling) otherwise — the CI perf-trajectory artifacts.
 
 use cv_monad::Budget;
@@ -49,10 +51,10 @@ fn main() {
     }
     if let Some(o) = &only {
         // A typo must fail loudly, not silently run zero tables.
-        let known: Vec<String> = (1..=20).map(|i| format!("t{i}")).collect();
+        let known: Vec<String> = (1..=21).map(|i| format!("t{i}")).collect();
         assert!(
             known.contains(o),
-            "--only {o:?} is not a known table (expected one of t1..t20)"
+            "--only {o:?} is not a known table (expected one of t1..t21)"
         );
     }
 
@@ -126,13 +128,27 @@ fn main() {
             }
         }
     }
+    if only.as_deref().is_none_or(|o| o == "t21") {
+        let rows = t21_chaos();
+        if only.as_deref() == Some("t21") {
+            if let Some(path) = &json_path {
+                std::fs::write(path, t21_json(&rows)).expect("write --json file");
+                println!("\nT21 rows written to {path}");
+            }
+        }
+    }
     if json_path.is_some()
         && !matches!(
             only.as_deref(),
-            None | Some("t16") | Some("t17") | Some("t18") | Some("t19") | Some("t20")
+            None | Some("t16")
+                | Some("t17")
+                | Some("t18")
+                | Some("t19")
+                | Some("t20")
+                | Some("t21")
         )
     {
-        panic!("--json requires T16..T20 to run (drop --only or use --only t16/t17/t18/t19/t20)");
+        panic!("--json requires T16..T21 to run (drop --only or use --only t16/.../t21)");
     }
 
     println!("\nAll requested experiment tables regenerated.");
@@ -1006,6 +1022,254 @@ fn t20_json(rows: &[T20Row]) -> String {
             r.ok,
             r.p50_us,
             r.p99_us,
+            r.throughput_rps,
+            r.wall_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One T21 measurement: a soak under one fault spec (or none, for the
+/// baseline row).
+struct T21Row {
+    label: &'static str,
+    spec: &'static str,
+    requests: usize,
+    ok: usize,
+    internal: usize,
+    shed: usize,
+    deaths: usize,
+    restarts: usize,
+    throughput_rps: f64,
+    wall_ms: f64,
+}
+
+fn t21_chaos() -> Vec<T21Row> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use xq_server::{Frame, Server, ServerConfig};
+
+    header("T21  Chaos soak  (xq_server: seeded fault injection, supervision)");
+    const WORKERS: usize = 2;
+    const CONNS: usize = 8;
+    const PER_CONN: usize = 40;
+    // The pinned default makes the table reproducible run over run; the
+    // scheduled randomized soak overrides it through the environment.
+    let seed: u64 = std::env::var("XQ_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2005);
+    println!(
+        "The T20 pipelined-client shape under seeded fault injection \
+         (seed {seed}): worker panics contained by the unwind fence, \
+         workers killed mid-delivery and respawned by the supervisor, \
+         injected evaluation delays, injected admission refusals. \
+         {CONNS} connections pipeline {PER_CONN} queries each; the \
+         contract is not throughput but integrity — every query answered \
+         exactly once, in order, with `ok`/`internal_error`/`overloaded`, \
+         gauges back to zero and the pool back at {WORKERS} workers \
+         after every row.\n"
+    );
+
+    let src = "for $x in $root//* return <w>{ $x//* }</w>";
+    let mut g = TreeGen::new(19);
+    let doc = cv_xtree::random_tree(&mut g, 200, &["a", "b", "k"]);
+    let mut docs = std::collections::HashMap::new();
+    docs.insert(
+        "d0".to_string(),
+        std::sync::Arc::new(ArenaDoc::from_tree(&doc)),
+    );
+
+    let specs: [(&'static str, &'static str); 3] = [
+        ("baseline", ""),
+        ("panics", "worker-panic=0.05"),
+        (
+            "full chaos",
+            "worker-panic=0.05,completion-drop=0.03,slow-eval=0.2@1,submit-refusal=0.03",
+        ),
+    ];
+    println!("| row | requests | ok | internal | shed | deaths | restarts | ok/s |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut rows = Vec::new();
+    for (label, spec) in specs {
+        let faults = (!spec.is_empty()).then(|| {
+            std::sync::Arc::new(xq_core::Faults::from_spec(spec, seed).expect("T21 spec parses"))
+        });
+        let server = Server::start(ServerConfig {
+            workers: WORKERS,
+            docs: docs.clone(),
+            faults,
+            // Worst case every delivery kills its worker; self-healing
+            // must never run out of budget mid-soak.
+            restart_budget: (CONNS * PER_CONN) as u32,
+            ..ServerConfig::default()
+        })
+        .expect("start T21 server");
+        let started = Instant::now();
+        let (mut ok, mut internal, mut shed) = (0usize, 0usize, 0usize);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CONNS)
+                .map(|_| {
+                    let addr = server.addr();
+                    scope.spawn(move || {
+                        let stream = TcpStream::connect(addr).expect("connect");
+                        stream.set_nodelay(true).expect("nodelay");
+                        let mut reader = BufReader::new(stream.try_clone().unwrap());
+                        let mut writer = stream;
+                        for id in 0..PER_CONN {
+                            let frame = Frame::new()
+                                .str("op", "query")
+                                .uint("id", id as u64)
+                                .str("doc", "d0")
+                                .str("query", src);
+                            writer.write_all(frame.encode().as_bytes()).expect("send");
+                            writer.write_all(b"\n").expect("send");
+                        }
+                        writer.flush().expect("flush");
+                        let (mut ok, mut internal, mut shed) = (0usize, 0usize, 0usize);
+                        for id in 0..PER_CONN {
+                            let mut line = String::new();
+                            let n = reader.read_line(&mut line).expect("recv");
+                            assert!(n > 0, "connection closed before id {id} answered");
+                            let resp =
+                                Frame::parse(line.trim_end_matches('\n')).expect("frame parses");
+                            // Zero lost or duplicated responses: ids
+                            // echo the pipeline order exactly.
+                            assert_eq!(
+                                resp.get_uint("id"),
+                                Some(id as u64),
+                                "T21 responses must arrive in pipeline order"
+                            );
+                            if resp.get_bool("ok") == Some(true) {
+                                ok += 1;
+                            } else {
+                                match resp.get_str("code") {
+                                    Some("internal_error") => internal += 1,
+                                    Some("overloaded") => shed += 1,
+                                    other => {
+                                        panic!("T21 answers are ok/internal/overloaded: {other:?}")
+                                    }
+                                }
+                            }
+                        }
+                        (ok, internal, shed)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (o, i, s) = h.join().expect("client thread");
+                ok += o;
+                internal += i;
+                shed += s;
+            }
+        });
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        // Gauges must return to zero and the supervisor must have the
+        // pool back at strength before the row is accepted.
+        let deadline = Instant::now() + std::time::Duration::from_secs(60);
+        loop {
+            let settled = server.queue_depth() == 0
+                && server.admitted_depth() == 0
+                && server.in_flight() == 0
+                && server.alive_workers() == WORKERS;
+            if settled {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "T21 {label}: gauges or pool never settled"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let row = T21Row {
+            label,
+            spec,
+            requests: CONNS * PER_CONN,
+            ok,
+            internal,
+            shed,
+            deaths: server.worker_deaths(),
+            restarts: server.restarts(),
+            throughput_rps: ok as f64 / (wall_ms / 1e3),
+            wall_ms,
+        };
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} | {:.0} |",
+            row.label,
+            row.requests,
+            row.ok,
+            row.internal,
+            row.shed,
+            row.deaths,
+            row.restarts,
+            row.throughput_rps
+        );
+        rows.push(row);
+        drop(server);
+    }
+
+    // The containment contract, self-checked: the baseline row is
+    // untouched by the machinery (injection off costs nothing and fails
+    // nothing), every row answers every request, and the chaos rows
+    // actually exercised the fence and the supervisor.
+    for r in &rows {
+        assert_eq!(
+            r.ok + r.internal + r.shed,
+            r.requests,
+            "T21 {}: every request answered exactly once",
+            r.label
+        );
+    }
+    let baseline = &rows[0];
+    assert_eq!(baseline.internal, 0, "baseline must not fail internally");
+    assert_eq!(baseline.shed, 0, "baseline must not shed (unbounded queue)");
+    assert_eq!(baseline.deaths, 0, "baseline must not lose workers");
+    let chaos = rows.last().unwrap();
+    assert!(chaos.internal > 0, "full chaos must surface failures");
+    assert_eq!(
+        chaos.deaths, chaos.restarts,
+        "every crashed worker was respawned"
+    );
+
+    println!(
+        "\nShape: fault injection converts a configurable slice of the \
+         baseline's oks into contained `internal_error` answers (plus a \
+         few injected sheds) without losing, duplicating, or reordering \
+         a single response — and every worker the chaos kills is back \
+         before the row ends."
+    );
+    rows
+}
+
+/// Renders the T21 rows as the `--json` payload (hand-rolled: the
+/// workspace is offline, no serde).
+fn t21_json(rows: &[T21Row]) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let seed: u64 = std::env::var("XQ_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2005);
+    let mut out = String::from("{\n");
+    out.push_str("  \"table\": \"T21\",\n");
+    out.push_str(&format!("  \"host_threads\": {host},\n"));
+    out.push_str("  \"workers\": 2,\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"spec\": \"{}\", \"requests\": {}, \
+             \"ok\": {}, \"internal\": {}, \"shed\": {}, \"deaths\": {}, \
+             \"restarts\": {}, \"throughput_rps\": {:.1}, \"wall_ms\": {:.1}}}{}\n",
+            r.label,
+            r.spec,
+            r.requests,
+            r.ok,
+            r.internal,
+            r.shed,
+            r.deaths,
+            r.restarts,
             r.throughput_rps,
             r.wall_ms,
             if i + 1 == rows.len() { "" } else { "," }

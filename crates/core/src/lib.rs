@@ -15,8 +15,12 @@
 //! * [`par`] — data-parallel evaluation over the arena store: every loop
 //!   the planner proves shardable split across threads with an
 //!   order-preserving interned-token splice merge;
-//! * [`service`] — a fixed worker pool batching many (query, document)
-//!   pairs, the serve-heavy-traffic shape;
+//! * [`service`] — a supervised worker pool batching many (query,
+//!   document) pairs, the serve-heavy-traffic shape, with per-request
+//!   panic containment;
+//! * [`fault`] — seeded, deterministic fault injection (named fault
+//!   points, `XQ_FAULT_SPEC`/`XQ_FAULT_SEED`) for chaos-testing the
+//!   serving stack;
 //! * [`vm`] — the bytecode VM: queries lower once to a flat instruction
 //!   sequence (static slots, baked planner hint and optimizer verdict)
 //!   held in a process-wide lock-striped plan cache, executed on a stack
@@ -28,6 +32,7 @@
 
 pub mod ast;
 pub mod doc;
+pub mod fault;
 pub mod fragments;
 pub mod par;
 pub mod parser;
@@ -39,6 +44,7 @@ pub mod vm;
 
 pub use ast::{cond_as_query, Cond, EqMode, Query, Var};
 pub use doc::{load_document, DocRepr};
+pub use fault::{FaultPoint, FaultSpecError, Faults};
 pub use fragments::{
     free_vars, is_composition_free, is_strict_core, is_xq_tilde, to_composition_free, to_xq_tilde,
     Features,
@@ -50,7 +56,7 @@ pub use semantics::{
     boolean_result, eval_cond_with, eval_query, eval_with, Budget, CancelFlag, Env, EvalStats,
     Threads, XqError,
 };
-pub use service::{CompletionSink, QueryService, Request, ServeMode, ServiceError};
+pub use service::{CompletionSink, PoolConfig, QueryService, Request, ServeMode, ServiceError};
 pub use translate::{
     c_forest, c_tree, c_tree_inverse, ma_env, ma_invariant_holds, ma_query, ma_query_optimized,
     t_value, t_value_inverse, value_query, xq_invariant_holds, xq_of_ma, TranslateError,

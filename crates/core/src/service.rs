@@ -1,4 +1,4 @@
-//! A batching query service over a fixed worker pool — the
+//! A batching query service over a supervised worker pool — the
 //! serve-heavy-traffic shape of the ROADMAP north star.
 //!
 //! [`QueryService`] owns `N` long-lived worker threads. A batch of
@@ -25,20 +25,52 @@
 //! and runs on the bytecode VM. [`ServeMode::Interp`] preserves the
 //! parse-per-request interpreter route as a baseline.
 //!
+//! ## Fault containment
+//!
+//! Koch05's completeness result means a legitimately adversarial query
+//! can demand exponential resources — and an engine bug it tickles can
+//! panic. Three layers keep one bad request from taking the pool down:
+//!
+//! * **The unwind fence.** Each evaluation runs under
+//!   [`std::panic::catch_unwind`]: a panicking query is answered
+//!   [`ServiceError::Internal`] and the worker serves the next job.
+//! * **RAII accounting and delivery.** Every gauge increment is held by
+//!   a guard (`GaugeGuard`) and every job owns a `Delivery` that
+//!   answers `Internal` on drop if nothing was delivered — so *any*
+//!   exit path (normal, panic, worker death, service shutdown with jobs
+//!   still queued) returns the gauges to zero and sends exactly one
+//!   reply per job. The batch collectors and the reactor's FIFO rely on
+//!   exactly-once replies; the guards make that invariant hold even
+//!   under injected worker crashes.
+//! * **Supervision.** A panic that escapes the fence (delivery-path
+//!   failures, injected via [`FaultPoint::CompletionDrop`]) kills the
+//!   worker thread; a supervisor thread observes the death through a
+//!   drop sentinel and respawns the worker under a bounded restart
+//!   budget with exponential backoff. A pool whose budget is exhausted
+//!   degrades instead of hanging: the supervisor itself drains the job
+//!   channel, answering `Internal` — callers always get replies.
+//!
+//! Failure paths are exercised deterministically through the seeded
+//! [`Faults`] registry in [`crate::fault`];
+//! with no registry configured every hook is a single `None` test.
+//!
 //! Workers keep a small per-document cache of the materialized [`Tree`]
 //! (the Figure 1 evaluator's input form), keyed by the `Arc` pointer
 //! identity, so serving many queries against the same hot document pays
 //! the arena → tree conversion once per worker, not once per request.
 
+use crate::fault::{FaultPoint, Faults, INJECTED_PANIC_PREFIX};
 use crate::semantics::{eval_with, Budget, Env, XqError};
 use crate::vm::PlanCache;
 use crate::Query;
 use cv_xtree::{ArenaDoc, Tree};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// One unit of work for the service: evaluate `query` (surface syntax)
 /// against `doc` under `budget`.
@@ -87,6 +119,12 @@ pub enum ServiceError {
     /// The request's deadline passed — before evaluation started
     /// (preflight) or mid-evaluation at a budget tick.
     DeadlineExceeded,
+    /// The engine failed the request, not the request the engine: the
+    /// evaluation panicked (contained by the worker's unwind fence), the
+    /// worker died before delivering, or the service shut down with the
+    /// job still queued. The message says which. Answered on the wire as
+    /// `internal_error`.
+    Internal(String),
 }
 
 impl ServiceError {
@@ -111,6 +149,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Overloaded => write!(f, "overloaded"),
             ServiceError::Cancelled => write!(f, "evaluation cancelled"),
             ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -132,6 +171,46 @@ pub enum ServeMode {
     CachedVm,
 }
 
+/// Construction-time pool configuration: everything the workers and the
+/// supervisor need fixed before the first thread spawns.
+/// [`QueryService::new`]/[`QueryService::with_mode`] cover the common
+/// cases; chaos tests and the front door use the full struct.
+#[derive(Clone)]
+pub struct PoolConfig {
+    /// Worker threads (at least 1).
+    pub workers: usize,
+    /// Evaluation route (VM by default).
+    pub mode: ServeMode,
+    /// Seeded fault registry; `None` (the default) disables injection
+    /// entirely — each hook is then a single pointer test.
+    pub faults: Option<Arc<Faults>>,
+    /// Total worker respawns the supervisor will perform over the
+    /// service's lifetime. Exhausting it with no workers left switches
+    /// the supervisor to degraded draining (every job answered
+    /// [`ServiceError::Internal`]) rather than hanging callers.
+    pub restart_budget: u32,
+    /// Backoff before the first respawn; doubles per respawn up to
+    /// [`PoolConfig::MAX_BACKOFF`], resetting after a calm second.
+    pub restart_backoff: Duration,
+}
+
+impl PoolConfig {
+    /// Backoff ceiling for crash-looping pools.
+    pub const MAX_BACKOFF: Duration = Duration::from_millis(100);
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            workers: 2,
+            mode: ServeMode::default(),
+            faults: None,
+            restart_budget: 32,
+            restart_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
 /// Where a finished job's result goes.
 enum JobSink {
     /// A synchronous batch collector ([`QueryService::run_batch`] /
@@ -146,15 +225,104 @@ enum JobSink {
     Queue(CompletionSink),
 }
 
-struct Job {
-    /// Caller-chosen correlation tag: the batch paths use the request's
-    /// position, `try_submit` callers use whatever ticket they routed.
+/// Holds one unit of a gauge, releasing it on drop — the RAII fix for
+/// the admission-slot leak: a worker dying (or any early return) between
+/// claiming a slot and completing can no longer leave `queued`,
+/// `admitted`, or `in_flight` permanently elevated, because the
+/// decrement rides the guard's destructor through every exit path,
+/// unwinding included.
+struct GaugeGuard(Arc<AtomicUsize>);
+
+impl GaugeGuard {
+    /// Claims one unit (increments) and guards it.
+    fn claim(gauge: &Arc<AtomicUsize>) -> GaugeGuard {
+        gauge.fetch_add(1, Ordering::SeqCst);
+        GaugeGuard(Arc::clone(gauge))
+    }
+
+    /// Guards a unit something else already claimed (the admission CAS).
+    fn adopt(gauge: Arc<AtomicUsize>) -> GaugeGuard {
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Owns a job's reply obligation: exactly one reply reaches the sink,
+/// on every path. [`Delivery::deliver`] sends the real result; if the
+/// guard drops still armed — the worker panicked mid-delivery, or the
+/// service shut down with the job still queued — the destructor sends
+/// [`ServiceError::Internal`] instead. This is what lets the batch
+/// collector's "every slot filled" invariant and the reactor's
+/// one-response-per-id FIFO survive worker crashes.
+struct Delivery {
     tag: u64,
+    sink: Option<JobSink>,
+}
+
+impl Delivery {
+    fn new(tag: u64, sink: JobSink) -> Delivery {
+        Delivery {
+            tag,
+            sink: Some(sink),
+        }
+    }
+
+    /// Sends the result (exactly once — disarms the destructor).
+    /// `faults` hosts the `completion-drop` point: an injected panic
+    /// *here* is outside the worker's unwind fence, killing the thread
+    /// mid-delivery — precisely the failure the destructor then absorbs.
+    fn deliver(mut self, result: Result<String, ServiceError>, faults: Option<&Faults>) {
+        if let Some(f) = faults {
+            if f.fires(FaultPoint::CompletionDrop) {
+                panic!("{INJECTED_PANIC_PREFIX} completion-drop");
+            }
+        }
+        self.send(result);
+    }
+
+    fn send(&mut self, result: Result<String, ServiceError>) {
+        let Some(sink) = self.sink.take() else {
+            return;
+        };
+        // Losing the reply means the collector hung up; that's its
+        // business (mirrors the original batch-path contract).
+        match sink {
+            JobSink::Batch(reply) => {
+                let _ = reply.send((self.tag, result));
+            }
+            JobSink::Queue(sink) => sink.deliver(self.tag, result),
+        }
+    }
+}
+
+impl Drop for Delivery {
+    fn drop(&mut self) {
+        if self.sink.is_some() {
+            self.send(Err(ServiceError::Internal(
+                "request abandoned before completion (worker crash or service shutdown)"
+                    .to_string(),
+            )));
+        }
+    }
+}
+
+struct Job {
     request: Request,
-    sink: JobSink,
-    /// Whether this job claimed an admission slot (and so must release
-    /// one when a worker picks it up).
-    admitted: bool,
+    /// The reply obligation; carries the caller's correlation tag (batch
+    /// paths use the request's position, `try_submit` callers route
+    /// whatever ticket they chose).
+    delivery: Delivery,
+    /// Held while the job sits in the queue; released at worker pickup —
+    /// or by the job being dropped unserved at shutdown.
+    queued: GaugeGuard,
+    /// The admission slot, if this job came through an
+    /// admission-controlled path; released at pickup like `queued`.
+    admission: Option<GaugeGuard>,
 }
 
 type Reply = (u64, Result<String, ServiceError>);
@@ -185,11 +353,48 @@ impl CompletionSink {
     }
 }
 
-/// A fixed pool of evaluation workers serving batches of requests; see
-/// the module docs for the data flow.
-pub struct QueryService {
-    jobs: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+/// What a worker's drop sentinel tells the supervisor.
+enum Notice {
+    /// The worker thread is unwinding from an escaped panic: join the
+    /// corpse, consider a respawn.
+    Died(usize),
+    /// The worker exited cleanly (jobs channel closed — shutdown).
+    Exited(usize),
+    /// The service is dropping: join everything and return.
+    Shutdown,
+}
+
+/// Announces the owning worker's fate to the supervisor from the one
+/// place that observes every exit path: the thread's stack unwinding or
+/// returning. `thread::panicking()` distinguishes a crash from a clean
+/// shutdown exit.
+struct Sentinel {
+    id: usize,
+    notices: Sender<Notice>,
+    alive: Arc<AtomicUsize>,
+    deaths: Arc<AtomicUsize>,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        self.alive.fetch_sub(1, Ordering::SeqCst);
+        if std::thread::panicking() {
+            self.deaths.fetch_add(1, Ordering::SeqCst);
+            let _ = self.notices.send(Notice::Died(self.id));
+        } else {
+            let _ = self.notices.send(Notice::Exited(self.id));
+        }
+    }
+}
+
+/// State shared by the workers, the supervisor, and the service handle.
+struct Pool {
+    /// The shared job queue. Living inside the pool (which the service
+    /// handle keeps alive), the receiver cannot drop while the service
+    /// exists — the invariant that makes `enqueue`'s send infallible.
+    jobs_rx: Mutex<Receiver<Job>>,
+    mode: ServeMode,
+    faults: Option<Arc<Faults>>,
     /// Jobs accepted but not yet picked up by a worker — *all* of them,
     /// whichever path enqueued them. Pure observability.
     queued: Arc<AtomicUsize>,
@@ -197,11 +402,236 @@ pub struct QueryService {
     /// through [`QueryService::admit`] (`try_run_batch` / `try_submit`)
     /// count here, so an un-admission-controlled `run_batch` can never
     /// eat admission slots and force spurious sheds (the PR 8 gauge
-    /// bugfix — both paths now account consistently: each increments the
-    /// gauges it owns, and the worker decrements the same ones).
+    /// bugfix — both paths account consistently: each claims the gauges
+    /// it owns, and the claims release by RAII at pickup).
     admitted: Arc<AtomicUsize>,
     /// Jobs a worker is currently evaluating.
     in_flight: Arc<AtomicUsize>,
+    /// Worker threads currently running.
+    alive: Arc<AtomicUsize>,
+    /// Worker threads lost to escaped panics, ever.
+    deaths: Arc<AtomicUsize>,
+    /// Respawns the supervisor performed, ever.
+    restarts: Arc<AtomicUsize>,
+    /// Panics the unwind fence caught (answered `Internal`), ever.
+    contained: Arc<AtomicUsize>,
+}
+
+/// The panic payload rendered for an `Internal` answer.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
+}
+
+/// The worker body: receive, evaluate under the unwind fence, deliver.
+fn worker_loop(pool: &Pool) {
+    let mut cache = HashMap::new();
+    loop {
+        // Lock only around the receive so idle workers never block a
+        // busy one. A poisoned mutex is recovered, not propagated: the
+        // critical section is a single `recv()` (no data structure to
+        // half-update), so the receiver is still sound after a panic —
+        // and propagating would crash-loop every worker in turn.
+        let job = match pool
+            .jobs_rx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv()
+        {
+            Ok(job) => job,
+            Err(_) => break, // service dropped: shut down
+        };
+        run_job(pool, job, &mut cache);
+    }
+}
+
+/// Serves one job with full RAII accounting; see the guard type docs.
+fn run_job(pool: &Pool, job: Job, cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tree)>) {
+    let Job {
+        request,
+        delivery,
+        queued,
+        admission,
+    } = job;
+    // Leaving the queue: release the queue gauge and the admission slot
+    // (the slot bounds *accepted-unserved* work, exactly as before).
+    drop(queued);
+    drop(admission);
+    let in_flight = GaugeGuard::claim(&pool.in_flight);
+    let faults = pool.faults.as_deref();
+    // The unwind fence. `AssertUnwindSafe` is justified by audit:
+    // * `request` is shared immutable state (Arc'd query text, document,
+    //   budget clone) — nothing to corrupt.
+    // * `cache` (the worker's doc-tree map) mutates only via
+    //   `entry().or_insert_with(build)`: a panic inside `build` inserts
+    //   nothing, leaving the map consistent.
+    // * The process-wide plan cache and label interner are lock-striped;
+    //   their locks recover from poisoning (`PoisonError::into_inner`)
+    //   and every write is insert-after-construct, so a panic under a
+    //   write lock at worst loses the entry being inserted.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        serve(&request, cache, pool.mode, faults)
+    }));
+    // Gauge before reply: a collected batch implies `in_flight` has
+    // already been released for each of its requests (tests assert the
+    // gauges are zero immediately after `run_batch` returns).
+    drop(in_flight);
+    match result {
+        Ok(result) => delivery.deliver(result, faults),
+        Err(payload) => {
+            pool.contained.fetch_add(1, Ordering::SeqCst);
+            delivery.deliver(
+                Err(ServiceError::Internal(panic_message(payload.as_ref()))),
+                faults,
+            );
+        }
+    }
+}
+
+/// Spawns one worker thread. The `alive` gauge increments inside the
+/// thread (paired with the sentinel's decrement), so a failed spawn
+/// never skews it.
+fn spawn_worker(
+    pool: &Arc<Pool>,
+    id: usize,
+    notices: Sender<Notice>,
+) -> std::io::Result<JoinHandle<()>> {
+    let pool = Arc::clone(pool);
+    std::thread::Builder::new()
+        .name(format!("xq-worker-{id}"))
+        .spawn(move || {
+            pool.alive.fetch_add(1, Ordering::SeqCst);
+            let _sentinel = Sentinel {
+                id,
+                notices,
+                alive: Arc::clone(&pool.alive),
+                deaths: Arc::clone(&pool.deaths),
+            };
+            worker_loop(&pool);
+        })
+}
+
+/// The supervisor body: join the fallen, respawn under budget, and when
+/// the pool is gone for good, degrade into answering jobs directly so
+/// callers never hang on a dead pool.
+fn supervise(
+    pool: Arc<Pool>,
+    notices_rx: Receiver<Notice>,
+    notices_tx: Sender<Notice>,
+    mut handles: HashMap<usize, JoinHandle<()>>,
+    mut budget: u32,
+    base_backoff: Duration,
+) {
+    /// A death this long after the previous one resets the backoff
+    /// ladder — the pool was healthy in between.
+    const CALM: Duration = Duration::from_secs(1);
+    let mut next_id = handles.len();
+    let mut backoff = base_backoff;
+    let mut last_death: Option<Instant> = None;
+    loop {
+        match notices_rx.recv() {
+            // The service handle holds the other sender, so disconnect
+            // means it dropped without a Shutdown notice — treat as one.
+            Err(_) | Ok(Notice::Shutdown) => break,
+            Ok(Notice::Exited(id)) => {
+                // Clean exits only happen once the jobs channel closed:
+                // shutdown is underway, stop supervising as the pool
+                // winds down.
+                if let Some(h) = handles.remove(&id) {
+                    let _ = h.join();
+                }
+                if handles.is_empty() {
+                    break;
+                }
+            }
+            Ok(Notice::Died(id)) => {
+                if let Some(h) = handles.remove(&id) {
+                    let _ = h.join();
+                }
+                if last_death.is_none_or(|t| t.elapsed() >= CALM) {
+                    backoff = base_backoff;
+                }
+                last_death = Some(Instant::now());
+                let respawned = budget > 0 && {
+                    budget -= 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(PoolConfig::MAX_BACKOFF);
+                    let id = next_id;
+                    next_id += 1;
+                    match spawn_worker(&pool, id, notices_tx.clone()) {
+                        Ok(h) => {
+                            pool.restarts.fetch_add(1, Ordering::SeqCst);
+                            handles.insert(id, h);
+                            true
+                        }
+                        // Spawn failure (resource exhaustion) burns the
+                        // budget like a failed restart.
+                        Err(_) => false,
+                    }
+                };
+                if !respawned && handles.is_empty() && pool.alive.load(Ordering::SeqCst) == 0 {
+                    // Budget exhausted and nobody left: degrade. Jobs
+                    // keep getting *answers* (Internal), just no
+                    // evaluation — the no-hang guarantee.
+                    degraded_drain(&pool);
+                    break;
+                }
+            }
+        }
+    }
+    // Shutdown (or total collapse): join whatever is still running —
+    // workers exit when the jobs channel closes.
+    for (_, h) in handles.drain() {
+        let _ = h.join();
+    }
+}
+
+/// The dead pool's answering service: drain the job channel, answering
+/// every job `Internal`, until the service drops. Runs on the
+/// supervisor thread; injection is off here (`faults: None`) so a
+/// certain `completion-drop` can't crash-loop the last line of defense.
+fn degraded_drain(pool: &Pool) {
+    loop {
+        let job = match pool
+            .jobs_rx
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv()
+        {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let Job {
+            request: _,
+            delivery,
+            queued,
+            admission,
+        } = job;
+        drop(queued);
+        drop(admission);
+        delivery.deliver(
+            Err(ServiceError::Internal(
+                "worker pool exhausted its restart budget".to_string(),
+            )),
+            None,
+        );
+    }
+}
+
+/// A supervised pool of evaluation workers serving batches of requests;
+/// see the module docs for the data flow and the containment story.
+pub struct QueryService {
+    jobs: Option<Sender<Job>>,
+    notices: Sender<Notice>,
+    supervisor: Option<JoinHandle<()>>,
+    pool: Arc<Pool>,
+    /// Configured pool size (the live count is [`Pool::alive`]).
+    worker_count: usize,
     /// High-water mark for the admission-controlled paths: requests
     /// arriving while `admitted` ≥ capacity are shed.
     queue_capacity: usize,
@@ -240,7 +670,18 @@ fn serve(
     request: &Request,
     cache: &mut HashMap<usize, (Arc<ArenaDoc>, Tree)>,
     mode: ServeMode,
+    faults: Option<&Faults>,
 ) -> Result<String, ServiceError> {
+    if let Some(f) = faults {
+        // Inside the unwind fence: this is the "a query panicked the
+        // engine" simulation — contained, answered `internal_error`.
+        if f.fires(FaultPoint::WorkerPanic) {
+            panic!("{INJECTED_PANIC_PREFIX} worker-panic");
+        }
+        if f.fires(FaultPoint::SlowEval) {
+            std::thread::sleep(f.delay(FaultPoint::SlowEval));
+        }
+    }
     // A request that is already doomed — pre-set cancel flag, expired
     // deadline, zero step cap — is rejected before any evaluation
     // starts (the zero-cap contract extended to the new Budget fields).
@@ -353,57 +794,72 @@ impl QueryService {
     /// Spawns a pool of `workers` evaluation threads (at least 1) on the
     /// default route ([`ServeMode::CachedVm`]).
     pub fn new(workers: usize) -> QueryService {
-        QueryService::with_mode(workers, ServeMode::default())
+        QueryService::with_config(PoolConfig {
+            workers,
+            ..PoolConfig::default()
+        })
     }
 
     /// [`QueryService::new`] with an explicit evaluation route.
     pub fn with_mode(workers: usize, mode: ServeMode) -> QueryService {
-        let workers = workers.max(1);
+        QueryService::with_config(PoolConfig {
+            workers,
+            mode,
+            ..PoolConfig::default()
+        })
+    }
+
+    /// The full construction surface: workers, route, fault registry,
+    /// and supervision parameters.
+    pub fn with_config(config: PoolConfig) -> QueryService {
+        let workers = config.workers.max(1);
         let (jobs_tx, jobs_rx) = channel::<Job>();
-        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
-        let queued = Arc::new(AtomicUsize::new(0));
-        let admitted = Arc::new(AtomicUsize::new(0));
-        let in_flight = Arc::new(AtomicUsize::new(0));
-        let handles = (0..workers)
-            .map(|_| {
-                let jobs_rx = Arc::clone(&jobs_rx);
-                let queued = Arc::clone(&queued);
-                let admitted = Arc::clone(&admitted);
-                let in_flight = Arc::clone(&in_flight);
-                std::thread::spawn(move || {
-                    let mut cache = HashMap::new();
-                    loop {
-                        // Lock only around the receive so idle workers
-                        // never block a busy one.
-                        let job = match jobs_rx.lock().expect("job queue poisoned").recv() {
-                            Ok(job) => job,
-                            Err(_) => break, // service dropped: shut down
-                        };
-                        queued.fetch_sub(1, Ordering::SeqCst);
-                        if job.admitted {
-                            admitted.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        in_flight.fetch_add(1, Ordering::SeqCst);
-                        let result = serve(&job.request, &mut cache, mode);
-                        in_flight.fetch_sub(1, Ordering::SeqCst);
-                        // The batch may have given up (its collector hung
-                        // up); losing that reply is the batch's business.
-                        match &job.sink {
-                            JobSink::Batch(reply) => {
-                                let _ = reply.send((job.tag, result));
-                            }
-                            JobSink::Queue(sink) => sink.deliver(job.tag, result),
-                        }
-                    }
-                })
+        let pool = Arc::new(Pool {
+            jobs_rx: Mutex::new(jobs_rx),
+            mode: config.mode,
+            faults: config.faults,
+            queued: Arc::new(AtomicUsize::new(0)),
+            admitted: Arc::new(AtomicUsize::new(0)),
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            alive: Arc::new(AtomicUsize::new(0)),
+            deaths: Arc::new(AtomicUsize::new(0)),
+            restarts: Arc::new(AtomicUsize::new(0)),
+            contained: Arc::new(AtomicUsize::new(0)),
+        });
+        let (notices_tx, notices_rx) = channel::<Notice>();
+        // Construction-time spawn failure is unrecoverable resource
+        // exhaustion (no pool exists to degrade into) — panicking here
+        // matches `std::thread::spawn`'s own convention.
+        let handles: HashMap<usize, JoinHandle<()>> = (0..workers)
+            .map(|id| {
+                let h = spawn_worker(&pool, id, notices_tx.clone())
+                    .expect("spawning an initial pool worker");
+                (id, h)
             })
             .collect();
+        let supervisor = {
+            let pool = Arc::clone(&pool);
+            let notices_tx_sup = notices_tx.clone();
+            std::thread::Builder::new()
+                .name("xq-supervisor".to_string())
+                .spawn(move || {
+                    supervise(
+                        pool,
+                        notices_rx,
+                        notices_tx_sup,
+                        handles,
+                        config.restart_budget,
+                        config.restart_backoff,
+                    )
+                })
+                .expect("spawning the pool supervisor")
+        };
         QueryService {
             jobs: Some(jobs_tx),
-            workers: handles,
-            queued,
-            admitted,
-            in_flight,
+            notices: notices_tx,
+            supervisor: Some(supervisor),
+            pool,
+            worker_count: workers,
             queue_capacity: usize::MAX,
         }
     }
@@ -417,15 +873,38 @@ impl QueryService {
         self
     }
 
-    /// Number of worker threads in the pool.
+    /// Configured number of worker threads in the pool.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.worker_count
+    }
+
+    /// Worker threads running right now. Below [`QueryService::workers`]
+    /// transiently while the supervisor respawns a crashed worker (or
+    /// during startup), permanently once the restart budget is spent.
+    pub fn alive_workers(&self) -> usize {
+        self.pool.alive.load(Ordering::SeqCst)
+    }
+
+    /// Worker threads lost to escaped panics, ever.
+    pub fn worker_deaths(&self) -> usize {
+        self.pool.deaths.load(Ordering::SeqCst)
+    }
+
+    /// Respawns the supervisor has performed, ever.
+    pub fn restarts(&self) -> usize {
+        self.pool.restarts.load(Ordering::SeqCst)
+    }
+
+    /// Panics the per-request unwind fence caught (each answered
+    /// [`ServiceError::Internal`] with the worker surviving), ever.
+    pub fn contained_panics(&self) -> usize {
+        self.pool.contained.load(Ordering::SeqCst)
     }
 
     /// Jobs accepted but not yet picked up by a worker, right now —
     /// whichever path enqueued them.
     pub fn queue_depth(&self) -> usize {
-        self.queued.load(Ordering::SeqCst)
+        self.pool.queued.load(Ordering::SeqCst)
     }
 
     /// The admission-controlled subset of [`QueryService::queue_depth`]:
@@ -433,12 +912,12 @@ impl QueryService {
     /// now. This — not the total queue — is what the admission
     /// compare-and-swap bounds, so `run_batch` traffic can never cause admission sheds.
     pub fn admitted_depth(&self) -> usize {
-        self.admitted.load(Ordering::SeqCst)
+        self.pool.admitted.load(Ordering::SeqCst)
     }
 
     /// Jobs being evaluated by a worker, right now.
     pub fn in_flight(&self) -> usize {
-        self.in_flight.load(Ordering::SeqCst)
+        self.pool.in_flight.load(Ordering::SeqCst)
     }
 
     /// The admission high-water mark (`usize::MAX` when unbounded).
@@ -449,28 +928,47 @@ impl QueryService {
     /// Atomically claims an admission slot: increments `admitted` unless
     /// it is already at the high-water mark. This is the entire shedding
     /// decision — one compare-and-swap, no lock, so concurrent
-    /// connections can never overshoot the mark.
-    fn admit(&self) -> bool {
-        self.admitted
+    /// connections can never overshoot the mark. The claim comes back as
+    /// a [`GaugeGuard`], so however the job ends the slot frees.
+    ///
+    /// Hosts the `submit-refusal` fault point: an injected refusal is a
+    /// shed with no slot ever claimed — the reactor handoff's
+    /// `overloaded` path under a seed instead of a traffic spike.
+    fn admit(&self) -> Option<GaugeGuard> {
+        if let Some(f) = &self.pool.faults {
+            if f.fires(FaultPoint::SubmitRefusal) {
+                return None;
+            }
+        }
+        self.pool
+            .admitted
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |q| {
                 (q < self.queue_capacity).then_some(q + 1)
             })
-            .is_ok()
+            .ok()
+            .map(|_| GaugeGuard::adopt(Arc::clone(&self.pool.admitted)))
     }
 
     /// Enqueues one job, accounting the gauges it claims: every job
     /// counts toward `queued`; only admission-controlled ones hold an
     /// `admitted` slot (already claimed by [`QueryService::admit`]).
-    fn enqueue(&self, tag: u64, request: Request, sink: JobSink, admitted: bool) {
+    fn enqueue(&self, tag: u64, request: Request, sink: JobSink, admission: Option<GaugeGuard>) {
+        // Invariant (documented survivor): `jobs` is only taken in
+        // `Drop`, which consumes the service — no call can race it.
         let jobs = self.jobs.as_ref().expect("service not shut down");
-        self.queued.fetch_add(1, Ordering::SeqCst);
+        let queued = GaugeGuard::claim(&self.pool.queued);
         jobs.send(Job {
-            tag,
             request,
-            sink,
-            admitted,
+            delivery: Delivery::new(tag, sink),
+            queued,
+            admission,
         })
-        .expect("workers alive");
+        // Invariant (documented survivor): the send fails only if the
+        // receiver dropped, and the receiver lives in `self.pool` — it
+        // cannot drop while `&self` exists. Worker deaths don't matter:
+        // the channel outlives them, and even a fully-collapsed pool
+        // leaves the supervisor draining it.
+        .expect("job receiver owned by the service's own pool");
     }
 
     /// Runs a batch: fans the requests out over the pool and returns the
@@ -489,7 +987,7 @@ impl QueryService {
                 index as u64,
                 request,
                 JobSink::Batch(reply_tx.clone()),
-                false,
+                None,
             );
         }
         drop(reply_tx);
@@ -504,15 +1002,14 @@ impl QueryService {
         let (reply_tx, reply_rx) = channel::<Reply>();
         let mut out: Vec<Option<Result<String, ServiceError>>> = vec![None; requests.len()];
         for (index, request) in requests.into_iter().enumerate() {
-            if self.admit() {
-                self.enqueue(
+            match self.admit() {
+                Some(slot) => self.enqueue(
                     index as u64,
                     request,
                     JobSink::Batch(reply_tx.clone()),
-                    true,
-                );
-            } else {
-                out[index] = Some(Err(ServiceError::Overloaded));
+                    Some(slot),
+                ),
+                None => out[index] = Some(Err(ServiceError::Overloaded)),
             }
         }
         drop(reply_tx);
@@ -527,17 +1024,21 @@ impl QueryService {
     /// is at its high-water mark — the caller renders the `overloaded`
     /// answer itself, keeping shed responses on its own ordered path.
     pub fn try_submit(&self, tag: u64, request: Request, sink: &CompletionSink) -> bool {
-        if !self.admit() {
-            return false;
+        match self.admit() {
+            Some(slot) => {
+                self.enqueue(tag, request, JobSink::Queue(sink.clone()), Some(slot));
+                true
+            }
+            None => false,
         }
-        self.enqueue(tag, request, JobSink::Queue(sink.clone()), true);
-        true
     }
 
     /// Fills the unanswered slots of `out` from the batch's private reply
-    /// channel. The channel yields exactly one reply per submitted job
-    /// (workers hold the only senders and send exactly once), so this
-    /// terminates when every sender is dropped — no counting, no timeout.
+    /// channel. Exactly one reply arrives per submitted job — the
+    /// [`Delivery`] guard sends on every path, crashed workers and
+    /// shutdown included — so this terminates when every sender is
+    /// dropped, and the final `expect` documents that invariant rather
+    /// than handling a reachable case.
     fn collect(
         reply_rx: Receiver<Reply>,
         mut out: Vec<Option<Result<String, ServiceError>>>,
@@ -548,17 +1049,21 @@ impl QueryService {
             out[index] = Some(result);
         }
         out.into_iter()
-            .map(|r| r.expect("every slot filled"))
+            .map(|r| r.expect("Delivery guarantees one reply per job"))
             .collect()
     }
 }
 
 impl Drop for QueryService {
     fn drop(&mut self) {
-        // Closing the job channel is the shutdown signal.
+        // Closing the job channel is the workers' shutdown signal; the
+        // explicit notice is the supervisor's (it can't watch the
+        // channel — it waits on death notices).
         self.jobs.take();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        let _ = self.notices.send(Notice::Shutdown);
+        if let Some(s) = self.supervisor.take() {
+            // The supervisor joins every worker before returning.
+            let _ = s.join();
         }
     }
 }
@@ -754,7 +1259,6 @@ mod tests {
     #[test]
     fn doomed_requests_are_rejected_before_evaluation() {
         use crate::CancelFlag;
-        use std::time::{Duration, Instant};
         let docs = corpus();
         let service = QueryService::new(2);
         let flag = CancelFlag::new();
@@ -809,7 +1313,6 @@ mod tests {
 
     /// Spins until `probe` holds (schedule-independent waiting).
     fn wait_for(what: &str, probe: impl Fn() -> bool) {
-        use std::time::{Duration, Instant};
         let deadline = Instant::now() + Duration::from_secs(60);
         while !probe() {
             assert!(Instant::now() < deadline, "timed out waiting for {what}");
@@ -901,7 +1404,6 @@ mod tests {
     fn try_submit_delivers_tagged_completions_and_wakes() {
         use std::sync::atomic::AtomicUsize;
         use std::sync::mpsc::channel;
-        use std::time::Duration;
         let docs = corpus();
         let service = QueryService::new(2);
         let (tx, rx) = channel();

@@ -20,7 +20,7 @@
 use super::compile::{compile_query_text, CompiledPlan};
 use crate::parser::QueryParseError;
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 /// Number of lock stripes. Power of two so the hash folds cheaply.
 const SHARDS: usize = 16;
@@ -72,10 +72,18 @@ impl PlanCache {
     }
 
     /// The cached plan for `text`, if present (never compiles).
+    ///
+    /// Lock poisoning is recovered, not propagated, here and in every
+    /// accessor below: the only write under a shard lock is
+    /// insert-after-compile ([`PlanCache::get_or_compile`]), so a panic
+    /// mid-critical-section at worst loses the entry being inserted —
+    /// the surviving map is consistent, and the serving pool's panic
+    /// containment depends on the cache staying usable after a contained
+    /// crash.
     pub fn get(&self, text: &str) -> Option<Arc<CompiledPlan>> {
         self.shard(text)
             .read()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(text)
             .map(|e| e.plan.clone())
     }
@@ -89,7 +97,10 @@ impl PlanCache {
         if let Some(plan) = self.get(text) {
             return Ok(plan);
         }
-        let mut shard = self.shard(text).write().expect("plan cache poisoned");
+        let mut shard = self
+            .shard(text)
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(e) = shard.get(text) {
             return Ok(e.plan.clone());
         }
@@ -113,7 +124,7 @@ impl PlanCache {
     pub fn compile_count(&self, text: &str) -> u64 {
         self.shard(text)
             .read()
-            .expect("plan cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(text)
             .map_or(0, |e| e.compiles)
     }
@@ -122,7 +133,7 @@ impl PlanCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("plan cache poisoned").len())
+            .map(|s| s.read().unwrap_or_else(PoisonError::into_inner).len())
             .sum()
     }
 

@@ -15,8 +15,10 @@
 //!
 //! Failures answer with a `code` — `parse`, `eval`, `cancelled`,
 //! `deadline`, `overloaded`, `rate_limited`, `shutting_down`,
-//! `unknown_doc`, `bad_request` — pinned byte-for-byte by the golden
-//! suite (`tests/proto.rs`). The pieces:
+//! `unknown_doc`, `bad_request`, `internal_error` — pinned byte-for-byte
+//! by the golden suite (`tests/proto.rs`). `rate_limited` and
+//! `overloaded` refusals carry a `retry_after_ms` hint (token-refill
+//! time and smoothed per-request latency, respectively). The pieces:
 //!
 //! * [`protocol`] — the hand-rolled flat-JSON codec (the registry is
 //!   offline; no serde). Total: fuzzing may not panic it.
@@ -30,7 +32,12 @@
 //!   cancellation ([`xq_core::CancelFlag`] tripped by `cancel` frames
 //!   and disconnects), per-frame deadlines, load-shedding through the
 //!   pool's bounded admission gauge, per-tenant request-rate token
-//!   buckets, and graceful drain on shutdown.
+//!   buckets, and graceful drain on shutdown. Fault containment rides
+//!   the same loop: the pool survives panicking queries (answered
+//!   `internal_error`; crashed workers respawn under a supervisor),
+//!   write-side backpressure corks connections whose write buffer
+//!   passes a high-water mark, and a timer wheel closes idle
+//!   connections.
 //!
 //! The behavioral contracts live in this crate's test layer:
 //! `tests/proto.rs` (golden frames + malformed-frame fuzz + the
@@ -38,9 +45,14 @@
 //! bounded queue, exact shed counts, zero lost or duplicated
 //! responses), `tests/rate_limit.rs` (token-bucket refusal and refill),
 //! `tests/drain.rs` (prompt drop with idle clients, drain semantics),
-//! and `crates/core/tests/cancel_diff.rs` (cancellation is
-//! deterministic and engine-agnostic). T19/T20 in the bench harness
-//! close the loop with offered-load and connection-scaling curves.
+//! `tests/chaos.rs` (seeded fault soak: worker panics, dropped
+//! completions, injected sheds — zero lost or duplicated responses,
+//! pool self-healing, gauges back to zero), `tests/pressure.rs`
+//! (backpressure bounds buffering; idle timeouts reap quiet
+//! connections), and `crates/core/tests/cancel_diff.rs` (cancellation
+//! is deterministic and engine-agnostic). T19/T20 in the bench harness
+//! close the loop with offered-load and connection-scaling curves;
+//! T21 is the chaos soak under a pinned seed.
 
 pub mod protocol;
 pub mod reactor;

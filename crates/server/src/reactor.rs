@@ -28,6 +28,7 @@ compile_error!(
 
 use std::io;
 use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::{Duration, Instant};
 
 /// Raw syscall numbers for the two supported architectures.
 #[cfg(target_arch = "x86_64")]
@@ -314,6 +315,94 @@ impl WakeFd {
     }
 }
 
+/// A lazy hashed timer wheel for coarse connection deadlines (idle
+/// timeouts). Entries hash into `slots.len()` rings by due time at
+/// `granularity` resolution; [`TimerWheel::expire`] advances the cursor
+/// one granule at a time, draining each slot it passes and *cascading*
+/// (reinserting) entries that only landed there because their deadline
+/// was more than a full revolution out. Precision is deliberately one
+/// granule — idle timeouts don't need better, and the wheel costs O(1)
+/// per insert and O(expired) per sweep instead of a heap's O(log n).
+///
+/// Deadlines are *advisory*: the owner re-checks liveness when an entry
+/// expires and reinserts if the connection saw traffic since — so
+/// nothing need ever be removed early, which is what keeps the wheel
+/// this simple.
+pub struct TimerWheel {
+    granularity: Duration,
+    slots: Vec<Vec<(u64, Instant)>>,
+    cursor: usize,
+    /// The time the cursor slot represents; advances in whole granules.
+    cursor_time: Instant,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` rings at `granularity` resolution (both
+    /// floored to sane minimums).
+    pub fn new(granularity: Duration, slots: usize) -> TimerWheel {
+        TimerWheel {
+            granularity: granularity.max(Duration::from_millis(1)),
+            slots: (0..slots.max(2)).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            cursor_time: Instant::now(),
+            len: 0,
+        }
+    }
+
+    /// The wheel's resolution — also the longest an expiry can be late.
+    pub fn granularity(&self) -> Duration {
+        self.granularity
+    }
+
+    /// True iff no deadline is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tracks `deadline` for `token`. Multiple deadlines per token are
+    /// fine (the owner dedups on expiry).
+    pub fn insert(&mut self, token: u64, deadline: Instant) {
+        let ticks = (deadline
+            .saturating_duration_since(self.cursor_time)
+            .as_nanos()
+            / self.granularity.as_nanos()) as usize;
+        // At least one tick out (the cursor slot has already been
+        // drained for this revolution — an entry placed there would wait
+        // a full turn); at most a revolution minus one (farther
+        // deadlines cascade when the cursor reaches them).
+        let ticks = ticks.clamp(1, self.slots.len() - 1);
+        let slot = (self.cursor + ticks) % self.slots.len();
+        self.slots[slot].push((token, deadline));
+        self.len += 1;
+    }
+
+    /// Advances the wheel to `now`, appending every token whose deadline
+    /// has passed to `out`. Not-yet-due entries in passed slots cascade
+    /// back in (their deadline was beyond one revolution).
+    pub fn expire(&mut self, now: Instant, out: &mut Vec<u64>) {
+        if self.len == 0 {
+            // Idle wheel: snap to now so a long quiet period doesn't
+            // make the next insert's tick arithmetic walk every slot.
+            self.cursor_time = now;
+            return;
+        }
+        while self.cursor_time + self.granularity <= now {
+            self.cursor_time += self.granularity;
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            let entries = std::mem::take(&mut self.slots[self.cursor]);
+            for (token, deadline) in entries {
+                self.len -= 1;
+                if deadline <= now {
+                    out.push(token);
+                } else {
+                    self.insert(token, deadline);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +465,75 @@ mod tests {
         poller.delete(client.as_raw_fd()).unwrap();
         poller.wait(&mut events, 0).unwrap();
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_expires_at_granularity_precision() {
+        let start = Instant::now();
+        let gran = Duration::from_millis(10);
+        let mut wheel = TimerWheel::new(gran, 8);
+        assert!(wheel.is_empty());
+        wheel.insert(1, start + Duration::from_millis(25));
+        wheel.insert(2, start + Duration::from_millis(45));
+        assert!(!wheel.is_empty());
+        let mut due = Vec::new();
+        // Nothing due yet.
+        wheel.expire(start + Duration::from_millis(9), &mut due);
+        assert!(due.is_empty());
+        // Past the first deadline (plus a granule of slack): 1 fires,
+        // 2 does not.
+        wheel.expire(start + Duration::from_millis(36), &mut due);
+        assert_eq!(due, vec![1]);
+        due.clear();
+        wheel.expire(start + Duration::from_millis(60), &mut due);
+        assert_eq!(due, vec![2]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_near_deadlines_never_wait_a_revolution() {
+        // An entry due *now* (or in the past) lands one tick out, not in
+        // the already-drained cursor slot — the classic off-by-one that
+        // makes near deadlines wait slots.len() granules.
+        let start = Instant::now();
+        let gran = Duration::from_millis(10);
+        let mut wheel = TimerWheel::new(gran, 64);
+        wheel.insert(7, start);
+        let mut due = Vec::new();
+        wheel.expire(start + Duration::from_millis(15), &mut due);
+        assert_eq!(due, vec![7], "a past-due entry fires within one granule");
+    }
+
+    #[test]
+    fn timer_wheel_cascades_deadlines_beyond_one_revolution() {
+        let start = Instant::now();
+        let gran = Duration::from_millis(10);
+        // 4 slots × 10ms = one 40ms revolution; a 95ms deadline must
+        // cascade at least twice before firing.
+        let mut wheel = TimerWheel::new(gran, 4);
+        wheel.insert(9, start + Duration::from_millis(95));
+        let mut due = Vec::new();
+        wheel.expire(start + Duration::from_millis(50), &mut due);
+        assert!(due.is_empty(), "one revolution in, not due");
+        wheel.expire(start + Duration::from_millis(90), &mut due);
+        assert!(due.is_empty(), "two revolutions in, still not due");
+        wheel.expire(start + Duration::from_millis(110), &mut due);
+        assert_eq!(due, vec![9]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_idle_snap_keeps_inserts_cheap_after_quiet_periods() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8);
+        let mut due = Vec::new();
+        // A long empty sweep snaps the cursor to now instead of walking
+        // granule by granule; the next insert then lands relative to the
+        // snapped time and still fires on schedule.
+        wheel.expire(start + Duration::from_secs(3600), &mut due);
+        let now = start + Duration::from_secs(3600);
+        wheel.insert(3, now + Duration::from_millis(20));
+        wheel.expire(now + Duration::from_millis(45), &mut due);
+        assert_eq!(due, vec![3]);
     }
 }

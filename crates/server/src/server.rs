@@ -79,7 +79,7 @@
 //! shuts down promptly (pre-reactor, the blocking reader thread leaked).
 
 use crate::protocol::Frame;
-use crate::reactor::{Event, Poller, WakeFd};
+use crate::reactor::{Event, Poller, TimerWheel, WakeFd};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -89,7 +89,10 @@ use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use xq_core::{Budget, CancelFlag, CompletionSink, QueryService, Request, ServeMode, ServiceError};
+use xq_core::{
+    Budget, CancelFlag, CompletionSink, Faults, PoolConfig, QueryService, Request, ServeMode,
+    ServiceError,
+};
 
 use cv_xtree::ArenaDoc;
 
@@ -147,6 +150,30 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// The served documents, keyed by the name `query` frames cite.
     pub docs: HashMap<String, Arc<ArenaDoc>>,
+    /// Seeded fault registry for the pool (chaos testing). `None` — the
+    /// default — falls back to the `XQ_FAULT_SPEC`/`XQ_FAULT_SEED`
+    /// environment ([`xq_core::Faults::from_env`]); absent there too,
+    /// injection is off and costs nothing.
+    pub faults: Option<Arc<Faults>>,
+    /// Write-side backpressure high-water mark: a connection whose write
+    /// buffer reaches this many bytes stops being polled readable (no
+    /// new frames are read, so no new work is created) until the buffer
+    /// drains to [`ServerConfig::write_low_water`]. Bounds per-connection
+    /// buffering by roughly `high_water + one response`, instead of "as
+    /// fast as the pool can answer a reader that never reads".
+    pub write_high_water: usize,
+    /// Where a corked connection resumes reading (hysteresis: well below
+    /// the high-water mark, so resume isn't immediately re-corked).
+    pub write_low_water: usize,
+    /// Close connections with no traffic in this long (`None` — the
+    /// default — never). Enforced by a coarse timer wheel; precision is
+    /// a quarter of the timeout, at worst. A connection with work still
+    /// pending or unflushed output is not idle.
+    pub idle_timeout: Option<Duration>,
+    /// Worker respawns the pool supervisor may spend over the server's
+    /// lifetime before degrading ([`xq_core::PoolConfig::restart_budget`]).
+    /// Long chaos soaks raise this above the expected crash count.
+    pub restart_budget: u32,
 }
 
 impl Default for ServerConfig {
@@ -162,6 +189,11 @@ impl Default for ServerConfig {
             default_rate: None,
             drain_deadline: Duration::from_secs(1),
             docs: HashMap::new(),
+            faults: None,
+            write_high_water: 256 * 1024,
+            write_low_water: 64 * 1024,
+            idle_timeout: None,
+            restart_budget: PoolConfig::default().restart_budget,
         }
     }
 }
@@ -179,6 +211,17 @@ pub struct ServerStats {
     pub rate_limited: AtomicU64,
     /// Query frames answered `cancelled` or `deadline`.
     pub cancelled: AtomicU64,
+    /// Query frames answered `internal_error` (a contained panic, a
+    /// crashed worker, or an exhausted restart budget).
+    pub internal_errors: AtomicU64,
+    /// Times a connection hit the write high-water mark and was corked
+    /// (stopped being polled readable until its buffer drained).
+    pub backpressured: AtomicU64,
+    /// Connections closed by the idle timeout.
+    pub idle_closed: AtomicU64,
+    /// High-water mark of any single connection's write buffer, in bytes
+    /// — what backpressure is bounding.
+    pub peak_write_buffer: AtomicU64,
 }
 
 /// A running front door bound to a loopback port. [`Server::shutdown`]
@@ -203,9 +246,23 @@ impl Server {
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
+        let faults = match &config.faults {
+            Some(f) => Some(Arc::clone(f)),
+            // A malformed XQ_FAULT_SPEC is a startup error, not a
+            // silently-uninjected chaos run.
+            None => Faults::from_env()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?
+                .map(Arc::new),
+        };
         let service = Arc::new(
-            QueryService::with_mode(config.workers, config.mode)
-                .with_queue_capacity(config.queue_capacity),
+            QueryService::with_config(PoolConfig {
+                workers: config.workers,
+                mode: config.mode,
+                faults,
+                restart_budget: config.restart_budget,
+                ..PoolConfig::default()
+            })
+            .with_queue_capacity(config.queue_capacity),
         );
         let wake = Arc::new(WakeFd::new()?);
         let (completion_tx, completion_rx) = channel();
@@ -216,6 +273,15 @@ impl Server {
         let poller = Poller::new()?;
         poller.add(wake.raw(), TOKEN_WAKE, true, false)?;
         poller.add(listener.as_raw_fd(), TOKEN_LISTENER, true, false)?;
+        // Wheel resolution: a quarter of the timeout (clamped sane), so
+        // expiry is at most ~25% late and the reactor never wakes more
+        // than ~4x per timeout just to mind the clock.
+        let wheel = config.idle_timeout.map(|d| {
+            TimerWheel::new(
+                (d / 4).clamp(Duration::from_millis(1), Duration::from_millis(250)),
+                64,
+            )
+        });
         let reactor = Reactor {
             poller,
             wake: Arc::clone(&wake),
@@ -233,6 +299,8 @@ impl Server {
             buckets: HashMap::new(),
             drain_deadline: None,
             drain_cancelled: false,
+            wheel,
+            ewma_us: 0.0,
         };
         let handle = std::thread::spawn(move || reactor.run());
         Ok(Server {
@@ -264,6 +332,33 @@ impl Server {
     /// Requests a pool worker is evaluating right now.
     pub fn in_flight(&self) -> usize {
         self.service.as_ref().map_or(0, |s| s.in_flight())
+    }
+
+    /// Admission slots held right now (the gauge `queue_capacity`
+    /// bounds).
+    pub fn admitted_depth(&self) -> usize {
+        self.service.as_ref().map_or(0, |s| s.admitted_depth())
+    }
+
+    /// Pool workers running right now (dips while the supervisor
+    /// respawns a crashed worker).
+    pub fn alive_workers(&self) -> usize {
+        self.service.as_ref().map_or(0, |s| s.alive_workers())
+    }
+
+    /// Worker respawns the pool supervisor has performed, ever.
+    pub fn restarts(&self) -> usize {
+        self.service.as_ref().map_or(0, |s| s.restarts())
+    }
+
+    /// Worker threads lost to panics escaping the unwind fence, ever.
+    pub fn worker_deaths(&self) -> usize {
+        self.service.as_ref().map_or(0, |s| s.worker_deaths())
+    }
+
+    /// Panics the pool's per-request unwind fence contained, ever.
+    pub fn contained_panics(&self) -> usize {
+        self.service.as_ref().map_or(0, |s| s.contained_panics())
     }
 
     /// Drains and stops the server: stop accepting, refuse late `query`
@@ -366,6 +461,14 @@ struct Conn {
     read_closed: bool,
     /// Write side failed: discard output, tear down.
     dead: bool,
+    /// Backpressured: the write buffer passed the high-water mark, so
+    /// the read side is paused (no epoll read interest, no buffered-line
+    /// processing) until the buffer drains to the low-water mark.
+    /// Responses for work already in flight still append — the cork
+    /// stops *new* work, which is the only side the reactor controls.
+    corked: bool,
+    /// Last socket traffic in either direction — the idle-timeout clock.
+    last_activity: Instant,
     /// Current epoll interest pair, to make re-registration a no-op
     /// when nothing changed.
     interest: (bool, bool),
@@ -385,6 +488,8 @@ impl Conn {
             eof_seen: false,
             read_closed: false,
             dead: false,
+            corked: false,
+            last_activity: Instant::now(),
             interest: (true, false),
         }
     }
@@ -411,9 +516,12 @@ impl Conn {
     }
 
     /// Whether a complete buffered line is waiting (drives zero-timeout
-    /// polling so fairness-deferred lines are handled promptly).
+    /// polling so fairness-deferred lines are handled promptly). A
+    /// corked connection's lines don't count — they are deliberately
+    /// deferred, and spinning on them would busy-loop the reactor for
+    /// exactly as long as the backpressure lasts.
     fn has_buffered_line(&self) -> bool {
-        !self.read_closed && !self.dead && self.rbuf.contains(&b'\n')
+        !self.read_closed && !self.dead && !self.corked && self.rbuf.contains(&b'\n')
     }
 
     /// Trips every in-flight flag (EOF, fatal line, write failure, or
@@ -443,10 +551,11 @@ struct Reactor {
     completions: Receiver<(u64, Result<String, ServiceError>)>,
     sink: CompletionSink,
     conns: HashMap<u64, Conn>,
-    /// Submission ticket → (connection token, request id). Entries
-    /// outlive their connection so completions for torn-down
-    /// connections still reach the stats counters.
-    routes: HashMap<u64, (u64, u64)>,
+    /// Submission ticket → (connection token, request id, submit time).
+    /// Entries outlive their connection so completions for torn-down
+    /// connections still reach the stats counters; the submit time feeds
+    /// the latency EWMA behind `retry_after_ms` hints.
+    routes: HashMap<u64, (u64, u64, Instant)>,
     next_token: u64,
     next_ticket: u64,
     /// Per-tenant rate-limit buckets (reactor-owned: no locking).
@@ -456,6 +565,13 @@ struct Reactor {
     drain_deadline: Option<Instant>,
     /// The deadline cancellation has fired.
     drain_cancelled: bool,
+    /// Idle-timeout deadlines (present iff `config.idle_timeout` is).
+    wheel: Option<TimerWheel>,
+    /// Exponentially-weighted mean submit→completion latency in
+    /// microseconds (0 until the first sample) — the `overloaded`
+    /// frame's `retry_after_ms` hint: "one request's worth of time from
+    /// now" is when a slot has plausibly freed.
+    ewma_us: f64,
 }
 
 impl Reactor {
@@ -489,6 +605,7 @@ impl Reactor {
                     }
                 }
             }
+            self.check_idle();
             let tokens: Vec<u64> = self.conns.keys().copied().collect();
             for token in tokens {
                 self.post_io(token);
@@ -501,12 +618,14 @@ impl Reactor {
     }
 
     /// Zero while fairness-deferred lines wait, the time to the drain
-    /// deadline while draining, otherwise block until an event.
+    /// deadline while draining, otherwise block until an event — capped
+    /// at the timer wheel's granularity while idle deadlines are live,
+    /// so expiry is checked on schedule even with no I/O.
     fn poll_timeout(&self) -> i32 {
         if self.conns.values().any(Conn::has_buffered_line) {
             return 0;
         }
-        match self.drain_deadline {
+        let base = match self.drain_deadline {
             Some(d) if !self.drain_cancelled => {
                 let ms = d.saturating_duration_since(Instant::now()).as_millis();
                 ms.min(i32::MAX as u128) as i32
@@ -514,7 +633,57 @@ impl Reactor {
             // Draining past cancellation: only completions remain, and
             // they arrive via the wake fd.
             _ => -1,
+        };
+        match &self.wheel {
+            Some(w) if !self.conns.is_empty() => {
+                let gran = w.granularity().as_millis().clamp(1, i32::MAX as u128) as i32;
+                if base < 0 {
+                    gran
+                } else {
+                    base.min(gran)
+                }
+            }
+            _ => base,
         }
+    }
+
+    /// Sweeps the idle wheel: a connection whose deadline passed with no
+    /// traffic since — and nothing pending or unflushed, which would
+    /// make "idle" a misnomer — is torn down; everything else re-arms at
+    /// its next plausible expiry.
+    fn check_idle(&mut self) {
+        let Some(timeout) = self.config.idle_timeout else {
+            return;
+        };
+        // Taken out for the sweep so re-arming can borrow `conns`
+        // alongside it.
+        let Some(mut wheel) = self.wheel.take() else {
+            return;
+        };
+        let now = Instant::now();
+        let mut due = Vec::new();
+        wheel.expire(now, &mut due);
+        for token in due {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue; // already reaped
+            };
+            if conn.dead {
+                continue;
+            }
+            let busy = !conn.pending.is_empty() || !conn.wbuf.is_empty() || conn.corked;
+            let deadline = conn.last_activity + timeout;
+            if !busy && deadline <= now {
+                self.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+                conn.dead = true;
+                conn.trip_flags();
+            } else {
+                // Saw traffic (or is mid-work): re-arm for when it could
+                // next actually be idle-expired.
+                let gran = wheel.granularity();
+                wheel.insert(token, deadline.max(now + gran));
+            }
+        }
+        self.wheel = Some(wheel);
     }
 
     /// Everything outstanding is delivered (or undeliverable): exit.
@@ -564,6 +733,11 @@ impl Reactor {
                     self.stats.connections.fetch_add(1, Ordering::Relaxed);
                     self.conns
                         .insert(token, Conn::new(stream, self.config.default_budget.clone()));
+                    if let (Some(wheel), Some(timeout)) =
+                        (&mut self.wheel, self.config.idle_timeout)
+                    {
+                        wheel.insert(token, Instant::now() + timeout);
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -582,10 +756,14 @@ impl Reactor {
         };
         if ev.readable || ev.hangup {
             let mut chunk = [0u8; 16 * 1024];
-            while !conn.eof_seen && !conn.dead {
+            // A corked connection is not read at all — the kernel socket
+            // buffer (and eventually the peer's send path) absorbs the
+            // pressure, which is the whole point of backpressure.
+            while !conn.eof_seen && !conn.dead && !conn.corked {
                 match conn.stream.read(&mut chunk) {
                     Ok(0) => conn.eof_seen = true,
                     Ok(n) => {
+                        conn.last_activity = Instant::now();
                         conn.rbuf.extend_from_slice(&chunk[..n]);
                         // Stop pulling once a hostile line is over-long;
                         // process_buffered turns that into a teardown.
@@ -618,7 +796,10 @@ impl Reactor {
                 let Some(conn) = self.conns.get_mut(&token) else {
                     return;
                 };
-                if conn.read_closed || conn.dead {
+                if conn.read_closed || conn.dead || conn.corked {
+                    // Corked: already-buffered lines wait too — handling
+                    // them would create new work while the connection is
+                    // exactly the one we're trying to slow down.
                     return;
                 }
                 conn.take_line()
@@ -768,19 +949,33 @@ impl Reactor {
                 .or_insert_with(|| Bucket::full(limit));
             if !bucket.take(limit) {
                 self.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
-                let resp = Frame::new()
+                let mut resp = Frame::new()
                     .bool("ok", false)
                     .uint("id", id)
                     .str("code", "rate_limited")
                     .str("error", "rate limit exceeded");
-                let conn = self.conns.get_mut(&token).expect("conn checked above");
+                // When the bucket refills at all, one token is
+                // ceil(1000/per_sec) ms out — the soonest a retry can
+                // succeed. A never-refilling bucket has no honest hint.
+                if limit.per_sec > 0.0 {
+                    resp = resp.uint("retry_after_ms", (1000.0 / limit.per_sec).ceil() as u64);
+                }
+                // The conn re-borrow: `respond`-style paths look the
+                // connection up again because `handle_line` may have
+                // invalidated earlier borrows; a connection torn down
+                // mid-line simply drops the response.
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
                 conn.pending.push_back(id);
                 conn.done.insert(id, resp);
                 return;
             }
         }
         let flag = CancelFlag::new();
-        let conn = self.conns.get_mut(&token).expect("conn checked above");
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
         let mut budget = conn.budget.clone().with_cancel(flag.clone());
         if let Some(ms) = frame.get_uint("deadline_ms") {
             budget = budget.with_deadline_in(Duration::from_millis(ms));
@@ -793,24 +988,46 @@ impl Reactor {
         conn.flags.insert(id, flag);
         let ticket = self.next_ticket;
         self.next_ticket += 1;
-        self.routes.insert(ticket, (token, id));
+        self.routes.insert(ticket, (token, id, Instant::now()));
         if !self.service.try_submit(ticket, request, &self.sink) {
             // Shed at admission: the result is known now; it still takes
-            // the FIFO so responses stay ordered.
+            // the FIFO so responses stay ordered. The retry hint is one
+            // EWMA-request's worth of time out — when a slot has
+            // plausibly freed.
             self.routes.remove(&ticket);
-            let frame = render(&self.stats, id, Err(ServiceError::Overloaded));
-            let conn = self.conns.get_mut(&token).expect("conn checked above");
+            let frame = render(&self.stats, id, Err(ServiceError::Overloaded))
+                .uint("retry_after_ms", self.overload_retry_ms());
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
             conn.flags.remove(&id);
             conn.done.insert(id, frame);
         }
+    }
+
+    /// The `overloaded` frame's retry hint: the smoothed per-request
+    /// latency, rounded up to a millisecond. Before any sample exists
+    /// the hint is the 1ms floor — deterministic, which the golden
+    /// transcripts rely on (their overload scenarios shed from a fresh
+    /// server).
+    fn overload_retry_ms(&self) -> u64 {
+        ((self.ewma_us / 1000.0).ceil() as u64).clamp(1, 60_000)
     }
 
     /// Routes every queued pool completion to its connection's FIFO
     /// (counting stats even when the connection is already gone).
     fn drain_completions(&mut self) {
         while let Ok((ticket, result)) = self.completions.try_recv() {
-            let Some((token, id)) = self.routes.remove(&ticket) else {
+            let Some((token, id, submitted)) = self.routes.remove(&ticket) else {
                 continue;
+            };
+            // Feed the latency EWMA (α = 0.2): smooth enough to ride out
+            // one slow query, fresh enough to track load shifts.
+            let sample_us = submitted.elapsed().as_micros().min(u64::MAX as u128) as f64;
+            self.ewma_us = if self.ewma_us == 0.0 {
+                sample_us
+            } else {
+                0.8 * self.ewma_us + 0.2 * sample_us
             };
             let frame = render(&self.stats, id, result);
             if let Some(conn) = self.conns.get_mut(&token) {
@@ -855,9 +1072,22 @@ impl Reactor {
                 conn.wbuf.extend_from_slice(line.as_bytes());
             }
         }
+        self.stats
+            .peak_write_buffer
+            .fetch_max(conn.wbuf.len() as u64, Ordering::Relaxed);
         Self::try_write(conn);
+        // Backpressure with hysteresis: cork at the high-water mark
+        // (stop reading → stop creating work), uncork only once the
+        // buffer has drained to the low-water mark, so a slow reader
+        // doesn't flap between states every round.
+        if !conn.corked && conn.wbuf.len() >= self.config.write_high_water {
+            conn.corked = true;
+            self.stats.backpressured.fetch_add(1, Ordering::Relaxed);
+        } else if conn.corked && conn.wbuf.len() <= self.config.write_low_water {
+            conn.corked = false;
+        }
         let want = (
-            !conn.eof_seen && !conn.read_closed && !conn.dead,
+            !conn.eof_seen && !conn.read_closed && !conn.dead && !conn.corked,
             !conn.wbuf.is_empty() && !conn.dead,
         );
         if want != conn.interest {
@@ -875,7 +1105,10 @@ impl Reactor {
         while written < conn.wbuf.len() && !conn.dead {
             match conn.stream.write(&conn.wbuf[written..]) {
                 Ok(0) => conn.dead = true,
-                Ok(n) => written += n,
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    written += n;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => conn.dead = true,
@@ -932,6 +1165,7 @@ fn render(stats: &ServerStats, id: u64, result: Result<String, ServiceError>) ->
                 ServiceError::Overloaded => "overloaded",
                 ServiceError::Cancelled => "cancelled",
                 ServiceError::DeadlineExceeded => "deadline",
+                ServiceError::Internal(_) => "internal_error",
             };
             match &e {
                 ServiceError::Overloaded => {
@@ -939,6 +1173,9 @@ fn render(stats: &ServerStats, id: u64, result: Result<String, ServiceError>) ->
                 }
                 ServiceError::Cancelled | ServiceError::DeadlineExceeded => {
                     stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                ServiceError::Internal(_) => {
+                    stats.internal_errors.fetch_add(1, Ordering::Relaxed);
                 }
                 _ => {}
             }

@@ -1,0 +1,81 @@
+//! The environment side door for fault injection (`XQ_FAULT_SPEC` /
+//! `XQ_FAULT_SEED`), which [`Server::start`] consults when the config
+//! carries no explicit registry. Lives in its own integration-test
+//! binary because the environment is process-global: these are the only
+//! tests in this process, so mutating it races nothing.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use cv_xtree::{parse_tree, ArenaDoc};
+use xq_server::{Server, ServerConfig};
+
+fn docs() -> HashMap<String, Arc<ArenaDoc>> {
+    let tree = parse_tree("<r><a/></r>").unwrap();
+    let mut m = HashMap::new();
+    m.insert("d0".to_string(), Arc::new(ArenaDoc::from_tree(&tree)));
+    m
+}
+
+#[test]
+fn env_spec_is_honored_and_a_malformed_one_refuses_startup() {
+    // Malformed spec: starting the server must fail loudly — a chaos
+    // run with a typo'd spec silently injecting nothing is worse than
+    // no chaos run at all.
+    std::env::set_var("XQ_FAULT_SPEC", "worker-panic=not-a-number");
+    let err = match Server::start(ServerConfig {
+        docs: docs(),
+        ..ServerConfig::default()
+    }) {
+        Err(e) => e,
+        Ok(_) => panic!("malformed XQ_FAULT_SPEC must refuse startup"),
+    };
+    assert_eq!(err.kind(), ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("bad fault spec"), "{err}");
+
+    // Well-formed spec: picked up from the environment and live — every
+    // query answers `internal_error` under `worker-panic=1`.
+    std::env::set_var("XQ_FAULT_SPEC", "worker-panic=1");
+    std::env::set_var("XQ_FAULT_SEED", "42");
+    let mut server = Server::start(ServerConfig {
+        docs: docs(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut w = &stream;
+    w.write_all(br#"{"op":"query","id":1,"doc":"d0","query":"$root/*"}"#)
+        .unwrap();
+    w.write_all(b"\n").unwrap();
+    w.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line).unwrap();
+    let frame = xq_server::Frame::parse(line.trim_end()).unwrap();
+    assert_eq!(frame.get_str("code"), Some("internal_error"), "{line:?}");
+    drop(stream);
+    server.shutdown();
+
+    // Unset: injection off (the default path every other test relies
+    // on); queries succeed.
+    std::env::remove_var("XQ_FAULT_SPEC");
+    std::env::remove_var("XQ_FAULT_SEED");
+    let mut server = Server::start(ServerConfig {
+        docs: docs(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut w = &stream;
+    w.write_all(br#"{"op":"query","id":1,"doc":"d0","query":"$root/*"}"#)
+        .unwrap();
+    w.write_all(b"\n").unwrap();
+    w.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(&stream).read_line(&mut line).unwrap();
+    let frame = xq_server::Frame::parse(line.trim_end()).unwrap();
+    assert_eq!(frame.get_bool("ok"), Some(true), "{line:?}");
+    drop(stream);
+    server.shutdown();
+}

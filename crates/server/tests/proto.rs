@@ -222,6 +222,56 @@ fn render_transcript() -> String {
         ],
     );
 
+    // Rate limit with a refilling bucket: the refusal carries a
+    // `retry_after_ms` hint of one token's refill time —
+    // ceil(1000 / 0.01) = 100000 ms, slow enough that no CI stall can
+    // refill the bucket mid-scenario and perturb the transcript.
+    let mut rates = HashMap::new();
+    rates.insert(
+        "acme".to_string(),
+        RateLimit {
+            per_sec: 0.01,
+            burst: 1,
+        },
+    );
+    let hinted = Server::start(ServerConfig {
+        rates,
+        docs: golden_docs(),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    run_script(
+        &mut t,
+        "rate limit retry hint (acme: burst 1, 0.01/s)",
+        &hinted,
+        &[
+            (r#"{"op":"hello","tenant":"acme"}"#, 1),
+            (r#"{"op":"query","id":1,"doc":"d0","query":"$root/*"}"#, 1),
+            (r#"{"op":"query","id":2,"doc":"d0","query":"<x/>"}"#, 1),
+        ],
+    );
+
+    // Fault injection: a certain worker-panic is contained by the
+    // pool's unwind fence and answered `internal_error` — the panic
+    // message is fixed by the injection, so the frame is deterministic.
+    let panicky = Server::start(ServerConfig {
+        docs: golden_docs(),
+        faults: Some(Arc::new(
+            xq_core::Faults::from_spec("worker-panic=1", 2005).unwrap(),
+        )),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    run_script(
+        &mut t,
+        "fault injection (worker-panic=1)",
+        &panicky,
+        &[
+            (r#"{"op":"query","id":1,"doc":"d0","query":"$root/*"}"#, 1),
+            (r#"{"op":"query","id":2,"doc":"d0","query":"<x/>"}"#, 1),
+        ],
+    );
+
     t
 }
 

@@ -43,7 +43,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::Range;
-use std::sync::{Arc, LazyLock, RwLock};
+use std::sync::{Arc, LazyLock, PoisonError, RwLock};
 
 /// An interned label: a `u32` handle into the global sharded
 /// [`LabelInterner`]. Equality and hashing are O(1) integer operations;
@@ -284,11 +284,22 @@ impl LabelInterner {
     fn intern(&self, s: &str) -> LabelId {
         let idx = Self::shard_of(s);
         let shard = &self.shards[idx];
+        // Shard locks recover from poisoning rather than propagating it:
+        // the table is append-only (push a label, insert its id), so a
+        // panic between the two at worst strands one unreachable slot —
+        // every id already handed out stays resolvable, which is what a
+        // serving pool that *contains* panics needs from process-global
+        // state.
         // Fast path: already interned — read lock only.
-        if let Some(&slot) = shard.read().expect("interner shard poisoned").ids.get(s) {
+        if let Some(&slot) = shard
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ids
+            .get(s)
+        {
             return LabelId::from_parts(idx, slot);
         }
-        let mut shard = shard.write().expect("interner shard poisoned");
+        let mut shard = shard.write().unwrap_or_else(PoisonError::into_inner);
         // Double-check: another thread may have interned `s` between the
         // read unlock and the write lock.
         if let Some(&slot) = shard.ids.get(s) {
@@ -306,14 +317,16 @@ impl LabelInterner {
 
     fn lookup(&self, s: &str) -> Option<LabelId> {
         let idx = Self::shard_of(s);
-        let shard = self.shards[idx].read().expect("interner shard poisoned");
+        let shard = self.shards[idx]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
         shard.ids.get(s).map(|&slot| LabelId::from_parts(idx, slot))
     }
 
     fn resolve(&self, id: LabelId) -> Arc<str> {
         self.shards[id.shard()]
             .read()
-            .expect("interner shard poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .labels[id.slot()]
         .clone()
     }
@@ -321,7 +334,12 @@ impl LabelInterner {
     fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("interner shard poisoned").labels.len())
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .labels
+                    .len()
+            })
             .sum()
     }
 }
