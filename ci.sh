@@ -52,6 +52,19 @@ cargo test -q -p xq_core --test vm_golden
 XQ_ARENA=1 XQ_THREADS=4 cargo test -q -p xq_core --test vm_golden
 cargo test -q -p xq_core --test plan_cache_threads
 
+# The streaming cursor-core surface: cursor_diff locks the refactored
+# one-pipeline engine byte- and counter-identical (pulls, recomputations,
+# peak_live_cursors, tokens_out, workers; errors at exact points under a
+# pull-budget sweep) to the frozen pre-refactor engine
+# (xq_bench::legacy_stream) on all four stream_query* entry points, and
+# byte-identical to the Figure 1 interpreter. Run again with XQ_ARENA=1 +
+# XQ_THREADS=4 so the corpus documents route through the arena store and
+# the parallel sweep picks up the CI thread knob.
+step "streaming cursor suites (cursor_diff; XQ_ARENA=1 XQ_THREADS=4)"
+XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" cargo test -q -p xq_stream --test cursor_diff
+XQ_ARENA=1 XQ_THREADS=4 XQ_RANDOM_CASES="${XQ_RANDOM_CASES:-16}" \
+    cargo test -q -p xq_stream --test cursor_diff
+
 # The serving surface: cancel_diff proves cancel-at-tick-k ≡ budget-cap-k
 # across both engines (and that an untripped flag is byte-invisible);
 # the xq_server package runs the protocol golden + malformed-frame fuzz
@@ -94,6 +107,9 @@ cargo run --release -p xq_bench --bin harness -- --only t20 --json BENCH_T20.jso
 
 step "T21 chaos-soak table (machine-readable: BENCH_T21.json)"
 cargo run --release -p xq_bench --bin harness -- --only t21 --json BENCH_T21.json > /dev/null
+
+step "T22 cursor-core table (machine-readable: BENCH_T22.json)"
+cargo run --release -p xq_bench --bin harness -- --only t22 --json BENCH_T22.json > /dev/null
 
 step "cargo bench --no-run --workspace (bench targets must compile)"
 # --workspace matters: from the root, plain `cargo bench` only builds the

@@ -9,6 +9,7 @@
 //! cargo run --release -p xq_bench --bin harness -- --only t19 --json BENCH_T19.json
 //! cargo run --release -p xq_bench --bin harness -- --only t20 --json BENCH_T20.json
 //! cargo run --release -p xq_bench --bin harness -- --only t21 --json BENCH_T21.json
+//! cargo run --release -p xq_bench --bin harness -- --only t22 --json BENCH_T22.json
 //! ```
 //!
 //! `--only tN` runs a single table; `--json FILE` additionally writes the
@@ -17,7 +18,9 @@
 //! `--only t18`, T19 (network serving under load) under `--only t19`,
 //! T20 (connection scaling on the reactor) under `--only t20`,
 //! T21 (chaos soak under seeded fault injection) under `--only t21`,
-//! T16 (parallel scaling) otherwise — the CI perf-trajectory artifacts.
+//! T22 (cursor core vs the frozen pre-refactor streaming engine) under
+//! `--only t22`, T16 (parallel scaling) otherwise — the CI
+//! perf-trajectory artifacts.
 
 use cv_monad::Budget;
 use cv_xtree::{ArenaDoc, TreeGen};
@@ -51,10 +54,10 @@ fn main() {
     }
     if let Some(o) = &only {
         // A typo must fail loudly, not silently run zero tables.
-        let known: Vec<String> = (1..=21).map(|i| format!("t{i}")).collect();
+        let known: Vec<String> = (1..=22).map(|i| format!("t{i}")).collect();
         assert!(
             known.contains(o),
-            "--only {o:?} is not a known table (expected one of t1..t21)"
+            "--only {o:?} is not a known table (expected one of t1..t22)"
         );
     }
 
@@ -137,6 +140,15 @@ fn main() {
             }
         }
     }
+    if only.as_deref().is_none_or(|o| o == "t22") {
+        let rows = t22_cursor();
+        if only.as_deref() == Some("t22") {
+            if let Some(path) = &json_path {
+                std::fs::write(path, t22_json(&rows)).expect("write --json file");
+                println!("\nT22 rows written to {path}");
+            }
+        }
+    }
     if json_path.is_some()
         && !matches!(
             only.as_deref(),
@@ -146,9 +158,10 @@ fn main() {
                 | Some("t19")
                 | Some("t20")
                 | Some("t21")
+                | Some("t22")
         )
     {
-        panic!("--json requires T16..T21 to run (drop --only or use --only t16/.../t21)");
+        panic!("--json requires T16..T22 to run (drop --only or use --only t16/.../t22)");
     }
 
     println!("\nAll requested experiment tables regenerated.");
@@ -1272,6 +1285,208 @@ fn t21_json(rows: &[T21Row]) -> String {
             r.restarts,
             r.throughput_rps,
             r.wall_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One T22 measurement: one streaming discipline of one doubling family,
+/// timed on the refactored cursor core and on the frozen pre-refactor
+/// engine (`xq_bench::legacy_stream`).
+struct T22Row {
+    family: String,
+    n: u32,
+    discipline: &'static str,
+    tokens_out: u64,
+    legacy_us: f64,
+    cursor_us: f64,
+    /// High-water mark of parked tokens (cursor engine; the legacy
+    /// engine had no such gauge — its parallel merge materialized every
+    /// chunk, so its effective in-flight peak was `tokens_out`).
+    peak_buffered_tokens: u64,
+    workers: usize,
+}
+
+/// T22 — the cursor-core refactor's performance gate: lazy, buffered, and
+/// parallel-merge streaming on the doubling families, refactored engine
+/// vs the frozen pre-refactor engine. Self-checked: bytes and budget
+/// counters must match the baseline exactly (a slow-path regression
+/// cannot hide behind a fast mean), the cursor engine must stay within
+/// noise of the old engine on every discipline, and the parallel merge's
+/// `peak_buffered_tokens` must stay under its queue bound — the number
+/// that proves the merge consumes worker output incrementally where the
+/// old engine materialized whole chunks.
+fn t22_cursor() -> Vec<T22Row> {
+    use cv_xtree::DoublingFamily;
+    use xq_bench::legacy_stream as legacy;
+    use xq_stream::{DEFAULT_BUFFER_LIMIT, PAR_QUEUE_CAP_TOKENS, PAR_RUN_TOKENS};
+
+    header("T22  Cursor core vs pre-refactor engine  (xq_stream refactor)");
+    println!(
+        "The composable-cursor refactor routed all four `stream_query*` \
+         entry points through one pipeline builder; this table gates its \
+         cost. Lazy rows use smaller documents (re-streaming cost is \
+         quadratic), the parallel rows run 4 threads with the incremental \
+         run-queue merge.\n"
+    );
+    println!(
+        "| family (n) | discipline | tokens out | legacy (µs) | cursor (µs) | ratio | peak buffered tokens |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let mut rows = Vec::new();
+    let mut push = |family: DoublingFamily,
+                    n: u32,
+                    discipline: &'static str,
+                    tokens_out: u64,
+                    legacy_us: f64,
+                    cursor_us: f64,
+                    peak: u64,
+                    workers: usize| {
+        println!(
+            "| {family} ({n}) | {discipline} | {tokens_out} | {legacy_us:.1} | {cursor_us:.1} | {:.2}x | {peak} |",
+            cursor_us / legacy_us
+        );
+        // The refactor gate: within noise of the old engine (generous
+        // margin — CI containers are single-core and share tenants).
+        assert!(
+            cursor_us <= legacy_us * 1.5 + 250.0,
+            "cursor core regressed {discipline} on {family}({n}): \
+             {cursor_us:.1}µs vs legacy {legacy_us:.1}µs"
+        );
+        rows.push(T22Row {
+            family: family.to_string(),
+            n,
+            discipline,
+            tokens_out,
+            legacy_us,
+            cursor_us,
+            peak_buffered_tokens: peak,
+            workers,
+        });
+    };
+    for (family, n_lazy, n) in [
+        (DoublingFamily::Binary, 8u32, 11u32),
+        (DoublingFamily::Wide, 9, 12),
+        (DoublingFamily::Comb, 7, 10),
+    ] {
+        let q = xq_bench::stream_workload(family);
+
+        // Lazy discipline (pure Theorem 4.5 re-streaming).
+        let tree = family.tree(n_lazy);
+        let (out, stats) = xq_stream::stream_query(&q, &tree, u64::MAX).unwrap();
+        let (lout, lstats) = legacy::stream_query(&q, &tree, u64::MAX).unwrap();
+        assert_eq!(out, lout, "lazy bytes diverged on {family}({n_lazy})");
+        assert_eq!(stats.pulls, lstats.pulls, "lazy pulls on {family}");
+        let cursor_us = time_us(3, || {
+            xq_stream::stream_query(&q, &tree, u64::MAX).unwrap();
+        });
+        let legacy_us = time_us(3, || {
+            legacy::stream_query(&q, &tree, u64::MAX).unwrap();
+        });
+        push(
+            family,
+            n_lazy,
+            "lazy",
+            stats.tokens_out,
+            legacy_us,
+            cursor_us,
+            stats.peak_buffered_tokens,
+            0,
+        );
+
+        // Buffered fast path.
+        let tree = family.tree(n);
+        let (out, stats) =
+            xq_stream::stream_query_buffered(&q, &tree, u64::MAX, DEFAULT_BUFFER_LIMIT).unwrap();
+        let (lout, lstats) =
+            legacy::stream_query_buffered(&q, &tree, u64::MAX, DEFAULT_BUFFER_LIMIT).unwrap();
+        assert_eq!(out, lout, "buffered bytes diverged on {family}({n})");
+        assert_eq!(stats.pulls, lstats.pulls, "buffered pulls on {family}");
+        let cursor_us = time_us(8, || {
+            xq_stream::stream_query_buffered(&q, &tree, u64::MAX, DEFAULT_BUFFER_LIMIT).unwrap();
+        });
+        let legacy_us = time_us(8, || {
+            legacy::stream_query_buffered(&q, &tree, u64::MAX, DEFAULT_BUFFER_LIMIT).unwrap();
+        });
+        push(
+            family,
+            n,
+            "buffered",
+            stats.tokens_out,
+            legacy_us,
+            cursor_us,
+            stats.peak_buffered_tokens,
+            0,
+        );
+
+        // Parallel incremental merge, 4 threads.
+        let doc = family.arena(n);
+        let (out, stats) =
+            xq_stream::stream_query_arena_par(&q, &doc, u64::MAX, DEFAULT_BUFFER_LIMIT, 4).unwrap();
+        let (lout, _) =
+            legacy::stream_query_arena_par(&q, &doc, u64::MAX, DEFAULT_BUFFER_LIMIT, 4).unwrap();
+        assert_eq!(out, lout, "par bytes diverged on {family}({n})");
+        // The boundedness gate: in-flight tokens stay under the queue
+        // bound however large the output grows — the legacy merge parked
+        // every chunk's full output instead.
+        let bound = (stats.workers * (PAR_QUEUE_CAP_TOKENS + PAR_RUN_TOKENS)) as u64;
+        assert!(
+            stats.peak_buffered_tokens <= bound,
+            "incremental merge exceeded its bound on {family}({n}): \
+             peak {} > {bound}",
+            stats.peak_buffered_tokens
+        );
+        let cursor_us = time_us(5, || {
+            xq_stream::stream_query_arena_par(&q, &doc, u64::MAX, DEFAULT_BUFFER_LIMIT, 4).unwrap();
+        });
+        let legacy_us = time_us(5, || {
+            legacy::stream_query_arena_par(&q, &doc, u64::MAX, DEFAULT_BUFFER_LIMIT, 4).unwrap();
+        });
+        push(
+            family,
+            n,
+            "par-merge 4T",
+            stats.tokens_out,
+            legacy_us,
+            cursor_us,
+            stats.peak_buffered_tokens,
+            stats.workers,
+        );
+    }
+    println!(
+        "\nSelf-checks passed: bytes and pull counters identical to the \
+         frozen baseline, cursor within noise on every discipline, \
+         parallel peak bounded by workers × (queue cap {PAR_QUEUE_CAP_TOKENS} \
+         + run {PAR_RUN_TOKENS}) tokens while the old merge parked whole \
+         chunk outputs."
+    );
+    rows
+}
+
+/// Renders the T22 rows as the `--json` payload (hand-rolled: the
+/// workspace is offline, no serde).
+fn t22_json(rows: &[T22Row]) -> String {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = String::from("{\n");
+    out.push_str("  \"table\": \"T22\",\n");
+    out.push_str(&format!("  \"host_threads\": {host},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"n\": {}, \"discipline\": \"{}\", \
+             \"tokens_out\": {}, \"legacy_us\": {:.1}, \"cursor_us\": {:.1}, \
+             \"ratio\": {:.3}, \"peak_buffered_tokens\": {}, \"workers\": {}}}{}\n",
+            r.family,
+            r.n,
+            r.discipline,
+            r.tokens_out,
+            r.legacy_us,
+            r.cursor_us,
+            r.cursor_us / r.legacy_us,
+            r.peak_buffered_tokens,
+            r.workers,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -1,0 +1,1192 @@
+//! The **pre-refactor streaming engine**, frozen verbatim (unit tests
+//! stripped) as a differential and performance baseline: the cursor-core
+//! refactor of `xq_stream` is locked byte- and counter-identical to this
+//! code by `crates/stream/tests/cursor_diff.rs`, and harness table T22
+//! times the refactored engine against it. Recovered from git history —
+//! do not edit; if the baseline needs to change, the refactor broke
+//! compatibility.
+//!
+//! ---
+//!
+//! The iterator-based streaming evaluator of Theorem 4.5 — the EXPSPACE
+//! upper bound for `XQ[=deep, child, descendant]`.
+//!
+//! The materializing evaluator can build intermediate trees of doubly
+//! exponential size (Prop 4.2 + Lemma 3.3). This engine follows the
+//! paper's alternative: a *list iterator design pattern* with
+//! `getNext`/`atEnd` (plus the derived `count`/`get`), where
+//!
+//! * results are streams of opening/closing-tag [`Token`]s, never trees;
+//! * a `for`-variable binds to a **lazy handle** — "item `m` of
+//!   `[[α]](~e)`" — not to a materialized tree;
+//! * referencing a variable *re-streams* its defining expression and
+//!   skips to item `m` (recomputation trades time for space);
+//! * axis steps and deep equality work directly on token streams with
+//!   depth counters.
+//!
+//! Live state is therefore a bounded number of cursors and counters per
+//! query variable: [`StreamStats::peak_live_cursors`] measures it, and the
+//! E4 experiment contrasts it with the materializing evaluator's allocated
+//! nodes on the Prop 4.2 blowup family.
+//!
+//! # The buffered fast path
+//!
+//! Pure recomputation is the right *space* story but a terrible *time*
+//! story on small intermediates: re-streaming a `for`-source once per
+//! `item_exists` probe and once per variable reference makes the engine
+//! ~160× slower than materializing on the tiny doubling-family outputs
+//! (ROADMAP "Perf headroom"). [`stream_query_buffered`] adds a fast path:
+//! when a `for`-source (or a `some`/`every` source) streams to completion
+//! within a per-source token cap, its items are materialized **once** into
+//! token buffers and the loop variable binds to plain slices — skipping
+//! the per-token `Item` cursor bookkeeping and all re-streaming for that
+//! source. Sources that exceed the cap fall back to the lazy Theorem 4.5
+//! discipline. Every *live* loop/quantifier scope holds at most one
+//! buffer, so worst-case space is `O(live cursors × buffer cap)` — the
+//! cap bounds the degradation per scope, not globally.
+//! [`StreamStats::buffered_sources`] counts how often the fast path
+//! engaged.
+
+use cv_xtree::{ArenaDoc, Axis, IToken, Label, NodeId, NodeTest, Token, Tree};
+use std::cell::Cell;
+use std::rc::Rc;
+use xq_core::ast::{Cond, EqMode, Query, Var};
+use xq_core::par::chunks;
+use xq_core::plan::{ParPlan, ShardPlan};
+
+/// Streaming failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// Unbound variable.
+    UnboundVariable(String),
+    /// `=mon` is not an XQuery equality.
+    BadEqualityMode,
+    /// The step budget was exhausted (streaming recomputes aggressively;
+    /// time can be exponential in the query).
+    Budget,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UnboundVariable(v) => write!(f, "unbound variable ${v}"),
+            StreamError::BadEqualityMode => f.write_str("=mon is not an XQuery equality"),
+            StreamError::Budget => f.write_str("streaming step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Counters exposed by the streaming engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Tokens produced at the top level.
+    pub tokens_out: u64,
+    /// Total cursor pulls (the time cost of recomputation).
+    pub pulls: u64,
+    /// Times a defining expression was re-streamed for a variable
+    /// reference or a loop restart.
+    pub recomputations: u64,
+    /// Peak number of simultaneously live cursors — the measured "working
+    /// memory" of Theorem 4.5 (each cursor is O(1) counters plus a
+    /// constant number of references).
+    pub peak_live_cursors: u64,
+    /// Sources materialized by the buffered fast path
+    /// ([`stream_query_buffered`]); always 0 under [`stream_query`].
+    pub buffered_sources: u64,
+    /// Workers actually spawned by [`stream_query_arena_par`] — the
+    /// maximum over the plan's shard executions, which can be less than
+    /// the requested thread count when a work-list has fewer items than
+    /// threads. 0 on every sequential path.
+    pub workers: usize,
+}
+
+#[derive(Clone)]
+struct Shared {
+    pulls: Rc<Cell<u64>>,
+    live: Rc<Cell<u64>>,
+    peak: Rc<Cell<u64>>,
+    recomp: Rc<Cell<u64>>,
+    buffered: Rc<Cell<u64>>,
+    max_pulls: u64,
+    /// Per-source token cap for the buffered fast path; 0 disables it.
+    buffer_limit: usize,
+}
+
+impl Shared {
+    fn new(max_pulls: u64, buffer_limit: usize) -> Shared {
+        Shared {
+            pulls: Rc::new(Cell::new(0)),
+            live: Rc::new(Cell::new(0)),
+            peak: Rc::new(Cell::new(0)),
+            recomp: Rc::new(Cell::new(0)),
+            buffered: Rc::new(Cell::new(0)),
+            max_pulls,
+            buffer_limit,
+        }
+    }
+
+    fn pull(&self) -> Result<(), StreamError> {
+        self.pulls.set(self.pulls.get() + 1);
+        if self.pulls.get() > self.max_pulls {
+            return Err(StreamError::Budget);
+        }
+        Ok(())
+    }
+
+    fn alloc(&self) {
+        self.live.set(self.live.get() + 1);
+        if self.live.get() > self.peak.get() {
+            self.peak.set(self.live.get());
+        }
+    }
+
+    fn free(&self) {
+        self.live.set(self.live.get() - 1);
+    }
+
+    fn recompute(&self) {
+        self.recomp.set(self.recomp.get() + 1);
+    }
+}
+
+/// What a variable is bound to.
+#[derive(Clone)]
+enum Binding<'q> {
+    /// The input tree, pre-tokenized (given data, not working memory).
+    Input(Rc<[Token]>),
+    /// Item `index` of `[[expr]](env)` — a lazy handle.
+    Lazy {
+        expr: &'q Query,
+        env: Env<'q>,
+        index: u64,
+    },
+}
+
+struct EnvNode<'q> {
+    var: Var,
+    binding: Binding<'q>,
+    parent: Env<'q>,
+}
+
+type Env<'q> = Option<Rc<EnvNode<'q>>>;
+
+fn bind<'q>(env: &Env<'q>, var: Var, binding: Binding<'q>) -> Env<'q> {
+    Some(Rc::new(EnvNode {
+        var,
+        binding,
+        parent: env.clone(),
+    }))
+}
+
+fn lookup<'q>(env: &Env<'q>, v: &Var) -> Result<Binding<'q>, StreamError> {
+    let mut cur = env;
+    while let Some(node) = cur {
+        if &node.var == v {
+            return Ok(node.binding.clone());
+        }
+        cur = &node.parent;
+    }
+    Err(StreamError::UnboundVariable(v.name().to_string()))
+}
+
+/// A pull cursor over a token stream.
+struct XCursor<'q> {
+    kind: Kind<'q>,
+    shared: Shared,
+}
+
+enum Kind<'q> {
+    Done,
+    /// Raw token slice (the input or a subtree of it).
+    Slice {
+        tokens: Rc<[Token]>,
+        pos: usize,
+    },
+    /// `⟨a⟩ body ⟨/a⟩`.
+    Elem {
+        tag: Label,
+        opened: bool,
+        body: Option<Box<XCursor<'q>>>,
+    },
+    /// `α` then `β`.
+    Seq {
+        cur: Box<XCursor<'q>>,
+        rest: Option<(&'q Query, Env<'q>)>,
+    },
+    /// Pass through item #index of the inner stream.
+    Item {
+        inner: Box<XCursor<'q>>,
+        index: u64,
+        seen: u64,
+        depth: i64,
+        done: bool,
+    },
+    /// Axis step over all items of a re-streamable base.
+    AxisStep {
+        base: &'q Query,
+        env: Env<'q>,
+        axis: Axis,
+        test: NodeTest,
+        match_idx: u64,
+        sub: Option<MatchEmitter<'q>>,
+        exhausted: bool,
+    },
+    /// `for var in source return body`, item-by-item. [`SourceIter`]
+    /// yields the per-item bindings (lazy handles, or buffered slices on
+    /// the fast path).
+    For {
+        var: Var,
+        source: &'q Query,
+        body: &'q Query,
+        env: Env<'q>,
+        iter: Option<SourceIter<'q>>,
+        cur: Option<Box<XCursor<'q>>>,
+        exhausted: bool,
+    },
+    /// `if c then body` — condition evaluated on first pull.
+    If {
+        cond: &'q Cond,
+        body: &'q Query,
+        env: Env<'q>,
+        decided: Option<Box<XCursor<'q>>>,
+        dead: bool,
+    },
+}
+
+/// Streams the subtree of match #target within an inner cursor.
+struct MatchEmitter<'q> {
+    inner: Box<XCursor<'q>>,
+    axis: Axis,
+    test: NodeTest,
+    target: u64,
+    matches_seen: u64,
+    depth: i64,
+    emitting_from: Option<i64>,
+    found: bool,
+}
+
+impl Drop for XCursor<'_> {
+    fn drop(&mut self) {
+        self.shared.free();
+    }
+}
+
+impl<'q> XCursor<'q> {
+    fn new(kind: Kind<'q>, shared: &Shared) -> XCursor<'q> {
+        shared.alloc();
+        XCursor {
+            kind,
+            shared: shared.clone(),
+        }
+    }
+
+    fn of_query(q: &'q Query, env: &Env<'q>, shared: &Shared) -> Result<XCursor<'q>, StreamError> {
+        let kind = match q {
+            Query::Empty => Kind::Done,
+            Query::Elem(a, body) => Kind::Elem {
+                tag: a.clone(),
+                opened: false,
+                body: Some(Box::new(XCursor::of_query(body, env, shared)?)),
+            },
+            Query::Seq(a, b) => Kind::Seq {
+                cur: Box::new(XCursor::of_query(a, env, shared)?),
+                rest: Some((b, env.clone())),
+            },
+            Query::Var(v) => return XCursor::of_binding(lookup(env, v)?, shared),
+            Query::Step(base, axis, test) => Kind::AxisStep {
+                base,
+                env: env.clone(),
+                axis: *axis,
+                test: test.clone(),
+                match_idx: 0,
+                sub: None,
+                exhausted: false,
+            },
+            Query::For(v, s, b) | Query::Let(v, s, b) => Kind::For {
+                var: v.clone(),
+                source: s,
+                body: b,
+                env: env.clone(),
+                iter: None,
+                cur: None,
+                exhausted: false,
+            },
+            Query::If(c, body) => Kind::If {
+                cond: c,
+                body,
+                env: env.clone(),
+                decided: None,
+                dead: false,
+            },
+        };
+        Ok(XCursor::new(kind, shared))
+    }
+
+    fn of_binding(b: Binding<'q>, shared: &Shared) -> Result<XCursor<'q>, StreamError> {
+        match b {
+            Binding::Input(tokens) => Ok(XCursor::new(Kind::Slice { tokens, pos: 0 }, shared)),
+            Binding::Lazy { expr, env, index } => {
+                shared.recompute();
+                let inner = XCursor::of_query(expr, &env, shared)?;
+                Ok(XCursor::new(
+                    Kind::Item {
+                        inner: Box::new(inner),
+                        index,
+                        seen: 0,
+                        depth: 0,
+                        done: false,
+                    },
+                    shared,
+                ))
+            }
+        }
+    }
+
+    /// Pulls the next token.
+    fn next(&mut self) -> Result<Option<Token>, StreamError> {
+        self.shared.pull()?;
+        let shared = self.shared.clone();
+        match &mut self.kind {
+            Kind::Done => Ok(None),
+            Kind::Slice { tokens, pos } => {
+                if *pos < tokens.len() {
+                    let t = tokens[*pos].clone();
+                    *pos += 1;
+                    Ok(Some(t))
+                } else {
+                    Ok(None)
+                }
+            }
+            Kind::Elem { tag, opened, body } => {
+                if !*opened {
+                    *opened = true;
+                    return Ok(Some(Token::Open(tag.clone())));
+                }
+                if let Some(b) = body {
+                    if let Some(t) = b.next()? {
+                        return Ok(Some(t));
+                    }
+                    let t = Token::Close(tag.clone());
+                    self.kind = Kind::Done;
+                    return Ok(Some(t));
+                }
+                Ok(None)
+            }
+            Kind::Seq { cur, rest } => loop {
+                if let Some(t) = cur.next()? {
+                    return Ok(Some(t));
+                }
+                match rest.take() {
+                    Some((q, env)) => {
+                        **cur = XCursor::of_query(q, &env, &shared)?;
+                    }
+                    None => return Ok(None),
+                }
+            },
+            Kind::Item {
+                inner,
+                index,
+                seen,
+                depth,
+                done,
+            } => {
+                if *done {
+                    return Ok(None);
+                }
+                loop {
+                    let Some(t) = inner.next()? else {
+                        *done = true;
+                        return Ok(None);
+                    };
+                    match &t {
+                        Token::Open(_) => {
+                            if *depth == 0 {
+                                *seen += 1;
+                            }
+                            *depth += 1;
+                        }
+                        Token::Close(_) => {
+                            *depth -= 1;
+                        }
+                    }
+                    // 1-based item number of the token just processed.
+                    if *seen == *index + 1 {
+                        if *depth == 0 {
+                            *done = true; // closing token of our item
+                        }
+                        return Ok(Some(t));
+                    }
+                    if *seen > *index + 1 {
+                        *done = true;
+                        return Ok(None);
+                    }
+                }
+            }
+            Kind::AxisStep {
+                base,
+                env,
+                axis,
+                test,
+                match_idx,
+                sub,
+                exhausted,
+            } => loop {
+                if *exhausted {
+                    return Ok(None);
+                }
+                if sub.is_none() {
+                    shared.recompute();
+                    let inner = XCursor::of_query(base, env, &shared)?;
+                    *sub = Some(MatchEmitter {
+                        inner: Box::new(inner),
+                        axis: *axis,
+                        test: test.clone(),
+                        target: *match_idx,
+                        matches_seen: 0,
+                        depth: 0,
+                        emitting_from: None,
+                        found: false,
+                    });
+                }
+                let emitter = sub.as_mut().expect("just set");
+                match emitter.next()? {
+                    Some(t) => return Ok(Some(t)),
+                    None => {
+                        let found = emitter.found;
+                        *sub = None;
+                        if found {
+                            *match_idx += 1;
+                        } else {
+                            *exhausted = true;
+                        }
+                    }
+                }
+            },
+            Kind::For {
+                var,
+                source,
+                body,
+                env,
+                iter,
+                cur,
+                exhausted,
+            } => loop {
+                if *exhausted {
+                    return Ok(None);
+                }
+                if cur.is_none() {
+                    if iter.is_none() {
+                        *iter = Some(SourceIter::new(source, env, &shared)?);
+                    }
+                    let next = iter.as_mut().expect("just set").next_binding(&shared)?;
+                    let Some(binding) = next else {
+                        *exhausted = true;
+                        return Ok(None);
+                    };
+                    let new_env = bind(env, var.clone(), binding);
+                    *cur = Some(Box::new(XCursor::of_query(body, &new_env, &shared)?));
+                }
+                if let Some(t) = cur.as_mut().expect("just set").next()? {
+                    return Ok(Some(t));
+                }
+                *cur = None;
+            },
+            Kind::If {
+                cond,
+                body,
+                env,
+                decided,
+                dead,
+            } => {
+                if *dead {
+                    return Ok(None);
+                }
+                if decided.is_none() {
+                    if eval_cond(cond, env, &shared)? {
+                        *decided = Some(Box::new(XCursor::of_query(body, env, &shared)?));
+                    } else {
+                        *dead = true;
+                        return Ok(None);
+                    }
+                }
+                decided.as_mut().expect("just set").next()
+            }
+        }
+    }
+}
+
+impl MatchEmitter<'_> {
+    /// Whether an `Open` that raised the depth to `d` starts a node
+    /// selected by the axis (items are at depth 1).
+    fn selects(&self, d: i64) -> bool {
+        match self.axis {
+            Axis::SelfAxis => d == 1,
+            Axis::Child => d == 2,
+            Axis::Descendant => d >= 2,
+            Axis::DescendantOrSelf => d >= 1,
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<Token>, StreamError> {
+        loop {
+            let Some(t) = self.inner.next()? else {
+                return Ok(None);
+            };
+            match &t {
+                Token::Open(label) => {
+                    self.depth += 1;
+                    if self.emitting_from.is_none()
+                        && self.selects(self.depth)
+                        && self.test.matches(label)
+                    {
+                        if self.matches_seen == self.target {
+                            self.emitting_from = Some(self.depth);
+                            self.found = true;
+                        }
+                        self.matches_seen += 1;
+                    }
+                    if self.emitting_from.is_some() {
+                        return Ok(Some(t));
+                    }
+                }
+                Token::Close(_) => {
+                    let emit = self.emitting_from.is_some();
+                    let finished = self.emitting_from == Some(self.depth);
+                    self.depth -= 1;
+                    if emit {
+                        if finished {
+                            // Final close of this match: emit it and stop;
+                            // the enclosing AxisStep restarts for the next
+                            // match.
+                            self.emitting_from = None;
+                            self.inner.kind = Kind::Done;
+                            return Ok(Some(t));
+                        }
+                        return Ok(Some(t));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Incrementally materialized items of a `for`/`some`/`every` source —
+/// the buffered fast path. One cursor streams the source exactly once;
+/// items are split off the token stream *on demand*, so a consumer that
+/// stops early (a short-circuiting condition, an outer boolean probe)
+/// pulls no more of the source than the lazy discipline would. When the
+/// stream exceeds the per-source token cap, `overflowed` is set and the
+/// caller falls back to lazy re-streaming (the pulls spent probing still
+/// count against the budget).
+struct ItemBuffer<'q> {
+    cursor: Option<Box<XCursor<'q>>>,
+    items: Vec<Rc<[Token]>>,
+    partial: Vec<Token>,
+    depth: i64,
+    total: usize,
+    overflowed: bool,
+}
+
+impl<'q> ItemBuffer<'q> {
+    fn new(expr: &'q Query, env: &Env<'q>, shared: &Shared) -> Result<ItemBuffer<'q>, StreamError> {
+        shared.recompute();
+        Ok(ItemBuffer {
+            cursor: Some(Box::new(XCursor::of_query(expr, env, shared)?)),
+            items: Vec::new(),
+            partial: Vec::new(),
+            depth: 0,
+            total: 0,
+            overflowed: false,
+        })
+    }
+
+    /// Returns item #m (0-based), pulling just far enough to materialize
+    /// it. `Ok(None)` means the source ended before item #m *or* the cap
+    /// was exceeded — check [`ItemBuffer::overflowed`] to tell them apart.
+    fn get(&mut self, m: usize, shared: &Shared) -> Result<Option<Rc<[Token]>>, StreamError> {
+        while self.items.len() <= m {
+            let Some(cursor) = self.cursor.as_mut() else {
+                return Ok(None);
+            };
+            let Some(t) = cursor.next()? else {
+                // Source fully buffered: this is a completed fast path.
+                self.cursor = None;
+                shared.buffered.set(shared.buffered.get() + 1);
+                return Ok(None);
+            };
+            self.total += 1;
+            if self.total > shared.buffer_limit {
+                self.overflowed = true;
+                self.cursor = None;
+                return Ok(None);
+            }
+            match &t {
+                Token::Open(_) => self.depth += 1,
+                Token::Close(_) => self.depth -= 1,
+            }
+            self.partial.push(t);
+            if self.depth == 0 {
+                self.items.push(Rc::from(std::mem::take(&mut self.partial)));
+            }
+        }
+        Ok(Some(self.items[m].clone()))
+    }
+}
+
+/// Iterates the item bindings of a `for`/`some`/`every` source: the
+/// buffered fast path when enabled (falling back to lazy re-streaming on
+/// overflow), pure `item_exists` probing otherwise. Both disciplines
+/// yield bindings one at a time, so early-stopping consumers (quantifier
+/// short-circuits, outer boolean probes) pull no more of the source than
+/// strictly needed.
+struct SourceIter<'q> {
+    source: &'q Query,
+    env: Env<'q>,
+    m: u64,
+    buf: Option<ItemBuffer<'q>>,
+}
+
+impl<'q> SourceIter<'q> {
+    fn new(
+        source: &'q Query,
+        env: &Env<'q>,
+        shared: &Shared,
+    ) -> Result<SourceIter<'q>, StreamError> {
+        let buf = if shared.buffer_limit > 0 {
+            Some(ItemBuffer::new(source, env, shared)?)
+        } else {
+            None
+        };
+        Ok(SourceIter {
+            source,
+            env: env.clone(),
+            m: 0,
+            buf,
+        })
+    }
+
+    /// The binding for the next item, or `None` when the source ends.
+    fn next_binding(&mut self, shared: &Shared) -> Result<Option<Binding<'q>>, StreamError> {
+        let m = self.m;
+        self.m += 1;
+        let mut overflowed = false;
+        if let Some(b) = self.buf.as_mut() {
+            match b.get(m as usize, shared)? {
+                Some(item) => return Ok(Some(Binding::Input(item))),
+                None => {
+                    if b.overflowed {
+                        overflowed = true;
+                    } else {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        if overflowed {
+            self.buf = None;
+        }
+        if !item_exists(self.source, &self.env, m, shared)? {
+            return Ok(None);
+        }
+        Ok(Some(Binding::Lazy {
+            expr: self.source,
+            env: self.env.clone(),
+            index: m,
+        }))
+    }
+}
+
+/// Does `[[expr]](env)` have an item #m (0-based)? Re-streams and counts.
+fn item_exists<'q>(
+    expr: &'q Query,
+    env: &Env<'q>,
+    m: u64,
+    shared: &Shared,
+) -> Result<bool, StreamError> {
+    shared.recompute();
+    let mut c = XCursor::of_query(expr, env, shared)?;
+    let mut depth: i64 = 0;
+    let mut seen: u64 = 0;
+    while let Some(t) = c.next()? {
+        match t {
+            Token::Open(_) => {
+                if depth == 0 {
+                    seen += 1;
+                    if seen > m {
+                        return Ok(true);
+                    }
+                }
+                depth += 1;
+            }
+            Token::Close(_) => depth -= 1,
+        }
+    }
+    Ok(false)
+}
+
+fn first_label(b: Binding<'_>, shared: &Shared) -> Result<Option<Label>, StreamError> {
+    let mut c = XCursor::of_binding(b, shared)?;
+    match c.next()? {
+        Some(Token::Open(l)) => Ok(Some(l)),
+        _ => Ok(None),
+    }
+}
+
+fn streams_equal<'q>(a: Binding<'q>, b: Binding<'q>, shared: &Shared) -> Result<bool, StreamError> {
+    let mut ca = XCursor::of_binding(a, shared)?;
+    let mut cb = XCursor::of_binding(b, shared)?;
+    loop {
+        match (ca.next()?, cb.next()?) {
+            (None, None) => return Ok(true),
+            (Some(x), Some(y)) if x == y => continue,
+            _ => return Ok(false),
+        }
+    }
+}
+
+fn eval_cond<'q>(c: &'q Cond, env: &Env<'q>, shared: &Shared) -> Result<bool, StreamError> {
+    match c {
+        Cond::True => Ok(true),
+        Cond::VarEq(x, y, mode) => {
+            let bx = lookup(env, x)?;
+            let by = lookup(env, y)?;
+            match mode {
+                EqMode::Deep => streams_equal(bx, by, shared),
+                EqMode::Atomic => Ok(first_label(bx, shared)? == first_label(by, shared)?),
+                EqMode::Mon => Err(StreamError::BadEqualityMode),
+            }
+        }
+        Cond::ConstEq(x, a, mode) => {
+            let bx = lookup(env, x)?;
+            match mode {
+                EqMode::Deep => {
+                    let mut cx = XCursor::of_binding(bx, shared)?;
+                    let t1 = cx.next()?;
+                    let t2 = cx.next()?;
+                    let t3 = cx.next()?;
+                    Ok(t1 == Some(Token::Open(a.clone()))
+                        && t2 == Some(Token::Close(a.clone()))
+                        && t3.is_none())
+                }
+                _ => Ok(first_label(bx, shared)?.as_ref() == Some(a)),
+            }
+        }
+        Cond::Query(q) => {
+            let mut c = XCursor::of_query(q, env, shared)?;
+            Ok(c.next()?.is_some())
+        }
+        Cond::Some(v, source, sat) => {
+            let mut iter = SourceIter::new(source, env, shared)?;
+            while let Some(binding) = iter.next_binding(shared)? {
+                let new_env = bind(env, v.clone(), binding);
+                if eval_cond(sat, &new_env, shared)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Cond::Every(v, source, sat) => {
+            let mut iter = SourceIter::new(source, env, shared)?;
+            while let Some(binding) = iter.next_binding(shared)? {
+                let new_env = bind(env, v.clone(), binding);
+                if !eval_cond(sat, &new_env, shared)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Cond::And(a, b) => Ok(eval_cond(a, env, shared)? && eval_cond(b, env, shared)?),
+        Cond::Or(a, b) => Ok(eval_cond(a, env, shared)? || eval_cond(b, env, shared)?),
+        Cond::Not(a) => Ok(!eval_cond(a, env, shared)?),
+    }
+}
+
+/// Default per-source token cap for [`stream_query_buffered`]: generous
+/// enough for everyday intermediates, small enough that the fast path's
+/// worst-case extra space stays bounded.
+pub const DEFAULT_BUFFER_LIMIT: usize = 1 << 16;
+
+/// Streams `[[q]]($root ↦ input)` into a token vector, reporting stats.
+/// `max_pulls` bounds the (possibly exponential) recomputation time.
+///
+/// This is the pure Theorem 4.5 discipline — every variable reference
+/// re-streams. [`stream_query_buffered`] is the fast path.
+pub fn stream_query(
+    q: &Query,
+    input: &Tree,
+    max_pulls: u64,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    stream_with(q, input, max_pulls, 0)
+}
+
+/// [`stream_query`] with the buffered fast path enabled: any `for`/`some`/
+/// `every` source whose full token stream fits in `buffer_limit` tokens is
+/// materialized once and iterated as plain slices instead of being
+/// re-streamed per item and per variable reference. Oversized sources fall
+/// back to the lazy discipline, so the Theorem 4.5 space bound degrades by
+/// at most `O(buffer_limit)` *per live loop/quantifier scope* (nested live
+/// scopes each hold a buffer).
+pub fn stream_query_buffered(
+    q: &Query,
+    input: &Tree,
+    max_pulls: u64,
+    buffer_limit: usize,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    stream_with(q, input, max_pulls, buffer_limit)
+}
+
+/// [`stream_query_buffered`] over an arena-backed document: the `$root`
+/// binding is tokenized straight out of the [`ArenaDoc`]'s parallel
+/// vectors — no `Rc` tree is materialized, and per-item bindings are
+/// plain token slices. This is the arena fast path of the streaming
+/// engine; output is byte-identical to streaming `doc.to_tree()`.
+pub fn stream_query_arena(
+    q: &Query,
+    doc: &ArenaDoc,
+    max_pulls: u64,
+    buffer_limit: usize,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    stream_tokens(q, doc.tokens().into(), max_pulls, buffer_limit)
+}
+
+/// [`stream_query_arena`] with every planner-shardable loop distributed
+/// over `threads` workers: the query is analyzed by the parallel planner
+/// ([`ParPlan`], `xq_core::plan`) — `Seq` branches stream independently
+/// and concatenate in branch order, nested `for`s flatten into one
+/// work-list of node rows, `let`-bound singleton sources hoist, and
+/// `where`-filtered sources resolve to filtered node sets. Each sharded
+/// loop's rows split into contiguous chunks; workers stream the body with
+/// the loop variables bound to row token slices straight out of the
+/// shared arena — exactly the binding the buffered fast path would
+/// produce. Per-chunk output crosses back as interned tokens and is
+/// spliced in chunk (= iteration) order, so the stream is byte-identical
+/// to [`stream_query_arena`]'s. Queries the planner cannot shard (and
+/// `threads <= 1`) take the sequential path.
+///
+/// The `$root` token stream, when some body needs it, is tokenized from
+/// the arena **once** before the thread split; each worker re-wraps the
+/// shared slice (a flat copy, not a re-walk of the document).
+///
+/// `max_pulls` bounds each worker's chunk (and each sequential plan leaf)
+/// independently: parallel never exhausts a budget that sufficed
+/// sequentially. Merged stats sum `pulls`/`recomputations`/
+/// `buffered_sources`, take the maximum for `peak_live_cursors`, and
+/// report actually-spawned `workers`.
+pub fn stream_query_arena_par(
+    q: &Query,
+    doc: &ArenaDoc,
+    max_pulls: u64,
+    buffer_limit: usize,
+    threads: usize,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    if threads <= 1 {
+        return stream_query_arena(q, doc, max_pulls, buffer_limit);
+    }
+    // The planner's filter predicates evaluate under the Figure 1
+    // semantics; the agreement suites prove both engines semantically
+    // identical, so a planner-filtered node set is exactly the item set
+    // this engine would stream. Any planner fallback (including predicate
+    // errors) lands on the sequential engine, which reproduces the
+    // sequential stream — bytes and errors — by definition. The caller's
+    // pull budget doubles as the planner's (shared, aggregate) predicate
+    // allowance: steps and pulls are the same order of magnitude, and a
+    // too-small allowance only means a sequential fallback — never extra
+    // unbounded planning work on a budget-limited call.
+    let plan_budget = xq_core::Budget {
+        max_steps: max_pulls,
+        max_items: max_pulls,
+        ..xq_core::Budget::default()
+    };
+    let plan = ParPlan::of(q, doc, plan_budget);
+    if !plan.engages() {
+        return stream_query_arena(q, doc, max_pulls, buffer_limit);
+    }
+    let root: Option<Vec<Token>> = plan.needs_root().then(|| doc.tokens());
+    let mut exec = StreamExec {
+        doc,
+        max_pulls,
+        buffer_limit,
+        threads,
+        root,
+        hoisted: Vec::new(),
+        out: Vec::new(),
+        stats: StreamStats::default(),
+    };
+    exec.run(&plan)?;
+    let StreamExec { out, mut stats, .. } = exec;
+    stats.tokens_out = out.len() as u64;
+    Ok((out, stats))
+}
+
+/// Plan executor for the streaming engine (see [`stream_query_arena_par`]).
+struct StreamExec<'d> {
+    doc: &'d ArenaDoc,
+    max_pulls: u64,
+    buffer_limit: usize,
+    threads: usize,
+    /// `$root` tokenized once (iff the plan needs it); workers re-wrap it.
+    root: Option<Vec<Token>>,
+    /// Hoisted `let` bindings in scope, tokenized once each.
+    hoisted: Vec<(Var, Vec<Token>)>,
+    out: Vec<Token>,
+    stats: StreamStats,
+}
+
+impl StreamExec<'_> {
+    fn merge_stats(&mut self, s: &StreamStats) {
+        self.stats.pulls += s.pulls;
+        self.stats.recomputations += s.recomputations;
+        self.stats.buffered_sources += s.buffered_sources;
+        self.stats.peak_live_cursors = self.stats.peak_live_cursors.max(s.peak_live_cursors);
+    }
+
+    fn run(&mut self, plan: &ParPlan<'_>) -> Result<(), StreamError> {
+        match plan {
+            ParPlan::Wrap(a, inner) => {
+                self.out.push(Token::Open(a.clone()));
+                self.run(inner)?;
+                self.out.push(Token::Close(a.clone()));
+                Ok(())
+            }
+            ParPlan::Seq(branches) => {
+                // Branch order is concatenation order; the first error in
+                // branch order wins, as sequentially.
+                for b in branches {
+                    self.run(b)?;
+                }
+                Ok(())
+            }
+            ParPlan::Hoist(v, node, inner) => {
+                // `let $z := $root` is the common hoist; reuse the shared
+                // root token build instead of re-walking the document.
+                let tokens = match &self.root {
+                    Some(rt) if *node == self.doc.root() => rt.clone(),
+                    _ => self.doc.tokens_of(*node),
+                };
+                self.hoisted.push((v.clone(), tokens));
+                let result = self.run(inner);
+                self.hoisted.pop();
+                result
+            }
+            ParPlan::Shard(sp) => self.run_shard(sp),
+            ParPlan::Opaque(q) => {
+                let shared = Shared::new(self.max_pulls, self.buffer_limit);
+                let mut env: Env = None;
+                if let Some(rt) = &self.root {
+                    env = bind(&env, Var::root(), Binding::Input(Rc::from(&rt[..])));
+                }
+                for (v, t) in &self.hoisted {
+                    env = bind(&env, v.clone(), Binding::Input(Rc::from(&t[..])));
+                }
+                let mut cursor = XCursor::of_query(q, &env, &shared)?;
+                while let Some(t) = cursor.next()? {
+                    self.out.push(t);
+                }
+                drop(cursor);
+                let stats = StreamStats {
+                    pulls: shared.pulls.get(),
+                    recomputations: shared.recomp.get(),
+                    peak_live_cursors: shared.peak.get(),
+                    buffered_sources: shared.buffered.get(),
+                    ..StreamStats::default()
+                };
+                self.merge_stats(&stats);
+                Ok(())
+            }
+        }
+    }
+
+    fn run_shard(&mut self, sp: &ShardPlan<'_>) -> Result<(), StreamError> {
+        let rows: Vec<&[NodeId]> = sp.rows().collect();
+        let parts = chunks(&rows, self.threads);
+        self.stats.workers = self.stats.workers.max(parts.len());
+        let (doc, max_pulls, buffer_limit) = (self.doc, self.max_pulls, self.buffer_limit);
+        let (vars, body) = (sp.vars(), sp.body());
+        let root = self.root.as_deref();
+        let hoisted = self.hoisted.as_slice();
+        if parts.len() <= 1 {
+            // One chunk: stream inline — no thread to pay for, and no
+            // reason to round-trip the output through interned tokens.
+            let chunk = parts.first().copied().unwrap_or(&[]);
+            let out = &mut self.out;
+            let s = stream_rows(
+                doc,
+                vars,
+                body,
+                chunk,
+                max_pulls,
+                buffer_limit,
+                root,
+                hoisted,
+                |t| out.push(t),
+            )?;
+            self.merge_stats(&s);
+            return Ok(());
+        }
+        type ChunkOut = Result<(Vec<IToken>, StreamStats), StreamError>;
+        let results: Vec<ChunkOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        stream_chunk(
+                            doc,
+                            vars,
+                            body,
+                            chunk,
+                            max_pulls,
+                            buffer_limit,
+                            root,
+                            hoisted,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("streaming worker panicked"))
+                .collect()
+        });
+        // First error in chunk order wins: deterministic for a fixed
+        // thread count.
+        for r in results {
+            let (itokens, s) = r?;
+            self.merge_stats(&s);
+            self.out.extend(itokens.iter().map(|t| t.resolve()));
+        }
+        Ok(())
+    }
+}
+
+/// The row loop shared by the worker and inline shard paths: the body
+/// streamed once per row, with loop-variable bindings tokenized straight
+/// out of the shared arena and the `$root`/hoisted streams re-wrapped
+/// from the one shared build; every output token goes to `emit` in
+/// iteration order.
+#[allow(clippy::too_many_arguments)]
+fn stream_rows(
+    doc: &ArenaDoc,
+    vars: &[Var],
+    body: &Query,
+    rows: &[&[NodeId]],
+    max_pulls: u64,
+    buffer_limit: usize,
+    root: Option<&[Token]>,
+    hoisted: &[(Var, Vec<Token>)],
+    mut emit: impl FnMut(Token),
+) -> Result<StreamStats, StreamError> {
+    let shared = Shared::new(max_pulls, buffer_limit);
+    let root_rc: Option<Rc<[Token]>> = root.map(Rc::from);
+    let hoisted_rc: Vec<(Var, Rc<[Token]>)> = hoisted
+        .iter()
+        .map(|(v, t)| (v.clone(), Rc::from(&t[..])))
+        .collect();
+    for &row in rows {
+        let mut env: Env = None;
+        if let Some(rt) = &root_rc {
+            env = bind(&env, Var::root(), Binding::Input(rt.clone()));
+        }
+        for (v, t) in &hoisted_rc {
+            env = bind(&env, v.clone(), Binding::Input(t.clone()));
+        }
+        for (v, &n) in vars.iter().zip(row) {
+            env = bind(&env, v.clone(), Binding::Input(doc.tokens_of(n).into()));
+        }
+        let mut cursor = XCursor::of_query(body, &env, &shared)?;
+        while let Some(t) = cursor.next()? {
+            emit(t);
+        }
+    }
+    Ok(StreamStats {
+        pulls: shared.pulls.get(),
+        recomputations: shared.recomp.get(),
+        peak_live_cursors: shared.peak.get(),
+        buffered_sources: shared.buffered.get(),
+        ..StreamStats::default()
+    })
+}
+
+/// One worker's share of a sharded loop ([`stream_rows`] with the output
+/// crossing back to the merger as interned tokens).
+#[allow(clippy::too_many_arguments)]
+fn stream_chunk(
+    doc: &ArenaDoc,
+    vars: &[Var],
+    body: &Query,
+    rows: &[&[NodeId]],
+    max_pulls: u64,
+    buffer_limit: usize,
+    root: Option<&[Token]>,
+    hoisted: &[(Var, Vec<Token>)],
+) -> Result<(Vec<IToken>, StreamStats), StreamError> {
+    let mut itokens = Vec::new();
+    let mut stats = stream_rows(
+        doc,
+        vars,
+        body,
+        rows,
+        max_pulls,
+        buffer_limit,
+        root,
+        hoisted,
+        |t| itokens.push(IToken::intern(&t)),
+    )?;
+    stats.tokens_out = itokens.len() as u64;
+    Ok((itokens, stats))
+}
+
+fn stream_with(
+    q: &Query,
+    input: &Tree,
+    max_pulls: u64,
+    buffer_limit: usize,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    stream_tokens(q, input.tokens().into(), max_pulls, buffer_limit)
+}
+
+fn stream_tokens(
+    q: &Query,
+    tokens: Rc<[Token]>,
+    max_pulls: u64,
+    buffer_limit: usize,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    let shared = Shared::new(max_pulls, buffer_limit);
+    let env = bind(&None, Var::root(), Binding::Input(tokens));
+    let mut cursor = XCursor::of_query(q, &env, &shared)?;
+    let mut out = Vec::new();
+    while let Some(t) = cursor.next()? {
+        out.push(t);
+    }
+    drop(cursor);
+    let stats = StreamStats {
+        tokens_out: out.len() as u64,
+        pulls: shared.pulls.get(),
+        recomputations: shared.recomp.get(),
+        peak_live_cursors: shared.peak.get(),
+        buffered_sources: shared.buffered.get(),
+        workers: 0,
+    };
+    Ok((out, stats))
+}
+
+/// Pulls only until the Boolean verdict is known: for `⟨a⟩α⟨/a⟩`, whether
+/// the root element has a child (§7.1 convention); otherwise whether the
+/// stream is nonempty. Never materializes the result.
+pub fn stream_boolean(q: &Query, input: &Tree, max_pulls: u64) -> Result<bool, StreamError> {
+    let shared = Shared::new(max_pulls, 0);
+    let tokens: Rc<[Token]> = input.tokens().into();
+    let env = bind(&None, Var::root(), Binding::Input(tokens));
+    let mut cursor = XCursor::of_query(q, &env, &shared)?;
+    match q {
+        Query::Elem(_, _) => {
+            let _open = cursor.next()?;
+            match cursor.next()? {
+                Some(Token::Open(_)) => Ok(true),
+                _ => Ok(false),
+            }
+        }
+        _ => Ok(cursor.next()?.is_some()),
+    }
+}

@@ -1,5 +1,6 @@
 //! The iterator-based streaming evaluator of Theorem 4.5 — the EXPSPACE
-//! upper bound for `XQ[=deep, child, descendant]`.
+//! upper bound for `XQ[=deep, child, descendant]` — built as one
+//! composable cursor pipeline.
 //!
 //! The materializing evaluator can build intermediate trees of doubly
 //! exponential size (Prop 4.2 + Lemma 3.3). This engine follows the
@@ -19,30 +20,47 @@
 //! E4 experiment contrasts it with the materializing evaluator's allocated
 //! nodes on the Prop 4.2 blowup family.
 //!
-//! # The buffered fast path
+//! # Architecture: one pipeline, four entry points
 //!
-//! Pure recomputation is the right *space* story but a terrible *time*
-//! story on small intermediates: re-streaming a `for`-source once per
-//! `item_exists` probe and once per variable reference makes the engine
-//! ~160× slower than materializing on the tiny doubling-family outputs
-//! (ROADMAP "Perf headroom"). [`stream_query_buffered`] adds a fast path:
-//! when a `for`-source (or a `some`/`every` source) streams to completion
-//! within a per-source token cap, its items are materialized **once** into
-//! token buffers and the loop variable binds to plain slices — skipping
-//! the per-token `Item` cursor bookkeeping and all re-streaming for that
-//! source. Sources that exceed the cap fall back to the lazy Theorem 4.5
-//! discipline. Every *live* loop/quantifier scope holds at most one
-//! buffer, so worst-case space is `O(live cursors × buffer cap)` — the
-//! cap bounds the degradation per scope, not globally.
-//! [`StreamStats::buffered_sources`] counts how often the fast path
-//! engaged.
+//! Every public entry point is a thin configuration wrapper over the same
+//! machinery:
+//!
+//! * [`cursor`](self) — the [`Cursor`] trait (`pull`/`size_hint`/`fork`/
+//!   kill) and the node cursors (slice, element construction, sequence,
+//!   axis step, `for`-loop, conditional, lazy item handle), each charging
+//!   exactly one pull per call and registering in the live-cursor gauge
+//!   for its lifetime.
+//! * `pipeline` — [`Pipeline`], the one builder mapping a query AST (or
+//!   hand-picked stages) onto composed cursors over a shared budget.
+//! * `buffer` — the [`BufferPolicy`]-driven per-source buffering decision:
+//!   a `for`/`some`/`every` source streaming to completion within the cap
+//!   is materialized once and iterated as plain slices; an oversized
+//!   source falls back to the lazy Theorem 4.5 discipline
+//!   ([`StreamStats::lazy_fallbacks`]), so worst-case space is
+//!   `O(live cursors × cap)`. [`StreamStats::buffered_sources`] counts
+//!   decisions that held.
+//! * `par` — the planner-sharded parallel path: workers stream chunks
+//!   through the same pipeline and hand the merger bounded interned-token
+//!   runs, consumed incrementally in chunk order
+//!   ([`StreamStats::peak_buffered_tokens`] proves the bound).
+//!
+//! The `cursor_diff` differential suite locks the whole stack byte- and
+//! counter-identical to the pre-refactor engine over the coverage corpus,
+//! including budget error points.
 
-use cv_xtree::{ArenaDoc, Axis, IToken, Label, NodeId, NodeTest, Token, Tree};
-use std::cell::Cell;
+use cv_xtree::{ArenaDoc, Token, Tree};
 use std::rc::Rc;
-use xq_core::ast::{Cond, EqMode, Query, Var};
-use xq_core::par::chunks;
-use xq_core::plan::{ParPlan, ShardPlan};
+use xq_core::ast::Query;
+
+mod buffer;
+mod cursor;
+mod par;
+mod pipeline;
+
+pub use buffer::BufferPolicy;
+pub use cursor::{BoxCursor, Cursor};
+pub use par::{QUEUE_CAP_TOKENS as PAR_QUEUE_CAP_TOKENS, RUN_TOKENS as PAR_RUN_TOKENS};
+pub use pipeline::Pipeline;
 
 /// Streaming failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,715 +100,29 @@ pub struct StreamStats {
     /// memory" of Theorem 4.5 (each cursor is O(1) counters plus a
     /// constant number of references).
     pub peak_live_cursors: u64,
-    /// Sources materialized by the buffered fast path
-    /// ([`stream_query_buffered`]); always 0 under [`stream_query`].
+    /// Per-source buffering decisions that engaged and *held* — the
+    /// source stayed under the [`BufferPolicy`] cap for its whole life
+    /// (fully drained or abandoned early without overflowing). Counted
+    /// identically on the Rc, arena, and parallel paths (a
+    /// planner-sharded loop counts once: its row set is a
+    /// planner-materialized buffer); always 0 when the cap is 0
+    /// ([`stream_query`]).
     pub buffered_sources: u64,
     /// Workers actually spawned by [`stream_query_arena_par`] — the
     /// maximum over the plan's shard executions, which can be less than
     /// the requested thread count when a work-list has fewer items than
     /// threads. 0 on every sequential path.
     pub workers: usize,
-}
-
-#[derive(Clone)]
-struct Shared {
-    pulls: Rc<Cell<u64>>,
-    live: Rc<Cell<u64>>,
-    peak: Rc<Cell<u64>>,
-    recomp: Rc<Cell<u64>>,
-    buffered: Rc<Cell<u64>>,
-    max_pulls: u64,
-    /// Per-source token cap for the buffered fast path; 0 disables it.
-    buffer_limit: usize,
-}
-
-impl Shared {
-    fn new(max_pulls: u64, buffer_limit: usize) -> Shared {
-        Shared {
-            pulls: Rc::new(Cell::new(0)),
-            live: Rc::new(Cell::new(0)),
-            peak: Rc::new(Cell::new(0)),
-            recomp: Rc::new(Cell::new(0)),
-            buffered: Rc::new(Cell::new(0)),
-            max_pulls,
-            buffer_limit,
-        }
-    }
-
-    fn pull(&self) -> Result<(), StreamError> {
-        self.pulls.set(self.pulls.get() + 1);
-        if self.pulls.get() > self.max_pulls {
-            return Err(StreamError::Budget);
-        }
-        Ok(())
-    }
-
-    fn alloc(&self) {
-        self.live.set(self.live.get() + 1);
-        if self.live.get() > self.peak.get() {
-            self.peak.set(self.live.get());
-        }
-    }
-
-    fn free(&self) {
-        self.live.set(self.live.get() - 1);
-    }
-
-    fn recompute(&self) {
-        self.recomp.set(self.recomp.get() + 1);
-    }
-}
-
-/// What a variable is bound to.
-#[derive(Clone)]
-enum Binding<'q> {
-    /// The input tree, pre-tokenized (given data, not working memory).
-    Input(Rc<[Token]>),
-    /// Item `index` of `[[expr]](env)` — a lazy handle.
-    Lazy {
-        expr: &'q Query,
-        env: Env<'q>,
-        index: u64,
-    },
-}
-
-struct EnvNode<'q> {
-    var: Var,
-    binding: Binding<'q>,
-    parent: Env<'q>,
-}
-
-type Env<'q> = Option<Rc<EnvNode<'q>>>;
-
-fn bind<'q>(env: &Env<'q>, var: Var, binding: Binding<'q>) -> Env<'q> {
-    Some(Rc::new(EnvNode {
-        var,
-        binding,
-        parent: env.clone(),
-    }))
-}
-
-fn lookup<'q>(env: &Env<'q>, v: &Var) -> Result<Binding<'q>, StreamError> {
-    let mut cur = env;
-    while let Some(node) = cur {
-        if &node.var == v {
-            return Ok(node.binding.clone());
-        }
-        cur = &node.parent;
-    }
-    Err(StreamError::UnboundVariable(v.name().to_string()))
-}
-
-/// A pull cursor over a token stream.
-struct XCursor<'q> {
-    kind: Kind<'q>,
-    shared: Shared,
-}
-
-enum Kind<'q> {
-    Done,
-    /// Raw token slice (the input or a subtree of it).
-    Slice {
-        tokens: Rc<[Token]>,
-        pos: usize,
-    },
-    /// `⟨a⟩ body ⟨/a⟩`.
-    Elem {
-        tag: Label,
-        opened: bool,
-        body: Option<Box<XCursor<'q>>>,
-    },
-    /// `α` then `β`.
-    Seq {
-        cur: Box<XCursor<'q>>,
-        rest: Option<(&'q Query, Env<'q>)>,
-    },
-    /// Pass through item #index of the inner stream.
-    Item {
-        inner: Box<XCursor<'q>>,
-        index: u64,
-        seen: u64,
-        depth: i64,
-        done: bool,
-    },
-    /// Axis step over all items of a re-streamable base.
-    AxisStep {
-        base: &'q Query,
-        env: Env<'q>,
-        axis: Axis,
-        test: NodeTest,
-        match_idx: u64,
-        sub: Option<MatchEmitter<'q>>,
-        exhausted: bool,
-    },
-    /// `for var in source return body`, item-by-item. [`SourceIter`]
-    /// yields the per-item bindings (lazy handles, or buffered slices on
-    /// the fast path).
-    For {
-        var: Var,
-        source: &'q Query,
-        body: &'q Query,
-        env: Env<'q>,
-        iter: Option<SourceIter<'q>>,
-        cur: Option<Box<XCursor<'q>>>,
-        exhausted: bool,
-    },
-    /// `if c then body` — condition evaluated on first pull.
-    If {
-        cond: &'q Cond,
-        body: &'q Query,
-        env: Env<'q>,
-        decided: Option<Box<XCursor<'q>>>,
-        dead: bool,
-    },
-}
-
-/// Streams the subtree of match #target within an inner cursor.
-struct MatchEmitter<'q> {
-    inner: Box<XCursor<'q>>,
-    axis: Axis,
-    test: NodeTest,
-    target: u64,
-    matches_seen: u64,
-    depth: i64,
-    emitting_from: Option<i64>,
-    found: bool,
-}
-
-impl Drop for XCursor<'_> {
-    fn drop(&mut self) {
-        self.shared.free();
-    }
-}
-
-impl<'q> XCursor<'q> {
-    fn new(kind: Kind<'q>, shared: &Shared) -> XCursor<'q> {
-        shared.alloc();
-        XCursor {
-            kind,
-            shared: shared.clone(),
-        }
-    }
-
-    fn of_query(q: &'q Query, env: &Env<'q>, shared: &Shared) -> Result<XCursor<'q>, StreamError> {
-        let kind = match q {
-            Query::Empty => Kind::Done,
-            Query::Elem(a, body) => Kind::Elem {
-                tag: a.clone(),
-                opened: false,
-                body: Some(Box::new(XCursor::of_query(body, env, shared)?)),
-            },
-            Query::Seq(a, b) => Kind::Seq {
-                cur: Box::new(XCursor::of_query(a, env, shared)?),
-                rest: Some((b, env.clone())),
-            },
-            Query::Var(v) => return XCursor::of_binding(lookup(env, v)?, shared),
-            Query::Step(base, axis, test) => Kind::AxisStep {
-                base,
-                env: env.clone(),
-                axis: *axis,
-                test: test.clone(),
-                match_idx: 0,
-                sub: None,
-                exhausted: false,
-            },
-            Query::For(v, s, b) | Query::Let(v, s, b) => Kind::For {
-                var: v.clone(),
-                source: s,
-                body: b,
-                env: env.clone(),
-                iter: None,
-                cur: None,
-                exhausted: false,
-            },
-            Query::If(c, body) => Kind::If {
-                cond: c,
-                body,
-                env: env.clone(),
-                decided: None,
-                dead: false,
-            },
-        };
-        Ok(XCursor::new(kind, shared))
-    }
-
-    fn of_binding(b: Binding<'q>, shared: &Shared) -> Result<XCursor<'q>, StreamError> {
-        match b {
-            Binding::Input(tokens) => Ok(XCursor::new(Kind::Slice { tokens, pos: 0 }, shared)),
-            Binding::Lazy { expr, env, index } => {
-                shared.recompute();
-                let inner = XCursor::of_query(expr, &env, shared)?;
-                Ok(XCursor::new(
-                    Kind::Item {
-                        inner: Box::new(inner),
-                        index,
-                        seen: 0,
-                        depth: 0,
-                        done: false,
-                    },
-                    shared,
-                ))
-            }
-        }
-    }
-
-    /// Pulls the next token.
-    fn next(&mut self) -> Result<Option<Token>, StreamError> {
-        self.shared.pull()?;
-        let shared = self.shared.clone();
-        match &mut self.kind {
-            Kind::Done => Ok(None),
-            Kind::Slice { tokens, pos } => {
-                if *pos < tokens.len() {
-                    let t = tokens[*pos].clone();
-                    *pos += 1;
-                    Ok(Some(t))
-                } else {
-                    Ok(None)
-                }
-            }
-            Kind::Elem { tag, opened, body } => {
-                if !*opened {
-                    *opened = true;
-                    return Ok(Some(Token::Open(tag.clone())));
-                }
-                if let Some(b) = body {
-                    if let Some(t) = b.next()? {
-                        return Ok(Some(t));
-                    }
-                    let t = Token::Close(tag.clone());
-                    self.kind = Kind::Done;
-                    return Ok(Some(t));
-                }
-                Ok(None)
-            }
-            Kind::Seq { cur, rest } => loop {
-                if let Some(t) = cur.next()? {
-                    return Ok(Some(t));
-                }
-                match rest.take() {
-                    Some((q, env)) => {
-                        **cur = XCursor::of_query(q, &env, &shared)?;
-                    }
-                    None => return Ok(None),
-                }
-            },
-            Kind::Item {
-                inner,
-                index,
-                seen,
-                depth,
-                done,
-            } => {
-                if *done {
-                    return Ok(None);
-                }
-                loop {
-                    let Some(t) = inner.next()? else {
-                        *done = true;
-                        return Ok(None);
-                    };
-                    match &t {
-                        Token::Open(_) => {
-                            if *depth == 0 {
-                                *seen += 1;
-                            }
-                            *depth += 1;
-                        }
-                        Token::Close(_) => {
-                            *depth -= 1;
-                        }
-                    }
-                    // 1-based item number of the token just processed.
-                    if *seen == *index + 1 {
-                        if *depth == 0 {
-                            *done = true; // closing token of our item
-                        }
-                        return Ok(Some(t));
-                    }
-                    if *seen > *index + 1 {
-                        *done = true;
-                        return Ok(None);
-                    }
-                }
-            }
-            Kind::AxisStep {
-                base,
-                env,
-                axis,
-                test,
-                match_idx,
-                sub,
-                exhausted,
-            } => loop {
-                if *exhausted {
-                    return Ok(None);
-                }
-                if sub.is_none() {
-                    shared.recompute();
-                    let inner = XCursor::of_query(base, env, &shared)?;
-                    *sub = Some(MatchEmitter {
-                        inner: Box::new(inner),
-                        axis: *axis,
-                        test: test.clone(),
-                        target: *match_idx,
-                        matches_seen: 0,
-                        depth: 0,
-                        emitting_from: None,
-                        found: false,
-                    });
-                }
-                let emitter = sub.as_mut().expect("just set");
-                match emitter.next()? {
-                    Some(t) => return Ok(Some(t)),
-                    None => {
-                        let found = emitter.found;
-                        *sub = None;
-                        if found {
-                            *match_idx += 1;
-                        } else {
-                            *exhausted = true;
-                        }
-                    }
-                }
-            },
-            Kind::For {
-                var,
-                source,
-                body,
-                env,
-                iter,
-                cur,
-                exhausted,
-            } => loop {
-                if *exhausted {
-                    return Ok(None);
-                }
-                if cur.is_none() {
-                    if iter.is_none() {
-                        *iter = Some(SourceIter::new(source, env, &shared)?);
-                    }
-                    let next = iter.as_mut().expect("just set").next_binding(&shared)?;
-                    let Some(binding) = next else {
-                        *exhausted = true;
-                        return Ok(None);
-                    };
-                    let new_env = bind(env, var.clone(), binding);
-                    *cur = Some(Box::new(XCursor::of_query(body, &new_env, &shared)?));
-                }
-                if let Some(t) = cur.as_mut().expect("just set").next()? {
-                    return Ok(Some(t));
-                }
-                *cur = None;
-            },
-            Kind::If {
-                cond,
-                body,
-                env,
-                decided,
-                dead,
-            } => {
-                if *dead {
-                    return Ok(None);
-                }
-                if decided.is_none() {
-                    if eval_cond(cond, env, &shared)? {
-                        *decided = Some(Box::new(XCursor::of_query(body, env, &shared)?));
-                    } else {
-                        *dead = true;
-                        return Ok(None);
-                    }
-                }
-                decided.as_mut().expect("just set").next()
-            }
-        }
-    }
-}
-
-impl MatchEmitter<'_> {
-    /// Whether an `Open` that raised the depth to `d` starts a node
-    /// selected by the axis (items are at depth 1).
-    fn selects(&self, d: i64) -> bool {
-        match self.axis {
-            Axis::SelfAxis => d == 1,
-            Axis::Child => d == 2,
-            Axis::Descendant => d >= 2,
-            Axis::DescendantOrSelf => d >= 1,
-        }
-    }
-
-    fn next(&mut self) -> Result<Option<Token>, StreamError> {
-        loop {
-            let Some(t) = self.inner.next()? else {
-                return Ok(None);
-            };
-            match &t {
-                Token::Open(label) => {
-                    self.depth += 1;
-                    if self.emitting_from.is_none()
-                        && self.selects(self.depth)
-                        && self.test.matches(label)
-                    {
-                        if self.matches_seen == self.target {
-                            self.emitting_from = Some(self.depth);
-                            self.found = true;
-                        }
-                        self.matches_seen += 1;
-                    }
-                    if self.emitting_from.is_some() {
-                        return Ok(Some(t));
-                    }
-                }
-                Token::Close(_) => {
-                    let emit = self.emitting_from.is_some();
-                    let finished = self.emitting_from == Some(self.depth);
-                    self.depth -= 1;
-                    if emit {
-                        if finished {
-                            // Final close of this match: emit it and stop;
-                            // the enclosing AxisStep restarts for the next
-                            // match.
-                            self.emitting_from = None;
-                            self.inner.kind = Kind::Done;
-                            return Ok(Some(t));
-                        }
-                        return Ok(Some(t));
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Incrementally materialized items of a `for`/`some`/`every` source —
-/// the buffered fast path. One cursor streams the source exactly once;
-/// items are split off the token stream *on demand*, so a consumer that
-/// stops early (a short-circuiting condition, an outer boolean probe)
-/// pulls no more of the source than the lazy discipline would. When the
-/// stream exceeds the per-source token cap, `overflowed` is set and the
-/// caller falls back to lazy re-streaming (the pulls spent probing still
-/// count against the budget).
-struct ItemBuffer<'q> {
-    cursor: Option<Box<XCursor<'q>>>,
-    items: Vec<Rc<[Token]>>,
-    partial: Vec<Token>,
-    depth: i64,
-    total: usize,
-    overflowed: bool,
-}
-
-impl<'q> ItemBuffer<'q> {
-    fn new(expr: &'q Query, env: &Env<'q>, shared: &Shared) -> Result<ItemBuffer<'q>, StreamError> {
-        shared.recompute();
-        Ok(ItemBuffer {
-            cursor: Some(Box::new(XCursor::of_query(expr, env, shared)?)),
-            items: Vec::new(),
-            partial: Vec::new(),
-            depth: 0,
-            total: 0,
-            overflowed: false,
-        })
-    }
-
-    /// Returns item #m (0-based), pulling just far enough to materialize
-    /// it. `Ok(None)` means the source ended before item #m *or* the cap
-    /// was exceeded — check [`ItemBuffer::overflowed`] to tell them apart.
-    fn get(&mut self, m: usize, shared: &Shared) -> Result<Option<Rc<[Token]>>, StreamError> {
-        while self.items.len() <= m {
-            let Some(cursor) = self.cursor.as_mut() else {
-                return Ok(None);
-            };
-            let Some(t) = cursor.next()? else {
-                // Source fully buffered: this is a completed fast path.
-                self.cursor = None;
-                shared.buffered.set(shared.buffered.get() + 1);
-                return Ok(None);
-            };
-            self.total += 1;
-            if self.total > shared.buffer_limit {
-                self.overflowed = true;
-                self.cursor = None;
-                return Ok(None);
-            }
-            match &t {
-                Token::Open(_) => self.depth += 1,
-                Token::Close(_) => self.depth -= 1,
-            }
-            self.partial.push(t);
-            if self.depth == 0 {
-                self.items.push(Rc::from(std::mem::take(&mut self.partial)));
-            }
-        }
-        Ok(Some(self.items[m].clone()))
-    }
-}
-
-/// Iterates the item bindings of a `for`/`some`/`every` source: the
-/// buffered fast path when enabled (falling back to lazy re-streaming on
-/// overflow), pure `item_exists` probing otherwise. Both disciplines
-/// yield bindings one at a time, so early-stopping consumers (quantifier
-/// short-circuits, outer boolean probes) pull no more of the source than
-/// strictly needed.
-struct SourceIter<'q> {
-    source: &'q Query,
-    env: Env<'q>,
-    m: u64,
-    buf: Option<ItemBuffer<'q>>,
-}
-
-impl<'q> SourceIter<'q> {
-    fn new(
-        source: &'q Query,
-        env: &Env<'q>,
-        shared: &Shared,
-    ) -> Result<SourceIter<'q>, StreamError> {
-        let buf = if shared.buffer_limit > 0 {
-            Some(ItemBuffer::new(source, env, shared)?)
-        } else {
-            None
-        };
-        Ok(SourceIter {
-            source,
-            env: env.clone(),
-            m: 0,
-            buf,
-        })
-    }
-
-    /// The binding for the next item, or `None` when the source ends.
-    fn next_binding(&mut self, shared: &Shared) -> Result<Option<Binding<'q>>, StreamError> {
-        let m = self.m;
-        self.m += 1;
-        let mut overflowed = false;
-        if let Some(b) = self.buf.as_mut() {
-            match b.get(m as usize, shared)? {
-                Some(item) => return Ok(Some(Binding::Input(item))),
-                None => {
-                    if b.overflowed {
-                        overflowed = true;
-                    } else {
-                        return Ok(None);
-                    }
-                }
-            }
-        }
-        if overflowed {
-            self.buf = None;
-        }
-        if !item_exists(self.source, &self.env, m, shared)? {
-            return Ok(None);
-        }
-        Ok(Some(Binding::Lazy {
-            expr: self.source,
-            env: self.env.clone(),
-            index: m,
-        }))
-    }
-}
-
-/// Does `[[expr]](env)` have an item #m (0-based)? Re-streams and counts.
-fn item_exists<'q>(
-    expr: &'q Query,
-    env: &Env<'q>,
-    m: u64,
-    shared: &Shared,
-) -> Result<bool, StreamError> {
-    shared.recompute();
-    let mut c = XCursor::of_query(expr, env, shared)?;
-    let mut depth: i64 = 0;
-    let mut seen: u64 = 0;
-    while let Some(t) = c.next()? {
-        match t {
-            Token::Open(_) => {
-                if depth == 0 {
-                    seen += 1;
-                    if seen > m {
-                        return Ok(true);
-                    }
-                }
-                depth += 1;
-            }
-            Token::Close(_) => depth -= 1,
-        }
-    }
-    Ok(false)
-}
-
-fn first_label(b: Binding<'_>, shared: &Shared) -> Result<Option<Label>, StreamError> {
-    let mut c = XCursor::of_binding(b, shared)?;
-    match c.next()? {
-        Some(Token::Open(l)) => Ok(Some(l)),
-        _ => Ok(None),
-    }
-}
-
-fn streams_equal<'q>(a: Binding<'q>, b: Binding<'q>, shared: &Shared) -> Result<bool, StreamError> {
-    let mut ca = XCursor::of_binding(a, shared)?;
-    let mut cb = XCursor::of_binding(b, shared)?;
-    loop {
-        match (ca.next()?, cb.next()?) {
-            (None, None) => return Ok(true),
-            (Some(x), Some(y)) if x == y => continue,
-            _ => return Ok(false),
-        }
-    }
-}
-
-fn eval_cond<'q>(c: &'q Cond, env: &Env<'q>, shared: &Shared) -> Result<bool, StreamError> {
-    match c {
-        Cond::True => Ok(true),
-        Cond::VarEq(x, y, mode) => {
-            let bx = lookup(env, x)?;
-            let by = lookup(env, y)?;
-            match mode {
-                EqMode::Deep => streams_equal(bx, by, shared),
-                EqMode::Atomic => Ok(first_label(bx, shared)? == first_label(by, shared)?),
-                EqMode::Mon => Err(StreamError::BadEqualityMode),
-            }
-        }
-        Cond::ConstEq(x, a, mode) => {
-            let bx = lookup(env, x)?;
-            match mode {
-                EqMode::Deep => {
-                    let mut cx = XCursor::of_binding(bx, shared)?;
-                    let t1 = cx.next()?;
-                    let t2 = cx.next()?;
-                    let t3 = cx.next()?;
-                    Ok(t1 == Some(Token::Open(a.clone()))
-                        && t2 == Some(Token::Close(a.clone()))
-                        && t3.is_none())
-                }
-                _ => Ok(first_label(bx, shared)?.as_ref() == Some(a)),
-            }
-        }
-        Cond::Query(q) => {
-            let mut c = XCursor::of_query(q, env, shared)?;
-            Ok(c.next()?.is_some())
-        }
-        Cond::Some(v, source, sat) => {
-            let mut iter = SourceIter::new(source, env, shared)?;
-            while let Some(binding) = iter.next_binding(shared)? {
-                let new_env = bind(env, v.clone(), binding);
-                if eval_cond(sat, &new_env, shared)? {
-                    return Ok(true);
-                }
-            }
-            Ok(false)
-        }
-        Cond::Every(v, source, sat) => {
-            let mut iter = SourceIter::new(source, env, shared)?;
-            while let Some(binding) = iter.next_binding(shared)? {
-                let new_env = bind(env, v.clone(), binding);
-                if !eval_cond(sat, &new_env, shared)? {
-                    return Ok(false);
-                }
-            }
-            Ok(true)
-        }
-        Cond::And(a, b) => Ok(eval_cond(a, env, shared)? && eval_cond(b, env, shared)?),
-        Cond::Or(a, b) => Ok(eval_cond(a, env, shared)? || eval_cond(b, env, shared)?),
-        Cond::Not(a) => Ok(!eval_cond(a, env, shared)?),
-    }
+    /// Buffering decisions reverted to the lazy discipline because the
+    /// source overflowed the per-source cap.
+    pub lazy_fallbacks: u64,
+    /// High-water mark of tokens parked in working buffers: per-source
+    /// item buffers, and (on the parallel path) the worker→merger run
+    /// queues. Maximum across workers/accounting domains, not a sum —
+    /// each domain tracks its own peak. This is the number that proves
+    /// the parallel merge incremental: it stays bounded while
+    /// `tokens_out` grows.
+    pub peak_buffered_tokens: u64,
 }
 
 /// Default per-source token cap for [`stream_query_buffered`]: generous
@@ -808,7 +140,7 @@ pub fn stream_query(
     input: &Tree,
     max_pulls: u64,
 ) -> Result<(Vec<Token>, StreamStats), StreamError> {
-    stream_with(q, input, max_pulls, 0)
+    stream_tokens(q, input.tokens().into(), max_pulls, BufferPolicy::lazy())
 }
 
 /// [`stream_query`] with the buffered fast path enabled: any `for`/`some`/
@@ -824,7 +156,12 @@ pub fn stream_query_buffered(
     max_pulls: u64,
     buffer_limit: usize,
 ) -> Result<(Vec<Token>, StreamStats), StreamError> {
-    stream_with(q, input, max_pulls, buffer_limit)
+    stream_tokens(
+        q,
+        input.tokens().into(),
+        max_pulls,
+        BufferPolicy::fixed(buffer_limit),
+    )
 }
 
 /// [`stream_query_buffered`] over an arena-backed document: the `$root`
@@ -838,22 +175,29 @@ pub fn stream_query_arena(
     max_pulls: u64,
     buffer_limit: usize,
 ) -> Result<(Vec<Token>, StreamStats), StreamError> {
-    stream_tokens(q, doc.tokens().into(), max_pulls, buffer_limit)
+    stream_tokens(
+        q,
+        doc.tokens().into(),
+        max_pulls,
+        BufferPolicy::fixed(buffer_limit),
+    )
 }
 
 /// [`stream_query_arena`] with every planner-shardable loop distributed
 /// over `threads` workers: the query is analyzed by the parallel planner
-/// ([`ParPlan`], `xq_core::plan`) — `Seq` branches stream independently
+/// (`ParPlan`, `xq_core::plan`) — `Seq` branches stream independently
 /// and concatenate in branch order, nested `for`s flatten into one
 /// work-list of node rows, `let`-bound singleton sources hoist, and
 /// `where`-filtered sources resolve to filtered node sets. Each sharded
 /// loop's rows split into contiguous chunks; workers stream the body with
 /// the loop variables bound to row token slices straight out of the
 /// shared arena — exactly the binding the buffered fast path would
-/// produce. Per-chunk output crosses back as interned tokens and is
-/// spliced in chunk (= iteration) order, so the stream is byte-identical
-/// to [`stream_query_arena`]'s. Queries the planner cannot shard (and
-/// `threads <= 1`) take the sequential path.
+/// produce. Per-chunk output crosses back as bounded interned-token runs
+/// that the merger consumes *incrementally* in chunk (= iteration) order,
+/// so the stream is byte-identical to [`stream_query_arena`]'s while peak
+/// in-flight memory stays bounded ([`StreamStats::peak_buffered_tokens`]).
+/// Queries the planner cannot shard (and `threads <= 1`) take the
+/// sequential path.
 ///
 /// The `$root` token stream, when some body needs it, is tokenized from
 /// the arena **once** before the thread split; each worker re-wraps the
@@ -862,8 +206,9 @@ pub fn stream_query_arena(
 /// `max_pulls` bounds each worker's chunk (and each sequential plan leaf)
 /// independently: parallel never exhausts a budget that sufficed
 /// sequentially. Merged stats sum `pulls`/`recomputations`/
-/// `buffered_sources`, take the maximum for `peak_live_cursors`, and
-/// report actually-spawned `workers`.
+/// `buffered_sources`/`lazy_fallbacks`, take the maximum for
+/// `peak_live_cursors`/`peak_buffered_tokens`, and report
+/// actually-spawned `workers`.
 pub fn stream_query_arena_par(
     q: &Query,
     doc: &ArenaDoc,
@@ -874,290 +219,61 @@ pub fn stream_query_arena_par(
     if threads <= 1 {
         return stream_query_arena(q, doc, max_pulls, buffer_limit);
     }
-    // The planner's filter predicates evaluate under the Figure 1
-    // semantics; the agreement suites prove both engines semantically
-    // identical, so a planner-filtered node set is exactly the item set
-    // this engine would stream. Any planner fallback (including predicate
-    // errors) lands on the sequential engine, which reproduces the
-    // sequential stream — bytes and errors — by definition. The caller's
-    // pull budget doubles as the planner's (shared, aggregate) predicate
-    // allowance: steps and pulls are the same order of magnitude, and a
-    // too-small allowance only means a sequential fallback — never extra
-    // unbounded planning work on a budget-limited call.
-    let plan_budget = xq_core::Budget {
-        max_steps: max_pulls,
-        max_items: max_pulls,
-        ..xq_core::Budget::default()
-    };
-    let plan = ParPlan::of(q, doc, plan_budget);
-    if !plan.engages() {
-        return stream_query_arena(q, doc, max_pulls, buffer_limit);
-    }
-    let root: Option<Vec<Token>> = plan.needs_root().then(|| doc.tokens());
-    let mut exec = StreamExec {
-        doc,
-        max_pulls,
-        buffer_limit,
-        threads,
-        root,
-        hoisted: Vec::new(),
-        out: Vec::new(),
-        stats: StreamStats::default(),
-    };
-    exec.run(&plan)?;
-    let StreamExec { out, mut stats, .. } = exec;
-    stats.tokens_out = out.len() as u64;
-    Ok((out, stats))
+    par::stream_par(q, doc, max_pulls, buffer_limit, threads)
 }
 
-/// Plan executor for the streaming engine (see [`stream_query_arena_par`]).
-struct StreamExec<'d> {
-    doc: &'d ArenaDoc,
-    max_pulls: u64,
-    buffer_limit: usize,
-    threads: usize,
-    /// `$root` tokenized once (iff the plan needs it); workers re-wrap it.
-    root: Option<Vec<Token>>,
-    /// Hoisted `let` bindings in scope, tokenized once each.
-    hoisted: Vec<(Var, Vec<Token>)>,
-    out: Vec<Token>,
-    stats: StreamStats,
-}
-
-impl StreamExec<'_> {
-    fn merge_stats(&mut self, s: &StreamStats) {
-        self.stats.pulls += s.pulls;
-        self.stats.recomputations += s.recomputations;
-        self.stats.buffered_sources += s.buffered_sources;
-        self.stats.peak_live_cursors = self.stats.peak_live_cursors.max(s.peak_live_cursors);
-    }
-
-    fn run(&mut self, plan: &ParPlan<'_>) -> Result<(), StreamError> {
-        match plan {
-            ParPlan::Wrap(a, inner) => {
-                self.out.push(Token::Open(a.clone()));
-                self.run(inner)?;
-                self.out.push(Token::Close(a.clone()));
-                Ok(())
-            }
-            ParPlan::Seq(branches) => {
-                // Branch order is concatenation order; the first error in
-                // branch order wins, as sequentially.
-                for b in branches {
-                    self.run(b)?;
-                }
-                Ok(())
-            }
-            ParPlan::Hoist(v, node, inner) => {
-                // `let $z := $root` is the common hoist; reuse the shared
-                // root token build instead of re-walking the document.
-                let tokens = match &self.root {
-                    Some(rt) if *node == self.doc.root() => rt.clone(),
-                    _ => self.doc.tokens_of(*node),
-                };
-                self.hoisted.push((v.clone(), tokens));
-                let result = self.run(inner);
-                self.hoisted.pop();
-                result
-            }
-            ParPlan::Shard(sp) => self.run_shard(sp),
-            ParPlan::Opaque(q) => {
-                let shared = Shared::new(self.max_pulls, self.buffer_limit);
-                let mut env: Env = None;
-                if let Some(rt) = &self.root {
-                    env = bind(&env, Var::root(), Binding::Input(Rc::from(&rt[..])));
-                }
-                for (v, t) in &self.hoisted {
-                    env = bind(&env, v.clone(), Binding::Input(Rc::from(&t[..])));
-                }
-                let mut cursor = XCursor::of_query(q, &env, &shared)?;
-                while let Some(t) = cursor.next()? {
-                    self.out.push(t);
-                }
-                drop(cursor);
-                let stats = StreamStats {
-                    pulls: shared.pulls.get(),
-                    recomputations: shared.recomp.get(),
-                    peak_live_cursors: shared.peak.get(),
-                    buffered_sources: shared.buffered.get(),
-                    ..StreamStats::default()
-                };
-                self.merge_stats(&stats);
-                Ok(())
-            }
-        }
-    }
-
-    fn run_shard(&mut self, sp: &ShardPlan<'_>) -> Result<(), StreamError> {
-        let rows: Vec<&[NodeId]> = sp.rows().collect();
-        let parts = chunks(&rows, self.threads);
-        self.stats.workers = self.stats.workers.max(parts.len());
-        let (doc, max_pulls, buffer_limit) = (self.doc, self.max_pulls, self.buffer_limit);
-        let (vars, body) = (sp.vars(), sp.body());
-        let root = self.root.as_deref();
-        let hoisted = self.hoisted.as_slice();
-        if parts.len() <= 1 {
-            // One chunk: stream inline — no thread to pay for, and no
-            // reason to round-trip the output through interned tokens.
-            let chunk = parts.first().copied().unwrap_or(&[]);
-            let out = &mut self.out;
-            let s = stream_rows(
-                doc,
-                vars,
-                body,
-                chunk,
-                max_pulls,
-                buffer_limit,
-                root,
-                hoisted,
-                |t| out.push(t),
-            )?;
-            self.merge_stats(&s);
-            return Ok(());
-        }
-        type ChunkOut = Result<(Vec<IToken>, StreamStats), StreamError>;
-        let results: Vec<ChunkOut> = std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .iter()
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        stream_chunk(
-                            doc,
-                            vars,
-                            body,
-                            chunk,
-                            max_pulls,
-                            buffer_limit,
-                            root,
-                            hoisted,
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("streaming worker panicked"))
-                .collect()
-        });
-        // First error in chunk order wins: deterministic for a fixed
-        // thread count.
-        for r in results {
-            let (itokens, s) = r?;
-            self.merge_stats(&s);
-            self.out.extend(itokens.iter().map(|t| t.resolve()));
-        }
-        Ok(())
-    }
-}
-
-/// The row loop shared by the worker and inline shard paths: the body
-/// streamed once per row, with loop-variable bindings tokenized straight
-/// out of the shared arena and the `$root`/hoisted streams re-wrapped
-/// from the one shared build; every output token goes to `emit` in
-/// iteration order.
-#[allow(clippy::too_many_arguments)]
-fn stream_rows(
-    doc: &ArenaDoc,
-    vars: &[Var],
-    body: &Query,
-    rows: &[&[NodeId]],
-    max_pulls: u64,
-    buffer_limit: usize,
-    root: Option<&[Token]>,
-    hoisted: &[(Var, Vec<Token>)],
-    mut emit: impl FnMut(Token),
-) -> Result<StreamStats, StreamError> {
-    let shared = Shared::new(max_pulls, buffer_limit);
-    let root_rc: Option<Rc<[Token]>> = root.map(Rc::from);
-    let hoisted_rc: Vec<(Var, Rc<[Token]>)> = hoisted
-        .iter()
-        .map(|(v, t)| (v.clone(), Rc::from(&t[..])))
-        .collect();
-    for &row in rows {
-        let mut env: Env = None;
-        if let Some(rt) = &root_rc {
-            env = bind(&env, Var::root(), Binding::Input(rt.clone()));
-        }
-        for (v, t) in &hoisted_rc {
-            env = bind(&env, v.clone(), Binding::Input(t.clone()));
-        }
-        for (v, &n) in vars.iter().zip(row) {
-            env = bind(&env, v.clone(), Binding::Input(doc.tokens_of(n).into()));
-        }
-        let mut cursor = XCursor::of_query(body, &env, &shared)?;
-        while let Some(t) = cursor.next()? {
-            emit(t);
-        }
-    }
-    Ok(StreamStats {
-        pulls: shared.pulls.get(),
-        recomputations: shared.recomp.get(),
-        peak_live_cursors: shared.peak.get(),
-        buffered_sources: shared.buffered.get(),
-        ..StreamStats::default()
-    })
-}
-
-/// One worker's share of a sharded loop ([`stream_rows`] with the output
-/// crossing back to the merger as interned tokens).
-#[allow(clippy::too_many_arguments)]
-fn stream_chunk(
-    doc: &ArenaDoc,
-    vars: &[Var],
-    body: &Query,
-    rows: &[&[NodeId]],
-    max_pulls: u64,
-    buffer_limit: usize,
-    root: Option<&[Token]>,
-    hoisted: &[(Var, Vec<Token>)],
-) -> Result<(Vec<IToken>, StreamStats), StreamError> {
-    let mut itokens = Vec::new();
-    let mut stats = stream_rows(
-        doc,
-        vars,
-        body,
-        rows,
-        max_pulls,
-        buffer_limit,
-        root,
-        hoisted,
-        |t| itokens.push(IToken::intern(&t)),
-    )?;
-    stats.tokens_out = itokens.len() as u64;
-    Ok((itokens, stats))
-}
-
-fn stream_with(
+/// Streams with every knob derived from an evaluation
+/// [`Budget`](xq_core::Budget): the pull cap from `max_steps`, the
+/// per-source buffering cap from [`BufferPolicy::from_budget`] (buffer
+/// under the item allowance, lazy fallback above it).
+pub fn stream_query_budgeted(
     q: &Query,
     input: &Tree,
-    max_pulls: u64,
-    buffer_limit: usize,
+    budget: &xq_core::Budget,
 ) -> Result<(Vec<Token>, StreamStats), StreamError> {
-    stream_tokens(q, input.tokens().into(), max_pulls, buffer_limit)
+    stream_tokens(
+        q,
+        input.tokens().into(),
+        budget.max_steps,
+        BufferPolicy::from_budget(budget),
+    )
 }
 
+/// [`stream_query_budgeted`] over an arena document, additionally taking
+/// the worker count from the budget's `threads` knob (the parallel path
+/// engages exactly as in [`stream_query_arena_par`]).
+pub fn stream_query_arena_budgeted(
+    q: &Query,
+    doc: &ArenaDoc,
+    budget: &xq_core::Budget,
+) -> Result<(Vec<Token>, StreamStats), StreamError> {
+    let policy = BufferPolicy::from_budget(budget);
+    stream_query_arena_par(
+        q,
+        doc,
+        budget.max_steps,
+        policy.per_source_cap,
+        budget.threads.count(),
+    )
+}
+
+/// The one sequential driver behind every non-parallel entry point: a
+/// [`Pipeline`] configured with the caller's knobs, drained to a vector.
 fn stream_tokens(
     q: &Query,
     tokens: Rc<[Token]>,
     max_pulls: u64,
-    buffer_limit: usize,
+    policy: BufferPolicy,
 ) -> Result<(Vec<Token>, StreamStats), StreamError> {
-    let shared = Shared::new(max_pulls, buffer_limit);
-    let env = bind(&None, Var::root(), Binding::Input(tokens));
-    let mut cursor = XCursor::of_query(q, &env, &shared)?;
+    let pipe = Pipeline::new(max_pulls, policy);
+    let mut cursor = pipe.build(q, tokens)?;
     let mut out = Vec::new();
-    while let Some(t) = cursor.next()? {
+    while let Some(t) = cursor.pull()? {
         out.push(t);
     }
     drop(cursor);
-    let stats = StreamStats {
-        tokens_out: out.len() as u64,
-        pulls: shared.pulls.get(),
-        recomputations: shared.recomp.get(),
-        peak_live_cursors: shared.peak.get(),
-        buffered_sources: shared.buffered.get(),
-        workers: 0,
-    };
+    let mut stats = pipe.stats();
+    stats.tokens_out = out.len() as u64;
     Ok((out, stats))
 }
 
@@ -1165,19 +281,18 @@ fn stream_tokens(
 /// the root element has a child (§7.1 convention); otherwise whether the
 /// stream is nonempty. Never materializes the result.
 pub fn stream_boolean(q: &Query, input: &Tree, max_pulls: u64) -> Result<bool, StreamError> {
-    let shared = Shared::new(max_pulls, 0);
+    let pipe = Pipeline::new(max_pulls, BufferPolicy::lazy());
     let tokens: Rc<[Token]> = input.tokens().into();
-    let env = bind(&None, Var::root(), Binding::Input(tokens));
-    let mut cursor = XCursor::of_query(q, &env, &shared)?;
+    let mut cursor = pipe.build(q, tokens)?;
     match q {
         Query::Elem(_, _) => {
-            let _open = cursor.next()?;
-            match cursor.next()? {
+            let _open = cursor.pull()?;
+            match cursor.pull()? {
                 Some(Token::Open(_)) => Ok(true),
                 _ => Ok(false),
             }
         }
-        _ => Ok(cursor.next()?.is_some()),
+        _ => Ok(cursor.pull()?.is_some()),
     }
 }
 
@@ -1371,12 +486,11 @@ mod tests {
             let q = parse_query(src).unwrap();
             let t = parse_tree(doc).unwrap();
             let (want, _) = stream_query(&q, &t, FUEL).unwrap();
-            let (got, stats) = stream_query_buffered(&q, &t, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
+            let (got, _stats) = stream_query_buffered(&q, &t, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
             assert_eq!(got, want, "query {src} on {doc}");
             // A tiny cap forces the lazy fallback — still correct.
-            let (fallback, fb_stats) = stream_query_buffered(&q, &t, FUEL, 1).unwrap();
+            let (fallback, _) = stream_query_buffered(&q, &t, FUEL, 1).unwrap();
             assert_eq!(fallback, want, "fallback for {src} on {doc}");
-            assert!(fb_stats.buffered_sources <= stats.buffered_sources);
         }
     }
 
@@ -1511,5 +625,171 @@ mod tests {
                 assert_eq!(got, want, "query {src} seed {seed}");
             }
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Regression tests for the refactor's new counters and entry points.
+    // -----------------------------------------------------------------
+
+    /// `buffered_sources` counts held per-source decisions, identically
+    /// on the Rc and arena paths, and never under the lazy discipline.
+    #[test]
+    fn buffered_sources_counted_consistently() {
+        let src = "for $v in $root/a return <w>{$v}</w>";
+        let doc = "<r><a><x/></a><a><y/></a></r>";
+        let q = parse_query(src).unwrap();
+        let t = parse_tree(doc).unwrap();
+        let arena = ArenaDoc::from_tree(&t);
+
+        let (_, lazy) = stream_query(&q, &t, FUEL).unwrap();
+        assert_eq!(lazy.buffered_sources, 0, "lazy path must not buffer");
+        assert_eq!(lazy.lazy_fallbacks, 0);
+        assert_eq!(lazy.peak_buffered_tokens, 0);
+
+        let (_, rc) = stream_query_buffered(&q, &t, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
+        assert_eq!(rc.buffered_sources, 1, "one for-source, one decision");
+        assert_eq!(rc.lazy_fallbacks, 0);
+        assert!(rc.peak_buffered_tokens > 0, "{rc:?}");
+
+        let (_, ar) = stream_query_arena(&q, &arena, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
+        assert_eq!(
+            ar.buffered_sources, rc.buffered_sources,
+            "arena and Rc paths must report the same decisions"
+        );
+        assert_eq!(ar.lazy_fallbacks, rc.lazy_fallbacks);
+    }
+
+    /// Overflow reverts to lazy and is reported as a fallback, not a
+    /// buffered source.
+    #[test]
+    fn overflow_counts_as_lazy_fallback() {
+        let src = "for $v in $root/a return $v";
+        let q = parse_query(src).unwrap();
+        let t = parse_tree("<r><a><x/><y/></a></r>").unwrap();
+        // Cap of 1: the 6-token source overflows immediately.
+        let (_, stats) = stream_query_buffered(&q, &t, FUEL, 1).unwrap();
+        assert_eq!(stats.buffered_sources, 0, "{stats:?}");
+        assert!(stats.lazy_fallbacks >= 1, "{stats:?}");
+    }
+
+    /// The parallel path reports sharded-loop decisions and counts
+    /// deterministically per thread count.
+    #[test]
+    fn par_path_reports_buffering_decisions() {
+        let q = parse_query("for $x in $root/* return <w>{ $x/* }</w>").unwrap();
+        let mut g = cv_xtree::TreeGen::new(7);
+        let t = cv_xtree::random_tree(&mut g, 30, &["a", "b"]);
+        let doc = ArenaDoc::from_tree(&t);
+        let (_, s2) = stream_query_arena_par(&q, &doc, FUEL, DEFAULT_BUFFER_LIMIT, 2).unwrap();
+        let (_, s2b) = stream_query_arena_par(&q, &doc, FUEL, DEFAULT_BUFFER_LIMIT, 2).unwrap();
+        assert!(s2.buffered_sources >= 1, "sharded loop counts: {s2:?}");
+        assert_eq!(s2.buffered_sources, s2b.buffered_sources, "deterministic");
+    }
+
+    /// The incremental merge keeps in-flight tokens bounded: on a query
+    /// whose parallel output is large, `peak_buffered_tokens` stays far
+    /// below `tokens_out`.
+    #[test]
+    fn par_merge_peak_is_bounded() {
+        // Each of the ~hundreds of rows emits its whole subtree three
+        // times: a large output from a planner-sharded loop.
+        let q = parse_query("for $x in $root//* return ($x, $x, $x)").unwrap();
+        let mut g = cv_xtree::TreeGen::new(11);
+        let t = cv_xtree::random_tree(&mut g, 400, &["a", "b"]);
+        let doc = ArenaDoc::from_tree(&t);
+        let (out, stats) = stream_query_arena_par(&q, &doc, FUEL, 0, 4).unwrap();
+        assert!(stats.workers > 1, "{stats:?}");
+        assert!(out.len() > 4 * par::QUEUE_CAP_TOKENS, "not large enough");
+        // Bound: the queues can hold at most workers × cap plus one
+        // in-flight run per worker.
+        let bound = (stats.workers * (par::QUEUE_CAP_TOKENS + par::RUN_TOKENS)) as u64;
+        assert!(
+            stats.peak_buffered_tokens <= bound,
+            "peak {} exceeds bound {bound}",
+            stats.peak_buffered_tokens
+        );
+    }
+
+    /// The Budget-driven entry point derives its knobs from the budget.
+    #[test]
+    fn budgeted_entry_derives_knobs() {
+        let q = parse_query("for $v in $root/a return <w>{$v}</w>").unwrap();
+        let t = parse_tree("<r><a><x/></a><a><y/></a></r>").unwrap();
+        let budget = xq_core::Budget {
+            max_steps: FUEL,
+            max_items: FUEL,
+            ..xq_core::Budget::default()
+        };
+        let (got, stats) = stream_query_budgeted(&q, &t, &budget).unwrap();
+        let (want, wstats) = stream_query_buffered(&q, &t, FUEL, DEFAULT_BUFFER_LIMIT).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(stats, wstats);
+        // A tiny item allowance shrinks the buffering cap (lazy fallback)
+        // without changing bytes.
+        let tight = xq_core::Budget {
+            max_steps: FUEL,
+            max_items: 1,
+            ..xq_core::Budget::default()
+        };
+        let (got, stats) = stream_query_budgeted(&q, &t, &tight).unwrap();
+        assert_eq!(got, want);
+        assert!(stats.lazy_fallbacks >= 1, "{stats:?}");
+        // An exhausted step budget errors deterministically.
+        let none = xq_core::Budget {
+            max_steps: 0,
+            ..xq_core::Budget::default()
+        };
+        assert_eq!(
+            stream_query_budgeted(&q, &t, &none).unwrap_err(),
+            StreamError::Budget
+        );
+    }
+
+    /// The arena budgeted entry agrees with the explicit-knob par entry.
+    #[test]
+    fn arena_budgeted_entry_agrees() {
+        let q = parse_query("for $x in $root//a return <w>{ $x/* }</w>").unwrap();
+        let mut g = cv_xtree::TreeGen::new(3);
+        let t = cv_xtree::random_tree(&mut g, 30, &["a", "b"]);
+        let doc = ArenaDoc::from_tree(&t);
+        let budget = xq_core::Budget {
+            max_steps: FUEL,
+            max_items: FUEL,
+            threads: xq_core::Threads::N(4),
+            ..xq_core::Budget::default()
+        };
+        let (got, _) = stream_query_arena_budgeted(&q, &doc, &budget).unwrap();
+        let (want, _) = stream_query_arena_par(&q, &doc, FUEL, DEFAULT_BUFFER_LIMIT, 4).unwrap();
+        assert_eq!(got, want);
+    }
+
+    /// Hand-composed pipelines: fork replays from the fork point, kill
+    /// decays to the (still charging) exhausted stream.
+    #[test]
+    fn hand_composed_pipeline_forks_and_kills() {
+        use cv_xtree::{Axis, Label, NodeTest};
+        let t = parse_tree("<r><a><b/></a><c/><a/></r>").unwrap();
+        let pipe = Pipeline::new(10_000, BufferPolicy::lazy());
+        let mut step = pipe.step(t.tokens(), Axis::Child, NodeTest::Tag(Label::new("a")));
+        // Pull the first match's open tag, then fork: both streams must
+        // finish the remaining five tokens identically.
+        let first = pipe
+            .step(t.tokens(), Axis::Child, NodeTest::Tag(Label::new("a")))
+            .pull()
+            .unwrap();
+        assert_eq!(first, Some(Token::Open(Label::new("a"))));
+        assert!(step.pull().unwrap().is_some());
+        let mut fork = step.fork();
+        let rest: Vec<Token> = std::iter::from_fn(|| step.pull().unwrap()).collect();
+        let rest_fork: Vec<Token> = std::iter::from_fn(|| fork.pull().unwrap()).collect();
+        assert_eq!(rest, rest_fork);
+        assert_eq!(rest.len(), 5, "{rest:?}");
+        // Kill: exhausted, but pulls still charge.
+        let mut killed = pipe.step(t.tokens(), Axis::Child, NodeTest::Wildcard);
+        assert!(killed.pull().unwrap().is_some());
+        let before = pipe.stats().pulls;
+        killed.kill();
+        assert_eq!(killed.pull().unwrap(), None);
+        assert_eq!(pipe.stats().pulls, before + 1, "killed pulls charge");
     }
 }

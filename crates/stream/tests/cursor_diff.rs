@@ -1,0 +1,251 @@
+//! The cursor-core differential suite: the refactored streaming engine
+//! (one `Pipeline` behind every entry point) is locked against **two**
+//! oracles over the seeded T17 coverage corpus
+//! (`xq_bench::coverage_corpus`):
+//!
+//! * the **pre-refactor engine**, frozen verbatim in
+//!   `xq_bench::legacy_stream` (recovered from git history, tests
+//!   stripped) — compared
+//!   for result bytes *and* `StreamStats` counters (`pulls`,
+//!   `recomputations`, `peak_live_cursors`, `tokens_out`, `workers`) on
+//!   all four entry points, plus identical errors at identical points
+//!   under a pull-budget sweep (0 / 1 / half / full−1 of the query's own
+//!   pull count) and under tight buffer caps;
+//! * the **Figure 1 interpreter** (`xq_core::eval_query`) — compared for
+//!   bytes, so counter-compatibility can never drift away from semantic
+//!   correctness.
+//!
+//! `buffered_sources` is the one counter allowed to move, monotonically:
+//! the refactor *fixed* it to count held per-source decisions on every
+//! path (the legacy engine missed decisions abandoned before the full
+//! drain and counted nothing for planner-sharded loops), so the suite
+//! asserts `new >= legacy` instead of equality. The new
+//! `lazy_fallbacks`/`peak_buffered_tokens` counters have no legacy
+//! counterpart and are regression-tested in the crate's unit suite.
+//!
+//! `XQ_RANDOM_CASES` scales the corpus (CI pins 16; local default 48);
+//! CI runs the suite plain and under `XQ_ARENA=1 XQ_THREADS=4`
+//! (`XQ_THREADS` adds a thread count to the parallel sweep). The
+//! `#[ignore]`d full-size variant (weekly `scheduled.yml` run) sweeps a
+//! 256-query corpus, bigger documents, and the doubling family.
+
+use xq_bench::legacy_stream as legacy;
+
+use cv_xtree::{random_tree, ArenaDoc, Token, Tree, TreeGen};
+use xq_core::ast::Query;
+use xq_core::Threads;
+use xq_stream::{
+    stream_query, stream_query_arena, stream_query_arena_par, stream_query_buffered,
+    DEFAULT_BUFFER_LIMIT,
+};
+
+const FUEL: u64 = 10_000_000;
+
+/// Cases per property: `XQ_RANDOM_CASES` if set (CI uses 16), else 48.
+fn cases() -> usize {
+    std::env::var("XQ_RANDOM_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48)
+}
+
+/// The seeded coverage corpus (deterministic across runs and PRs).
+fn corpus() -> Vec<Query> {
+    xq_bench::coverage_corpus(cases())
+}
+
+/// Small random documents over the corpus grammar's label alphabet. With
+/// `XQ_ARENA=1` each document round-trips through the arena store, so
+/// CI's arena pass covers arena-loaded documents on every entry point.
+fn docs(nodes: usize) -> Vec<Tree> {
+    let repr = xq_core::DocRepr::from_env();
+    (0..3u64)
+        .map(|seed| {
+            let mut g = TreeGen::new(seed);
+            repr.roundtrip(&random_tree(&mut g, nodes, &["a", "b", "k"]))
+        })
+        .collect()
+}
+
+/// Thread counts for the parallel sweep: 2/4 always, plus whatever
+/// `XQ_THREADS` resolves to (CI's parallel pass sets 4).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![2, 4];
+    let env = Threads::from_env().count();
+    if env > 1 && !counts.contains(&env) {
+        counts.push(env);
+    }
+    counts
+}
+
+type NewOut = Result<(Vec<Token>, xq_stream::StreamStats), xq_stream::StreamError>;
+type OldOut = Result<(Vec<Token>, legacy::StreamStats), legacy::StreamError>;
+
+/// Demands the refactored engine and the embedded pre-refactor engine
+/// produced the *same outcome*: identical bytes and counters on success
+/// (with `buffered_sources` allowed to grow, never shrink), or the same
+/// error — which, combined with identical `pulls` charging, means the
+/// same error at the same point.
+fn assert_identical(new: &NewOut, old: &OldOut, ctx: &str) {
+    match (new, old) {
+        (Ok((nt, ns)), Ok((ot, os))) => {
+            assert_eq!(nt, ot, "{ctx}: token stream");
+            assert_eq!(ns.tokens_out, os.tokens_out, "{ctx}: tokens_out");
+            assert_eq!(ns.pulls, os.pulls, "{ctx}: pulls");
+            assert_eq!(
+                ns.recomputations, os.recomputations,
+                "{ctx}: recomputations"
+            );
+            assert_eq!(
+                ns.peak_live_cursors, os.peak_live_cursors,
+                "{ctx}: peak_live_cursors"
+            );
+            assert_eq!(ns.workers, os.workers, "{ctx}: workers");
+            assert!(
+                ns.buffered_sources >= os.buffered_sources,
+                "{ctx}: buffered_sources regressed: new {} < legacy {}",
+                ns.buffered_sources,
+                os.buffered_sources
+            );
+        }
+        // The two engines' error enums are distinct types with identical
+        // variants; Debug form is the common currency.
+        (Err(ne), Err(oe)) => assert_eq!(format!("{ne:?}"), format!("{oe:?}"), "{ctx}: error"),
+        _ => panic!("{ctx}: outcomes diverge: new {new:?} vs legacy {old:?}"),
+    }
+}
+
+/// The pull budgets to sweep for a query whose full run charged `pulls`:
+/// 0 (error before the first pull), 1, half, and full−1 (error on the
+/// very last charge) — both engines must fail identically at every one.
+fn budget_sweep(pulls: u64) -> Vec<u64> {
+    let mut caps = vec![0, 1, pulls / 2, pulls.saturating_sub(1)];
+    caps.sort_unstable();
+    caps.dedup();
+    caps
+}
+
+/// The differential body shared by the quick and full-size suites.
+fn assert_cursor_core_identical(q: &Query, doc: &Tree) {
+    let arena = ArenaDoc::from_tree(doc);
+
+    // Entry point 1: pure lazy streaming.
+    let new = stream_query(q, doc, FUEL);
+    let old = legacy::stream_query(q, doc, FUEL);
+    assert_identical(&new, &old, &format!("lazy {q}"));
+
+    // Semantic anchor: on success, bytes must also match the Figure 1
+    // interpreter, so counter compatibility can't hide a shared bug.
+    if let Ok((tokens, _)) = &new {
+        let want: Vec<Token> = xq_core::eval_query(q, doc)
+            .expect("interpreter evaluates the corpus")
+            .iter()
+            .flat_map(Tree::tokens)
+            .collect();
+        assert_eq!(tokens, &want, "interpreter disagrees on {q}");
+    }
+
+    // Entry point 2: buffered fast path, generous and degenerate caps.
+    for cap in [DEFAULT_BUFFER_LIMIT, 1] {
+        let new = stream_query_buffered(q, doc, FUEL, cap);
+        let old = legacy::stream_query_buffered(q, doc, FUEL, cap);
+        assert_identical(&new, &old, &format!("buffered cap {cap} {q}"));
+    }
+
+    // Entry point 3: arena source.
+    let new = stream_query_arena(q, &arena, FUEL, DEFAULT_BUFFER_LIMIT);
+    let old = legacy::stream_query_arena(q, &arena, FUEL, DEFAULT_BUFFER_LIMIT);
+    assert_identical(&new, &old, &format!("arena {q}"));
+
+    // Entry point 4: planner-sharded parallel streaming, incremental
+    // merge vs the legacy materialized merge.
+    for threads in thread_counts() {
+        let new = stream_query_arena_par(q, &arena, FUEL, DEFAULT_BUFFER_LIMIT, threads);
+        let old = legacy::stream_query_arena_par(q, &arena, FUEL, DEFAULT_BUFFER_LIMIT, threads);
+        assert_identical(&new, &old, &format!("par t{threads} {q}"));
+    }
+
+    // Budget sweep: tighten max_pulls to bite before, at the start of,
+    // midway through, and on the last charge of the run — the engines
+    // must produce the same outcome (usually `Budget` at the same
+    // point) on every entry point.
+    if let Ok((_, stats)) = &old {
+        for cap in budget_sweep(stats.pulls) {
+            let new = stream_query(q, doc, cap);
+            let old = legacy::stream_query(q, doc, cap);
+            assert_identical(&new, &old, &format!("lazy budget {cap} {q}"));
+
+            let new = stream_query_buffered(q, doc, cap, DEFAULT_BUFFER_LIMIT);
+            let old = legacy::stream_query_buffered(q, doc, cap, DEFAULT_BUFFER_LIMIT);
+            assert_identical(&new, &old, &format!("buffered budget {cap} {q}"));
+
+            let new = stream_query_arena_par(q, &arena, cap, DEFAULT_BUFFER_LIMIT, 4);
+            let old = legacy::stream_query_arena_par(q, &arena, cap, DEFAULT_BUFFER_LIMIT, 4);
+            assert_identical(&new, &old, &format!("par budget {cap} {q}"));
+        }
+    }
+}
+
+#[test]
+fn cursor_core_matches_legacy_engine_on_the_coverage_corpus() {
+    let docs = docs(10);
+    for q in corpus() {
+        for doc in &docs {
+            assert_cursor_core_identical(&q, doc);
+        }
+    }
+}
+
+/// `stream_boolean` has no stats to compare, but its short-circuit
+/// behaviour (including the `⟨a⟩α⟨/a⟩` §7.1 special case) must agree
+/// with the legacy engine verdict-for-verdict, errors included.
+#[test]
+fn boolean_probe_matches_legacy_engine() {
+    let docs = docs(10);
+    for q in corpus() {
+        for doc in &docs {
+            let new = xq_stream::stream_boolean(&q, doc, FUEL);
+            let old = legacy::stream_boolean(&q, doc, FUEL);
+            match (&new, &old) {
+                (Ok(n), Ok(o)) => assert_eq!(n, o, "verdict for {q}"),
+                (Err(ne), Err(oe)) => {
+                    assert_eq!(format!("{ne:?}"), format!("{oe:?}"), "error for {q}")
+                }
+                _ => panic!("boolean outcomes diverge on {q}: {new:?} vs {old:?}"),
+            }
+        }
+    }
+}
+
+/// Full-size variant for the weekly scheduled run: a 256-query corpus,
+/// bigger documents, and the Prop 4.2 doubling family (where lazy
+/// recomputation cost explodes and the buffered path's decisions all
+/// engage).
+#[test]
+#[ignore = "full-size differential sweep; run by scheduled.yml"]
+fn cursor_core_matches_legacy_engine_full_size() {
+    let docs = docs(40);
+    for q in xq_bench::coverage_corpus(256) {
+        for doc in &docs {
+            assert_cursor_core_identical(&q, doc);
+        }
+    }
+    // The doubling family on the empty document: the streaming worst case.
+    fn doubling(n: usize) -> String {
+        let mut q = String::from("<z/>");
+        for i in 0..n {
+            q = format!("for $v{i} in ({q}, {q}) return <z/>");
+        }
+        q
+    }
+    let t = cv_xtree::parse_tree("<r/>").unwrap();
+    for n in [2usize, 4, 6] {
+        let q = xq_core::parse_query(&doubling(n)).unwrap();
+        let new = stream_query(&q, &t, FUEL);
+        let old = legacy::stream_query(&q, &t, FUEL);
+        assert_identical(&new, &old, &format!("doubling lazy n={n}"));
+        let new = stream_query_buffered(&q, &t, FUEL, DEFAULT_BUFFER_LIMIT);
+        let old = legacy::stream_query_buffered(&q, &t, FUEL, DEFAULT_BUFFER_LIMIT);
+        assert_identical(&new, &old, &format!("doubling buffered n={n}"));
+    }
+}
